@@ -1,0 +1,68 @@
+// Ablation: what do the paper's 50 NEW lints add over the pre-existing
+// 45? Section 4.3.1 reports 33.3% of noncompliant Unicerts were flagged
+// by new lints and that encoding issues "have been under-addressed by
+// the community" (22.6% caught only by new lints).
+#include "bench_common.h"
+
+#include "lint/lint.h"
+#include "lint/rules.h"
+
+using namespace unicert;
+
+namespace {
+
+// Registry restricted to the pre-existing (non-new) rules.
+const lint::Registry& old_lints_registry() {
+    static const lint::Registry registry = [] {
+        lint::Registry full;
+        lint::register_charset_rules(full);
+        lint::register_normalization_rules(full);
+        lint::register_format_rules(full);
+        lint::register_encoding_rules(full);
+        lint::register_structure_rules(full);
+        lint::register_discouraged_rules(full);
+        lint::Registry old_only;
+        for (const lint::Rule& rule : full.rules()) {
+            if (!rule.info.is_new) old_only.add(rule);
+        }
+        return old_only;
+    }();
+    return registry;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Ablation — coverage added by the 50 new lints",
+                        "Section 4.3.1 ('22.6% detected by our new lints')");
+
+    const auto& corpus = bench::default_corpus();
+    const lint::Registry& old_reg = old_lints_registry();
+
+    size_t nc_full = 0, nc_old = 0, nc_only_new = 0;
+    size_t findings_full = 0, findings_old = 0;
+    for (const ctlog::CorpusCert& c : corpus) {
+        lint::CertReport full = lint::run_lints(c.cert);
+        lint::CertReport old = lint::run_lints(c.cert, old_reg);
+        findings_full += full.findings.size();
+        findings_old += old.findings.size();
+        if (full.noncompliant()) ++nc_full;
+        if (old.noncompliant()) ++nc_old;
+        if (full.noncompliant() && !old.noncompliant()) ++nc_only_new;
+    }
+
+    core::TextTable table({"Configuration", "Lints", "NC certs", "Findings"});
+    table.add_row({"Full registry (paper)", std::to_string(lint::default_registry().size()),
+                   core::with_commas(nc_full), core::with_commas(findings_full)});
+    table.add_row({"Pre-existing lints only", std::to_string(old_reg.size()),
+                   core::with_commas(nc_old), core::with_commas(findings_old)});
+    table.add_row({"Detected ONLY by new lints", "-", core::with_commas(nc_only_new),
+                   core::percent(nc_full ? static_cast<double>(nc_only_new) / nc_full : 0)});
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nPaper shape: 83.1K of 249.3K NC certs (33.3%%) flagged by new lints; "
+                "the encoding family's 22.6%% were missed entirely by existing linters — "
+                "i.e. a meaningful fraction of the NC population is invisible without "
+                "the Unicode-specific rules.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: stability of the headline shares across corpus scales —
+// evidence that the reproduction's conclusions do not hinge on the
+// 1:1000 downscaling choice (DESIGN.md's substitution argument).
+#include "bench_common.h"
+
+#include "core/pipeline.h"
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Ablation — headline metrics vs corpus scale",
+                        "DESIGN.md substitution argument (scale invariance)");
+
+    core::TextTable table({"Scale", "Certs", "NC rate", "NC trusted", "IDN<=90d",
+                           "Top lint"});
+    for (double scale : {8000.0, 4000.0, 2000.0, 1000.0}) {
+        ctlog::CorpusGenerator gen({.seed = 42, .scale = scale});
+        auto corpus = gen.generate();
+        core::CompliancePipeline pipeline(corpus);
+
+        core::TaxonomyReport taxonomy = pipeline.taxonomy_report();
+        core::ValidityCdf cdf = pipeline.validity_cdf();
+        auto lints = pipeline.top_lints(1);
+
+        double nc_trusted = taxonomy.total_nc
+                                ? static_cast<double>(taxonomy.total_nc_trusted) /
+                                      static_cast<double>(taxonomy.total_nc)
+                                : 0.0;
+        table.add_row({"1:" + std::to_string(static_cast<int>(scale)),
+                       core::with_commas(corpus.size()),
+                       core::percent(pipeline.noncompliance_rate(), 2),
+                       core::percent(nc_trusted),
+                       core::percent(core::ValidityCdf::cdf_at(cdf.idn_certs, 90)),
+                       lints.empty() ? "-" : lints[0].name});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nExpected: NC rate ~0.7%%, trusted share ~60-70%%, IDN 90-day share ~90%% "
+                "and the leading lint stable across scales (small-sample noise at 1:8000).\n");
+    return 0;
+}

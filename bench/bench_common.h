@@ -1,0 +1,35 @@
+// Shared helpers for the table/figure reproduction binaries: the
+// default synthetic corpus (1:1000 scale of the paper's 34.8M
+// Unicerts) and its compliance pipeline, built once per process.
+#pragma once
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "ctlog/corpus.h"
+
+namespace unicert::bench {
+
+inline const std::vector<ctlog::CorpusCert>& default_corpus() {
+    static const std::vector<ctlog::CorpusCert> corpus = [] {
+        ctlog::CorpusGenerator gen({.seed = 42, .scale = 1000.0});
+        return gen.generate();
+    }();
+    return corpus;
+}
+
+inline const core::CompliancePipeline& default_pipeline() {
+    static const core::CompliancePipeline pipeline(default_corpus());
+    return pipeline;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+    std::printf("================================================================\n");
+    std::printf("unicert reproduction | %s\n", experiment);
+    std::printf("paper reference      | %s\n", paper_ref);
+    std::printf("corpus               | synthetic CT corpus, seed 42, scale 1:1000\n");
+    std::printf("================================================================\n\n");
+}
+
+}  // namespace unicert::bench

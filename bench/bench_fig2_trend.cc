@@ -1,0 +1,39 @@
+// Reproduces Figure 2: issuance trend of Unicerts and noncompliant
+// Unicerts per year (log-scale bars), with trusted and alive series.
+#include "bench_common.h"
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Figure 2 — Issuance trend of (noncompliant) Unicerts",
+                        "Section 4.2 / 4.3.2, Figure 2");
+
+    auto years = bench::default_pipeline().yearly_trend();
+
+    core::TextTable table({"Year", "All", "Trusted", "Alive(EOY)", "NC", "All (log bar)",
+                           "NC (log bar)"});
+    for (const core::YearRow& row : years) {
+        table.add_row({std::to_string(row.year), core::with_commas(row.all),
+                       core::with_commas(row.trusted), core::with_commas(row.alive),
+                       core::with_commas(row.noncompliant), core::log_bar(row.all),
+                       core::log_bar(row.noncompliant)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    // Shape checks the paper calls out.
+    size_t trusted_recent = 0, all_recent = 0;
+    for (const core::YearRow& row : years) {
+        if (row.year >= 2015) {
+            trusted_recent += row.trusted;
+            all_recent += row.all;
+        }
+    }
+    std::printf("\nTrusted share since 2015: %s (paper: >97.2%% of new issuance from trusted "
+                "CAs; 90.1%% overall)\n",
+                core::percent(all_recent ? static_cast<double>(trusted_recent) / all_recent
+                                         : 0.0)
+                    .c_str());
+    std::printf("Paper shape: steady upward trend on the log scale; all/trusted lines nearly "
+                "coincide; noncompliant counts flat-to-declining after 2017.\n");
+    return 0;
+}

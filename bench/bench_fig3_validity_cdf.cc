@@ -1,0 +1,30 @@
+// Reproduces Figure 3: CDF of Unicert validity periods per class
+// (IDNCerts, other Unicerts, noncompliant Unicerts).
+#include "bench_common.h"
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Figure 3 — CDF of Unicert validity period", "Section 4.3.2, Figure 3");
+
+    core::ValidityCdf cdf = bench::default_pipeline().validity_cdf();
+
+    const int64_t kPoints[] = {30, 90, 180, 365, 398, 700, 1000};
+    core::TextTable table({"Days", "IDNCerts CDF", "Other Unicerts CDF", "Noncompliant CDF"});
+    for (int64_t days : kPoints) {
+        table.add_row({std::to_string(days),
+                       core::percent(core::ValidityCdf::cdf_at(cdf.idn_certs, days)),
+                       core::percent(core::ValidityCdf::cdf_at(cdf.other_unicerts, days)),
+                       core::percent(core::ValidityCdf::cdf_at(cdf.noncompliant, days))});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nMedians: IDN %.0f days | other %.0f days | noncompliant %.0f days\n",
+                core::ValidityCdf::quantile(cdf.idn_certs, 0.5),
+                core::ValidityCdf::quantile(cdf.other_unicerts, 0.5),
+                core::ValidityCdf::quantile(cdf.noncompliant, 0.5));
+    std::printf("Paper shape: 89.6%% of IDNCerts on the 90-day trend; >10.7%% of other "
+                "Unicerts exceed 398 days; ~50%% of noncompliant certs last a year+ and "
+                ">20%% exceed 700 days.\n");
+    return 0;
+}

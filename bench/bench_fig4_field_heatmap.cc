@@ -1,0 +1,58 @@
+// Reproduces Figure 4: fields containing internationalized content per
+// issuer — '.' marks Unicode usage, '+' marks usage that deviates from
+// the standards (the figure's darkest cells), blank means none.
+#include "bench_common.h"
+
+#include <set>
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Figure 4 — Internationalized content per field per issuer",
+                        "Section 4.4, Figure 4");
+
+    core::FieldHeatmap heatmap = bench::default_pipeline().field_heatmap();
+
+    // Column set: union of observed field labels in a stable order.
+    std::vector<std::string> fields = {"CN", "O", "OU", "L", "ST", "C", "STREET",
+                                       "postalCode", "serialNumber", "SAN", "email"};
+    std::set<std::string> known(fields.begin(), fields.end());
+    for (const auto& [issuer, cells] : heatmap) {
+        for (const auto& [label, cell] : cells) {
+            if (!known.count(label)) {
+                fields.push_back(label);
+                known.insert(label);
+            }
+        }
+    }
+
+    std::vector<std::string> headers = {"Issuer (>=25 Unicode certs)"};
+    headers.insert(headers.end(), fields.begin(), fields.end());
+    core::TextTable table(headers);
+
+    for (const auto& [issuer, cells] : heatmap) {
+        size_t total_unicode = 0;
+        for (const auto& [label, cell] : cells) total_unicode += cell.unicode_count;
+        if (total_unicode < 25) continue;
+        std::vector<std::string> row = {issuer};
+        for (const std::string& field : fields) {
+            auto it = cells.find(field);
+            if (it == cells.end() || it->second.unicode_count == 0) {
+                row.push_back("");
+            } else if (it->second.deviation_count > 0) {
+                row.push_back("+");  // darkest cells: deviates from standard
+            } else {
+                row.push_back(".");
+            }
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nLegend: '.' internationalized content present; '+' content deviating from "
+                "the standard; blank = ASCII only.\n");
+    std::printf("Paper shape: Subject name fields (O/L/ST/CN) dominate Unicode usage; "
+                "automated DV issuers show IDN-only SAN columns; deviations cluster in "
+                "legacy/regional issuers.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces the Section 5.1 impact study: find Unicerts with ASN.1
+// encoding errors in the corpus, reconstruct their chains via AIA, and
+// verify signatures to establish how many are trusted-CA issued.
+#include "bench_common.h"
+
+#include "x509/builder.h"
+#include "x509/chain.h"
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Section 5.1 — Encoding-error chain reconstruction",
+                        "Section 5.1 'Impact of attribute decoding issues'");
+
+    // Build a CA registry covering the corpus issuers and re-sign a
+    // slice of the corpus with AIA pointers (the default corpus skips
+    // signing for speed; this experiment needs verifiable chains).
+    x509::CaRegistry registry;
+    for (const ctlog::IssuerSpec& spec : ctlog::issuer_specs()) {
+        registry.create_ca(spec.organization, spec.trust == ctlog::TrustStatus::kPublic);
+    }
+
+    size_t encoding_error_certs = 0;
+    size_t chains_complete = 0;
+    size_t signatures_valid = 0;
+    size_t trusted_issued = 0;
+    size_t subject_errors = 0, san_errors = 0, policy_errors = 0;
+
+    for (const ctlog::CorpusCert& c : bench::default_corpus()) {
+        // "ASN.1 encoding errors": value bytes undecodable under the
+        // declared string type, anywhere we model them.
+        bool bad_subject = false, bad_san = false, bad_policy = false;
+        for (const x509::Rdn& rdn : c.cert.subject.rdns) {
+            for (const x509::AttributeValue& av : rdn.attributes) {
+                if (!asn1::validate_value_bytes(av.string_type, av.value_bytes).ok()) {
+                    bad_subject = true;
+                }
+            }
+        }
+        for (const x509::GeneralName& gn : c.cert.subject_alt_names()) {
+            if (gn.type != x509::GeneralNameType::kDnsName) continue;
+            for (uint8_t b : gn.value_bytes) {
+                if (b > 0x7F || b < 0x20) bad_san = true;
+            }
+        }
+        if (const x509::Extension* ext =
+                c.cert.find_extension(asn1::oids::certificate_policies())) {
+            auto policies = x509::parse_certificate_policies(*ext);
+            if (policies.ok()) {
+                for (const auto& pi : policies.value()) {
+                    for (const auto& q : pi.qualifiers) {
+                        if (q.explicit_text &&
+                            q.explicit_text->string_type != asn1::StringType::kUtf8String) {
+                            bad_policy = true;
+                        }
+                    }
+                }
+            }
+        }
+        if (!bad_subject && !bad_san && !bad_policy) continue;
+        ++encoding_error_certs;
+        if (bad_subject) ++subject_errors;
+        if (bad_san) ++san_errors;
+        if (bad_policy) ++policy_errors;
+
+        // Re-sign with the registry CA + AIA pointer, then run the
+        // paper's reconstruction: AIA fetch -> signature verify.
+        const x509::CaEntity* ca = registry.by_name(c.issuer_org);
+        if (ca == nullptr) {
+            // Synthesized long-tail sub-organizations get a CA on demand.
+            ca = &registry.create_ca(c.issuer_org, c.trust == ctlog::TrustStatus::kPublic);
+        }
+        x509::Certificate cert = c.cert;
+        cert.issuer = ca->certificate.subject;
+        cert.extensions.push_back(
+            x509::make_aia({{asn1::oids::ad_ca_issuers(), x509::uri_name(ca->aia_url)}}));
+        x509::sign_certificate(cert, ca->key);
+
+        x509::ChainResult chain = x509::build_and_verify_chain(cert, registry);
+        if (chain.chain_complete) ++chains_complete;
+        if (chain.signature_valid) ++signatures_valid;
+        if (chain.signature_valid && chain.issuer_trusted) ++trusted_issued;
+    }
+
+    core::TextTable table({"Metric", "Count"});
+    table.add_row({"Unicerts with ASN.1 encoding errors", core::with_commas(encoding_error_certs)});
+    table.add_row({"  errors in Subject", core::with_commas(subject_errors)});
+    table.add_row({"  errors in SAN", core::with_commas(san_errors)});
+    table.add_row({"  errors in CertificatePolicies", core::with_commas(policy_errors)});
+    table.add_row({"Chains reconstructed via AIA", core::with_commas(chains_complete)});
+    table.add_row({"Signatures verified", core::with_commas(signatures_valid)});
+    table.add_row({"Issued by trusted CAs", core::with_commas(trusted_issued)});
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nPaper shape (at 1:1000 scale): 7,415 certs with encoding errors, 5,772 "
+                "trusted after AIA chain reconstruction; CertificatePolicies dominates "
+                "(5,575), then Subject (150) and SAN (110).\n");
+    return 0;
+}

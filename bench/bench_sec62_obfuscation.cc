@@ -1,0 +1,71 @@
+// Reproduces Section 6.2: traffic-obfuscation outcomes against the
+// middlebox engines (P2.1) and HTTP client SAN checks (P2.2), plus the
+// Section 5.2 CRL-spoof and SAN-forgery demonstrations.
+#include "bench_common.h"
+
+#include "asn1/time.h"
+#include "threat/log_audit.h"
+#include "threat/scenarios.h"
+#include "threat/tls_wire.h"
+#include "x509/builder.h"
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Section 6.2 — Traffic obfuscation against middleboxes and clients",
+                        "Section 6.2 (P2.1 / P2.2), Section 5.2 impacts");
+
+    core::TextTable table({"Component", "Technique", "Outcome"});
+    for (const auto& r : threat::run_traffic_obfuscation()) {
+        table.add_row({r.component, r.technique, r.evaded ? "EVADED" : "detected"});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nCRL spoofing via PyOpenSSL control-char rewriting (Section 5.2(2)):\n");
+    threat::CrlSpoofResult crl = threat::run_crl_spoof();
+    std::printf("  crafted CRL URL : http://ssl\\x01test.com/revoked.crl\n");
+    std::printf("  client fetches  : %s\n", crl.parsed_url.c_str());
+    std::printf("  revocation redirected: %s\n", crl.redirected ? "YES" : "no");
+
+    std::printf("\nSAN subfield forgery across libraries (Section 5.2(1)):\n");
+    for (const auto& r : threat::run_san_forgery()) {
+        std::printf("  %-20s %-9s %s\n", r.library.c_str(), r.forged ? "FORGED" : "safe",
+                    r.rendered.c_str());
+    }
+
+    // The TLS-version boundary the threat model depends on.
+    std::printf("\nPassive certificate visibility by TLS version:\n");
+    {
+        x509::Certificate cert;
+        cert.version = 2;
+        cert.serial = {0x62};
+        cert.subject = x509::make_dn(
+            {x509::make_attribute(asn1::oids::common_name(), "Evil Entity")});
+        cert.issuer = cert.subject;
+        cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+        crypto::SimSigner ca = crypto::SimSigner::from_name("Wire CA");
+        x509::sign_certificate(cert, ca);
+
+        Bytes tls12 = threat::encode_certificate_record({cert.der}, threat::TlsVersion::kTls12);
+        Bytes tls13 = threat::encode_certificate_record({cert.der}, threat::TlsVersion::kTls13);
+        std::printf("  TLS 1.2 handshake: leaf %s by a passive middlebox\n",
+                    threat::passively_extract_leaf(tls12) ? "EXTRACTED" : "hidden");
+        std::printf("  TLS 1.3 handshake: leaf %s (certificate encrypted)\n",
+                    threat::passively_extract_leaf(tls13) ? "EXTRACTED" : "hidden");
+    }
+
+    // Log-injection impact on the middlebox's own audit trail (§5.1's
+    // "make the network logs hard to analyze").
+    std::printf("\nLog-injection outcomes (TSV TLS log):\n");
+    for (const auto& r : threat::run_log_injection()) {
+        std::printf("  %-8s writer: %zu records -> %zu lines, %zu malformed%s\n",
+                    r.hardened_writer ? "hardened" : "naive", r.records, r.lines,
+                    r.malformed_lines, r.log_corrupted ? "  [CORRUPTED]" : "");
+    }
+
+    std::printf("\nPaper shape: NUL/variant CNs evade naive blocklists; duplicate-CN "
+                "positioning splits Snort (first) vs Zeek (last); non-IA5 SANs invisible "
+                "to Zeek; Suricata case-sensitivity bypassable; urllib3/requests accept "
+                "U-label SANs; PyOpenSSL enables CRL redirect + SAN forgery.\n");
+    return 0;
+}

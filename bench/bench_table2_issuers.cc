@@ -1,0 +1,60 @@
+// Reproduces Table 2: top issuer organizations by noncompliant
+// Unicerts, with trust status, per-issuer rates, and recency.
+#include "bench_common.h"
+
+using namespace unicert;
+
+namespace {
+
+const char* trust_symbol(ctlog::TrustStatus t) {
+    switch (t) {
+        case ctlog::TrustStatus::kPublic: return "public";
+        case ctlog::TrustStatus::kLimited: return "limited";
+        case ctlog::TrustStatus::kNone: return "untrusted";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Table 2 — Top 10 issuer organizations by noncompliant Unicerts",
+                        "Section 4.3.2, Table 2");
+
+    const core::CompliancePipeline& pipeline = bench::default_pipeline();
+    auto rows = pipeline.issuer_report(10);
+
+    core::TextTable table(
+        {"Issuer OrganizationName", "Trust", "Region", "Noncompliant", "Rate", "Recent"});
+    size_t shown_nc = 0;
+    for (const core::IssuerRow& row : rows) {
+        double rate = row.total > 0 ? static_cast<double>(row.noncompliant) /
+                                          static_cast<double>(row.total)
+                                    : 0.0;
+        table.add_row({row.organization, trust_symbol(row.trust), row.region,
+                       core::with_commas(row.noncompliant), core::percent(rate, 2),
+                       core::with_commas(row.recent_nc)});
+        shown_nc += row.noncompliant;
+    }
+    size_t total_nc = pipeline.noncompliant_count();
+    table.add_row({"Other", "-", "-", core::with_commas(total_nc - shown_nc), "-", "-"});
+    table.add_row({"Total", "-", "-", core::with_commas(total_nc),
+                   core::percent(pipeline.noncompliance_rate(), 2), "-"});
+    std::fputs(table.to_string().c_str(), stdout);
+
+    // Issuer-population summary (§4.2 / §4.3.2: 698 issuer orgs, 505
+    // with noncompliance; NC shows no oligopoly).
+    auto everyone = pipeline.issuer_report(100000);
+    size_t orgs_with_nc = 0;
+    for (const core::IssuerRow& row : everyone) {
+        if (row.noncompliant > 0) ++orgs_with_nc;
+    }
+    std::printf("\nIssuer organizations: %zu total, %zu with noncompliant Unicerts\n",
+                everyone.size(), orgs_with_nc);
+
+    std::printf(
+        "\nPaper shape: regional CAs with systemic (>80%%) NC rates top the list "
+        "(Ceska posta 96.4%%, Gov. of Korea 87.3%%); the top-volume issuers stay below "
+        "6%%; recent NC concentrates in Let's Encrypt / ZeroSSL IDN issuance.\n");
+    return 0;
+}

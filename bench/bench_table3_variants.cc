@@ -1,0 +1,33 @@
+// Reproduces Table 3: value variant strategies in Subject fields —
+// runs the variant detector over the corpus and prints one example
+// group per detected strategy.
+#include "bench_common.h"
+
+#include <map>
+
+using namespace unicert;
+
+int main() {
+    bench::print_header("Table 3 — Value variant strategies in Subject fields",
+                        "Section 4.4 [F5], Table 3");
+
+    auto groups = bench::default_pipeline().subject_variants();
+
+    std::map<core::VariantStrategy, std::vector<const core::VariantGroup*>> by_strategy;
+    for (const core::VariantGroup& g : groups) by_strategy[g.strategy].push_back(&g);
+
+    core::TextTable table({"Variant Strategy", "Groups", "Example pair"});
+    for (const auto& [strategy, list] : by_strategy) {
+        const core::VariantGroup* example = list.front();
+        std::string pair = example->values[0] + "  <->  " + example->values[1];
+        table.add_row({core::variant_strategy_name(strategy), std::to_string(list.size()), pair});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\n%zu variant groups detected across %zu corpus subjects.\n", groups.size(),
+                bench::default_corpus().size());
+    std::printf("Paper shape: six strategies (case, abbreviation, non-printable insertion, "
+                "whitespace, resembling-char substitution, illegal-char replacement) all "
+                "pass CA validation and can evade Subject-based matching.\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Table 4: decoding methods for DN and GN across the nine
+// TLS library profiles — derived by the Section 3.2 differential
+// inference, not read from a lookup table.
+//
+// Cell legend: o = no decoding issue, OT = over-tolerant,
+// X = incompatible, M = modified decoding, - = unsupported,
+// . = library does not use this row's method.
+#include "bench_common.h"
+
+#include "tlslib/differential.h"
+
+using namespace unicert;
+using tlslib::DifferentialRunner;
+using tlslib::FieldContext;
+using tlslib::Library;
+
+namespace {
+
+struct ScenarioRow {
+    const char* label;
+    asn1::StringType declared;
+    FieldContext ctx;
+    std::vector<unicode::Encoding> method_rows;
+};
+
+std::string method_label(unicode::Encoding e, bool modified) {
+    std::string base = unicode::encoding_name(e);
+    return modified ? "Modified " + base : base;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Table 4 — Decoding methods for DN and GN",
+                        "Section 5.1, Table 4");
+
+    DifferentialRunner runner;
+    const std::vector<ScenarioRow> scenarios = {
+        {"PrintableString in Name", asn1::StringType::kPrintableString, FieldContext::kDnName,
+         {unicode::Encoding::kLatin1, unicode::Encoding::kUtf8, unicode::Encoding::kAscii}},
+        {"IA5String in Name", asn1::StringType::kIa5String, FieldContext::kDnName,
+         {unicode::Encoding::kLatin1, unicode::Encoding::kUtf8, unicode::Encoding::kAscii}},
+        {"BMPString in Name", asn1::StringType::kBmpString, FieldContext::kDnName,
+         {unicode::Encoding::kAscii, unicode::Encoding::kUtf16, unicode::Encoding::kUcs2}},
+        {"UTF8String in Name", asn1::StringType::kUtf8String, FieldContext::kDnName,
+         {unicode::Encoding::kLatin1, unicode::Encoding::kAscii, unicode::Encoding::kUtf8}},
+        {"IA5String in GN", asn1::StringType::kIa5String, FieldContext::kGeneralName,
+         {unicode::Encoding::kUtf8, unicode::Encoding::kLatin1, unicode::Encoding::kAscii}},
+    };
+
+    std::vector<std::string> headers = {"Encoding scenario", "Decoding method"};
+    for (Library lib : tlslib::kAllLibraries) headers.push_back(tlslib::library_name(lib));
+    core::TextTable table(headers);
+
+    for (const ScenarioRow& scenario : scenarios) {
+        // Infer once per library.
+        std::vector<tlslib::InferredDecoding> inferred;
+        for (Library lib : tlslib::kAllLibraries) {
+            inferred.push_back(runner.infer(lib, {scenario.declared, scenario.ctx}));
+        }
+        bool first_row = true;
+        for (unicode::Encoding method : scenario.method_rows) {
+            std::vector<std::string> cells = {first_row ? scenario.label : "",
+                                              unicode::encoding_name(method)};
+            first_row = false;
+            for (size_t i = 0; i < inferred.size(); ++i) {
+                const tlslib::InferredDecoding& d = inferred[i];
+                if (!d.supported) {
+                    cells.push_back("-");
+                } else if (d.method && *d.method == method) {
+                    cells.push_back(tlslib::decode_class_symbol(
+                        tlslib::classify_decoding(scenario.declared, d)));
+                } else {
+                    cells.push_back(".");
+                }
+            }
+            table.add_row(std::move(cells));
+        }
+        // "Modified <method>" row when any library rewrites bytes.
+        {
+            std::vector<std::string> cells = {"", "Modified decode"};
+            bool any = false;
+            for (const tlslib::InferredDecoding& d : inferred) {
+                if (!d.supported) {
+                    cells.push_back("-");
+                } else if (d.method && d.modified) {
+                    cells.push_back("M");
+                    any = true;
+                } else {
+                    cells.push_back(".");
+                }
+            }
+            if (any) table.add_row(std::move(cells));
+        }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    // Print the inferred method per library per scenario (the raw
+    // inference output behind the matrix).
+    std::printf("\nInferred decoding (method + handling) per scenario:\n");
+    for (const ScenarioRow& scenario : scenarios) {
+        std::printf("  %s:\n", scenario.label);
+        for (Library lib : tlslib::kAllLibraries) {
+            tlslib::InferredDecoding d = runner.infer(lib, {scenario.declared, scenario.ctx});
+            if (!d.supported) {
+                std::printf("    %-20s -\n", tlslib::library_name(lib));
+            } else if (d.method) {
+                std::printf("    %-20s %s%s%s\n", tlslib::library_name(lib),
+                            method_label(*d.method, d.modified).c_str(),
+                            d.parse_errors ? " (+errors)" : "",
+                            "");
+            } else {
+                std::printf("    %-20s (no candidate matched)\n", tlslib::library_name(lib));
+            }
+        }
+    }
+
+    std::printf("\nPaper shape: GnuTLS over-tolerant UTF-8 everywhere; Forge reads UTF8String "
+                "as ISO-8859-1 (incompatible); OpenSSL/Java read BMPString bytewise as ASCII "
+                "(incompatible); OpenSSL/Java/PyOpenSSL apply modified decoding.\n");
+    return 0;
+}

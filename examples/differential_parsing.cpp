@@ -1,0 +1,86 @@
+// differential_parsing: feed one crafted Unicert field through all
+// nine TLS library profiles and watch them disagree — the Section 5
+// experiment in miniature, ending with the hostname-spoof and CRL-
+// redirect demonstrations.
+//
+//   $ ./build/examples/differential_parsing
+#include <cstdio>
+
+#include "threat/scenarios.h"
+#include "tlslib/differential.h"
+#include "tlslib/profile.h"
+
+using namespace unicert;
+
+namespace {
+
+void show_parses(const char* title, const x509::AttributeValue& av) {
+    std::printf("-- %s --\n", title);
+    for (tlslib::Library lib : tlslib::kAllLibraries) {
+        tlslib::ParseOutcome out = tlslib::parse_attribute(lib, av);
+        if (out.ok) {
+            std::printf("  %-20s -> \"%s\"\n", tlslib::library_name(lib),
+                        out.value_utf8.c_str());
+        } else {
+            std::printf("  %-20s -> ERROR: %s\n", tlslib::library_name(lib),
+                        out.error.c_str());
+        }
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== differential Unicert parsing across 9 TLS libraries ==\n\n");
+
+    // Case 1: UTF-8 bytes inside a PrintableString (a Table 1 T3 case).
+    x509::AttributeValue printable;
+    printable.type = asn1::oids::organization_name();
+    printable.string_type = asn1::StringType::kPrintableString;
+    printable.value_bytes = to_bytes("Caf\xC3\xA9 Croissant");
+    show_parses("PrintableString carrying UTF-8 bytes (\"Café Croissant\")", printable);
+
+    // Case 2: the BMPString hostname spoof of Section 5.1 — UCS-2 CJK
+    // characters whose raw bytes spell an ASCII hostname.
+    x509::AttributeValue bmp;
+    bmp.type = asn1::oids::common_name();
+    bmp.string_type = asn1::StringType::kBmpString;
+    bmp.value_bytes = {0x67, 0x69, 0x74, 0x68, 0x75, 0x62, 0x2E, 0x63, 0x6E};
+    show_parses("BMPString whose bytes spell \"github.cn\"", bmp);
+
+    // Case 3: a NUL inside a UTF8String CN.
+    x509::AttributeValue nul;
+    nul.type = asn1::oids::common_name();
+    nul.string_type = asn1::StringType::kUtf8String;
+    nul.value_bytes = to_bytes(std::string("bank.example\0.evil", 18));
+    show_parses("UTF8String CN with embedded NUL", nul);
+
+    // Run the Section 3.2 inference on one scenario to show how the
+    // decoding matrix of Table 4 is derived.
+    std::printf("-- inferred decoding for PrintableString in DN --\n");
+    tlslib::DifferentialRunner runner;
+    for (tlslib::Library lib : tlslib::kAllLibraries) {
+        auto inferred = runner.infer(
+            lib, {asn1::StringType::kPrintableString, tlslib::FieldContext::kDnName});
+        const char* method = inferred.method ? unicode::encoding_name(*inferred.method) : "?";
+        std::printf("  %-20s method=%-10s modified=%s class=%s\n",
+                    tlslib::library_name(lib), method, inferred.modified ? "yes" : "no",
+                    tlslib::decode_class_symbol(tlslib::classify_decoding(
+                        asn1::StringType::kPrintableString, inferred)));
+    }
+
+    // Finish with the two concrete exploit demos.
+    std::printf("\n-- CRL spoof via PyOpenSSL control-character rewriting --\n");
+    threat::CrlSpoofResult crl = threat::run_crl_spoof();
+    std::printf("  CA signed   : http://ssl\\x01test.com/revoked.crl\n");
+    std::printf("  client sees : %s  (%s)\n", crl.parsed_url.c_str(),
+                crl.redirected ? "revocation REDIRECTED" : "no redirect");
+
+    std::printf("\n-- SAN subfield forgery --\n");
+    for (const threat::SanForgeryResult& r : threat::run_san_forgery()) {
+        std::printf("  %-20s %-7s %s\n", r.library.c_str(), r.forged ? "FORGED" : "safe",
+                    r.rendered.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+// quickstart: build an internationalized certificate, sign it, round-
+// trip it through DER, and lint it against the 95-rule registry.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "asn1/time.h"
+#include "lint/lint.h"
+#include "x509/builder.h"
+#include "x509/dn_text.h"
+#include "x509/parser.h"
+
+using namespace unicert;
+namespace oids = asn1::oids;
+
+int main() {
+    std::printf("== unicert quickstart ==\n\n");
+
+    // 1. Build a Unicert: a certificate with internationalized content.
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x4A, 0x0B, 0x17};
+    cert.issuer = x509::make_dn({
+        x509::make_attribute(oids::country_name(), "DE", asn1::StringType::kPrintableString),
+        x509::make_attribute(oids::organization_name(), "Beispiel CA GmbH"),
+        x509::make_attribute(oids::common_name(), "Beispiel CA R3"),
+    });
+    cert.subject = x509::make_dn({
+        x509::make_attribute(oids::country_name(), "DE", asn1::StringType::kPrintableString),
+        x509::make_attribute(oids::organization_name(), "Müller Straßenbau GmbH"),
+        x509::make_attribute(oids::locality_name(), "München"),
+        x509::make_attribute(oids::common_name(), "xn--mller-kva.example"),
+    });
+    cert.validity = {asn1::make_time(2024, 6, 1), asn1::make_time(2024, 9, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name("müller.example").public_key();
+    cert.extensions.push_back(x509::make_san({
+        x509::dns_name("xn--mller-kva.example"),  // A-label for "müller"
+        x509::dns_name("www.xn--mller-kva.example"),
+    }));
+
+    // 2. Sign with the issuing CA's key and serialize to DER.
+    crypto::SimSigner ca_key = crypto::SimSigner::from_name("Beispiel CA GmbH");
+    Bytes der = x509::sign_certificate(cert, ca_key);
+    std::printf("encoded certificate: %zu bytes of DER\n", der.size());
+    std::printf("fingerprint        : %s\n", hex_encode(cert.fingerprint()).c_str());
+
+    // 3. Parse it back and inspect the identity fields.
+    auto parsed = x509::parse_certificate(der);
+    if (!parsed.ok()) {
+        std::printf("parse failed: %s\n", parsed.error().message.c_str());
+        return 1;
+    }
+    std::printf("subject (RFC 4514) : %s\n",
+                x509::format_dn(parsed->subject, x509::DnDialect::kRfc4514).c_str());
+    std::printf("SAN                : %s\n",
+                x509::format_general_names(parsed->subject_alt_names()).c_str());
+    std::printf("signature valid    : %s\n",
+                x509::verify_signature(parsed.value(), ca_key) ? "yes" : "no");
+
+    // 4. Lint against the full registry (this cert is compliant).
+    lint::CertReport report = lint::run_lints(parsed.value());
+    std::printf("\nlint findings      : %zu\n", report.findings.size());
+
+    // 5. Now break it the way real CAs do (Table 1's noncompliance
+    //    types) and lint again.
+    x509::Certificate bad = parsed.value();
+    bad.subject = x509::make_dn({
+        x509::make_attribute(oids::organization_name(), "Störi AG",
+                             asn1::StringType::kTeletexString),    // invalid encoding
+        x509::make_attribute(oids::common_name(), std::string("ev\0il.example", 13)),  // NUL
+    });
+    x509::sign_certificate(bad, ca_key);
+
+    lint::CertReport bad_report = lint::run_lints(bad);
+    std::printf("after corruption   : %zu findings\n", bad_report.findings.size());
+    for (const lint::Finding& f : bad_report.findings) {
+        std::printf("  [%-7s] %-50s %s\n", lint::severity_name(f.lint->severity),
+                    f.lint->name.c_str(), f.detail.c_str());
+    }
+    return 0;
+}

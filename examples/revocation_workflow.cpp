@@ -1,0 +1,95 @@
+// revocation_workflow: operate the CRL substrate end-to-end — issue,
+// revoke, publish, check — then demonstrate the Section 5.2(2) CRL
+// spoofing attack in which a control character in the distribution
+// point URL makes the revocation invisible to a vulnerable client.
+//
+//   $ ./build/examples/revocation_workflow
+#include <cstdio>
+
+#include "asn1/time.h"
+#include "tlslib/profile.h"
+#include "x509/builder.h"
+#include "x509/crl.h"
+#include "x509/pem.h"
+
+using namespace unicert;
+namespace oids = asn1::oids;
+
+namespace {
+
+x509::Certificate issue(const std::string& host, const std::string& crl_url,
+                        Bytes serial, const crypto::SimSigner& ca) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = std::move(serial);
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), host)});
+    cert.issuer = x509::make_dn({x509::make_attribute(oids::organization_name(), "Revo CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name(host).public_key();
+    cert.extensions.push_back(x509::make_san({x509::dns_name(host)}));
+    cert.extensions.push_back(x509::make_crl_distribution_points({{{x509::uri_name(crl_url)}}}));
+    x509::sign_certificate(cert, ca);
+    return cert;
+}
+
+const char* status_str(x509::RevocationStatus s) { return x509::revocation_status_name(s); }
+
+}  // namespace
+
+int main() {
+    std::printf("== revocation workflow ==\n\n");
+
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Revo CA");
+    const std::string url = "http://crl.revo.example/ca.crl";
+
+    // 1. Issue two certificates pointing at the CA's CRL.
+    x509::Certificate good = issue("good.example", url, {0x01}, ca);
+    x509::Certificate compromised = issue("stolen.example", url, {0x02}, ca);
+    std::printf("issued good.example (serial 01) and stolen.example (serial 02)\n");
+
+    // 2. The key for stolen.example leaks; the CA revokes serial 02 and
+    //    publishes a fresh CRL.
+    x509::CertificateList crl;
+    crl.issuer = x509::make_dn({x509::make_attribute(oids::organization_name(), "Revo CA")});
+    crl.this_update = asn1::make_time(2025, 2, 1);
+    crl.next_update = asn1::make_time(2025, 3, 1);
+    crl.revoked.push_back({{0x02}, asn1::make_time(2025, 1, 20)});
+    x509::sign_crl(crl, ca);
+    std::printf("CRL signed: %zu revoked serial(s), verifies: %s\n", crl.revoked.size(),
+                x509::verify_crl(crl, ca) ? "yes" : "NO");
+    std::printf("\n%s", x509::pem_encode("X509 CRL", crl.der).c_str());
+
+    x509::CrlDistributor network;
+    network.publish(url, crl);
+
+    // 3. A correct client checks both certificates.
+    std::printf("\ncorrect client:\n");
+    std::printf("  good.example    -> %s\n", status_str(network.check(good)));
+    std::printf("  stolen.example  -> %s\n", status_str(network.check(compromised)));
+
+    // 4. The attack: the compromised CA's issuing pipeline writes the
+    //    CRLDP URL with an embedded control byte. The CRL is published
+    //    at the *crafted* URL, so diligent clients still find it — but
+    //    a PyOpenSSL-style parser rewrites the control byte to '.' and
+    //    fetches a URL nobody serves.
+    std::string crafted(url);
+    crafted.insert(11, 1, '\x01');  // http://crl.\x01revo...
+    x509::Certificate sneaky = issue("sneaky.example", crafted, {0x03}, ca);
+    x509::CertificateList crl2 = crl;
+    crl2.revoked.push_back({{0x03}, asn1::make_time(2025, 1, 25)});
+    x509::sign_crl(crl2, ca);
+    network.publish(crafted, crl2);
+
+    auto vulnerable = [](const std::string& u) {
+        x509::GeneralName gn = x509::uri_name(u);
+        auto out = tlslib::parse_general_name(tlslib::Library::kPyOpenSsl, gn,
+                                              tlslib::FieldContext::kCrlDp);
+        return out.ok ? out.value_utf8 : u;
+    };
+
+    std::printf("\nsneaky.example (revoked serial 03, crafted CRLDP URL):\n");
+    std::printf("  correct client     -> %s\n", status_str(network.check(sneaky)));
+    std::printf("  vulnerable client  -> %s   <-- revocation silently invisible\n",
+                status_str(network.check(sneaky, vulnerable)));
+    return 0;
+}

@@ -1,0 +1,222 @@
+#include "asn1/der.h"
+
+namespace unicert::asn1 {
+
+Expected<Tlv> read_tlv(BytesView data) {
+    if (data.empty()) return Error{"der_empty", "no bytes to read"};
+
+    size_t pos = 0;
+    uint8_t id = data[pos++];
+    if ((id & 0x1F) == 0x1F) {
+        return Error{"der_high_tag", "multi-byte tag numbers are not used in X.509"};
+    }
+
+    if (pos >= data.size()) return Error{"der_truncated", "missing length octet"};
+    uint8_t len0 = data[pos++];
+    size_t length = 0;
+    if (len0 < 0x80) {
+        length = len0;
+    } else if (len0 == 0x80) {
+        return Error{"der_indefinite_length", "indefinite length is forbidden in DER"};
+    } else {
+        size_t num = len0 & 0x7F;
+        if (num > sizeof(size_t)) return Error{"der_length_too_large", "length field too wide"};
+        if (pos + num > data.size()) return Error{"der_truncated", "length octets truncated"};
+        uint8_t first_len_octet = data[pos];
+        for (size_t i = 0; i < num; ++i) length = (length << 8) | data[pos++];
+        // DER requires minimal length encoding.
+        if (num == 1 && length < 0x80) {
+            return Error{"der_nonminimal_length", "long form used for short length"};
+        }
+        if (num > 1 && first_len_octet == 0) {
+            return Error{"der_nonminimal_length", "leading zero in length octets"};
+        }
+    }
+
+    if (pos + length > data.size()) {
+        return Error{"der_truncated", "content extends past end of buffer"};
+    }
+
+    Tlv out;
+    out.identifier = id;
+    out.header_len = pos;
+    out.total_len = pos + length;
+    out.content = data.subspan(pos, length);
+    return out;
+}
+
+Expected<Tlv> Reader::next() {
+    auto tlv = read_tlv(data_.subspan(pos_));
+    if (!tlv.ok()) return tlv;
+    pos_ += tlv->total_len;
+    return tlv;
+}
+
+Expected<Tlv> Reader::peek() const {
+    return read_tlv(data_.subspan(pos_));
+}
+
+Expected<Tlv> Reader::expect(Tag tag) {
+    auto tlv = next();
+    if (!tlv.ok()) return tlv;
+    if (!tlv->is_universal(tag)) {
+        return Error{"der_unexpected_tag",
+                     "expected universal tag " + std::to_string(static_cast<int>(tag)) +
+                         ", got identifier 0x" + hex_encode({&tlv->identifier, 1})};
+    }
+    return tlv;
+}
+
+Expected<Tlv> Reader::expect_context(uint8_t n) {
+    auto tlv = next();
+    if (!tlv.ok()) return tlv;
+    if (!tlv->is_context(n)) {
+        return Error{"der_unexpected_tag",
+                     "expected context tag [" + std::to_string(n) + "]"};
+    }
+    return tlv;
+}
+
+Expected<int64_t> decode_integer(const Tlv& tlv) {
+    if (tlv.content.empty()) return Error{"der_bad_integer", "empty INTEGER"};
+    if (tlv.content.size() > 8) return Error{"der_integer_too_large", "INTEGER exceeds 64 bits"};
+    int64_t v = (tlv.content[0] & 0x80) ? -1 : 0;
+    for (uint8_t b : tlv.content) v = (v << 8) | b;
+    return v;
+}
+
+Expected<Bytes> decode_integer_bytes(const Tlv& tlv) {
+    if (tlv.content.empty()) return Error{"der_bad_integer", "empty INTEGER"};
+    BytesView c = tlv.content;
+    // Strip a single leading zero used to keep the value positive.
+    if (c.size() > 1 && c[0] == 0x00) c = c.subspan(1);
+    return Bytes(c.begin(), c.end());
+}
+
+Expected<bool> decode_boolean(const Tlv& tlv) {
+    if (tlv.content.size() != 1) return Error{"der_bad_boolean", "BOOLEAN must be one octet"};
+    if (tlv.content[0] != 0x00 && tlv.content[0] != 0xFF) {
+        return Error{"der_bad_boolean", "DER BOOLEAN must be 0x00 or 0xFF"};
+    }
+    return tlv.content[0] == 0xFF;
+}
+
+Expected<Bytes> decode_bit_string(const Tlv& tlv) {
+    if (tlv.content.empty()) return Error{"der_bad_bit_string", "missing unused-bits octet"};
+    if (tlv.content[0] != 0) {
+        return Error{"der_bit_string_unused_bits",
+                     "certificates require 0 unused bits in BIT STRING"};
+    }
+    return Bytes(tlv.content.begin() + 1, tlv.content.end());
+}
+
+Bytes encode_length(size_t len) {
+    Bytes out;
+    if (len < 0x80) {
+        out.push_back(static_cast<uint8_t>(len));
+        return out;
+    }
+    Bytes tmp;
+    while (len > 0) {
+        tmp.push_back(static_cast<uint8_t>(len & 0xFF));
+        len >>= 8;
+    }
+    out.push_back(static_cast<uint8_t>(0x80 | tmp.size()));
+    out.insert(out.end(), tmp.rbegin(), tmp.rend());
+    return out;
+}
+
+void Writer::add_tlv(uint8_t identifier, BytesView content) {
+    buf_.push_back(identifier);
+    Bytes len = encode_length(content.size());
+    append(buf_, len);
+    append(buf_, content);
+}
+
+void Writer::add_boolean(bool v) {
+    uint8_t b = v ? 0xFF : 0x00;
+    add_tlv(identifier(Tag::kBoolean), {&b, 1});
+}
+
+void Writer::add_integer(int64_t v) {
+    // Minimal two's-complement big-endian encoding.
+    Bytes content;
+    bool negative = v < 0;
+    uint64_t uv = static_cast<uint64_t>(v);
+    for (int i = 7; i >= 0; --i) {
+        content.push_back(static_cast<uint8_t>((uv >> (i * 8)) & 0xFF));
+    }
+    size_t skip = 0;
+    while (skip + 1 < content.size()) {
+        uint8_t cur = content[skip];
+        uint8_t nxt = content[skip + 1];
+        if ((cur == 0x00 && (nxt & 0x80) == 0) || (cur == 0xFF && (nxt & 0x80) != 0)) {
+            ++skip;
+        } else {
+            break;
+        }
+    }
+    (void)negative;
+    add_tlv(identifier(Tag::kInteger), BytesView(content).subspan(skip));
+}
+
+void Writer::add_integer_bytes(BytesView magnitude) {
+    Bytes content;
+    size_t skip = 0;
+    while (skip + 1 < magnitude.size() && magnitude[skip] == 0) ++skip;
+    BytesView mag = magnitude.subspan(skip);
+    if (mag.empty()) {
+        content.push_back(0);
+    } else {
+        if (mag[0] & 0x80) content.push_back(0);  // keep positive
+        append(content, mag);
+    }
+    add_tlv(identifier(Tag::kInteger), content);
+}
+
+void Writer::add_null() { add_tlv(identifier(Tag::kNull), {}); }
+
+void Writer::add_oid_der(BytesView encoded_oid_body) {
+    add_tlv(identifier(Tag::kOid), encoded_oid_body);
+}
+
+void Writer::add_octet_string(BytesView content) {
+    add_tlv(identifier(Tag::kOctetString), content);
+}
+
+void Writer::add_bit_string(BytesView content, uint8_t unused_bits) {
+    Bytes body;
+    body.push_back(unused_bits);
+    append(body, content);
+    add_tlv(identifier(Tag::kBitString), body);
+}
+
+void Writer::add_string(Tag t, BytesView value_bytes) {
+    add_tlv(identifier(t), value_bytes);
+}
+
+void Writer::add_string(Tag t, std::string_view value_bytes) {
+    add_tlv(identifier(t), to_bytes(value_bytes));
+}
+
+void Writer::add_constructed(uint8_t id, const std::function<void(Writer&)>& body) {
+    Writer inner;
+    body(inner);
+    add_tlv(id, inner.bytes());
+}
+
+void Writer::add_sequence(const std::function<void(Writer&)>& body) {
+    add_constructed(constructed(Tag::kSequence), body);
+}
+
+void Writer::add_set(const std::function<void(Writer&)>& body) {
+    add_constructed(constructed(Tag::kSet), body);
+}
+
+void Writer::add_explicit(uint8_t n, const std::function<void(Writer&)>& body) {
+    add_constructed(context(n, /*is_constructed=*/true), body);
+}
+
+void Writer::add_raw(BytesView der) { append(buf_, der); }
+
+}  // namespace unicert::asn1

@@ -1,0 +1,122 @@
+// unicert/asn1/der.h
+//
+// DER (Distinguished Encoding Rules) reader and writer. Definite-length
+// only, as DER requires; the reader exposes a TLV cursor interface the
+// X.509 parser walks, the writer builds nested structures inside-out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "asn1/tag.h"
+#include "common/bytes.h"
+#include "common/expected.h"
+
+namespace unicert::asn1 {
+
+// One decoded TLV element. `content` aliases the input buffer.
+struct Tlv {
+    uint8_t identifier = 0;          // full identifier octet
+    BytesView content;               // value bytes
+    size_t header_len = 0;           // bytes of tag + length
+    size_t total_len = 0;            // header + content
+
+    bool is_constructed() const noexcept { return is_constructed_id(identifier); }
+    TagClass tag_class() const noexcept { return tag_class_of(identifier); }
+    uint8_t tag_number() const noexcept { return tag_number_of(identifier); }
+    bool is_universal(Tag t) const noexcept {
+        return tag_class() == TagClass::kUniversal &&
+               tag_number() == static_cast<uint8_t>(t);
+    }
+    bool is_context(uint8_t n) const noexcept {
+        return tag_class() == TagClass::kContextSpecific && tag_number() == n;
+    }
+};
+
+// Sequential reader over a DER buffer. Does not own the data.
+class Reader {
+public:
+    explicit Reader(BytesView data) noexcept : data_(data) {}
+
+    bool done() const noexcept { return pos_ >= data_.size(); }
+    size_t remaining() const noexcept { return data_.size() - pos_; }
+    size_t position() const noexcept { return pos_; }
+
+    // Decode the next TLV and advance past it.
+    Expected<Tlv> next();
+
+    // Decode the next TLV without advancing.
+    Expected<Tlv> peek() const;
+
+    // Read the next TLV and require a specific universal tag.
+    Expected<Tlv> expect(Tag tag);
+
+    // Read the next TLV and require a context-specific tag number.
+    Expected<Tlv> expect_context(uint8_t n);
+
+private:
+    BytesView data_;
+    size_t pos_ = 0;
+};
+
+// Parse one TLV at the front of `data`.
+Expected<Tlv> read_tlv(BytesView data);
+
+// ---- Primitive value decoders ---------------------------------------------
+
+// Small-integer decode (fits int64); X.509 versions/serial flags use this.
+Expected<int64_t> decode_integer(const Tlv& tlv);
+
+// Arbitrary-precision INTEGER as big-endian magnitude bytes (serials).
+Expected<Bytes> decode_integer_bytes(const Tlv& tlv);
+
+Expected<bool> decode_boolean(const Tlv& tlv);
+
+// BIT STRING content without the unused-bits octet (must be 0 in certs).
+Expected<Bytes> decode_bit_string(const Tlv& tlv);
+
+// ---- Writer ------------------------------------------------------------
+
+// DER writer. Values are appended; constructed types wrap previously
+// written children via the sequence/set helpers which take a builder
+// callback.
+class Writer {
+public:
+    const Bytes& bytes() const noexcept { return buf_; }
+    Bytes take() noexcept { return std::move(buf_); }
+
+    // Append a complete TLV with the given identifier octet.
+    void add_tlv(uint8_t identifier, BytesView content);
+
+    void add_boolean(bool v);
+    void add_integer(int64_t v);
+    void add_integer_bytes(BytesView magnitude);  // unsigned big-endian
+    void add_null();
+    void add_oid_der(BytesView encoded_oid_body);
+    void add_octet_string(BytesView content);
+    void add_bit_string(BytesView content, uint8_t unused_bits = 0);
+
+    // Character-string TLV: raw value bytes with the tag for `t`.
+    void add_string(Tag t, BytesView value_bytes);
+    void add_string(Tag t, std::string_view value_bytes);
+
+    // Constructed wrapper: runs `body` against a fresh Writer and wraps
+    // its output in identifier `id`.
+    void add_constructed(uint8_t id, const std::function<void(Writer&)>& body);
+    void add_sequence(const std::function<void(Writer&)>& body);
+    void add_set(const std::function<void(Writer&)>& body);
+    void add_explicit(uint8_t n, const std::function<void(Writer&)>& body);
+
+    // Append already-encoded DER verbatim.
+    void add_raw(BytesView der);
+
+private:
+    Bytes buf_;
+};
+
+// Encode a DER length field.
+Bytes encode_length(size_t len);
+
+}  // namespace unicert::asn1

@@ -1,0 +1,127 @@
+#include "asn1/dump.h"
+
+#include <cstdio>
+
+#include "asn1/der.h"
+#include "asn1/oid.h"
+#include "asn1/strings.h"
+#include "unicode/codec.h"
+#include "unicode/properties.h"
+
+namespace unicert::asn1 {
+namespace {
+
+bool is_printable_value(BytesView content) {
+    if (content.empty()) return false;
+    for (uint8_t b : content) {
+        if (b < 0x20 || b > 0x7E) return false;
+    }
+    return true;
+}
+
+std::string value_preview(const Tlv& tlv) {
+    if (tlv.is_universal(Tag::kOid)) {
+        auto oid = Oid::from_der(tlv.content);
+        if (oid.ok()) return oid->to_string();
+    }
+    if (tlv.is_universal(Tag::kInteger) && tlv.content.size() <= 8) {
+        auto v = decode_integer(tlv);
+        if (v.ok()) return std::to_string(v.value());
+    }
+    if (tlv.is_universal(Tag::kBoolean)) {
+        auto v = decode_boolean(tlv);
+        if (v.ok()) return v.value() ? "TRUE" : "FALSE";
+    }
+    auto st = string_type_from_tag(tlv.tag_number());
+    if (tlv.tag_class() == TagClass::kUniversal && st && !tlv.is_constructed()) {
+        std::string text = unicode::transcode_to_utf8(tlv.content, nominal_encoding(*st),
+                                                      unicode::ErrorPolicy::kHexEscape);
+        if (text.size() > 48) text = text.substr(0, 45) + "...";
+        return "\"" + text + "\"";
+    }
+    if (tlv.is_universal(Tag::kUtcTime) || tlv.is_universal(Tag::kGeneralizedTime) ||
+        is_printable_value(tlv.content)) {
+        std::string text = to_string(tlv.content);
+        if (text.size() > 48) text = text.substr(0, 45) + "...";
+        return "\"" + text + "\"";
+    }
+    std::string hex = hex_encode(tlv.content);
+    if (hex.size() > 40) hex = hex.substr(0, 37) + "...";
+    return hex.empty() ? "" : "0x" + hex;
+}
+
+void dump_node(BytesView data, size_t depth, size_t max_depth, std::string& out) {
+    Reader reader(data);
+    while (!reader.done()) {
+        auto tlv = reader.next();
+        if (!tlv.ok()) {
+            out += std::string(depth * 2, ' ') + "<malformed: " + tlv.error().message + ">\n";
+            return;
+        }
+        out += std::string(depth * 2, ' ') + tag_description(tlv->identifier) + " (" +
+               std::to_string(tlv->content.size()) + ")";
+        if (tlv->is_constructed() && depth < max_depth) {
+            out += "\n";
+            dump_node(tlv->content, depth + 1, max_depth, out);
+        } else if (tlv->is_universal(Tag::kOctetString) && depth < max_depth &&
+                   !tlv->content.empty() && (tlv->content[0] == 0x30 || tlv->content[0] == 0x04 ||
+                                             tlv->content[0] == 0x05 || tlv->content[0] == 0x03)) {
+            // Extension values are DER inside an OCTET STRING: recurse
+            // when the payload plausibly starts a TLV.
+            auto inner = read_tlv(tlv->content);
+            if (inner.ok() && inner->total_len == tlv->content.size()) {
+                out += " wrapping:\n";
+                dump_node(tlv->content, depth + 1, max_depth, out);
+            } else {
+                out += " " + value_preview(tlv.value()) + "\n";
+            }
+        } else {
+            std::string preview = value_preview(tlv.value());
+            if (!preview.empty()) out += " " + preview;
+            out += "\n";
+        }
+    }
+}
+
+}  // namespace
+
+std::string tag_description(uint8_t identifier) {
+    TagClass cls = tag_class_of(identifier);
+    uint8_t number = tag_number_of(identifier);
+    if (cls == TagClass::kContextSpecific) {
+        return "[" + std::to_string(number) + "]";
+    }
+    if (cls != TagClass::kUniversal) {
+        return (cls == TagClass::kApplication ? "APPLICATION " : "PRIVATE ") +
+               std::to_string(number);
+    }
+    switch (static_cast<Tag>(number)) {
+        case Tag::kBoolean: return "BOOLEAN";
+        case Tag::kInteger: return "INTEGER";
+        case Tag::kBitString: return "BIT STRING";
+        case Tag::kOctetString: return "OCTET STRING";
+        case Tag::kNull: return "NULL";
+        case Tag::kOid: return "OBJECT IDENTIFIER";
+        case Tag::kUtf8String: return "UTF8String";
+        case Tag::kSequence: return "SEQUENCE";
+        case Tag::kSet: return "SET";
+        case Tag::kNumericString: return "NumericString";
+        case Tag::kPrintableString: return "PrintableString";
+        case Tag::kTeletexString: return "TeletexString";
+        case Tag::kIa5String: return "IA5String";
+        case Tag::kUtcTime: return "UTCTime";
+        case Tag::kGeneralizedTime: return "GeneralizedTime";
+        case Tag::kVisibleString: return "VisibleString";
+        case Tag::kUniversalString: return "UniversalString";
+        case Tag::kBmpString: return "BMPString";
+    }
+    return "UNIVERSAL " + std::to_string(number);
+}
+
+std::string dump(BytesView der, size_t max_depth) {
+    std::string out;
+    dump_node(der, 0, max_depth, out);
+    return out;
+}
+
+}  // namespace unicert::asn1

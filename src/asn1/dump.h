@@ -1,0 +1,20 @@
+// unicert/asn1/dump.h
+//
+// Human-readable ASN.1 tree dump (openssl asn1parse style) for
+// debugging certificates and the unicert_inspect --asn1 view.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace unicert::asn1 {
+
+// Render the DER structure as an indented tree. Malformed regions are
+// reported inline rather than aborting the dump.
+std::string dump(BytesView der, size_t max_depth = 32);
+
+// Name for a universal tag number ("SEQUENCE", "UTF8String", ...).
+std::string tag_description(uint8_t identifier);
+
+}  // namespace unicert::asn1

@@ -1,0 +1,145 @@
+#include "asn1/strings.h"
+
+#include "unicode/properties.h"
+
+namespace unicert::asn1 {
+
+const char* string_type_name(StringType t) noexcept {
+    switch (t) {
+        case StringType::kUtf8String: return "UTF8String";
+        case StringType::kNumericString: return "NumericString";
+        case StringType::kPrintableString: return "PrintableString";
+        case StringType::kIa5String: return "IA5String";
+        case StringType::kVisibleString: return "VisibleString";
+        case StringType::kUniversalString: return "UniversalString";
+        case StringType::kBmpString: return "BMPString";
+        case StringType::kTeletexString: return "TeletexString";
+    }
+    return "?";
+}
+
+Tag string_type_tag(StringType t) noexcept {
+    switch (t) {
+        case StringType::kUtf8String: return Tag::kUtf8String;
+        case StringType::kNumericString: return Tag::kNumericString;
+        case StringType::kPrintableString: return Tag::kPrintableString;
+        case StringType::kIa5String: return Tag::kIa5String;
+        case StringType::kVisibleString: return Tag::kVisibleString;
+        case StringType::kUniversalString: return Tag::kUniversalString;
+        case StringType::kBmpString: return Tag::kBmpString;
+        case StringType::kTeletexString: return Tag::kTeletexString;
+    }
+    return Tag::kUtf8String;
+}
+
+std::optional<StringType> string_type_from_tag(uint8_t tag_number) noexcept {
+    switch (tag_number) {
+        case static_cast<uint8_t>(Tag::kUtf8String): return StringType::kUtf8String;
+        case static_cast<uint8_t>(Tag::kNumericString): return StringType::kNumericString;
+        case static_cast<uint8_t>(Tag::kPrintableString): return StringType::kPrintableString;
+        case static_cast<uint8_t>(Tag::kIa5String): return StringType::kIa5String;
+        case static_cast<uint8_t>(Tag::kVisibleString): return StringType::kVisibleString;
+        case static_cast<uint8_t>(Tag::kUniversalString): return StringType::kUniversalString;
+        case static_cast<uint8_t>(Tag::kBmpString): return StringType::kBmpString;
+        case static_cast<uint8_t>(Tag::kTeletexString): return StringType::kTeletexString;
+        default: return std::nullopt;
+    }
+}
+
+unicode::Encoding nominal_encoding(StringType t) noexcept {
+    switch (t) {
+        case StringType::kUtf8String: return unicode::Encoding::kUtf8;
+        case StringType::kNumericString:
+        case StringType::kPrintableString:
+        case StringType::kIa5String:
+        case StringType::kVisibleString: return unicode::Encoding::kAscii;
+        case StringType::kUniversalString: return unicode::Encoding::kUcs4;
+        case StringType::kBmpString: return unicode::Encoding::kUcs2;
+        case StringType::kTeletexString: return unicode::Encoding::kLatin1;
+    }
+    return unicode::Encoding::kUtf8;
+}
+
+bool in_standard_charset(StringType t, unicode::CodePoint cp) noexcept {
+    switch (t) {
+        case StringType::kUtf8String:
+            return unicode::is_scalar_value(cp);
+        case StringType::kNumericString:
+            return (cp >= '0' && cp <= '9') || cp == ' ';
+        case StringType::kPrintableString:
+            if ((cp >= 'A' && cp <= 'Z') || (cp >= 'a' && cp <= 'z') ||
+                (cp >= '0' && cp <= '9')) {
+                return true;
+            }
+            switch (cp) {
+                case ' ': case '\'': case '(': case ')': case '+': case ',':
+                case '-': case '.': case '/': case ':': case '=': case '?':
+                    return true;
+                default:
+                    return false;
+            }
+        case StringType::kIa5String:
+            return cp <= 0x7F;
+        case StringType::kVisibleString:
+            return cp >= 0x20 && cp <= 0x7E;
+        case StringType::kUniversalString:
+            return unicode::is_scalar_value(cp);
+        case StringType::kBmpString:
+            return cp <= 0xFFFF && !unicode::is_surrogate(cp);
+        case StringType::kTeletexString:
+            // T.61 modelled as Latin-1 repertoire (the practical
+            // interpretation applied by mainstream parsers).
+            return cp <= 0xFF;
+    }
+    return false;
+}
+
+Status validate_value_bytes(StringType t, BytesView value) {
+    auto decoded = unicode::decode(value, nominal_encoding(t));
+    if (!decoded.ok()) {
+        return Error{"asn1_string_undecodable",
+                     std::string(string_type_name(t)) + ": " + decoded.error().message};
+    }
+    for (unicode::CodePoint cp : decoded.value()) {
+        if (!in_standard_charset(t, cp)) {
+            return Error{"asn1_string_charset",
+                         std::string(string_type_name(t)) + " contains disallowed character " +
+                             unicode::codepoint_label(cp)};
+        }
+    }
+    return Status::success();
+}
+
+Expected<Bytes> encode_checked(StringType t, const unicode::CodePoints& cps) {
+    for (unicode::CodePoint cp : cps) {
+        if (!in_standard_charset(t, cp)) {
+            return Error{"asn1_string_charset",
+                         std::string(string_type_name(t)) + " cannot contain " +
+                             unicode::codepoint_label(cp)};
+        }
+    }
+    return unicode::encode(cps, nominal_encoding(t));
+}
+
+Expected<Bytes> encode_unchecked(StringType t, const unicode::CodePoints& cps) {
+    return unicode::encode(cps, nominal_encoding(t));
+}
+
+Expected<unicode::CodePoints> decode_strict(StringType t, BytesView value) {
+    return unicode::decode(value, nominal_encoding(t));
+}
+
+bool is_directory_string_type(StringType t) noexcept {
+    switch (t) {
+        case StringType::kPrintableString:
+        case StringType::kUtf8String:
+        case StringType::kTeletexString:
+        case StringType::kUniversalString:
+        case StringType::kBmpString:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace unicert::asn1

@@ -1,0 +1,75 @@
+// unicert/asn1/strings.h
+//
+// ASN.1 character string types used in X.509 (Table 8 of the paper):
+// per-type standard character sets, the nominal byte encoding of each
+// type, strict validation, and *unchecked* encoding for crafting
+// deliberately noncompliant test Unicerts (Section 3.2).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "asn1/tag.h"
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "unicode/codec.h"
+#include "unicode/codepoint.h"
+
+namespace unicert::asn1 {
+
+enum class StringType {
+    kUtf8String,
+    kNumericString,
+    kPrintableString,
+    kIa5String,
+    kVisibleString,
+    kUniversalString,
+    kBmpString,
+    kTeletexString,
+};
+
+const char* string_type_name(StringType t) noexcept;
+
+// The DER tag for a string type.
+Tag string_type_tag(StringType t) noexcept;
+
+// Inverse: string type for a universal tag number, if it is one.
+std::optional<StringType> string_type_from_tag(uint8_t tag_number) noexcept;
+
+// The nominal (standards-compliant) byte encoding for each type:
+// PrintableString/IA5String/NumericString/VisibleString -> ASCII,
+// UTF8String -> UTF-8, BMPString -> UCS-2, UniversalString -> UCS-4,
+// TeletexString -> Latin-1 (the common simplification of T.61 that
+// real-world parsers apply).
+unicode::Encoding nominal_encoding(StringType t) noexcept;
+
+// Whether `cp` is inside the *standard character set* of the type —
+// e.g. PrintableString admits only [A-Za-z0-9 '()+,-./:=?],
+// IA5String the 7-bit set, NumericString digits and space.
+bool in_standard_charset(StringType t, unicode::CodePoint cp) noexcept;
+
+// Validate that value *bytes* are well-formed for the type (decodable
+// by the nominal encoding) and that every decoded character lies in
+// the standard charset. On failure the Error code distinguishes
+// "undecodable" from "charset" violations.
+Status validate_value_bytes(StringType t, BytesView value);
+
+// Encode code points as value bytes for the type, enforcing the
+// standard charset. Used by compliant certificate construction.
+Expected<Bytes> encode_checked(StringType t, const unicode::CodePoints& cps);
+
+// Encode code points using only the nominal byte encoding, with NO
+// charset enforcement (e.g. non-printable characters inside a
+// PrintableString). This is the generator's tool for crafting the
+// noncompliant Unicerts the paper measures. Fails only when the byte
+// encoding itself cannot represent a code point.
+Expected<Bytes> encode_unchecked(StringType t, const unicode::CodePoints& cps);
+
+// Decode value bytes with the nominal encoding, strictly.
+Expected<unicode::CodePoints> decode_strict(StringType t, BytesView value);
+
+// All string types DirectoryString permits (RFC 5280):
+// printable, utf8, teletex, universal, bmp.
+bool is_directory_string_type(StringType t) noexcept;
+
+}  // namespace unicert::asn1

@@ -1,0 +1,63 @@
+// unicert/asn1/tag.h
+//
+// ASN.1 tag numbers and identifier-octet helpers (X.690).
+#pragma once
+
+#include <cstdint>
+
+namespace unicert::asn1 {
+
+// Universal-class tag numbers used in X.509 certificates.
+enum class Tag : uint8_t {
+    kBoolean = 0x01,
+    kInteger = 0x02,
+    kBitString = 0x03,
+    kOctetString = 0x04,
+    kNull = 0x05,
+    kOid = 0x06,
+    kUtf8String = 0x0C,
+    kSequence = 0x10,
+    kSet = 0x11,
+    kNumericString = 0x12,
+    kPrintableString = 0x13,
+    kTeletexString = 0x14,
+    kIa5String = 0x16,
+    kUtcTime = 0x17,
+    kGeneralizedTime = 0x18,
+    kVisibleString = 0x1A,
+    kUniversalString = 0x1C,
+    kBmpString = 0x1E,
+};
+
+enum class TagClass : uint8_t {
+    kUniversal = 0x00,
+    kApplication = 0x40,
+    kContextSpecific = 0x80,
+    kPrivate = 0xC0,
+};
+
+inline constexpr uint8_t kConstructedBit = 0x20;
+
+// Full identifier octet for a universal primitive tag.
+constexpr uint8_t identifier(Tag t) noexcept { return static_cast<uint8_t>(t); }
+
+// Identifier octet for a universal constructed tag (SEQUENCE, SET).
+constexpr uint8_t constructed(Tag t) noexcept {
+    return static_cast<uint8_t>(static_cast<uint8_t>(t) | kConstructedBit);
+}
+
+// Context-specific tag [n], primitive or constructed.
+constexpr uint8_t context(uint8_t n, bool is_constructed) noexcept {
+    return static_cast<uint8_t>(static_cast<uint8_t>(TagClass::kContextSpecific) |
+                                (is_constructed ? kConstructedBit : 0) | n);
+}
+
+constexpr bool is_constructed_id(uint8_t id) noexcept { return (id & kConstructedBit) != 0; }
+
+constexpr TagClass tag_class_of(uint8_t id) noexcept {
+    return static_cast<TagClass>(id & 0xC0);
+}
+
+constexpr uint8_t tag_number_of(uint8_t id) noexcept { return id & 0x1F; }
+
+}  // namespace unicert::asn1

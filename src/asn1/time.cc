@@ -1,0 +1,123 @@
+#include "asn1/time.h"
+
+#include <cstdio>
+
+namespace unicert::asn1 {
+namespace {
+
+// Howard Hinnant's days-from-civil algorithm.
+int64_t days_from_civil(int y, int m, int d) noexcept {
+    y -= m <= 2;
+    int64_t era = (y >= 0 ? y : y - 399) / 400;
+    int64_t yoe = y - era * 400;
+    int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+    int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + doe - 719468;
+}
+
+void civil_from_days(int64_t z, int& y, int& m, int& d) noexcept {
+    z += 719468;
+    int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+    int64_t doe = z - era * 146097;
+    int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    int64_t yy = yoe + era * 400;
+    int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    int64_t mp = (5 * doy + 2) / 153;
+    d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+    m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+    y = static_cast<int>(yy + (m <= 2));
+}
+
+bool all_digits(BytesView v, size_t from, size_t to) {
+    for (size_t i = from; i < to; ++i) {
+        if (v[i] < '0' || v[i] > '9') return false;
+    }
+    return true;
+}
+
+int two(BytesView v, size_t i) { return (v[i] - '0') * 10 + (v[i + 1] - '0'); }
+
+bool valid_fields(int month, int day, int hour, int minute, int second) {
+    return month >= 1 && month <= 12 && day >= 1 && day <= 31 && hour <= 23 && minute <= 59 &&
+           second <= 60;
+}
+
+}  // namespace
+
+int64_t civil_to_unix(const CivilTime& c) noexcept {
+    return days_from_civil(c.year, c.month, c.day) * 86400 + c.hour * 3600 + c.minute * 60 +
+           c.second;
+}
+
+CivilTime unix_to_civil(int64_t t) noexcept {
+    CivilTime c;
+    int64_t days = t / 86400;
+    int64_t rem = t % 86400;
+    if (rem < 0) {
+        rem += 86400;
+        --days;
+    }
+    civil_from_days(days, c.year, c.month, c.day);
+    c.hour = static_cast<int>(rem / 3600);
+    c.minute = static_cast<int>((rem % 3600) / 60);
+    c.second = static_cast<int>(rem % 60);
+    return c;
+}
+
+int64_t make_time(int year, int month, int day, int hour, int minute, int second) noexcept {
+    return civil_to_unix({year, month, day, hour, minute, second});
+}
+
+Expected<int64_t> parse_utc_time(BytesView value) {
+    if (value.size() != 13 || value[12] != 'Z' || !all_digits(value, 0, 12)) {
+        return Error{"utctime_bad_format", "UTCTime must be YYMMDDHHMMSSZ"};
+    }
+    int yy = two(value, 0);
+    int year = yy < 50 ? 2000 + yy : 1900 + yy;
+    int month = two(value, 2), day = two(value, 4);
+    int hour = two(value, 6), minute = two(value, 8), second = two(value, 10);
+    if (!valid_fields(month, day, hour, minute, second)) {
+        return Error{"utctime_bad_value", "field out of range"};
+    }
+    return make_time(year, month, day, hour, minute, second);
+}
+
+Expected<int64_t> parse_generalized_time(BytesView value) {
+    if (value.size() != 15 || value[14] != 'Z' || !all_digits(value, 0, 14)) {
+        return Error{"gentime_bad_format", "GeneralizedTime must be YYYYMMDDHHMMSSZ"};
+    }
+    int year = two(value, 0) * 100 + two(value, 2);
+    int month = two(value, 4), day = two(value, 6);
+    int hour = two(value, 8), minute = two(value, 10), second = two(value, 12);
+    if (!valid_fields(month, day, hour, minute, second)) {
+        return Error{"gentime_bad_value", "field out of range"};
+    }
+    return make_time(year, month, day, hour, minute, second);
+}
+
+EncodedTime format_validity_time(int64_t unix_time) {
+    CivilTime c = unix_to_civil(unix_time);
+    char buf[24];
+    EncodedTime out;
+    if (c.year >= 1950 && c.year <= 2049) {
+        std::snprintf(buf, sizeof(buf), "%02d%02d%02d%02d%02d%02dZ", c.year % 100, c.month, c.day,
+                      c.hour, c.minute, c.second);
+        out.generalized = false;
+    } else {
+        std::snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d%02dZ", c.year, c.month, c.day,
+                      c.hour, c.minute, c.second);
+        out.generalized = true;
+    }
+    out.text = buf;
+    return out;
+}
+
+std::string format_iso(int64_t unix_time) {
+    CivilTime c = unix_to_civil(unix_time);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", c.year, c.month, c.day,
+                  c.hour, c.minute, c.second);
+    return buf;
+}
+
+}  // namespace unicert::asn1

@@ -1,0 +1,54 @@
+// unicert/asn1/time.h
+//
+// UTCTime / GeneralizedTime handling for certificate validity fields.
+// Times are carried as seconds since the Unix epoch (UTC). RFC 5280:
+// dates through 2049 use UTCTime, 2050+ use GeneralizedTime; both must
+// end in 'Z' with no fractional seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+
+namespace unicert::asn1 {
+
+// Civil date-time components (UTC).
+struct CivilTime {
+    int year = 1970;
+    int month = 1;  // 1..12
+    int day = 1;    // 1..31
+    int hour = 0;
+    int minute = 0;
+    int second = 0;
+};
+
+// days/seconds conversion (proleptic Gregorian).
+int64_t civil_to_unix(const CivilTime& c) noexcept;
+CivilTime unix_to_civil(int64_t t) noexcept;
+
+// Convenience: make a Unix timestamp from components.
+int64_t make_time(int year, int month, int day, int hour = 0, int minute = 0,
+                  int second = 0) noexcept;
+
+// Parse the value bytes of a UTCTime ("YYMMDDHHMMSSZ"; two-digit years
+// map 00-49 -> 20xx, 50-99 -> 19xx per RFC 5280).
+Expected<int64_t> parse_utc_time(BytesView value);
+
+// Parse the value bytes of a GeneralizedTime ("YYYYMMDDHHMMSSZ").
+Expected<int64_t> parse_generalized_time(BytesView value);
+
+// Format for certificate encoding; picks UTCTime vs GeneralizedTime by
+// the RFC 5280 2050 rule and reports which was used.
+struct EncodedTime {
+    std::string text;   // value bytes as a string
+    bool generalized = false;
+};
+EncodedTime format_validity_time(int64_t unix_time);
+
+// "YYYY-MM-DD HH:MM:SS" for reports.
+std::string format_iso(int64_t unix_time);
+
+}  // namespace unicert::asn1

@@ -1,0 +1,90 @@
+#include "common/base64.h"
+
+#include <array>
+
+namespace unicert {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<int8_t, 256> build_reverse() {
+    std::array<int8_t, 256> table{};
+    for (auto& v : table) v = -1;
+    for (int i = 0; i < 64; ++i) table[static_cast<uint8_t>(kAlphabet[i])] = static_cast<int8_t>(i);
+    return table;
+}
+
+constexpr std::array<int8_t, 256> kReverse = build_reverse();
+
+bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+std::string base64_encode(BytesView data) {
+    std::string out;
+    out.reserve((data.size() + 2) / 3 * 4);
+    size_t i = 0;
+    for (; i + 3 <= data.size(); i += 3) {
+        uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                     (static_cast<uint32_t>(data[i + 1]) << 8) | data[i + 2];
+        out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+        out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+        out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+        out.push_back(kAlphabet[v & 0x3F]);
+    }
+    size_t rem = data.size() - i;
+    if (rem == 1) {
+        uint32_t v = static_cast<uint32_t>(data[i]) << 16;
+        out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+        out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+        out += "==";
+    } else if (rem == 2) {
+        uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                     (static_cast<uint32_t>(data[i + 1]) << 8);
+        out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+        out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+        out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+        out.push_back('=');
+    }
+    return out;
+}
+
+Expected<Bytes> base64_decode(std::string_view text) {
+    Bytes out;
+    uint32_t acc = 0;
+    int bits = 0;
+    size_t padding = 0;
+    for (char c : text) {
+        if (is_space(c)) continue;
+        if (c == '=') {
+            ++padding;
+            continue;
+        }
+        if (padding > 0) {
+            return Error{"base64_data_after_padding", "content after '='"};
+        }
+        int8_t v = kReverse[static_cast<uint8_t>(c)];
+        if (v < 0) {
+            return Error{"base64_bad_character",
+                         std::string("invalid base64 character '") + c + "'"};
+        }
+        acc = (acc << 6) | static_cast<uint32_t>(v);
+        bits += 6;
+        if (bits >= 8) {
+            bits -= 8;
+            out.push_back(static_cast<uint8_t>((acc >> bits) & 0xFF));
+        }
+    }
+    if (padding > 2) return Error{"base64_bad_padding", "more than two '='"};
+    // Leftover bits must be zero-padded correctly.
+    if (bits >= 6) return Error{"base64_truncated", "dangling base64 unit"};
+    if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) {
+        return Error{"base64_nonzero_padding_bits", "non-canonical final unit"};
+    }
+    return out;
+}
+
+}  // namespace unicert

@@ -1,0 +1,20 @@
+// unicert/common/base64.h
+//
+// Standard (RFC 4648) base64 used by the PEM layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+
+namespace unicert {
+
+// Encode without line wrapping.
+std::string base64_encode(BytesView data);
+
+// Decode; ignores ASCII whitespace, enforces valid alphabet/padding.
+Expected<Bytes> base64_decode(std::string_view text);
+
+}  // namespace unicert

@@ -1,0 +1,67 @@
+// unicert/common/bytes.h
+//
+// Byte-buffer aliases and small helpers shared by the DER, crypto and
+// codec layers. We standardize on std::vector<uint8_t> for owned binary
+// data and std::span<const uint8_t> at API boundaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unicert {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+// Reinterpret a string's storage as bytes (no copy of semantics; the
+// returned vector copies the data).
+inline Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+// Reinterpret bytes as a std::string (binary-safe; may contain NULs).
+inline std::string to_string(BytesView b) {
+    return std::string(b.begin(), b.end());
+}
+
+// Lowercase hex encoding, e.g. {0xDE, 0xAD} -> "dead".
+inline std::string hex_encode(BytesView b) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (uint8_t byte : b) {
+        out.push_back(kDigits[byte >> 4]);
+        out.push_back(kDigits[byte & 0x0F]);
+    }
+    return out;
+}
+
+// Inverse of hex_encode. Returns empty on odd length or non-hex input.
+inline Bytes hex_decode(std::string_view s) {
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    };
+    if (s.size() % 2 != 0) return {};
+    Bytes out;
+    out.reserve(s.size() / 2);
+    for (size_t i = 0; i < s.size(); i += 2) {
+        int hi = nibble(s[i]);
+        int lo = nibble(s[i + 1]);
+        if (hi < 0 || lo < 0) return {};
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+// Append one buffer to another.
+inline void append(Bytes& dst, BytesView src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace unicert

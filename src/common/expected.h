@@ -1,0 +1,90 @@
+// unicert/common/expected.h
+//
+// A minimal expected<T, E> used across the library for recoverable
+// errors (parse failures, range violations). Exceptions are reserved
+// for programming errors; anything driven by untrusted input returns
+// an Expected.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace unicert {
+
+// Error payload carried by Expected on the failure path. Holds a
+// machine-readable code string (stable, snake_case) plus a human
+// message with position / context details.
+struct Error {
+    std::string code;
+    std::string message;
+
+    Error() = default;
+    Error(std::string c, std::string m) : code(std::move(c)), message(std::move(m)) {}
+
+    bool operator==(const Error& other) const = default;
+};
+
+// Expected<T>: either a value or an Error. Deliberately small; only the
+// operations the library needs. Accessing the wrong alternative is a
+// programming error (asserts in debug builds).
+template <typename T>
+class Expected {
+public:
+    Expected(T value) : state_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+    Expected(Error error) : state_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+    bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    const T& value() const& {
+        assert(ok());
+        return std::get<T>(state_);
+    }
+    T& value() & {
+        assert(ok());
+        return std::get<T>(state_);
+    }
+    T&& value() && {
+        assert(ok());
+        return std::get<T>(std::move(state_));
+    }
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+    const Error& error() const& {
+        assert(!ok());
+        return std::get<Error>(state_);
+    }
+
+    T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+private:
+    std::variant<T, Error> state_;
+};
+
+// Expected<void> analogue for operations that only signal success/failure.
+class Status {
+public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+    static Status success() { return Status{}; }
+
+    bool ok() const noexcept { return !failed_; }
+    explicit operator bool() const noexcept { return ok(); }
+
+    const Error& error() const {
+        assert(failed_);
+        return error_;
+    }
+
+private:
+    Error error_;
+    bool failed_ = false;
+};
+
+}  // namespace unicert

@@ -1,0 +1,78 @@
+#include "core/json.h"
+
+#include <cstdio>
+
+namespace unicert::core {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(static_cast<char>(c));
+                }
+        }
+    }
+    return out;
+}
+
+std::string lint_report_to_json(const lint::CertReport& report) {
+    std::string out = "{\"noncompliant\":";
+    out += report.noncompliant() ? "true" : "false";
+    out += ",\"errors\":";
+    out += report.has_error() ? "true" : "false";
+    out += ",\"findings\":[";
+    bool first = true;
+    for (const lint::Finding& f : report.findings) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"lint\":\"" + json_escape(f.lint->name) + "\"";
+        out += ",\"severity\":\"" + std::string(lint::severity_name(f.lint->severity)) + "\"";
+        out += ",\"type\":\"" + std::string(lint::nc_type_name(f.lint->type)) + "\"";
+        out += ",\"source\":\"" + std::string(lint::source_name(f.lint->source)) + "\"";
+        out += ",\"new\":";
+        out += f.lint->is_new ? "true" : "false";
+        out += ",\"detail\":\"" + json_escape(f.detail) + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string taxonomy_to_json(const TaxonomyReport& report) {
+    std::string out = "{\"total_certs\":" + std::to_string(report.total_certs);
+    out += ",\"total_noncompliant\":" + std::to_string(report.total_nc);
+    out += ",\"noncompliant_trusted\":" + std::to_string(report.total_nc_trusted);
+    out += ",\"types\":[";
+    bool first = true;
+    for (const TaxonomyRow& row : report.rows) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"type\":\"" + std::string(lint::nc_type_name(row.type)) + "\"";
+        out += ",\"lints\":" + std::to_string(row.lints_all);
+        out += ",\"lints_new\":" + std::to_string(row.lints_new);
+        out += ",\"nc_certs\":" + std::to_string(row.nc_certs);
+        out += ",\"nc_certs_by_new\":" + std::to_string(row.nc_certs_new);
+        out += ",\"error_certs\":" + std::to_string(row.error_certs);
+        out += ",\"warning_certs\":" + std::to_string(row.warning_certs);
+        out += ",\"trusted_certs\":" + std::to_string(row.trusted_certs);
+        out += ",\"recent_certs\":" + std::to_string(row.recent_certs);
+        out += ",\"alive_certs\":" + std::to_string(row.alive_certs) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace unicert::core

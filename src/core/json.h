@@ -1,0 +1,29 @@
+// unicert/core/json.h
+//
+// Minimal JSON emission for machine-readable linter output (the
+// unicert_lint --json mode) and report export. Writer-only: the
+// library never needs to parse JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "lint/lint.h"
+
+namespace unicert::core {
+
+// JSON string escaping (control characters, quotes, backslash; UTF-8
+// passes through verbatim).
+std::string json_escape(std::string_view s);
+
+// One certificate's lint report:
+// {"noncompliant":true,"findings":[{"lint":...,"severity":...,
+//  "type":...,"source":...,"new":...,"detail":...}]}
+std::string lint_report_to_json(const lint::CertReport& report);
+
+// The Table 1 taxonomy as JSON (for dashboards / diffing runs).
+std::string taxonomy_to_json(const TaxonomyReport& report);
+
+}  // namespace unicert::core

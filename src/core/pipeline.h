@@ -1,0 +1,148 @@
+// unicert/core/pipeline.h
+//
+// The paper's measurement pipeline as a public API: run the 95-lint
+// registry over a (synthetic) CT corpus and aggregate the Section 4
+// results — the noncompliance taxonomy (Table 1), issuer rankings
+// (Table 2), top lints (Table 11), the issuance/noncompliance trend
+// (Figure 2), validity CDFs (Figure 3) and the field-usage heatmap
+// (Figure 4) — plus the Subject-variant detector behind Table 3.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctlog/corpus.h"
+#include "lint/lint.h"
+
+namespace unicert::core {
+
+// Per-certificate lint outcome joined with corpus metadata.
+struct AnalyzedCert {
+    const ctlog::CorpusCert* cert = nullptr;
+    lint::CertReport report;
+    bool noncompliant = false;
+};
+
+// ---- Table 1 ---------------------------------------------------------------
+
+struct TaxonomyRow {
+    lint::NcType type;
+    size_t lints_all = 0;
+    size_t lints_new = 0;
+    size_t nc_lints = 0;       // lints of this type that fired at least once
+    size_t nc_certs = 0;       // unique noncompliant certs with a finding of this type
+    size_t nc_certs_new = 0;   // …only detected by new lints
+    size_t error_certs = 0;
+    size_t warning_certs = 0;
+    size_t trusted_certs = 0;
+    size_t recent_certs = 0;   // issued 2024-2025
+    size_t alive_certs = 0;    // valid into 2024-2025
+};
+
+struct TaxonomyReport {
+    std::vector<TaxonomyRow> rows;  // one per NcType, Table 1 order
+    size_t total_certs = 0;
+    size_t total_nc = 0;
+    size_t total_nc_trusted = 0;
+};
+
+// ---- Table 2 ----------------------------------------------------------------
+
+struct IssuerRow {
+    std::string organization;
+    ctlog::TrustStatus trust;
+    std::string region;
+    size_t total = 0;
+    size_t noncompliant = 0;
+    size_t recent_nc = 0;  // NC certs issued 2024-2025
+};
+
+// ---- Table 11 ---------------------------------------------------------------
+
+struct LintRow {
+    std::string name;
+    lint::NcType type;
+    bool is_new = false;
+    lint::Severity severity;
+    size_t nc_certs = 0;
+};
+
+// ---- Figure 2 ---------------------------------------------------------------
+
+struct YearRow {
+    int year = 0;
+    size_t all = 0;
+    size_t trusted = 0;
+    size_t noncompliant = 0;
+    size_t alive = 0;  // still valid at the end of that year
+};
+
+// ---- Figure 3 ---------------------------------------------------------------
+
+struct ValidityCdf {
+    // Sorted lifetime days per class; quantile(q) interpolates.
+    std::vector<int64_t> idn_certs;
+    std::vector<int64_t> other_unicerts;
+    std::vector<int64_t> noncompliant;
+
+    static double quantile(const std::vector<int64_t>& sorted, double q);
+    // Fraction of values <= days.
+    static double cdf_at(const std::vector<int64_t>& sorted, int64_t days);
+};
+
+// ---- Figure 4 ---------------------------------------------------------------
+
+struct FieldUsageCell {
+    size_t unicode_count = 0;    // certs with non-ASCII content in the field
+    size_t deviation_count = 0;  // …that violate the standard there
+};
+
+// issuer organization -> field label -> usage.
+using FieldHeatmap = std::map<std::string, std::map<std::string, FieldUsageCell>>;
+
+// ---- Table 3 -----------------------------------------------------------------
+
+enum class VariantStrategy {
+    kCaseConversion,
+    kWhitespaceVariant,
+    kNonPrintableInsertion,
+    kSymbolSubstitution,
+    kAbbreviationVariant,
+    kReplacementCharacter,
+};
+
+const char* variant_strategy_name(VariantStrategy s) noexcept;
+
+struct VariantGroup {
+    VariantStrategy strategy;
+    std::vector<std::string> values;  // the distinct raw Subject O values
+};
+
+// ---- Pipeline -----------------------------------------------------------------
+
+class CompliancePipeline {
+public:
+    explicit CompliancePipeline(const std::vector<ctlog::CorpusCert>& corpus,
+                                lint::RunOptions options = {});
+
+    const std::vector<AnalyzedCert>& analyzed() const noexcept { return analyzed_; }
+
+    size_t noncompliant_count() const noexcept { return nc_count_; }
+    double noncompliance_rate() const noexcept;
+
+    TaxonomyReport taxonomy_report() const;                  // Table 1
+    std::vector<IssuerRow> issuer_report(size_t top_n) const;  // Table 2
+    std::vector<LintRow> top_lints(size_t top_n) const;      // Table 11
+    std::vector<YearRow> yearly_trend() const;               // Figure 2
+    ValidityCdf validity_cdf() const;                        // Figure 3
+    FieldHeatmap field_heatmap() const;                      // Figure 4
+    std::vector<VariantGroup> subject_variants() const;      // Table 3
+
+private:
+    const std::vector<ctlog::CorpusCert>& corpus_;
+    std::vector<AnalyzedCert> analyzed_;
+    size_t nc_count_ = 0;
+};
+
+}  // namespace unicert::core

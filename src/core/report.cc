@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace unicert::core {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (size_t i = 0; i < headers_.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string sep = "+";
+    for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out = sep + render_row(headers_) + sep;
+    for (const auto& row : rows_) out += render_row(row);
+    out += sep;
+    return out;
+}
+
+std::string percent(double fraction, int decimals) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string with_commas(size_t value) {
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string compact(size_t value) {
+    char buf[32];
+    if (value >= 1000000) {
+        std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(value) / 1e6);
+    } else if (value >= 1000) {
+        std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(value) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%zu", value);
+    }
+    return buf;
+}
+
+std::string log_bar(size_t value, size_t scale) {
+    if (value == 0) return "";
+    double len = std::log10(static_cast<double>(value) + 1.0) * static_cast<double>(scale);
+    return std::string(static_cast<size_t>(len), '#');
+}
+
+}  // namespace unicert::core

@@ -1,0 +1,40 @@
+// unicert/core/report.h
+//
+// Plain-text table rendering for the bench binaries: fixed-width
+// columns, percentage formatting, and simple log-scale sparklines for
+// the figure reproductions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace unicert::core {
+
+// A simple fixed-width text table.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    // Render with column widths fitted to content.
+    std::string to_string() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.3%" style formatting.
+std::string percent(double fraction, int decimals = 1);
+
+// Thousands-separated count ("249,281").
+std::string with_commas(size_t value);
+
+// "249.3K" / "34.8M" style compact counts.
+std::string compact(size_t value);
+
+// A log-scale bar for figure-style output (length ~ log10(value)).
+std::string log_bar(size_t value, size_t scale = 4);
+
+}  // namespace unicert::core

@@ -1,0 +1,40 @@
+// unicert/crypto/sha256.h
+//
+// SHA-256 (FIPS 180-4), implemented from scratch. Backs the Merkle tree
+// in the CT-log substrate, key identifiers, and the SimSig signature
+// scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace unicert::crypto {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+public:
+    Sha256() noexcept { reset(); }
+
+    void reset() noexcept;
+    void update(BytesView data) noexcept;
+    Digest finish() noexcept;
+
+private:
+    void process_block(const uint8_t* block) noexcept;
+
+    std::array<uint32_t, 8> state_{};
+    uint64_t total_len_ = 0;
+    std::array<uint8_t, 64> buffer_{};
+    size_t buffer_len_ = 0;
+};
+
+// One-shot convenience.
+Digest sha256(BytesView data) noexcept;
+
+// Digest as Bytes (for APIs that traffic in buffers).
+Bytes sha256_bytes(BytesView data);
+
+}  // namespace unicert::crypto

@@ -1,0 +1,37 @@
+#include "crypto/simsig.h"
+
+namespace unicert::crypto {
+
+SimSigner SimSigner::from_name(std::string_view name) {
+    Bytes seed = to_bytes("unicert-simsig-v1:");
+    append(seed, to_bytes(name));
+    return SimSigner{sha256_bytes(seed)};
+}
+
+Bytes SimSigner::public_key() const { return sha256_bytes(secret_); }
+
+Bytes SimSigner::key_id() const {
+    Bytes pk = public_key();
+    Bytes id = sha256_bytes(pk);
+    id.resize(20);
+    return id;
+}
+
+Bytes SimSigner::sign(BytesView message) const {
+    Sha256 h;
+    h.update(secret_);
+    h.update(message);
+    Digest d = h.finish();
+    return Bytes(d.begin(), d.end());
+}
+
+bool sim_verify(const SimSigner& signer, BytesView message, BytesView signature) {
+    Bytes expected = signer.sign(message);
+    if (expected.size() != signature.size()) return false;
+    // Constant-time compare (good hygiene even in a simulation).
+    uint8_t diff = 0;
+    for (size_t i = 0; i < expected.size(); ++i) diff |= expected[i] ^ signature[i];
+    return diff == 0;
+}
+
+}  // namespace unicert::crypto

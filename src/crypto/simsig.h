@@ -1,0 +1,53 @@
+// unicert/crypto/simsig.h
+//
+// SimSig: a deterministic hash-based signature substrate.
+//
+// Documented substitution (see DESIGN.md): the paper's experiments need
+// certificate chains that *verify structurally* — signature bytes that
+// bind a TBS blob to an issuer key — but never rely on cryptographic
+// hardness. SimSig signs with sig = SHA256(secret || tbs) and verifies
+// by recomputation, giving real sign/verify/chain semantics with zero
+// external dependencies. The public key is SHA256(secret) so a
+// verifier can be addressed without revealing the secret (within this
+// simulation's honest-component threat model).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace unicert::crypto {
+
+// Signing key: wraps a secret seed. Deterministically derivable from a
+// name so corpus generation is reproducible.
+class SimSigner {
+public:
+    // Derive a signer from an arbitrary identity string (e.g. the CA
+    // subject DN). Same name -> same key, which keeps the synthetic CT
+    // corpus stable across runs.
+    static SimSigner from_name(std::string_view name);
+
+    explicit SimSigner(Bytes secret) : secret_(std::move(secret)) {}
+
+    // Public key bytes (SHA256 of the secret).
+    Bytes public_key() const;
+
+    // SubjectKeyIdentifier-style truncated key id (first 20 bytes of
+    // SHA256(public key)).
+    Bytes key_id() const;
+
+    // Sign a message: SHA256(secret || message).
+    Bytes sign(BytesView message) const;
+
+private:
+    Bytes secret_;
+};
+
+// Verification in this substrate requires the signer's secret-derived
+// oracle; we model the "trust store" as a map from public key to the
+// signer. The helper below verifies when the caller holds the signer.
+bool sim_verify(const SimSigner& signer, BytesView message, BytesView signature);
+
+}  // namespace unicert::crypto

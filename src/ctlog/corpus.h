@@ -1,0 +1,150 @@
+// unicert/ctlog/corpus.h
+//
+// Synthetic Unicert corpus generator — the documented substitution for
+// the paper's 34.8M-certificate CT dataset (DESIGN.md section 1). The
+// generator reproduces the study's published marginals at a reduced
+// scale:
+//   * issuer oligopoly & per-issuer noncompliance rates (Table 2, §4.2)
+//   * per-year issuance trend 2013-2025 (Figure 2)
+//   * the noncompliance-defect mixture (Table 11 lint counts)
+//   * validity-period distributions per certificate class (Figure 3)
+//   * per-field internationalized content usage (Figure 4)
+//   * "latent" defects that only violate post-2024 rules (footnote 4's
+//     249K -> 1.8M jump when effective dates are ignored)
+//
+// Everything is driven by a seeded deterministic RNG so every bench
+// regenerates the same corpus.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace unicert::ctlog {
+
+enum class TrustStatus { kPublic, kLimited, kNone };
+
+const char* trust_status_label(TrustStatus t) noexcept;
+
+// The defect kinds injected into noncompliant Unicerts; weights follow
+// the Table 11 lint hit counts.
+enum class DefectKind {
+    kExplicitTextNotUtf8,
+    kCnNotInSan,
+    kIdnA2uUnpermitted,
+    kOrgTeletex,
+    kCnBmp,
+    kLocalityTeletex,
+    kDnNotPrintable,
+    kOuBmp,
+    kJurisdictionLocalityTeletex,
+    kExplicitTextTooLong,
+    kJurisdictionStateTeletex,
+    kExplicitTextIa5,
+    kJurisdictionCountryUtf8,
+    kStateTeletex,
+    kPrintableBadAlpha,
+    kTrailingWhitespace,
+    kPostalCodeBmp,
+    kStreetTeletex,
+    kExtraCn,
+    kSerialNotPrintable,
+    kLeadingWhitespace,
+    kCountryUtf8,
+    kIdnMalformed,
+    kDnsBadChar,
+    kSanUnpermittedUnichar,
+    kIdnNotNfc,
+};
+
+struct DefectSpec {
+    DefectKind kind;
+    double weight;                 // proportional to the paper's lint hit count
+    const char* expected_lint;     // primary lint expected to fire
+    bool idn_defect;               // usable by DV-automation (IDN-only) issuers
+};
+
+std::span<const DefectSpec> defect_specs() noexcept;
+
+struct IssuerSpec {
+    const char* organization;
+    const char* region;
+    TrustStatus trust;       // CURRENT trust status (Table 2's column)
+    // Footnote 3: longitudinal analysis treats certs as trusted if the
+    // issuer was trusted when it issued, ignoring later distrust
+    // (Symantec, StartCom, COMODO rebranding, …).
+    bool trusted_at_issuance;
+    double unicert_weight;   // share of all Unicerts (Table 2 / §4.2), in thousands
+    double nc_rate;          // per-cert probability of injected defect
+    bool idn_only;           // automated DV issuer: DNSNames only
+    int first_year;          // active issuing window
+    int last_year;
+};
+
+std::span<const IssuerSpec> issuer_specs() noexcept;
+
+struct CorpusOptions {
+    uint64_t seed = 42;
+    // 1:N downscale of the paper's 34.8M Unicerts. The default yields
+    // roughly 35K certificates.
+    double scale = 1000.0;
+    // Fraction of otherwise-compliant certs from NON-automated issuers
+    // given a "latent" defect that only violates post-2024 rules
+    // (drives footnote 4's 249K -> 1.8M jump).
+    double latent_defect_rate = 0.38;
+    // Fraction of subjects that get a near-duplicate "variant" sibling
+    // (Table 3's evasion strategies).
+    double variant_rate = 0.002;
+    bool sign_certificates = false;  // DER signing is optional (slower)
+};
+
+struct CorpusCert {
+    x509::Certificate cert;
+    std::string issuer_org;
+    TrustStatus trust = TrustStatus::kPublic;  // current status
+    bool trusted_at_issuance = true;           // footnote-3 semantics
+    int year = 2020;
+    bool is_idn_cert = false;
+    std::optional<DefectKind> defect;  // counted defect
+    // True when the cert carries a defect that only violates rules whose
+    // effective date postdates its issuance (footnote 4's latent pool).
+    bool has_latent_defect = false;
+};
+
+class CorpusGenerator {
+public:
+    explicit CorpusGenerator(CorpusOptions options = {});
+
+    // Generate the full corpus (deterministic for a given seed/scale).
+    std::vector<CorpusCert> generate();
+
+    // Total cert count the options imply.
+    size_t target_count() const noexcept;
+
+private:
+    CorpusOptions options_;
+};
+
+// xorshift-based deterministic RNG used across the simulation layers.
+class Rng {
+public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+    uint64_t next() noexcept;
+    // Uniform in [0, n).
+    uint64_t below(uint64_t n) noexcept { return n == 0 ? 0 : next() % n; }
+    // Uniform double in [0, 1).
+    double uniform() noexcept;
+    // Index into a weight table, proportional to weights.
+    size_t pick_weighted(std::span<const double> weights) noexcept;
+    bool chance(double p) noexcept { return uniform() < p; }
+
+private:
+    uint64_t state_;
+};
+
+}  // namespace unicert::ctlog

@@ -1,0 +1,60 @@
+#include "ctlog/log.h"
+
+namespace unicert::ctlog {
+namespace {
+
+Bytes sct_message(const Bytes& log_id, int64_t timestamp, BytesView cert_der) {
+    Bytes msg = log_id;
+    for (int i = 7; i >= 0; --i) {
+        msg.push_back(static_cast<uint8_t>((static_cast<uint64_t>(timestamp) >> (i * 8)) & 0xFF));
+    }
+    append(msg, cert_der);
+    return msg;
+}
+
+}  // namespace
+
+CtLog::CtLog(const std::string& name)
+    : name_(name), key_(crypto::SimSigner::from_name("ct-log:" + name)) {
+    log_id_ = crypto::sha256_bytes(key_.public_key());
+}
+
+Sct CtLog::submit(const x509::Certificate& cert, int64_t timestamp) {
+    Sct sct;
+    sct.log_id = log_id_;
+    sct.timestamp = timestamp;
+    sct.signature = key_.sign(sct_message(log_id_, timestamp, cert.der));
+
+    LogEntry entry;
+    entry.index = tree_.append(cert.der);
+    entry.timestamp = timestamp;
+    entry.certificate = cert;
+    entry.sct = sct;
+    entries_.push_back(std::move(entry));
+    return sct;
+}
+
+bool CtLog::verify_sct(const x509::Certificate& cert, const Sct& sct) const {
+    if (sct.log_id != log_id_) return false;
+    return crypto::sim_verify(key_, sct_message(log_id_, sct.timestamp, cert.der),
+                              sct.signature);
+}
+
+std::vector<const x509::Certificate*> CtLog::regular_certificates() const {
+    std::vector<const x509::Certificate*> out;
+    for (const LogEntry& entry : entries_) {
+        if (!entry.certificate.is_precertificate()) out.push_back(&entry.certificate);
+    }
+    return out;
+}
+
+double CtLog::precert_fraction() const {
+    if (entries_.empty()) return 0.0;
+    size_t precerts = 0;
+    for (const LogEntry& entry : entries_) {
+        if (entry.certificate.is_precertificate()) ++precerts;
+    }
+    return static_cast<double>(precerts) / static_cast<double>(entries_.size());
+}
+
+}  // namespace unicert::ctlog

@@ -1,0 +1,66 @@
+// unicert/ctlog/log.h
+//
+// A Certificate Transparency log substrate (RFC 6962 shape): append
+// certificates, issue SCTs, expose entries for monitors. Mirrors the
+// paper's dataset pipeline: entries may be precertificates (CT poison
+// extension), which dataset consumers filter out (Section 4.1 kept 32B
+// regular certs out of 70B entries; 54.7% were precerts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/simsig.h"
+#include "ctlog/merkle.h"
+#include "x509/certificate.h"
+
+namespace unicert::ctlog {
+
+// Signed Certificate Timestamp issued at submission.
+struct Sct {
+    Bytes log_id;        // SHA-256 of the log's public key
+    int64_t timestamp;   // Unix seconds
+    Bytes signature;     // SimSig over (log_id || timestamp || leaf DER)
+};
+
+struct LogEntry {
+    size_t index = 0;
+    int64_t timestamp = 0;
+    x509::Certificate certificate;
+    Sct sct;
+};
+
+class CtLog {
+public:
+    explicit CtLog(const std::string& name);
+
+    // Submit a certificate; appends to the tree and returns the SCT.
+    Sct submit(const x509::Certificate& cert, int64_t timestamp);
+
+    size_t size() const noexcept { return entries_.size(); }
+    const std::vector<LogEntry>& entries() const noexcept { return entries_; }
+    const Bytes& log_id() const noexcept { return log_id_; }
+
+    Digest tree_head() const { return tree_.root(); }
+    const MerkleTree& tree() const noexcept { return tree_; }
+
+    // Verify an SCT issued by this log.
+    bool verify_sct(const x509::Certificate& cert, const Sct& sct) const;
+
+    // Regular (non-precert) leaf certificates — the dataset a Unicert
+    // study consumes after precert filtering.
+    std::vector<const x509::Certificate*> regular_certificates() const;
+
+    // Share of entries that are precertificates.
+    double precert_fraction() const;
+
+private:
+    std::string name_;
+    crypto::SimSigner key_;
+    Bytes log_id_;
+    MerkleTree tree_;
+    std::vector<LogEntry> entries_;
+};
+
+}  // namespace unicert::ctlog

@@ -1,0 +1,141 @@
+#include "ctlog/merkle.h"
+
+#include <cassert>
+
+namespace unicert::ctlog {
+namespace {
+
+// Largest power of two strictly less than n (RFC 6962's split point).
+size_t split_point(size_t n) {
+    size_t k = 1;
+    while (k * 2 < n) k *= 2;
+    return k;
+}
+
+}  // namespace
+
+Digest leaf_hash(BytesView entry) {
+    crypto::Sha256 h;
+    uint8_t prefix = 0x00;
+    h.update({&prefix, 1});
+    h.update(entry);
+    return h.finish();
+}
+
+Digest node_hash(const Digest& left, const Digest& right) {
+    crypto::Sha256 h;
+    uint8_t prefix = 0x01;
+    h.update({&prefix, 1});
+    h.update({left.data(), left.size()});
+    h.update({right.data(), right.size()});
+    return h.finish();
+}
+
+size_t MerkleTree::append(BytesView entry) {
+    leaves_.push_back(leaf_hash(entry));
+    return leaves_.size() - 1;
+}
+
+Digest MerkleTree::subtree_root(size_t begin, size_t end) const {
+    assert(begin < end);
+    if (end - begin == 1) return leaves_[begin];
+    size_t k = split_point(end - begin);
+    return node_hash(subtree_root(begin, begin + k), subtree_root(begin + k, end));
+}
+
+Digest MerkleTree::root() const { return root_at(leaves_.size()); }
+
+Digest MerkleTree::root_at(size_t n) const {
+    if (n == 0) return crypto::sha256({});
+    assert(n <= leaves_.size());
+    return subtree_root(0, n);
+}
+
+void MerkleTree::subtree_proof(size_t target, size_t begin, size_t end,
+                               std::vector<Digest>& proof) const {
+    if (end - begin == 1) return;
+    size_t k = split_point(end - begin);
+    if (target < begin + k) {
+        subtree_proof(target, begin, begin + k, proof);
+        proof.push_back(subtree_root(begin + k, end));
+    } else {
+        subtree_proof(target, begin + k, end, proof);
+        proof.push_back(subtree_root(begin, begin + k));
+    }
+}
+
+std::vector<Digest> MerkleTree::audit_proof(size_t index, size_t tree_size) const {
+    std::vector<Digest> proof;
+    if (tree_size == 0 || index >= tree_size || tree_size > leaves_.size()) return proof;
+    subtree_proof(index, 0, tree_size, proof);
+    return proof;
+}
+
+std::vector<Digest> MerkleTree::consistency_proof(size_t m, size_t n) const {
+    // RFC 6962 sec. 2.1.2, iterative SUBPROOF.
+    std::vector<Digest> proof;
+    if (m == 0 || m > n || n > leaves_.size()) return proof;
+    if (m == n) return proof;
+
+    // Recursive helper via lambda.
+    struct Helper {
+        const MerkleTree& tree;
+        std::vector<Digest>& proof;
+        void subproof(size_t m, size_t begin, size_t end, bool full_subtree) {
+            size_t n = end - begin;
+            if (m == n) {
+                if (!full_subtree) proof.push_back(tree.subtree_root(begin, end));
+                return;
+            }
+            size_t k = split_point(n);
+            if (m <= k) {
+                subproof(m, begin, begin + k, full_subtree);
+                proof.push_back(tree.subtree_root(begin + k, end));
+            } else {
+                subproof(m - k, begin + k, end, false);
+                proof.push_back(tree.subtree_root(begin, begin + k));
+            }
+        }
+    };
+    Helper helper{*this, proof};
+    helper.subproof(m, 0, n, true);
+    return proof;
+}
+
+bool verify_audit_proof(const Digest& leaf, size_t index, size_t tree_size,
+                        const std::vector<Digest>& proof, const Digest& root) {
+    if (tree_size == 0 || index >= tree_size) return false;
+    Digest hash = leaf;
+    size_t idx = index;
+    size_t size = tree_size;
+    size_t proof_pos = 0;
+    // Walk up the tree mirroring the recursive decomposition.
+    std::vector<bool> rights;  // true when sibling is on the right
+    // Reconstruct the path directions by replaying the splits.
+    {
+        size_t begin = 0, end = tree_size;
+        std::vector<bool> dirs;
+        while (end - begin > 1) {
+            size_t k = split_point(end - begin);
+            if (index < begin + k) {
+                dirs.push_back(true);  // sibling right
+                end = begin + k;
+            } else {
+                dirs.push_back(false);  // sibling left
+                begin += k;
+            }
+        }
+        rights.assign(dirs.rbegin(), dirs.rend());
+    }
+    (void)idx;
+    (void)size;
+    if (rights.size() != proof.size()) return false;
+    for (bool sibling_right : rights) {
+        if (proof_pos >= proof.size()) return false;
+        const Digest& sibling = proof[proof_pos++];
+        hash = sibling_right ? node_hash(hash, sibling) : node_hash(sibling, hash);
+    }
+    return hash == root;
+}
+
+}  // namespace unicert::ctlog

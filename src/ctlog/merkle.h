@@ -1,0 +1,57 @@
+// unicert/ctlog/merkle.h
+//
+// RFC 6962 Merkle hash tree: leaf/node hashing, root computation,
+// audit (inclusion) proofs and consistency proofs. Backs the CT-log
+// substrate's verifiability guarantees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace unicert::ctlog {
+
+using crypto::Digest;
+
+// MTH leaf hash: SHA-256(0x00 || entry).
+Digest leaf_hash(BytesView entry);
+
+// Interior node hash: SHA-256(0x01 || left || right).
+Digest node_hash(const Digest& left, const Digest& right);
+
+// Append-only Merkle tree over opaque entries.
+class MerkleTree {
+public:
+    // Append one entry; returns its leaf index.
+    size_t append(BytesView entry);
+
+    size_t size() const noexcept { return leaves_.size(); }
+
+    // Merkle tree head over the current leaves (RFC 6962 sec. 2.1).
+    // The empty tree's root is SHA-256 of the empty string.
+    Digest root() const;
+
+    // Root over the first n leaves (for consistency checks).
+    Digest root_at(size_t n) const;
+
+    // Audit path proving leaf `index` is in the tree of size `tree_size`.
+    std::vector<Digest> audit_proof(size_t index, size_t tree_size) const;
+
+    // Consistency proof between tree sizes m <= n.
+    std::vector<Digest> consistency_proof(size_t m, size_t n) const;
+
+private:
+    Digest subtree_root(size_t begin, size_t end) const;
+    void subtree_proof(size_t target, size_t begin, size_t end,
+                       std::vector<Digest>& proof) const;
+
+    std::vector<Digest> leaves_;  // leaf hashes
+};
+
+// Verify an audit path for `leaf` at `index` against `root`.
+bool verify_audit_proof(const Digest& leaf, size_t index, size_t tree_size,
+                        const std::vector<Digest>& proof, const Digest& root);
+
+}  // namespace unicert::ctlog

@@ -1,0 +1,107 @@
+// unicert/ctlog/monitor.h
+//
+// CT monitor behavioural models (documented substitution for the five
+// live services tested in Section 6.1 / Table 6). Each profile carries
+// the capability matrix the paper measured — case folding, fuzzy
+// search, Unicode query support, U-label validation, Punycode handling
+// — plus the indexing quirks behind finding P1.4. A Monitor indexes a
+// certificate stream and answers field queries the way its real
+// counterpart would, which is what the CT-monitor-misleading threat
+// scenario exercises.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace unicert::ctlog {
+
+struct MonitorCapabilities {
+    bool case_insensitive = true;        // P1.1: all monitors fold case
+    bool unicode_search = false;         // none accept raw Unicode queries
+    bool fuzzy_search = false;           // substring matching (P1.2)
+    bool ulabel_check = false;           // validates IDN legality (P1.3)
+    bool punycode_idn = true;            // accepts xn-- queries
+    bool punycode_idn_cctld = true;      // accepts xn-- ccTLD queries
+    bool returns_special_unicode = true; // false: certs with special Unicode vanish (P1.4)
+    bool searches_subject_attrs = false; // also indexes O/OU/emailAddress (crt.sh)
+    bool cn_substring_before_slash = false;  // SSLMate: match stops at '/'
+    bool cn_ignored_if_space = false;        // SSLMate: CN with a space dropped
+};
+
+struct MonitorProfile {
+    std::string name;
+    MonitorCapabilities caps;
+};
+
+// The five public monitors of Table 6.
+std::span<const MonitorProfile> monitor_profiles();
+
+// Result of one query.
+struct QueryResult {
+    bool query_accepted = true;    // false when input validation refuses it
+    std::string rejection_reason;
+    std::vector<size_t> cert_ids;  // indexes assigned at indexing time
+};
+
+class Monitor {
+public:
+    explicit Monitor(MonitorProfile profile) : profile_(std::move(profile)) {}
+
+    const MonitorProfile& profile() const noexcept { return profile_; }
+
+    // Index one certificate; returns its id within this monitor.
+    size_t index(const x509::Certificate& cert);
+
+    // Incrementally sync from a CT log: index every regular (non-
+    // precert) entry not yet consumed. Returns how many were indexed.
+    // This is the monitors-index-CT-logs loop of Section 6.1.
+    size_t sync(const class CtLog& log);
+
+    size_t indexed_count() const noexcept { return records_.size(); }
+
+    // Field-based query ("example.com", "xn--mnchen-3ya.example", an O
+    // value, …) per the profile's capabilities.
+    QueryResult query(std::string_view pattern) const;
+
+    // Would a query for `pattern` surface certificate `id`? Convenience
+    // for the misleading-scenario bench.
+    bool would_find(std::string_view pattern, size_t id) const;
+
+    // ---- Watch / alerting (the workflow domain owners actually use) ----
+
+    // Subscribe to a domain; future index()/sync() calls raise an alert
+    // for every certificate whose searchable keys match it (using this
+    // monitor's own matching semantics — which is the point: a watch is
+    // only as good as the indexing behind it).
+    void watch(std::string_view domain);
+
+    struct Alert {
+        std::string domain;   // the subscription that fired
+        size_t cert_id;
+    };
+
+    // Alerts accumulated since the last drain.
+    std::vector<Alert> drain_alerts();
+
+private:
+    struct Record {
+        std::vector<std::string> keys;  // derived searchable keys
+        bool hidden = false;            // excluded from results entirely
+    };
+
+    std::vector<std::string> derive_keys(const x509::Certificate& cert, bool& hidden) const;
+
+    void raise_alerts_for(size_t id);
+
+    MonitorProfile profile_;
+    std::vector<Record> records_;
+    size_t synced_entries_ = 0;  // log entries already consumed by sync()
+    std::vector<std::string> watches_;
+    std::vector<Alert> pending_alerts_;
+};
+
+}  // namespace unicert::ctlog

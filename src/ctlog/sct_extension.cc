@@ -1,0 +1,135 @@
+#include "ctlog/sct_extension.h"
+
+#include "asn1/der.h"
+#include "x509/builder.h"
+
+namespace unicert::ctlog {
+namespace {
+
+void put_u16(Bytes& out, size_t v) {
+    out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+void put_u64(Bytes& out, uint64_t v) {
+    for (int i = 7; i >= 0; --i) out.push_back(static_cast<uint8_t>((v >> (i * 8)) & 0xFF));
+}
+
+// TLS hash/signature algorithm ids for our SimSig substrate: sha256(4)
+// + a private signature id (0xE0).
+constexpr uint8_t kHashSha256 = 4;
+constexpr uint8_t kSigSimSig = 0xE0;
+
+}  // namespace
+
+Bytes serialize_sct(const Sct& sct) {
+    Bytes out;
+    out.push_back(0x00);  // version v1
+    append(out, sct.log_id);  // 32 bytes
+    put_u64(out, static_cast<uint64_t>(sct.timestamp));
+    put_u16(out, 0);  // extensions: none
+    out.push_back(kHashSha256);
+    out.push_back(kSigSimSig);
+    put_u16(out, sct.signature.size());
+    append(out, sct.signature);
+    return out;
+}
+
+Expected<Sct> deserialize_sct(BytesView data) {
+    // 1 version + 32 log id + 8 timestamp + 2 ext len + 2 algs + 2 sig len
+    if (data.size() < 47) return Error{"sct_truncated", "SCT shorter than fixed header"};
+    size_t pos = 0;
+    if (data[pos++] != 0x00) return Error{"sct_bad_version", "only v1 SCTs supported"};
+
+    Sct sct;
+    sct.log_id.assign(data.begin() + pos, data.begin() + pos + 32);
+    pos += 32;
+
+    uint64_t ts = 0;
+    for (int i = 0; i < 8; ++i) ts = (ts << 8) | data[pos++];
+    sct.timestamp = static_cast<int64_t>(ts);
+
+    size_t ext_len = (static_cast<size_t>(data[pos]) << 8) | data[pos + 1];
+    pos += 2;
+    if (pos + ext_len + 4 > data.size()) return Error{"sct_truncated", "extensions overflow"};
+    pos += ext_len;
+
+    pos += 2;  // hash + signature algorithm ids
+    size_t sig_len = (static_cast<size_t>(data[pos]) << 8) | data[pos + 1];
+    pos += 2;
+    if (pos + sig_len > data.size()) return Error{"sct_truncated", "signature overflow"};
+    sct.signature.assign(data.begin() + pos, data.begin() + pos + sig_len);
+    return sct;
+}
+
+x509::Extension make_sct_list_extension(const std::vector<Sct>& scts) {
+    // SignedCertificateTimestampList: u16 total, then per-SCT u16 + body.
+    Bytes list;
+    for (const Sct& sct : scts) {
+        Bytes serialized = serialize_sct(sct);
+        put_u16(list, serialized.size());
+        append(list, serialized);
+    }
+    Bytes tls;
+    put_u16(tls, list.size());
+    append(tls, list);
+
+    // The ASN.1 wrapper is an OCTET STRING containing the TLS bytes.
+    asn1::Writer w;
+    w.add_octet_string(tls);
+
+    x509::Extension ext;
+    ext.oid = asn1::oids::ct_sct_list();
+    ext.critical = false;
+    ext.value = w.take();
+    return ext;
+}
+
+Expected<std::vector<Sct>> parse_sct_list(const x509::Certificate& cert) {
+    const x509::Extension* ext = cert.find_extension(asn1::oids::ct_sct_list());
+    if (ext == nullptr) return std::vector<Sct>{};
+
+    auto octet = asn1::read_tlv(ext->value);
+    if (!octet.ok()) return octet.error();
+    if (!octet->is_universal(asn1::Tag::kOctetString)) {
+        return Error{"sct_list_not_octet_string", "SCT list must be an OCTET STRING"};
+    }
+    BytesView tls = octet->content;
+    if (tls.size() < 2) return Error{"sct_list_truncated", "missing list length"};
+    size_t total = (static_cast<size_t>(tls[0]) << 8) | tls[1];
+    if (total + 2 != tls.size()) {
+        return Error{"sct_list_bad_length", "list length mismatch"};
+    }
+
+    std::vector<Sct> out;
+    size_t pos = 2;
+    while (pos < tls.size()) {
+        if (pos + 2 > tls.size()) return Error{"sct_list_truncated", "missing SCT length"};
+        size_t len = (static_cast<size_t>(tls[pos]) << 8) | tls[pos + 1];
+        pos += 2;
+        if (pos + len > tls.size()) return Error{"sct_list_truncated", "SCT overflows list"};
+        auto sct = deserialize_sct(tls.subspan(pos, len));
+        if (!sct.ok()) return sct.error();
+        out.push_back(std::move(sct).value());
+        pos += len;
+    }
+    return out;
+}
+
+x509::Certificate finalize_precertificate(const x509::Certificate& precert,
+                                          const std::vector<Sct>& scts,
+                                          const crypto::SimSigner& issuer_key) {
+    x509::Certificate final_cert = precert;
+    // Strip the CT poison.
+    final_cert.extensions.erase(
+        std::remove_if(final_cert.extensions.begin(), final_cert.extensions.end(),
+                       [](const x509::Extension& ext) {
+                           return ext.oid == asn1::oids::ct_poison();
+                       }),
+        final_cert.extensions.end());
+    final_cert.extensions.push_back(make_sct_list_extension(scts));
+    x509::sign_certificate(final_cert, issuer_key);
+    return final_cert;
+}
+
+}  // namespace unicert::ctlog

@@ -1,0 +1,38 @@
+// unicert/ctlog/sct_extension.h
+//
+// The SignedCertificateTimestampList certificate extension
+// (RFC 6962 section 3.3): SCTs embedded in final certificates using
+// the TLS presentation-language encoding, wrapped in the
+// 1.3.6.1.4.1.11129.2.4.2 extension. Completes the precertificate →
+// poison → final-cert-with-SCTs lifecycle the CT substrate models.
+#pragma once
+
+#include <vector>
+
+#include "common/expected.h"
+#include "ctlog/log.h"
+#include "x509/certificate.h"
+
+namespace unicert::ctlog {
+
+// TLS-encode one SCT (version 1 structure).
+Bytes serialize_sct(const Sct& sct);
+
+// Parse one serialized SCT.
+Expected<Sct> deserialize_sct(BytesView data);
+
+// Build the SCT-list extension from one or more SCTs.
+x509::Extension make_sct_list_extension(const std::vector<Sct>& scts);
+
+// Extract the SCTs from a certificate's SCT-list extension; empty when
+// the extension is absent.
+Expected<std::vector<Sct>> parse_sct_list(const x509::Certificate& cert);
+
+// Full issuance lifecycle helper: given a precertificate (CT poison
+// present) and the SCTs its submission earned, produce the final
+// certificate — poison removed, SCT list embedded, re-signed.
+x509::Certificate finalize_precertificate(const x509::Certificate& precert,
+                                          const std::vector<Sct>& scts,
+                                          const crypto::SimSigner& issuer_key);
+
+}  // namespace unicert::ctlog

@@ -1,0 +1,140 @@
+#include "idna/bidi.h"
+
+#include "unicode/normalize.h"
+#include "unicode/properties.h"
+
+namespace unicert::idna {
+namespace {
+
+using unicode::CodePoint;
+using unicode::CodePoints;
+
+bool in(CodePoint cp, CodePoint lo, CodePoint hi) { return cp >= lo && cp <= hi; }
+
+}  // namespace
+
+BidiClass bidi_class(CodePoint cp) noexcept {
+    // Numbers.
+    if (in(cp, '0', '9')) return BidiClass::kEN;
+    if (in(cp, 0x0660, 0x0669) || in(cp, 0x066B, 0x066C)) return BidiClass::kAN;
+
+    // Separators / terminators.
+    if (cp == '+' || cp == '-') return BidiClass::kES;
+    if (cp == '.' || cp == ',' || cp == '/' || cp == ':') return BidiClass::kCS;
+    if (cp == '#' || cp == '$' || cp == '%' || in(cp, 0x00A2, 0x00A5) ||
+        in(cp, 0x20A0, 0x20CF)) {
+        return BidiClass::kET;
+    }
+
+    // Non-spacing marks.
+    if (unicode::combining_class(cp) != 0 || in(cp, 0x0300, 0x036F) ||
+        in(cp, 0x0610, 0x061A) || in(cp, 0x064B, 0x065F) || in(cp, 0x05B0, 0x05BD) ||
+        cp == 0x05BF || in(cp, 0x05C1, 0x05C2) || in(cp, 0x06D6, 0x06DC) ||
+        in(cp, 0x08D3, 0x08FF) || in(cp, 0xFE00, 0xFE0F)) {
+        return BidiClass::kNSM;
+    }
+
+    // Boundary neutrals: format controls.
+    if (unicode::is_zero_width(cp) || in(cp, 0x202A, 0x202E) || in(cp, 0x2066, 0x2069)) {
+        return BidiClass::kBN;
+    }
+
+    // Right-to-left Arabic-script ranges.
+    if (in(cp, 0x0600, 0x06FF) || in(cp, 0x0750, 0x077F) || in(cp, 0x08A0, 0x08FF) ||
+        in(cp, 0xFB50, 0xFDFF) || in(cp, 0xFE70, 0xFEFF) || in(cp, 0x0700, 0x074F) ||
+        in(cp, 0x0780, 0x07BF)) {
+        return BidiClass::kAL;
+    }
+    // Right-to-left (Hebrew and friends).
+    if (in(cp, 0x0590, 0x05FF) || in(cp, 0xFB1D, 0xFB4F) || in(cp, 0x07C0, 0x07FF) ||
+        in(cp, 0x0800, 0x083F)) {
+        return BidiClass::kR;
+    }
+
+    // Letters default to L; ASCII symbols and the rest are ON.
+    if (unicode::is_ascii_alpha(cp)) return BidiClass::kL;
+    if (cp < 0x80) return BidiClass::kON;
+    if (in(cp, 0x2000, 0x2BFF)) return BidiClass::kON;  // punctuation & symbols
+    return BidiClass::kL;  // letters of LTR scripts (Latin supplements, CJK, ...)
+}
+
+bool is_bidi_label(const CodePoints& label) {
+    for (CodePoint cp : label) {
+        BidiClass c = bidi_class(cp);
+        if (c == BidiClass::kR || c == BidiClass::kAL || c == BidiClass::kAN) return true;
+    }
+    return false;
+}
+
+Status check_bidi_rule(const CodePoints& label) {
+    if (label.empty()) return Error{"bidi_empty_label", "empty label"};
+
+    BidiClass first = bidi_class(label.front());
+
+    // Condition 1: first character must be L, R or AL.
+    bool rtl;
+    if (first == BidiClass::kR || first == BidiClass::kAL) {
+        rtl = true;
+    } else if (first == BidiClass::kL) {
+        rtl = false;
+    } else {
+        return Error{"bidi_bad_first_char",
+                     "label must start with a letter (L, R or AL), got " +
+                         unicode::codepoint_label(label.front())};
+    }
+
+    bool saw_en = false, saw_an = false;
+    BidiClass last_non_nsm = first;
+    for (CodePoint cp : label) {
+        BidiClass c = bidi_class(cp);
+        if (c == BidiClass::kEN) saw_en = true;
+        if (c == BidiClass::kAN) saw_an = true;
+        if (c != BidiClass::kNSM) last_non_nsm = c;
+
+        if (rtl) {
+            // Condition 2: allowed classes in an RTL label.
+            switch (c) {
+                case BidiClass::kR: case BidiClass::kAL: case BidiClass::kAN:
+                case BidiClass::kEN: case BidiClass::kES: case BidiClass::kCS:
+                case BidiClass::kET: case BidiClass::kON: case BidiClass::kBN:
+                case BidiClass::kNSM:
+                    break;
+                default:
+                    return Error{"bidi_ltr_char_in_rtl_label",
+                                 "L character in RTL label: " + unicode::codepoint_label(cp)};
+            }
+        } else {
+            // Condition 5: allowed classes in an LTR label.
+            switch (c) {
+                case BidiClass::kL: case BidiClass::kEN: case BidiClass::kES:
+                case BidiClass::kCS: case BidiClass::kET: case BidiClass::kON:
+                case BidiClass::kBN: case BidiClass::kNSM:
+                    break;
+                default:
+                    return Error{"bidi_rtl_char_in_ltr_label",
+                                 "R/AL/AN character in LTR label: " +
+                                     unicode::codepoint_label(cp)};
+            }
+        }
+    }
+
+    if (rtl) {
+        // Condition 3: last (non-NSM) char must be R, AL, EN or AN.
+        if (last_non_nsm != BidiClass::kR && last_non_nsm != BidiClass::kAL &&
+            last_non_nsm != BidiClass::kEN && last_non_nsm != BidiClass::kAN) {
+            return Error{"bidi_bad_rtl_ending", "RTL label ends in a non-R/AL/EN/AN character"};
+        }
+        // Condition 4: EN and AN must not both appear.
+        if (saw_en && saw_an) {
+            return Error{"bidi_mixed_numbers", "RTL label mixes European and Arabic numbers"};
+        }
+    } else {
+        // Condition 6: last (non-NSM) char must be L or EN.
+        if (last_non_nsm != BidiClass::kL && last_non_nsm != BidiClass::kEN) {
+            return Error{"bidi_bad_ltr_ending", "LTR label ends in a non-L/EN character"};
+        }
+    }
+    return Status::success();
+}
+
+}  // namespace unicert::idna

@@ -1,0 +1,40 @@
+// unicert/idna/bidi.h
+//
+// RFC 5893 ("Right-to-Left Scripts for IDNA") Bidi rule: labels that
+// contain right-to-left characters must satisfy directional
+// constraints or they render ambiguously — one of the IDNA2008
+// requirements the paper's F1 discussion notes CAs do not check.
+#pragma once
+
+#include "common/expected.h"
+#include "unicode/codepoint.h"
+
+namespace unicert::idna {
+
+// Coarse Unicode bidirectional classes (enough for the RFC 5893 rule).
+enum class BidiClass {
+    kL,    // left-to-right letters
+    kR,    // right-to-left (Hebrew etc.)
+    kAL,   // right-to-left Arabic
+    kEN,   // European number
+    kES,   // European separator (+ -)
+    kET,   // European terminator (currency, %, #)
+    kAN,   // Arabic number
+    kCS,   // common separator (. , / :)
+    kNSM,  // non-spacing mark
+    kBN,   // boundary neutral (format controls)
+    kON,   // other neutral
+};
+
+BidiClass bidi_class(unicode::CodePoint cp) noexcept;
+
+// True when the label contains any R/AL/AN character (making it a
+// "Bidi label" whose whole domain must satisfy the rule).
+bool is_bidi_label(const unicode::CodePoints& label);
+
+// Check the six conditions of RFC 5893 section 2. Returns success for
+// non-Bidi (pure LTR without RTL chars) labels that satisfy the LTR
+// conditions trivially.
+Status check_bidi_rule(const unicode::CodePoints& label);
+
+}  // namespace unicert::idna

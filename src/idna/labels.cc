@@ -1,0 +1,261 @@
+#include "idna/labels.h"
+
+#include <algorithm>
+
+#include "idna/bidi.h"
+#include "idna/punycode.h"
+#include "unicode/codec.h"
+#include "unicode/normalize.h"
+#include "unicode/properties.h"
+
+namespace unicert::idna {
+namespace {
+
+using unicode::CodePoint;
+using unicode::CodePoints;
+
+bool starts_with_ace_prefix(std::string_view label) {
+    if (label.size() < kAcePrefix.size()) return false;
+    for (size_t i = 0; i < kAcePrefix.size(); ++i) {
+        char c = label[i];
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 0x20);
+        if (c != kAcePrefix[i]) return false;
+    }
+    return true;
+}
+
+bool is_combining_mark(CodePoint cp) {
+    return unicode::combining_class(cp) != 0 ||
+           (cp >= 0x0300 && cp <= 0x036F) || (cp >= 0x1AB0 && cp <= 0x1AFF) ||
+           (cp >= 0x1DC0 && cp <= 0x1DFF) || (cp >= 0x20D0 && cp <= 0x20FF) ||
+           (cp >= 0xFE20 && cp <= 0xFE2F);
+}
+
+}  // namespace
+
+bool is_ldh_label(std::string_view label) noexcept {
+    if (label.empty() || label.size() > 63) return false;
+    if (label.front() == '-' || label.back() == '-') return false;
+    return std::all_of(label.begin(), label.end(), [](char c) {
+        return unicode::is_ldh(static_cast<unsigned char>(c));
+    });
+}
+
+bool looks_like_a_label(std::string_view label) noexcept {
+    return starts_with_ace_prefix(label) && is_ldh_label(label);
+}
+
+IdnaClass idna_class(CodePoint cp) noexcept {
+    using namespace unicode;
+    if (is_control(cp)) return IdnaClass::kDisallowed;
+    if (is_bidi_control(cp) || is_layout_control(cp)) return IdnaClass::kDisallowed;
+    if (is_space(cp) || cp == 0x0020) return IdnaClass::kDisallowed;
+    if (is_private_use(cp) || is_noncharacter(cp)) return IdnaClass::kDisallowed;
+    if (is_surrogate(cp)) return IdnaClass::kDisallowed;
+
+    // ASCII: only lowercase LDH is PVALID in IDNA2008 (uppercase is
+    // mapped out before reaching the protocol; we treat both cases as
+    // valid here because certificate DNSNames are case-insensitive).
+    if (cp <= 0x7F) {
+        return is_ldh(cp) ? IdnaClass::kPvalid : IdnaClass::kDisallowed;
+    }
+
+    // Symbols, punctuation, and dingbat ranges are DISALLOWED.
+    if (cp >= 0x2000 && cp <= 0x2BFF) return IdnaClass::kDisallowed;  // punct/symbols/arrows
+    if (cp >= 0x1F000 && cp <= 0x1FBFF) return IdnaClass::kDisallowed;  // emoji etc.
+    if (cp == 0x00A0 || cp == 0x3000) return IdnaClass::kDisallowed;    // special spaces
+    if (cp >= 0xFFF0 && cp <= 0xFFFF) return IdnaClass::kDisallowed;    // specials
+    if (cp >= 0xFE00 && cp <= 0xFE0F) return IdnaClass::kDisallowed;    // variation selectors
+    if (cp >= 0xE0000 && cp <= 0xE01EF) return IdnaClass::kDisallowed;  // tags/VS supplement
+
+    // Uppercase letters outside ASCII are mapped, not PVALID; as above
+    // we accept them for measurement purposes. Everything else in the
+    // letter/digit script ranges counts as PVALID in this model.
+    return IdnaClass::kPvalid;
+}
+
+const char* label_issue_name(LabelIssue issue) noexcept {
+    switch (issue) {
+        case LabelIssue::kOk: return "ok";
+        case LabelIssue::kEmpty: return "empty";
+        case LabelIssue::kTooLong: return "too_long";
+        case LabelIssue::kUndecodablePunycode: return "undecodable_punycode";
+        case LabelIssue::kDisallowedCodePoint: return "disallowed_code_point";
+        case LabelIssue::kNotNfc: return "not_nfc";
+        case LabelIssue::kHyphen34: return "hyphen_in_positions_3_4";
+        case LabelIssue::kLeadingCombiningMark: return "leading_combining_mark";
+        case LabelIssue::kBadLdh: return "bad_ldh_syntax";
+        case LabelIssue::kBidiViolation: return "bidi_rule_violation";
+    }
+    return "?";
+}
+
+LabelCheck check_label(std::string_view label) {
+    LabelCheck result;
+    if (label.empty()) {
+        result.issue = LabelIssue::kEmpty;
+        return result;
+    }
+    if (label.size() > 63) {
+        result.issue = LabelIssue::kTooLong;
+        return result;
+    }
+
+    if (starts_with_ace_prefix(label)) {
+        auto decoded = punycode_decode(label.substr(kAcePrefix.size()));
+        if (!decoded.ok()) {
+            result.issue = LabelIssue::kUndecodablePunycode;
+            return result;
+        }
+        result.unicode = std::move(decoded).value();
+        if (result.unicode.empty()) {
+            result.issue = LabelIssue::kUndecodablePunycode;
+            return result;
+        }
+        for (CodePoint cp : result.unicode) {
+            if (idna_class(cp) == IdnaClass::kDisallowed) {
+                result.issue = LabelIssue::kDisallowedCodePoint;
+                return result;
+            }
+        }
+        if (!unicode::is_nfc(result.unicode)) {
+            result.issue = LabelIssue::kNotNfc;
+            return result;
+        }
+        if (is_combining_mark(result.unicode.front())) {
+            result.issue = LabelIssue::kLeadingCombiningMark;
+            return result;
+        }
+        if (is_bidi_label(result.unicode) && !check_bidi_rule(result.unicode).ok()) {
+            result.issue = LabelIssue::kBidiViolation;
+            return result;
+        }
+        // A pure-ASCII payload means the label did not need encoding;
+        // treat as valid (some registries emit these, flagged elsewhere).
+        return result;
+    }
+
+    // Plain ASCII label.
+    if (!is_ldh_label(label)) {
+        result.issue = LabelIssue::kBadLdh;
+        return result;
+    }
+    if (label.size() >= 4 && label[2] == '-' && label[3] == '-') {
+        // "??--" reserved except for the xn-- prefix handled above.
+        result.issue = LabelIssue::kHyphen34;
+        return result;
+    }
+    result.unicode.assign(label.begin(), label.end());
+    return result;
+}
+
+Expected<std::string> to_a_label(const CodePoints& u_label) {
+    if (u_label.empty()) return Error{"idna_empty_label", "empty label"};
+    for (CodePoint cp : u_label) {
+        if (idna_class(cp) == IdnaClass::kDisallowed) {
+            return Error{"idna_disallowed",
+                         "code point " + unicode::codepoint_label(cp) + " is DISALLOWED"};
+        }
+    }
+    if (!unicode::is_nfc(u_label)) {
+        return Error{"idna_not_nfc", "label is not in NFC"};
+    }
+    bool all_ascii = std::all_of(u_label.begin(), u_label.end(),
+                                 [](CodePoint cp) { return cp < 0x80; });
+    if (all_ascii) {
+        std::string plain(u_label.begin(), u_label.end());
+        if (!is_ldh_label(plain)) return Error{"idna_bad_ldh", "ASCII label is not LDH"};
+        return plain;
+    }
+    auto encoded = punycode_encode(u_label);
+    if (!encoded.ok()) return encoded.error();
+    std::string out = std::string(kAcePrefix) + encoded.value();
+    if (out.size() > 63) return Error{"idna_label_too_long", "ACE form exceeds 63 octets"};
+    return out;
+}
+
+Expected<CodePoints> to_u_label(std::string_view a_label) {
+    if (!starts_with_ace_prefix(a_label)) {
+        return Error{"idna_no_ace_prefix", "label does not start with xn--"};
+    }
+    return punycode_decode(a_label.substr(kAcePrefix.size()));
+}
+
+HostnameCheck check_hostname(std::string_view hostname) {
+    HostnameCheck result;
+    std::string display;
+    size_t start = 0;
+    bool first = true;
+    while (start <= hostname.size()) {
+        size_t dot = hostname.find('.', start);
+        std::string_view label = hostname.substr(
+            start, dot == std::string_view::npos ? std::string_view::npos : dot - start);
+
+        if (!display.empty() || !first) display.push_back('.');
+
+        if (first && label == "*") {
+            display += "*";  // wildcard leftmost label allowed (RFC 6125)
+        } else if (dot == std::string_view::npos && label.empty() && start == hostname.size() &&
+                   start > 0) {
+            // Trailing dot (root label): tolerated.
+            break;
+        } else {
+            LabelCheck lc = check_label(label);
+            if (looks_like_a_label(label)) result.has_idn = true;
+            if (!lc.ok()) {
+                result.ok = false;
+                result.issues.push_back(lc.issue);
+                display += std::string(label);  // keep verbatim when unconvertible
+            } else if (!lc.unicode.empty()) {
+                display += unicode::codepoints_to_utf8(lc.unicode);
+            } else {
+                display += std::string(label);
+            }
+        }
+        first = false;
+        if (dot == std::string_view::npos) break;
+        start = dot + 1;
+    }
+    if (hostname.empty() || hostname.size() > 253) result.ok = false;
+    result.display = std::move(display);
+    return result;
+}
+
+Expected<std::string> hostname_to_ascii(std::string_view utf8_hostname) {
+    auto cps = unicode::utf8_to_codepoints(utf8_hostname);
+    if (!cps.ok()) return Error{"idna_bad_utf8", "hostname is not valid UTF-8"};
+
+    std::string out;
+    CodePoints label;
+    auto flush = [&]() -> Status {
+        if (label.empty()) return Error{"idna_empty_label", "empty label"};
+        if (label.size() == 1 && label[0] == '*' && out.empty()) {
+            out += "*";
+            label.clear();
+            return Status::success();
+        }
+        auto a = to_a_label(label);
+        if (!a.ok()) return a.error();
+        out += a.value();
+        label.clear();
+        return Status::success();
+    };
+
+    for (CodePoint cp : cps.value()) {
+        if (cp == '.') {
+            if (Status s = flush(); !s.ok()) return s.error();
+            out.push_back('.');
+        } else {
+            label.push_back(unicode::fold_case(cp));
+        }
+    }
+    if (Status s = flush(); !s.ok()) return s.error();
+    if (out.size() > 253) return Error{"idna_hostname_too_long", "ACE hostname exceeds 253"};
+    return out;
+}
+
+std::string hostname_to_display(std::string_view hostname) {
+    return check_hostname(hostname).display;
+}
+
+}  // namespace unicert::idna

@@ -1,0 +1,105 @@
+// unicert/idna/labels.h
+//
+// IDNA label machinery: U-label <-> A-label conversion, IDNA2008-style
+// code point classification, LDH syntax (RFC 1034 / RFC 5890), and
+// whole-hostname validation. This module backs the paper's F1 finding
+// ("poor validation of DNSNames": syntactically valid xn-- labels that
+// cannot convert to Unicode or decode to disallowed characters).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.h"
+#include "unicode/codepoint.h"
+
+namespace unicert::idna {
+
+inline constexpr std::string_view kAcePrefix = "xn--";
+
+// ---- Label-level checks -----------------------------------------------
+
+// RFC 1034 LDH label: letters/digits/hyphen, no leading/trailing
+// hyphen, 1..63 octets. (Underscore is rejected; the lints that allow
+// it for CN wildcards handle that separately.)
+bool is_ldh_label(std::string_view label) noexcept;
+
+// "xn--"-prefixed label with LDH syntax — *syntactically* an A-label,
+// regardless of whether it decodes. The paper found 27,102 certs whose
+// labels pass this test yet fail full conversion.
+bool looks_like_a_label(std::string_view label) noexcept;
+
+// IDNA2008 derived-property style classification for a code point in a
+// U-label. Coarse model of RFC 5892: DISALLOWED covers controls, bidi
+// and layout controls, whitespace, symbols/punctuation outside the
+// exceptions, private use and noncharacters.
+enum class IdnaClass { kPvalid, kDisallowed };
+IdnaClass idna_class(unicode::CodePoint cp) noexcept;
+
+// Why a U-label failed validation.
+enum class LabelIssue {
+    kOk,
+    kEmpty,
+    kTooLong,                 // > 63 octets in ACE form
+    kUndecodablePunycode,     // xn-- label whose payload fails RFC 3492
+    kDisallowedCodePoint,     // decoded label contains DISALLOWED cp
+    kNotNfc,                  // decoded label not in NFC
+    kHyphen34,                // "--" in positions 3-4 without being an A-label
+    kLeadingCombiningMark,    // label begins with a combining mark
+    kBadLdh,                  // ASCII label violating LDH syntax
+    kBidiViolation,           // fails the RFC 5893 Bidi rule
+};
+
+const char* label_issue_name(LabelIssue issue) noexcept;
+
+struct LabelCheck {
+    LabelIssue issue = LabelIssue::kOk;
+    // Decoded U-label code points when conversion succeeded (possibly
+    // with issues); empty otherwise.
+    unicode::CodePoints unicode;
+
+    bool ok() const noexcept { return issue == LabelIssue::kOk; }
+};
+
+// Validate one label as it would appear in a certificate DNSName:
+// ASCII labels get LDH checks; xn-- labels get Punycode conversion +
+// IDNA2008 code point + NFC checks (the paper's new
+// e_rfc_dns_idn_a2u_unpermitted_unichar / e_rfc_dns_idn_malformed_unicode
+// lints build on this).
+LabelCheck check_label(std::string_view label);
+
+// ---- Conversion ---------------------------------------------------------
+
+// U-label (Unicode code points) -> A-label ("xn--…"). Validates IDNA
+// class + NFC first.
+Expected<std::string> to_a_label(const unicode::CodePoints& u_label);
+
+// A-label -> U-label. Fails on undecodable Punycode. Does NOT apply
+// IDNA checks (so callers can examine what invalid labels decode to —
+// the paper's measurement needs exactly this).
+Expected<unicode::CodePoints> to_u_label(std::string_view a_label);
+
+// ---- Hostname-level checks ------------------------------------------------
+
+struct HostnameCheck {
+    bool ok = true;
+    bool has_idn = false;             // any xn-- label present
+    std::vector<LabelIssue> issues;   // one per offending label
+    std::string display;              // UTF-8 display form (U-labels decoded)
+};
+
+// Split on '.', validate each label (wildcard "*" leftmost label is
+// permitted), and produce the Unicode display form.
+HostnameCheck check_hostname(std::string_view hostname);
+
+// Convert a hostname containing U-labels (UTF-8) to its all-ASCII ACE
+// form. Fails if any label fails IDNA validation.
+Expected<std::string> hostname_to_ascii(std::string_view utf8_hostname);
+
+// Convert an ACE hostname back to Unicode display form, decoding each
+// xn-- label (undecodable labels are left verbatim — mirroring what
+// lenient tooling does).
+std::string hostname_to_display(std::string_view hostname);
+
+}  // namespace unicert::idna

@@ -1,0 +1,161 @@
+#include "idna/punycode.h"
+
+#include <limits>
+
+namespace unicert::idna {
+namespace {
+
+// Bootstring parameters for Punycode (RFC 3492 section 5).
+constexpr uint32_t kBase = 36;
+constexpr uint32_t kTMin = 1;
+constexpr uint32_t kTMax = 26;
+constexpr uint32_t kSkew = 38;
+constexpr uint32_t kDamp = 700;
+constexpr uint32_t kInitialBias = 72;
+constexpr uint32_t kInitialN = 128;
+constexpr char kDelimiter = '-';
+
+constexpr uint32_t kMaxInt = std::numeric_limits<uint32_t>::max();
+
+// digit-value -> code point ('a'..'z', '0'..'9'); lowercase output.
+char encode_digit(uint32_t d) {
+    return d < 26 ? static_cast<char>('a' + d) : static_cast<char>('0' + d - 26);
+}
+
+// code point -> digit-value, or kBase on invalid.
+uint32_t decode_digit(char c) {
+    if (c >= '0' && c <= '9') return static_cast<uint32_t>(c - '0' + 26);
+    if (c >= 'a' && c <= 'z') return static_cast<uint32_t>(c - 'a');
+    if (c >= 'A' && c <= 'Z') return static_cast<uint32_t>(c - 'A');
+    return kBase;
+}
+
+uint32_t adapt(uint32_t delta, uint32_t numpoints, bool first_time) {
+    delta = first_time ? delta / kDamp : delta / 2;
+    delta += delta / numpoints;
+    uint32_t k = 0;
+    while (delta > ((kBase - kTMin) * kTMax) / 2) {
+        delta /= kBase - kTMin;
+        k += kBase;
+    }
+    return k + (((kBase - kTMin + 1) * delta) / (delta + kSkew));
+}
+
+bool is_basic(unicode::CodePoint cp) { return cp < 0x80; }
+
+}  // namespace
+
+Expected<std::string> punycode_encode(const unicode::CodePoints& input) {
+    std::string output;
+
+    // Copy basic code points straight through.
+    for (unicode::CodePoint cp : input) {
+        if (is_basic(cp)) output.push_back(static_cast<char>(cp));
+    }
+    uint32_t basic_count = static_cast<uint32_t>(output.size());
+    uint32_t handled = basic_count;
+    if (basic_count > 0) output.push_back(kDelimiter);
+
+    uint32_t n = kInitialN;
+    uint32_t delta = 0;
+    uint32_t bias = kInitialBias;
+
+    while (handled < input.size()) {
+        // Next code point >= n present in the input.
+        uint32_t m = kMaxInt;
+        for (unicode::CodePoint cp : input) {
+            if (cp >= n && cp < m) m = cp;
+        }
+        if (m - n > (kMaxInt - delta) / (handled + 1)) {
+            return Error{"punycode_overflow", "delta overflow during encode"};
+        }
+        delta += (m - n) * (handled + 1);
+        n = m;
+
+        for (unicode::CodePoint cp : input) {
+            if (cp < n && ++delta == 0) {
+                return Error{"punycode_overflow", "delta wrapped during encode"};
+            }
+            if (cp == n) {
+                uint32_t q = delta;
+                for (uint32_t k = kBase;; k += kBase) {
+                    uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+                    if (q < t) break;
+                    output.push_back(encode_digit(t + (q - t) % (kBase - t)));
+                    q = (q - t) / (kBase - t);
+                }
+                output.push_back(encode_digit(q));
+                bias = adapt(delta, handled + 1, handled == basic_count);
+                delta = 0;
+                ++handled;
+            }
+        }
+        ++delta;
+        ++n;
+    }
+    return output;
+}
+
+Expected<unicode::CodePoints> punycode_decode(std::string_view input) {
+    unicode::CodePoints output;
+
+    // Basic code points precede the last delimiter.
+    size_t b = input.rfind(kDelimiter);
+    size_t in = 0;
+    if (b != std::string_view::npos) {
+        for (size_t i = 0; i < b; ++i) {
+            unsigned char c = static_cast<unsigned char>(input[i]);
+            if (c >= 0x80) {
+                return Error{"punycode_nonbasic",
+                             "non-basic code point before delimiter at " + std::to_string(i)};
+            }
+            output.push_back(c);
+        }
+        in = b + 1;
+    }
+
+    uint32_t n = kInitialN;
+    uint32_t i = 0;
+    uint32_t bias = kInitialBias;
+
+    while (in < input.size()) {
+        uint32_t oldi = i;
+        uint32_t w = 1;
+        for (uint32_t k = kBase;; k += kBase) {
+            if (in >= input.size()) {
+                return Error{"punycode_truncated", "input ended inside a variable-length integer"};
+            }
+            uint32_t digit = decode_digit(input[in++]);
+            if (digit >= kBase) {
+                return Error{"punycode_bad_digit",
+                             "invalid digit at position " + std::to_string(in - 1)};
+            }
+            if (digit > (kMaxInt - i) / w) {
+                return Error{"punycode_overflow", "i overflow during decode"};
+            }
+            i += digit * w;
+            uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+            if (digit < t) break;
+            if (w > kMaxInt / (kBase - t)) {
+                return Error{"punycode_overflow", "w overflow during decode"};
+            }
+            w *= kBase - t;
+        }
+        uint32_t out_len = static_cast<uint32_t>(output.size()) + 1;
+        bias = adapt(i - oldi, out_len, oldi == 0);
+        if (i / out_len > kMaxInt - n) {
+            return Error{"punycode_overflow", "n overflow during decode"};
+        }
+        n += i / out_len;
+        i %= out_len;
+        if (n > unicode::kMaxCodePoint || unicode::is_surrogate(n)) {
+            return Error{"punycode_invalid_codepoint",
+                         "decoded value is not a Unicode scalar value"};
+        }
+        output.insert(output.begin() + i, n);
+        ++i;
+    }
+    return output;
+}
+
+}  // namespace unicert::idna

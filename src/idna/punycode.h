@@ -1,0 +1,25 @@
+// unicert/idna/punycode.h
+//
+// RFC 3492 Punycode: the Bootstring encoding used by IDNA to represent
+// Unicode domain labels ("U-labels") in the LDH subset of ASCII
+// ("A-labels", prefixed "xn--"). Implemented in full, including bias
+// adaptation and mixed-case annotation-free output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/expected.h"
+#include "unicode/codepoint.h"
+
+namespace unicert::idna {
+
+// Encode code points to the Punycode form (without the "xn--" prefix).
+// Fails only when the input overflows the 32-bit delta arithmetic.
+Expected<std::string> punycode_encode(const unicode::CodePoints& input);
+
+// Decode a Punycode string (without the "xn--" prefix) to code points.
+// Fails on invalid basic code points, bad digits, or overflow.
+Expected<unicode::CodePoints> punycode_decode(std::string_view input);
+
+}  // namespace unicert::idna

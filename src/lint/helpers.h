@@ -1,0 +1,81 @@
+// unicert/lint/helpers.h
+//
+// Shared utilities for lint rule implementations: attribute iteration,
+// per-type decoding, DNSName extraction, and the effective-date
+// constants of the standards each rule family derives from.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/time.h"
+#include "unicode/codec.h"
+#include "x509/certificate.h"
+
+namespace unicert::lint {
+
+// ---- Effective dates --------------------------------------------------------
+
+namespace dates {
+// RFC 5280 published May 2008.
+inline const int64_t kRfc5280 = asn1::make_time(2008, 5, 1);
+// CA/B Baseline Requirements v1.0 effective July 2012.
+inline const int64_t kCabfBr = asn1::make_time(2012, 7, 1);
+// IDNA2008 suite (RFC 5890-5892) August 2010.
+inline const int64_t kIdna2008 = asn1::make_time(2010, 8, 1);
+// Community lints (zlint-era conventions) from 2016.
+inline const int64_t kCommunity = asn1::make_time(2016, 3, 1);
+// RFC 9549 (i18n updates to RFC 5280) January 2024.
+inline const int64_t kRfc9549 = asn1::make_time(2024, 1, 1);
+// RFC 9598 (internationalized email in certs) May 2024.
+inline const int64_t kRfc9598 = asn1::make_time(2024, 5, 1);
+// ASN.1 / X.680 base constraints predate everything relevant.
+inline const int64_t kAlways = 0;
+}  // namespace dates
+
+// ---- Attribute iteration -----------------------------------------------------
+
+// Visit every AttributeTypeAndValue in a DN.
+void for_each_attribute(const x509::DistinguishedName& dn,
+                        const std::function<void(const x509::AttributeValue&)>& fn);
+
+// Decoded code points of an attribute value per its *declared* type,
+// or nullopt when the bytes are undecodable (that itself is a finding
+// for other rules).
+std::optional<unicode::CodePoints> decode_attribute(const x509::AttributeValue& av);
+
+// First attribute of `type` in the subject, decoded lossily to UTF-8.
+std::optional<std::string> subject_attribute_utf8(const x509::Certificate& cert,
+                                                  const asn1::Oid& type);
+
+// ---- DNSName extraction -----------------------------------------------------
+
+struct DnsNameRef {
+    std::string value;       // lossy UTF-8 of the raw bytes
+    Bytes raw;               // raw value bytes as encoded
+    bool from_san = false;   // false -> from Subject CN
+};
+
+// All DNSName candidates: SAN dNSName entries plus Subject CNs that
+// look like hostnames (contain a dot, no spaces) — matching how the
+// paper treats "DNSName-related fields".
+std::vector<DnsNameRef> dns_name_candidates(const x509::Certificate& cert);
+
+// Does a CN value look like it is meant to be a hostname?
+bool looks_like_hostname(std::string_view value);
+
+// ---- Predicate helpers ------------------------------------------------------
+
+// True if every code point is printable ASCII.
+bool all_printable_ascii(const unicode::CodePoints& cps);
+
+// The CABF DirectoryString rule: value must use PrintableString or
+// UTF8String. Returns the offending type name if violated.
+std::optional<std::string> check_printable_or_utf8(const x509::AttributeValue& av);
+
+// PrintableString-only rule (country, serialNumber).
+std::optional<std::string> check_printable_only(const x509::AttributeValue& av);
+
+}  // namespace unicert::lint

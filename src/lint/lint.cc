@@ -1,0 +1,96 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+
+namespace unicert::lint {
+
+const char* severity_name(Severity s) noexcept {
+    switch (s) {
+        case Severity::kInfo: return "info";
+        case Severity::kWarning: return "warning";
+        case Severity::kError: return "error";
+    }
+    return "?";
+}
+
+const char* source_name(Source s) noexcept {
+    switch (s) {
+        case Source::kRfc5280: return "RFC5280";
+        case Source::kRfc6818: return "RFC6818";
+        case Source::kRfc8399: return "RFC8399";
+        case Source::kRfc9549: return "RFC9549";
+        case Source::kRfc9598: return "RFC9598";
+        case Source::kIdna: return "IDNA";
+        case Source::kDnsRfc: return "DNS";
+        case Source::kCabfBr: return "CABF_BR";
+        case Source::kCommunity: return "Community";
+        case Source::kX680: return "X.680";
+    }
+    return "?";
+}
+
+const char* nc_type_name(NcType t) noexcept {
+    switch (t) {
+        case NcType::kInvalidCharacter: return "Invalid Character";
+        case NcType::kBadNormalization: return "Bad Normalization";
+        case NcType::kIllegalFormat: return "Illegal Format";
+        case NcType::kInvalidEncoding: return "Invalid Encoding";
+        case NcType::kInvalidStructure: return "Invalid Structure";
+        case NcType::kDiscouragedField: return "Discouraged Field";
+    }
+    return "?";
+}
+
+bool CertReport::has_error() const noexcept {
+    return std::any_of(findings.begin(), findings.end(),
+                       [](const Finding& f) { return f.lint->severity == Severity::kError; });
+}
+
+bool CertReport::has_warning() const noexcept {
+    return std::any_of(findings.begin(), findings.end(),
+                       [](const Finding& f) { return f.lint->severity == Severity::kWarning; });
+}
+
+bool CertReport::has_type(NcType t) const noexcept {
+    return std::any_of(findings.begin(), findings.end(),
+                       [t](const Finding& f) { return f.lint->type == t; });
+}
+
+bool CertReport::has_lint(std::string_view name) const noexcept {
+    return std::any_of(findings.begin(), findings.end(),
+                       [name](const Finding& f) { return f.lint->name == name; });
+}
+
+const Rule* Registry::find(std::string_view name) const {
+    for (const Rule& r : rules_) {
+        if (r.info.name == name) return &r;
+    }
+    return nullptr;
+}
+
+size_t Registry::count_type(NcType t) const {
+    return static_cast<size_t>(std::count_if(
+        rules_.begin(), rules_.end(), [t](const Rule& r) { return r.info.type == t; }));
+}
+
+size_t Registry::count_new() const {
+    return static_cast<size_t>(std::count_if(rules_.begin(), rules_.end(),
+                                             [](const Rule& r) { return r.info.is_new; }));
+}
+
+CertReport run_lints(const x509::Certificate& cert, const Registry& registry,
+                     const RunOptions& options) {
+    CertReport report;
+    for (const Rule& rule : registry.rules()) {
+        if (options.respect_effective_dates &&
+            cert.validity.not_before < rule.info.effective_date) {
+            continue;
+        }
+        if (auto detail = rule.check(cert)) {
+            report.findings.push_back({&rule.info, std::move(*detail)});
+        }
+    }
+    return report;
+}
+
+}  // namespace unicert::lint

@@ -1,0 +1,119 @@
+// unicert/lint/lint.h
+//
+// The certificate linter framework: a zlint-style rule registry with
+// per-lint severity, requirement source, noncompliance taxonomy type
+// (Table 1 of the paper), and effective dates so rules are not applied
+// retroactively to certificates issued before the rule existed
+// (Section 3.1.2).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace unicert::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* severity_name(Severity s) noexcept;
+
+// Which standard a rule derives from.
+enum class Source {
+    kRfc5280,
+    kRfc6818,
+    kRfc8399,
+    kRfc9549,
+    kRfc9598,
+    kIdna,      // RFC 5890-5892 / IDNA2008
+    kDnsRfc,    // RFC 1034 et al.
+    kCabfBr,
+    kCommunity,
+    kX680,      // ASN.1 base standard
+};
+
+const char* source_name(Source s) noexcept;
+
+// The paper's noncompliance taxonomy (Table 1).
+enum class NcType {
+    kInvalidCharacter,   // T1
+    kBadNormalization,   // T2
+    kIllegalFormat,      // T3a
+    kInvalidEncoding,    // T3b
+    kInvalidStructure,   // T3c
+    kDiscouragedField,   // T3d
+};
+
+const char* nc_type_name(NcType t) noexcept;
+
+struct LintInfo {
+    std::string name;        // stable snake_case id, e.g. "e_rfc_dns_idn_a2u_unpermitted_unichar"
+    std::string description;
+    Severity severity = Severity::kError;
+    Source source = Source::kRfc5280;
+    NcType type = NcType::kInvalidCharacter;
+    int64_t effective_date = 0;  // Unix time; applies to certs issued on/after
+    bool is_new = false;         // one of the paper's 50 newly-added lints
+};
+
+// One lint rule: metadata + a check returning a violation detail
+// message, or nullopt when compliant.
+struct Rule {
+    LintInfo info;
+    std::function<std::optional<std::string>(const x509::Certificate&)> check;
+};
+
+// A violation found on a specific certificate.
+struct Finding {
+    const LintInfo* lint = nullptr;
+    std::string detail;
+};
+
+// Per-certificate result.
+struct CertReport {
+    std::vector<Finding> findings;
+
+    bool noncompliant() const noexcept { return !findings.empty(); }
+    bool has_error() const noexcept;
+    bool has_warning() const noexcept;
+    bool has_type(NcType t) const noexcept;
+    bool has_lint(std::string_view name) const noexcept;
+};
+
+// The rule collection. Immutable once built; the default registry
+// carries the full 95-rule set described in DESIGN.md.
+class Registry {
+public:
+    void add(Rule rule) { rules_.push_back(std::move(rule)); }
+
+    std::span<const Rule> rules() const noexcept { return rules_; }
+    size_t size() const noexcept { return rules_.size(); }
+
+    const Rule* find(std::string_view name) const;
+
+    // Count rules per taxonomy type / newness (for the Table 1 header).
+    size_t count_type(NcType t) const;
+    size_t count_new() const;
+
+private:
+    std::vector<Rule> rules_;
+};
+
+// The full built-in rule set.
+const Registry& default_registry();
+
+struct RunOptions {
+    // When true (the paper's main configuration) a rule only applies to
+    // certificates whose notBefore is on/after the rule's effective
+    // date. Footnote 4: disabling this raises 249K NC certs to 1.8M.
+    bool respect_effective_dates = true;
+};
+
+// Run every applicable rule against one certificate.
+CertReport run_lints(const x509::Certificate& cert, const Registry& registry = default_registry(),
+                     const RunOptions& options = {});
+
+}  // namespace unicert::lint

@@ -1,0 +1,23 @@
+// Assembles the default 95-lint registry (Table 1's "All (New)"
+// column: T1 22(10), T2 4(3), T3 format 17(0), encoding 48(37),
+// structure 2(0), discouraged 2(0) — 95 lints, 50 new).
+#include "lint/lint.h"
+#include "lint/rules.h"
+
+namespace unicert::lint {
+
+const Registry& default_registry() {
+    static const Registry registry = [] {
+        Registry r;
+        register_charset_rules(r);
+        register_normalization_rules(r);
+        register_format_rules(r);
+        register_encoding_rules(r);
+        register_structure_rules(r);
+        register_discouraged_rules(r);
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace unicert::lint

@@ -1,0 +1,18 @@
+// unicert/lint/rules.h
+//
+// Per-family rule registration. default_registry() (lint.h) calls each
+// of these to assemble the 95-lint set enumerated in DESIGN.md.
+#pragma once
+
+#include "lint/lint.h"
+
+namespace unicert::lint {
+
+void register_charset_rules(Registry& registry);        // T1 Invalid Character (22)
+void register_normalization_rules(Registry& registry);  // T2 Bad Normalization (4)
+void register_format_rules(Registry& registry);         // T3 Illegal Format (17)
+void register_encoding_rules(Registry& registry);       // T3 Invalid Encoding (48)
+void register_structure_rules(Registry& registry);      // T3 Invalid Structure (2)
+void register_discouraged_rules(Registry& registry);    // T3 Discouraged Field (2)
+
+}  // namespace unicert::lint

@@ -1,0 +1,120 @@
+// T2 "Bad Normalization" rules: NFC requirements on UTF8String values
+// and on IDN U-labels (Section 4.3.1 type T2). 4 lints, 3 new.
+#include "idna/labels.h"
+#include "lint/helpers.h"
+#include "lint/rules.h"
+#include "unicode/normalize.h"
+#include "unicode/properties.h"
+
+namespace unicert::lint {
+namespace {
+
+using unicode::CodePoints;
+using x509::AttributeValue;
+using x509::Certificate;
+
+Rule make(std::string name, std::string description, Severity severity, Source source,
+          int64_t effective, bool is_new,
+          std::function<std::optional<std::string>(const Certificate&)> check) {
+    Rule r;
+    r.info = {std::move(name), std::move(description), severity, source,
+              NcType::kBadNormalization, effective, is_new};
+    r.check = std::move(check);
+    return r;
+}
+
+}  // namespace
+
+void register_normalization_rules(Registry& reg) {
+    // 1. IDN U-labels derived from A-labels must be in NFC — the lint
+    //    behind the paper's 3-certificate T2 finding: Punycode output
+    //    that re-encodes to a *different* A-label because it was never
+    //    NFC, breaking A<->U round-tripping (RFC 5890/9598 concern).
+    reg.add(make(
+        "e_rfc_idn_unicode_not_nfc",
+        "Decoded IDN U-labels must be in Unicode NFC form",
+        Severity::kError, Source::kIdna, dates::kIdna2008, true,
+        [](const Certificate& cert) -> std::optional<std::string> {
+            for (const DnsNameRef& dns : dns_name_candidates(cert)) {
+                size_t start = 0;
+                const std::string& host = dns.value;
+                while (start <= host.size()) {
+                    size_t dot = host.find('.', start);
+                    std::string label = host.substr(
+                        start, dot == std::string::npos ? std::string::npos : dot - start);
+                    if (idna::looks_like_a_label(label)) {
+                        idna::LabelCheck lc = idna::check_label(label);
+                        if (lc.issue == idna::LabelIssue::kNotNfc) {
+                            return "label '" + label + "' decodes to non-NFC Unicode";
+                        }
+                    }
+                    if (dot == std::string::npos) break;
+                    start = dot + 1;
+                }
+            }
+            return std::nullopt;
+        }));
+
+    // 2. UTF8String DN values SHOULD be NFC (RFC 5280 attribute
+    //    normalization; severity mirrors the MUST in the cert profile
+    //    for name chaining).
+    reg.add(make(
+        "e_rfc_utf8_string_not_nfc",
+        "UTF8String attribute values must be NFC-normalized",
+        Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
+        [](const Certificate& cert) -> std::optional<std::string> {
+            std::optional<std::string> found;
+            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+                if (found || av.string_type != asn1::StringType::kUtf8String) return;
+                auto cps = decode_attribute(av);
+                if (!cps) return;
+                if (!unicode::is_nfc(*cps)) {
+                    found = asn1::attribute_short_name(av.type) + " value is not in NFC";
+                }
+            });
+            return found;
+        }));
+
+    // 3. SmtpUTF8Mailbox local parts must be NFC (RFC 9598).
+    reg.add(make(
+        "e_mail_smtp_utf8_not_nfc",
+        "SmtpUTF8Mailbox values must be NFC-normalized",
+        Severity::kError, Source::kRfc9598, dates::kRfc9598, true,
+        [](const Certificate& cert) -> std::optional<std::string> {
+            for (const x509::GeneralName& gn : cert.subject_alt_names()) {
+                if (gn.type != x509::GeneralNameType::kOtherName ||
+                    gn.other_name_oid != asn1::oids::smtp_utf8_mailbox()) {
+                    continue;
+                }
+                auto tlv = asn1::read_tlv(gn.other_name_value);
+                if (!tlv.ok()) continue;
+                auto cps = unicode::decode(tlv->content, unicode::Encoding::kUtf8);
+                if (!cps.ok()) continue;
+                if (!unicode::is_nfc(cps.value())) return std::string("mailbox is not in NFC");
+            }
+            return std::nullopt;
+        }));
+
+    // 4. Values beginning with a combining mark cannot normalize/render
+    //    deterministically (DN comparison hazard, RFC 5280 sec. 7).
+    reg.add(make(
+        "w_rfc_dn_leading_combining_mark",
+        "DN values should not begin with a combining mark",
+        Severity::kWarning, Source::kRfc5280, dates::kRfc5280, false,
+        [](const Certificate& cert) -> std::optional<std::string> {
+            std::optional<std::string> found;
+            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+                if (found) return;
+                auto cps = decode_attribute(av);
+                if (!cps || cps->empty()) return;
+                if (unicode::combining_class(cps->front()) != 0) {
+                    found = asn1::attribute_short_name(av.type) +
+                            " starts with combining mark " +
+                            unicode::codepoint_label(cps->front());
+                }
+            });
+            return found;
+        }));
+}
+
+}  // namespace unicert::lint

@@ -1,0 +1,181 @@
+#include "threat/browser.h"
+
+#include <algorithm>
+
+#include "unicode/codec.h"
+#include "unicode/properties.h"
+
+namespace unicert::threat {
+namespace {
+
+using unicode::CodePoint;
+using unicode::CodePoints;
+
+// The equivalent-character substitution table browsers apply —
+// including the incorrect mapping Table 14 flags (Greek question mark
+// U+037E becomes ';' rather than '?', violating the Unicode charts).
+CodePoint substitute(CodePoint cp) {
+    switch (cp) {
+        case 0x037E: return ';';   // WRONG per Unicode, but what engines do
+        case 0x2024: return '.';   // ONE DOT LEADER
+        case 0xFF0E: return '.';   // FULLWIDTH FULL STOP
+        default: return cp;
+    }
+}
+
+}  // namespace
+
+const char* browser_name(Browser b) noexcept {
+    switch (b) {
+        case Browser::kFirefox: return "Firefox";
+        case Browser::kSafari: return "Safari";
+        case Browser::kChromiumFamily: return "Chromium-based";
+    }
+    return "?";
+}
+
+const char* browser_engine(Browser b) noexcept {
+    switch (b) {
+        case Browser::kFirefox: return "Gecko";
+        case Browser::kSafari: return "Webkit";
+        case Browser::kChromiumFamily: return "Blink";
+    }
+    return "?";
+}
+
+BrowserPolicy browser_policy(Browser b) noexcept {
+    switch (b) {
+        case Browser::kFirefox:
+            // G1.1: only Firefox renders C0/C1 "robustly but potentially
+            // insecurely" (no visible marking).
+            return {.marks_c0_c1 = false,
+                    .layout_controls_visible = false,
+                    .detects_homographs = false,
+                    .correct_substitutions = false,
+                    .asn1_range_checking = true,   // flawed but present
+                    .warning_page_spoofable = true,
+                    .warning_uses_san = true};
+        case Browser::kSafari:
+            return {.marks_c0_c1 = true,
+                    .layout_controls_visible = false,
+                    .detects_homographs = false,
+                    .correct_substitutions = false,
+                    .asn1_range_checking = true,
+                    .warning_page_spoofable = false,
+                    .warning_uses_san = false};
+        case Browser::kChromiumFamily:
+            return {.marks_c0_c1 = true,
+                    .layout_controls_visible = false,
+                    .detects_homographs = false,
+                    .correct_substitutions = false,
+                    .asn1_range_checking = false,  // Table 14: ✗
+                    .warning_page_spoofable = true,
+                    .warning_uses_san = false};
+    }
+    return {};
+}
+
+std::string apply_bidi_overrides(const CodePoints& cps) {
+    // Simplified UBA: RLO (U+202E) reverses everything until PDF
+    // (U+202C) or end-of-string; the controls themselves are removed.
+    CodePoints out;
+    size_t i = 0;
+    while (i < cps.size()) {
+        CodePoint cp = cps[i];
+        if (cp == 0x202E) {
+            // Collect the overridden run up to the matching PDF. Nested
+            // RLO inside an RTL run is redundant; the embedded controls
+            // are invisible either way, so they are dropped and the run
+            // is reversed once.
+            CodePoints run;
+            ++i;
+            int depth = 1;
+            while (i < cps.size()) {
+                if (cps[i] == 0x202E) {
+                    ++depth;
+                } else if (cps[i] == 0x202C) {
+                    --depth;
+                    if (depth == 0) break;
+                } else {
+                    run.push_back(cps[i]);
+                }
+                ++i;
+            }
+            if (i < cps.size()) ++i;  // consume the matching PDF
+            out.insert(out.end(), run.rbegin(), run.rend());
+            continue;
+        }
+        if (unicode::is_bidi_control(cp)) {
+            ++i;  // other bidi controls: invisible, no reordering modelled
+            continue;
+        }
+        out.push_back(cp);
+        ++i;
+    }
+    return unicode::codepoints_to_utf8(out);
+}
+
+std::string render_for_display(Browser b, std::string_view value_utf8) {
+    BrowserPolicy policy = browser_policy(b);
+    CodePoints cps =
+        unicode::decode_lossy(to_bytes(value_utf8), unicode::Encoding::kUtf8,
+                              unicode::ErrorPolicy::kReplace);
+
+    // Apply bidi overrides first: they shape what the user *sees*.
+    std::string reordered = apply_bidi_overrides(cps);
+    CodePoints visual =
+        unicode::decode_lossy(to_bytes(reordered), unicode::Encoding::kUtf8,
+                              unicode::ErrorPolicy::kReplace);
+
+    CodePoints out;
+    for (CodePoint cp : visual) {
+        if (unicode::is_layout_control(cp)) {
+            if (policy.layout_controls_visible) out.push_back(0x2423);  // ␣-style marker
+            // else: invisible — G1.1's attack surface.
+            continue;
+        }
+        if (unicode::is_control(cp)) {
+            if (policy.marks_c0_c1) {
+                // URL-encoding style visible marker, e.g. %00.
+                static constexpr char kHex[] = "0123456789ABCDEF";
+                out.push_back('%');
+                out.push_back(static_cast<CodePoint>(kHex[(cp >> 4) & 0xF]));
+                out.push_back(static_cast<CodePoint>(kHex[cp & 0xF]));
+            } else {
+                out.push_back(cp);  // rendered raw (Firefox)
+            }
+            continue;
+        }
+        if (!policy.correct_substitutions) {
+            cp = substitute(cp);
+        }
+        out.push_back(cp);
+    }
+    return unicode::codepoints_to_utf8(out);
+}
+
+bool can_spoof(Browser b, std::string_view crafted_utf8, std::string_view target_utf8) {
+    if (crafted_utf8 == target_utf8) return false;  // nothing to spoof
+    return render_for_display(b, crafted_utf8) == render_for_display(b, target_utf8);
+}
+
+std::string warning_page_identity(Browser b, const x509::Certificate& cert) {
+    BrowserPolicy policy = browser_policy(b);
+    if (policy.warning_uses_san) {
+        // Firefox: SAN DNSNames drive the alert text.
+        std::string out;
+        for (const x509::GeneralName& gn : cert.subject_alt_names()) {
+            if (gn.type != x509::GeneralNameType::kDnsName) continue;
+            if (!out.empty()) out += ", ";
+            out += render_for_display(b, gn.to_utf8_lossy());
+        }
+        return out;
+    }
+    // Chromium/Safari: Subject CN (falling back to O).
+    auto cns = cert.subject_common_names();
+    if (!cns.empty()) return render_for_display(b, cns.front()->to_utf8_lossy());
+    const x509::AttributeValue* o = cert.subject.find_first(asn1::oids::organization_name());
+    return o != nullptr ? render_for_display(b, o->to_utf8_lossy()) : std::string{};
+}
+
+}  // namespace unicert::threat

@@ -1,0 +1,59 @@
+// unicert/threat/browser.h
+//
+// Browser certificate-rendering models (Appendix F.1 / Table 14).
+// Each profile maps decoded certificate strings to *display* strings
+// the way its engine's certificate viewer and warning pages do:
+// C0/C1 marking policy, invisible layout controls, bidirectional
+// override application (the "www.paypal.com" spoof), and the
+// substitution table (Greek question mark -> semicolon).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "unicode/codepoint.h"
+#include "x509/certificate.h"
+
+namespace unicert::threat {
+
+enum class Browser { kFirefox, kSafari, kChromiumFamily };
+
+inline constexpr std::array<Browser, 3> kAllBrowsers = {
+    Browser::kFirefox, Browser::kSafari, Browser::kChromiumFamily};
+
+const char* browser_name(Browser b) noexcept;
+const char* browser_engine(Browser b) noexcept;
+
+struct BrowserPolicy {
+    bool marks_c0_c1;             // visible indicator for control codes
+    bool layout_controls_visible; // false everywhere (Table 14's Ø)
+    bool detects_homographs;      // false everywhere ("✓ vulnerable")
+    bool correct_substitutions;   // false: U+037E -> ';' instead of '?'
+    bool asn1_range_checking;     // flawed where true is absent
+    bool warning_page_spoofable;  // Chromium ✓, Firefox ✓(SAN-based), Safari ✗
+    bool warning_uses_san;        // Firefox builds warnings from SAN DNSNames
+};
+
+BrowserPolicy browser_policy(Browser b) noexcept;
+
+// Render a certificate field value (UTF-8) to the string a user would
+// *see* in this browser's certificate UI: applies control marking or
+// invisibility, drops/reorders per bidi overrides, and applies the
+// (incorrect) substitution table.
+std::string render_for_display(Browser b, std::string_view value_utf8);
+
+// Pure visual simulation of bidirectional override characters: RLO
+// reverses the enclosed run, PDF terminates it, and the control
+// characters themselves vanish. This is what turns
+// "www.<RLO>lapyap<PDF>.com" into the displayed "www.paypal.com".
+std::string apply_bidi_overrides(const unicode::CodePoints& cps);
+
+// Would this browser's rendering of `crafted` be visually identical to
+// `target` (i.e. can the crafted value spoof the target)?
+bool can_spoof(Browser b, std::string_view crafted_utf8, std::string_view target_utf8);
+
+// The entity string this browser's WARNING PAGE shows for a failed
+// connection (Chromium: Subject CN/O; Firefox: SAN DNSNames).
+std::string warning_page_identity(Browser b, const x509::Certificate& cert);
+
+}  // namespace unicert::threat

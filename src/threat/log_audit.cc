@@ -1,0 +1,114 @@
+#include "threat/log_audit.h"
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::threat {
+namespace {
+
+constexpr size_t kColumns = 5;  // ts, ip, cn, o, san
+
+std::string escape_tsv(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+            case '\t': out += "\\x09"; break;
+            case '\n': out += "\\x0a"; break;
+            case '\r': out += "\\x0d"; break;
+            case '\0': out += "\\x00"; break;
+            default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void TlsLogWriter::log_connection(int64_t timestamp, const std::string& peer_ip,
+                                  Middlebox extractor, const x509::Certificate& cert) {
+    ExtractedEntities entities = extract_entities(extractor, cert);
+    auto field = [&](const std::vector<std::string>& values) {
+        std::string joined = values.empty() ? "-" : values.front();
+        return escape_fields_ ? escape_tsv(joined) : joined;
+    };
+
+    log_ += std::to_string(timestamp);
+    log_ += "\t" + (escape_fields_ ? escape_tsv(peer_ip) : peer_ip);
+    log_ += "\t" + field(entities.common_names);
+    log_ += "\t" + field(entities.organizations);
+    log_ += "\t" + field(entities.san_dns);
+    log_ += "\n";
+    ++records_;
+}
+
+TlsLogWriter::AuditView TlsLogWriter::audit() const {
+    AuditView view;
+    size_t start = 0;
+    while (start < log_.size()) {
+        size_t end = log_.find('\n', start);
+        if (end == std::string::npos) end = log_.size();
+        std::string_view line(log_.data() + start, end - start);
+        if (!line.empty()) {
+            ++view.lines;
+            size_t tabs = 0;
+            for (char c : line) {
+                if (c == '\t') ++tabs;
+            }
+            if (tabs == kColumns - 1) {
+                ++view.well_formed;
+            } else {
+                ++view.malformed;
+            }
+        }
+        start = end + 1;
+    }
+    return view;
+}
+
+std::vector<LogInjectionResult> run_log_injection() {
+    namespace oids = asn1::oids;
+
+    auto make_cert = [](const std::string& cn, const std::string& o) {
+        x509::Certificate cert;
+        cert.version = 2;
+        cert.serial = {0x4C};
+        cert.subject = x509::make_dn({
+            x509::make_attribute(oids::common_name(), cn),
+            x509::make_attribute(oids::organization_name(), o),
+        });
+        cert.issuer = cert.subject;
+        cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+        return cert;
+    };
+
+    std::vector<x509::Certificate> traffic = {
+        make_cert("benign.example", "Benign Org"),
+        // Newline injection: forges a phantom log entry claiming a
+        // connection to an allow-listed host.
+        make_cert("evil.example\n1700000000\t10.0.0.9\tallowed.example\tTrusted Org\t-",
+                  "Evil Org"),
+        // Tab injection: shifts every subsequent column.
+        make_cert("shift.example", "Tab\tSeparated\tOrg"),
+    };
+
+    std::vector<LogInjectionResult> results;
+    for (bool hardened : {false, true}) {
+        TlsLogWriter writer(hardened);
+        int64_t ts = asn1::make_time(2025, 2, 1);
+        for (const x509::Certificate& cert : traffic) {
+            writer.log_connection(ts++, "192.0.2.7", Middlebox::kSnort, cert);
+        }
+        TlsLogWriter::AuditView view = writer.audit();
+        LogInjectionResult r;
+        r.hardened_writer = hardened;
+        r.records = writer.records_written();
+        r.lines = view.lines;
+        r.malformed_lines = view.malformed;
+        r.log_corrupted = view.lines != writer.records_written() || view.malformed > 0;
+        results.push_back(r);
+    }
+    return results;
+}
+
+}  // namespace unicert::threat

@@ -1,0 +1,62 @@
+// unicert/threat/log_audit.h
+//
+// Section 5.1's "field information misrecognition" impact on log
+// auditing: network monitors write line-based TLS logs (Zeek-style
+// TSV) from certificate fields. Certificates carrying separator or
+// newline characters corrupt those logs — injecting phantom entries or
+// breaking column alignment — which is the "make the network logs hard
+// to analyze" outcome the paper cites ([69]'s malformed OpenVPN logs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "threat/middlebox.h"
+#include "x509/certificate.h"
+
+namespace unicert::threat {
+
+// A minimal Zeek-style TSV log writer for TLS connections.
+class TlsLogWriter {
+public:
+    // Writing policy: a hardened writer escapes separators; a naive one
+    // interpolates field values verbatim (the vulnerable practice).
+    explicit TlsLogWriter(bool escape_fields) : escape_fields_(escape_fields) {}
+
+    // Append one connection record: timestamp, peer IP, and the entity
+    // fields a middlebox would extract from the served certificate.
+    void log_connection(int64_t timestamp, const std::string& peer_ip, Middlebox extractor,
+                        const x509::Certificate& cert);
+
+    const std::string& contents() const noexcept { return log_; }
+    size_t records_written() const noexcept { return records_; }
+
+    // What a line-based analyzer sees: number of log *lines* and how
+    // many parse into the expected column count.
+    struct AuditView {
+        size_t lines = 0;
+        size_t well_formed = 0;   // correct column count
+        size_t malformed = 0;
+    };
+    AuditView audit() const;
+
+private:
+    bool escape_fields_;
+    std::string log_;
+    size_t records_ = 0;
+};
+
+// The scenario: serve crafted certificates through naive and hardened
+// log writers and report the divergence between records written and
+// lines an auditor can parse.
+struct LogInjectionResult {
+    bool hardened_writer = false;
+    size_t records = 0;
+    size_t lines = 0;
+    size_t malformed_lines = 0;
+    bool log_corrupted = false;  // lines != records or malformed > 0
+};
+
+std::vector<LogInjectionResult> run_log_injection();
+
+}  // namespace unicert::threat

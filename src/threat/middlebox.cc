@@ -1,0 +1,123 @@
+#include "threat/middlebox.h"
+
+#include <algorithm>
+
+#include "tlslib/profile.h"
+#include "unicode/codec.h"
+#include "unicode/properties.h"
+
+namespace unicert::threat {
+namespace {
+
+std::string fold_ascii(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 0x20);
+    }
+    return out;
+}
+
+bool all_ascii_bytes(BytesView bytes) {
+    return std::all_of(bytes.begin(), bytes.end(), [](uint8_t b) { return b <= 0x7F; });
+}
+
+}  // namespace
+
+const char* middlebox_name(Middlebox mb) noexcept {
+    switch (mb) {
+        case Middlebox::kSnort: return "Snort";
+        case Middlebox::kSuricata: return "Suricata";
+        case Middlebox::kZeek: return "Zeek";
+    }
+    return "?";
+}
+
+ExtractedEntities extract_entities(Middlebox mb, const x509::Certificate& cert) {
+    ExtractedEntities out;
+    auto cns = cert.subject_common_names();
+
+    // CN policy (P2.1): Snort takes the first duplicated CN/OU, Zeek
+    // the last; Suricata records all.
+    if (!cns.empty()) {
+        switch (mb) {
+            case Middlebox::kSnort:
+                out.common_names.push_back(cns.front()->to_utf8_lossy());
+                break;
+            case Middlebox::kZeek:
+                out.common_names.push_back(cns.back()->to_utf8_lossy());
+                break;
+            case Middlebox::kSuricata:
+                for (const x509::AttributeValue* cn : cns) {
+                    out.common_names.push_back(cn->to_utf8_lossy());
+                }
+                break;
+        }
+    }
+
+    for (const x509::AttributeValue* o :
+         cert.subject.find_all(asn1::oids::organization_name())) {
+        out.organizations.push_back(o->to_utf8_lossy());
+    }
+
+    for (const x509::GeneralName& gn : cert.subject_alt_names()) {
+        if (gn.type != x509::GeneralNameType::kDnsName) continue;
+        if (mb == Middlebox::kZeek && !all_ascii_bytes(gn.value_bytes)) {
+            // Zeek ignores SANs not encoded as IA5String.
+            continue;
+        }
+        out.san_dns.push_back(gn.to_utf8_lossy());
+    }
+    return out;
+}
+
+bool blocklist_matches(Middlebox mb, const x509::Certificate& cert,
+                       const std::string& blocked_cn) {
+    ExtractedEntities entities = extract_entities(mb, cert);
+    for (const std::string& cn : entities.common_names) {
+        if (mb == Middlebox::kSuricata) {
+            // Case-sensitive exact compare — bypassable via case
+            // variants (P2.1's Suricata finding).
+            if (cn == blocked_cn) return true;
+        } else {
+            if (fold_ascii(cn) == fold_ascii(blocked_cn)) return true;
+        }
+    }
+    return false;
+}
+
+const char* http_client_name(HttpClient c) noexcept {
+    switch (c) {
+        case HttpClient::kLibcurl: return "libcurl";
+        case HttpClient::kUrllib3: return "urllib3";
+        case HttpClient::kRequests: return "requests";
+        case HttpClient::kHttpClient: return "HttpClient";
+    }
+    return "?";
+}
+
+SanCheck validate_san_entry(HttpClient client, const x509::GeneralName& dns_entry) {
+    switch (client) {
+        case HttpClient::kLibcurl:
+        case HttpClient::kHttpClient: {
+            // Strict: DNSNames must be ASCII (A-labels for IDNs).
+            if (!all_ascii_bytes(dns_entry.value_bytes)) {
+                return {false, "non-ASCII bytes in DNSName; expected A-label encoding"};
+            }
+            return {true, ""};
+        }
+        case HttpClient::kUrllib3:
+        case HttpClient::kRequests: {
+            // P2.2: urllib3 (and requests on top of it) restricts SANs
+            // to Latin-1 without validating Punycode, so a noncompliant
+            // certificate carrying U-labels passes validation.
+            std::string value = unicode::transcode_to_utf8(
+                dns_entry.value_bytes, unicode::Encoding::kLatin1,
+                unicode::ErrorPolicy::kStrict);
+            (void)value;  // Latin-1 always decodes; no further checks applied
+            return {true, "latin-1 tolerated; punycode not validated"};
+        }
+    }
+    return {true, ""};
+}
+
+}  // namespace unicert::threat

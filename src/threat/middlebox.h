@@ -1,0 +1,65 @@
+// unicert/threat/middlebox.h
+//
+// Behavioural models of the network-detection components and HTTP
+// clients of Section 6.2 (documented substitution): Snort, Suricata
+// and Zeek entity extraction, plus libcurl / urllib3 / requests /
+// HttpClient SAN format checking. Each model reproduces the published
+// quirk: Snort takes the first duplicated CN, Zeek the last and drops
+// non-IA5 SANs, Suricata matches case-sensitively, urllib3 accepts
+// Latin-1 U-labels in SANs without Punycode validation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace unicert::threat {
+
+// ---- Middlebox engines ------------------------------------------------------
+
+enum class Middlebox { kSnort, kSuricata, kZeek };
+
+inline constexpr std::array<Middlebox, 3> kAllMiddleboxes = {
+    Middlebox::kSnort, Middlebox::kSuricata, Middlebox::kZeek};
+
+const char* middlebox_name(Middlebox mb) noexcept;
+
+// The entity strings (CN / O / SAN DNS) a middlebox would extract from
+// a served certificate for rule matching and logging.
+struct ExtractedEntities {
+    std::vector<std::string> common_names;   // per the engine's CN policy
+    std::vector<std::string> organizations;
+    std::vector<std::string> san_dns;        // per the engine's SAN policy
+};
+
+ExtractedEntities extract_entities(Middlebox mb, const x509::Certificate& cert);
+
+// Would a blocklist rule on the Subject CN (e.g. "CN=Evil Entity")
+// fire for this certificate? The core of the traffic-obfuscation
+// scenario: rules use naive string comparison.
+bool blocklist_matches(Middlebox mb, const x509::Certificate& cert,
+                       const std::string& blocked_cn);
+
+// ---- HTTP clients ------------------------------------------------------------
+
+enum class HttpClient { kLibcurl, kUrllib3, kRequests, kHttpClient };
+
+inline constexpr std::array<HttpClient, 4> kAllClients = {
+    HttpClient::kLibcurl, HttpClient::kUrllib3, HttpClient::kRequests,
+    HttpClient::kHttpClient};
+
+const char* http_client_name(HttpClient c) noexcept;
+
+struct SanCheck {
+    bool accepted = true;
+    std::string reason;
+};
+
+// Does this client's SAN format validation accept a DNSName entry?
+// (P2.2: urllib3/requests tolerate Latin-1 U-labels; libcurl and
+// HttpClient require ASCII A-labels.)
+SanCheck validate_san_entry(HttpClient client, const x509::GeneralName& dns_entry);
+
+}  // namespace unicert::threat

@@ -1,0 +1,119 @@
+#include "threat/tls_wire.h"
+
+#include "x509/parser.h"
+
+namespace unicert::threat {
+namespace {
+
+constexpr uint8_t kContentHandshake = 22;
+constexpr uint8_t kContentApplicationData = 23;  // TLS 1.3 encrypted cert
+constexpr uint8_t kHandshakeCertificate = 11;
+
+void put_u16(Bytes& out, size_t v) {
+    out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+void put_u24(Bytes& out, size_t v) {
+    out.push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+    out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+size_t get_u24(BytesView b, size_t pos) {
+    return (static_cast<size_t>(b[pos]) << 16) | (static_cast<size_t>(b[pos + 1]) << 8) |
+           b[pos + 2];
+}
+
+}  // namespace
+
+Bytes encode_certificate_record(const std::vector<Bytes>& chain_der, TlsVersion version) {
+    // certificate_list: 3-byte total, then per-cert 3-byte length + DER.
+    Bytes list;
+    for (const Bytes& der : chain_der) {
+        put_u24(list, der.size());
+        append(list, der);
+    }
+    Bytes body;
+    put_u24(body, list.size());
+    append(body, list);
+
+    Bytes handshake;
+    handshake.push_back(kHandshakeCertificate);
+    put_u24(handshake, body.size());
+    append(handshake, body);
+
+    Bytes record;
+    if (version == TlsVersion::kTls13) {
+        // Post-ServerHello handshake messages travel as encrypted
+        // application_data; a passive observer sees opaque bytes.
+        record.push_back(kContentApplicationData);
+        put_u16(record, static_cast<uint16_t>(TlsVersion::kTls12));  // legacy_record_version
+        put_u16(record, handshake.size());
+        // Simulated ciphertext: XOR-scrambled payload (content opaque,
+        // length preserved — what a middlebox actually observes).
+        for (uint8_t b : handshake) record.push_back(static_cast<uint8_t>(b ^ 0xA5));
+        return record;
+    }
+    record.push_back(kContentHandshake);
+    put_u16(record, static_cast<uint16_t>(version));
+    put_u16(record, handshake.size());
+    append(record, handshake);
+    return record;
+}
+
+Expected<CertificateMessage> parse_certificate_record(BytesView record) {
+    if (record.size() < 5) return Error{"tls_record_truncated", "record header incomplete"};
+    uint8_t content_type = record[0];
+    uint16_t version = static_cast<uint16_t>((record[1] << 8) | record[2]);
+    size_t length = (static_cast<size_t>(record[3]) << 8) | record[4];
+    if (record.size() < 5 + length) {
+        return Error{"tls_record_truncated", "record body incomplete"};
+    }
+    if (content_type != kContentHandshake) {
+        return Error{"tls_not_handshake",
+                     "content type " + std::to_string(content_type) +
+                         " is not a cleartext handshake record"};
+    }
+    BytesView body = record.subspan(5, length);
+    if (body.size() < 4) return Error{"tls_handshake_truncated", "handshake header incomplete"};
+    if (body[0] != kHandshakeCertificate) {
+        return Error{"tls_not_certificate", "handshake message is not Certificate"};
+    }
+    size_t msg_len = get_u24(body, 1);
+    if (body.size() < 4 + msg_len || msg_len < 3) {
+        return Error{"tls_handshake_truncated", "certificate message incomplete"};
+    }
+    BytesView msg = body.subspan(4, msg_len);
+    size_t list_len = get_u24(msg, 0);
+    if (msg.size() < 3 + list_len) {
+        return Error{"tls_cert_list_truncated", "certificate_list overflows message"};
+    }
+
+    CertificateMessage out;
+    out.version = static_cast<TlsVersion>(version);
+    size_t pos = 3;
+    while (pos < 3 + list_len) {
+        if (pos + 3 > msg.size()) {
+            return Error{"tls_cert_list_truncated", "certificate length field incomplete"};
+        }
+        size_t cert_len = get_u24(msg, pos);
+        pos += 3;
+        if (pos + cert_len > msg.size()) {
+            return Error{"tls_cert_list_truncated", "certificate overflows list"};
+        }
+        out.chain_der.emplace_back(msg.begin() + pos, msg.begin() + pos + cert_len);
+        pos += cert_len;
+    }
+    return out;
+}
+
+std::optional<x509::Certificate> passively_extract_leaf(BytesView record) {
+    auto message = parse_certificate_record(record);
+    if (!message.ok() || message->chain_der.empty()) return std::nullopt;
+    auto parsed = x509::parse_certificate(message->chain_der.front());
+    if (!parsed.ok()) return std::nullopt;
+    return std::move(parsed).value();
+}
+
+}  // namespace unicert::threat

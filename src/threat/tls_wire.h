@@ -1,0 +1,44 @@
+// unicert/threat/tls_wire.h
+//
+// Minimal TLS 1.2 wire framing for the traffic-obfuscation scenario:
+// the Certificate handshake message (RFC 5246 section 7.4.2) inside a
+// handshake record. Section 6.2's threat model has an in-path
+// middlebox parsing exactly these bytes to extract the server
+// certificate — and TLS 1.3 removing that visibility is why the paper
+// scopes the attack to "TLS 1.2 and earlier".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "x509/certificate.h"
+
+namespace unicert::threat {
+
+enum class TlsVersion : uint16_t {
+    kTls12 = 0x0303,
+    kTls13 = 0x0304,  // certificates are encrypted; passive extraction fails
+};
+
+// Encode a Certificate handshake message (type 11) carrying the chain,
+// wrapped in a handshake record (content type 22).
+Bytes encode_certificate_record(const std::vector<Bytes>& chain_der,
+                                TlsVersion version = TlsVersion::kTls12);
+
+struct CertificateMessage {
+    TlsVersion version = TlsVersion::kTls12;
+    std::vector<Bytes> chain_der;
+};
+
+// Parse one handshake record; fails on framing errors.
+Expected<CertificateMessage> parse_certificate_record(BytesView record);
+
+// A passive network inspector: feed it raw records, it extracts the
+// leaf certificate when the wire format allows (TLS <= 1.2). Returns
+// nullopt for TLS 1.3 flows (the certificate is encrypted after the
+// ServerHello, modelled here as an opaque record).
+std::optional<x509::Certificate> passively_extract_leaf(BytesView record);
+
+}  // namespace unicert::threat

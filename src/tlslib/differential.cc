@@ -1,0 +1,425 @@
+#include "tlslib/differential.h"
+
+#include <array>
+
+#include "unicode/blocks.h"
+#include "unicode/properties.h"
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::StringType;
+using unicode::Encoding;
+using unicode::ErrorPolicy;
+
+constexpr std::array<Encoding, 5> kCandidateMethods = {
+    Encoding::kAscii, Encoding::kLatin1, Encoding::kUtf8, Encoding::kUcs2, Encoding::kUtf16,
+};
+
+constexpr std::array<ErrorPolicy, 4> kCandidateHandling = {
+    ErrorPolicy::kStrict, ErrorPolicy::kReplace, ErrorPolicy::kSkip, ErrorPolicy::kHexEscape,
+};
+
+// Run one payload through a library as a DN attribute or GN.
+ParseOutcome run_payload(Library lib, const Scenario& s, const Bytes& payload) {
+    if (s.context == FieldContext::kDnName) {
+        x509::AttributeValue av;
+        av.type = asn1::oids::common_name();
+        av.string_type = s.declared;
+        av.value_bytes = payload;
+        return parse_attribute(lib, av);
+    }
+    x509::GeneralName gn;
+    gn.type = s.context == FieldContext::kCrlDp ? x509::GeneralNameType::kUri
+                                                : x509::GeneralNameType::kDnsName;
+    gn.string_type = asn1::StringType::kIa5String;
+    gn.value_bytes = payload;
+    return parse_general_name(lib, gn, s.context);
+}
+
+// Reference decoding of a payload: method + handling, rendered to the
+// same UTF-8 interchange form the profiles produce. `control_replace`
+// models the third special-character mode of Section 3.2 (character
+// replacement of *valid* control characters, PyOpenSSL's '.' rewrite).
+std::string reference_decode(const Bytes& payload, Encoding method, ErrorPolicy handling,
+                             bool control_replace) {
+    std::string base;
+    if (handling == ErrorPolicy::kStrict) {
+        auto strict = unicode::decode(payload, method);
+        if (!strict.ok()) return {};  // distinguishable: strict fails
+        base = unicode::codepoints_to_utf8(strict.value());
+    } else {
+        base = unicode::transcode_to_utf8(payload, method, handling);
+    }
+    if (control_replace) {
+        auto cps = unicode::utf8_to_codepoints(base);
+        if (cps.ok()) {
+            for (unicode::CodePoint& cp : cps.value()) {
+                if (unicode::is_c0_control(cp) && cp != '\t') cp = '.';
+            }
+            base = unicode::codepoints_to_utf8(cps.value());
+        }
+    }
+    return base;
+}
+
+}  // namespace
+
+const char* decode_class_symbol(DecodeClass c) noexcept {
+    switch (c) {
+        case DecodeClass::kNoIssue: return "o";
+        case DecodeClass::kOverTolerant: return "OT";
+        case DecodeClass::kIncompatible: return "X";
+        case DecodeClass::kModified: return "M";
+        case DecodeClass::kUnsupported: return "-";
+    }
+    return "?";
+}
+
+const char* violation_class_symbol(ViolationClass c) noexcept {
+    switch (c) {
+        case ViolationClass::kNone: return "o";
+        case ViolationClass::kUnexploited: return "V";
+        case ViolationClass::kExploited: return "X";
+        case ViolationClass::kUnsupported: return "-";
+    }
+    return "?";
+}
+
+DecodeClass classify_decoding(StringType declared, const InferredDecoding& inferred) {
+    if (!inferred.supported) return DecodeClass::kUnsupported;
+    if (!inferred.method) return DecodeClass::kNoIssue;  // only errors observed
+    Encoding nominal = asn1::nominal_encoding(declared);
+    Encoding m = *inferred.method;
+    // A wrong *method* dominates the classification; substitution of
+    // undecodable bytes under the correct method is "modified".
+    if (m == nominal) {
+        return inferred.modified ? DecodeClass::kModified : DecodeClass::kNoIssue;
+    }
+
+    switch (nominal) {
+        case Encoding::kAscii:
+            // Wider single-byte / multi-byte reads accept characters the
+            // type forbids but agree on the ASCII core: over-tolerant.
+            if (m == Encoding::kLatin1 || m == Encoding::kUtf8) {
+                return DecodeClass::kOverTolerant;
+            }
+            return DecodeClass::kIncompatible;
+        case Encoding::kUtf8:
+            // Reading UTF-8 bytewise produces mojibake: incompatible.
+            return DecodeClass::kIncompatible;
+        case Encoding::kUcs2:
+            if (m == Encoding::kUtf16) return DecodeClass::kOverTolerant;
+            return DecodeClass::kIncompatible;
+        case Encoding::kLatin1:  // TeletexString-as-Latin-1 baseline
+            if (m == Encoding::kUtf8) return DecodeClass::kOverTolerant;
+            return DecodeClass::kIncompatible;
+        default:
+            return DecodeClass::kIncompatible;
+    }
+}
+
+std::vector<Bytes> DifferentialRunner::test_payloads(StringType declared) {
+    std::vector<Bytes> payloads;
+
+    // Baseline, pure ASCII.
+    payloads.push_back(to_bytes("test.com"));
+
+    // Every byte value embedded into the baseline (RFC-constrained
+    // ranges and historical CVEs live in U+0000..U+00FF).
+    for (int b = 0; b < 256; ++b) {
+        Bytes p = to_bytes("te");
+        p.push_back(static_cast<uint8_t>(b));
+        append(p, to_bytes("st.com"));
+        payloads.push_back(std::move(p));
+    }
+
+    // Well-formed multi-byte UTF-8.
+    payloads.push_back(to_bytes("t\xC3\xABst.com"));            // ë
+    payloads.push_back(to_bytes("\xE4\xB8\xAD\xE6\x96\x87"));   // 中文
+    payloads.push_back(to_bytes("caf\xC3\xA9.example"));
+
+    // UCS-2 big-endian payloads (valid BMPString bytes).
+    payloads.push_back(Bytes{0x00, 't', 0x00, 'e', 0x00, 's', 0x00, 't'});
+    payloads.push_back(Bytes{0x67, 0x69, 0x74, 0x68, 0x75, 0x62, 0x2E, 0x63, 0x6E});
+
+    // One sample character per Unicode block, as UTF-8, batched into
+    // strings of 16 to keep the payload count manageable.
+    unicode::CodePoints sample = unicode::sample_per_block();
+    for (size_t i = 0; i < sample.size(); i += 16) {
+        unicode::CodePoints chunk(sample.begin() + i,
+                                  sample.begin() + std::min(i + 16, sample.size()));
+        auto utf8 = unicode::encode(chunk, Encoding::kUtf8);
+        if (utf8.ok()) payloads.push_back(utf8.value());
+    }
+
+    // A valid UTF-16 surrogate pair: the discriminator between UCS-2
+    // (replaces both units) and UTF-16 (decodes an astral character).
+    payloads.push_back(Bytes{0xD8, 0x34, 0xDD, 0x1E});
+
+    // Payloads tailored to the declared type's nominal width so strict
+    // multi-byte decoders see well-formed input too.
+    if (asn1::nominal_encoding(declared) == Encoding::kUcs2) {
+        auto cps = unicode::utf8_to_codepoints("tëst中");
+        auto ucs2 = unicode::encode(cps.value(), Encoding::kUcs2);
+        if (ucs2.ok()) payloads.push_back(ucs2.value());
+    }
+    return payloads;
+}
+
+InferredDecoding DifferentialRunner::infer(Library lib, const Scenario& scenario) const {
+    InferredDecoding result;
+
+    DecodeBehavior probe = decode_behavior(lib, scenario.declared, scenario.context);
+    if (!probe.supported) {
+        result.supported = false;
+        return result;
+    }
+
+    std::vector<Bytes> payloads = test_payloads(scenario.declared);
+
+    // Collect observations.
+    std::vector<std::optional<std::string>> observed;
+    observed.reserve(payloads.size());
+    for (const Bytes& payload : payloads) {
+        ParseOutcome outcome = run_payload(lib, scenario, payload);
+        if (!outcome.ok) {
+            result.parse_errors = true;
+            observed.push_back(std::nullopt);
+        } else {
+            observed.push_back(outcome.value_utf8);
+        }
+    }
+
+    // Match against method × handling references. A candidate matches
+    // when every *successfully parsed* payload agrees with it; payloads
+    // the library refused are excluded (they were "analyzed separately
+    // via manual inspection" in the paper).
+    for (Encoding method : kCandidateMethods) {
+        for (ErrorPolicy handling : kCandidateHandling) {
+            for (bool control_replace : {false, true}) {
+                bool all_match = true;
+                size_t compared = 0;
+                for (size_t i = 0; i < payloads.size(); ++i) {
+                    if (!observed[i]) continue;
+                    std::string ref =
+                        reference_decode(payloads[i], method, handling, control_replace);
+                    if (handling == ErrorPolicy::kStrict && ref.empty() &&
+                        !observed[i]->empty()) {
+                        all_match = false;
+                        break;
+                    }
+                    if (*observed[i] != ref) {
+                        // Allow libraries with non-FFFD replacement chars:
+                        // a reference built with FFFD will not literally
+                        // match, so substitute and retry.
+                        bool matched_alt = false;
+                        if (handling == ErrorPolicy::kReplace) {
+                            std::string dotted;
+                            for (size_t k = 0; k < ref.size();) {
+                                if (ref.compare(k, 3, "\xEF\xBF\xBD") == 0) {
+                                    dotted.push_back('.');
+                                    k += 3;
+                                } else {
+                                    dotted.push_back(ref[k]);
+                                    ++k;
+                                }
+                            }
+                            matched_alt = dotted == *observed[i];
+                        }
+                        if (!matched_alt) {
+                            all_match = false;
+                            break;
+                        }
+                    }
+                    ++compared;
+                }
+                if (all_match && compared > 0) {
+                    result.method = method;
+                    result.handling = handling;
+                    // "Modified" means the library rewrote undecodable
+                    // or special bytes: escaping, skipping, replacement,
+                    // or control-character substitution.
+                    result.modified =
+                        handling != ErrorPolicy::kStrict || control_replace;
+                    return result;
+                }
+            }
+        }
+    }
+    return result;  // no candidate matched (method stays nullopt)
+}
+
+ViolationClass DifferentialRunner::illegal_char_violation(Library lib, StringType declared,
+                                                          FieldContext ctx) const {
+    DecodeBehavior probe = decode_behavior(lib, declared, ctx);
+    if (!probe.supported) return ViolationClass::kUnsupported;
+
+    // Appendix E exclusion (iv): when the library decodes the type with
+    // an incompatible method, the misidentified characters make
+    // character handling irrelevant — not assessed.
+    {
+        InferredDecoding synthetic;
+        synthetic.method = probe.method;
+        if (classify_decoding(declared, synthetic) == DecodeClass::kIncompatible) {
+            return ViolationClass::kUnsupported;
+        }
+    }
+
+    // Craft charset-violating payloads for the declared type.
+    bool ascii_family = asn1::nominal_encoding(declared) == Encoding::kAscii;
+    std::vector<Bytes> bad;
+    switch (asn1::nominal_encoding(declared)) {
+        case Encoding::kAscii: {
+            if (declared == StringType::kIa5String) {
+                bad.push_back(to_bytes("te\xFFst"));           // raw high byte
+                bad.push_back(to_bytes("t\xC3\xABst"));        // well-formed UTF-8 ë
+            } else {
+                bad.push_back(to_bytes("te@st"));              // '@' outside PrintableString
+                Bytes ctrl = to_bytes("te");
+                ctrl.push_back(0x01);
+                append(ctrl, to_bytes("st"));
+                bad.push_back(std::move(ctrl));
+            }
+            break;
+        }
+        case Encoding::kUcs2: {
+            bad.push_back(Bytes{0xD8, 0x34, 0xDD, 0x1E});  // surrogate pair
+            bad.push_back(Bytes{0xD8, 0x00, 0x00, 0x41});  // lone surrogate
+            break;
+        }
+        default: {
+            Bytes ill = to_bytes("te");
+            ill.push_back(0xC3);  // truncated UTF-8 lead
+            bad.push_back(std::move(ill));
+            break;
+        }
+    }
+
+    Scenario scenario{declared, ctx};
+    for (const Bytes& payload : bad) {
+        ParseOutcome outcome = run_payload(lib, scenario, payload);
+        if (!outcome.ok) continue;  // properly rejected: no violation
+
+        // Violation (a): an out-of-charset character survives verbatim.
+        auto cps = unicode::utf8_to_codepoints(outcome.value_utf8);
+        bool has_survivor = false;
+        bool has_lossy_substitution = false;
+        if (cps.ok()) {
+            for (unicode::CodePoint cp : cps.value()) {
+                if (!asn1::in_standard_charset(declared, cp) &&
+                    cp != unicode::kReplacementChar && cp != '\\') {
+                    has_survivor = true;
+                }
+                if (cp == unicode::kReplacementChar) has_lossy_substitution = true;
+            }
+        }
+        if (has_survivor) return ViolationClass::kUnexploited;
+
+        // Violation (b), ASCII-family types only: the library silently
+        // *rewrote* undecodable bytes (U+FFFD / '.' substitution) with
+        // neither an error nor a visible escape — the lossy behaviour
+        // behind PyOpenSSL's '.' rewriting and Java's U+FFFD cells.
+        if (ascii_family) {
+            auto strict = unicode::decode(payload, asn1::nominal_encoding(declared));
+            bool visible_escape = outcome.value_utf8.find("\\x") != std::string::npos;
+            bool altered = !strict.ok() &&
+                           outcome.value_utf8 != to_string(payload);  // not raw passthrough
+            if (altered && !visible_escape) return ViolationClass::kUnexploited;
+            if (has_lossy_substitution && !visible_escape) return ViolationClass::kUnexploited;
+        }
+    }
+    return ViolationClass::kNone;
+}
+
+bool DifferentialRunner::dn_subfield_forgery_possible(Library lib) const {
+    TextBehavior tb = text_behavior(lib, FieldContext::kDnName);
+    if (!tb.supported) return false;
+    // A CN value that *contains* an attribute boundary for the
+    // library's own output format.
+    std::string payload = tb.dialect == x509::DnDialect::kOpenSslOneline
+                              ? "evil.com/CN=good.com"
+                              : "evil.com,CN=good.com";
+    x509::DistinguishedName dn = x509::make_dn({
+        x509::make_attribute(asn1::oids::common_name(), payload),
+    });
+    ParseOutcome out = format_dn(lib, dn);
+    if (!out.ok) return false;
+    // Naive splitter: break on unescaped separators, count "CN=" tokens.
+    // The DN has exactly one real CN, so >1 token means forgery.
+    const std::string& text = out.value_utf8;
+    size_t cn_tokens = 0;
+    size_t token_start = 0;
+    auto check_token = [&](size_t begin, size_t end) {
+        while (begin < end && (text[begin] == ' ' || text[begin] == '/')) ++begin;
+        if (end - begin >= 3 && text.compare(begin, 3, "CN=") == 0) ++cn_tokens;
+    };
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '\\') {
+            ++i;  // skip escaped character
+            continue;
+        }
+        if (c == ',' || c == '/') {
+            check_token(token_start, i);
+            token_start = i + 1;
+        }
+    }
+    check_token(token_start, text.size());
+    return cn_tokens > 1;
+}
+
+bool DifferentialRunner::san_subfield_forgery_possible(Library lib) const {
+    TextBehavior tb = text_behavior(lib, FieldContext::kGeneralName);
+    if (!tb.supported) return false;
+    x509::GeneralNames names = {x509::dns_name("a.com, DNS:b.com")};
+    ParseOutcome out = format_san(lib, names);
+    if (!out.ok) return false;
+    // A naive splitter on ", " sees two DNS entries iff the separator
+    // inside the value was not escaped (a preceding backslash defuses it).
+    size_t pos = out.value_utf8.find(", DNS:b.com");
+    while (pos != std::string::npos) {
+        if (pos == 0 || out.value_utf8[pos - 1] != '\\') return true;
+        pos = out.value_utf8.find(", DNS:b.com", pos + 1);
+    }
+    return false;
+}
+
+ViolationClass DifferentialRunner::escaping_violation(Library lib, FieldContext ctx,
+                                                      x509::DnDialect standard) const {
+    TextBehavior tb = text_behavior(lib, ctx);
+    if (!tb.supported) return ViolationClass::kUnsupported;
+
+    // Libraries whose API documents an explicit RFC are only assessed
+    // against that RFC (Appendix E exclusion (ii)).
+    bool documented = lib == Library::kCryptography || lib == Library::kGnuTls;
+    if (documented && tb.dialect != standard) return ViolationClass::kUnsupported;
+
+    // Exploitable injection dominates.
+    bool exploited = ctx == FieldContext::kDnName ? dn_subfield_forgery_possible(lib)
+                                                  : san_subfield_forgery_possible(lib);
+    if (exploited) return ViolationClass::kExploited;
+
+    if (!tb.applies_escaping) return ViolationClass::kUnexploited;
+
+    // RFC 4514 output satisfies RFC 2253; the reverse and RFC 1779 are
+    // deviations.
+    if (!tb.dialect) return ViolationClass::kUnexploited;
+    switch (standard) {
+        case x509::DnDialect::kRfc2253:
+            return (tb.dialect == x509::DnDialect::kRfc2253 ||
+                    tb.dialect == x509::DnDialect::kRfc4514)
+                       ? ViolationClass::kNone
+                       : ViolationClass::kUnexploited;
+        case x509::DnDialect::kRfc4514:
+            return tb.dialect == x509::DnDialect::kRfc4514 ? ViolationClass::kNone
+                                                           : ViolationClass::kUnexploited;
+        case x509::DnDialect::kRfc1779:
+            return tb.dialect == x509::DnDialect::kRfc1779 ? ViolationClass::kNone
+                                                           : ViolationClass::kUnexploited;
+        default:
+            return ViolationClass::kUnexploited;
+    }
+}
+
+}  // namespace unicert::tlslib

@@ -1,0 +1,94 @@
+// unicert/tlslib/differential.h
+//
+// The Section 3.2 differential-testing engine, as executable code:
+//   (i)  generate test Unicerts — one mutated field per certificate,
+//        one RDN per DN, values embedding special Unicode characters
+//        (all of U+0000..U+00FF plus one sample per Unicode block) and
+//        every permitted ASN.1 string type;
+//   (ii) run the field values through each library profile;
+//   (iii) infer each library's decoding method by matching outputs
+//        against the five reference decodings (ASCII, ISO-8859-1,
+//        UTF-8, UCS-2, UTF-16) composed with the three special-
+//        character handling modes (truncation, replacement, escaping);
+//   (iv) classify the inferred behaviour into Table 4's categories and
+//        derive Table 5's character-check / escaping violations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tlslib/profile.h"
+
+namespace unicert::tlslib {
+
+// Table 4 cell categories.
+enum class DecodeClass {
+    kNoIssue,       // ○
+    kOverTolerant,  // ◑
+    kIncompatible,  // ⊗
+    kModified,      // ⊙
+    kUnsupported,   // -
+};
+
+const char* decode_class_symbol(DecodeClass c) noexcept;
+
+// Table 5 cell categories.
+enum class ViolationClass {
+    kNone,         // ○
+    kUnexploited,  // ⊙
+    kExploited,    // ⊗
+    kUnsupported,  // -
+};
+
+const char* violation_class_symbol(ViolationClass c) noexcept;
+
+// What the inference step concluded about one (library, scenario).
+struct InferredDecoding {
+    bool supported = true;
+    bool parse_errors = false;                    // library refused some inputs
+    std::optional<unicode::Encoding> method;      // matched reference decoding
+    std::optional<unicode::ErrorPolicy> handling; // matched char-handling mode
+    bool modified = false;                        // handling != plain strict
+};
+
+// One test scenario: a declared string type in a parsing context.
+struct Scenario {
+    asn1::StringType declared;
+    FieldContext context;
+};
+
+// Classify an inferred decoding against the declared type's standard.
+DecodeClass classify_decoding(asn1::StringType declared, const InferredDecoding& inferred);
+
+class DifferentialRunner {
+public:
+    // Test byte payloads per Section 3.2: baseline + every byte value
+    // 0x00..0xFF embedded + multi-byte UTF-8 + UCS-2 + block samples.
+    static std::vector<Bytes> test_payloads(asn1::StringType declared);
+
+    // Step (ii)+(iii): infer the decoding behaviour of one library for
+    // one scenario from observed outputs alone.
+    InferredDecoding infer(Library lib, const Scenario& scenario) const;
+
+    // Table 5, rows 1-4: does the library accept standard-violating
+    // characters for this string type / context without flagging them?
+    ViolationClass illegal_char_violation(Library lib, asn1::StringType declared,
+                                          FieldContext ctx) const;
+
+    // Table 5, rows 5-10: escaping compliance of the library's DN / SAN
+    // text output against one of the three DN string-representation
+    // RFCs. `injection_possible` style exploitation (subfield forgery)
+    // yields kExploited.
+    ViolationClass escaping_violation(Library lib, FieldContext ctx,
+                                      x509::DnDialect standard) const;
+
+    // The concrete forgery checks behind the ⊗ cells:
+    // DN: a CN value that injects a second attribute into the rendered
+    // string (OpenSSL oneline).
+    bool dn_subfield_forgery_possible(Library lib) const;
+    // SAN: a DNSName value that injects a second "DNS:" entry into the
+    // rendered SAN text (PyOpenSSL).
+    bool san_subfield_forgery_possible(Library lib) const;
+};
+
+}  // namespace unicert::tlslib

@@ -1,0 +1,39 @@
+// unicert/tlslib/library.h
+//
+// The nine general-purpose TLS/crypto libraries whose certificate
+// parsing the paper studies (Section 3.2, Appendix E).
+#pragma once
+
+#include <array>
+#include <span>
+
+namespace unicert::tlslib {
+
+enum class Library {
+    kOpenSsl,
+    kGnuTls,
+    kPyOpenSsl,
+    kCryptography,
+    kGoCrypto,
+    kJavaSecurity,
+    kBouncyCastle,
+    kNodeCrypto,
+    kForge,
+};
+
+inline constexpr std::array<Library, 9> kAllLibraries = {
+    Library::kOpenSsl,      Library::kGnuTls,       Library::kPyOpenSsl,
+    Library::kCryptography, Library::kGoCrypto,     Library::kJavaSecurity,
+    Library::kBouncyCastle, Library::kNodeCrypto,   Library::kForge,
+};
+
+const char* library_name(Library lib) noexcept;
+
+// The parsing contexts the paper distinguishes when classifying
+// behaviour: DistinguishedName attributes vs GeneralName entries
+// (SAN/IAN/AIA/SIA) vs GeneralNames inside CRLDistributionPoints.
+enum class FieldContext { kDnName, kGeneralName, kCrlDp };
+
+const char* field_context_name(FieldContext ctx) noexcept;
+
+}  // namespace unicert::tlslib

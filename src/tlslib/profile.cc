@@ -1,0 +1,411 @@
+// Behaviour tables reconstructed from the paper's Table 4 / Table 5
+// classifications and the accompanying text (Sections 5.1-5.2):
+//   * GnuTLS decodes every DN/GN string type except BMPString as UTF-8.
+//   * Forge decodes UTF8String (and everything else) as ISO-8859-1.
+//   * OpenSSL's oneline output hex-escapes undecodable bytes and reads
+//     BMPString bytewise as ASCII (the github.cn hostname spoof).
+//   * Java replaces non-ASCII bytes with U+FFFD and is ASCII-compatible
+//     on BMPString.
+//   * PyOpenSSL maps control characters in CRLDP GeneralNames to '.'
+//     (the CRL-spoofing primitive) and emits unescaped SAN text.
+//   * Go parses strictly, enforces the PrintableString charset, keeps
+//     structured output, and takes the LAST duplicated CN; PyOpenSSL
+//     takes the FIRST.
+#include "tlslib/profile.h"
+
+#include "unicode/properties.h"
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::StringType;
+using unicode::Encoding;
+using unicode::ErrorPolicy;
+
+DecodeBehavior unsupported() {
+    DecodeBehavior b;
+    b.supported = false;
+    return b;
+}
+
+DecodeBehavior behavior(Encoding method, ErrorPolicy policy) {
+    DecodeBehavior b;
+    b.method = method;
+    b.policy = policy;
+    return b;
+}
+
+// Nominal, standards-faithful decoding with lenient substitution.
+DecodeBehavior nominal_lenient(StringType st) {
+    return behavior(asn1::nominal_encoding(st), ErrorPolicy::kReplace);
+}
+
+// Nominal decoding that *errors* on malformed bytes.
+DecodeBehavior nominal_strict(StringType st) {
+    DecodeBehavior b = behavior(asn1::nominal_encoding(st), ErrorPolicy::kStrict);
+    b.error_on_malformed = true;
+    return b;
+}
+
+}  // namespace
+
+const char* library_name(Library lib) noexcept {
+    switch (lib) {
+        case Library::kOpenSsl: return "OpenSSL";
+        case Library::kGnuTls: return "GnuTLS";
+        case Library::kPyOpenSsl: return "PyOpenSSL";
+        case Library::kCryptography: return "Cryptography";
+        case Library::kGoCrypto: return "Golang Crypto";
+        case Library::kJavaSecurity: return "Java.security.cert";
+        case Library::kBouncyCastle: return "BouncyCastle";
+        case Library::kNodeCrypto: return "Node.js Crypto";
+        case Library::kForge: return "Forge";
+    }
+    return "?";
+}
+
+const char* field_context_name(FieldContext ctx) noexcept {
+    switch (ctx) {
+        case FieldContext::kDnName: return "Name";
+        case FieldContext::kGeneralName: return "GN";
+        case FieldContext::kCrlDp: return "CRLDP";
+    }
+    return "?";
+}
+
+DecodeBehavior decode_behavior(Library lib, StringType st, FieldContext ctx) {
+    bool in_dn = ctx == FieldContext::kDnName;
+    switch (lib) {
+        case Library::kOpenSsl: {
+            if (!in_dn) return unsupported();  // no high-level GN string APIs tested
+            if (st == StringType::kUtf8String || st == StringType::kPrintableString ||
+                st == StringType::kIa5String || st == StringType::kNumericString ||
+                st == StringType::kVisibleString || st == StringType::kBmpString) {
+                // oneline: raw bytes as ASCII, non-ASCII hex-escaped. For
+                // BMPString this is the incompatible bytewise read.
+                return behavior(Encoding::kAscii, ErrorPolicy::kHexEscape);
+            }
+            // TeletexString: treated as Latin-1.
+            return behavior(Encoding::kLatin1, ErrorPolicy::kReplace);
+        }
+
+        case Library::kGnuTls: {
+            if (in_dn && st == StringType::kIa5String) return unsupported();
+            if (st == StringType::kBmpString) {
+                // UTF-16 (surrogate pairs tolerated) rather than UCS-2.
+                return behavior(Encoding::kUtf16, ErrorPolicy::kReplace);
+            }
+            // Everything else is decoded as UTF-8 regardless of tag.
+            return behavior(Encoding::kUtf8, ErrorPolicy::kReplace);
+        }
+
+        case Library::kPyOpenSsl: {
+            if (in_dn) {
+                // X509Name components decoded as UTF-8 regardless of tag.
+                return behavior(Encoding::kUtf8, ErrorPolicy::kReplace);
+            }
+            DecodeBehavior b = behavior(Encoding::kAscii, ErrorPolicy::kReplace);
+            b.replacement = '.';
+            if (ctx == FieldContext::kCrlDp) {
+                // Control characters also collapse to '.' — the CRL
+                // spoofing primitive of Section 5.2(2).
+                b.controls_to_replacement = true;
+            }
+            return b;
+        }
+
+        case Library::kCryptography: {
+            if (st == StringType::kPrintableString && in_dn) {
+                // Charset is enforced for PrintableString (Table 5 "○").
+                DecodeBehavior b = nominal_lenient(st);
+                b.enforces_charset = true;
+                b.error_on_malformed = true;
+                return b;
+            }
+            if (st == StringType::kIa5String) {
+                // "Lax handling of certain ASN.1 string types for
+                // compatibility" (the maintainers' disclosure response):
+                // IA5 bytes are taken as Latin-1, so illegal high bytes
+                // survive (Table 5's IA5 "⊙").
+                return behavior(Encoding::kLatin1, ErrorPolicy::kReplace);
+            }
+            if (st == StringType::kBmpString) {
+                // UTF-16 rather than UCS-2: surrogate pairs accepted.
+                return behavior(Encoding::kUtf16, ErrorPolicy::kReplace);
+            }
+            return nominal_lenient(st);
+        }
+
+        case Library::kGoCrypto: {
+            if (!in_dn) {
+                // GeneralName strings are read without IA5 enforcement
+                // (Go's historical dNSName leniency) — the one violation
+                // Table 5 records for Go.
+                return behavior(Encoding::kUtf8, ErrorPolicy::kReplace);
+            }
+            DecodeBehavior b = nominal_strict(st);
+            if (st == StringType::kPrintableString || st == StringType::kNumericString) {
+                // "asn1: syntax error: PrintableString contains invalid character"
+                b.enforces_charset = true;
+            }
+            if (st == StringType::kTeletexString) {
+                // Go rejects T.61 outside its supported subset; model as
+                // Latin-1 without charset checks.
+                return behavior(Encoding::kLatin1, ErrorPolicy::kReplace);
+            }
+            return b;
+        }
+
+        case Library::kJavaSecurity: {
+            if (st == StringType::kUtf8String) {
+                return behavior(Encoding::kUtf8, ErrorPolicy::kReplace);
+            }
+            if (st == StringType::kBmpString) {
+                // ASCII-compatible bytewise read (Table 4 footnote).
+                return behavior(Encoding::kAscii, ErrorPolicy::kReplace);
+            }
+            // ASCII with U+FFFD substitution for non-ASCII bytes.
+            return behavior(Encoding::kAscii, ErrorPolicy::kReplace);
+        }
+
+        case Library::kBouncyCastle: {
+            if (!in_dn) return unsupported();  // extension parsing not exposed
+            if (st == StringType::kBmpString) {
+                return behavior(Encoding::kUtf16, ErrorPolicy::kReplace);  // over-tolerant
+            }
+            return nominal_lenient(st);
+        }
+
+        case Library::kNodeCrypto: {
+            return nominal_lenient(st);
+        }
+
+        case Library::kForge: {
+            if (st == StringType::kBmpString) {
+                if (in_dn) return behavior(Encoding::kUcs2, ErrorPolicy::kReplace);
+                return unsupported();
+            }
+            // Everything — including UTF8String — read as ISO-8859-1,
+            // producing mojibake for multibyte UTF-8.
+            return behavior(Encoding::kLatin1, ErrorPolicy::kReplace);
+        }
+    }
+    return unsupported();
+}
+
+TextBehavior text_behavior(Library lib, FieldContext ctx) {
+    bool in_dn = ctx == FieldContext::kDnName;
+    switch (lib) {
+        case Library::kOpenSsl:
+            if (!in_dn) return {.supported = false, .dialect = std::nullopt,
+                                .applies_escaping = false};
+            // oneline: no RFC-compliant escaping of separators — the DN
+            // subfield forgery vector (Table 5 "⊗" rows).
+            return {.supported = true, .dialect = x509::DnDialect::kOpenSslOneline,
+                    .applies_escaping = false};
+        case Library::kGnuTls:
+            return {.supported = in_dn, .dialect = x509::DnDialect::kRfc4514,
+                    .applies_escaping = true};
+        case Library::kPyOpenSsl:
+            if (in_dn) {
+                return {.supported = false, .dialect = std::nullopt, .applies_escaping = false};
+            }
+            // str(get_extension()): separators are NOT escaped — SAN
+            // subfield forgery (Table 5 GN "⊗" rows).
+            return {.supported = true, .dialect = std::nullopt, .applies_escaping = false};
+        case Library::kCryptography:
+            return {.supported = in_dn, .dialect = x509::DnDialect::kRfc4514,
+                    .applies_escaping = true};
+        case Library::kGoCrypto:
+            // Structured output; no text form to misescape.
+            return {.supported = false, .dialect = std::nullopt, .applies_escaping = true};
+        case Library::kJavaSecurity:
+            return {.supported = true, .dialect = x509::DnDialect::kRfc2253,
+                    .applies_escaping = true};
+        case Library::kBouncyCastle:
+            return {.supported = in_dn, .dialect = x509::DnDialect::kRfc2253,
+                    .applies_escaping = true};
+        case Library::kNodeCrypto:
+            return {.supported = true, .dialect = x509::DnDialect::kRfc2253,
+                    .applies_escaping = true};
+        case Library::kForge:
+            return {.supported = false, .dialect = std::nullopt, .applies_escaping = true};
+    }
+    return {};
+}
+
+namespace {
+
+// Apply a DecodeBehavior to raw value bytes.
+ParseOutcome run_decode(const DecodeBehavior& b, BytesView bytes, StringType declared) {
+    ParseOutcome out;
+    if (!b.supported) {
+        out.ok = false;
+        out.error = "unsupported field";
+        return out;
+    }
+
+    if (b.error_on_malformed) {
+        auto strict = unicode::decode(bytes, b.method);
+        if (!strict.ok()) {
+            out.ok = false;
+            out.error = "asn1: syntax error: " + strict.error().message;
+            return out;
+        }
+        if (b.enforces_charset) {
+            for (unicode::CodePoint cp : strict.value()) {
+                if (!asn1::in_standard_charset(declared, cp)) {
+                    out.ok = false;
+                    out.error = std::string("asn1: syntax error: ") +
+                                asn1::string_type_name(declared) +
+                                " contains invalid character";
+                    return out;
+                }
+            }
+        }
+        out.value_utf8 = unicode::codepoints_to_utf8(strict.value());
+        return out;
+    }
+
+    unicode::CodePoints cps = unicode::decode_lossy(bytes, b.method, b.policy);
+    if (b.policy == ErrorPolicy::kReplace && b.replacement != unicode::kReplacementChar) {
+        for (unicode::CodePoint& cp : cps) {
+            if (cp == unicode::kReplacementChar) cp = b.replacement;
+        }
+    }
+    if (b.controls_to_replacement) {
+        for (unicode::CodePoint& cp : cps) {
+            if (unicode::is_c0_control(cp) && cp != '\t') cp = b.replacement;
+        }
+    }
+    if (b.enforces_charset) {
+        for (unicode::CodePoint cp : cps) {
+            if (!asn1::in_standard_charset(declared, cp)) {
+                out.ok = false;
+                out.error = std::string(asn1::string_type_name(declared)) +
+                            " contains invalid character";
+                return out;
+            }
+        }
+    }
+    out.value_utf8 = unicode::codepoints_to_utf8(cps);
+    return out;
+}
+
+}  // namespace
+
+ParseOutcome parse_attribute(Library lib, const x509::AttributeValue& av) {
+    DecodeBehavior b = decode_behavior(lib, av.string_type, FieldContext::kDnName);
+    return run_decode(b, av.value_bytes, av.string_type);
+}
+
+ParseOutcome parse_general_name(Library lib, const x509::GeneralName& gn, FieldContext ctx) {
+    DecodeBehavior b = decode_behavior(lib, asn1::StringType::kIa5String, ctx);
+    return run_decode(b, gn.value_bytes, asn1::StringType::kIa5String);
+}
+
+ParseOutcome format_dn(Library lib, const x509::DistinguishedName& dn) {
+    TextBehavior tb = text_behavior(lib, FieldContext::kDnName);
+    ParseOutcome out;
+    if (!tb.supported) {
+        out.ok = false;
+        out.error = "library exposes structured DN output only";
+        return out;
+    }
+    x509::DnDialect dialect = tb.dialect.value_or(x509::DnDialect::kRfc2253);
+
+    // Render attribute-by-attribute through the library's decoder so
+    // decode quirks and escaping quirks compose.
+    std::string text;
+    bool reverse = dialect == x509::DnDialect::kRfc2253 || dialect == x509::DnDialect::kRfc4514;
+    bool oneline = dialect == x509::DnDialect::kOpenSslOneline;
+
+    auto emit_rdn = [&](const x509::Rdn& rdn) {
+        bool first = true;
+        for (const x509::AttributeValue& av : rdn.attributes) {
+            if (!first) text += "+";
+            first = false;
+            ParseOutcome parsed = parse_attribute(lib, av);
+            std::string value = parsed.ok ? parsed.value_utf8 : "";
+            text += asn1::attribute_short_name(av.type);
+            text += "=";
+            text += x509::escape_dn_value(value, dialect, tb.applies_escaping);
+        }
+    };
+
+    if (oneline) {
+        for (const x509::Rdn& rdn : dn.rdns) {
+            text += "/";
+            emit_rdn(rdn);
+        }
+    } else if (reverse) {
+        for (auto it = dn.rdns.rbegin(); it != dn.rdns.rend(); ++it) {
+            if (!text.empty()) text += ",";
+            emit_rdn(*it);
+        }
+    } else {
+        for (const x509::Rdn& rdn : dn.rdns) {
+            if (!text.empty()) text += ", ";
+            emit_rdn(rdn);
+        }
+    }
+    out.value_utf8 = std::move(text);
+    return out;
+}
+
+ParseOutcome format_san(Library lib, const x509::GeneralNames& names) {
+    TextBehavior tb = text_behavior(lib, FieldContext::kGeneralName);
+    ParseOutcome out;
+    if (!tb.supported) {
+        out.ok = false;
+        out.error = "library exposes structured SAN output only";
+        return out;
+    }
+    std::string text;
+    for (const x509::GeneralName& gn : names) {
+        if (!text.empty()) text += ", ";
+        if (gn.type == x509::GeneralNameType::kDnsName ||
+            gn.type == x509::GeneralNameType::kRfc822Name ||
+            gn.type == x509::GeneralNameType::kUri) {
+            ParseOutcome parsed = parse_general_name(lib, gn, FieldContext::kGeneralName);
+            std::string value = parsed.ok ? parsed.value_utf8 : "";
+            if (tb.applies_escaping) {
+                x509::GeneralName safe = gn;
+                safe.value_bytes = to_bytes(value);
+                text += x509::format_general_name(safe, /*apply_escaping=*/true);
+            } else {
+                text += std::string(x509::general_name_type_label(gn.type)) + ":" + value;
+            }
+        } else {
+            x509::GeneralName copy = gn;
+            text += x509::format_general_name(copy, tb.applies_escaping);
+        }
+    }
+    out.value_utf8 = std::move(text);
+    return out;
+}
+
+CnSelection cn_selection(Library lib) noexcept {
+    switch (lib) {
+        case Library::kPyOpenSsl:
+        case Library::kOpenSsl:
+        case Library::kForge:
+            return CnSelection::kFirst;
+        case Library::kGoCrypto:
+            return CnSelection::kLast;
+        default:
+            return CnSelection::kAll;
+    }
+}
+
+std::optional<std::string> extract_common_name(Library lib, const x509::Certificate& cert) {
+    auto cns = cert.subject_common_names();
+    if (cns.empty()) return std::nullopt;
+    const x509::AttributeValue* chosen =
+        cn_selection(lib) == CnSelection::kLast ? cns.back() : cns.front();
+    ParseOutcome parsed = parse_attribute(lib, *chosen);
+    if (!parsed.ok) return std::nullopt;
+    return parsed.value_utf8;
+}
+
+}  // namespace unicert::tlslib

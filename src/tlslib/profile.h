@@ -1,0 +1,90 @@
+// unicert/tlslib/profile.h
+//
+// Executable behaviour models of the nine TLS libraries' certificate
+// parsers (documented substitution, DESIGN.md section 1). Each profile
+// decodes real DER value bytes with the decoding matrix the paper
+// reports in Table 4 and applies the character-handling / escaping
+// behaviour of Table 5. The differential harness then *re-derives*
+// those tables from observed behaviour, mirroring Section 3.2's
+// inference methodology.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "asn1/strings.h"
+#include "tlslib/library.h"
+#include "unicode/codec.h"
+#include "x509/certificate.h"
+#include "x509/dn_text.h"
+
+namespace unicert::tlslib {
+
+// How a library decodes the value bytes of one string type in one
+// context.
+struct DecodeBehavior {
+    bool supported = true;                  // '-' cells in Table 4
+    unicode::Encoding method = unicode::Encoding::kUtf8;
+    unicode::ErrorPolicy policy = unicode::ErrorPolicy::kStrict;
+    // When policy is kReplace, the substitution character (U+FFFD for
+    // Java, '.' for PyOpenSSL's CRLDP handling, …).
+    unicode::CodePoint replacement = unicode::kReplacementChar;
+    // True when the library additionally replaces *control characters*
+    // (not just undecodable bytes) — PyOpenSSL's CRLDP behaviour.
+    bool controls_to_replacement = false;
+    // True when a strict decode failure aborts parsing with an error
+    // (Go's "asn1: syntax error"); false when the library silently
+    // substitutes per `policy`.
+    bool error_on_malformed = false;
+    // True when the library enforces the ASN.1 standard charset after
+    // decoding (e.g. Go rejecting '@' in PrintableString).
+    bool enforces_charset = false;
+};
+
+// How a library renders parsed names to X.509-text.
+struct TextBehavior {
+    bool supported = true;             // '-' in Table 5 (no string output)
+    // The RFC dialect the library *claims*; structured-output libraries
+    // (Go) have none.
+    std::optional<x509::DnDialect> dialect;
+    bool applies_escaping = true;      // false -> Table 5 escaping violation
+};
+
+// Look up behaviour for (library, string type, context).
+DecodeBehavior decode_behavior(Library lib, asn1::StringType st, FieldContext ctx);
+
+// Look up text/escaping behaviour for (library, context).
+TextBehavior text_behavior(Library lib, FieldContext ctx);
+
+// ---- Simulated parsing APIs ---------------------------------------------
+
+// Result of parsing one field value through a library profile.
+struct ParseOutcome {
+    bool ok = true;            // false: library raised a parse error
+    std::string value_utf8;    // extracted value (UTF-8)
+    std::string error;         // error text when !ok
+};
+
+// Parse one DN attribute value the way `lib` would.
+ParseOutcome parse_attribute(Library lib, const x509::AttributeValue& av);
+
+// Parse one string-kind GeneralName the way `lib` would; `ctx`
+// distinguishes SAN/IAN (kGeneralName) from CRLDP handling.
+ParseOutcome parse_general_name(Library lib, const x509::GeneralName& gn, FieldContext ctx);
+
+// Render a whole DN to the library's subject/issuer string form
+// (X509_NAME_oneline, rfc4514_string, getName(), …).
+ParseOutcome format_dn(Library lib, const x509::DistinguishedName& dn);
+
+// Render a SAN to the library's text form ("DNS:a.com, DNS:b.com").
+ParseOutcome format_san(Library lib, const x509::GeneralNames& names);
+
+// First or last CN selection differs across libraries (Section 4.3.1:
+// PyOpenSSL takes the first duplicated Subject CN, Go the last).
+enum class CnSelection { kFirst, kLast, kAll };
+CnSelection cn_selection(Library lib) noexcept;
+
+// The CN value `lib` would report for hostname-ish use.
+std::optional<std::string> extract_common_name(Library lib, const x509::Certificate& cert);
+
+}  // namespace unicert::tlslib

@@ -1,0 +1,43 @@
+// unicert/unicode/blocks.h
+//
+// Unicode block table (Blocks.txt). The paper's test-certificate
+// generator samples one character from each standard Unicode block
+// (excluding surrogates) to probe TLS library parsing; this module
+// provides the table and lookup helpers.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "unicode/codepoint.h"
+
+namespace unicert::unicode {
+
+struct Block {
+    CodePoint first;
+    CodePoint last;
+    std::string_view name;
+
+    bool contains(CodePoint cp) const noexcept { return cp >= first && cp <= last; }
+    bool is_surrogate_block() const noexcept {
+        return first >= kSurrogateLow && last <= kSurrogateHigh;
+    }
+};
+
+// All blocks, ascending by first code point.
+std::span<const Block> all_blocks() noexcept;
+
+// Block containing `cp`, or nullopt for unassigned gaps.
+std::optional<Block> block_of(CodePoint cp) noexcept;
+
+// Name of the block containing `cp`, or "No_Block".
+std::string_view block_name(CodePoint cp) noexcept;
+
+// A representative sample character per block: the first assigned,
+// non-control code point heuristic (first + offset for blocks that
+// begin with controls). Surrogate blocks are skipped. Used by the
+// Unicert test generator (Section 3.2 of the paper).
+CodePoints sample_per_block();
+
+}  // namespace unicert::unicode

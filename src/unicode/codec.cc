@@ -1,0 +1,393 @@
+#include "unicode/codec.h"
+
+#include <array>
+
+namespace unicert::unicode {
+namespace {
+
+// Append the lossy substitution for one bad byte according to policy.
+void emit_bad_byte(CodePoints& out, uint8_t byte, ErrorPolicy policy) {
+    switch (policy) {
+        case ErrorPolicy::kStrict:
+            // Caller handles strict separately; treat as replace for safety.
+            out.push_back(kReplacementChar);
+            break;
+        case ErrorPolicy::kReplace:
+            out.push_back(kReplacementChar);
+            break;
+        case ErrorPolicy::kSkip:
+            break;
+        case ErrorPolicy::kHexEscape: {
+            static constexpr char kDigits[] = "0123456789abcdef";
+            out.push_back('\\');
+            out.push_back('x');
+            out.push_back(static_cast<CodePoint>(kDigits[byte >> 4]));
+            out.push_back(static_cast<CodePoint>(kDigits[byte & 0x0F]));
+            break;
+        }
+    }
+}
+
+struct DecodeStep {
+    // Number of bytes consumed; 0 means "error consuming 1 byte".
+    size_t consumed = 0;
+    CodePoint cp = 0;
+    bool ok = false;
+};
+
+DecodeStep step_utf8(BytesView b, size_t i) {
+    uint8_t lead = b[i];
+    if (lead < 0x80) return {1, lead, true};
+    size_t len;
+    CodePoint cp;
+    if ((lead & 0xE0) == 0xC0) {
+        len = 2;
+        cp = lead & 0x1F;
+    } else if ((lead & 0xF0) == 0xE0) {
+        len = 3;
+        cp = lead & 0x0F;
+    } else if ((lead & 0xF8) == 0xF0) {
+        len = 4;
+        cp = lead & 0x07;
+    } else {
+        return {};
+    }
+    if (i + len > b.size()) return {};
+    for (size_t k = 1; k < len; ++k) {
+        uint8_t cont = b[i + k];
+        if ((cont & 0xC0) != 0x80) return {};
+        cp = (cp << 6) | (cont & 0x3F);
+    }
+    // Reject overlong forms, surrogates, and out-of-range values.
+    static constexpr std::array<CodePoint, 5> kMinByLen = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMinByLen[len]) return {};
+    if (!is_scalar_value(cp)) return {};
+    return {len, cp, true};
+}
+
+}  // namespace
+
+const char* encoding_name(Encoding e) noexcept {
+    switch (e) {
+        case Encoding::kAscii: return "ASCII";
+        case Encoding::kLatin1: return "ISO-8859-1";
+        case Encoding::kUtf8: return "UTF-8";
+        case Encoding::kUcs2: return "UCS-2";
+        case Encoding::kUtf16: return "UTF-16";
+        case Encoding::kUcs4: return "UCS-4";
+    }
+    return "?";
+}
+
+Expected<CodePoints> decode(BytesView bytes, Encoding enc) {
+    CodePoints out;
+    switch (enc) {
+        case Encoding::kAscii:
+            out.reserve(bytes.size());
+            for (size_t i = 0; i < bytes.size(); ++i) {
+                if (bytes[i] > 0x7F) {
+                    return Error{"ascii_out_of_range",
+                                 "byte 0x" + hex_encode({&bytes[i], 1}) +
+                                     " at offset " + std::to_string(i) + " is not ASCII"};
+                }
+                out.push_back(bytes[i]);
+            }
+            return out;
+
+        case Encoding::kLatin1:
+            out.reserve(bytes.size());
+            for (uint8_t b : bytes) out.push_back(b);
+            return out;
+
+        case Encoding::kUtf8: {
+            size_t i = 0;
+            while (i < bytes.size()) {
+                DecodeStep s = step_utf8(bytes, i);
+                if (!s.ok) {
+                    return Error{"utf8_malformed",
+                                 "ill-formed UTF-8 sequence at offset " + std::to_string(i)};
+                }
+                out.push_back(s.cp);
+                i += s.consumed;
+            }
+            return out;
+        }
+
+        case Encoding::kUcs2: {
+            if (bytes.size() % 2 != 0) {
+                return Error{"ucs2_odd_length", "UCS-2 input has odd byte length"};
+            }
+            for (size_t i = 0; i < bytes.size(); i += 2) {
+                CodePoint cp = (static_cast<CodePoint>(bytes[i]) << 8) | bytes[i + 1];
+                if (is_surrogate(cp)) {
+                    return Error{"ucs2_surrogate",
+                                 "surrogate code unit at offset " + std::to_string(i)};
+                }
+                out.push_back(cp);
+            }
+            return out;
+        }
+
+        case Encoding::kUtf16: {
+            if (bytes.size() % 2 != 0) {
+                return Error{"utf16_odd_length", "UTF-16 input has odd byte length"};
+            }
+            size_t i = 0;
+            while (i < bytes.size()) {
+                CodePoint hi = (static_cast<CodePoint>(bytes[i]) << 8) | bytes[i + 1];
+                if (hi >= 0xD800 && hi <= 0xDBFF) {
+                    if (i + 4 > bytes.size()) {
+                        return Error{"utf16_truncated_pair",
+                                     "lone high surrogate at offset " + std::to_string(i)};
+                    }
+                    CodePoint lo = (static_cast<CodePoint>(bytes[i + 2]) << 8) | bytes[i + 3];
+                    if (lo < 0xDC00 || lo > 0xDFFF) {
+                        return Error{"utf16_invalid_low_surrogate",
+                                     "expected low surrogate at offset " + std::to_string(i + 2)};
+                    }
+                    out.push_back(0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00));
+                    i += 4;
+                } else if (hi >= 0xDC00 && hi <= 0xDFFF) {
+                    return Error{"utf16_unexpected_low_surrogate",
+                                 "lone low surrogate at offset " + std::to_string(i)};
+                } else {
+                    out.push_back(hi);
+                    i += 2;
+                }
+            }
+            return out;
+        }
+
+        case Encoding::kUcs4: {
+            if (bytes.size() % 4 != 0) {
+                return Error{"ucs4_bad_length", "UCS-4 input length not a multiple of 4"};
+            }
+            for (size_t i = 0; i < bytes.size(); i += 4) {
+                CodePoint cp = (static_cast<CodePoint>(bytes[i]) << 24) |
+                               (static_cast<CodePoint>(bytes[i + 1]) << 16) |
+                               (static_cast<CodePoint>(bytes[i + 2]) << 8) | bytes[i + 3];
+                if (!is_scalar_value(cp)) {
+                    return Error{"ucs4_invalid_scalar",
+                                 "invalid scalar value at offset " + std::to_string(i)};
+                }
+                out.push_back(cp);
+            }
+            return out;
+        }
+    }
+    return Error{"unknown_encoding", "unhandled encoding"};
+}
+
+CodePoints decode_lossy(BytesView bytes, Encoding enc, ErrorPolicy policy) {
+    if (policy == ErrorPolicy::kStrict) {
+        auto r = decode(bytes, enc);
+        if (r.ok()) return std::move(r).value();
+        // Strict caller that still used the lossy entry point: degrade to
+        // replacement so callers always receive a sequence.
+        policy = ErrorPolicy::kReplace;
+    }
+
+    CodePoints out;
+    switch (enc) {
+        case Encoding::kAscii:
+            for (uint8_t b : bytes) {
+                if (b > 0x7F) {
+                    emit_bad_byte(out, b, policy);
+                } else {
+                    out.push_back(b);
+                }
+            }
+            return out;
+
+        case Encoding::kLatin1:
+            for (uint8_t b : bytes) out.push_back(b);
+            return out;
+
+        case Encoding::kUtf8: {
+            size_t i = 0;
+            while (i < bytes.size()) {
+                DecodeStep s = step_utf8(bytes, i);
+                if (!s.ok) {
+                    emit_bad_byte(out, bytes[i], policy);
+                    ++i;
+                } else {
+                    out.push_back(s.cp);
+                    i += s.consumed;
+                }
+            }
+            return out;
+        }
+
+        case Encoding::kUcs2: {
+            size_t even = bytes.size() & ~size_t{1};
+            for (size_t i = 0; i < even; i += 2) {
+                CodePoint cp = (static_cast<CodePoint>(bytes[i]) << 8) | bytes[i + 1];
+                if (is_surrogate(cp)) {
+                    emit_bad_byte(out, bytes[i], policy);
+                    emit_bad_byte(out, bytes[i + 1], policy);
+                } else {
+                    out.push_back(cp);
+                }
+            }
+            if (even != bytes.size()) emit_bad_byte(out, bytes.back(), policy);
+            return out;
+        }
+
+        case Encoding::kUtf16: {
+            size_t i = 0;
+            while (i + 2 <= bytes.size()) {
+                CodePoint hi = (static_cast<CodePoint>(bytes[i]) << 8) | bytes[i + 1];
+                if (hi >= 0xD800 && hi <= 0xDBFF && i + 4 <= bytes.size()) {
+                    CodePoint lo = (static_cast<CodePoint>(bytes[i + 2]) << 8) | bytes[i + 3];
+                    if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                        out.push_back(0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00));
+                        i += 4;
+                        continue;
+                    }
+                }
+                if (is_surrogate(hi)) {
+                    emit_bad_byte(out, bytes[i], policy);
+                    emit_bad_byte(out, bytes[i + 1], policy);
+                } else {
+                    out.push_back(hi);
+                }
+                i += 2;
+            }
+            if (i != bytes.size()) emit_bad_byte(out, bytes.back(), policy);
+            return out;
+        }
+
+        case Encoding::kUcs4: {
+            size_t quads = bytes.size() / 4 * 4;
+            for (size_t i = 0; i < quads; i += 4) {
+                CodePoint cp = (static_cast<CodePoint>(bytes[i]) << 24) |
+                               (static_cast<CodePoint>(bytes[i + 1]) << 16) |
+                               (static_cast<CodePoint>(bytes[i + 2]) << 8) | bytes[i + 3];
+                if (!is_scalar_value(cp)) {
+                    for (size_t k = 0; k < 4; ++k) emit_bad_byte(out, bytes[i + k], policy);
+                } else {
+                    out.push_back(cp);
+                }
+            }
+            for (size_t i = quads; i < bytes.size(); ++i) emit_bad_byte(out, bytes[i], policy);
+            return out;
+        }
+    }
+    return out;
+}
+
+Expected<Bytes> encode(const CodePoints& cps, Encoding enc) {
+    Bytes out;
+    switch (enc) {
+        case Encoding::kAscii:
+            for (CodePoint cp : cps) {
+                if (cp > 0x7F) {
+                    return Error{"ascii_unrepresentable",
+                                 "code point " + std::to_string(cp) +
+                                     " not representable in ASCII"};
+                }
+                out.push_back(static_cast<uint8_t>(cp));
+            }
+            return out;
+
+        case Encoding::kLatin1:
+            for (CodePoint cp : cps) {
+                if (cp > 0xFF) {
+                    return Error{"latin1_unrepresentable",
+                                 "code point not representable in ISO-8859-1"};
+                }
+                out.push_back(static_cast<uint8_t>(cp));
+            }
+            return out;
+
+        case Encoding::kUtf8:
+            for (CodePoint cp : cps) {
+                if (!is_scalar_value(cp)) {
+                    return Error{"utf8_invalid_scalar", "cannot encode surrogate/out-of-range"};
+                }
+                if (cp < 0x80) {
+                    out.push_back(static_cast<uint8_t>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<uint8_t>(0xC0 | (cp >> 6)));
+                    out.push_back(static_cast<uint8_t>(0x80 | (cp & 0x3F)));
+                } else if (cp < 0x10000) {
+                    out.push_back(static_cast<uint8_t>(0xE0 | (cp >> 12)));
+                    out.push_back(static_cast<uint8_t>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(static_cast<uint8_t>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<uint8_t>(0xF0 | (cp >> 18)));
+                    out.push_back(static_cast<uint8_t>(0x80 | ((cp >> 12) & 0x3F)));
+                    out.push_back(static_cast<uint8_t>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(static_cast<uint8_t>(0x80 | (cp & 0x3F)));
+                }
+            }
+            return out;
+
+        case Encoding::kUcs2:
+            for (CodePoint cp : cps) {
+                if (cp > kBmpMax || is_surrogate(cp)) {
+                    return Error{"ucs2_unrepresentable",
+                                 "code point outside BMP cannot be UCS-2 encoded"};
+                }
+                out.push_back(static_cast<uint8_t>(cp >> 8));
+                out.push_back(static_cast<uint8_t>(cp & 0xFF));
+            }
+            return out;
+
+        case Encoding::kUtf16:
+            for (CodePoint cp : cps) {
+                if (!is_scalar_value(cp)) {
+                    return Error{"utf16_invalid_scalar", "cannot encode surrogate/out-of-range"};
+                }
+                if (cp <= kBmpMax) {
+                    out.push_back(static_cast<uint8_t>(cp >> 8));
+                    out.push_back(static_cast<uint8_t>(cp & 0xFF));
+                } else {
+                    CodePoint v = cp - 0x10000;
+                    CodePoint hi = 0xD800 + (v >> 10);
+                    CodePoint lo = 0xDC00 + (v & 0x3FF);
+                    out.push_back(static_cast<uint8_t>(hi >> 8));
+                    out.push_back(static_cast<uint8_t>(hi & 0xFF));
+                    out.push_back(static_cast<uint8_t>(lo >> 8));
+                    out.push_back(static_cast<uint8_t>(lo & 0xFF));
+                }
+            }
+            return out;
+
+        case Encoding::kUcs4:
+            for (CodePoint cp : cps) {
+                if (!is_scalar_value(cp)) {
+                    return Error{"ucs4_invalid_scalar", "cannot encode surrogate/out-of-range"};
+                }
+                out.push_back(static_cast<uint8_t>(cp >> 24));
+                out.push_back(static_cast<uint8_t>((cp >> 16) & 0xFF));
+                out.push_back(static_cast<uint8_t>((cp >> 8) & 0xFF));
+                out.push_back(static_cast<uint8_t>(cp & 0xFF));
+            }
+            return out;
+    }
+    return Error{"unknown_encoding", "unhandled encoding"};
+}
+
+Expected<CodePoints> utf8_to_codepoints(std::string_view utf8) {
+    return decode(to_bytes(utf8), Encoding::kUtf8);
+}
+
+std::string codepoints_to_utf8(const CodePoints& cps) {
+    CodePoints sane;
+    sane.reserve(cps.size());
+    for (CodePoint cp : cps) sane.push_back(is_scalar_value(cp) ? cp : kReplacementChar);
+    auto bytes = encode(sane, Encoding::kUtf8);
+    // Cannot fail: all inputs were made scalar values above.
+    return to_string(bytes.value());
+}
+
+std::string transcode_to_utf8(BytesView bytes, Encoding enc, ErrorPolicy policy) {
+    return codepoints_to_utf8(decode_lossy(bytes, enc, policy));
+}
+
+bool is_well_formed(BytesView bytes, Encoding enc) {
+    return decode(bytes, enc).ok();
+}
+
+}  // namespace unicert::unicode

@@ -1,0 +1,81 @@
+// unicert/unicode/codec.h
+//
+// Character-encoding codecs used throughout the certificate pipeline.
+//
+// The paper's parsing study (Section 3.2) distinguishes five decoding
+// methods observed across TLS libraries: ASCII, ISO-8859-1, UTF-8,
+// UCS-2 and UTF-16. We implement each as an explicit codec so the
+// tlslib behavioural profiles can decode real DER value bytes exactly
+// the way each library would.
+//
+// Every decoder comes in a *strict* flavour (returns an Error on the
+// first ill-formed unit) and a *lossy* flavour that applies one of the
+// ErrorPolicy substitution modes the paper calls "modified decoding".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "unicode/codepoint.h"
+
+namespace unicert::unicode {
+
+// Encoding identifiers. Names follow the paper's Table 4 terminology.
+enum class Encoding {
+    kAscii,      // 7-bit US-ASCII
+    kLatin1,     // ISO-8859-1 (each byte is the code point)
+    kUtf8,       // RFC 3629 UTF-8
+    kUcs2,       // big-endian 2-byte units, BMP only (no surrogates)
+    kUtf16,      // big-endian UTF-16 with surrogate pairs
+    kUcs4,       // big-endian 4-byte units (UniversalString)
+};
+
+const char* encoding_name(Encoding e) noexcept;
+
+// What a lossy decoder does when it meets an undecodable unit.
+enum class ErrorPolicy {
+    kStrict,      // fail with Error
+    kReplace,     // substitute U+FFFD
+    kSkip,        // drop the offending unit ("character truncation")
+    kHexEscape,   // substitute "\xNN" per offending byte (OpenSSL style)
+};
+
+// ---- Decoding: bytes -> code points -------------------------------------
+
+// Strict decode; first malformed unit yields an Error whose code names
+// the encoding, e.g. "utf8_invalid_continuation".
+Expected<CodePoints> decode(BytesView bytes, Encoding enc);
+
+// Lossy decode applying `policy` to malformed units. With kStrict this
+// is equivalent to decode(); with other policies it cannot fail.
+// Hex-escaped bytes are expanded to the code points of the literal
+// characters '\','x',hi,lo so the result remains a plain code point
+// sequence.
+CodePoints decode_lossy(BytesView bytes, Encoding enc, ErrorPolicy policy);
+
+// ---- Encoding: code points -> bytes -------------------------------------
+
+// Strict encode; fails if a code point is not representable in `enc`
+// (e.g. non-ASCII in kAscii, astral plane in kUcs2).
+Expected<Bytes> encode(const CodePoints& cps, Encoding enc);
+
+// ---- UTF-8 convenience (internal text interchange format) ---------------
+
+// Decode UTF-8 from a std::string (strict).
+Expected<CodePoints> utf8_to_codepoints(std::string_view utf8);
+
+// Encode code points to a UTF-8 std::string. Non-scalar values are
+// replaced with U+FFFD rather than failing, since display paths must
+// always produce *something*.
+std::string codepoints_to_utf8(const CodePoints& cps);
+
+// One-shot: transcode bytes in `enc` to a UTF-8 string using `policy`
+// for malformed input. The workhorse of the library behaviour profiles.
+std::string transcode_to_utf8(BytesView bytes, Encoding enc, ErrorPolicy policy);
+
+// True if `bytes` is well-formed in `enc`.
+bool is_well_formed(BytesView bytes, Encoding enc);
+
+}  // namespace unicert::unicode

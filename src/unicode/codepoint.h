@@ -1,0 +1,34 @@
+// unicert/unicode/codepoint.h
+//
+// Code point type and fundamental constants for the Unicode layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace unicert::unicode {
+
+// A Unicode scalar value or code point. We use a 32-bit unsigned type;
+// valid scalar values are U+0000..U+10FFFF excluding surrogates.
+using CodePoint = uint32_t;
+
+using CodePoints = std::vector<CodePoint>;
+
+inline constexpr CodePoint kMaxCodePoint = 0x10FFFF;
+inline constexpr CodePoint kSurrogateLow = 0xD800;
+inline constexpr CodePoint kSurrogateHigh = 0xDFFF;
+inline constexpr CodePoint kReplacementChar = 0xFFFD;
+inline constexpr CodePoint kBmpMax = 0xFFFF;
+
+// True for code points that can never appear in well-formed UTF-8/UTF-16
+// text (UTF-16 surrogate halves).
+constexpr bool is_surrogate(CodePoint cp) noexcept {
+    return cp >= kSurrogateLow && cp <= kSurrogateHigh;
+}
+
+// True for any value that is a legal Unicode scalar value.
+constexpr bool is_scalar_value(CodePoint cp) noexcept {
+    return cp <= kMaxCodePoint && !is_surrogate(cp);
+}
+
+}  // namespace unicert::unicode

@@ -1,0 +1,151 @@
+#include "unicode/properties.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "unicode/codec.h"
+
+namespace unicert::unicode {
+namespace {
+
+struct SkeletonPair {
+    CodePoint from;
+    CodePoint to;
+};
+
+// A curated slice of the Unicode confusables table covering the scripts
+// the paper's spoofing discussion exercises: Cyrillic and Greek lookalikes
+// of Latin letters, fullwidth forms, and a few punctuation twins.
+constexpr std::array kSkeletonMap = {
+    // Cyrillic lowercase -> Latin
+    SkeletonPair{0x0430, 'a'},  // а
+    SkeletonPair{0x0435, 'e'},  // е
+    SkeletonPair{0x043E, 'o'},  // о
+    SkeletonPair{0x0440, 'p'},  // р
+    SkeletonPair{0x0441, 'c'},  // с
+    SkeletonPair{0x0443, 'y'},  // у
+    SkeletonPair{0x0445, 'x'},  // х
+    SkeletonPair{0x0455, 's'},  // ѕ
+    SkeletonPair{0x0456, 'i'},  // і
+    SkeletonPair{0x0458, 'j'},  // ј
+    SkeletonPair{0x04BB, 'h'},  // һ
+    SkeletonPair{0x0501, 'd'},  // ԁ
+    SkeletonPair{0x051B, 'q'},  // ԛ
+    SkeletonPair{0x051D, 'w'},  // ԝ
+    // Cyrillic uppercase -> Latin
+    SkeletonPair{0x0410, 'A'},
+    SkeletonPair{0x0412, 'B'},
+    SkeletonPair{0x0415, 'E'},
+    SkeletonPair{0x041A, 'K'},
+    SkeletonPair{0x041C, 'M'},
+    SkeletonPair{0x041D, 'H'},
+    SkeletonPair{0x041E, 'O'},
+    SkeletonPair{0x0420, 'P'},
+    SkeletonPair{0x0421, 'C'},
+    SkeletonPair{0x0422, 'T'},
+    SkeletonPair{0x0425, 'X'},
+    // Greek -> Latin
+    SkeletonPair{0x03B1, 'a'},  // α (loose)
+    SkeletonPair{0x03BF, 'o'},  // ο
+    SkeletonPair{0x03C1, 'p'},  // ρ
+    SkeletonPair{0x03BD, 'v'},  // ν
+    SkeletonPair{0x0391, 'A'},
+    SkeletonPair{0x0392, 'B'},
+    SkeletonPair{0x0395, 'E'},
+    SkeletonPair{0x0396, 'Z'},
+    SkeletonPair{0x0397, 'H'},
+    SkeletonPair{0x0399, 'I'},
+    SkeletonPair{0x039A, 'K'},
+    SkeletonPair{0x039C, 'M'},
+    SkeletonPair{0x039D, 'N'},
+    SkeletonPair{0x039F, 'O'},
+    SkeletonPair{0x03A1, 'P'},
+    SkeletonPair{0x03A4, 'T'},
+    SkeletonPair{0x03A5, 'Y'},
+    SkeletonPair{0x03A7, 'X'},
+    // Punctuation / symbol twins from the paper's Table 3 and F.1
+    SkeletonPair{0x2010, '-'},  // HYPHEN
+    SkeletonPair{0x2011, '-'},  // NON-BREAKING HYPHEN
+    SkeletonPair{0x2012, '-'},  // FIGURE DASH
+    SkeletonPair{0x2013, '-'},  // EN DASH
+    SkeletonPair{0x2014, '-'},  // EM DASH
+    SkeletonPair{0x037E, ';'},  // GREEK QUESTION MARK
+    SkeletonPair{0x00B7, '.'},  // MIDDLE DOT (loose)
+    SkeletonPair{0x0131, 'i'},  // dotless i
+    SkeletonPair{0x2024, '.'},  // ONE DOT LEADER
+};
+
+}  // namespace
+
+CodePoint confusable_skeleton(CodePoint cp) noexcept {
+    // Fullwidth Latin forms map algorithmically.
+    if (cp >= 0xFF01 && cp <= 0xFF5E) return cp - 0xFF00 + 0x20;
+    for (const auto& p : kSkeletonMap) {
+        if (p.from == cp) return p.to;
+    }
+    return cp;
+}
+
+CodePoints skeleton(const CodePoints& cps) {
+    CodePoints out;
+    out.reserve(cps.size());
+    for (CodePoint cp : cps) {
+        CodePoint s = confusable_skeleton(cp);
+        if (s >= 'A' && s <= 'Z') s = s - 'A' + 'a';
+        // Invisible characters vanish in the skeleton: they contribute
+        // nothing visually, which is exactly why they are dangerous.
+        if (is_layout_control(s)) continue;
+        out.push_back(s);
+    }
+    return out;
+}
+
+bool are_confusable(const CodePoints& a, const CodePoints& b) {
+    if (a == b) return false;
+    return skeleton(a) == skeleton(b);
+}
+
+CodePoint fold_case(CodePoint cp) noexcept {
+    if (cp >= 'A' && cp <= 'Z') return cp + 0x20;
+    if (cp >= 0x00C0 && cp <= 0x00DE && cp != 0x00D7) return cp + 0x20;  // Latin-1 capitals
+    if (cp >= 0x0391 && cp <= 0x03A9 && cp != 0x03A2) return cp + 0x20;  // Greek capitals
+    if (cp >= 0x0410 && cp <= 0x042F) return cp + 0x20;                  // Cyrillic capitals
+    if (cp >= 0x0400 && cp <= 0x040F) return cp + 0x50;                  // Cyrillic Ё etc.
+    // Latin Extended-A: alternating upper/lower pairs in three runs.
+    if (cp >= 0x0100 && cp <= 0x0137) return (cp % 2 == 0) ? cp + 1 : cp;  // Ā..ķ
+    if (cp >= 0x0139 && cp <= 0x0148) return (cp % 2 == 1) ? cp + 1 : cp;  // Ĺ..ň
+    if (cp >= 0x014A && cp <= 0x0177) return (cp % 2 == 0) ? cp + 1 : cp;  // Ŋ..ŷ
+    if (cp == 0x0178) return 0x00FF;                                       // Ÿ -> ÿ
+    if (cp >= 0x0179 && cp <= 0x017E) return (cp % 2 == 1) ? cp + 1 : cp;  // Ź..ž
+    // Latin Extended-B pairs used by Romanian/Slavic names.
+    if (cp >= 0x01DE && cp <= 0x01EF) return (cp % 2 == 0) ? cp + 1 : cp;
+    if (cp >= 0x0218 && cp <= 0x021F) return (cp % 2 == 0) ? cp + 1 : cp;  // Șș Țț Ȝȝ Ȟȟ
+    // Latin Extended Additional (Vietnamese etc.): even/odd pairs.
+    if (cp >= 0x1E00 && cp <= 0x1EFF && cp != 0x1E9E) {
+        return (cp % 2 == 0) ? cp + 1 : cp;
+    }
+    return cp;
+}
+
+CodePoints fold_case(const CodePoints& cps) {
+    CodePoints out;
+    out.reserve(cps.size());
+    for (CodePoint cp : cps) out.push_back(fold_case(cp));
+    return out;
+}
+
+std::string codepoint_label(CodePoint cp) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), cp <= 0xFFFF ? "U+%04X" : "U+%06X", cp);
+    return buf;
+}
+
+bool has_non_printable_ascii(std::string_view utf8) {
+    auto decoded = utf8_to_codepoints(utf8);
+    if (!decoded.ok()) return true;  // malformed UTF-8 is by definition not printable ASCII
+    return std::any_of(decoded->begin(), decoded->end(),
+                       [](CodePoint cp) { return !is_printable_ascii(cp); });
+}
+
+}  // namespace unicert::unicode

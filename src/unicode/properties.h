@@ -1,0 +1,135 @@
+// unicert/unicode/properties.h
+//
+// Character property queries used by the lint rules, the parsing
+// profiles and the threat analyses: control/format classification,
+// printable-ASCII range checks (the paper's "Non-PrintableASCII"
+// definition), bidi/layout controls, and a confusable-skeleton map for
+// homograph detection (Appendix F.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "unicode/codepoint.h"
+
+namespace unicert::unicode {
+
+// ---- ASCII-range classes -------------------------------------------------
+
+// Printable ASCII, U+0020..U+007E. The paper's Unicert definition is
+// "contains any character beyond this range".
+constexpr bool is_printable_ascii(CodePoint cp) noexcept {
+    return cp >= 0x20 && cp <= 0x7E;
+}
+
+constexpr bool is_ascii(CodePoint cp) noexcept { return cp <= 0x7F; }
+
+constexpr bool is_ascii_digit(CodePoint cp) noexcept { return cp >= '0' && cp <= '9'; }
+
+constexpr bool is_ascii_alpha(CodePoint cp) noexcept {
+    return (cp >= 'a' && cp <= 'z') || (cp >= 'A' && cp <= 'Z');
+}
+
+// LDH: letter / digit / hyphen, the DNS label alphabet (RFC 1034).
+constexpr bool is_ldh(CodePoint cp) noexcept {
+    return is_ascii_alpha(cp) || is_ascii_digit(cp) || cp == '-';
+}
+
+// ---- Control & format classes --------------------------------------------
+
+// C0 controls U+0000..U+001F plus DEL U+007F.
+constexpr bool is_c0_control(CodePoint cp) noexcept { return cp <= 0x1F || cp == 0x7F; }
+
+// C1 controls U+0080..U+009F.
+constexpr bool is_c1_control(CodePoint cp) noexcept { return cp >= 0x80 && cp <= 0x9F; }
+
+constexpr bool is_control(CodePoint cp) noexcept {
+    return is_c0_control(cp) || is_c1_control(cp);
+}
+
+// Explicit bidirectional controls (LRM/RLM/ALM and embedding/override/
+// isolate codes). These enable the "www.‮lapyap‬.com" spoof
+// of Appendix F.1 and are DISALLOWED in IDNA2008 labels.
+constexpr bool is_bidi_control(CodePoint cp) noexcept {
+    return cp == 0x061C ||                      // ARABIC LETTER MARK
+           cp == 0x200E || cp == 0x200F ||      // LRM, RLM
+           (cp >= 0x202A && cp <= 0x202E) ||    // LRE, RLE, PDF, LRO, RLO
+           (cp >= 0x2066 && cp <= 0x2069);      // LRI, RLI, FSI, PDI
+}
+
+// Zero-width / invisible join controls.
+constexpr bool is_zero_width(CodePoint cp) noexcept {
+    return cp == 0x200B ||                       // ZERO WIDTH SPACE
+           cp == 0x200C || cp == 0x200D ||       // ZWNJ, ZWJ
+           cp == 0x2060 ||                       // WORD JOINER
+           cp == 0xFEFF;                         // ZERO WIDTH NO-BREAK SPACE / BOM
+}
+
+// Invisible layout & format characters in the General Punctuation block
+// (U+2000..U+206F) plus BOM: the characters Table 14 reports browsers
+// render invisibly.
+constexpr bool is_layout_control(CodePoint cp) noexcept {
+    return is_bidi_control(cp) || is_zero_width(cp) ||
+           (cp >= 0x2000 && cp <= 0x200A) ||    // typographic spaces
+           cp == 0x2028 || cp == 0x2029 ||      // LS, PS
+           cp == 0x202F || cp == 0x205F ||      // narrow/medium math space
+           (cp >= 0x2061 && cp <= 0x2064) ||    // invisible math operators
+           (cp >= 0x206A && cp <= 0x206F);      // deprecated format controls
+}
+
+// Whitespace characters beyond U+0020 that the Subject-variant study
+// (Table 3) flags: NBSP, ideographic space, typographic spaces.
+constexpr bool is_nonstandard_space(CodePoint cp) noexcept {
+    return cp == 0x00A0 || cp == 0x1680 || (cp >= 0x2000 && cp <= 0x200A) ||
+           cp == 0x202F || cp == 0x205F || cp == 0x3000;
+}
+
+constexpr bool is_space(CodePoint cp) noexcept {
+    return cp == 0x20 || cp == 0x09 || is_nonstandard_space(cp);
+}
+
+// Private use areas (BMP + both supplementary planes).
+constexpr bool is_private_use(CodePoint cp) noexcept {
+    return (cp >= 0xE000 && cp <= 0xF8FF) || (cp >= 0xF0000 && cp <= 0xFFFFD) ||
+           (cp >= 0x100000 && cp <= 0x10FFFD);
+}
+
+// Permanently-reserved noncharacters (U+FDD0..U+FDEF and the two final
+// code points of every plane).
+constexpr bool is_noncharacter(CodePoint cp) noexcept {
+    return (cp >= 0xFDD0 && cp <= 0xFDEF) || ((cp & 0xFFFE) == 0xFFFE && cp <= 0x10FFFF);
+}
+
+// ---- Confusables / homographs ---------------------------------------------
+
+// Maps visually-confusable Cyrillic / Greek / fullwidth letters onto
+// their Latin skeleton (e.g. U+0430 CYRILLIC SMALL A -> 'a'); identity
+// for everything else. This is the core of the homograph-feasibility
+// check in the browser study (Appendix F.1, Table 14 "Homograph
+// feasibility").
+CodePoint confusable_skeleton(CodePoint cp) noexcept;
+
+// Applies confusable_skeleton + ASCII lowercase fold over a string.
+CodePoints skeleton(const CodePoints& cps);
+
+// True if two strings are distinct but share a confusable skeleton.
+bool are_confusable(const CodePoints& a, const CodePoints& b);
+
+// Simple case folding over ASCII, Latin-1, Greek and Cyrillic letters —
+// sufficient for the CT-monitor case-insensitive query models (Table 6).
+CodePoint fold_case(CodePoint cp) noexcept;
+
+// fold_case applied to a whole string.
+CodePoints fold_case(const CodePoints& cps);
+
+// ---- Display helpers -------------------------------------------------------
+
+// "U+XXXX" formatting for diagnostics.
+std::string codepoint_label(CodePoint cp);
+
+// True if the UTF-8 string contains any character outside printable
+// ASCII — the paper's Unicert trigger predicate. Malformed UTF-8 counts
+// as non-ASCII content.
+bool has_non_printable_ascii(std::string_view utf8);
+
+}  // namespace unicert::unicode

@@ -1,0 +1,85 @@
+#include "x509/builder.h"
+
+#include "asn1/der.h"
+#include "asn1/time.h"
+
+namespace unicert::x509 {
+namespace {
+
+void write_time(asn1::Writer& w, int64_t t) {
+    asn1::EncodedTime enc = asn1::format_validity_time(t);
+    w.add_string(enc.generalized ? asn1::Tag::kGeneralizedTime : asn1::Tag::kUtcTime, enc.text);
+}
+
+void write_algorithm_identifier(asn1::Writer& w, const asn1::Oid& alg) {
+    w.add_sequence([&](asn1::Writer& seq) {
+        seq.add_oid_der(alg.to_der());
+        seq.add_null();
+    });
+}
+
+}  // namespace
+
+Bytes encode_tbs(const Certificate& cert) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& tbs) {
+        // version [0] EXPLICIT INTEGER (omitted for v1)
+        if (cert.version != 0) {
+            tbs.add_explicit(0, [&](asn1::Writer& v) { v.add_integer(cert.version); });
+        }
+        tbs.add_integer_bytes(cert.serial);
+        write_algorithm_identifier(tbs, cert.signature_algorithm);
+        tbs.add_raw(encode_name(cert.issuer));
+        tbs.add_sequence([&](asn1::Writer& validity) {
+            write_time(validity, cert.validity.not_before);
+            write_time(validity, cert.validity.not_after);
+        });
+        tbs.add_raw(encode_name(cert.subject));
+        // SubjectPublicKeyInfo
+        tbs.add_sequence([&](asn1::Writer& spki) {
+            write_algorithm_identifier(spki, asn1::oids::sim_sig_with_sha256());
+            spki.add_bit_string(cert.subject_public_key);
+        });
+        if (!cert.extensions.empty()) {
+            tbs.add_explicit(3, [&](asn1::Writer& wrap) {
+                wrap.add_sequence([&](asn1::Writer& exts) {
+                    for (const Extension& ext : cert.extensions) {
+                        exts.add_sequence([&](asn1::Writer& e) {
+                            e.add_oid_der(ext.oid.to_der());
+                            if (ext.critical) e.add_boolean(true);
+                            e.add_octet_string(ext.value);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    return w.take();
+}
+
+Bytes sign_certificate(Certificate& cert, const crypto::SimSigner& issuer_key) {
+    if (cert.signature_algorithm.empty()) {
+        cert.signature_algorithm = asn1::oids::sim_sig_with_sha256();
+    }
+    cert.tbs_der = encode_tbs(cert);
+    cert.signature = issuer_key.sign(cert.tbs_der);
+
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& outer) {
+        outer.add_raw(cert.tbs_der);
+        outer.add_sequence([&](asn1::Writer& alg) {
+            alg.add_oid_der(cert.signature_algorithm.to_der());
+            alg.add_null();
+        });
+        outer.add_bit_string(cert.signature);
+    });
+    cert.der = w.take();
+    return cert.der;
+}
+
+bool verify_signature(const Certificate& cert, const crypto::SimSigner& issuer_key) {
+    if (cert.tbs_der.empty() || cert.signature.empty()) return false;
+    return crypto::sim_verify(issuer_key, cert.tbs_der, cert.signature);
+}
+
+}  // namespace unicert::x509

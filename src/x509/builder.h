@@ -1,0 +1,28 @@
+// unicert/x509/builder.h
+//
+// CertificateBuilder: turn a Certificate model into signed DER. The
+// builder is intentionally permissive — it encodes whatever the model
+// contains, including standard-violating string types and characters —
+// because the paper's measurements require crafting noncompliant
+// Unicerts (Section 3.2's generator rules are implemented on top of
+// this in tlslib::CertFactory and ctlog::CorpusGenerator).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "crypto/simsig.h"
+#include "x509/certificate.h"
+
+namespace unicert::x509 {
+
+// Encode the TBSCertificate (without signing).
+Bytes encode_tbs(const Certificate& cert);
+
+// Encode + sign with the issuer's SimSigner. Fills cert.tbs_der,
+// cert.signature and cert.der; returns the full DER.
+Bytes sign_certificate(Certificate& cert, const crypto::SimSigner& issuer_key);
+
+// Verify cert.signature against cert.tbs_der with the issuer signer.
+bool verify_signature(const Certificate& cert, const crypto::SimSigner& issuer_key);
+
+}  // namespace unicert::x509

@@ -1,0 +1,72 @@
+#include "x509/certificate.h"
+
+#include "crypto/sha256.h"
+
+namespace unicert::x509 {
+
+const Extension* Certificate::find_extension(const asn1::Oid& oid) const {
+    for (const Extension& ext : extensions) {
+        if (ext.oid == oid) return &ext;
+    }
+    return nullptr;
+}
+
+bool Certificate::is_precertificate() const {
+    return has_extension(asn1::oids::ct_poison());
+}
+
+std::vector<const AttributeValue*> Certificate::subject_common_names() const {
+    return subject.find_all(asn1::oids::common_name());
+}
+
+GeneralNames Certificate::subject_alt_names() const {
+    const Extension* ext = find_extension(asn1::oids::subject_alt_name());
+    if (ext == nullptr) return {};
+    auto parsed = parse_san(*ext);
+    if (!parsed.ok()) return {};
+    return std::move(parsed).value();
+}
+
+std::vector<std::string> Certificate::dns_identities() const {
+    std::vector<std::string> out;
+    for (const AttributeValue* cn : subject_common_names()) {
+        out.push_back(cn->to_utf8_lossy());
+    }
+    for (const GeneralName& gn : subject_alt_names()) {
+        if (gn.type == GeneralNameType::kDnsName) out.push_back(gn.to_utf8_lossy());
+    }
+    return out;
+}
+
+std::vector<std::string> Certificate::ca_issuer_urls() const {
+    std::vector<std::string> out;
+    const Extension* ext = find_extension(asn1::oids::authority_info_access());
+    if (ext == nullptr) return out;
+    auto parsed = parse_access_descriptions(*ext);
+    if (!parsed.ok()) return out;
+    for (const AccessDescription& ad : parsed.value()) {
+        if (ad.method == asn1::oids::ad_ca_issuers() &&
+            ad.location.type == GeneralNameType::kUri) {
+            out.push_back(ad.location.to_utf8_lossy());
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> Certificate::crl_urls() const {
+    std::vector<std::string> out;
+    const Extension* ext = find_extension(asn1::oids::crl_distribution_points());
+    if (ext == nullptr) return out;
+    auto parsed = parse_crl_distribution_points(*ext);
+    if (!parsed.ok()) return out;
+    for (const DistributionPoint& dp : parsed.value()) {
+        for (const GeneralName& gn : dp.full_names) {
+            if (gn.type == GeneralNameType::kUri) out.push_back(gn.to_utf8_lossy());
+        }
+    }
+    return out;
+}
+
+Bytes Certificate::fingerprint() const { return crypto::sha256_bytes(der); }
+
+}  // namespace unicert::x509

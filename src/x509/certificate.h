@@ -1,0 +1,75 @@
+// unicert/x509/certificate.h
+//
+// The in-memory X.509 v3 certificate model: the decoded TBS fields,
+// extensions, the signature, and cached DER blobs for signature
+// verification and re-serialization.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/oid.h"
+#include "common/bytes.h"
+#include "x509/extensions.h"
+#include "x509/name.h"
+
+namespace unicert::x509 {
+
+struct Validity {
+    int64_t not_before = 0;  // Unix seconds UTC
+    int64_t not_after = 0;
+
+    bool contains(int64_t t) const noexcept { return t >= not_before && t <= not_after; }
+    int64_t lifetime_days() const noexcept { return (not_after - not_before) / 86400; }
+
+    bool operator==(const Validity&) const = default;
+};
+
+struct Certificate {
+    int version = 2;  // 0 = v1, 2 = v3
+    Bytes serial;     // big-endian magnitude
+    asn1::Oid signature_algorithm;
+    DistinguishedName issuer;
+    Validity validity;
+    DistinguishedName subject;
+    Bytes subject_public_key;  // raw key bytes inside the BIT STRING
+    std::vector<Extension> extensions;
+    Bytes signature;
+
+    // Cached encodings; filled by the builder and the parser.
+    Bytes tbs_der;
+    Bytes der;
+
+    // ---- Typed lookups ------------------------------------------------
+
+    const Extension* find_extension(const asn1::Oid& oid) const;
+    bool has_extension(const asn1::Oid& oid) const { return find_extension(oid) != nullptr; }
+
+    // True when the CT poison extension is present (precertificate).
+    bool is_precertificate() const;
+
+    // Subject CN attributes (possibly several — a paper finding).
+    std::vector<const AttributeValue*> subject_common_names() const;
+
+    // SAN GeneralNames; empty when absent or unparseable.
+    GeneralNames subject_alt_names() const;
+
+    // All DNSName strings from CN + SAN, lossily decoded (for quick
+    // identity extraction; the lint layer works on raw fields instead).
+    std::vector<std::string> dns_identities() const;
+
+    // AIA caIssuers URIs (used for chain reconstruction per Section 5.1).
+    std::vector<std::string> ca_issuer_urls() const;
+
+    // CRL distribution URIs.
+    std::vector<std::string> crl_urls() const;
+
+    // SHA-256 fingerprint of the full DER.
+    Bytes fingerprint() const;
+
+    bool operator==(const Certificate&) const = default;
+};
+
+}  // namespace unicert::x509

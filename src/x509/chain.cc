@@ -1,0 +1,147 @@
+#include "x509/chain.h"
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+#include "x509/dn_text.h"
+#include "x509/name_match.h"
+
+namespace unicert::x509 {
+namespace {
+
+std::string dn_key(const DistinguishedName& dn) {
+    return format_dn(dn, DnDialect::kRfc4514);
+}
+
+}  // namespace
+
+CaEntity& CaRegistry::create_ca(const std::string& organization, bool publicly_trusted) {
+    // AIA URL derived from the organization name (hex of its hash) so
+    // distinct CAs never collide, even across registries.
+    std::string url_slug = hex_encode(crypto::sha256_bytes(to_bytes(organization))).substr(0, 16);
+    auto entity = std::make_unique<CaEntity>(CaEntity{
+        organization,
+        {},
+        crypto::SimSigner::from_name(organization),
+        "http://ca.invalid/" + url_slug + ".crt",
+        publicly_trusted,
+    });
+
+    Certificate& cert = entity->certificate;
+    cert.version = 2;
+    cert.serial = {static_cast<uint8_t>(cas_.size() + 1)};
+    cert.subject = make_dn({
+        make_attribute(asn1::oids::country_name(), "XX", asn1::StringType::kPrintableString),
+        make_attribute(asn1::oids::organization_name(), organization),
+        make_attribute(asn1::oids::common_name(), organization + " Root CA"),
+    });
+    cert.issuer = cert.subject;  // self-signed
+    cert.validity = {asn1::make_time(2013, 1, 1), asn1::make_time(2043, 1, 1)};
+    cert.subject_public_key = entity->key.public_key();
+    cert.extensions.push_back(make_basic_constraints({true, std::nullopt}));
+    cert.extensions.push_back(make_subject_key_identifier(entity->key.key_id()));
+    sign_certificate(cert, entity->key);
+
+    CaEntity& ref = *entity;
+    by_url_[entity->aia_url] = entity.get();
+    by_name_[organization] = entity.get();
+    cas_.push_back(std::move(entity));
+    return ref;
+}
+
+const CaEntity* CaRegistry::by_aia_url(const std::string& url) const {
+    auto it = by_url_.find(url);
+    return it == by_url_.end() ? nullptr : it->second;
+}
+
+const CaEntity* CaRegistry::by_subject(const DistinguishedName& dn) const {
+    std::string key = dn_key(dn);
+    for (const auto& ca : cas_) {
+        if (dn_key(ca->certificate.subject) == key) return ca.get();
+    }
+    return nullptr;
+}
+
+const CaEntity* CaRegistry::by_name(const std::string& organization) const {
+    auto it = by_name_.find(organization);
+    return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<const CaEntity*> CaRegistry::all() const {
+    std::vector<const CaEntity*> out;
+    out.reserve(cas_.size());
+    for (const auto& ca : cas_) out.push_back(ca.get());
+    return out;
+}
+
+ChainResult build_and_verify_chain(const Certificate& leaf, const CaRegistry& registry) {
+    ChainResult result;
+
+    // Prefer AIA reconstruction; fall back to issuer-DN lookup (the
+    // paper's pipeline does the same when AIA is missing).
+    const CaEntity* issuer = nullptr;
+    for (const std::string& url : leaf.ca_issuer_urls()) {
+        result.path.push_back(url);
+        if (const CaEntity* ca = registry.by_aia_url(url)) {
+            issuer = ca;
+            break;
+        }
+    }
+    if (issuer == nullptr) issuer = registry.by_subject(leaf.issuer);
+    if (issuer == nullptr) return result;
+
+    result.chain_complete = true;
+    result.signature_valid = verify_signature(leaf, issuer->key);
+    result.issuer_trusted = issuer->publicly_trusted;
+    return result;
+}
+
+ValidationResult validate_certificate(const Certificate& leaf, const CaRegistry& registry,
+                                      int64_t at_time) {
+    ValidationResult result;
+    auto fail = [&](const char* why) {
+        if (result.failure.empty()) result.failure = why;
+    };
+
+    // Chain discovery, as in build_and_verify_chain.
+    const CaEntity* issuer = nullptr;
+    for (const std::string& url : leaf.ca_issuer_urls()) {
+        if (const CaEntity* ca = registry.by_aia_url(url)) {
+            issuer = ca;
+            break;
+        }
+    }
+    if (issuer == nullptr) issuer = registry.by_subject(leaf.issuer);
+    if (issuer == nullptr) {
+        fail("no issuer found via AIA or issuer DN");
+        return result;
+    }
+    result.chain_complete = true;
+
+    result.signature_valid = verify_signature(leaf, issuer->key);
+    if (!result.signature_valid) fail("signature verification failed");
+
+    auto bc_ext = issuer->certificate.find_extension(asn1::oids::basic_constraints());
+    if (bc_ext != nullptr) {
+        auto bc = parse_basic_constraints(*bc_ext);
+        result.issuer_is_ca = bc.ok() && bc->ca;
+    }
+    if (!result.issuer_is_ca) fail("issuer certificate does not assert cA");
+
+    // RFC 5280 §7.1 name chaining (caseIgnoreMatch, not byte compare).
+    result.issuer_name_matches = names_match(leaf.issuer, issuer->certificate.subject);
+    if (!result.issuer_name_matches) fail("issuer DN does not chain to CA subject");
+
+    result.within_validity = leaf.validity.contains(at_time);
+    if (!result.within_validity) fail("leaf outside its validity window");
+    result.issuer_within_validity = issuer->certificate.validity.contains(at_time);
+    if (!result.issuer_within_validity) fail("issuer certificate expired");
+
+    result.issuer_trusted = issuer->publicly_trusted;
+
+    result.valid = result.chain_complete && result.signature_valid && result.issuer_is_ca &&
+                   result.issuer_name_matches && result.within_validity &&
+                   result.issuer_within_validity;
+    return result;
+}
+
+}  // namespace unicert::x509

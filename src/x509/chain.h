@@ -1,0 +1,82 @@
+// unicert/x509/chain.h
+//
+// Certificate-chain construction and verification over the SimSig
+// substrate. Reproduces the Section 5.1 methodology: reconstruct
+// chains via AIA caIssuers pointers, then verify signatures up to a
+// trust anchor.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/simsig.h"
+#include "x509/certificate.h"
+
+namespace unicert::x509 {
+
+// An issuing CA in the simulation: its certificate, signing key, and
+// the AIA URL at which leaf certificates point back to it.
+struct CaEntity {
+    std::string name;            // organization name
+    Certificate certificate;
+    crypto::SimSigner key;
+    std::string aia_url;         // "http://ca.example/<name>.crt"
+    bool publicly_trusted = true;
+};
+
+// A registry of CAs addressable by AIA URL and by subject DN — the
+// simulation's stand-in for "fetch the issuer cert from the CA server".
+class CaRegistry {
+public:
+    // Create a self-signed CA and register it.
+    CaEntity& create_ca(const std::string& organization, bool publicly_trusted = true);
+
+    const CaEntity* by_aia_url(const std::string& url) const;
+    const CaEntity* by_subject(const DistinguishedName& dn) const;
+    const CaEntity* by_name(const std::string& organization) const;
+
+    std::vector<const CaEntity*> all() const;
+    size_t size() const noexcept { return cas_.size(); }
+
+private:
+    std::vector<std::unique_ptr<CaEntity>> cas_;
+    std::map<std::string, CaEntity*> by_url_;
+    std::map<std::string, CaEntity*> by_name_;
+};
+
+// Result of a chain build + verify.
+struct ChainResult {
+    bool chain_complete = false;     // reached a registered CA via AIA
+    bool signature_valid = false;    // SimSig verification succeeded
+    bool issuer_trusted = false;     // CA is publicly trusted
+    std::vector<std::string> path;   // AIA URLs walked
+};
+
+// Reconstruct and verify the chain for a leaf using AIA caIssuers URLs
+// against the registry (Section 5.1's "reconstructing certificate
+// chains via AIA extensions and verifying signatures").
+ChainResult build_and_verify_chain(const Certificate& leaf, const CaRegistry& registry);
+
+// Full path-validation verdict for one leaf at a point in time.
+struct ValidationResult {
+    bool valid = false;            // everything below holds
+    bool chain_complete = false;
+    bool signature_valid = false;
+    bool issuer_is_ca = false;     // issuer cert asserts BasicConstraints cA
+    bool issuer_name_matches = false;  // RFC 5280 §7.1 name chaining
+    bool within_validity = false;  // leaf valid at `at_time`
+    bool issuer_within_validity = false;
+    bool issuer_trusted = false;
+    std::string failure;           // first failing check, for diagnostics
+};
+
+// RFC 5280-shaped validation: chain discovery (AIA or issuer DN),
+// SimSig signature check, BasicConstraints cA assertion, §7.1 name
+// chaining, and validity windows for both certificates.
+ValidationResult validate_certificate(const Certificate& leaf, const CaRegistry& registry,
+                                      int64_t at_time);
+
+}  // namespace unicert::x509

@@ -1,0 +1,197 @@
+#include "x509/crl.h"
+
+#include "asn1/der.h"
+#include "asn1/time.h"
+
+namespace unicert::x509 {
+namespace {
+
+void write_time(asn1::Writer& w, int64_t t) {
+    asn1::EncodedTime enc = asn1::format_validity_time(t);
+    w.add_string(enc.generalized ? asn1::Tag::kGeneralizedTime : asn1::Tag::kUtcTime, enc.text);
+}
+
+Expected<int64_t> read_time(const asn1::Tlv& tlv) {
+    if (tlv.is_universal(asn1::Tag::kUtcTime)) return asn1::parse_utc_time(tlv.content);
+    if (tlv.is_universal(asn1::Tag::kGeneralizedTime)) {
+        return asn1::parse_generalized_time(tlv.content);
+    }
+    return Error{"crl_bad_time", "expected UTCTime or GeneralizedTime"};
+}
+
+Bytes encode_tbs_cert_list(const CertificateList& crl) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& tbs) {
+        tbs.add_integer(1);  // version v2
+        tbs.add_sequence([&](asn1::Writer& alg) {
+            alg.add_oid_der(asn1::oids::sim_sig_with_sha256().to_der());
+            alg.add_null();
+        });
+        tbs.add_raw(encode_name(crl.issuer));
+        write_time(tbs, crl.this_update);
+        write_time(tbs, crl.next_update);
+        if (!crl.revoked.empty()) {
+            tbs.add_sequence([&](asn1::Writer& list) {
+                for (const RevokedEntry& entry : crl.revoked) {
+                    list.add_sequence([&](asn1::Writer& item) {
+                        item.add_integer_bytes(entry.serial);
+                        write_time(item, entry.revocation_time);
+                    });
+                }
+            });
+        }
+    });
+    return w.take();
+}
+
+}  // namespace
+
+bool CertificateList::is_revoked(BytesView serial) const {
+    for (const RevokedEntry& entry : revoked) {
+        if (entry.serial.size() == serial.size() &&
+            std::equal(entry.serial.begin(), entry.serial.end(), serial.begin())) {
+            return true;
+        }
+    }
+    return false;
+}
+
+Bytes sign_crl(CertificateList& crl, const crypto::SimSigner& issuer_key) {
+    crl.tbs_der = encode_tbs_cert_list(crl);
+    crl.signature = issuer_key.sign(crl.tbs_der);
+
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& outer) {
+        outer.add_raw(crl.tbs_der);
+        outer.add_sequence([&](asn1::Writer& alg) {
+            alg.add_oid_der(asn1::oids::sim_sig_with_sha256().to_der());
+            alg.add_null();
+        });
+        outer.add_bit_string(crl.signature);
+    });
+    crl.der = w.take();
+    return crl.der;
+}
+
+Expected<CertificateList> parse_crl(BytesView der) {
+    auto outer = asn1::read_tlv(der);
+    if (!outer.ok()) return outer.error();
+    if (!outer->is_universal(asn1::Tag::kSequence)) {
+        return Error{"crl_not_sequence", "CertificateList must be a SEQUENCE"};
+    }
+
+    CertificateList crl;
+    crl.der.assign(der.begin(), der.begin() + outer->total_len);
+
+    asn1::Reader top(outer->content);
+    auto tbs = top.expect(asn1::Tag::kSequence);
+    if (!tbs.ok()) return tbs.error();
+    crl.tbs_der.assign(der.begin() + outer->header_len,
+                       der.begin() + outer->header_len + tbs->total_len);
+
+    asn1::Reader r(tbs->content);
+
+    // version (optional)
+    auto first = r.peek();
+    if (!first.ok()) return first.error();
+    if (first->is_universal(asn1::Tag::kInteger)) (void)r.next();
+
+    auto alg = r.expect(asn1::Tag::kSequence);
+    if (!alg.ok()) return alg.error();
+
+    auto issuer_tlv = r.peek();
+    if (!issuer_tlv.ok()) return issuer_tlv.error();
+    {
+        BytesView span = tbs->content.subspan(r.position(), issuer_tlv->total_len);
+        auto issuer = parse_name(span);
+        if (!issuer.ok()) return issuer.error();
+        crl.issuer = std::move(issuer).value();
+        (void)r.next();
+    }
+
+    auto this_upd = r.next();
+    if (!this_upd.ok()) return this_upd.error();
+    auto tu = read_time(this_upd.value());
+    if (!tu.ok()) return tu.error();
+    crl.this_update = tu.value();
+
+    auto next_upd = r.next();
+    if (!next_upd.ok()) return next_upd.error();
+    auto nu = read_time(next_upd.value());
+    if (!nu.ok()) return nu.error();
+    crl.next_update = nu.value();
+
+    if (!r.done()) {
+        auto peeked = r.peek();
+        if (peeked.ok() && peeked->is_universal(asn1::Tag::kSequence)) {
+            auto list = r.next();
+            asn1::Reader lr(list->content);
+            while (!lr.done()) {
+                auto item = lr.expect(asn1::Tag::kSequence);
+                if (!item.ok()) return item.error();
+                asn1::Reader ir(item->content);
+                auto serial_tlv = ir.expect(asn1::Tag::kInteger);
+                if (!serial_tlv.ok()) return serial_tlv.error();
+                auto serial = asn1::decode_integer_bytes(serial_tlv.value());
+                if (!serial.ok()) return serial.error();
+                auto time_tlv = ir.next();
+                if (!time_tlv.ok()) return time_tlv.error();
+                auto when = read_time(time_tlv.value());
+                if (!when.ok()) return when.error();
+                crl.revoked.push_back({std::move(serial).value(), when.value()});
+            }
+        }
+    }
+
+    // signatureAlgorithm + signatureValue
+    auto outer_alg = top.expect(asn1::Tag::kSequence);
+    if (!outer_alg.ok()) return outer_alg.error();
+    auto sig = top.expect(asn1::Tag::kBitString);
+    if (!sig.ok()) return sig.error();
+    auto sig_bytes = asn1::decode_bit_string(sig.value());
+    if (!sig_bytes.ok()) return sig_bytes.error();
+    crl.signature = std::move(sig_bytes).value();
+    return crl;
+}
+
+bool verify_crl(const CertificateList& crl, const crypto::SimSigner& issuer_key) {
+    if (crl.tbs_der.empty() || crl.signature.empty()) return false;
+    return crypto::sim_verify(issuer_key, crl.tbs_der, crl.signature);
+}
+
+const char* revocation_status_name(RevocationStatus s) noexcept {
+    switch (s) {
+        case RevocationStatus::kGood: return "good";
+        case RevocationStatus::kRevoked: return "revoked";
+        case RevocationStatus::kUnknown: return "unknown";
+    }
+    return "?";
+}
+
+void CrlDistributor::publish(const std::string& url, CertificateList crl) {
+    published_[url] = std::move(crl);
+}
+
+const CertificateList* CrlDistributor::fetch(const std::string& url) const {
+    auto it = published_.find(url);
+    return it == published_.end() ? nullptr : &it->second;
+}
+
+RevocationStatus CrlDistributor::check(
+    const Certificate& cert,
+    const std::function<std::string(const std::string&)>& url_transform) const {
+    std::vector<std::string> urls = cert.crl_urls();
+    if (urls.empty()) return RevocationStatus::kUnknown;
+
+    bool any_fetched = false;
+    for (const std::string& url : urls) {
+        std::string effective = url_transform ? url_transform(url) : url;
+        const CertificateList* crl = fetch(effective);
+        if (crl == nullptr) continue;
+        any_fetched = true;
+        if (crl->is_revoked(cert.serial)) return RevocationStatus::kRevoked;
+    }
+    return any_fetched ? RevocationStatus::kGood : RevocationStatus::kUnknown;
+}
+
+}  // namespace unicert::x509

@@ -1,0 +1,74 @@
+// unicert/x509/crl.h
+//
+// Certificate Revocation Lists (RFC 5280 section 5): model, DER
+// encode/parse over SimSig, and a revocation checker that fetches CRLs
+// by distribution-point URL — the substrate behind the paper's CRL-
+// spoofing threat (Section 5.2(2)): a client whose parser rewrites the
+// CRLDP URL fetches the wrong list and never learns of the revocation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/simsig.h"
+#include "x509/certificate.h"
+
+namespace unicert::x509 {
+
+struct RevokedEntry {
+    Bytes serial;           // big-endian magnitude, like Certificate::serial
+    int64_t revocation_time = 0;
+};
+
+struct CertificateList {
+    DistinguishedName issuer;
+    int64_t this_update = 0;
+    int64_t next_update = 0;
+    std::vector<RevokedEntry> revoked;
+    Bytes signature;
+    Bytes tbs_der;
+    Bytes der;
+
+    bool is_revoked(BytesView serial) const;
+};
+
+// Encode + sign; fills tbs_der/signature/der.
+Bytes sign_crl(CertificateList& crl, const crypto::SimSigner& issuer_key);
+
+// Parse a DER CertificateList.
+Expected<CertificateList> parse_crl(BytesView der);
+
+// Verify the CRL signature against the issuer's signer.
+bool verify_crl(const CertificateList& crl, const crypto::SimSigner& issuer_key);
+
+// ---- Revocation checking ------------------------------------------------
+
+enum class RevocationStatus {
+    kGood,
+    kRevoked,
+    kUnknown,   // no CRL retrievable (soft-fail territory)
+};
+
+const char* revocation_status_name(RevocationStatus s) noexcept;
+
+// A URL -> CRL distribution map standing in for the network.
+class CrlDistributor {
+public:
+    void publish(const std::string& url, CertificateList crl);
+    const CertificateList* fetch(const std::string& url) const;
+
+    // Check `cert` by fetching each of its CRLDP URLs. `url_transform`
+    // lets callers model a vulnerable client's URL rewriting (e.g. the
+    // PyOpenSSL control-character collapse); pass identity for a
+    // correct client.
+    RevocationStatus check(const Certificate& cert,
+                           const std::function<std::string(const std::string&)>&
+                               url_transform = nullptr) const;
+
+private:
+    std::map<std::string, CertificateList> published_;
+};
+
+}  // namespace unicert::x509

@@ -1,0 +1,255 @@
+#include "x509/dn_text.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "unicode/codec.h"
+#include "unicode/properties.h"
+
+namespace unicert::x509 {
+namespace {
+
+bool is_special_2253(char c) {
+    switch (c) {
+        case ',': case '+': case '"': case '\\': case '<': case '>': case ';':
+            return true;
+        default:
+            return false;
+    }
+}
+
+// RFC 1779 quoting trigger set.
+bool needs_quoting_1779(std::string_view s) {
+    if (s.empty()) return true;
+    if (s.front() == ' ' || s.back() == ' ') return true;
+    for (char c : s) {
+        switch (c) {
+            case ',': case '=': case '+': case '<': case '>': case '#': case ';':
+            case '"': case '\\': case '\r': case '\n':
+                return true;
+            default:
+                break;
+        }
+    }
+    return false;
+}
+
+void append_hex_escape(std::string& out, unsigned char byte) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02X", byte);
+    out.push_back('\\');
+    out += buf;
+}
+
+std::string escape_2253_like(std::string_view utf8, bool escape_nul_as_hex) {
+    std::string out;
+    out.reserve(utf8.size() + 8);
+    for (size_t i = 0; i < utf8.size(); ++i) {
+        unsigned char c = static_cast<unsigned char>(utf8[i]);
+        bool at_start = i == 0;
+        bool at_end = i + 1 == utf8.size();
+        if (at_start && (c == ' ' || c == '#')) {
+            out.push_back('\\');
+            out.push_back(static_cast<char>(c));
+        } else if (at_end && c == ' ') {
+            out.push_back('\\');
+            out.push_back(' ');
+        } else if (c < 0x80 && is_special_2253(static_cast<char>(c))) {
+            out.push_back('\\');
+            out.push_back(static_cast<char>(c));
+        } else if (c == 0x00 && escape_nul_as_hex) {
+            append_hex_escape(out, c);  // RFC 4514: NUL MUST be "\00"
+        } else if (c < 0x20 || c == 0x7F) {
+            // Control characters: hex-escape (allowed by both RFCs and
+            // required for safe round-tripping).
+            append_hex_escape(out, c);
+        } else {
+            out.push_back(static_cast<char>(c));
+        }
+    }
+    return out;
+}
+
+std::string escape_1779(std::string_view utf8) {
+    if (!needs_quoting_1779(utf8)) return std::string(utf8);
+    std::string out;
+    out.reserve(utf8.size() + 4);
+    out.push_back('"');
+    for (char c : utf8) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string escape_oneline(std::string_view utf8) {
+    // OpenSSL oneline: '/' introduces the next attribute, so values
+    // containing '/' are ambiguous; the compliant formatter hex-escapes
+    // control bytes and leaves '/' (this ambiguity is the DN subfield
+    // forgery vector the paper demonstrates against X509_NAME_oneline).
+    std::string out;
+    for (char c : utf8) {
+        unsigned char uc = static_cast<unsigned char>(c);
+        if (uc < 0x20 || uc == 0x7F) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\x%02X", uc);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* dn_dialect_name(DnDialect d) noexcept {
+    switch (d) {
+        case DnDialect::kRfc2253: return "RFC2253";
+        case DnDialect::kRfc4514: return "RFC4514";
+        case DnDialect::kRfc1779: return "RFC1779";
+        case DnDialect::kOpenSslOneline: return "oneline";
+    }
+    return "?";
+}
+
+std::string escape_dn_value(std::string_view utf8, DnDialect dialect, bool apply_escaping) {
+    if (!apply_escaping) return std::string(utf8);
+    switch (dialect) {
+        case DnDialect::kRfc2253: return escape_2253_like(utf8, /*escape_nul_as_hex=*/false);
+        case DnDialect::kRfc4514: return escape_2253_like(utf8, /*escape_nul_as_hex=*/true);
+        case DnDialect::kRfc1779: return escape_1779(utf8);
+        case DnDialect::kOpenSslOneline: return escape_oneline(utf8);
+    }
+    return std::string(utf8);
+}
+
+bool is_properly_escaped(std::string_view rendered, DnDialect dialect) {
+    switch (dialect) {
+        case DnDialect::kRfc2253:
+        case DnDialect::kRfc4514: {
+            for (size_t i = 0; i < rendered.size(); ++i) {
+                char c = rendered[i];
+                if (c == '\\') {
+                    ++i;  // escaped pair or hex; skip escape target
+                    if (i < rendered.size() && std::isxdigit(static_cast<unsigned char>(rendered[i]))) {
+                        ++i;
+                    }
+                    continue;
+                }
+                if (is_special_2253(c)) return false;
+                if (static_cast<unsigned char>(c) == 0x00 && dialect == DnDialect::kRfc4514) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        case DnDialect::kRfc1779: {
+            // Inside quotes anything goes; outside, specials are violations.
+            bool in_quotes = false;
+            for (size_t i = 0; i < rendered.size(); ++i) {
+                char c = rendered[i];
+                if (c == '\\') {
+                    ++i;
+                    continue;
+                }
+                if (c == '"') {
+                    in_quotes = !in_quotes;
+                    continue;
+                }
+                if (!in_quotes && (c == '+' || c == ';' || c == '<' || c == '>')) return false;
+            }
+            return !in_quotes;
+        }
+        case DnDialect::kOpenSslOneline:
+            // No escaping standard exists; controls must not leak raw.
+            for (char c : rendered) {
+                unsigned char uc = static_cast<unsigned char>(c);
+                if (uc < 0x20 || uc == 0x7F) return false;
+            }
+            return true;
+    }
+    return true;
+}
+
+std::string format_dn(const DistinguishedName& dn, DnDialect dialect, bool apply_escaping) {
+    std::string out;
+    bool reverse = dialect == DnDialect::kRfc2253 || dialect == DnDialect::kRfc4514;
+    bool oneline = dialect == DnDialect::kOpenSslOneline;
+
+    auto emit_rdn = [&](const Rdn& rdn) {
+        bool first_attr = true;
+        for (const AttributeValue& av : rdn.attributes) {
+            if (!first_attr) out += "+";
+            first_attr = false;
+            out += asn1::attribute_short_name(av.type);
+            out += "=";
+            out += escape_dn_value(av.to_utf8_lossy(), dialect, apply_escaping);
+        }
+    };
+
+    if (oneline) {
+        for (const Rdn& rdn : dn.rdns) {
+            out += "/";
+            emit_rdn(rdn);
+        }
+        return out;
+    }
+
+    bool first = true;
+    if (reverse) {
+        for (auto it = dn.rdns.rbegin(); it != dn.rdns.rend(); ++it) {
+            if (!first) out += ",";
+            first = false;
+            emit_rdn(*it);
+        }
+    } else {
+        for (const Rdn& rdn : dn.rdns) {
+            if (!first) out += ", ";
+            first = false;
+            emit_rdn(rdn);
+        }
+    }
+    return out;
+}
+
+std::string format_general_name(const GeneralName& gn, bool apply_escaping) {
+    std::string value = gn.to_utf8_lossy();
+    if (gn.type == GeneralNameType::kDirectoryName) {
+        value = format_dn(gn.directory, DnDialect::kRfc2253, apply_escaping);
+    }
+    if (apply_escaping) {
+        // In X.509-text form, a value containing the ", " separator or
+        // a "TYPE:" prefix could forge additional entries; hex-escape
+        // control bytes and escape commas.
+        std::string safe;
+        for (char c : value) {
+            unsigned char uc = static_cast<unsigned char>(c);
+            if (uc < 0x20 || uc == 0x7F) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\x%02X", uc);
+                safe += buf;
+            } else if (c == ',') {
+                safe += "\\,";
+            } else {
+                safe.push_back(c);
+            }
+        }
+        value = std::move(safe);
+    }
+    return std::string(general_name_type_label(gn.type)) + ":" + value;
+}
+
+std::string format_general_names(const GeneralNames& gns, bool apply_escaping) {
+    std::string out;
+    bool first = true;
+    for (const GeneralName& gn : gns) {
+        if (!first) out += ", ";
+        first = false;
+        out += format_general_name(gn, apply_escaping);
+    }
+    return out;
+}
+
+}  // namespace unicert::x509

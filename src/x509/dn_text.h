@@ -1,0 +1,50 @@
+// unicert/x509/dn_text.h
+//
+// String representations of DistinguishedNames and GeneralNames:
+// RFC 2253 / RFC 4514 / RFC 1779 escaping dialects plus the OpenSSL
+// "oneline" format. Table 5 of the paper reports per-library escaping
+// violations against exactly these three RFCs; the tlslib profiles
+// compose their (sometimes broken) output from these primitives.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "x509/general_name.h"
+#include "x509/name.h"
+
+namespace unicert::x509 {
+
+enum class DnDialect {
+    kRfc2253,        // UTF-8 string representation, reverse RDN order
+    kRfc4514,        // successor of 2253; explicitly requires escaping NUL
+    kRfc1779,        // legacy "CN=..., O=..." with quoting
+    kOpenSslOneline, // "/C=../CN=.." forward order
+};
+
+const char* dn_dialect_name(DnDialect d) noexcept;
+
+// Escape one attribute *value* per the dialect's rules. Input/output
+// are UTF-8. When `apply_escaping` is false the value passes through
+// verbatim — this models the noncompliant libraries in Table 5.
+std::string escape_dn_value(std::string_view utf8, DnDialect dialect,
+                            bool apply_escaping = true);
+
+// Whether a rendered value string is correctly escaped for the dialect
+// (used by the differential harness to classify violations).
+bool is_properly_escaped(std::string_view rendered, DnDialect dialect);
+
+// Render a full DN. RFC 2253/4514 list RDNs in reverse order joined by
+// ','; RFC 1779 forward order joined by ", "; oneline forward order
+// with '/' prefixes.
+std::string format_dn(const DistinguishedName& dn, DnDialect dialect,
+                      bool apply_escaping = true);
+
+// Render GeneralNames the way X.509-text tooling does:
+// "DNS:a.com, DNS:b.com, email:x@y, URI:http://…".
+std::string format_general_names(const GeneralNames& gns, bool apply_escaping = true);
+
+// Render a single GeneralName with its "TYPE:value" prefix.
+std::string format_general_name(const GeneralName& gn, bool apply_escaping = true);
+
+}  // namespace unicert::x509

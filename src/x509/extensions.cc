@@ -1,0 +1,347 @@
+#include "x509/extensions.h"
+
+#include "asn1/der.h"
+#include "unicode/codec.h"
+
+namespace unicert::x509 {
+namespace {
+
+Extension make_extension(const asn1::Oid& oid, bool critical, Bytes inner_der) {
+    Extension ext;
+    ext.oid = oid;
+    ext.critical = critical;
+    ext.value = std::move(inner_der);
+    return ext;
+}
+
+Bytes encode_access_descriptions(const std::vector<AccessDescription>& descriptors) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        for (const AccessDescription& ad : descriptors) {
+            seq.add_sequence([&](asn1::Writer& item) {
+                item.add_oid_der(ad.method.to_der());
+                item.add_raw(encode_general_name(ad.location));
+            });
+        }
+    });
+    return w.take();
+}
+
+Expected<std::vector<AccessDescription>> parse_access_description_der(BytesView der) {
+    auto seq = asn1::read_tlv(der);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_aia_not_sequence", "AIA/SIA must be a SEQUENCE"};
+    }
+    std::vector<AccessDescription> out;
+    asn1::Reader r(seq->content);
+    while (!r.done()) {
+        auto item = r.expect(asn1::Tag::kSequence);
+        if (!item.ok()) return item.error();
+        asn1::Reader fields(item->content);
+        auto oid_tlv = fields.expect(asn1::Tag::kOid);
+        if (!oid_tlv.ok()) return oid_tlv.error();
+        auto oid = asn1::Oid::from_der(oid_tlv->content);
+        if (!oid.ok()) return oid.error();
+        auto gn_tlv = fields.next();
+        if (!gn_tlv.ok()) return gn_tlv.error();
+        auto gn = parse_general_name(gn_tlv.value());
+        if (!gn.ok()) return gn.error();
+        out.push_back({std::move(oid).value(), std::move(gn).value()});
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string DisplayText::to_utf8_lossy() const {
+    return unicode::transcode_to_utf8(value_bytes, asn1::nominal_encoding(string_type),
+                                      unicode::ErrorPolicy::kReplace);
+}
+
+Extension make_san(const GeneralNames& names, bool critical) {
+    return make_extension(asn1::oids::subject_alt_name(), critical, encode_general_names(names));
+}
+
+Extension make_ian(const GeneralNames& names) {
+    return make_extension(asn1::oids::issuer_alt_name(), false, encode_general_names(names));
+}
+
+Extension make_aia(const std::vector<AccessDescription>& descriptors) {
+    return make_extension(asn1::oids::authority_info_access(), false,
+                          encode_access_descriptions(descriptors));
+}
+
+Extension make_sia(const std::vector<AccessDescription>& descriptors) {
+    return make_extension(asn1::oids::subject_info_access(), false,
+                          encode_access_descriptions(descriptors));
+}
+
+Extension make_crl_distribution_points(const std::vector<DistributionPoint>& points) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        for (const DistributionPoint& dp : points) {
+            seq.add_sequence([&](asn1::Writer& point) {
+                // DistributionPointName [0] EXPLICIT -> fullName [0] IMPLICIT GeneralNames
+                point.add_constructed(asn1::context(0, true), [&](asn1::Writer& dpn) {
+                    dpn.add_constructed(asn1::context(0, true), [&](asn1::Writer& full) {
+                        for (const GeneralName& gn : dp.full_names) {
+                            full.add_raw(encode_general_name(gn));
+                        }
+                    });
+                });
+            });
+        }
+    });
+    return make_extension(asn1::oids::crl_distribution_points(), false, w.take());
+}
+
+Extension make_certificate_policies(const std::vector<PolicyInformation>& policies) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        for (const PolicyInformation& pi : policies) {
+            seq.add_sequence([&](asn1::Writer& info) {
+                info.add_oid_der(pi.policy_id.to_der());
+                if (!pi.qualifiers.empty()) {
+                    info.add_sequence([&](asn1::Writer& quals) {
+                        for (const PolicyQualifier& q : pi.qualifiers) {
+                            quals.add_sequence([&](asn1::Writer& qual) {
+                                qual.add_oid_der(q.qualifier_id.to_der());
+                                if (q.qualifier_id == asn1::oids::cps_qualifier()) {
+                                    qual.add_string(asn1::Tag::kIa5String, q.cps_uri);
+                                } else if (q.explicit_text) {
+                                    // UserNotice ::= SEQUENCE { explicitText DisplayText }
+                                    qual.add_sequence([&](asn1::Writer& notice) {
+                                        notice.add_string(
+                                            asn1::string_type_tag(q.explicit_text->string_type),
+                                            q.explicit_text->value_bytes);
+                                    });
+                                }
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    });
+    return make_extension(asn1::oids::certificate_policies(), false, w.take());
+}
+
+Extension make_basic_constraints(const BasicConstraints& bc, bool critical) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        if (bc.ca) seq.add_boolean(true);
+        if (bc.path_len) seq.add_integer(*bc.path_len);
+    });
+    return make_extension(asn1::oids::basic_constraints(), critical, w.take());
+}
+
+Extension make_key_usage(uint16_t bits, bool critical) {
+    // KeyUsage is a BIT STRING with up to 9 named bits; encode the two
+    // bytes and let unused bits be zero for simplicity.
+    uint8_t content[2] = {static_cast<uint8_t>(bits >> 8), static_cast<uint8_t>(bits & 0xFF)};
+    asn1::Writer w;
+    w.add_bit_string({content, 2}, 0);
+    return make_extension(asn1::oids::key_usage(), critical, w.take());
+}
+
+Extension make_subject_key_identifier(BytesView key_id) {
+    asn1::Writer w;
+    w.add_octet_string(key_id);
+    return make_extension(asn1::oids::subject_key_identifier(), false, w.take());
+}
+
+Extension make_authority_key_identifier(BytesView key_id) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        // keyIdentifier [0] IMPLICIT OCTET STRING
+        seq.add_tlv(asn1::context(0, false), key_id);
+    });
+    return make_extension(asn1::oids::authority_key_identifier(), false, w.take());
+}
+
+namespace eku {
+#define UNICERT_EKU(name, last)                                                  \
+    const asn1::Oid& name() {                                                    \
+        static const asn1::Oid oid{std::vector<uint32_t>{1, 3, 6, 1, 5, 5, 7, 3, last}}; \
+        return oid;                                                              \
+    }
+UNICERT_EKU(server_auth, 1)
+UNICERT_EKU(client_auth, 2)
+UNICERT_EKU(email_protection, 4)
+UNICERT_EKU(ocsp_signing, 9)
+#undef UNICERT_EKU
+}  // namespace eku
+
+Extension make_ext_key_usage(const std::vector<asn1::Oid>& purposes) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        for (const asn1::Oid& oid : purposes) seq.add_oid_der(oid.to_der());
+    });
+    return make_extension(asn1::oids::ext_key_usage(), false, w.take());
+}
+
+Expected<std::vector<asn1::Oid>> parse_ext_key_usage(const Extension& ext) {
+    auto seq = asn1::read_tlv(ext.value);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_eku_not_sequence", "ExtendedKeyUsage must be a SEQUENCE"};
+    }
+    std::vector<asn1::Oid> out;
+    asn1::Reader r(seq->content);
+    while (!r.done()) {
+        auto oid_tlv = r.expect(asn1::Tag::kOid);
+        if (!oid_tlv.ok()) return oid_tlv.error();
+        auto oid = asn1::Oid::from_der(oid_tlv->content);
+        if (!oid.ok()) return oid.error();
+        out.push_back(std::move(oid).value());
+    }
+    return out;
+}
+
+Extension make_ct_poison() {
+    asn1::Writer w;
+    w.add_null();
+    return make_extension(asn1::oids::ct_poison(), true, w.take());
+}
+
+Expected<GeneralNames> parse_san(const Extension& ext) {
+    auto seq = asn1::read_tlv(ext.value);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_san_not_sequence", "SubjectAltName must be a SEQUENCE"};
+    }
+    return parse_general_names(seq->content);
+}
+
+Expected<GeneralNames> parse_ian(const Extension& ext) { return parse_san(ext); }
+
+Expected<std::vector<AccessDescription>> parse_access_descriptions(const Extension& ext) {
+    return parse_access_description_der(ext.value);
+}
+
+Expected<std::vector<DistributionPoint>> parse_crl_distribution_points(const Extension& ext) {
+    auto seq = asn1::read_tlv(ext.value);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_crldp_not_sequence", "CRLDistributionPoints must be a SEQUENCE"};
+    }
+    std::vector<DistributionPoint> out;
+    asn1::Reader points(seq->content);
+    while (!points.done()) {
+        auto point = points.expect(asn1::Tag::kSequence);
+        if (!point.ok()) return point.error();
+        DistributionPoint dp;
+        asn1::Reader fields(point->content);
+        while (!fields.done()) {
+            auto tlv = fields.next();
+            if (!tlv.ok()) return tlv.error();
+            if (tlv->is_context(0) && tlv->is_constructed()) {
+                asn1::Reader dpn(tlv->content);
+                while (!dpn.done()) {
+                    auto inner = dpn.next();
+                    if (!inner.ok()) return inner.error();
+                    if (inner->is_context(0)) {
+                        auto gns = parse_general_names(inner->content);
+                        if (!gns.ok()) return gns.error();
+                        dp.full_names = std::move(gns).value();
+                    }
+                }
+            }
+            // reasons [1] and cRLIssuer [2] are skipped: out of scope.
+        }
+        out.push_back(std::move(dp));
+    }
+    return out;
+}
+
+Expected<std::vector<PolicyInformation>> parse_certificate_policies(const Extension& ext) {
+    auto seq = asn1::read_tlv(ext.value);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_cp_not_sequence", "CertificatePolicies must be a SEQUENCE"};
+    }
+    std::vector<PolicyInformation> out;
+    asn1::Reader policies(seq->content);
+    while (!policies.done()) {
+        auto info = policies.expect(asn1::Tag::kSequence);
+        if (!info.ok()) return info.error();
+        PolicyInformation pi;
+        asn1::Reader fields(info->content);
+        auto oid_tlv = fields.expect(asn1::Tag::kOid);
+        if (!oid_tlv.ok()) return oid_tlv.error();
+        auto oid = asn1::Oid::from_der(oid_tlv->content);
+        if (!oid.ok()) return oid.error();
+        pi.policy_id = std::move(oid).value();
+        if (!fields.done()) {
+            auto quals = fields.expect(asn1::Tag::kSequence);
+            if (!quals.ok()) return quals.error();
+            asn1::Reader qr(quals->content);
+            while (!qr.done()) {
+                auto qual = qr.expect(asn1::Tag::kSequence);
+                if (!qual.ok()) return qual.error();
+                PolicyQualifier pq;
+                asn1::Reader qf(qual->content);
+                auto qid = qf.expect(asn1::Tag::kOid);
+                if (!qid.ok()) return qid.error();
+                auto qoid = asn1::Oid::from_der(qid->content);
+                if (!qoid.ok()) return qoid.error();
+                pq.qualifier_id = std::move(qoid).value();
+                if (!qf.done()) {
+                    auto payload = qf.next();
+                    if (!payload.ok()) return payload.error();
+                    if (pq.qualifier_id == asn1::oids::cps_qualifier()) {
+                        pq.cps_uri.assign(payload->content.begin(), payload->content.end());
+                    } else if (payload->is_universal(asn1::Tag::kSequence)) {
+                        // UserNotice; take explicitText (skip noticeRef).
+                        asn1::Reader notice(payload->content);
+                        while (!notice.done()) {
+                            auto item = notice.next();
+                            if (!item.ok()) return item.error();
+                            auto st = asn1::string_type_from_tag(item->tag_number());
+                            if (item->tag_class() == asn1::TagClass::kUniversal && st &&
+                                !item->is_constructed()) {
+                                DisplayText dt;
+                                dt.string_type = *st;
+                                dt.value_bytes.assign(item->content.begin(), item->content.end());
+                                pq.explicit_text = std::move(dt);
+                            }
+                        }
+                    }
+                }
+                pi.qualifiers.push_back(std::move(pq));
+            }
+        }
+        out.push_back(std::move(pi));
+    }
+    return out;
+}
+
+Expected<BasicConstraints> parse_basic_constraints(const Extension& ext) {
+    auto seq = asn1::read_tlv(ext.value);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_bc_not_sequence", "BasicConstraints must be a SEQUENCE"};
+    }
+    BasicConstraints bc;
+    asn1::Reader r(seq->content);
+    if (!r.done()) {
+        auto peeked = r.peek();
+        if (peeked.ok() && peeked->is_universal(asn1::Tag::kBoolean)) {
+            auto b = r.next();
+            auto v = asn1::decode_boolean(b.value());
+            if (!v.ok()) return v.error();
+            bc.ca = v.value();
+        }
+    }
+    if (!r.done()) {
+        auto i = r.expect(asn1::Tag::kInteger);
+        if (!i.ok()) return i.error();
+        auto v = asn1::decode_integer(i.value());
+        if (!v.ok()) return v.error();
+        bc.path_len = v.value();
+    }
+    return bc;
+}
+
+}  // namespace unicert::x509

@@ -1,0 +1,115 @@
+// unicert/x509/extensions.h
+//
+// X.509 v3 extension model and the typed codecs for every extension
+// the paper's analyses touch: SubjectAltName, IssuerAltName,
+// AuthorityInfoAccess, SubjectInfoAccess, CRLDistributionPoints,
+// CertificatePolicies, BasicConstraints, KeyUsage, SKI/AKI, and the
+// CT poison / SCT-list markers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/oid.h"
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "x509/general_name.h"
+
+namespace unicert::x509 {
+
+// Raw extension: OID + criticality + the DER inside extnValue's OCTET STRING.
+struct Extension {
+    asn1::Oid oid;
+    bool critical = false;
+    Bytes value;  // inner DER
+
+    bool operator==(const Extension&) const = default;
+};
+
+// ---- Typed payloads --------------------------------------------------------
+
+// AccessDescription for AIA / SIA.
+struct AccessDescription {
+    asn1::Oid method;       // ad_ocsp or ad_ca_issuers
+    GeneralName location;   // usually a URI
+
+    bool operator==(const AccessDescription&) const = default;
+};
+
+// One DistributionPoint (only the fullName form, which is what real
+// certificates overwhelmingly use).
+struct DistributionPoint {
+    GeneralNames full_names;
+
+    bool operator==(const DistributionPoint&) const = default;
+};
+
+// DisplayText for policy user notices. RFC 5280 says explicitText
+// SHOULD be UTF8String; the paper's most-hit lint
+// (w_rfc_ext_cp_explicit_text_not_utf8, 117K certs) flags the others.
+struct DisplayText {
+    asn1::StringType string_type = asn1::StringType::kUtf8String;
+    Bytes value_bytes;
+
+    std::string to_utf8_lossy() const;
+    bool operator==(const DisplayText&) const = default;
+};
+
+struct PolicyQualifier {
+    asn1::Oid qualifier_id;                 // cps_qualifier or user_notice_qualifier
+    Bytes cps_uri;                          // IA5String value bytes if CPS
+    std::optional<DisplayText> explicit_text;  // if UserNotice
+
+    bool operator==(const PolicyQualifier&) const = default;
+};
+
+struct PolicyInformation {
+    asn1::Oid policy_id;
+    std::vector<PolicyQualifier> qualifiers;
+
+    bool operator==(const PolicyInformation&) const = default;
+};
+
+struct BasicConstraints {
+    bool ca = false;
+    std::optional<int64_t> path_len;
+
+    bool operator==(const BasicConstraints&) const = default;
+};
+
+// ---- Builders (payload -> Extension) ---------------------------------------
+
+Extension make_san(const GeneralNames& names, bool critical = false);
+Extension make_ian(const GeneralNames& names);
+Extension make_aia(const std::vector<AccessDescription>& descriptors);
+Extension make_sia(const std::vector<AccessDescription>& descriptors);
+Extension make_crl_distribution_points(const std::vector<DistributionPoint>& points);
+Extension make_certificate_policies(const std::vector<PolicyInformation>& policies);
+Extension make_basic_constraints(const BasicConstraints& bc, bool critical = true);
+Extension make_key_usage(uint16_t bits, bool critical = true);
+Extension make_subject_key_identifier(BytesView key_id);
+Extension make_authority_key_identifier(BytesView key_id);
+Extension make_ct_poison();
+
+// ExtendedKeyUsage (RFC 5280 sec. 4.2.1.12) with the web-PKI purposes.
+namespace eku {
+const asn1::Oid& server_auth();   // 1.3.6.1.5.5.7.3.1
+const asn1::Oid& client_auth();   // 1.3.6.1.5.5.7.3.2
+const asn1::Oid& email_protection();  // 1.3.6.1.5.5.7.3.4
+const asn1::Oid& ocsp_signing();  // 1.3.6.1.5.5.7.3.9
+}  // namespace eku
+
+Extension make_ext_key_usage(const std::vector<asn1::Oid>& purposes);
+
+// ---- Parsers (Extension -> payload) -----------------------------------------
+
+Expected<GeneralNames> parse_san(const Extension& ext);
+Expected<GeneralNames> parse_ian(const Extension& ext);
+Expected<std::vector<AccessDescription>> parse_access_descriptions(const Extension& ext);
+Expected<std::vector<DistributionPoint>> parse_crl_distribution_points(const Extension& ext);
+Expected<std::vector<PolicyInformation>> parse_certificate_policies(const Extension& ext);
+Expected<BasicConstraints> parse_basic_constraints(const Extension& ext);
+Expected<std::vector<asn1::Oid>> parse_ext_key_usage(const Extension& ext);
+
+}  // namespace unicert::x509

@@ -1,0 +1,235 @@
+#include "x509/general_name.h"
+
+#include "asn1/der.h"
+#include "unicode/codec.h"
+
+namespace unicert::x509 {
+namespace {
+
+// Context tag numbers from RFC 5280.
+constexpr uint8_t kTagOtherName = 0;
+constexpr uint8_t kTagRfc822 = 1;
+constexpr uint8_t kTagDns = 2;
+constexpr uint8_t kTagDirectory = 4;
+constexpr uint8_t kTagUri = 6;
+constexpr uint8_t kTagIp = 7;
+constexpr uint8_t kTagRegisteredId = 8;
+
+}  // namespace
+
+const char* general_name_type_label(GeneralNameType t) noexcept {
+    switch (t) {
+        case GeneralNameType::kOtherName: return "otherName";
+        case GeneralNameType::kRfc822Name: return "email";
+        case GeneralNameType::kDnsName: return "DNS";
+        case GeneralNameType::kDirectoryName: return "DirName";
+        case GeneralNameType::kUri: return "URI";
+        case GeneralNameType::kIpAddress: return "IP";
+        case GeneralNameType::kRegisteredId: return "RID";
+    }
+    return "?";
+}
+
+std::string GeneralName::to_utf8_lossy() const {
+    switch (type) {
+        case GeneralNameType::kRfc822Name:
+        case GeneralNameType::kDnsName:
+        case GeneralNameType::kUri:
+            return unicode::transcode_to_utf8(value_bytes, asn1::nominal_encoding(string_type),
+                                              unicode::ErrorPolicy::kReplace);
+        case GeneralNameType::kIpAddress: {
+            if (value_bytes.size() == 4) {
+                return std::to_string(value_bytes[0]) + "." + std::to_string(value_bytes[1]) +
+                       "." + std::to_string(value_bytes[2]) + "." + std::to_string(value_bytes[3]);
+            }
+            if (value_bytes.size() == 16) {
+                // Uncompressed colon-hex IPv6 groups.
+                std::string out;
+                for (size_t i = 0; i < 16; i += 2) {
+                    if (i) out.push_back(':');
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "%x",
+                                  (static_cast<unsigned>(value_bytes[i]) << 8) |
+                                      value_bytes[i + 1]);
+                    out += buf;
+                }
+                return out;
+            }
+            return hex_encode(value_bytes);
+        }
+        case GeneralNameType::kOtherName:
+            return other_name_oid.to_string();
+        case GeneralNameType::kRegisteredId:
+            return hex_encode(value_bytes);
+        case GeneralNameType::kDirectoryName:
+            return "<directoryName>";  // rendered by dn_text helpers
+    }
+    return {};
+}
+
+GeneralName dns_name(std::string_view value, asn1::StringType st) {
+    GeneralName gn;
+    gn.type = GeneralNameType::kDnsName;
+    gn.string_type = st;
+    auto cps = unicode::utf8_to_codepoints(value);
+    if (cps.ok()) {
+        auto enc = asn1::encode_unchecked(st, cps.value());
+        if (enc.ok()) {
+            gn.value_bytes = std::move(enc).value();
+            return gn;
+        }
+    }
+    gn.value_bytes = to_bytes(value);
+    return gn;
+}
+
+GeneralName rfc822_name(std::string_view email, asn1::StringType st) {
+    GeneralName gn = dns_name(email, st);
+    gn.type = GeneralNameType::kRfc822Name;
+    return gn;
+}
+
+GeneralName uri_name(std::string_view uri, asn1::StringType st) {
+    GeneralName gn = dns_name(uri, st);
+    gn.type = GeneralNameType::kUri;
+    return gn;
+}
+
+GeneralName ip_address(BytesView octets) {
+    GeneralName gn;
+    gn.type = GeneralNameType::kIpAddress;
+    gn.value_bytes.assign(octets.begin(), octets.end());
+    return gn;
+}
+
+GeneralName directory_name(DistinguishedName dn) {
+    GeneralName gn;
+    gn.type = GeneralNameType::kDirectoryName;
+    gn.directory = std::move(dn);
+    return gn;
+}
+
+GeneralName smtp_utf8_mailbox(std::string_view utf8_mailbox) {
+    GeneralName gn;
+    gn.type = GeneralNameType::kOtherName;
+    gn.other_name_oid = asn1::oids::smtp_utf8_mailbox();
+    asn1::Writer w;
+    w.add_string(asn1::Tag::kUtf8String, utf8_mailbox);
+    gn.other_name_value = w.take();
+    return gn;
+}
+
+Bytes encode_general_name(const GeneralName& gn) {
+    asn1::Writer w;
+    switch (gn.type) {
+        case GeneralNameType::kRfc822Name:
+            w.add_tlv(asn1::context(kTagRfc822, false), gn.value_bytes);
+            break;
+        case GeneralNameType::kDnsName:
+            w.add_tlv(asn1::context(kTagDns, false), gn.value_bytes);
+            break;
+        case GeneralNameType::kUri:
+            w.add_tlv(asn1::context(kTagUri, false), gn.value_bytes);
+            break;
+        case GeneralNameType::kIpAddress:
+            w.add_tlv(asn1::context(kTagIp, false), gn.value_bytes);
+            break;
+        case GeneralNameType::kRegisteredId:
+            w.add_tlv(asn1::context(kTagRegisteredId, false), gn.value_bytes);
+            break;
+        case GeneralNameType::kDirectoryName:
+            // directoryName is EXPLICITly tagged (Name is a CHOICE).
+            w.add_constructed(asn1::context(kTagDirectory, true), [&](asn1::Writer& inner) {
+                inner.add_raw(encode_name(gn.directory));
+            });
+            break;
+        case GeneralNameType::kOtherName:
+            w.add_constructed(asn1::context(kTagOtherName, true), [&](asn1::Writer& inner) {
+                inner.add_oid_der(gn.other_name_oid.to_der());
+                inner.add_constructed(asn1::context(0, true), [&](asn1::Writer& val) {
+                    val.add_raw(gn.other_name_value);
+                });
+            });
+            break;
+    }
+    return w.take();
+}
+
+Bytes encode_general_names(const GeneralNames& gns) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        for (const GeneralName& gn : gns) seq.add_raw(encode_general_name(gn));
+    });
+    return w.take();
+}
+
+Expected<GeneralName> parse_general_name(const asn1::Tlv& tlv) {
+    if (tlv.tag_class() != asn1::TagClass::kContextSpecific) {
+        return Error{"x509_gn_bad_tag", "GeneralName must use context-specific tags"};
+    }
+    GeneralName gn;
+    switch (tlv.tag_number()) {
+        case kTagRfc822:
+            gn.type = GeneralNameType::kRfc822Name;
+            break;
+        case kTagDns:
+            gn.type = GeneralNameType::kDnsName;
+            break;
+        case kTagUri:
+            gn.type = GeneralNameType::kUri;
+            break;
+        case kTagIp:
+            gn.type = GeneralNameType::kIpAddress;
+            gn.value_bytes.assign(tlv.content.begin(), tlv.content.end());
+            return gn;
+        case kTagRegisteredId:
+            gn.type = GeneralNameType::kRegisteredId;
+            gn.value_bytes.assign(tlv.content.begin(), tlv.content.end());
+            return gn;
+        case kTagDirectory: {
+            gn.type = GeneralNameType::kDirectoryName;
+            auto name = parse_name(tlv.content);
+            if (!name.ok()) return name.error();
+            gn.directory = std::move(name).value();
+            return gn;
+        }
+        case kTagOtherName: {
+            gn.type = GeneralNameType::kOtherName;
+            asn1::Reader r(tlv.content);
+            auto oid_tlv = r.expect(asn1::Tag::kOid);
+            if (!oid_tlv.ok()) return oid_tlv.error();
+            auto oid = asn1::Oid::from_der(oid_tlv->content);
+            if (!oid.ok()) return oid.error();
+            gn.other_name_oid = std::move(oid).value();
+            auto val = r.expect_context(0);
+            if (!val.ok()) return val.error();
+            gn.other_name_value.assign(val->content.begin(), val->content.end());
+            return gn;
+        }
+        default:
+            return Error{"x509_gn_unknown_tag",
+                         "unsupported GeneralName tag [" + std::to_string(tlv.tag_number()) + "]"};
+    }
+    // String kinds: the wire does not carry an explicit string type
+    // (context tags replace the universal tag), so record IA5String —
+    // the type RFC 5280 mandates — and keep the raw bytes for
+    // behavioural analysis.
+    gn.string_type = asn1::StringType::kIa5String;
+    gn.value_bytes.assign(tlv.content.begin(), tlv.content.end());
+    return gn;
+}
+
+Expected<GeneralNames> parse_general_names(BytesView sequence_content) {
+    GeneralNames out;
+    asn1::Reader r(sequence_content);
+    while (!r.done()) {
+        auto tlv = r.next();
+        if (!tlv.ok()) return tlv.error();
+        auto gn = parse_general_name(tlv.value());
+        if (!gn.ok()) return gn.error();
+        out.push_back(std::move(gn).value());
+    }
+    return out;
+}
+
+}  // namespace unicert::x509

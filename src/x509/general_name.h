@@ -1,0 +1,83 @@
+// unicert/x509/general_name.h
+//
+// GeneralName (RFC 5280 section 4.2.1.6): the identity variants used
+// in SAN, IAN, AIA, SIA and CRLDistributionPoints. String-valued kinds
+// (dNSName, rfc822Name, URI) keep raw bytes plus the string type
+// actually used on the wire — compliant encodings use IA5String but
+// the paper measures certificates that deviate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asn1/der.h"
+#include "asn1/oid.h"
+#include "asn1/strings.h"
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "x509/name.h"
+
+namespace unicert::x509 {
+
+enum class GeneralNameType {
+    kOtherName,       // [0]
+    kRfc822Name,      // [1]
+    kDnsName,         // [2]
+    kDirectoryName,   // [4]
+    kUri,             // [6]
+    kIpAddress,       // [7]
+    kRegisteredId,    // [8]
+};
+
+const char* general_name_type_label(GeneralNameType t) noexcept;
+
+struct GeneralName {
+    GeneralNameType type = GeneralNameType::kDnsName;
+
+    // For string kinds ([1],[2],[6]): the value bytes and the string
+    // type they were (or will be) encoded with. RFC 5280 mandates
+    // IA5String; other values model noncompliant certificates.
+    asn1::StringType string_type = asn1::StringType::kIa5String;
+    Bytes value_bytes;
+
+    // kDirectoryName payload.
+    DistinguishedName directory;
+
+    // kOtherName payload (e.g. SmtpUTF8Mailbox).
+    asn1::Oid other_name_oid;
+    Bytes other_name_value;  // inner DER (for SmtpUTF8Mailbox: a UTF8String TLV)
+
+    // kIpAddress payload: 4 or 16 octets. kRegisteredId: OID in value.
+    // (both reuse value_bytes)
+
+    std::string to_utf8_lossy() const;
+
+    bool operator==(const GeneralName&) const = default;
+};
+
+using GeneralNames = std::vector<GeneralName>;
+
+// Convenience constructors.
+GeneralName dns_name(std::string_view ascii_or_utf8,
+                     asn1::StringType st = asn1::StringType::kIa5String);
+GeneralName rfc822_name(std::string_view email,
+                        asn1::StringType st = asn1::StringType::kIa5String);
+GeneralName uri_name(std::string_view uri,
+                     asn1::StringType st = asn1::StringType::kIa5String);
+GeneralName ip_address(BytesView octets);
+GeneralName directory_name(DistinguishedName dn);
+GeneralName smtp_utf8_mailbox(std::string_view utf8_mailbox);
+
+// DER encoding of a single GeneralName (with its context tag).
+Bytes encode_general_name(const GeneralName& gn);
+
+// DER encoding of GeneralNames as SEQUENCE OF GeneralName.
+Bytes encode_general_names(const GeneralNames& gns);
+
+// Parse a single GeneralName TLV.
+Expected<GeneralName> parse_general_name(const asn1::Tlv& tlv);
+
+// Parse SEQUENCE OF GeneralName content.
+Expected<GeneralNames> parse_general_names(BytesView sequence_content);
+
+}  // namespace unicert::x509

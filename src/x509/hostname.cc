@@ -1,0 +1,120 @@
+#include "x509/hostname.h"
+
+#include <algorithm>
+
+#include "idna/labels.h"
+#include "unicode/properties.h"
+
+namespace unicert::x509 {
+namespace {
+
+std::string ascii_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 0x20);
+    }
+    return out;
+}
+
+// Convert to comparable ACE form: lowercase; U-labels become A-labels
+// when convertible (unconvertible names are compared verbatim, which
+// can only cause a non-match, never a false match).
+std::string comparable(std::string_view name) {
+    bool ascii = std::all_of(name.begin(), name.end(), [](char c) {
+        return static_cast<unsigned char>(c) < 0x80;
+    });
+    if (ascii) return ascii_lower(name);
+    auto ace = idna::hostname_to_ascii(name);
+    if (ace.ok()) return ascii_lower(ace.value());
+    return std::string(name);
+}
+
+std::vector<std::string> split_labels(std::string_view host) {
+    std::vector<std::string> labels;
+    size_t start = 0;
+    while (start <= host.size()) {
+        size_t dot = host.find('.', start);
+        labels.emplace_back(
+            host.substr(start, dot == std::string_view::npos ? std::string_view::npos
+                                                             : dot - start));
+        if (dot == std::string_view::npos) break;
+        start = dot + 1;
+    }
+    // Tolerate one trailing dot (root label).
+    if (labels.size() > 1 && labels.back().empty()) labels.pop_back();
+    return labels;
+}
+
+}  // namespace
+
+bool dns_name_matches(std::string_view pattern_in, std::string_view hostname_in) {
+    std::string pattern = comparable(pattern_in);
+    std::string hostname = comparable(hostname_in);
+    if (pattern.empty() || hostname.empty()) return false;
+    if (hostname.find('*') != std::string::npos) return false;  // reference must be literal
+
+    std::vector<std::string> p = split_labels(pattern);
+    std::vector<std::string> h = split_labels(hostname);
+    if (p.size() != h.size()) return false;
+
+    for (size_t i = 0; i < p.size(); ++i) {
+        if (p[i] == "*") {
+            // RFC 6125: wildcard only as the complete leftmost label,
+            // must cover exactly one label, and needs a registrable
+            // suffix below it (no "*.com"-style matches).
+            if (i != 0 || p.size() < 3) return false;
+            if (h[i].empty()) return false;
+            continue;
+        }
+        if (p[i].find('*') != std::string::npos) return false;  // partial wildcards banned
+        if (p[i] != h[i]) return false;
+        if (p[i].empty()) return false;
+    }
+    return true;
+}
+
+HostnameVerifyResult verify_hostname(const Certificate& cert, std::string_view hostname,
+                                     const HostnameVerifyOptions& options) {
+    HostnameVerifyResult result;
+
+    auto effective_identity = [&](std::string value) {
+        if (!options.nul_safe) {
+            // C-string semantics: truncate at the first NUL — the
+            // "bank.example\0.evil" bypass.
+            size_t nul = value.find('\0');
+            if (nul != std::string::npos) value.resize(nul);
+        }
+        return value;
+    };
+
+    bool saw_san_dns = false;
+    for (const GeneralName& gn : cert.subject_alt_names()) {
+        if (gn.type != GeneralNameType::kDnsName) continue;
+        saw_san_dns = true;
+        std::string presented = effective_identity(to_string(gn.value_bytes));
+        if (dns_name_matches(presented, hostname)) {
+            result.matched = true;
+            result.matched_identity = presented;
+            return result;
+        }
+    }
+
+    if (!saw_san_dns && options.allow_cn_fallback) {
+        for (const AttributeValue* cn : cert.subject_common_names()) {
+            std::string presented = effective_identity(cn->to_utf8_lossy());
+            if (dns_name_matches(presented, hostname)) {
+                result.matched = true;
+                result.used_cn_fallback = true;
+                result.matched_identity = presented;
+                return result;
+            }
+        }
+    }
+
+    result.detail = saw_san_dns ? "no SAN dNSName matched"
+                                : (options.allow_cn_fallback ? "no identity matched"
+                                                             : "no SAN dNSName present");
+    return result;
+}
+
+}  // namespace unicert::x509

@@ -1,0 +1,45 @@
+// unicert/x509/hostname.h
+//
+// RFC 6125 / RFC 9525 hostname verification against certificate
+// identities: SAN dNSName matching with single-leftmost-label
+// wildcards, optional (discouraged) CN fallback, IDN-aware comparison
+// via A-label conversion, and a deliberately configurable NUL-handling
+// mode that models the classic CN-NUL-termination bypass the paper's
+// T1 discussion cites (PKI Layer Cake, CVE-2009-2408 lineage).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "x509/certificate.h"
+
+namespace unicert::x509 {
+
+// Match one presented DNS identifier (possibly with a wildcard) against
+// a reference hostname. Both sides are compared case-insensitively in
+// ACE form; the reference must not contain wildcards.
+bool dns_name_matches(std::string_view pattern, std::string_view hostname);
+
+struct HostnameVerifyOptions {
+    // RFC 9525 discourages CN-based matching; tools like Snort/cURL/
+    // Postfix still fall back to it when the SAN is absent.
+    bool allow_cn_fallback = false;
+    // When false, identities are compared as C strings — i.e. an
+    // embedded NUL truncates the presented name. This reproduces the
+    // vulnerable behaviour; safe implementations keep it true.
+    bool nul_safe = true;
+};
+
+struct HostnameVerifyResult {
+    bool matched = false;
+    bool used_cn_fallback = false;
+    std::string matched_identity;  // the presented identifier that matched
+    std::string detail;            // diagnostics when !matched
+};
+
+// Verify `hostname` against the certificate's SAN dNSNames (and CN when
+// the fallback is enabled and no SAN dNSName exists).
+HostnameVerifyResult verify_hostname(const Certificate& cert, std::string_view hostname,
+                                     const HostnameVerifyOptions& options = {});
+
+}  // namespace unicert::x509

@@ -1,0 +1,145 @@
+#include "x509/name.h"
+
+#include "asn1/der.h"
+#include "unicode/codec.h"
+
+namespace unicert::x509 {
+
+std::string AttributeValue::to_utf8_lossy() const {
+    return unicode::transcode_to_utf8(value_bytes, asn1::nominal_encoding(string_type),
+                                      unicode::ErrorPolicy::kReplace);
+}
+
+const AttributeValue* DistinguishedName::find_first(const asn1::Oid& type) const {
+    for (const Rdn& rdn : rdns) {
+        for (const AttributeValue& av : rdn.attributes) {
+            if (av.type == type) return &av;
+        }
+    }
+    return nullptr;
+}
+
+const AttributeValue* DistinguishedName::find_last(const asn1::Oid& type) const {
+    const AttributeValue* found = nullptr;
+    for (const Rdn& rdn : rdns) {
+        for (const AttributeValue& av : rdn.attributes) {
+            if (av.type == type) found = &av;
+        }
+    }
+    return found;
+}
+
+std::vector<const AttributeValue*> DistinguishedName::find_all(const asn1::Oid& type) const {
+    std::vector<const AttributeValue*> out;
+    for (const Rdn& rdn : rdns) {
+        for (const AttributeValue& av : rdn.attributes) {
+            if (av.type == type) out.push_back(&av);
+        }
+    }
+    return out;
+}
+
+size_t DistinguishedName::count(const asn1::Oid& type) const { return find_all(type).size(); }
+
+std::vector<const AttributeValue*> DistinguishedName::all_attributes() const {
+    std::vector<const AttributeValue*> out;
+    for (const Rdn& rdn : rdns) {
+        for (const AttributeValue& av : rdn.attributes) out.push_back(&av);
+    }
+    return out;
+}
+
+AttributeValue make_attribute(const asn1::Oid& type, std::string_view utf8_value,
+                              asn1::StringType string_type) {
+    AttributeValue av;
+    av.type = type;
+    av.string_type = string_type;
+    auto cps = unicode::utf8_to_codepoints(utf8_value);
+    if (cps.ok()) {
+        auto encoded = asn1::encode_unchecked(string_type, cps.value());
+        if (encoded.ok()) {
+            av.value_bytes = std::move(encoded).value();
+            return av;
+        }
+    }
+    // Fall back to the raw bytes; lets tests craft values that are not
+    // even valid UTF-8 input.
+    av.value_bytes = to_bytes(utf8_value);
+    return av;
+}
+
+DistinguishedName make_dn(std::vector<AttributeValue> attributes) {
+    DistinguishedName dn;
+    dn.rdns.reserve(attributes.size());
+    for (AttributeValue& av : attributes) {
+        Rdn rdn;
+        rdn.attributes.push_back(std::move(av));
+        dn.rdns.push_back(std::move(rdn));
+    }
+    return dn;
+}
+
+Bytes encode_name(const DistinguishedName& dn) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        for (const Rdn& rdn : dn.rdns) {
+            seq.add_set([&](asn1::Writer& set) {
+                for (const AttributeValue& av : rdn.attributes) {
+                    set.add_sequence([&](asn1::Writer& atv) {
+                        atv.add_oid_der(av.type.to_der());
+                        atv.add_string(asn1::string_type_tag(av.string_type), av.value_bytes);
+                    });
+                }
+            });
+        }
+    });
+    return w.take();
+}
+
+Expected<DistinguishedName> parse_name(BytesView der) {
+    auto seq = asn1::read_tlv(der);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_name_not_sequence", "Name must be a SEQUENCE"};
+    }
+
+    DistinguishedName dn;
+    asn1::Reader rdns(seq->content);
+    while (!rdns.done()) {
+        auto set = rdns.expect(asn1::Tag::kSet);
+        if (!set.ok()) return set.error();
+
+        Rdn rdn;
+        asn1::Reader atvs(set->content);
+        if (atvs.done()) return Error{"x509_empty_rdn", "RDN SET must not be empty"};
+        while (!atvs.done()) {
+            auto atv = atvs.expect(asn1::Tag::kSequence);
+            if (!atv.ok()) return atv.error();
+            asn1::Reader fields(atv->content);
+
+            auto oid_tlv = fields.expect(asn1::Tag::kOid);
+            if (!oid_tlv.ok()) return oid_tlv.error();
+            auto oid = asn1::Oid::from_der(oid_tlv->content);
+            if (!oid.ok()) return oid.error();
+
+            auto val = fields.next();
+            if (!val.ok()) return val.error();
+            auto st = asn1::string_type_from_tag(val->tag_number());
+            if (val->tag_class() != asn1::TagClass::kUniversal || !st) {
+                return Error{"x509_attr_not_string",
+                             "attribute value has non-string tag " +
+                                 std::to_string(val->tag_number())};
+            }
+
+            AttributeValue av;
+            av.type = std::move(oid).value();
+            av.string_type = *st;
+            av.value_bytes.assign(val->content.begin(), val->content.end());
+            rdn.attributes.push_back(std::move(av));
+        }
+        dn.rdns.push_back(std::move(rdn));
+    }
+    return dn;
+}
+
+}  // namespace unicert::x509

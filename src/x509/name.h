@@ -1,0 +1,85 @@
+// unicert/x509/name.h
+//
+// Distinguished Name model: Name = RDNSequence = SEQUENCE OF RDN,
+// RDN = SET OF AttributeTypeAndValue. Attribute values retain their
+// declared ASN.1 string type and raw value bytes so compliance lints
+// and the TLS-library behaviour profiles can examine exactly what was
+// on the wire.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/oid.h"
+#include "asn1/strings.h"
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "unicode/codepoint.h"
+
+namespace unicert::x509 {
+
+// One AttributeTypeAndValue. `value_bytes` are the DER value octets as
+// encoded under `string_type`'s tag — deliberately unvalidated at the
+// model level.
+struct AttributeValue {
+    asn1::Oid type;
+    asn1::StringType string_type = asn1::StringType::kUtf8String;
+    Bytes value_bytes;
+
+    // Strict decode per the declared string type's nominal encoding.
+    Expected<unicode::CodePoints> decode() const {
+        return asn1::decode_strict(string_type, value_bytes);
+    }
+
+    // Lossy UTF-8 view (replacement-character policy) for display.
+    std::string to_utf8_lossy() const;
+
+    bool operator==(const AttributeValue&) const = default;
+};
+
+// RelativeDistinguishedName: SET OF AttributeTypeAndValue (usually 1).
+struct Rdn {
+    std::vector<AttributeValue> attributes;
+
+    bool operator==(const Rdn&) const = default;
+};
+
+// The full Name.
+struct DistinguishedName {
+    std::vector<Rdn> rdns;
+
+    bool empty() const noexcept { return rdns.empty(); }
+
+    // First/last attribute with the given type, in RDN order. The
+    // first/last distinction matters: the paper shows PyOpenSSL-style
+    // parsers take the first duplicated CN while Go-style take the last
+    // (Section 4.3.1).
+    const AttributeValue* find_first(const asn1::Oid& type) const;
+    const AttributeValue* find_last(const asn1::Oid& type) const;
+    std::vector<const AttributeValue*> find_all(const asn1::Oid& type) const;
+    size_t count(const asn1::Oid& type) const;
+
+    // Flat list of all attributes in encounter order.
+    std::vector<const AttributeValue*> all_attributes() const;
+
+    bool operator==(const DistinguishedName&) const = default;
+};
+
+// Convenience constructors used throughout tests, examples and the
+// corpus generator. Values are given in UTF-8; `type` selects the
+// ASN.1 string type (charset is NOT enforced — callers wanting strict
+// behaviour use asn1::encode_checked themselves).
+AttributeValue make_attribute(const asn1::Oid& type, std::string_view utf8_value,
+                              asn1::StringType string_type = asn1::StringType::kUtf8String);
+
+// Build a DN with one attribute per RDN (the common shape).
+DistinguishedName make_dn(std::vector<AttributeValue> attributes);
+
+// DER-encode a Name.
+Bytes encode_name(const DistinguishedName& dn);
+
+// Parse a Name from its DER (the SEQUENCE TLV must be at the front).
+Expected<DistinguishedName> parse_name(BytesView der);
+
+}  // namespace unicert::x509

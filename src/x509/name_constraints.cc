@@ -1,0 +1,164 @@
+#include "x509/name_constraints.h"
+
+#include <algorithm>
+
+#include "asn1/der.h"
+#include "x509/dn_text.h"
+
+namespace unicert::x509 {
+namespace {
+
+// GeneralSubtrees ::= SEQUENCE OF GeneralSubtree
+// GeneralSubtree ::= SEQUENCE { base GeneralName, minimum [0] DEFAULT 0, ... }
+void write_subtrees(asn1::Writer& w, uint8_t tag, const std::vector<std::string>& bases) {
+    w.add_constructed(asn1::context(tag, true), [&](asn1::Writer& subtrees) {
+        for (const std::string& base : bases) {
+            subtrees.add_sequence([&](asn1::Writer& subtree) {
+                subtree.add_raw(encode_general_name(dns_name(base)));
+            });
+        }
+    });
+}
+
+Expected<std::vector<std::string>> read_subtrees(const asn1::Tlv& tlv) {
+    std::vector<std::string> out;
+    asn1::Reader r(tlv.content);
+    while (!r.done()) {
+        auto subtree = r.expect(asn1::Tag::kSequence);
+        if (!subtree.ok()) return subtree.error();
+        asn1::Reader sr(subtree->content);
+        auto gn_tlv = sr.next();
+        if (!gn_tlv.ok()) return gn_tlv.error();
+        auto gn = parse_general_name(gn_tlv.value());
+        if (!gn.ok()) return gn.error();
+        if (gn->type == GeneralNameType::kDnsName) {
+            out.push_back(to_string(gn->value_bytes));
+        }
+        // minimum/maximum fields are never used in the web PKI; skip.
+    }
+    return out;
+}
+
+std::string ascii_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 0x20);
+    }
+    return out;
+}
+
+}  // namespace
+
+Extension make_name_constraints(const NameConstraints& nc) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        if (!nc.permitted_dns.empty()) write_subtrees(seq, 0, nc.permitted_dns);
+        if (!nc.excluded_dns.empty()) write_subtrees(seq, 1, nc.excluded_dns);
+    });
+    Extension ext;
+    ext.oid = asn1::Oid{std::vector<uint32_t>{2, 5, 29, 30}};
+    ext.critical = true;
+    ext.value = w.take();
+    return ext;
+}
+
+Expected<NameConstraints> parse_name_constraints(const Extension& ext) {
+    auto seq = asn1::read_tlv(ext.value);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"x509_nc_not_sequence", "NameConstraints must be a SEQUENCE"};
+    }
+    NameConstraints nc;
+    asn1::Reader r(seq->content);
+    while (!r.done()) {
+        auto tlv = r.next();
+        if (!tlv.ok()) return tlv.error();
+        if (tlv->is_context(0)) {
+            auto subtrees = read_subtrees(tlv.value());
+            if (!subtrees.ok()) return subtrees.error();
+            nc.permitted_dns = std::move(subtrees).value();
+        } else if (tlv->is_context(1)) {
+            auto subtrees = read_subtrees(tlv.value());
+            if (!subtrees.ok()) return subtrees.error();
+            nc.excluded_dns = std::move(subtrees).value();
+        }
+    }
+    return nc;
+}
+
+bool dns_within_subtree(std::string_view dns_name, std::string_view base) {
+    std::string name = ascii_lower(dns_name);
+    std::string b = ascii_lower(base);
+    if (b.empty()) return true;  // empty base constrains nothing out
+    if (b.front() == '.') {
+        // Subdomains only.
+        return name.size() > b.size() && name.ends_with(b);
+    }
+    if (name == b) return true;
+    return name.size() > b.size() + 1 && name.ends_with(b) &&
+           name[name.size() - b.size() - 1] == '.';
+}
+
+const char* constraint_verdict_name(ConstraintVerdict v) noexcept {
+    switch (v) {
+        case ConstraintVerdict::kPermitted: return "permitted";
+        case ConstraintVerdict::kExcluded: return "excluded";
+        case ConstraintVerdict::kNotPermitted: return "not_permitted";
+    }
+    return "?";
+}
+
+ConstraintVerdict check_name_constraints(const Certificate& leaf, const NameConstraints& nc,
+                                         bool use_text_transform) {
+    // Collect the identities to check.
+    std::vector<std::string> identities;
+    for (const GeneralName& gn : leaf.subject_alt_names()) {
+        if (gn.type != GeneralNameType::kDnsName) continue;
+        identities.push_back(to_string(gn.value_bytes));
+    }
+
+    if (use_text_transform) {
+        // The vulnerable path: render to X.509-text without escaping and
+        // re-split — embedded "DNS:" boundaries create identities the
+        // DER never contained, and a checker on the *split* strings sees
+        // different names than hostname validation will later use.
+        std::vector<std::string> transformed;
+        for (const std::string& id : identities) {
+            std::string text = "DNS:" + id;
+            size_t start = 0;
+            while (start < text.size()) {
+                size_t pos = text.find(", DNS:", start);
+                std::string piece = text.substr(start, pos == std::string::npos
+                                                           ? std::string::npos
+                                                           : pos - start);
+                if (piece.starts_with("DNS:")) piece = piece.substr(4);
+                // C-string semantics also truncate at NUL in this path.
+                if (size_t nul = piece.find('\0'); nul != std::string::npos) {
+                    piece.resize(nul);
+                }
+                transformed.push_back(std::move(piece));
+                if (pos == std::string::npos) break;
+                start = pos + 2;
+            }
+        }
+        identities = std::move(transformed);
+    }
+
+    if (identities.empty()) return ConstraintVerdict::kPermitted;
+
+    for (const std::string& id : identities) {
+        for (const std::string& excluded : nc.excluded_dns) {
+            if (dns_within_subtree(id, excluded)) return ConstraintVerdict::kExcluded;
+        }
+        if (!nc.permitted_dns.empty()) {
+            bool ok = std::any_of(nc.permitted_dns.begin(), nc.permitted_dns.end(),
+                                  [&](const std::string& base) {
+                                      return dns_within_subtree(id, base);
+                                  });
+            if (!ok) return ConstraintVerdict::kNotPermitted;
+        }
+    }
+    return ConstraintVerdict::kPermitted;
+}
+
+}  // namespace unicert::x509

@@ -1,0 +1,49 @@
+// unicert/x509/name_constraints.h
+//
+// NameConstraints (RFC 5280 section 4.2.1.10): permitted/excluded
+// dNSName subtrees on CA certificates, plus constraint checking for
+// leaf identities. The paper's Section 5.2(1) cites CVE-2021-44533 —
+// ambiguous field transformations bypassing name-constraint checks;
+// check_name_constraints() exposes both a bytes-faithful mode and a
+// string-transformed mode so the bypass is demonstrable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "x509/certificate.h"
+
+namespace unicert::x509 {
+
+struct NameConstraints {
+    // dNSName subtrees; an empty permitted list means "no restriction".
+    std::vector<std::string> permitted_dns;
+    std::vector<std::string> excluded_dns;
+};
+
+// Build the NameConstraints extension (critical, as RFC 5280 requires).
+Extension make_name_constraints(const NameConstraints& nc);
+
+// Parse from an Extension.
+Expected<NameConstraints> parse_name_constraints(const Extension& ext);
+
+// Is `dns_name` within subtree `base`? Subtree semantics: "example.com"
+// covers itself and every subdomain; ".example.com" covers subdomains
+// only.
+bool dns_within_subtree(std::string_view dns_name, std::string_view base);
+
+enum class ConstraintVerdict { kPermitted, kExcluded, kNotPermitted };
+
+const char* constraint_verdict_name(ConstraintVerdict v) noexcept;
+
+// Check every SAN dNSName of `leaf` against `nc`.
+// When `use_text_transform` is set, each identity first passes through
+// the X.509-text round trip (format + naive re-split) — the lossy path
+// in which "a.com, DNS:b.com" becomes two identities and embedded NULs
+// vanish, reproducing the constraint-bypass class of CVE-2021-44533.
+ConstraintVerdict check_name_constraints(const Certificate& leaf, const NameConstraints& nc,
+                                         bool use_text_transform = false);
+
+}  // namespace unicert::x509

@@ -1,0 +1,84 @@
+#include "x509/name_match.h"
+
+#include <algorithm>
+
+#include "unicode/codec.h"
+#include "unicode/normalize.h"
+#include "unicode/properties.h"
+
+namespace unicert::x509 {
+namespace {
+
+using unicode::CodePoint;
+using unicode::CodePoints;
+
+}  // namespace
+
+std::string attribute_match_key(const AttributeValue& av) {
+    auto decoded = av.decode();
+    CodePoints cps;
+    if (decoded.ok()) {
+        cps = std::move(decoded).value();
+    } else {
+        // Undecodable values fall back to a lossy read; they can only
+        // ever match another identically-broken value.
+        cps = unicode::decode_lossy(av.value_bytes, asn1::nominal_encoding(av.string_type),
+                                    unicode::ErrorPolicy::kReplace);
+    }
+
+    // NFC, then case folding.
+    cps = unicode::nfc(cps);
+    cps = unicode::fold_case(cps);
+
+    // Whitespace processing: drop leading/trailing, collapse internal
+    // runs (any space-class character) to a single U+0020.
+    CodePoints out;
+    bool pending_space = false;
+    for (CodePoint cp : cps) {
+        if (unicode::is_space(cp)) {
+            if (!out.empty()) pending_space = true;
+            continue;
+        }
+        if (pending_space) {
+            out.push_back(' ');
+            pending_space = false;
+        }
+        out.push_back(cp);
+    }
+    return unicode::codepoints_to_utf8(out);
+}
+
+bool attributes_match(const AttributeValue& a, const AttributeValue& b) {
+    if (a.type != b.type) return false;
+    return attribute_match_key(a) == attribute_match_key(b);
+}
+
+bool names_match(const DistinguishedName& a, const DistinguishedName& b) {
+    if (a.rdns.size() != b.rdns.size()) return false;
+    for (size_t i = 0; i < a.rdns.size(); ++i) {
+        const Rdn& ra = a.rdns[i];
+        const Rdn& rb = b.rdns[i];
+        if (ra.attributes.size() != rb.attributes.size()) return false;
+        // SET semantics: each attribute in ra must match a distinct one
+        // in rb.
+        std::vector<bool> used(rb.attributes.size(), false);
+        for (const AttributeValue& av : ra.attributes) {
+            bool found = false;
+            for (size_t j = 0; j < rb.attributes.size(); ++j) {
+                if (!used[j] && attributes_match(av, rb.attributes[j])) {
+                    used[j] = true;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) return false;
+        }
+    }
+    return true;
+}
+
+bool names_match_binary(const DistinguishedName& a, const DistinguishedName& b) {
+    return encode_name(a) == encode_name(b);
+}
+
+}  // namespace unicert::x509

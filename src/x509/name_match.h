@@ -1,0 +1,33 @@
+// unicert/x509/name_match.h
+//
+// RFC 5280 section 7.1 distinguished-name comparison, used for name
+// chaining (issuer DN of a leaf vs subject DN of its CA). String
+// values are compared with caseIgnoreMatch semantics after LDAP
+// StringPrep-style processing: decode per declared type, normalize to
+// NFC, fold case, trim and collapse internal whitespace. This is the
+// processing whose absence makes the T2 "Bad Normalization" findings
+// dangerous: byte-compare implementations break chains that
+// caseIgnoreMatch would accept.
+#pragma once
+
+#include <string>
+
+#include "x509/name.h"
+
+namespace unicert::x509 {
+
+// Normalized comparison key for one attribute value.
+std::string attribute_match_key(const AttributeValue& av);
+
+// caseIgnoreMatch over two attribute values (types must also be equal).
+bool attributes_match(const AttributeValue& a, const AttributeValue& b);
+
+// RFC 5280 7.1 DN equality: same RDN structure, each RDN's attribute
+// sets equal under attributes_match (order within an RDN is
+// insignificant; RDN sequence order is significant).
+bool names_match(const DistinguishedName& a, const DistinguishedName& b);
+
+// Byte-exact DN equality (what naive implementations do instead).
+bool names_match_binary(const DistinguishedName& a, const DistinguishedName& b);
+
+}  // namespace unicert::x509

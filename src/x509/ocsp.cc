@@ -1,0 +1,190 @@
+#include "x509/ocsp.h"
+
+#include "asn1/der.h"
+#include "asn1/time.h"
+
+namespace unicert::x509 {
+namespace {
+
+int64_t status_code(RevocationStatus s) {
+    switch (s) {
+        case RevocationStatus::kGood: return 0;
+        case RevocationStatus::kRevoked: return 1;
+        case RevocationStatus::kUnknown: return 2;
+    }
+    return 2;
+}
+
+RevocationStatus status_from_code(int64_t v) {
+    switch (v) {
+        case 0: return RevocationStatus::kGood;
+        case 1: return RevocationStatus::kRevoked;
+        default: return RevocationStatus::kUnknown;
+    }
+}
+
+Bytes encode_response_data(const OcspResponse& r) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        seq.add_integer(status_code(r.status));
+        seq.add_integer_bytes(r.serial);
+        asn1::EncodedTime tu = asn1::format_validity_time(r.this_update);
+        seq.add_string(tu.generalized ? asn1::Tag::kGeneralizedTime : asn1::Tag::kUtcTime,
+                       tu.text);
+        asn1::EncodedTime nu = asn1::format_validity_time(r.next_update);
+        seq.add_string(nu.generalized ? asn1::Tag::kGeneralizedTime : asn1::Tag::kUtcTime,
+                       nu.text);
+    });
+    return w.take();
+}
+
+Expected<int64_t> read_time_tlv(const asn1::Tlv& tlv) {
+    if (tlv.is_universal(asn1::Tag::kUtcTime)) return asn1::parse_utc_time(tlv.content);
+    if (tlv.is_universal(asn1::Tag::kGeneralizedTime)) {
+        return asn1::parse_generalized_time(tlv.content);
+    }
+    return Error{"ocsp_bad_time", "expected a time value"};
+}
+
+}  // namespace
+
+Bytes encode_ocsp_request(const OcspRequest& request) {
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& seq) {
+        seq.add_octet_string(request.issuer_key_hash);
+        seq.add_integer_bytes(request.serial);
+    });
+    return w.take();
+}
+
+Expected<OcspRequest> parse_ocsp_request(BytesView der) {
+    auto seq = asn1::read_tlv(der);
+    if (!seq.ok()) return seq.error();
+    if (!seq->is_universal(asn1::Tag::kSequence)) {
+        return Error{"ocsp_request_not_sequence", "OCSP request must be a SEQUENCE"};
+    }
+    asn1::Reader r(seq->content);
+    auto hash = r.expect(asn1::Tag::kOctetString);
+    if (!hash.ok()) return hash.error();
+    auto serial_tlv = r.expect(asn1::Tag::kInteger);
+    if (!serial_tlv.ok()) return serial_tlv.error();
+    auto serial = asn1::decode_integer_bytes(serial_tlv.value());
+    if (!serial.ok()) return serial.error();
+
+    OcspRequest out;
+    out.issuer_key_hash.assign(hash->content.begin(), hash->content.end());
+    out.serial = std::move(serial).value();
+    return out;
+}
+
+Expected<OcspResponse> parse_ocsp_response(BytesView der) {
+    auto outer = asn1::read_tlv(der);
+    if (!outer.ok()) return outer.error();
+    if (!outer->is_universal(asn1::Tag::kSequence)) {
+        return Error{"ocsp_response_not_sequence", "OCSP response must be a SEQUENCE"};
+    }
+    asn1::Reader top(outer->content);
+    auto data = top.expect(asn1::Tag::kSequence);
+    if (!data.ok()) return data.error();
+
+    OcspResponse out;
+    out.der.assign(der.begin(), der.begin() + outer->total_len);
+
+    asn1::Reader r(data->content);
+    auto status = r.expect(asn1::Tag::kInteger);
+    if (!status.ok()) return status.error();
+    auto code = asn1::decode_integer(status.value());
+    if (!code.ok()) return code.error();
+    out.status = status_from_code(code.value());
+
+    auto serial_tlv = r.expect(asn1::Tag::kInteger);
+    if (!serial_tlv.ok()) return serial_tlv.error();
+    auto serial = asn1::decode_integer_bytes(serial_tlv.value());
+    if (!serial.ok()) return serial.error();
+    out.serial = std::move(serial).value();
+
+    auto tu_tlv = r.next();
+    if (!tu_tlv.ok()) return tu_tlv.error();
+    auto tu = read_time_tlv(tu_tlv.value());
+    if (!tu.ok()) return tu.error();
+    out.this_update = tu.value();
+
+    auto nu_tlv = r.next();
+    if (!nu_tlv.ok()) return nu_tlv.error();
+    auto nu = read_time_tlv(nu_tlv.value());
+    if (!nu.ok()) return nu.error();
+    out.next_update = nu.value();
+
+    auto sig = top.expect(asn1::Tag::kBitString);
+    if (!sig.ok()) return sig.error();
+    auto sig_bytes = asn1::decode_bit_string(sig.value());
+    if (!sig_bytes.ok()) return sig_bytes.error();
+    out.signature = std::move(sig_bytes).value();
+    return out;
+}
+
+bool verify_ocsp_response(const OcspResponse& response,
+                          const crypto::SimSigner& responder_key) {
+    return crypto::sim_verify(responder_key, encode_response_data(response),
+                              response.signature);
+}
+
+OcspResponse OcspResponder::respond(const OcspRequest& request) const {
+    OcspResponse response;
+    response.serial = request.serial;
+    response.this_update = this_update_;
+    response.next_update = next_update_;
+
+    // A responder only answers for its own issuer key.
+    Bytes my_hash = crypto::sha256_bytes(key_.public_key());
+    if (request.issuer_key_hash != my_hash) {
+        response.status = RevocationStatus::kUnknown;
+    } else {
+        response.status = revoked_.count(hex_encode(request.serial))
+                              ? RevocationStatus::kRevoked
+                              : RevocationStatus::kGood;
+    }
+
+    response.signature = key_.sign(encode_response_data(response));
+
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& outer) {
+        outer.add_raw(encode_response_data(response));
+        outer.add_bit_string(response.signature);
+    });
+    response.der = w.take();
+    return response;
+}
+
+void OcspNetwork::publish(const std::string& url, OcspResponder responder) {
+    responders_.emplace(url, std::move(responder));
+}
+
+RevocationStatus OcspNetwork::check(const Certificate& cert,
+                                    const Bytes& issuer_key_hash) const {
+    const Extension* ext = cert.find_extension(asn1::oids::authority_info_access());
+    if (ext == nullptr) return RevocationStatus::kUnknown;
+    auto ads = parse_access_descriptions(*ext);
+    if (!ads.ok()) return RevocationStatus::kUnknown;
+
+    for (const AccessDescription& ad : ads.value()) {
+        if (ad.method != asn1::oids::ad_ocsp() || ad.location.type != GeneralNameType::kUri) {
+            continue;
+        }
+        auto it = responders_.find(ad.location.to_utf8_lossy());
+        if (it == responders_.end()) continue;
+
+        OcspRequest request{issuer_key_hash, cert.serial};
+        // Round-trip through the wire encoding (the realistic path).
+        auto parsed_request = parse_ocsp_request(encode_ocsp_request(request));
+        if (!parsed_request.ok()) continue;
+        OcspResponse response = it->second.respond(parsed_request.value());
+        auto parsed = parse_ocsp_response(response.der);
+        if (!parsed.ok()) continue;
+        if (!verify_ocsp_response(parsed.value(), it->second.key())) continue;
+        return parsed->status;
+    }
+    return RevocationStatus::kUnknown;
+}
+
+}  // namespace unicert::x509

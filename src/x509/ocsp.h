@@ -1,0 +1,76 @@
+// unicert/x509/ocsp.h
+//
+// A compact OCSP substrate (RFC 6960 shape, DER-framed, SimSig-signed).
+// The paper's revocation discussion spans CRLs, OCSP's demotion to
+// optional (CA/B ballot SC063) and the shift to short-lived
+// certificates; this module supplies the OCSP side so the revocation
+// scenarios can compare all three mechanisms.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "crypto/simsig.h"
+#include "x509/certificate.h"
+#include "x509/crl.h"  // RevocationStatus
+
+namespace unicert::x509 {
+
+struct OcspRequest {
+    Bytes issuer_key_hash;  // SHA-256 of the issuer public key
+    Bytes serial;
+};
+
+struct OcspResponse {
+    RevocationStatus status = RevocationStatus::kUnknown;
+    Bytes serial;
+    int64_t this_update = 0;
+    int64_t next_update = 0;
+    Bytes signature;   // over the DER of the response data
+    Bytes der;         // full encoded response
+};
+
+// DER encode / parse for both messages.
+Bytes encode_ocsp_request(const OcspRequest& request);
+Expected<OcspRequest> parse_ocsp_request(BytesView der);
+Expected<OcspResponse> parse_ocsp_response(BytesView der);
+
+// Verify the responder signature.
+bool verify_ocsp_response(const OcspResponse& response, const crypto::SimSigner& responder_key);
+
+// One CA's OCSP responder: knows its key and its revoked serials.
+class OcspResponder {
+public:
+    OcspResponder(crypto::SimSigner key, int64_t this_update, int64_t next_update)
+        : key_(std::move(key)), this_update_(this_update), next_update_(next_update) {}
+
+    void revoke(Bytes serial) { revoked_.insert(hex_encode(serial)); }
+
+    // Answer a request; serials the responder never issued come back
+    // kGood in this simplified model unless `unknown_for_unissued`.
+    OcspResponse respond(const OcspRequest& request) const;
+
+    const crypto::SimSigner& key() const noexcept { return key_; }
+
+private:
+    crypto::SimSigner key_;
+    int64_t this_update_;
+    int64_t next_update_;
+    std::set<std::string> revoked_;
+};
+
+// URL -> responder registry standing in for the network, keyed by the
+// AIA id-ad-ocsp accessLocation.
+class OcspNetwork {
+public:
+    void publish(const std::string& url, OcspResponder responder);
+
+    // Query the certificate's AIA OCSP URL(s).
+    RevocationStatus check(const Certificate& cert, const Bytes& issuer_key_hash) const;
+
+private:
+    std::map<std::string, OcspResponder> responders_;
+};
+
+}  // namespace unicert::x509

@@ -1,0 +1,18 @@
+// unicert/x509/parser.h
+//
+// DER -> Certificate model. The parser is *standards-strict at the
+// structural level* (DER well-formedness, field order) but — like the
+// model — does not police string charsets; that is the lint layer's
+// job, matching how the paper separates parsing from compliance.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "x509/certificate.h"
+
+namespace unicert::x509 {
+
+// Parse a complete certificate (outer SEQUENCE).
+Expected<Certificate> parse_certificate(BytesView der);
+
+}  // namespace unicert::x509

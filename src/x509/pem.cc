@@ -1,0 +1,64 @@
+#include "x509/pem.h"
+
+#include "common/base64.h"
+
+namespace unicert::x509 {
+namespace {
+
+constexpr std::string_view kBeginPrefix = "-----BEGIN ";
+constexpr std::string_view kEndPrefix = "-----END ";
+constexpr std::string_view kDashes = "-----";
+
+}  // namespace
+
+std::string pem_encode(std::string_view label, BytesView der) {
+    std::string body = base64_encode(der);
+    std::string out;
+    out.reserve(body.size() + body.size() / 64 + label.size() * 2 + 40);
+    out += std::string(kBeginPrefix) + std::string(label) + std::string(kDashes) + "\n";
+    for (size_t i = 0; i < body.size(); i += 64) {
+        out += body.substr(i, 64);
+        out += "\n";
+    }
+    out += std::string(kEndPrefix) + std::string(label) + std::string(kDashes) + "\n";
+    return out;
+}
+
+Expected<std::vector<PemBlock>> pem_decode_all(std::string_view text) {
+    std::vector<PemBlock> blocks;
+    size_t pos = 0;
+    while (true) {
+        size_t begin = text.find(kBeginPrefix, pos);
+        if (begin == std::string_view::npos) break;
+        size_t label_start = begin + kBeginPrefix.size();
+        size_t label_end = text.find(kDashes, label_start);
+        if (label_end == std::string_view::npos) {
+            return Error{"pem_bad_begin", "unterminated BEGIN line"};
+        }
+        std::string label(text.substr(label_start, label_end - label_start));
+
+        std::string end_marker = std::string(kEndPrefix) + label + std::string(kDashes);
+        size_t body_start = label_end + kDashes.size();
+        size_t end = text.find(end_marker, body_start);
+        if (end == std::string_view::npos) {
+            return Error{"pem_missing_end", "no END line for label " + label};
+        }
+
+        auto der = base64_decode(text.substr(body_start, end - body_start));
+        if (!der.ok()) return der.error();
+        blocks.push_back({std::move(label), std::move(der).value()});
+        pos = end + end_marker.size();
+    }
+    return blocks;
+}
+
+Expected<Bytes> pem_decode(std::string_view text, std::string_view label) {
+    auto blocks = pem_decode_all(text);
+    if (!blocks.ok()) return blocks.error();
+    for (PemBlock& block : blocks.value()) {
+        if (block.label == label) return std::move(block.der);
+    }
+    return Error{"pem_label_not_found", "no " + std::string(label) + " block found"};
+}
+
+}  // namespace unicert::x509

@@ -1,0 +1,33 @@
+// unicert/x509/pem.h
+//
+// PEM (RFC 7468) framing for certificates and CRLs: the interchange
+// format the CLI tools and examples read and write.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+
+namespace unicert::x509 {
+
+// One decoded PEM block.
+struct PemBlock {
+    std::string label;  // e.g. "CERTIFICATE", "X509 CRL"
+    Bytes der;
+};
+
+// Encode DER under the given label with 64-column base64 lines.
+std::string pem_encode(std::string_view label, BytesView der);
+
+// Parse every PEM block in `text` (non-PEM content between blocks is
+// ignored, matching openssl behaviour). Errors only on malformed
+// blocks, not on absence of blocks.
+Expected<std::vector<PemBlock>> pem_decode_all(std::string_view text);
+
+// Parse the first block with the given label.
+Expected<Bytes> pem_decode(std::string_view text, std::string_view label = "CERTIFICATE");
+
+}  // namespace unicert::x509

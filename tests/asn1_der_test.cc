@@ -1,0 +1,194 @@
+// Tests for the DER reader/writer.
+#include "asn1/der.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::asn1 {
+namespace {
+
+TEST(DerWriter, ShortLengthEncoding) {
+    Writer w;
+    w.add_string(Tag::kIa5String, "abc");
+    const Bytes& b = w.bytes();
+    ASSERT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[0], 0x16);
+    EXPECT_EQ(b[1], 0x03);
+    EXPECT_EQ(b[2], 'a');
+}
+
+TEST(DerWriter, LongLengthEncoding) {
+    Writer w;
+    Bytes big(300, 0xAA);
+    w.add_octet_string(big);
+    const Bytes& b = w.bytes();
+    EXPECT_EQ(b[0], 0x04);
+    EXPECT_EQ(b[1], 0x82);  // two length octets
+    EXPECT_EQ(b[2], 0x01);
+    EXPECT_EQ(b[3], 0x2C);  // 300
+}
+
+TEST(DerReader, RoundTripTlv) {
+    Writer w;
+    w.add_string(Tag::kUtf8String, "héllo");
+    auto tlv = read_tlv(w.bytes());
+    ASSERT_TRUE(tlv.ok());
+    EXPECT_TRUE(tlv->is_universal(Tag::kUtf8String));
+    EXPECT_EQ(to_string(tlv->content), "héllo");
+}
+
+TEST(DerReader, RejectsEmpty) {
+    EXPECT_FALSE(read_tlv({}).ok());
+}
+
+TEST(DerReader, RejectsTruncatedContent) {
+    Bytes b = {0x04, 0x05, 0x01};  // claims 5 bytes, has 1
+    auto r = read_tlv(b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "der_truncated");
+}
+
+TEST(DerReader, RejectsIndefiniteLength) {
+    Bytes b = {0x30, 0x80, 0x00, 0x00};
+    auto r = read_tlv(b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "der_indefinite_length");
+}
+
+TEST(DerReader, RejectsNonMinimalLength) {
+    Bytes b = {0x04, 0x81, 0x03, 0x01, 0x02, 0x03};  // 0x81 0x03 should be 0x03
+    auto r = read_tlv(b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "der_nonminimal_length");
+}
+
+TEST(DerReader, SequenceIteration) {
+    Writer w;
+    w.add_sequence([](Writer& seq) {
+        seq.add_integer(1);
+        seq.add_integer(2);
+        seq.add_integer(3);
+    });
+    auto seq = read_tlv(w.bytes());
+    ASSERT_TRUE(seq.ok());
+    Reader r(seq->content);
+    int count = 0;
+    int64_t sum = 0;
+    while (!r.done()) {
+        auto i = r.expect(Tag::kInteger);
+        ASSERT_TRUE(i.ok());
+        auto v = decode_integer(i.value());
+        ASSERT_TRUE(v.ok());
+        sum += v.value();
+        ++count;
+    }
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(sum, 6);
+}
+
+TEST(DerReader, ExpectRejectsWrongTag) {
+    Writer w;
+    w.add_integer(5);
+    Reader r(w.bytes());
+    auto res = r.expect(Tag::kOctetString);
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(DerReader, PeekDoesNotAdvance) {
+    Writer w;
+    w.add_integer(5);
+    Reader r(w.bytes());
+    auto p1 = r.peek();
+    ASSERT_TRUE(p1.ok());
+    EXPECT_EQ(r.position(), 0u);
+    auto n = r.next();
+    ASSERT_TRUE(n.ok());
+    EXPECT_TRUE(r.done());
+}
+
+TEST(DerInteger, RoundTripValues) {
+    for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{127}, int64_t{128}, int64_t{255},
+                      int64_t{256}, int64_t{-1}, int64_t{-128}, int64_t{65536},
+                      int64_t{1} << 40}) {
+        Writer w;
+        w.add_integer(v);
+        auto tlv = read_tlv(w.bytes());
+        ASSERT_TRUE(tlv.ok()) << v;
+        auto back = decode_integer(tlv.value());
+        ASSERT_TRUE(back.ok()) << v;
+        EXPECT_EQ(back.value(), v);
+    }
+}
+
+TEST(DerInteger, MinimalEncoding) {
+    Writer w;
+    w.add_integer(127);
+    EXPECT_EQ(w.bytes().size(), 3u);  // 02 01 7F
+    Writer w2;
+    w2.add_integer(128);
+    EXPECT_EQ(w2.bytes().size(), 4u);  // 02 02 00 80
+}
+
+TEST(DerIntegerBytes, SerialRoundTrip) {
+    Bytes serial = {0x8F, 0x01, 0x02};  // high bit set -> needs leading zero
+    Writer w;
+    w.add_integer_bytes(serial);
+    auto tlv = read_tlv(w.bytes());
+    ASSERT_TRUE(tlv.ok());
+    auto back = decode_integer_bytes(tlv.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), serial);
+}
+
+TEST(DerBoolean, StrictValues) {
+    Writer w;
+    w.add_boolean(true);
+    auto tlv = read_tlv(w.bytes());
+    ASSERT_TRUE(tlv.ok());
+    auto v = decode_boolean(tlv.value());
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v.value());
+
+    Bytes sloppy = {0x01, 0x01, 0x01};  // BER-tolerated, DER-invalid
+    auto bad = decode_boolean(read_tlv(sloppy).value());
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(DerBitString, UnusedBitsEnforced) {
+    Writer w;
+    Bytes content = {0xDE, 0xAD};
+    w.add_bit_string(content);
+    auto tlv = read_tlv(w.bytes());
+    ASSERT_TRUE(tlv.ok());
+    auto v = decode_bit_string(tlv.value());
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), content);
+
+    Bytes nonzero_unused = {0x03, 0x02, 0x04, 0xF0};
+    auto bad = decode_bit_string(read_tlv(nonzero_unused).value());
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(DerNested, ExplicitTagging) {
+    Writer w;
+    w.add_explicit(3, [](Writer& inner) { inner.add_integer(9); });
+    auto tlv = read_tlv(w.bytes());
+    ASSERT_TRUE(tlv.ok());
+    EXPECT_TRUE(tlv->is_context(3));
+    EXPECT_TRUE(tlv->is_constructed());
+    Reader inner(tlv->content);
+    auto i = inner.expect(Tag::kInteger);
+    ASSERT_TRUE(i.ok());
+    EXPECT_EQ(decode_integer(i.value()).value(), 9);
+}
+
+TEST(DerTag, IdentifierHelpers) {
+    EXPECT_EQ(identifier(Tag::kUtf8String), 0x0C);
+    EXPECT_EQ(constructed(Tag::kSequence), 0x30);
+    EXPECT_EQ(context(2, false), 0x82);
+    EXPECT_EQ(context(0, true), 0xA0);
+    EXPECT_TRUE(is_constructed_id(0x30));
+    EXPECT_FALSE(is_constructed_id(0x02));
+}
+
+}  // namespace
+}  // namespace unicert::asn1

@@ -1,0 +1,102 @@
+// Tests for the ASN.1 tree dumper.
+#include "asn1/dump.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/der.h"
+#include "asn1/oid.h"
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::asn1 {
+namespace {
+
+TEST(TagDescription, UniversalTags) {
+    EXPECT_EQ(tag_description(0x30), "SEQUENCE");
+    EXPECT_EQ(tag_description(0x31), "SET");
+    EXPECT_EQ(tag_description(0x0C), "UTF8String");
+    EXPECT_EQ(tag_description(0x13), "PrintableString");
+    EXPECT_EQ(tag_description(0x06), "OBJECT IDENTIFIER");
+    EXPECT_EQ(tag_description(0x02), "INTEGER");
+}
+
+TEST(TagDescription, ContextAndOtherClasses) {
+    EXPECT_EQ(tag_description(0xA0), "[0]");
+    EXPECT_EQ(tag_description(0x82), "[2]");
+    EXPECT_EQ(tag_description(0x43), "APPLICATION 3");
+}
+
+TEST(Dump, SimpleSequence) {
+    Writer w;
+    w.add_sequence([](Writer& seq) {
+        seq.add_integer(42);
+        seq.add_string(Tag::kUtf8String, "héllo");
+        seq.add_oid_der(oids::common_name().to_der());
+    });
+    std::string out = dump(w.bytes());
+    EXPECT_NE(out.find("SEQUENCE"), std::string::npos);
+    EXPECT_NE(out.find("INTEGER (1) 42"), std::string::npos);
+    EXPECT_NE(out.find("UTF8String"), std::string::npos);
+    EXPECT_NE(out.find("héllo"), std::string::npos);
+    EXPECT_NE(out.find("2.5.4.3"), std::string::npos);
+}
+
+TEST(Dump, NestingIsIndented) {
+    Writer w;
+    w.add_sequence([](Writer& outer) {
+        outer.add_sequence([](Writer& inner) { inner.add_boolean(true); });
+    });
+    std::string out = dump(w.bytes());
+    EXPECT_NE(out.find("\n  SEQUENCE"), std::string::npos);
+    EXPECT_NE(out.find("    BOOLEAN (1) TRUE"), std::string::npos);
+}
+
+TEST(Dump, MalformedRegionReportedInline) {
+    Bytes bad = {0x30, 0x05, 0x02, 0x0A, 0x01};  // inner INTEGER overflows
+    std::string out = dump(bad);
+    EXPECT_NE(out.find("<malformed:"), std::string::npos);
+}
+
+TEST(Dump, FullCertificateContainsKeyLandmarks) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x7F};
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), "dump.example")});
+    cert.issuer = cert.subject;
+    cert.validity = {make_time(2025, 1, 1), make_time(2025, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name("dump").public_key();
+    cert.extensions.push_back(x509::make_san({x509::dns_name("dump.example")}));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Dump CA");
+    Bytes der = x509::sign_certificate(cert, ca);
+
+    std::string out = dump(der);
+    EXPECT_NE(out.find("UTCTime"), std::string::npos);
+    EXPECT_NE(out.find("dump.example"), std::string::npos);
+    EXPECT_NE(out.find("2.5.29.17"), std::string::npos);  // SAN OID
+    EXPECT_NE(out.find("BIT STRING"), std::string::npos);
+    // Extension OCTET STRING payload recursed into.
+    EXPECT_NE(out.find("wrapping:"), std::string::npos);
+}
+
+TEST(Dump, DepthLimitStopsRecursion) {
+    Writer w;
+    w.add_sequence([](Writer& a) {
+        a.add_sequence([](Writer& b) { b.add_sequence([](Writer& c) { c.add_null(); }); });
+    });
+    std::string shallow = dump(w.bytes(), /*max_depth=*/1);
+    // Depth 1 stops before the NULL leaf.
+    EXPECT_EQ(shallow.find("NULL"), std::string::npos);
+    std::string deep = dump(w.bytes());
+    EXPECT_NE(deep.find("NULL"), std::string::npos);
+}
+
+TEST(Dump, BinaryContentHexPreviewTruncated) {
+    Writer w;
+    w.add_octet_string(Bytes(64, 0xAB));
+    std::string out = dump(w.bytes());
+    EXPECT_NE(out.find("0xabab"), std::string::npos);
+    EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unicert::asn1

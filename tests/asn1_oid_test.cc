@@ -1,0 +1,93 @@
+// Tests for OBJECT IDENTIFIER handling.
+#include "asn1/oid.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::asn1 {
+namespace {
+
+TEST(Oid, ParseDotted) {
+    auto oid = Oid::from_string("2.5.4.3");
+    ASSERT_TRUE(oid.ok());
+    EXPECT_EQ(oid->arcs(), (std::vector<uint32_t>{2, 5, 4, 3}));
+    EXPECT_EQ(oid->to_string(), "2.5.4.3");
+}
+
+TEST(Oid, ParseRejectsGarbage) {
+    EXPECT_FALSE(Oid::from_string("").ok());
+    EXPECT_FALSE(Oid::from_string("1").ok());
+    EXPECT_FALSE(Oid::from_string("1.").ok());
+    EXPECT_FALSE(Oid::from_string(".1").ok());
+    EXPECT_FALSE(Oid::from_string("1.a.2").ok());
+    EXPECT_FALSE(Oid::from_string("3.1").ok());   // first arc <= 2
+    EXPECT_FALSE(Oid::from_string("0.40").ok());  // second arc <= 39 when first < 2
+}
+
+TEST(Oid, DerRoundTripCommonName) {
+    const Oid& cn = oids::common_name();
+    Bytes der = cn.to_der();
+    EXPECT_EQ(der, (Bytes{0x55, 0x04, 0x03}));
+    auto back = Oid::from_der(der);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), cn);
+}
+
+TEST(Oid, DerRoundTripLargeArcs) {
+    auto oid = Oid::from_string("1.3.6.1.4.1.11129.2.4.3");
+    ASSERT_TRUE(oid.ok());
+    Bytes der = oid->to_der();
+    auto back = Oid::from_der(der);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), oid.value());
+}
+
+TEST(Oid, DerRoundTripDomainComponent) {
+    // 0.9.2342.19200300.100.1.25 exercises multi-byte base-128 arcs.
+    const Oid& dc = oids::domain_component();
+    auto back = Oid::from_der(dc.to_der());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), dc);
+    EXPECT_EQ(back->to_string(), "0.9.2342.19200300.100.1.25");
+}
+
+TEST(Oid, DerRejectsNonMinimal) {
+    Bytes padded = {0x80, 0x55};  // leading 0x80 continuation is non-minimal
+    EXPECT_FALSE(Oid::from_der(padded).ok());
+}
+
+TEST(Oid, DerRejectsTruncated) {
+    Bytes trunc = {0x55, 0x04, 0x83};  // ends mid-arc
+    EXPECT_FALSE(Oid::from_der(trunc).ok());
+}
+
+TEST(Oid, DerRejectsEmpty) {
+    EXPECT_FALSE(Oid::from_der({}).ok());
+}
+
+TEST(Oid, Ordering) {
+    EXPECT_LT(oids::common_name(), oids::organization_name());
+    EXPECT_EQ(oids::common_name(), oids::common_name());
+}
+
+TEST(Oid, KnownRegistryValues) {
+    EXPECT_EQ(oids::subject_alt_name().to_string(), "2.5.29.17");
+    EXPECT_EQ(oids::authority_info_access().to_string(), "1.3.6.1.5.5.7.1.1");
+    EXPECT_EQ(oids::ct_poison().to_string(), "1.3.6.1.4.1.11129.2.4.3");
+    EXPECT_EQ(oids::email_address().to_string(), "1.2.840.113549.1.9.1");
+    EXPECT_EQ(oids::smtp_utf8_mailbox().to_string(), "1.3.6.1.5.5.7.8.9");
+}
+
+TEST(Oid, AttributeShortNames) {
+    EXPECT_EQ(attribute_short_name(oids::common_name()), "CN");
+    EXPECT_EQ(attribute_short_name(oids::organization_name()), "O");
+    EXPECT_EQ(attribute_short_name(oids::organizational_unit_name()), "OU");
+    EXPECT_EQ(attribute_short_name(oids::country_name()), "C");
+    EXPECT_EQ(attribute_short_name(oids::email_address()), "emailAddress");
+    // Unknown OIDs fall back to dotted form.
+    auto odd = Oid::from_string("1.2.3.4");
+    ASSERT_TRUE(odd.ok());
+    EXPECT_EQ(attribute_short_name(odd.value()), "1.2.3.4");
+}
+
+}  // namespace
+}  // namespace unicert::asn1

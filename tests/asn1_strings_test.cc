@@ -1,0 +1,142 @@
+// Tests for ASN.1 string types: charsets, nominal encodings, and the
+// checked/unchecked encode paths the Unicert generator relies on.
+#include "asn1/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::asn1 {
+namespace {
+
+using unicode::CodePoints;
+
+TEST(StringTypes, TagMapping) {
+    EXPECT_EQ(string_type_tag(StringType::kUtf8String), Tag::kUtf8String);
+    EXPECT_EQ(string_type_tag(StringType::kPrintableString), Tag::kPrintableString);
+    EXPECT_EQ(string_type_tag(StringType::kBmpString), Tag::kBmpString);
+    EXPECT_EQ(string_type_from_tag(0x13), StringType::kPrintableString);
+    EXPECT_EQ(string_type_from_tag(0x0C), StringType::kUtf8String);
+    EXPECT_EQ(string_type_from_tag(0x02), std::nullopt);  // INTEGER is not a string
+}
+
+TEST(StringTypes, NominalEncodings) {
+    EXPECT_EQ(nominal_encoding(StringType::kPrintableString), unicode::Encoding::kAscii);
+    EXPECT_EQ(nominal_encoding(StringType::kIa5String), unicode::Encoding::kAscii);
+    EXPECT_EQ(nominal_encoding(StringType::kUtf8String), unicode::Encoding::kUtf8);
+    EXPECT_EQ(nominal_encoding(StringType::kBmpString), unicode::Encoding::kUcs2);
+    EXPECT_EQ(nominal_encoding(StringType::kUniversalString), unicode::Encoding::kUcs4);
+    EXPECT_EQ(nominal_encoding(StringType::kTeletexString), unicode::Encoding::kLatin1);
+}
+
+TEST(PrintableString, CharsetPerX680) {
+    for (char c : std::string("ABCzyx019 '()+,-./:=?")) {
+        EXPECT_TRUE(in_standard_charset(StringType::kPrintableString, c)) << c;
+    }
+    // Explicitly excluded by the standard (paper Table 8: no @ & *).
+    for (char c : std::string("@&*_!\"#$%;<>[]{}")) {
+        EXPECT_FALSE(in_standard_charset(StringType::kPrintableString, c)) << c;
+    }
+    EXPECT_FALSE(in_standard_charset(StringType::kPrintableString, 0x00));
+    EXPECT_FALSE(in_standard_charset(StringType::kPrintableString, 0xE9));
+}
+
+TEST(NumericString, DigitsAndSpaceOnly) {
+    EXPECT_TRUE(in_standard_charset(StringType::kNumericString, '7'));
+    EXPECT_TRUE(in_standard_charset(StringType::kNumericString, ' '));
+    EXPECT_FALSE(in_standard_charset(StringType::kNumericString, 'a'));
+    EXPECT_FALSE(in_standard_charset(StringType::kNumericString, '-'));
+}
+
+TEST(Ia5String, Full7Bit) {
+    EXPECT_TRUE(in_standard_charset(StringType::kIa5String, 0x00));  // controls ARE IA5
+    EXPECT_TRUE(in_standard_charset(StringType::kIa5String, '@'));
+    EXPECT_TRUE(in_standard_charset(StringType::kIa5String, 0x7F));
+    EXPECT_FALSE(in_standard_charset(StringType::kIa5String, 0x80));
+}
+
+TEST(VisibleString, NoControls) {
+    EXPECT_TRUE(in_standard_charset(StringType::kVisibleString, 'A'));
+    EXPECT_FALSE(in_standard_charset(StringType::kVisibleString, 0x1F));
+    EXPECT_FALSE(in_standard_charset(StringType::kVisibleString, 0x7F));
+}
+
+TEST(BmpString, BmpOnly) {
+    EXPECT_TRUE(in_standard_charset(StringType::kBmpString, 0x4E2D));
+    EXPECT_FALSE(in_standard_charset(StringType::kBmpString, 0x1F600));
+    EXPECT_FALSE(in_standard_charset(StringType::kBmpString, 0xD800));
+}
+
+TEST(Validate, GoodValues) {
+    EXPECT_TRUE(validate_value_bytes(StringType::kPrintableString, to_bytes("Example Org")).ok());
+    EXPECT_TRUE(validate_value_bytes(StringType::kUtf8String, to_bytes("株式会社")).ok());
+    EXPECT_TRUE(validate_value_bytes(StringType::kIa5String, to_bytes("user@example.com")).ok());
+}
+
+TEST(Validate, CharsetViolation) {
+    // '@' inside PrintableString — a T3 Invalid Encoding case.
+    auto s = validate_value_bytes(StringType::kPrintableString, to_bytes("user@host"));
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, "asn1_string_charset");
+}
+
+TEST(Validate, UndecodableBytes) {
+    Bytes bad = {0xC3};  // truncated UTF-8
+    auto s = validate_value_bytes(StringType::kUtf8String, bad);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, "asn1_string_undecodable");
+}
+
+TEST(Validate, NonAsciiInPrintable) {
+    Bytes bad = {0x41, 0xE9};  // 'A' + raw 0xE9
+    auto s = validate_value_bytes(StringType::kPrintableString, bad);
+    EXPECT_FALSE(s.ok());
+}
+
+TEST(EncodeChecked, EnforcesCharset) {
+    CodePoints at_sign = {'a', '@', 'b'};
+    EXPECT_FALSE(encode_checked(StringType::kPrintableString, at_sign).ok());
+    EXPECT_TRUE(encode_checked(StringType::kIa5String, at_sign).ok());
+}
+
+TEST(EncodeUnchecked, AllowsViolations) {
+    // The generator's tool: NUL inside PrintableString.
+    CodePoints with_nul = {'a', 0x00, 'b'};
+    auto bytes = encode_unchecked(StringType::kPrintableString, with_nul);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes->size(), 3u);
+    // And the produced bytes then FAIL validation — the lint pipeline's view.
+    EXPECT_FALSE(validate_value_bytes(StringType::kPrintableString, bytes.value()).ok());
+}
+
+TEST(EncodeUnchecked, StillBoundedByByteEncoding) {
+    // Astral code point cannot exist in BMPString no matter what.
+    CodePoints astral = {0x1D11E};
+    EXPECT_FALSE(encode_unchecked(StringType::kBmpString, astral).ok());
+}
+
+TEST(DecodeStrict, PerTypeDecoding) {
+    auto utf8 = decode_strict(StringType::kUtf8String, to_bytes("\xC3\xA9"));
+    ASSERT_TRUE(utf8.ok());
+    EXPECT_EQ((*utf8)[0], 0xE9u);
+
+    Bytes bmp = {0x00, 0x41};
+    auto ucs2 = decode_strict(StringType::kBmpString, bmp);
+    ASSERT_TRUE(ucs2.ok());
+    EXPECT_EQ((*ucs2)[0], 0x41u);
+}
+
+TEST(DirectoryString, Membership) {
+    EXPECT_TRUE(is_directory_string_type(StringType::kPrintableString));
+    EXPECT_TRUE(is_directory_string_type(StringType::kUtf8String));
+    EXPECT_TRUE(is_directory_string_type(StringType::kBmpString));
+    EXPECT_TRUE(is_directory_string_type(StringType::kTeletexString));
+    EXPECT_FALSE(is_directory_string_type(StringType::kIa5String));
+    EXPECT_FALSE(is_directory_string_type(StringType::kNumericString));
+}
+
+TEST(StringTypes, Names) {
+    EXPECT_STREQ(string_type_name(StringType::kPrintableString), "PrintableString");
+    EXPECT_STREQ(string_type_name(StringType::kTeletexString), "TeletexString");
+}
+
+}  // namespace
+}  // namespace unicert::asn1

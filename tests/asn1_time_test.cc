@@ -1,0 +1,98 @@
+// Tests for UTCTime / GeneralizedTime.
+#include "asn1/time.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::asn1 {
+namespace {
+
+TEST(CivilTime, EpochRoundTrip) {
+    EXPECT_EQ(make_time(1970, 1, 1), 0);
+    CivilTime c = unix_to_civil(0);
+    EXPECT_EQ(c.year, 1970);
+    EXPECT_EQ(c.month, 1);
+    EXPECT_EQ(c.day, 1);
+}
+
+TEST(CivilTime, KnownTimestamps) {
+    // 2025-04-01 00:00:00 UTC = 1743465600
+    EXPECT_EQ(make_time(2025, 4, 1), 1743465600);
+    // 2000-02-29 (leap day) round trip.
+    int64_t t = make_time(2000, 2, 29, 12, 30, 45);
+    CivilTime c = unix_to_civil(t);
+    EXPECT_EQ(c.year, 2000);
+    EXPECT_EQ(c.month, 2);
+    EXPECT_EQ(c.day, 29);
+    EXPECT_EQ(c.hour, 12);
+    EXPECT_EQ(c.minute, 30);
+    EXPECT_EQ(c.second, 45);
+}
+
+TEST(CivilTime, PreEpoch) {
+    int64_t t = make_time(1960, 6, 15);
+    EXPECT_LT(t, 0);
+    CivilTime c = unix_to_civil(t);
+    EXPECT_EQ(c.year, 1960);
+    EXPECT_EQ(c.month, 6);
+    EXPECT_EQ(c.day, 15);
+}
+
+TEST(UtcTime, ParseValid) {
+    auto t = parse_utc_time(to_bytes("250401120000Z"));
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.value(), make_time(2025, 4, 1, 12, 0, 0));
+}
+
+TEST(UtcTime, TwoDigitYearWindow) {
+    auto t49 = parse_utc_time(to_bytes("490101000000Z"));
+    ASSERT_TRUE(t49.ok());
+    EXPECT_EQ(unix_to_civil(t49.value()).year, 2049);
+    auto t50 = parse_utc_time(to_bytes("500101000000Z"));
+    ASSERT_TRUE(t50.ok());
+    EXPECT_EQ(unix_to_civil(t50.value()).year, 1950);
+}
+
+TEST(UtcTime, RejectsBadFormat) {
+    EXPECT_FALSE(parse_utc_time(to_bytes("2504011200Z")).ok());      // missing seconds
+    EXPECT_FALSE(parse_utc_time(to_bytes("250401120000")).ok());     // missing Z
+    EXPECT_FALSE(parse_utc_time(to_bytes("25O401120000Z")).ok());    // letter O
+    EXPECT_FALSE(parse_utc_time(to_bytes("251301120000Z")).ok());    // month 13
+}
+
+TEST(GeneralizedTime, ParseValid) {
+    auto t = parse_generalized_time(to_bytes("20500101000000Z"));
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(unix_to_civil(t.value()).year, 2050);
+}
+
+TEST(GeneralizedTime, RejectsBadFormat) {
+    EXPECT_FALSE(parse_generalized_time(to_bytes("205001010000Z")).ok());
+    EXPECT_FALSE(parse_generalized_time(to_bytes("20500101000000")).ok());
+    EXPECT_FALSE(parse_generalized_time(to_bytes("20503201000000Z")).ok());
+}
+
+TEST(FormatValidity, Rfc5280CutoverAt2050) {
+    EncodedTime t2049 = format_validity_time(make_time(2049, 12, 31, 23, 59, 59));
+    EXPECT_FALSE(t2049.generalized);
+    EXPECT_EQ(t2049.text, "491231235959Z");
+
+    EncodedTime t2050 = format_validity_time(make_time(2050, 1, 1));
+    EXPECT_TRUE(t2050.generalized);
+    EXPECT_EQ(t2050.text, "20500101000000Z");
+}
+
+TEST(FormatValidity, RoundTripThroughParser) {
+    int64_t t = make_time(2024, 7, 4, 8, 15, 30);
+    EncodedTime enc = format_validity_time(t);
+    auto back = enc.generalized ? parse_generalized_time(to_bytes(enc.text))
+                                : parse_utc_time(to_bytes(enc.text));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), t);
+}
+
+TEST(FormatIso, Readable) {
+    EXPECT_EQ(format_iso(make_time(2025, 4, 1, 12, 0, 0)), "2025-04-01 12:00:00");
+}
+
+}  // namespace
+}  // namespace unicert::asn1

@@ -1,0 +1,191 @@
+// Tests for the compliance pipeline: the Table/Figure aggregations
+// computed over a shared small corpus.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace unicert::core {
+namespace {
+
+const CompliancePipeline& pipeline() {
+    static const std::vector<ctlog::CorpusCert> corpus = [] {
+        ctlog::CorpusGenerator gen({.seed = 11, .scale = 3000.0, .variant_rate = 0.01});
+        return gen.generate();
+    }();
+    static const CompliancePipeline p(corpus);
+    return p;
+}
+
+TEST(Pipeline, NoncomplianceRateNearPaper) {
+    // Paper: 0.72%.
+    double rate = pipeline().noncompliance_rate();
+    EXPECT_GT(rate, 0.004);
+    EXPECT_LT(rate, 0.013);
+}
+
+TEST(Taxonomy, RowShapeMatchesTable1) {
+    TaxonomyReport report = pipeline().taxonomy_report();
+    ASSERT_EQ(report.rows.size(), 6u);
+    EXPECT_EQ(report.rows[0].type, lint::NcType::kInvalidCharacter);
+    EXPECT_EQ(report.rows[1].type, lint::NcType::kBadNormalization);
+    EXPECT_EQ(report.rows[3].type, lint::NcType::kInvalidEncoding);
+
+    // Lint inventory columns must match the registry exactly.
+    EXPECT_EQ(report.rows[0].lints_all, 22u);
+    EXPECT_EQ(report.rows[0].lints_new, 10u);
+    EXPECT_EQ(report.rows[3].lints_all, 48u);
+    EXPECT_EQ(report.rows[3].lints_new, 37u);
+}
+
+TEST(Taxonomy, InvalidEncodingDominates) {
+    // Table 1: Invalid Encoding is the largest subtype (60.5% of NC).
+    TaxonomyReport report = pipeline().taxonomy_report();
+    const TaxonomyRow* encoding = &report.rows[3];
+    for (const TaxonomyRow& row : report.rows) {
+        if (row.type == lint::NcType::kBadNormalization) continue;
+        EXPECT_GE(encoding->nc_certs + encoding->nc_certs / 2, row.nc_certs)
+            << lint::nc_type_name(row.type);
+    }
+}
+
+TEST(Taxonomy, BadNormalizationIsExactlyPinnedThree) {
+    TaxonomyReport report = pipeline().taxonomy_report();
+    EXPECT_EQ(report.rows[1].nc_certs, 3u);  // the paper's 3 certs, pinned
+    EXPECT_EQ(report.rows[1].error_certs, 3u);
+}
+
+TEST(Taxonomy, TrustedShareOfNoncompliant) {
+    // Table 1: 65.3% of NC Unicerts from publicly trusted CAs.
+    TaxonomyReport report = pipeline().taxonomy_report();
+    ASSERT_GT(report.total_nc, 0u);
+    double share = static_cast<double>(report.total_nc_trusted) /
+                   static_cast<double>(report.total_nc);
+    EXPECT_GT(share, 0.45);
+    EXPECT_LT(share, 0.90);
+}
+
+TEST(Issuers, RankingHasHighNcRateRegionals) {
+    auto rows = pipeline().issuer_report(10);
+    ASSERT_FALSE(rows.empty());
+    // Rows are sorted by NC count, descending.
+    for (size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i - 1].noncompliant, rows[i].noncompliant);
+    }
+    // Legacy issuers with systemic issues appear (Table 2's pattern).
+    bool has_systemic = false;
+    for (const IssuerRow& row : rows) {
+        if (row.total > 0 &&
+            static_cast<double>(row.noncompliant) / row.total > 0.4) {
+            has_systemic = true;
+        }
+    }
+    EXPECT_TRUE(has_systemic);
+}
+
+TEST(Issuers, LetsEncryptLowRateButPresent) {
+    auto rows = pipeline().issuer_report(25);
+    for (const IssuerRow& row : rows) {
+        if (row.organization != "Let's Encrypt") continue;
+        double rate = static_cast<double>(row.noncompliant) / row.total;
+        EXPECT_LT(rate, 0.01);  // paper: 0.06%
+        return;
+    }
+    // LE may fall outside the top list at small scale — acceptable.
+}
+
+TEST(TopLints, OrderedAndLedByExplicitText) {
+    auto lints = pipeline().top_lints(25);
+    ASSERT_GE(lints.size(), 5u);
+    for (size_t i = 1; i < lints.size(); ++i) {
+        EXPECT_GE(lints[i - 1].nc_certs, lints[i].nc_certs);
+    }
+    // Table 11's top 2: explicit_text_not_utf8 and cn_not_in_san.
+    std::vector<std::string> top3 = {lints[0].name, lints[1].name, lints[2].name};
+    bool has_et = false, has_cn = false;
+    for (const std::string& name : top3) {
+        if (name == "w_rfc_ext_cp_explicit_text_not_utf8") has_et = true;
+        if (name == "w_cab_subject_common_name_not_in_san") has_cn = true;
+    }
+    EXPECT_TRUE(has_et);
+    EXPECT_TRUE(has_cn);
+}
+
+TEST(Trend, UpwardWithLowNcShare) {
+    auto years = pipeline().yearly_trend();
+    ASSERT_GE(years.size(), 10u);
+    // Figure 2: volumes grow; NC stays a small fraction in late years.
+    size_t early = 0, late = 0;
+    for (const YearRow& row : years) {
+        if (row.year <= 2016) early += row.all;
+        if (row.year >= 2022) late += row.all;
+        EXPECT_LE(row.trusted, row.all);
+        EXPECT_LE(row.noncompliant, row.all);
+    }
+    EXPECT_GT(late, early * 3);
+}
+
+TEST(ValidityCdf, IdnShorterNcLonger) {
+    ValidityCdf cdf = pipeline().validity_cdf();
+    ASSERT_FALSE(cdf.idn_certs.empty());
+    ASSERT_FALSE(cdf.noncompliant.empty());
+    // Figure 3: ~89.6% of IDNCerts at <= 90 days.
+    EXPECT_GT(ValidityCdf::cdf_at(cdf.idn_certs, 90), 0.8);
+    // Noncompliant certs: ~50% last a year or more, and well over 20%
+    // exceed 700 days (Figure 3's long tail).
+    EXPECT_GT(ValidityCdf::quantile(cdf.noncompliant, 0.5), 300.0);
+    double over_700 = 1.0 - ValidityCdf::cdf_at(cdf.noncompliant, 700);
+    EXPECT_GT(over_700, 0.20);
+    EXPECT_LT(over_700, 0.80);
+}
+
+TEST(ValidityCdf, HelpersOnKnownData) {
+    std::vector<int64_t> data = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(data, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(data, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at(data, 25), 0.5);
+    EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at(data, 5), 0.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at(data, 100), 1.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile({}, 0.5), 0.0);
+}
+
+TEST(Heatmap, SubjectFieldsCarryUnicode) {
+    FieldHeatmap heatmap = pipeline().field_heatmap();
+    ASSERT_FALSE(heatmap.empty());
+    // Regional issuers use Unicode in O; DV-automation issuers do not.
+    size_t issuers_with_unicode_o = 0;
+    for (const auto& [issuer, fields] : heatmap) {
+        auto it = fields.find("O");
+        if (it != fields.end() && it->second.unicode_count > 0) ++issuers_with_unicode_o;
+    }
+    EXPECT_GT(issuers_with_unicode_o, 3u);
+    // Let's Encrypt (DNSNames only) should have no Unicode O.
+    auto le = heatmap.find("Let's Encrypt");
+    if (le != heatmap.end()) {
+        auto o = le->second.find("O");
+        EXPECT_TRUE(o == le->second.end() || o->second.unicode_count == 0);
+    }
+}
+
+TEST(Variants, DetectorFindsGeneratedVariants) {
+    auto groups = pipeline().subject_variants();
+    ASSERT_FALSE(groups.empty());
+    // Multiple strategies appear (Table 3 lists six).
+    std::set<VariantStrategy> strategies;
+    for (const VariantGroup& g : groups) {
+        EXPECT_GE(g.values.size(), 2u);
+        strategies.insert(g.strategy);
+    }
+    EXPECT_GE(strategies.size(), 2u);
+}
+
+TEST(Variants, StrategyNames) {
+    EXPECT_STREQ(variant_strategy_name(VariantStrategy::kCaseConversion),
+                 "Character case conversion");
+    EXPECT_STREQ(variant_strategy_name(VariantStrategy::kReplacementCharacter),
+                 "Replacement of illegal chars");
+}
+
+}  // namespace
+}  // namespace unicert::core

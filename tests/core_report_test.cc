@@ -1,0 +1,63 @@
+// Tests for the report formatting helpers.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::core {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable table({"Name", "Count"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"a-much-longer-name", "12345"});
+    std::string out = table.to_string();
+    EXPECT_NE(out.find("| Name "), std::string::npos);
+    EXPECT_NE(out.find("| alpha "), std::string::npos);
+    EXPECT_NE(out.find("| a-much-longer-name | 12345 |"), std::string::npos);
+    // Header + separator lines present.
+    EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+    TextTable table({"A", "B", "C"});
+    table.add_row({"only-one"});
+    std::string out = table.to_string();
+    // The padded row still has all three cells.
+    size_t pipes = 0;
+    size_t line_start = out.rfind("| only-one");
+    ASSERT_NE(line_start, std::string::npos);
+    for (size_t i = line_start; i < out.size() && out[i] != '\n'; ++i) {
+        if (out[i] == '|') ++pipes;
+    }
+    EXPECT_EQ(pipes, 4u);
+}
+
+TEST(Percent, Formatting) {
+    EXPECT_EQ(percent(0.123), "12.3%");
+    EXPECT_EQ(percent(0.5, 0), "50%");
+    EXPECT_EQ(percent(0.00724, 2), "0.72%");
+    EXPECT_EQ(percent(1.0), "100.0%");
+}
+
+TEST(WithCommas, Grouping) {
+    EXPECT_EQ(with_commas(0), "0");
+    EXPECT_EQ(with_commas(999), "999");
+    EXPECT_EQ(with_commas(1000), "1,000");
+    EXPECT_EQ(with_commas(249281), "249,281");
+    EXPECT_EQ(with_commas(34800000), "34,800,000");
+}
+
+TEST(Compact, Units) {
+    EXPECT_EQ(compact(42), "42");
+    EXPECT_EQ(compact(249281), "249.3K");
+    EXPECT_EQ(compact(34800000), "34.8M");
+}
+
+TEST(LogBar, MonotoneInValue) {
+    EXPECT_EQ(log_bar(0), "");
+    EXPECT_LE(log_bar(10).size(), log_bar(1000).size());
+    EXPECT_LT(log_bar(1000).size(), log_bar(1000000).size());
+}
+
+}  // namespace
+}  // namespace unicert::core

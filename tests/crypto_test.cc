@@ -1,0 +1,116 @@
+// Tests for SHA-256 (NIST vectors) and the SimSig substrate.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "crypto/simsig.h"
+
+namespace unicert::crypto {
+namespace {
+
+std::string hex(const Digest& d) { return hex_encode(BytesView(d.data(), d.size())); }
+
+TEST(Sha256, NistEmptyString) {
+    EXPECT_EQ(hex(sha256({})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, NistAbc) {
+    EXPECT_EQ(hex(sha256(to_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistTwoBlockMessage) {
+    EXPECT_EQ(hex(sha256(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+    Sha256 h;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    std::string msg = "The quick brown fox jumps over the lazy dog";
+    Sha256 h;
+    for (char c : msg) h.update(to_bytes(std::string_view(&c, 1)));
+    EXPECT_EQ(hex(h.finish()), hex(sha256(to_bytes(msg))));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+    // 55/56/57/63/64/65 bytes hit all the padding branches.
+    for (size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 128u}) {
+        Bytes data(n, 0x42);
+        Sha256 h;
+        h.update(BytesView(data).subspan(0, n / 2));
+        h.update(BytesView(data).subspan(n / 2));
+        EXPECT_EQ(hex(h.finish()), hex(sha256(data))) << n;
+    }
+}
+
+TEST(Sha256, ResetReusesObject) {
+    Sha256 h;
+    h.update(to_bytes("garbage"));
+    h.reset();
+    h.update(to_bytes("abc"));
+    EXPECT_EQ(hex(h.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(SimSig, DeterministicFromName) {
+    SimSigner a = SimSigner::from_name("Let's Encrypt");
+    SimSigner b = SimSigner::from_name("Let's Encrypt");
+    EXPECT_EQ(a.public_key(), b.public_key());
+    EXPECT_EQ(a.sign(to_bytes("msg")), b.sign(to_bytes("msg")));
+}
+
+TEST(SimSig, DifferentNamesDifferentKeys) {
+    SimSigner a = SimSigner::from_name("CA One");
+    SimSigner b = SimSigner::from_name("CA Two");
+    EXPECT_NE(a.public_key(), b.public_key());
+}
+
+TEST(SimSig, SignVerify) {
+    SimSigner signer = SimSigner::from_name("Test CA");
+    Bytes msg = to_bytes("to-be-signed");
+    Bytes sig = signer.sign(msg);
+    EXPECT_EQ(sig.size(), 32u);
+    EXPECT_TRUE(sim_verify(signer, msg, sig));
+}
+
+TEST(SimSig, RejectsTamperedMessage) {
+    SimSigner signer = SimSigner::from_name("Test CA");
+    Bytes sig = signer.sign(to_bytes("original"));
+    EXPECT_FALSE(sim_verify(signer, to_bytes("tampered"), sig));
+}
+
+TEST(SimSig, RejectsWrongSigner) {
+    SimSigner good = SimSigner::from_name("Good CA");
+    SimSigner evil = SimSigner::from_name("Evil CA");
+    Bytes msg = to_bytes("cert-tbs");
+    Bytes sig = evil.sign(msg);
+    EXPECT_FALSE(sim_verify(good, msg, sig));
+}
+
+TEST(SimSig, RejectsWrongLength) {
+    SimSigner signer = SimSigner::from_name("Test CA");
+    EXPECT_FALSE(sim_verify(signer, to_bytes("m"), to_bytes("short")));
+}
+
+TEST(SimSig, KeyIdIs20Bytes) {
+    EXPECT_EQ(SimSigner::from_name("X").key_id().size(), 20u);
+}
+
+TEST(HexCodec, RoundTrip) {
+    Bytes data = {0x00, 0xDE, 0xAD, 0xBE, 0xEF, 0xFF};
+    EXPECT_EQ(hex_encode(data), "00deadbeefff");
+    EXPECT_EQ(hex_decode("00deadbeefff"), data);
+    EXPECT_EQ(hex_decode("00DEADBEEFFF"), data);
+    EXPECT_TRUE(hex_decode("xyz").empty());
+    EXPECT_TRUE(hex_decode("abc").empty());  // odd length
+}
+
+}  // namespace
+}  // namespace unicert::crypto

@@ -1,0 +1,106 @@
+// Tests for the CT log substrate: submission, SCTs, precert filtering.
+#include "ctlog/log.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::ctlog {
+namespace {
+
+namespace oids = asn1::oids;
+
+x509::Certificate make_cert(const std::string& host, bool precert = false) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {static_cast<uint8_t>(host.size()), 0x01};
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), host)});
+    cert.issuer = x509::make_dn({x509::make_attribute(oids::organization_name(), "Log CA")});
+    cert.validity = {asn1::make_time(2024, 1, 1), asn1::make_time(2024, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name(host).public_key();
+    cert.extensions.push_back(x509::make_san({x509::dns_name(host)}));
+    if (precert) cert.extensions.push_back(x509::make_ct_poison());
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Log CA");
+    x509::sign_certificate(cert, ca);
+    return cert;
+}
+
+TEST(CtLog, SubmitGrowsTreeAndIssuesScts) {
+    CtLog log("test-log");
+    x509::Certificate cert = make_cert("a.example");
+    Sct sct = log.submit(cert, asn1::make_time(2024, 2, 1));
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(sct.log_id, log.log_id());
+    EXPECT_TRUE(log.verify_sct(cert, sct));
+}
+
+TEST(CtLog, SctDoesNotVerifyForOtherCert) {
+    CtLog log("test-log");
+    x509::Certificate a = make_cert("a.example");
+    x509::Certificate b = make_cert("b.example");
+    Sct sct = log.submit(a, asn1::make_time(2024, 2, 1));
+    EXPECT_FALSE(log.verify_sct(b, sct));
+}
+
+TEST(CtLog, SctFromOtherLogRejected) {
+    CtLog log1("log-one"), log2("log-two");
+    x509::Certificate cert = make_cert("a.example");
+    Sct sct = log1.submit(cert, asn1::make_time(2024, 2, 1));
+    EXPECT_FALSE(log2.verify_sct(cert, sct));
+}
+
+TEST(CtLog, TamperedSctRejected) {
+    CtLog log("test-log");
+    x509::Certificate cert = make_cert("a.example");
+    Sct sct = log.submit(cert, asn1::make_time(2024, 2, 1));
+    sct.timestamp += 1;
+    EXPECT_FALSE(log.verify_sct(cert, sct));
+}
+
+TEST(CtLog, PrecertFiltering) {
+    // Section 4.1: ~54.7% of entries are precerts; consumers filter by
+    // the CT poison extension.
+    CtLog log("test-log");
+    for (int i = 0; i < 11; ++i) {
+        log.submit(make_cert("host" + std::to_string(i) + ".example", /*precert=*/i < 6),
+                   asn1::make_time(2024, 2, 1));
+    }
+    EXPECT_EQ(log.size(), 11u);
+    EXPECT_EQ(log.regular_certificates().size(), 5u);
+    EXPECT_NEAR(log.precert_fraction(), 6.0 / 11.0, 1e-9);
+}
+
+TEST(CtLog, TreeHeadTracksSubmissions) {
+    CtLog log("test-log");
+    Digest empty_head = log.tree_head();
+    log.submit(make_cert("a.example"), asn1::make_time(2024, 2, 1));
+    Digest one_head = log.tree_head();
+    EXPECT_NE(empty_head, one_head);
+    log.submit(make_cert("b.example"), asn1::make_time(2024, 2, 2));
+    EXPECT_NE(log.tree_head(), one_head);
+}
+
+TEST(CtLog, InclusionProvableThroughTreeApi) {
+    CtLog log("test-log");
+    x509::Certificate cert = make_cert("proof.example");
+    log.submit(cert, asn1::make_time(2024, 2, 1));
+    for (int i = 0; i < 6; ++i) {
+        log.submit(make_cert("filler" + std::to_string(i) + ".example"),
+                   asn1::make_time(2024, 2, 2));
+    }
+    auto proof = log.tree().audit_proof(0, log.size());
+    EXPECT_TRUE(verify_audit_proof(leaf_hash(cert.der), 0, log.size(), proof, log.tree_head()));
+}
+
+TEST(CtLog, EntriesKeepTimestamps) {
+    CtLog log("test-log");
+    int64_t t = asn1::make_time(2024, 3, 15, 10, 30, 0);
+    log.submit(make_cert("a.example"), t);
+    ASSERT_EQ(log.entries().size(), 1u);
+    EXPECT_EQ(log.entries()[0].timestamp, t);
+    EXPECT_EQ(log.entries()[0].index, 0u);
+}
+
+}  // namespace
+}  // namespace unicert::ctlog

@@ -1,0 +1,113 @@
+// Tests for the RFC 6962 Merkle tree.
+#include "ctlog/merkle.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::ctlog {
+namespace {
+
+std::string hex(const Digest& d) { return hex_encode(BytesView(d.data(), d.size())); }
+
+TEST(Merkle, EmptyTreeRootIsSha256OfEmpty) {
+    MerkleTree tree;
+    EXPECT_EQ(hex(tree.root()),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+    MerkleTree tree;
+    Bytes entry = to_bytes("entry-0");
+    tree.append(entry);
+    EXPECT_EQ(tree.root(), leaf_hash(entry));
+}
+
+TEST(Merkle, Rfc6962LeafAndNodePrefixes) {
+    // d(0x00 || "") from RFC 6962 section 2.1:
+    MerkleTree tree;
+    tree.append({});
+    EXPECT_EQ(hex(tree.root()),
+              "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d");
+}
+
+TEST(Merkle, TwoLeafRoot) {
+    MerkleTree tree;
+    Bytes a = to_bytes("a"), b = to_bytes("b");
+    tree.append(a);
+    tree.append(b);
+    EXPECT_EQ(tree.root(), node_hash(leaf_hash(a), leaf_hash(b)));
+}
+
+TEST(Merkle, RootChangesOnAppend) {
+    MerkleTree tree;
+    tree.append(to_bytes("a"));
+    Digest r1 = tree.root();
+    tree.append(to_bytes("b"));
+    EXPECT_NE(tree.root(), r1);
+    EXPECT_EQ(tree.root_at(1), r1);  // old head still derivable
+}
+
+TEST(Merkle, AuditProofsVerifyForAllLeaves) {
+    MerkleTree tree;
+    std::vector<Bytes> entries;
+    for (int i = 0; i < 13; ++i) {  // odd size exercises unbalanced splits
+        entries.push_back(to_bytes("entry-" + std::to_string(i)));
+        tree.append(entries.back());
+    }
+    Digest root = tree.root();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        auto proof = tree.audit_proof(i, tree.size());
+        EXPECT_TRUE(verify_audit_proof(leaf_hash(entries[i]), i, tree.size(), proof, root))
+            << "leaf " << i;
+    }
+}
+
+TEST(Merkle, AuditProofFailsForWrongLeaf) {
+    MerkleTree tree;
+    for (int i = 0; i < 8; ++i) tree.append(to_bytes("e" + std::to_string(i)));
+    auto proof = tree.audit_proof(3, tree.size());
+    EXPECT_FALSE(verify_audit_proof(leaf_hash(to_bytes("forged")), 3, tree.size(), proof,
+                                    tree.root()));
+}
+
+TEST(Merkle, AuditProofFailsForWrongIndex) {
+    MerkleTree tree;
+    std::vector<Bytes> entries;
+    for (int i = 0; i < 8; ++i) {
+        entries.push_back(to_bytes("e" + std::to_string(i)));
+        tree.append(entries.back());
+    }
+    auto proof = tree.audit_proof(3, tree.size());
+    EXPECT_FALSE(verify_audit_proof(leaf_hash(entries[3]), 4, tree.size(), proof, tree.root()));
+}
+
+TEST(Merkle, AuditProofAgainstPastTreeSize) {
+    MerkleTree tree;
+    std::vector<Bytes> entries;
+    for (int i = 0; i < 10; ++i) {
+        entries.push_back(to_bytes("e" + std::to_string(i)));
+        tree.append(entries.back());
+    }
+    // Prove inclusion of leaf 2 in the first 6-leaf tree.
+    auto proof = tree.audit_proof(2, 6);
+    EXPECT_TRUE(verify_audit_proof(leaf_hash(entries[2]), 2, 6, proof, tree.root_at(6)));
+}
+
+TEST(Merkle, ConsistencyProofSizes) {
+    MerkleTree tree;
+    for (int i = 0; i < 16; ++i) tree.append(to_bytes("e" + std::to_string(i)));
+    EXPECT_TRUE(tree.consistency_proof(16, 16).empty());  // same size: empty proof
+    EXPECT_FALSE(tree.consistency_proof(8, 16).empty());
+    EXPECT_TRUE(tree.consistency_proof(0, 16).empty());   // invalid m
+    EXPECT_TRUE(tree.consistency_proof(17, 16).empty());  // m > n
+}
+
+TEST(Merkle, InvalidProofRequestsAreEmpty) {
+    MerkleTree tree;
+    tree.append(to_bytes("a"));
+    EXPECT_TRUE(tree.audit_proof(5, 1).empty());
+    EXPECT_TRUE(tree.audit_proof(0, 0).empty());
+    EXPECT_TRUE(tree.audit_proof(0, 9).empty());  // tree_size beyond leaves
+}
+
+}  // namespace
+}  // namespace unicert::ctlog

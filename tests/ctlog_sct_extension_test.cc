@@ -1,0 +1,121 @@
+// Tests for the RFC 6962 SCT-list extension and the precertificate
+// finalization lifecycle.
+#include "ctlog/sct_extension.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::ctlog {
+namespace {
+
+namespace oids = asn1::oids;
+
+x509::Certificate make_precert(const std::string& host) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x77};
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), host)});
+    cert.issuer = x509::make_dn({x509::make_attribute(oids::organization_name(), "SCT CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name(host).public_key();
+    cert.extensions.push_back(x509::make_san({x509::dns_name(host)}));
+    cert.extensions.push_back(x509::make_ct_poison());
+    crypto::SimSigner ca = crypto::SimSigner::from_name("SCT CA");
+    x509::sign_certificate(cert, ca);
+    return cert;
+}
+
+TEST(SctSerialization, RoundTrip) {
+    Sct sct;
+    sct.log_id = crypto::sha256_bytes(to_bytes("log"));
+    sct.timestamp = asn1::make_time(2025, 2, 1, 10, 30, 0);
+    sct.signature = crypto::sha256_bytes(to_bytes("sig"));
+
+    Bytes wire = serialize_sct(sct);
+    auto back = deserialize_sct(wire);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->log_id, sct.log_id);
+    EXPECT_EQ(back->timestamp, sct.timestamp);
+    EXPECT_EQ(back->signature, sct.signature);
+}
+
+TEST(SctSerialization, RejectsTruncatedAndBadVersion) {
+    EXPECT_FALSE(deserialize_sct(Bytes(10, 0)).ok());
+    Sct sct;
+    sct.log_id = Bytes(32, 0x11);
+    sct.timestamp = 0;
+    sct.signature = Bytes(32, 0x22);
+    Bytes wire = serialize_sct(sct);
+    wire[0] = 0x01;  // unknown version
+    EXPECT_FALSE(deserialize_sct(wire).ok());
+    wire[0] = 0x00;
+    wire.resize(wire.size() - 5);  // truncated signature
+    EXPECT_FALSE(deserialize_sct(wire).ok());
+}
+
+TEST(SctList, ExtensionRoundTripMultipleScts) {
+    std::vector<Sct> scts;
+    for (int i = 0; i < 3; ++i) {
+        Sct sct;
+        sct.log_id = crypto::sha256_bytes(to_bytes("log-" + std::to_string(i)));
+        sct.timestamp = asn1::make_time(2025, 2, 1) + i;
+        sct.signature = crypto::sha256_bytes(to_bytes("sig-" + std::to_string(i)));
+        scts.push_back(std::move(sct));
+    }
+    x509::Certificate cert = make_precert("sct.example");
+    cert.extensions.push_back(make_sct_list_extension(scts));
+
+    auto back = parse_sct_list(cert);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ((*back)[i].log_id, scts[i].log_id);
+        EXPECT_EQ((*back)[i].timestamp, scts[i].timestamp);
+    }
+}
+
+TEST(SctList, AbsentExtensionIsEmptyNotError) {
+    x509::Certificate cert = make_precert("none.example");
+    auto scts = parse_sct_list(cert);
+    ASSERT_TRUE(scts.ok());
+    EXPECT_TRUE(scts->empty());
+}
+
+TEST(Lifecycle, PrecertToFinalCertificate) {
+    // The full RFC 6962 flow: submit the poisoned precert, collect the
+    // SCT, emit the final certificate with poison removed and SCT
+    // embedded, and verify the log's signature on the SCT.
+    x509::Certificate precert = make_precert("lifecycle.example");
+    ASSERT_TRUE(precert.is_precertificate());
+
+    CtLog log("lifecycle-log");
+    Sct sct = log.submit(precert, asn1::make_time(2025, 2, 2));
+
+    crypto::SimSigner ca = crypto::SimSigner::from_name("SCT CA");
+    x509::Certificate final_cert = finalize_precertificate(precert, {sct}, ca);
+
+    EXPECT_FALSE(final_cert.is_precertificate());
+    EXPECT_TRUE(x509::verify_signature(final_cert, ca));
+
+    auto embedded = parse_sct_list(final_cert);
+    ASSERT_TRUE(embedded.ok());
+    ASSERT_EQ(embedded->size(), 1u);
+    EXPECT_EQ((*embedded)[0].log_id, log.log_id());
+    // The SCT still verifies against the log (it covers the precert).
+    EXPECT_TRUE(log.verify_sct(precert, (*embedded)[0]));
+}
+
+TEST(Lifecycle, FinalCertDiffersFromPrecertDer) {
+    x509::Certificate precert = make_precert("diff.example");
+    CtLog log("diff-log");
+    Sct sct = log.submit(precert, asn1::make_time(2025, 2, 2));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("SCT CA");
+    x509::Certificate final_cert = finalize_precertificate(precert, {sct}, ca);
+    EXPECT_NE(final_cert.der, precert.der);
+    EXPECT_EQ(final_cert.subject, precert.subject);
+}
+
+}  // namespace
+}  // namespace unicert::ctlog

@@ -1,0 +1,130 @@
+// Tests for the RFC 5893 Bidi rule.
+#include "idna/bidi.h"
+
+#include <gtest/gtest.h>
+
+#include "idna/labels.h"
+#include "idna/punycode.h"
+#include "unicode/codec.h"
+
+namespace unicert::idna {
+namespace {
+
+using unicode::CodePoints;
+
+CodePoints utf8(const char* s) { return unicode::utf8_to_codepoints(s).value(); }
+
+TEST(BidiClass, CoreClasses) {
+    EXPECT_EQ(bidi_class('a'), BidiClass::kL);
+    EXPECT_EQ(bidi_class('7'), BidiClass::kEN);
+    EXPECT_EQ(bidi_class('-'), BidiClass::kES);
+    EXPECT_EQ(bidi_class('.'), BidiClass::kCS);
+    EXPECT_EQ(bidi_class('%'), BidiClass::kET);
+    EXPECT_EQ(bidi_class(0x05D0), BidiClass::kR);    // א
+    EXPECT_EQ(bidi_class(0x0627), BidiClass::kAL);   // ا
+    EXPECT_EQ(bidi_class(0x0661), BidiClass::kAN);   // ١
+    EXPECT_EQ(bidi_class(0x0301), BidiClass::kNSM);  // combining acute
+    EXPECT_EQ(bidi_class(0x200C), BidiClass::kBN);   // ZWNJ
+    EXPECT_EQ(bidi_class(0x4E2D), BidiClass::kL);    // CJK counts as L
+}
+
+TEST(BidiLabel, Detection) {
+    EXPECT_FALSE(is_bidi_label(utf8("example")));
+    EXPECT_FALSE(is_bidi_label(utf8("münchen")));
+    EXPECT_TRUE(is_bidi_label(utf8("שלום")));
+    EXPECT_TRUE(is_bidi_label(utf8("العربية")));
+}
+
+TEST(BidiRule, ValidLtrLabels) {
+    EXPECT_TRUE(check_bidi_rule(utf8("example")).ok());
+    EXPECT_TRUE(check_bidi_rule(utf8("ex-ample1")).ok());
+    EXPECT_TRUE(check_bidi_rule(utf8("label9")).ok());  // ends in EN
+    EXPECT_TRUE(check_bidi_rule(utf8("münchen")).ok());
+}
+
+TEST(BidiRule, ValidRtlLabels) {
+    EXPECT_TRUE(check_bidi_rule(utf8("שלום")).ok());
+    EXPECT_TRUE(check_bidi_rule(utf8("العربية")).ok());
+    // RTL letters with Arabic number.
+    CodePoints with_an = utf8("العربية");
+    with_an.push_back(0x0661);
+    EXPECT_TRUE(check_bidi_rule(with_an).ok());
+}
+
+TEST(BidiRule, FirstCharMustBeLetter) {
+    auto r = check_bidi_rule(utf8("1example"));
+    // RFC 5893 condition 1: EN is not a valid first class.
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "bidi_bad_first_char");
+    EXPECT_FALSE(check_bidi_rule(utf8("-dash")).ok());
+}
+
+TEST(BidiRule, MixedDirectionRejected) {
+    // Latin letter inside an RTL label.
+    CodePoints mixed = utf8("שalom");
+    auto r = check_bidi_rule(mixed);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "bidi_ltr_char_in_rtl_label");
+
+    // Hebrew letter inside an LTR label.
+    CodePoints mixed2 = utf8("shalomש");
+    // First char is L -> LTR label; R char violates condition 5... but
+    // it is also the last char. Either rtl-in-ltr or bad ending fires.
+    EXPECT_FALSE(check_bidi_rule(mixed2).ok());
+}
+
+TEST(BidiRule, RtlEndingConstraint) {
+    // RTL label ending in ES ('-') is invalid.
+    CodePoints bad = utf8("שלום");
+    bad.push_back('-');
+    auto r = check_bidi_rule(bad);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "bidi_bad_rtl_ending");
+}
+
+TEST(BidiRule, LtrEndingConstraint) {
+    auto r = check_bidi_rule(utf8("label-"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "bidi_bad_ltr_ending");
+}
+
+TEST(BidiRule, MixedNumberSystemsRejected) {
+    CodePoints mixed = utf8("א");
+    mixed.push_back('1');     // EN
+    mixed.push_back(0x0661);  // AN
+    mixed.push_back(0x05D0);  // end with R to isolate condition 4
+    auto r = check_bidi_rule(mixed);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "bidi_mixed_numbers");
+}
+
+TEST(BidiRule, TrailingNsmIgnoredForEnding) {
+    CodePoints with_mark = utf8("שלום");
+    with_mark.push_back(0x05B0);  // Hebrew point (NSM)
+    EXPECT_TRUE(check_bidi_rule(with_mark).ok());
+}
+
+TEST(BidiRule, EmptyLabelRejected) {
+    EXPECT_FALSE(check_bidi_rule({}).ok());
+}
+
+TEST(CheckLabelIntegration, BidiViolationSurfaces) {
+    // Build an A-label whose U-label mixes Hebrew and Latin.
+    CodePoints mixed = utf8("שalom");
+    auto puny = punycode_encode(mixed);
+    ASSERT_TRUE(puny.ok());
+    LabelCheck lc = check_label("xn--" + puny.value());
+    EXPECT_EQ(lc.issue, LabelIssue::kBidiViolation);
+    EXPECT_STREQ(label_issue_name(lc.issue), "bidi_rule_violation");
+}
+
+TEST(CheckLabelIntegration, ValidRtlALabelPasses) {
+    CodePoints hebrew = utf8("שלום");
+    auto puny = punycode_encode(hebrew);
+    ASSERT_TRUE(puny.ok());
+    LabelCheck lc = check_label("xn--" + puny.value());
+    EXPECT_TRUE(lc.ok()) << label_issue_name(lc.issue);
+}
+
+}  // namespace
+}  // namespace unicert::idna

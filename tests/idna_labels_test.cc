@@ -1,0 +1,180 @@
+// Tests for IDNA label validation — the machinery behind the paper's
+// F1 finding (syntactically-valid xn-- labels that violate IDNA).
+#include "idna/labels.h"
+
+#include <gtest/gtest.h>
+
+#include "idna/punycode.h"
+#include "unicode/codec.h"
+
+namespace unicert::idna {
+namespace {
+
+using unicode::CodePoints;
+
+TEST(LdhLabel, Valid) {
+    EXPECT_TRUE(is_ldh_label("example"));
+    EXPECT_TRUE(is_ldh_label("a"));
+    EXPECT_TRUE(is_ldh_label("a-b-c123"));
+}
+
+TEST(LdhLabel, Invalid) {
+    EXPECT_FALSE(is_ldh_label(""));
+    EXPECT_FALSE(is_ldh_label("-leading"));
+    EXPECT_FALSE(is_ldh_label("trailing-"));
+    EXPECT_FALSE(is_ldh_label("under_score"));
+    EXPECT_FALSE(is_ldh_label("sp ace"));
+    EXPECT_FALSE(is_ldh_label(std::string(64, 'a')));
+}
+
+TEST(AceDetection, LooksLikeALabel) {
+    EXPECT_TRUE(looks_like_a_label("xn--mnchen-3ya"));
+    EXPECT_TRUE(looks_like_a_label("XN--MNCHEN-3YA"));  // case-insensitive prefix
+    EXPECT_FALSE(looks_like_a_label("münchen"));
+    EXPECT_FALSE(looks_like_a_label("xn--bad space"));
+}
+
+TEST(IdnaClass, DisallowedCharacters) {
+    EXPECT_EQ(idna_class(0x0000), IdnaClass::kDisallowed);  // NUL
+    EXPECT_EQ(idna_class(0x202E), IdnaClass::kDisallowed);  // RLO
+    EXPECT_EQ(idna_class(0x200B), IdnaClass::kDisallowed);  // ZWSP
+    EXPECT_EQ(idna_class(0x0020), IdnaClass::kDisallowed);  // space
+    EXPECT_EQ(idna_class('_'), IdnaClass::kDisallowed);
+    EXPECT_EQ(idna_class(0xE000), IdnaClass::kDisallowed);  // private use
+    EXPECT_EQ(idna_class(0x1F600), IdnaClass::kDisallowed); // emoji
+}
+
+TEST(IdnaClass, PvalidCharacters) {
+    EXPECT_EQ(idna_class('a'), IdnaClass::kPvalid);
+    EXPECT_EQ(idna_class('-'), IdnaClass::kPvalid);
+    EXPECT_EQ(idna_class(0x00FC), IdnaClass::kPvalid);  // ü
+    EXPECT_EQ(idna_class(0x4E2D), IdnaClass::kPvalid);  // 中
+    EXPECT_EQ(idna_class(0x0440), IdnaClass::kPvalid);  // Cyrillic р
+}
+
+TEST(CheckLabel, ValidAscii) {
+    LabelCheck lc = check_label("example");
+    EXPECT_TRUE(lc.ok());
+    EXPECT_EQ(unicode::codepoints_to_utf8(lc.unicode), "example");
+}
+
+TEST(CheckLabel, ValidALabel) {
+    LabelCheck lc = check_label("xn--mnchen-3ya");
+    EXPECT_TRUE(lc.ok());
+    EXPECT_EQ(unicode::codepoints_to_utf8(lc.unicode), "münchen");
+}
+
+TEST(CheckLabel, UndecodablePunycode) {
+    LabelCheck lc = check_label("xn--!!!");
+    EXPECT_EQ(lc.issue, LabelIssue::kUndecodablePunycode);
+}
+
+TEST(CheckLabel, DisallowedAfterDecoding) {
+    // The paper's P1.3 example: xn--www-hn0a decodes to "‎www"
+    // (LRM + www) — syntactically valid, IDNA-invalid.
+    LabelCheck lc = check_label("xn--www-hn0a");
+    EXPECT_EQ(lc.issue, LabelIssue::kDisallowedCodePoint);
+}
+
+TEST(CheckLabel, EmptyAndTooLong) {
+    EXPECT_EQ(check_label("").issue, LabelIssue::kEmpty);
+    EXPECT_EQ(check_label(std::string(64, 'a')).issue, LabelIssue::kTooLong);
+}
+
+TEST(CheckLabel, Hyphen34Reserved) {
+    EXPECT_EQ(check_label("ab--cd").issue, LabelIssue::kHyphen34);
+}
+
+TEST(CheckLabel, BadLdh) {
+    EXPECT_EQ(check_label("bad_label").issue, LabelIssue::kBadLdh);
+}
+
+TEST(ToALabel, RoundTrip) {
+    auto cps = unicode::utf8_to_codepoints("münchen");
+    ASSERT_TRUE(cps.ok());
+    auto a = to_a_label(cps.value());
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value(), "xn--mnchen-3ya");
+    auto back = to_u_label(a.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), cps.value());
+}
+
+TEST(ToALabel, RejectsDisallowed) {
+    CodePoints bad = {'w', 'w', 'w', 0x200E};
+    auto a = to_a_label(bad);
+    EXPECT_FALSE(a.ok());
+    EXPECT_EQ(a.error().code, "idna_disallowed");
+}
+
+TEST(ToALabel, RejectsNonNfc) {
+    CodePoints denorm = {'e', 0x0301, 'x'};  // e + combining acute
+    auto a = to_a_label(denorm);
+    EXPECT_FALSE(a.ok());
+    EXPECT_EQ(a.error().code, "idna_not_nfc");
+}
+
+TEST(ToALabel, AsciiStaysPlain) {
+    CodePoints ascii = {'a', 'b', 'c'};
+    auto a = to_a_label(ascii);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value(), "abc");
+}
+
+TEST(CheckHostname, SimpleValid) {
+    HostnameCheck hc = check_hostname("www.example.com");
+    EXPECT_TRUE(hc.ok);
+    EXPECT_FALSE(hc.has_idn);
+    EXPECT_EQ(hc.display, "www.example.com");
+}
+
+TEST(CheckHostname, IdnDisplayForm) {
+    HostnameCheck hc = check_hostname("xn--mnchen-3ya.example");
+    EXPECT_TRUE(hc.ok);
+    EXPECT_TRUE(hc.has_idn);
+    EXPECT_EQ(hc.display, "münchen.example");
+}
+
+TEST(CheckHostname, WildcardAllowed) {
+    HostnameCheck hc = check_hostname("*.example.com");
+    EXPECT_TRUE(hc.ok);
+}
+
+TEST(CheckHostname, InvalidIdnFlagged) {
+    HostnameCheck hc = check_hostname("xn--www-hn0a.phish.example");
+    EXPECT_FALSE(hc.ok);
+    ASSERT_FALSE(hc.issues.empty());
+    EXPECT_EQ(hc.issues[0], LabelIssue::kDisallowedCodePoint);
+}
+
+TEST(CheckHostname, TooLongRejected) {
+    std::string long_host;
+    for (int i = 0; i < 30; ++i) long_host += "aaaaaaaaaa.";
+    long_host += "com";
+    EXPECT_FALSE(check_hostname(long_host).ok);
+}
+
+TEST(HostnameToAscii, ConvertsUnicodeLabels) {
+    auto r = hostname_to_ascii("münchen.example.com");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "xn--mnchen-3ya.example.com");
+}
+
+TEST(HostnameToAscii, FoldsCase) {
+    auto r = hostname_to_ascii("MÜNCHEN.example");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "xn--mnchen-3ya.example");
+}
+
+TEST(HostnameToAscii, RejectsDisallowed) {
+    auto r = hostname_to_ascii("ex ample.com");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(HostnameToDisplay, LeavesInvalidLabelsVerbatim) {
+    std::string display = hostname_to_display("xn--!!!.example");
+    EXPECT_NE(display.find("xn--!!!"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unicert::idna

@@ -1,0 +1,139 @@
+// Tests for RFC 3492 Punycode, including the RFC's own sample vectors.
+#include "idna/punycode.h"
+
+#include <gtest/gtest.h>
+
+#include "unicode/codec.h"
+
+namespace unicert::idna {
+namespace {
+
+using unicode::CodePoints;
+
+std::string encode_utf8(std::string_view utf8) {
+    auto cps = unicode::utf8_to_codepoints(utf8);
+    EXPECT_TRUE(cps.ok());
+    auto r = punycode_encode(cps.value());
+    EXPECT_TRUE(r.ok());
+    return r.value();
+}
+
+std::string decode_to_utf8(std::string_view puny) {
+    auto r = punycode_decode(puny);
+    EXPECT_TRUE(r.ok()) << r.ok();
+    if (!r.ok()) return {};
+    return unicode::codepoints_to_utf8(r.value());
+}
+
+// RFC 3492 section 7.1 sample strings.
+TEST(Punycode, Rfc3492ArabicEgyptianDecodes) {
+    // Decode the RFC's published A-label payload and re-encode it.
+    auto dec = punycode_decode("egbpdaj6bu4bxfgehfvwxn");
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec->size(), 17u);  // 17 Arabic code points
+    for (unicode::CodePoint cp : dec.value()) {
+        EXPECT_GE(cp, 0x0600u);
+        EXPECT_LE(cp, 0x06FFu);
+    }
+    auto enc = punycode_encode(dec.value());
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(enc.value(), "egbpdaj6bu4bxfgehfvwxn");
+}
+
+TEST(Punycode, Rfc3492ChineseSimplified) {
+    CodePoints in = {0x4ED6, 0x4EEC, 0x4E3A, 0x4EC0, 0x4E48, 0x4E0D, 0x8BF4, 0x4E2D, 0x6587};
+    auto enc = punycode_encode(in);
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(enc.value(), "ihqwcrb4cv8a8dqg056pqjye");
+}
+
+TEST(Punycode, Rfc3492CzechMixedCase) {
+    // "Proč prostě nemluví česky" without spaces, lowercase form.
+    CodePoints in = {0x0050, 0x0072, 0x006F, 0x010D, 0x0070, 0x0072, 0x006F, 0x0073,
+                     0x0074, 0x011B, 0x006E, 0x0065, 0x006D, 0x006C, 0x0075, 0x0076,
+                     0x00ED, 0x010D, 0x0065, 0x0073, 0x006B, 0x0079};
+    auto enc = punycode_encode(in);
+    ASSERT_TRUE(enc.ok());
+    auto dec = punycode_decode(enc.value());
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value(), in);
+}
+
+TEST(Punycode, CommonIdnLabels) {
+    EXPECT_EQ(encode_utf8("münchen"), "mnchen-3ya");
+    EXPECT_EQ(encode_utf8("bücher"), "bcher-kva");
+    EXPECT_EQ(decode_to_utf8("mnchen-3ya"), "münchen");
+    EXPECT_EQ(decode_to_utf8("bcher-kva"), "bücher");
+}
+
+TEST(Punycode, PureAsciiPassThrough) {
+    EXPECT_EQ(encode_utf8("abc"), "abc-");
+    EXPECT_EQ(decode_to_utf8("abc-"), "abc");
+}
+
+TEST(Punycode, AllNonBasic) {
+    EXPECT_EQ(encode_utf8("中文"), "fiq228c");
+    EXPECT_EQ(decode_to_utf8("fiq228c"), "中文");
+}
+
+TEST(Punycode, EmptyInput) {
+    auto enc = punycode_encode({});
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(enc.value(), "");
+    auto dec = punycode_decode("");
+    ASSERT_TRUE(dec.ok());
+    EXPECT_TRUE(dec->empty());
+}
+
+TEST(Punycode, RejectsBadDigit) {
+    auto r = punycode_decode("abc-!!");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "punycode_bad_digit");
+}
+
+TEST(Punycode, RejectsNonBasicBeforeDelimiter) {
+    auto r = punycode_decode("ab\xC3\xA9-x");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Punycode, RejectsTruncatedInteger) {
+    // A trailing digit run that never terminates.
+    auto r = punycode_decode("zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Punycode, RejectsOverflow) {
+    // Crafted to overflow the 32-bit delta accumulator.
+    auto r = punycode_decode("99999999999999999999999999");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Punycode, RoundTripPropertySweep) {
+    // Property: encode∘decode == identity over assorted scripts.
+    const char* samples[] = {
+        "münchen", "köln", "日本語", "한국어", "ελληνικά", "русский",
+        "עברית", "العربية", "ไทย", "str-aße", "x", "ab",
+    };
+    for (const char* s : samples) {
+        auto cps = unicode::utf8_to_codepoints(s);
+        ASSERT_TRUE(cps.ok()) << s;
+        auto enc = punycode_encode(cps.value());
+        ASSERT_TRUE(enc.ok()) << s;
+        auto dec = punycode_decode(enc.value());
+        ASSERT_TRUE(dec.ok()) << s;
+        EXPECT_EQ(dec.value(), cps.value()) << s;
+    }
+}
+
+TEST(Punycode, DecodedInsertionOrderMatters) {
+    // Position-sensitive insertion: "a-9b" style labels where the
+    // non-basic char lands mid-string.
+    auto dec = punycode_decode("ab-8ja");  // inserts é somewhere in "ab"
+    ASSERT_TRUE(dec.ok());
+    auto enc = punycode_encode(dec.value());
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(enc.value(), "ab-8ja");
+}
+
+}  // namespace
+}  // namespace unicert::idna

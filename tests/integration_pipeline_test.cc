@@ -1,0 +1,162 @@
+// Cross-module integration tests: the full issuance → CT → monitor →
+// lint pipeline, plus DER mutation robustness (failure injection).
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "core/pipeline.h"
+#include "ctlog/log.h"
+#include "ctlog/monitor.h"
+#include "ctlog/sct_extension.h"
+#include "lint/lint.h"
+#include "x509/builder.h"
+#include "x509/hostname.h"
+#include "x509/parser.h"
+#include "x509/pem.h"
+
+namespace unicert {
+namespace {
+
+TEST(EndToEnd, IssueLogMonitorLint) {
+    // 1. A CA issues a precert for an IDN host, logs it, finalizes it.
+    crypto::SimSigner ca = crypto::SimSigner::from_name("E2E CA");
+    x509::Certificate precert;
+    precert.version = 2;
+    precert.serial = {0xE2, 0xE2};
+    precert.subject = x509::make_dn(
+        {x509::make_attribute(asn1::oids::common_name(), "xn--mnchen-3ya.example")});
+    precert.issuer =
+        x509::make_dn({x509::make_attribute(asn1::oids::organization_name(), "E2E CA")});
+    precert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    precert.subject_public_key = crypto::SimSigner::from_name("e2e-leaf").public_key();
+    precert.extensions.push_back(x509::make_san({x509::dns_name("xn--mnchen-3ya.example")}));
+    precert.extensions.push_back(x509::make_ct_poison());
+    x509::sign_certificate(precert, ca);
+
+    ctlog::CtLog log("e2e-log");
+    ctlog::Sct sct = log.submit(precert, asn1::make_time(2025, 1, 2));
+    x509::Certificate final_cert = ctlog::finalize_precertificate(precert, {sct}, ca);
+    log.submit(final_cert, asn1::make_time(2025, 1, 2));
+
+    // 2. Dataset consumers filter the precert; the final cert remains.
+    auto regular = log.regular_certificates();
+    ASSERT_EQ(regular.size(), 1u);
+
+    // 3. Monitors index it; the owner can find it via Punycode query.
+    for (const ctlog::MonitorProfile& profile : ctlog::monitor_profiles()) {
+        ctlog::Monitor monitor(profile);
+        size_t id = monitor.index(*regular[0]);
+        EXPECT_TRUE(monitor.would_find("xn--mnchen-3ya.example", id)) << profile.name;
+    }
+
+    // 4. The final cert round-trips PEM and stays lint-clean.
+    std::string pem = x509::pem_encode("CERTIFICATE", final_cert.der);
+    auto der = x509::pem_decode(pem);
+    ASSERT_TRUE(der.ok());
+    auto parsed = x509::parse_certificate(der.value());
+    ASSERT_TRUE(parsed.ok());
+    lint::CertReport report = lint::run_lints(parsed.value());
+    for (const lint::Finding& f : report.findings) {
+        ADD_FAILURE() << f.lint->name << ": " << f.detail;
+    }
+
+    // 5. …and hostname verification accepts the Unicode form.
+    EXPECT_TRUE(x509::verify_hostname(parsed.value(), "münchen.example").matched);
+}
+
+TEST(EndToEnd, CorpusThroughPipelineCountsAgree) {
+    ctlog::CorpusGenerator gen({.seed = 31, .scale = 20000.0});
+    auto corpus = gen.generate();
+    core::CompliancePipeline pipeline(corpus);
+
+    // The pipeline's NC count equals a manual re-count.
+    size_t manual = 0;
+    for (const ctlog::CorpusCert& c : corpus) {
+        if (lint::run_lints(c.cert).noncompliant()) ++manual;
+    }
+    EXPECT_EQ(pipeline.noncompliant_count(), manual);
+
+    // Taxonomy rows never exceed the total NC population.
+    core::TaxonomyReport taxonomy = pipeline.taxonomy_report();
+    for (const core::TaxonomyRow& row : taxonomy.rows) {
+        EXPECT_LE(row.nc_certs, taxonomy.total_nc);
+        EXPECT_LE(row.nc_certs_new, row.nc_certs);
+        EXPECT_LE(row.trusted_certs, row.nc_certs);
+    }
+
+    // Yearly trend sums to the corpus size.
+    size_t year_sum = 0;
+    for (const core::YearRow& row : pipeline.yearly_trend()) year_sum += row.all;
+    EXPECT_EQ(year_sum, corpus.size());
+}
+
+// ---- Failure injection: DER mutation robustness ------------------------------
+
+class DerMutation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DerMutation, ParserNeverCrashesOnBitFlips) {
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Fuzz CA");
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0xF0, 0x0D};
+    cert.subject = x509::make_dn({
+        x509::make_attribute(asn1::oids::organization_name(), "Škoda Díly s.r.o."),
+        x509::make_attribute(asn1::oids::common_name(), "fuzz.example"),
+    });
+    cert.issuer = cert.subject;
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name("fuzz").public_key();
+    cert.extensions.push_back(x509::make_san({
+        x509::dns_name("fuzz.example"),
+        x509::rfc822_name("a@fuzz.example"),
+        x509::uri_name("https://fuzz.example/x"),
+    }));
+    Bytes base = x509::sign_certificate(cert, ca);
+
+    ctlog::Rng rng(GetParam());
+    for (int iter = 0; iter < 400; ++iter) {
+        Bytes mutated = base;
+        size_t flips = 1 + rng.below(4);
+        for (size_t f = 0; f < flips; ++f) {
+            size_t pos = rng.below(mutated.size());
+            mutated[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+        }
+        // Occasionally truncate or extend.
+        if (rng.chance(0.2)) mutated.resize(rng.below(mutated.size()) + 1);
+        if (rng.chance(0.1)) mutated.push_back(static_cast<uint8_t>(rng.below(256)));
+
+        auto parsed = x509::parse_certificate(mutated);
+        if (parsed.ok()) {
+            // Whatever parsed must survive the downstream consumers
+            // without crashing.
+            (void)lint::run_lints(parsed.value());
+            (void)parsed->dns_identities();
+            (void)parsed->crl_urls();
+            (void)x509::verify_hostname(parsed.value(), "fuzz.example");
+        } else {
+            EXPECT_FALSE(parsed.error().code.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerMutation, ::testing::Values(101u, 202u, 303u));
+
+TEST(FailureInjection, LintsSurviveDegenerateCertificates) {
+    // Empty / extreme models must not crash any rule.
+    x509::Certificate empty;
+    (void)lint::run_lints(empty);
+
+    x509::Certificate huge;
+    huge.version = 2;
+    huge.serial = Bytes(64, 0xFF);
+    huge.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(1999, 1, 1)};  // reversed
+    for (int i = 0; i < 40; ++i) {
+        huge.subject.rdns.push_back({{x509::make_attribute(
+            asn1::oids::organizational_unit_name(), std::string(300, 'x'))}});
+    }
+    lint::CertReport report = lint::run_lints(huge);
+    EXPECT_TRUE(report.has_lint("e_validity_reversed"));
+    EXPECT_TRUE(report.has_lint("e_serial_number_too_long"));
+}
+
+}  // namespace
+}  // namespace unicert

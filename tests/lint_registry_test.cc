@@ -1,0 +1,119 @@
+// Registry-level tests: the rule set matches the paper's Table 1
+// inventory (95 lints, 50 new, per-taxonomy counts).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lint/lint.h"
+
+namespace unicert::lint {
+namespace {
+
+TEST(Registry, TotalLintCountMatchesPaper) {
+    const Registry& reg = default_registry();
+    EXPECT_EQ(reg.size(), 95u);
+    EXPECT_EQ(reg.count_new(), 50u);
+}
+
+TEST(Registry, PerTypeCountsMatchTable1) {
+    const Registry& reg = default_registry();
+    EXPECT_EQ(reg.count_type(NcType::kInvalidCharacter), 22u);
+    EXPECT_EQ(reg.count_type(NcType::kBadNormalization), 4u);
+    EXPECT_EQ(reg.count_type(NcType::kIllegalFormat), 17u);
+    EXPECT_EQ(reg.count_type(NcType::kInvalidEncoding), 48u);
+    EXPECT_EQ(reg.count_type(NcType::kInvalidStructure), 2u);
+    EXPECT_EQ(reg.count_type(NcType::kDiscouragedField), 2u);
+}
+
+TEST(Registry, NewLintsPerTypeMatchTable1) {
+    const Registry& reg = default_registry();
+    auto count_new = [&](NcType t) {
+        size_t n = 0;
+        for (const Rule& r : reg.rules()) {
+            if (r.info.type == t && r.info.is_new) ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(count_new(NcType::kInvalidCharacter), 10u);
+    EXPECT_EQ(count_new(NcType::kBadNormalization), 3u);
+    EXPECT_EQ(count_new(NcType::kIllegalFormat), 0u);
+    EXPECT_EQ(count_new(NcType::kInvalidEncoding), 37u);
+    EXPECT_EQ(count_new(NcType::kInvalidStructure), 0u);
+    EXPECT_EQ(count_new(NcType::kDiscouragedField), 0u);
+}
+
+TEST(Registry, NamesAreUniqueAndWellFormed) {
+    const Registry& reg = default_registry();
+    std::set<std::string> names;
+    for (const Rule& r : reg.rules()) {
+        EXPECT_TRUE(names.insert(r.info.name).second) << "duplicate: " << r.info.name;
+        // Naming convention: e_* for error lints, w_* for warnings.
+        if (r.info.severity == Severity::kError) {
+            EXPECT_TRUE(r.info.name.starts_with("e_") || r.info.name.starts_with("w_"))
+                << r.info.name;
+        } else if (r.info.severity == Severity::kWarning) {
+            EXPECT_TRUE(r.info.name.starts_with("w_")) << r.info.name;
+        }
+        EXPECT_FALSE(r.info.description.empty()) << r.info.name;
+    }
+}
+
+TEST(Registry, Table11LintsArePresent) {
+    const Registry& reg = default_registry();
+    // Every named lint from the paper's Table 11 top-25 that our rule
+    // set models directly.
+    const char* expected[] = {
+        "w_rfc_ext_cp_explicit_text_not_utf8",
+        "w_cab_subject_common_name_not_in_san",
+        "e_rfc_dns_idn_a2u_unpermitted_unichar",
+        "e_subject_organization_not_printable_or_utf8",
+        "e_subject_common_name_not_printable_or_utf8",
+        "e_subject_locality_not_printable_or_utf8",
+        "e_rfc_subject_dn_not_printable_characters",
+        "e_subject_ou_not_printable_or_utf8",
+        "e_subject_jurisdiction_locality_not_printable_or_utf8",
+        "e_rfc_ext_cp_explicit_text_too_long",
+        "e_subject_jurisdiction_state_not_printable_or_utf8",
+        "e_rfc_ext_cp_explicit_text_ia5",
+        "e_subject_jurisdiction_country_not_printable",
+        "e_subject_state_not_printable_or_utf8",
+        "e_rfc_subject_printable_string_badalpha",
+        "w_community_subject_dn_trailing_whitespace",
+        "e_subject_postal_code_not_printable_or_utf8",
+        "e_subject_street_not_printable_or_utf8",
+        "w_cab_subject_contain_extra_common_name",
+        "e_subject_dn_serial_number_not_printable",
+        "w_community_subject_dn_leading_whitespace",
+        "e_rfc_subject_country_not_printable",
+        "e_rfc_dns_idn_malformed_unicode",
+        "e_cab_dns_bad_character_in_label",
+        "e_ext_san_dns_contain_unpermitted_unichar",
+    };
+    for (const char* name : expected) {
+        EXPECT_NE(reg.find(name), nullptr) << "missing lint: " << name;
+    }
+}
+
+TEST(Registry, FindUnknownReturnsNull) {
+    EXPECT_EQ(default_registry().find("e_not_a_lint"), nullptr);
+}
+
+TEST(Registry, EffectiveDatesAreSane) {
+    for (const Rule& r : default_registry().rules()) {
+        EXPECT_GE(r.info.effective_date, 0) << r.info.name;
+        // Nothing becomes effective after the study window ends (2025).
+        EXPECT_LT(r.info.effective_date, 1767225600 /* 2026-01-01 */) << r.info.name;
+    }
+}
+
+TEST(Names, EnumLabelers) {
+    EXPECT_STREQ(severity_name(Severity::kError), "error");
+    EXPECT_STREQ(severity_name(Severity::kWarning), "warning");
+    EXPECT_STREQ(nc_type_name(NcType::kInvalidCharacter), "Invalid Character");
+    EXPECT_STREQ(nc_type_name(NcType::kBadNormalization), "Bad Normalization");
+    EXPECT_STREQ(source_name(Source::kCabfBr), "CABF_BR");
+    EXPECT_STREQ(source_name(Source::kRfc9598), "RFC9598");
+}
+
+}  // namespace
+}  // namespace unicert::lint

@@ -1,0 +1,515 @@
+// Behavioural tests: each lint family fires on a crafted noncompliant
+// Unicert and stays silent on a compliant one.
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "idna/punycode.h"
+#include "lint/lint.h"
+#include "x509/builder.h"
+
+namespace unicert::lint {
+namespace {
+
+using asn1::StringType;
+using x509::Certificate;
+using x509::dns_name;
+using x509::make_attribute;
+using x509::make_dn;
+namespace oids = asn1::oids;
+
+// Baseline compliant certificate (issued 2024, CN repeated in SAN).
+Certificate compliant_cert() {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x11, 0x22};
+    cert.issuer = make_dn({
+        make_attribute(oids::country_name(), "US", StringType::kPrintableString),
+        make_attribute(oids::organization_name(), "Good CA"),
+        make_attribute(oids::common_name(), "Good CA R1"),
+    });
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+    });
+    cert.validity = {asn1::make_time(2024, 6, 1), asn1::make_time(2024, 9, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name("example.com").public_key();
+    cert.extensions.push_back(x509::make_san({dns_name("example.com")}));
+    return cert;
+}
+
+CertReport lint_cert(const Certificate& cert) { return run_lints(cert); }
+
+TEST(Baseline, CompliantCertHasNoErrors) {
+    CertReport report = lint_cert(compliant_cert());
+    for (const Finding& f : report.findings) {
+        ADD_FAILURE() << f.lint->name << ": " << f.detail;
+    }
+}
+
+// ---- T1 Invalid Character ----------------------------------------------
+
+TEST(T1, NulInSubjectFiresMultipleLints) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), std::string("Ev\0il Corp", 10)),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_subject_dn_nul_character"));
+    EXPECT_TRUE(r.has_lint("e_rfc_subject_dn_not_printable_characters"));
+    EXPECT_TRUE(r.has_type(NcType::kInvalidCharacter));
+    EXPECT_TRUE(r.has_error());
+}
+
+TEST(T1, BidiControlDetected) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), "www.‮lapyap‬.com"),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_subject_dn_bidi_control"));
+}
+
+TEST(T1, LayoutControlDetected) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), "Peddy​Shield"),
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_subject_dn_layout_control"));
+}
+
+TEST(T1, DelCharacterDetected) {
+    // The F4 "Prepard\x7F\x7Fid Serc\x7Fvices" finding.
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), std::string("Prepard\x7F\x7Fid", 11)),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_subject_dn_del_character"));
+}
+
+TEST(T1, PrintableStringBadAlpha) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), "AT&T Corp", StringType::kPrintableString),
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc_subject_printable_string_badalpha"));
+}
+
+TEST(T1, LeadingTrailingWhitespaceWarnings) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), " SAMCO Autotechnik "),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("w_community_subject_dn_leading_whitespace"));
+    EXPECT_TRUE(r.has_lint("w_community_subject_dn_trailing_whitespace"));
+    EXPECT_TRUE(r.has_warning());
+}
+
+TEST(T1, NonStandardWhitespaceWarning) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), "株式会社　中国銀行"),
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("w_subject_dn_nonstandard_whitespace"));
+}
+
+TEST(T1, IdnDisallowedCodePoint) {
+    // xn--www-hn0a decodes to LRM+www (paper P1.3 / F1).
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(x509::make_san({dns_name("xn--www-hn0a.example.com")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc_dns_idn_a2u_unpermitted_unichar"));
+}
+
+TEST(T1, IdnMalformedPunycode) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(x509::make_san({dns_name("xn--0000h.example.com")}));
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_rfc_dns_idn_malformed_unicode") ||
+                r.has_lint("e_rfc_dns_idn_a2u_unpermitted_unichar"));
+}
+
+TEST(T1, SanDnsUnicodeBytes) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    // Raw UTF-8 in a DNSName (must be Punycode instead).
+    cert.extensions.push_back(x509::make_san({dns_name("münchen.example")}));
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_ext_san_dns_contain_unpermitted_unichar"));
+    EXPECT_TRUE(r.has_lint("e_ext_san_dns_not_ia5"));
+}
+
+TEST(T1, DnsBadCharacterInLabel) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(x509::make_san({dns_name("under_score.example.com")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_cab_dns_bad_character_in_label"));
+}
+
+TEST(T1, CrlUriControlCharacter) {
+    // The PyOpenSSL CRL-spoof input: "http://ssl\x01test.com".
+    Certificate cert = compliant_cert();
+    cert.extensions.push_back(x509::make_crl_distribution_points({
+        {{x509::uri_name(std::string("http://ssl\x01test.com", 20))}},
+    }));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_ext_crldp_uri_control_characters"));
+}
+
+TEST(T1, TeletexEscapeSequence) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), std::string("A\x1B$B", 4),
+                       StringType::kTeletexString),
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_teletexstring_escape_sequences"));
+}
+
+// ---- T2 Bad Normalization -------------------------------------------------
+
+TEST(T2, IdnNotNfc) {
+    // Build an A-label whose decoded form is denormalized: "e" followed
+    // by combining acute. Punycode of {e, U+0301} is "e-xbb"? — compute
+    // via the library itself to stay robust.
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    unicode::CodePoints denorm = {'e', 0x0301, 'x'};
+    auto puny = idna::punycode_encode(denorm);
+    ASSERT_TRUE(puny.ok());
+    cert.extensions.push_back(x509::make_san({dns_name("xn--" + puny.value() + ".example")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc_idn_unicode_not_nfc"));
+}
+
+TEST(T2, Utf8StringNotNfc) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::state_or_province_name(), "I\xCC\x82le-de-France"),  // I+U+0302
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc_utf8_string_not_nfc"));
+}
+
+TEST(T2, NfcValueDoesNotFire) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::state_or_province_name(), "Île-de-France"),
+    });
+    EXPECT_FALSE(lint_cert(cert).has_lint("e_rfc_utf8_string_not_nfc"));
+}
+
+// ---- T3 Illegal Format ------------------------------------------------------
+
+TEST(T3Format, ExplicitTextTooLong) {
+    Certificate cert = compliant_cert();
+    x509::PolicyInformation pi;
+    pi.policy_id = asn1::Oid::from_string("2.23.140.1.2.2").value();
+    x509::PolicyQualifier q;
+    q.qualifier_id = oids::user_notice_qualifier();
+    x509::DisplayText dt;
+    dt.string_type = StringType::kUtf8String;
+    dt.value_bytes = to_bytes(std::string(250, 'x'));
+    q.explicit_text = dt;
+    pi.qualifiers = {q};
+    cert.extensions.push_back(x509::make_certificate_policies({pi}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc_ext_cp_explicit_text_too_long"));
+}
+
+TEST(T3Format, CommonNameTooLong) {
+    Certificate cert = compliant_cert();
+    std::string long_cn(70, 'a');
+    cert.subject = make_dn({make_attribute(oids::common_name(), long_cn)});
+    cert.extensions.clear();
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_subject_common_name_max_length"));
+}
+
+TEST(T3Format, CountryVariants) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::country_name(), "Germany", StringType::kPrintableString),
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_subject_country_not_two_letters"));
+
+    Certificate cert2 = compliant_cert();
+    cert2.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::country_name(), "de", StringType::kPrintableString),
+    });
+    EXPECT_TRUE(lint_cert(cert2).has_lint("e_subject_country_not_uppercase"));
+}
+
+TEST(T3Format, DnsSyntaxLimits) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(x509::make_san({dns_name(std::string(64, 'a') + ".example")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_dns_label_too_long"));
+
+    Certificate cert2 = compliant_cert();
+    cert2.extensions.clear();
+    cert2.extensions.push_back(x509::make_san({dns_name("bad..example.com")}));
+    EXPECT_TRUE(lint_cert(cert2).has_lint("e_dns_label_empty"));
+
+    Certificate cert3 = compliant_cert();
+    cert3.extensions.clear();
+    cert3.extensions.push_back(x509::make_san({dns_name("www.*.example.com")}));
+    EXPECT_TRUE(lint_cert(cert3).has_lint("e_dns_wildcard_not_leftmost"));
+}
+
+TEST(T3Format, SerialBounds) {
+    Certificate cert = compliant_cert();
+    cert.serial = Bytes(25, 0xAB);
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_serial_number_too_long"));
+
+    Certificate cert2 = compliant_cert();
+    cert2.serial = {0x00};
+    EXPECT_TRUE(lint_cert(cert2).has_lint("e_serial_number_not_positive"));
+}
+
+TEST(T3Format, ReversedValidity) {
+    Certificate cert = compliant_cert();
+    std::swap(cert.validity.not_before, cert.validity.not_after);
+    // Effective dates use notBefore, so keep the rule applicable: the
+    // swapped notBefore (2024) is still after every effective date.
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_validity_reversed"));
+}
+
+TEST(T3Format, BadRfc822) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(
+        x509::make_san({dns_name("example.com"), x509::rfc822_name("no-at-symbol")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc822_no_at_symbol"));
+}
+
+// ---- T3 Invalid Encoding -----------------------------------------------------
+
+TEST(T3Encoding, TeletexOrganization) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), "Störi AG", StringType::kTeletexString),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_subject_organization_not_printable_or_utf8"));
+    EXPECT_TRUE(r.has_lint("w_subject_uses_teletex_string"));
+    EXPECT_TRUE(r.has_type(NcType::kInvalidEncoding));
+}
+
+TEST(T3Encoding, BmpCommonName) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "github.cn", StringType::kBmpString),
+    });
+    cert.extensions.clear();
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_subject_common_name_not_printable_or_utf8"));
+    EXPECT_TRUE(r.has_lint("w_rfc9549_subject_uses_bmp_string"));
+}
+
+TEST(T3Encoding, ExplicitTextEncodings) {
+    auto policy_with = [](StringType st) {
+        Certificate cert = compliant_cert();
+        x509::PolicyInformation pi;
+        pi.policy_id = asn1::Oid::from_string("2.23.140.1.2.2").value();
+        x509::PolicyQualifier q;
+        q.qualifier_id = oids::user_notice_qualifier();
+        x509::DisplayText dt;
+        dt.string_type = st;
+        dt.value_bytes = st == StringType::kBmpString ? Bytes{0x00, 'H', 0x00, 'i'}
+                                                      : to_bytes("Hi");
+        q.explicit_text = dt;
+        pi.qualifiers = {q};
+        cert.extensions.push_back(x509::make_certificate_policies({pi}));
+        return cert;
+    };
+
+    CertReport ia5 = lint_cert(policy_with(StringType::kIa5String));
+    EXPECT_TRUE(ia5.has_lint("e_rfc_ext_cp_explicit_text_ia5"));
+    EXPECT_TRUE(ia5.has_lint("w_rfc_ext_cp_explicit_text_not_utf8"));
+
+    CertReport bmp = lint_cert(policy_with(StringType::kBmpString));
+    EXPECT_TRUE(bmp.has_lint("w_rfc9549_ext_cp_explicit_text_bmp_deprecated"));
+    EXPECT_TRUE(bmp.has_lint("w_rfc_ext_cp_explicit_text_not_utf8"));
+
+    CertReport utf8 = lint_cert(policy_with(StringType::kUtf8String));
+    EXPECT_FALSE(utf8.has_lint("w_rfc_ext_cp_explicit_text_not_utf8"));
+}
+
+TEST(T3Encoding, CountrySerialPrintableOnly) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::country_name(), "DE", StringType::kUtf8String),
+        make_attribute(oids::serial_number(), "12345", StringType::kUtf8String),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_rfc_subject_country_not_printable"));
+    EXPECT_TRUE(r.has_lint("e_subject_dn_serial_number_not_printable"));
+}
+
+TEST(T3Encoding, Utf8InvalidSequence) {
+    Certificate cert = compliant_cert();
+    x509::AttributeValue bad;
+    bad.type = oids::organization_name();
+    bad.string_type = StringType::kUtf8String;
+    bad.value_bytes = {0x41, 0xC3, 0x28};  // bad continuation
+    x509::Rdn rdn;
+    rdn.attributes.push_back(bad);
+    cert.subject.rdns.push_back(rdn);
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_utf8string_invalid_sequence"));
+}
+
+TEST(T3Encoding, BmpOddLengthAndSurrogates) {
+    Certificate cert = compliant_cert();
+    x509::AttributeValue odd;
+    odd.type = oids::organization_name();
+    odd.string_type = StringType::kBmpString;
+    odd.value_bytes = {0x00, 'A', 0x00};
+    x509::Rdn rdn;
+    rdn.attributes.push_back(odd);
+    cert.subject.rdns.push_back(rdn);
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_bmpstring_odd_length"));
+
+    Certificate cert2 = compliant_cert();
+    x509::AttributeValue surr;
+    surr.type = oids::organization_name();
+    surr.string_type = StringType::kBmpString;
+    surr.value_bytes = {0xD8, 0x00, 0xDC, 0x00};
+    x509::Rdn rdn2;
+    rdn2.attributes.push_back(surr);
+    cert2.subject.rdns.push_back(rdn2);
+    EXPECT_TRUE(lint_cert(cert2).has_lint("e_bmpstring_surrogates"));
+}
+
+TEST(T3Encoding, EmailAndDcMustBeIa5) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::email_address(), "x@y.com", StringType::kUtf8String),
+        make_attribute(oids::domain_component(), "example", StringType::kUtf8String),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("e_email_address_not_ia5"));
+    EXPECT_TRUE(r.has_lint("e_domain_component_not_ia5"));
+}
+
+TEST(T3Encoding, SanRfc822NonAscii) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(
+        x509::make_san({dns_name("example.com"), x509::rfc822_name("usér@exämple.com")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_ext_san_rfc822_not_ascii"));
+}
+
+TEST(T3Encoding, AiaUriNonAscii) {
+    Certificate cert = compliant_cert();
+    cert.extensions.push_back(x509::make_aia({
+        {oids::ad_ca_issuers(), x509::uri_name("http://ça.example/ca.crt")},
+    }));
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_ext_aia_uri_not_ia5"));
+}
+
+TEST(T3Encoding, SmtpUtf8MailboxRules) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(x509::make_san({
+        dns_name("example.com"),
+        x509::smtp_utf8_mailbox("plain@example.com"),  // ASCII-only: should warn
+    }));
+    EXPECT_TRUE(lint_cert(cert).has_lint("w_smtp_utf8_mailbox_ascii_only"));
+
+    Certificate cert2 = compliant_cert();
+    cert2.extensions.clear();
+    cert2.extensions.push_back(x509::make_san({
+        dns_name("example.com"),
+        x509::smtp_utf8_mailbox("usér@xn--mnchen-3ya.example"),  // A-label domain
+    }));
+    EXPECT_TRUE(lint_cert(cert2).has_lint("e_smtp_utf8_mailbox_domain_a_label"));
+}
+
+// ---- T3 Structure & Discouraged ---------------------------------------------
+
+TEST(T3Structure, CnNotInSan) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(x509::make_san({dns_name("other.com")}));
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("w_cab_subject_common_name_not_in_san"));
+    EXPECT_TRUE(r.has_type(NcType::kInvalidStructure));
+}
+
+TEST(T3Structure, DuplicateNonCnAttribute) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), "One"),
+        make_attribute(oids::organization_name(), "Two"),
+    });
+    EXPECT_TRUE(lint_cert(cert).has_lint("e_rfc_subject_duplicate_attribute"));
+}
+
+TEST(T3Discouraged, ExtraCommonName) {
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::common_name(), "example.com"),
+    });
+    CertReport r = lint_cert(cert);
+    EXPECT_TRUE(r.has_lint("w_cab_subject_contain_extra_common_name"));
+    EXPECT_TRUE(r.has_type(NcType::kDiscouragedField));
+}
+
+TEST(T3Discouraged, SanUri) {
+    Certificate cert = compliant_cert();
+    cert.extensions.clear();
+    cert.extensions.push_back(
+        x509::make_san({dns_name("example.com"), x509::uri_name("https://example.com")}));
+    EXPECT_TRUE(lint_cert(cert).has_lint("w_discouraged_san_uri"));
+}
+
+// ---- Effective dates ----------------------------------------------------------
+
+TEST(EffectiveDates, OldCertsExemptFromNewRules) {
+    // A 2010 certificate violating a CABF rule (effective 2012-07).
+    Certificate cert = compliant_cert();
+    cert.validity = {asn1::make_time(2010, 1, 1), asn1::make_time(2013, 1, 1)};
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com", StringType::kBmpString),
+    });
+    cert.extensions.clear();
+
+    CertReport with_dates = run_lints(cert);
+    EXPECT_FALSE(with_dates.has_lint("e_subject_common_name_not_printable_or_utf8"));
+
+    CertReport ignore_dates = run_lints(cert, default_registry(), {.respect_effective_dates = false});
+    EXPECT_TRUE(ignore_dates.has_lint("e_subject_common_name_not_printable_or_utf8"));
+}
+
+TEST(EffectiveDates, IgnoringDatesOnlyAddsFindings) {
+    // Property: every finding under effective dates is also found when
+    // dates are ignored (footnote 4's 249K -> 1.8M direction).
+    Certificate cert = compliant_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+        make_attribute(oids::organization_name(), std::string("Ev\0il", 5)),
+    });
+    CertReport strict = run_lints(cert);
+    CertReport loose = run_lints(cert, default_registry(), {.respect_effective_dates = false});
+    EXPECT_GE(loose.findings.size(), strict.findings.size());
+    for (const Finding& f : strict.findings) {
+        EXPECT_TRUE(loose.has_lint(f.lint->name)) << f.lint->name;
+    }
+}
+
+}  // namespace
+}  // namespace unicert::lint

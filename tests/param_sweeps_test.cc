@@ -1,0 +1,220 @@
+// Parameterized property sweeps across the library's big cross
+// products: (library × string type × context) differential inference,
+// Punycode round-trip fuzz, per-string-type encode/validate laws, and
+// effective-date monotonicity of the lint registry.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ctlog/corpus.h"
+#include "idna/punycode.h"
+#include "lint/lint.h"
+#include "tlslib/differential.h"
+#include "unicode/blocks.h"
+#include "unicode/properties.h"
+#include "x509/builder.h"
+
+namespace unicert {
+namespace {
+
+// ---- Sweep 1: differential inference over library × type × context --------
+
+using Combo = std::tuple<tlslib::Library, asn1::StringType, tlslib::FieldContext>;
+
+class InferenceSweep : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(InferenceSweep, InferenceIsTotalAndConsistent) {
+    auto [lib, st, ctx] = GetParam();
+    tlslib::DifferentialRunner runner;
+    tlslib::InferredDecoding d = runner.infer(lib, {st, ctx});
+
+    tlslib::DecodeBehavior behavior = tlslib::decode_behavior(lib, st, ctx);
+    EXPECT_EQ(d.supported, behavior.supported);
+
+    tlslib::DecodeClass c = tlslib::classify_decoding(st, d);
+    if (!behavior.supported) {
+        EXPECT_EQ(c, tlslib::DecodeClass::kUnsupported);
+        return;
+    }
+    // The inference must land on *some* candidate for supported
+    // scenarios — observed outputs come from the 5-method space.
+    EXPECT_TRUE(d.method.has_value()) << tlslib::library_name(lib) << "/"
+                                      << asn1::string_type_name(st);
+    // The inferred method must reproduce the profile's configured one
+    // whenever the profile decodes without errors.
+    if (d.method && !d.parse_errors) {
+        EXPECT_EQ(*d.method, behavior.method)
+            << tlslib::library_name(lib) << "/" << asn1::string_type_name(st);
+    }
+}
+
+std::vector<Combo> inference_combos() {
+    std::vector<Combo> combos;
+    for (tlslib::Library lib : tlslib::kAllLibraries) {
+        for (asn1::StringType st :
+             {asn1::StringType::kPrintableString, asn1::StringType::kIa5String,
+              asn1::StringType::kUtf8String, asn1::StringType::kBmpString,
+              asn1::StringType::kTeletexString}) {
+            combos.emplace_back(lib, st, tlslib::FieldContext::kDnName);
+        }
+        combos.emplace_back(lib, asn1::StringType::kIa5String,
+                            tlslib::FieldContext::kGeneralName);
+        combos.emplace_back(lib, asn1::StringType::kIa5String, tlslib::FieldContext::kCrlDp);
+    }
+    return combos;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+    auto [lib, st, ctx] = info.param;
+    std::string name = std::string(tlslib::library_name(lib)) + "_" +
+                       asn1::string_type_name(st) + "_" + tlslib::field_context_name(ctx);
+    for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, InferenceSweep,
+                         ::testing::ValuesIn(inference_combos()), combo_name);
+
+// ---- Sweep 2: Punycode round-trip fuzz ---------------------------------------
+
+class PunycodeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PunycodeFuzz, EncodeDecodeIsIdentity) {
+    ctlog::Rng rng(GetParam());
+    unicode::CodePoints sample = unicode::sample_per_block();
+    for (int iter = 0; iter < 50; ++iter) {
+        unicode::CodePoints label;
+        size_t len = 1 + rng.below(24);
+        for (size_t i = 0; i < len; ++i) {
+            // Mix ASCII LDH with random block samples.
+            if (rng.chance(0.5)) {
+                label.push_back('a' + static_cast<unicode::CodePoint>(rng.below(26)));
+            } else {
+                label.push_back(sample[rng.below(sample.size())]);
+            }
+        }
+        auto encoded = idna::punycode_encode(label);
+        ASSERT_TRUE(encoded.ok());
+        auto decoded = idna::punycode_decode(encoded.value());
+        ASSERT_TRUE(decoded.ok()) << encoded.value();
+        EXPECT_EQ(decoded.value(), label) << encoded.value();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PunycodeFuzz, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---- Sweep 3: per-string-type encode/validate laws ----------------------------
+
+class StringTypeLaws : public ::testing::TestWithParam<asn1::StringType> {};
+
+TEST_P(StringTypeLaws, CheckedEncodeAlwaysValidates) {
+    asn1::StringType st = GetParam();
+    // A value drawn from the type's own charset.
+    unicode::CodePoints value;
+    for (unicode::CodePoint cp = 0; cp < 0x250 && value.size() < 12; ++cp) {
+        if (asn1::in_standard_charset(st, cp) && unicode::is_printable_ascii(cp)) {
+            value.push_back(cp);
+        }
+    }
+    if (value.empty()) value.push_back('0');  // NumericString fallback
+    auto encoded = asn1::encode_checked(st, value);
+    ASSERT_TRUE(encoded.ok()) << asn1::string_type_name(st);
+    EXPECT_TRUE(asn1::validate_value_bytes(st, encoded.value()).ok())
+        << asn1::string_type_name(st);
+}
+
+TEST_P(StringTypeLaws, StrictDecodeRoundTripsCheckedEncode) {
+    asn1::StringType st = GetParam();
+    unicode::CodePoints value = {'0', '1'};  // valid in every type
+    auto encoded = asn1::encode_checked(st, value);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = asn1::decode_strict(st, encoded.value());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), value);
+}
+
+TEST_P(StringTypeLaws, CharsetViolationCaughtByValidate) {
+    asn1::StringType st = GetParam();
+    // '@' violates Printable/Numeric/Visible? ('@' IS visible: 0x40 in
+    // 0x20..7E) — use a control character instead, which violates every
+    // restricted type while remaining encodable.
+    unicode::CodePoint bad = 0x01;
+    if (asn1::in_standard_charset(st, bad)) {
+        GTEST_SKIP() << asn1::string_type_name(st) << " admits controls";
+    }
+    auto encoded = asn1::encode_unchecked(st, {bad});
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_FALSE(asn1::validate_value_bytes(st, encoded.value()).ok());
+}
+
+std::string string_type_param_name(const ::testing::TestParamInfo<asn1::StringType>& info) {
+    return asn1::string_type_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, StringTypeLaws,
+    ::testing::Values(asn1::StringType::kUtf8String, asn1::StringType::kNumericString,
+                      asn1::StringType::kPrintableString, asn1::StringType::kIa5String,
+                      asn1::StringType::kVisibleString, asn1::StringType::kUniversalString,
+                      asn1::StringType::kBmpString, asn1::StringType::kTeletexString),
+    string_type_param_name);
+
+// ---- Sweep 4: effective-date monotonicity over corpus slices -----------------
+
+class EffectiveDateSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EffectiveDateSweep, StrictFindingsAreSubsetOfLoose) {
+    ctlog::CorpusGenerator gen({.seed = GetParam(), .scale = 40000.0});
+    auto corpus = gen.generate();
+    size_t checked = 0;
+    for (const ctlog::CorpusCert& c : corpus) {
+        lint::CertReport strict = lint::run_lints(c.cert);
+        lint::CertReport loose =
+            lint::run_lints(c.cert, lint::default_registry(), {.respect_effective_dates = false});
+        EXPECT_GE(loose.findings.size(), strict.findings.size());
+        for (const lint::Finding& f : strict.findings) {
+            EXPECT_TRUE(loose.has_lint(f.lint->name)) << f.lint->name;
+        }
+        if (++checked >= 150) break;
+    }
+    EXPECT_GE(checked, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EffectiveDateSweep, ::testing::Values(21u, 22u, 23u));
+
+// ---- Sweep 5: block table properties -------------------------------------------
+
+class BlockSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BlockSweep, SampleBelongsToBlockAndSurvivesUtf8) {
+    auto blocks = unicode::all_blocks();
+    const unicode::Block& block = blocks[GetParam()];
+    if (block.is_surrogate_block()) GTEST_SKIP();
+    unicode::CodePoints sample = unicode::sample_per_block();
+    // Find this block's sample by containment.
+    bool found = false;
+    for (unicode::CodePoint cp : sample) {
+        if (block.contains(cp)) {
+            found = true;
+            auto encoded = unicode::encode({cp}, unicode::Encoding::kUtf8);
+            ASSERT_TRUE(encoded.ok());
+            auto decoded = unicode::decode(encoded.value(), unicode::Encoding::kUtf8);
+            ASSERT_TRUE(decoded.ok());
+            EXPECT_EQ(decoded.value()[0], cp);
+        }
+    }
+    EXPECT_TRUE(found) << block.name;
+}
+
+std::vector<size_t> every_eighth_block() {
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < unicode::all_blocks().size(); i += 8) indices.push_back(i);
+    return indices;
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryEighth, BlockSweep, ::testing::ValuesIn(every_eighth_block()));
+
+}  // namespace
+}  // namespace unicert

@@ -1,0 +1,142 @@
+// Tests for browser rendering models (Table 14 / Appendix F.1).
+#include "threat/browser.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "unicode/codec.h"
+#include "x509/builder.h"
+
+namespace unicert::threat {
+namespace {
+
+namespace oids = asn1::oids;
+
+TEST(Policy, Table14Shape) {
+    // Only Firefox renders controls without marking (G1.1).
+    EXPECT_FALSE(browser_policy(Browser::kFirefox).marks_c0_c1);
+    EXPECT_TRUE(browser_policy(Browser::kSafari).marks_c0_c1);
+    EXPECT_TRUE(browser_policy(Browser::kChromiumFamily).marks_c0_c1);
+    // Layout controls invisible everywhere.
+    for (Browser b : kAllBrowsers) {
+        EXPECT_FALSE(browser_policy(b).layout_controls_visible) << browser_name(b);
+        EXPECT_FALSE(browser_policy(b).detects_homographs) << browser_name(b);
+    }
+    // Chromium lacks ASN.1 range checking (Table 14 ✗); warning pages
+    // spoofable on Chromium and Firefox, not Safari.
+    EXPECT_FALSE(browser_policy(Browser::kChromiumFamily).asn1_range_checking);
+    EXPECT_TRUE(browser_policy(Browser::kChromiumFamily).warning_page_spoofable);
+    EXPECT_FALSE(browser_policy(Browser::kSafari).warning_page_spoofable);
+}
+
+TEST(Bidi, RloReversesRun) {
+    // "www.<RLO>lapyap<PDF>.com" -> "www.paypal.com" (Figure 7).
+    auto cps = unicode::utf8_to_codepoints("www.\xE2\x80\xAElapyap\xE2\x80\xAC.com");
+    ASSERT_TRUE(cps.ok());
+    EXPECT_EQ(apply_bidi_overrides(cps.value()), "www.paypal.com");
+}
+
+TEST(Bidi, NestedOverrides) {
+    // RLO(ab RLO(cd) ef): inner reverses to dc, outer reverses the lot.
+    auto cps = unicode::utf8_to_codepoints(
+        "\xE2\x80\xAE"  // RLO
+        "ab"
+        "\xE2\x80\xAE"  // RLO
+        "cd"
+        "\xE2\x80\xAC"  // PDF
+        "ef"
+        "\xE2\x80\xAC");  // PDF
+    ASSERT_TRUE(cps.ok());
+    // Inner run "cd" is carried as a unit; simplified UBA reverses the
+    // outer run contents.
+    std::string out = apply_bidi_overrides(cps.value());
+    EXPECT_EQ(out.size(), 6u);
+    EXPECT_EQ(out, "fedcba");
+}
+
+TEST(Bidi, UnterminatedRloRunsToEnd) {
+    auto cps = unicode::utf8_to_codepoints("x\xE2\x80\xAE" "abc");
+    ASSERT_TRUE(cps.ok());
+    EXPECT_EQ(apply_bidi_overrides(cps.value()), "xcba");
+}
+
+TEST(Bidi, OtherControlsVanishWithoutReordering) {
+    auto cps = unicode::utf8_to_codepoints("a\xE2\x80\x8E" "b");  // LRM
+    ASSERT_TRUE(cps.ok());
+    EXPECT_EQ(apply_bidi_overrides(cps.value()), "ab");
+}
+
+TEST(Render, FirefoxShowsControlsRaw) {
+    std::string out = render_for_display(Browser::kFirefox, std::string("a\x01b", 3));
+    EXPECT_EQ(out, std::string("a\x01b", 3));
+}
+
+TEST(Render, ChromiumMarksControls) {
+    std::string out = render_for_display(Browser::kChromiumFamily, std::string("a\0" "b", 3));
+    EXPECT_EQ(out, "a%00b");
+}
+
+TEST(Render, LayoutControlsInvisibleEverywhere) {
+    for (Browser b : kAllBrowsers) {
+        std::string out = render_for_display(b, "pay\xE2\x80\x8Bpal");  // ZWSP
+        EXPECT_EQ(out, "paypal") << browser_name(b);
+    }
+}
+
+TEST(Render, GreekQuestionMarkMisSubstituted) {
+    // Table 14's incorrect substitution: U+037E -> ';' not '?'.
+    std::string out = render_for_display(Browser::kChromiumFamily, "ask\xCD\xBE");
+    EXPECT_EQ(out, "ask;");
+}
+
+TEST(Spoof, BidiPaypalWorksEverywhere) {
+    std::string crafted = "www.\xE2\x80\xAElapyap\xE2\x80\xAC.com";
+    for (Browser b : kAllBrowsers) {
+        EXPECT_TRUE(can_spoof(b, crafted, "www.paypal.com")) << browser_name(b);
+    }
+}
+
+TEST(Spoof, IdenticalStringsAreNotSpoofs) {
+    EXPECT_FALSE(can_spoof(Browser::kFirefox, "paypal.com", "paypal.com"));
+}
+
+TEST(Spoof, VisiblyDifferentStringsDoNotSpoof) {
+    EXPECT_FALSE(can_spoof(Browser::kChromiumFamily, "evil.com", "paypal.com"));
+}
+
+TEST(WarningPage, ChromiumUsesSubjectCnFirefoxUsesSan) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x02};
+    cert.subject = x509::make_dn({
+        x509::make_attribute(oids::common_name(), "subject-cn.example"),
+    });
+    cert.issuer = cert.subject;
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.extensions.push_back(x509::make_san({x509::dns_name("san-name.example")}));
+
+    EXPECT_EQ(warning_page_identity(Browser::kChromiumFamily, cert), "subject-cn.example");
+    EXPECT_EQ(warning_page_identity(Browser::kFirefox, cert), "san-name.example");
+}
+
+TEST(WarningPage, BidiSpoofOnChromiumWarning) {
+    // Figure 7: the crafted CN makes the warning page display paypal.
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x03};
+    cert.subject = x509::make_dn({
+        x509::make_attribute(oids::common_name(), "www.\xE2\x80\xAElapyap\xE2\x80\xAC.com"),
+    });
+    cert.issuer = cert.subject;
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    EXPECT_EQ(warning_page_identity(Browser::kChromiumFamily, cert), "www.paypal.com");
+}
+
+TEST(Names, EnginesAndLabels) {
+    EXPECT_STREQ(browser_engine(Browser::kFirefox), "Gecko");
+    EXPECT_STREQ(browser_engine(Browser::kSafari), "Webkit");
+    EXPECT_STREQ(browser_engine(Browser::kChromiumFamily), "Blink");
+}
+
+}  // namespace
+}  // namespace unicert::threat

@@ -1,0 +1,112 @@
+// Tests for middlebox / client models (Section 6.2's P2.1 and P2.2).
+#include "threat/middlebox.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::threat {
+namespace {
+
+namespace oids = asn1::oids;
+
+x509::Certificate cert_with_cns(std::vector<std::string> cns) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x01};
+    std::vector<x509::AttributeValue> attrs;
+    for (const std::string& cn : cns) {
+        attrs.push_back(x509::make_attribute(oids::common_name(), cn));
+    }
+    cert.subject = x509::make_dn(std::move(attrs));
+    cert.issuer = cert.subject;
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    return cert;
+}
+
+TEST(Extraction, SnortFirstZeekLast) {
+    x509::Certificate cert = cert_with_cns({"first.example", "last.example"});
+    auto snort = extract_entities(Middlebox::kSnort, cert);
+    ASSERT_EQ(snort.common_names.size(), 1u);
+    EXPECT_EQ(snort.common_names[0], "first.example");
+
+    auto zeek = extract_entities(Middlebox::kZeek, cert);
+    ASSERT_EQ(zeek.common_names.size(), 1u);
+    EXPECT_EQ(zeek.common_names[0], "last.example");
+
+    auto suricata = extract_entities(Middlebox::kSuricata, cert);
+    EXPECT_EQ(suricata.common_names.size(), 2u);
+}
+
+TEST(Extraction, ZeekIgnoresNonIa5Sans) {
+    x509::Certificate cert = cert_with_cns({"host.example"});
+    cert.extensions.push_back(x509::make_san({
+        x509::dns_name("ascii.example"),
+        x509::dns_name("münchen.example"),  // UTF-8 bytes, not IA5
+    }));
+    auto zeek = extract_entities(Middlebox::kZeek, cert);
+    ASSERT_EQ(zeek.san_dns.size(), 1u);
+    EXPECT_EQ(zeek.san_dns[0], "ascii.example");
+
+    auto snort = extract_entities(Middlebox::kSnort, cert);
+    EXPECT_EQ(snort.san_dns.size(), 2u);
+}
+
+TEST(Blocklist, SuricataCaseSensitiveBypass) {
+    x509::Certificate evil = cert_with_cns({"EVIL ENTITY"});
+    EXPECT_FALSE(blocklist_matches(Middlebox::kSuricata, evil, "Evil Entity"));
+    // Case-folding engines still catch it.
+    EXPECT_TRUE(blocklist_matches(Middlebox::kSnort, evil, "Evil Entity"));
+    EXPECT_TRUE(blocklist_matches(Middlebox::kZeek, evil, "Evil Entity"));
+}
+
+TEST(Blocklist, NulVariantBypassesEveryEngine) {
+    x509::Certificate evil = cert_with_cns({std::string("Evil\0 Entity", 12)});
+    for (Middlebox mb : kAllMiddleboxes) {
+        EXPECT_FALSE(blocklist_matches(mb, evil, "Evil Entity")) << middlebox_name(mb);
+    }
+}
+
+TEST(Blocklist, DuplicateCnPositioningSplitsEngines) {
+    // Malicious CN last: Snort (first) misses, Zeek (last) catches.
+    x509::Certificate cert = cert_with_cns({"benign.example", "Evil Entity"});
+    EXPECT_FALSE(blocklist_matches(Middlebox::kSnort, cert, "Evil Entity"));
+    EXPECT_TRUE(blocklist_matches(Middlebox::kZeek, cert, "Evil Entity"));
+    // And the mirror image.
+    x509::Certificate cert2 = cert_with_cns({"Evil Entity", "benign.example"});
+    EXPECT_TRUE(blocklist_matches(Middlebox::kSnort, cert2, "Evil Entity"));
+    EXPECT_FALSE(blocklist_matches(Middlebox::kZeek, cert2, "Evil Entity"));
+}
+
+TEST(Blocklist, ExactMatchStillWorks) {
+    x509::Certificate evil = cert_with_cns({"Evil Entity"});
+    for (Middlebox mb : kAllMiddleboxes) {
+        EXPECT_TRUE(blocklist_matches(mb, evil, "Evil Entity")) << middlebox_name(mb);
+    }
+}
+
+TEST(Clients, Urllib3AcceptsULabelSans) {
+    // P2.2: urllib3/requests pass U-labels; libcurl/HttpClient reject.
+    x509::GeneralName ulabel = x509::dns_name("münchen.example");
+    EXPECT_TRUE(validate_san_entry(HttpClient::kUrllib3, ulabel).accepted);
+    EXPECT_TRUE(validate_san_entry(HttpClient::kRequests, ulabel).accepted);
+    EXPECT_FALSE(validate_san_entry(HttpClient::kLibcurl, ulabel).accepted);
+    EXPECT_FALSE(validate_san_entry(HttpClient::kHttpClient, ulabel).accepted);
+}
+
+TEST(Clients, AllAcceptProperALabels) {
+    x509::GeneralName alabel = x509::dns_name("xn--mnchen-3ya.example");
+    for (HttpClient c : kAllClients) {
+        EXPECT_TRUE(validate_san_entry(c, alabel).accepted) << http_client_name(c);
+    }
+}
+
+TEST(Names, Labels) {
+    EXPECT_STREQ(middlebox_name(Middlebox::kSnort), "Snort");
+    EXPECT_STREQ(middlebox_name(Middlebox::kZeek), "Zeek");
+    EXPECT_STREQ(http_client_name(HttpClient::kUrllib3), "urllib3");
+}
+
+}  // namespace
+}  // namespace unicert::threat

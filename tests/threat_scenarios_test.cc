@@ -1,0 +1,159 @@
+// Integration tests for the Section 6 threat scenario runners.
+#include "threat/scenarios.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::threat {
+namespace {
+
+TEST(MonitorMisleading, ForgedCertsConcealedSomewhere) {
+    auto results = run_monitor_misleading("victim.example");
+    ASSERT_FALSE(results.empty());
+    // 5 monitors × 4 techniques.
+    EXPECT_EQ(results.size(), 20u);
+
+    // Every forgery was honestly logged…
+    for (const auto& r : results) EXPECT_TRUE(r.logged);
+
+    // …yet every monitor can be misled by at least one technique.
+    for (const char* monitor : {"Crt.sh", "SSLMate Spotter", "Facebook Monitor",
+                                "Entrust Search", "MerkleMap"}) {
+        bool misled = false;
+        for (const auto& r : results) {
+            if (r.monitor == monitor && r.concealed) misled = true;
+        }
+        EXPECT_TRUE(misled) << monitor;
+    }
+}
+
+TEST(MonitorMisleading, NulTechniqueBeatsExactMatchMonitors) {
+    auto results = run_monitor_misleading("victim.example");
+    for (const auto& r : results) {
+        if (r.technique != "NUL byte in CN") continue;
+        if (r.monitor == "SSLMate Spotter" || r.monitor == "Facebook Monitor" ||
+            r.monitor == "Entrust Search") {
+            EXPECT_TRUE(r.concealed) << r.monitor;
+        }
+    }
+}
+
+TEST(MonitorMisleading, FuzzyMonitorsResistSuffixTricks) {
+    auto results = run_monitor_misleading("victim.example");
+    for (const auto& r : results) {
+        if (r.monitor == "Crt.sh" && r.technique == "slash suffix in CN") {
+            EXPECT_FALSE(r.concealed);  // substring match still hits
+        }
+    }
+}
+
+TEST(TrafficObfuscation, NulBypassesAllMiddleboxes) {
+    auto results = run_traffic_obfuscation();
+    size_t nul_evasions = 0;
+    for (const auto& r : results) {
+        if (r.technique == "NUL byte in CN" && r.evaded) ++nul_evasions;
+    }
+    EXPECT_EQ(nul_evasions, 3u);  // Snort, Suricata, Zeek
+}
+
+TEST(TrafficObfuscation, CaseVariantOnlyBypassesSuricata) {
+    auto results = run_traffic_obfuscation();
+    for (const auto& r : results) {
+        if (r.technique != "case variant in CN") continue;
+        if (r.component == "Suricata") {
+            EXPECT_TRUE(r.evaded);
+        } else {
+            EXPECT_FALSE(r.evaded) << r.component;
+        }
+    }
+}
+
+TEST(TrafficObfuscation, DuplicateCnSplitsSnortAndZeek) {
+    auto results = run_traffic_obfuscation();
+    auto find = [&](const std::string& comp, const std::string& tech) -> const ObfuscationResult* {
+        for (const auto& r : results) {
+            if (r.component == comp && r.technique == tech) return &r;
+        }
+        return nullptr;
+    };
+    ASSERT_NE(find("Snort", "duplicate CN, malicious last"), nullptr);
+    EXPECT_TRUE(find("Snort", "duplicate CN, malicious last")->evaded);
+    EXPECT_FALSE(find("Zeek", "duplicate CN, malicious last")->evaded);
+    EXPECT_FALSE(find("Snort", "duplicate CN, malicious first")->evaded);
+    EXPECT_TRUE(find("Zeek", "duplicate CN, malicious first")->evaded);
+}
+
+TEST(TrafficObfuscation, NonIa5SanInvisibleToZeekOnly) {
+    auto results = run_traffic_obfuscation();
+    for (const auto& r : results) {
+        if (r.technique != "non-IA5 SAN entry") continue;
+        EXPECT_EQ(r.evaded, r.component == "Zeek") << r.component;
+    }
+}
+
+TEST(TrafficObfuscation, ClientLeniencySplit) {
+    auto results = run_traffic_obfuscation();
+    for (const auto& r : results) {
+        if (r.technique != "U-label SAN accepted without Punycode validation") continue;
+        bool lenient = r.component == "urllib3" || r.component == "requests";
+        EXPECT_EQ(r.evaded, lenient) << r.component;
+    }
+}
+
+TEST(CrlSpoof, ControlByteRedirectsRevocationFetch) {
+    CrlSpoofResult r = run_crl_spoof();
+    EXPECT_TRUE(r.redirected);
+    EXPECT_EQ(r.parsed_url, "http://ssl.test.com/revoked.crl");
+    EXPECT_NE(r.crafted_url, r.parsed_url);
+}
+
+TEST(SanForgery, PyOpenSslForgedOthersNot) {
+    auto results = run_san_forgery();
+    EXPECT_EQ(results.size(), 9u);
+    bool py_forged = false, node_forged = false, any_structured = false;
+    for (const auto& r : results) {
+        if (r.library == "PyOpenSSL") py_forged = r.forged;
+        if (r.library == "Node.js Crypto") node_forged = r.forged;
+        if (r.rendered == "(structured output)") any_structured = true;
+    }
+    EXPECT_TRUE(py_forged);
+    EXPECT_FALSE(node_forged);
+    EXPECT_TRUE(any_structured);  // Go-style structured storage immune
+}
+
+TEST(UserSpoofing, BidiAndZwspSucceedEverywhere) {
+    auto results = run_user_spoofing();
+    ASSERT_EQ(results.size(), 6u);  // 3 browsers × 2 payloads
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.spoof_success) << r.browser << " / " << r.crafted_value;
+    }
+    // And the rendered text is the innocuous target.
+    EXPECT_EQ(results[0].displayed, "www.paypal.com");
+}
+
+TEST(Homograph, LookalikesAreRegistrableAndCollide) {
+    auto results = run_homograph_study();
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.idna_valid) << r.homograph_ulabel;
+        EXPECT_FALSE(r.homograph_alabel.empty());
+        EXPECT_TRUE(r.homograph_alabel.starts_with("xn--")) << r.homograph_alabel;
+        EXPECT_TRUE(r.skeleton_collision) << r.homograph_ulabel;
+        // Table 14: no engine detects homographs.
+        EXPECT_EQ(r.browsers_vulnerable, 3u);
+        // The A-label is a legal Punycode query everywhere that accepts
+        // Punycode (all five profiles; the .com TLD dodges Entrust's
+        // ccTLD refusal).
+        EXPECT_EQ(r.monitors_accepting_query, 5u) << r.homograph_alabel;
+    }
+}
+
+TEST(Homograph, SkeletonDetectorWouldCatchWhatBrowsersMiss) {
+    // The defensive takeaway: the same confusable-skeleton machinery
+    // the monitors/browsers lack flags every study case.
+    for (const auto& r : run_homograph_study()) {
+        EXPECT_TRUE(r.skeleton_collision);
+    }
+}
+
+}  // namespace
+}  // namespace unicert::threat

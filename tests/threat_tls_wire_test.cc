@@ -1,0 +1,97 @@
+// Tests for the TLS 1.2 Certificate-message wire framing and the
+// passive-inspection boundary between TLS 1.2 and 1.3.
+#include "threat/tls_wire.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "threat/middlebox.h"
+#include "x509/builder.h"
+
+namespace unicert::threat {
+namespace {
+
+namespace oids = asn1::oids;
+
+x509::Certificate make_cert(const std::string& cn) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x21};
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), cn)});
+    cert.issuer = x509::make_dn({x509::make_attribute(oids::organization_name(), "Wire CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name(cn).public_key();
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Wire CA");
+    x509::sign_certificate(cert, ca);
+    return cert;
+}
+
+TEST(Wire, RoundTripSingleCert) {
+    x509::Certificate cert = make_cert("wire.example");
+    Bytes record = encode_certificate_record({cert.der});
+    auto message = parse_certificate_record(record);
+    ASSERT_TRUE(message.ok()) << message.error().message;
+    EXPECT_EQ(message->version, TlsVersion::kTls12);
+    ASSERT_EQ(message->chain_der.size(), 1u);
+    EXPECT_EQ(message->chain_der[0], cert.der);
+}
+
+TEST(Wire, RoundTripChain) {
+    x509::Certificate leaf = make_cert("leaf.example");
+    x509::Certificate intermediate = make_cert("Intermediate CA");
+    Bytes record = encode_certificate_record({leaf.der, intermediate.der});
+    auto message = parse_certificate_record(record);
+    ASSERT_TRUE(message.ok());
+    ASSERT_EQ(message->chain_der.size(), 2u);
+    EXPECT_EQ(message->chain_der[0], leaf.der);
+    EXPECT_EQ(message->chain_der[1], intermediate.der);
+}
+
+TEST(Wire, RejectsTruncation) {
+    x509::Certificate cert = make_cert("wire.example");
+    Bytes record = encode_certificate_record({cert.der});
+    for (size_t cut : {size_t{3}, size_t{5}, size_t{8}, record.size() - 10}) {
+        Bytes truncated(record.begin(), record.begin() + cut);
+        EXPECT_FALSE(parse_certificate_record(truncated).ok()) << cut;
+    }
+}
+
+TEST(Wire, RejectsNonHandshakeRecord) {
+    Bytes alert = {21, 0x03, 0x03, 0x00, 0x02, 0x02, 0x28};
+    EXPECT_FALSE(parse_certificate_record(alert).ok());
+}
+
+TEST(PassiveInspection, Tls12LeafExtracted) {
+    x509::Certificate cert = make_cert("visible.example");
+    Bytes record = encode_certificate_record({cert.der}, TlsVersion::kTls12);
+    auto leaf = passively_extract_leaf(record);
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_EQ(leaf->subject, cert.subject);
+}
+
+TEST(PassiveInspection, Tls13IsOpaque) {
+    // The paper scopes traffic obfuscation to "TLS 1.2 and earlier":
+    // under 1.3 the middlebox never sees the certificate at all.
+    x509::Certificate cert = make_cert("hidden.example");
+    Bytes record = encode_certificate_record({cert.der}, TlsVersion::kTls13);
+    EXPECT_FALSE(passively_extract_leaf(record).has_value());
+}
+
+TEST(PassiveInspection, FeedsMiddleboxExtraction) {
+    // Full wire-to-ruleset path: intercept record -> leaf -> blocklist.
+    x509::Certificate evil = make_cert("Evil Entity");
+    Bytes record = encode_certificate_record({evil.der});
+    auto leaf = passively_extract_leaf(record);
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_TRUE(blocklist_matches(Middlebox::kSnort, *leaf, "Evil Entity"));
+
+    // …and the NUL-poisoned variant still evades through the same path.
+    x509::Certificate sneaky = make_cert(std::string("Evil\0 Entity", 12));
+    Bytes record2 = encode_certificate_record({sneaky.der});
+    auto leaf2 = passively_extract_leaf(record2);
+    ASSERT_TRUE(leaf2.has_value());
+    EXPECT_FALSE(blocklist_matches(Middlebox::kSnort, *leaf2, "Evil Entity"));
+}
+
+}  // namespace
+}  // namespace unicert::threat

@@ -1,0 +1,195 @@
+// Tests for the differential engine: the Section 3.2 inference must
+// recover each profile's decoding matrix and the Table 5 violations.
+#include "tlslib/differential.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::StringType;
+using unicode::Encoding;
+
+const DifferentialRunner& runner() {
+    static const DifferentialRunner r;
+    return r;
+}
+
+TEST(Payloads, CoverByteRangeAndBlocks) {
+    auto payloads = DifferentialRunner::test_payloads(StringType::kPrintableString);
+    // 1 baseline + 256 byte-embeds + UTF-8 + UCS-2 + block batches.
+    EXPECT_GT(payloads.size(), 270u);
+}
+
+TEST(Infer, GnuTlsPrintableIsOverTolerantUtf8) {
+    InferredDecoding d =
+        runner().infer(Library::kGnuTls, {StringType::kPrintableString, FieldContext::kDnName});
+    ASSERT_TRUE(d.supported);
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_EQ(*d.method, Encoding::kUtf8);
+    EXPECT_EQ(classify_decoding(StringType::kPrintableString, d), DecodeClass::kOverTolerant);
+}
+
+TEST(Infer, ForgeUtf8IsIncompatibleLatin1) {
+    InferredDecoding d =
+        runner().infer(Library::kForge, {StringType::kUtf8String, FieldContext::kDnName});
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_EQ(*d.method, Encoding::kLatin1);
+    EXPECT_EQ(classify_decoding(StringType::kUtf8String, d), DecodeClass::kIncompatible);
+}
+
+TEST(Infer, OpenSslBmpIsIncompatibleAscii) {
+    InferredDecoding d =
+        runner().infer(Library::kOpenSsl, {StringType::kBmpString, FieldContext::kDnName});
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_EQ(*d.method, Encoding::kAscii);
+    EXPECT_EQ(classify_decoding(StringType::kBmpString, d), DecodeClass::kIncompatible);
+    EXPECT_TRUE(d.modified);  // and it hex-escapes, i.e. "Modified ASCII"
+}
+
+TEST(Infer, OpenSslPrintableIsModifiedAscii) {
+    InferredDecoding d =
+        runner().infer(Library::kOpenSsl, {StringType::kPrintableString, FieldContext::kDnName});
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_EQ(*d.method, Encoding::kAscii);
+    EXPECT_EQ(classify_decoding(StringType::kPrintableString, d), DecodeClass::kModified);
+    EXPECT_EQ(d.handling, unicode::ErrorPolicy::kHexEscape);
+}
+
+TEST(Infer, JavaPrintableIsModifiedAsciiWithReplacement) {
+    InferredDecoding d = runner().infer(Library::kJavaSecurity,
+                                        {StringType::kPrintableString, FieldContext::kDnName});
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_EQ(*d.method, Encoding::kAscii);
+    EXPECT_TRUE(d.modified);
+}
+
+TEST(Infer, GoIsStrictAndErrors) {
+    InferredDecoding d =
+        runner().infer(Library::kGoCrypto, {StringType::kUtf8String, FieldContext::kDnName});
+    ASSERT_TRUE(d.supported);
+    EXPECT_TRUE(d.parse_errors);  // malformed payloads rejected
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_FALSE(d.modified);
+    EXPECT_EQ(classify_decoding(StringType::kUtf8String, d), DecodeClass::kNoIssue);
+}
+
+TEST(Infer, BouncyCastleBmpIsOverTolerantUtf16) {
+    InferredDecoding d =
+        runner().infer(Library::kBouncyCastle, {StringType::kBmpString, FieldContext::kDnName});
+    ASSERT_TRUE(d.method.has_value());
+    EXPECT_EQ(classify_decoding(StringType::kBmpString, d), DecodeClass::kOverTolerant);
+}
+
+TEST(Infer, UnsupportedScenariosReported) {
+    InferredDecoding d =
+        runner().infer(Library::kOpenSsl, {StringType::kIa5String, FieldContext::kGeneralName});
+    EXPECT_FALSE(d.supported);
+    EXPECT_EQ(classify_decoding(StringType::kIa5String, d), DecodeClass::kUnsupported);
+}
+
+TEST(Violations, EveryLibraryHasAtLeastOne) {
+    // Section 5.2: "each TLS library exhibited at least one violation".
+    for (Library lib : kAllLibraries) {
+        bool any = false;
+        for (StringType st : {StringType::kPrintableString, StringType::kIa5String,
+                              StringType::kBmpString}) {
+            if (runner().illegal_char_violation(lib, st, FieldContext::kDnName) ==
+                ViolationClass::kUnexploited) {
+                any = true;
+            }
+        }
+        if (runner().illegal_char_violation(lib, StringType::kIa5String,
+                                            FieldContext::kGeneralName) ==
+            ViolationClass::kUnexploited) {
+            any = true;
+        }
+        for (x509::DnDialect d : {x509::DnDialect::kRfc2253, x509::DnDialect::kRfc4514,
+                                  x509::DnDialect::kRfc1779}) {
+            for (FieldContext ctx : {FieldContext::kDnName, FieldContext::kGeneralName}) {
+                ViolationClass v = runner().escaping_violation(lib, ctx, d);
+                if (v == ViolationClass::kUnexploited || v == ViolationClass::kExploited) {
+                    any = true;
+                }
+            }
+        }
+        EXPECT_TRUE(any) << library_name(lib);
+    }
+}
+
+TEST(Violations, PyOpenSslSanForgeryExploited) {
+    EXPECT_TRUE(runner().san_subfield_forgery_possible(Library::kPyOpenSsl));
+    EXPECT_EQ(runner().escaping_violation(Library::kPyOpenSsl, FieldContext::kGeneralName,
+                                          x509::DnDialect::kRfc2253),
+              ViolationClass::kExploited);
+}
+
+TEST(Violations, OpenSslDnForgeryExploited) {
+    EXPECT_TRUE(runner().dn_subfield_forgery_possible(Library::kOpenSsl));
+    EXPECT_EQ(runner().escaping_violation(Library::kOpenSsl, FieldContext::kDnName,
+                                          x509::DnDialect::kRfc2253),
+              ViolationClass::kExploited);
+}
+
+TEST(Violations, CompliantFormattersNotExploited) {
+    EXPECT_FALSE(runner().dn_subfield_forgery_possible(Library::kCryptography));
+    EXPECT_FALSE(runner().san_subfield_forgery_possible(Library::kNodeCrypto));
+}
+
+TEST(Violations, DocumentedDialectsOnlyAssessedAgainstTheirRfc) {
+    // Appendix E exclusion (ii): Cryptography documents RFC 4514.
+    EXPECT_EQ(runner().escaping_violation(Library::kCryptography, FieldContext::kDnName,
+                                          x509::DnDialect::kRfc1779),
+              ViolationClass::kUnsupported);
+    EXPECT_EQ(runner().escaping_violation(Library::kCryptography, FieldContext::kDnName,
+                                          x509::DnDialect::kRfc4514),
+              ViolationClass::kNone);
+}
+
+TEST(Violations, JavaCrossDialectDeviations) {
+    // Java's getName() is RFC2253-flavoured: clean there, deviating
+    // from 4514/1779 (Table 5's ⊙ cells).
+    EXPECT_EQ(runner().escaping_violation(Library::kJavaSecurity, FieldContext::kDnName,
+                                          x509::DnDialect::kRfc2253),
+              ViolationClass::kNone);
+    EXPECT_EQ(runner().escaping_violation(Library::kJavaSecurity, FieldContext::kDnName,
+                                          x509::DnDialect::kRfc4514),
+              ViolationClass::kUnexploited);
+    EXPECT_EQ(runner().escaping_violation(Library::kJavaSecurity, FieldContext::kDnName,
+                                          x509::DnDialect::kRfc1779),
+              ViolationClass::kUnexploited);
+}
+
+TEST(Violations, PrintableStringAcceptedByGnuTlsAndPyOpenSsl) {
+    // Table 5 row 1.
+    EXPECT_EQ(runner().illegal_char_violation(Library::kGnuTls, StringType::kPrintableString,
+                                              FieldContext::kDnName),
+              ViolationClass::kUnexploited);
+    EXPECT_EQ(runner().illegal_char_violation(Library::kPyOpenSsl, StringType::kPrintableString,
+                                              FieldContext::kDnName),
+              ViolationClass::kUnexploited);
+    EXPECT_EQ(runner().illegal_char_violation(Library::kGoCrypto, StringType::kPrintableString,
+                                              FieldContext::kDnName),
+              ViolationClass::kNone);
+    EXPECT_EQ(runner().illegal_char_violation(Library::kCryptography,
+                                              StringType::kPrintableString,
+                                              FieldContext::kDnName),
+              ViolationClass::kNone);
+}
+
+TEST(Violations, GoGeneralNameLeniency) {
+    EXPECT_EQ(runner().illegal_char_violation(Library::kGoCrypto, StringType::kIa5String,
+                                              FieldContext::kGeneralName),
+              ViolationClass::kUnexploited);
+}
+
+TEST(Symbols, Stable) {
+    EXPECT_STREQ(decode_class_symbol(DecodeClass::kNoIssue), "o");
+    EXPECT_STREQ(decode_class_symbol(DecodeClass::kOverTolerant), "OT");
+    EXPECT_STREQ(decode_class_symbol(DecodeClass::kIncompatible), "X");
+    EXPECT_STREQ(decode_class_symbol(DecodeClass::kModified), "M");
+    EXPECT_STREQ(violation_class_symbol(ViolationClass::kExploited), "X");
+}
+
+}  // namespace
+}  // namespace unicert::tlslib

@@ -1,0 +1,196 @@
+// Tests for the TLS library behaviour profiles: the concrete quirks
+// the paper reports in Sections 4.3.1, 5.1 and 5.2.
+#include "tlslib/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::StringType;
+namespace oids = asn1::oids;
+
+x509::AttributeValue attr(StringType st, Bytes bytes) {
+    x509::AttributeValue av;
+    av.type = oids::common_name();
+    av.string_type = st;
+    av.value_bytes = std::move(bytes);
+    return av;
+}
+
+TEST(Names, AllLibrariesNamed) {
+    for (Library lib : kAllLibraries) {
+        EXPECT_STRNE(library_name(lib), "?");
+    }
+    EXPECT_STREQ(library_name(Library::kGnuTls), "GnuTLS");
+    EXPECT_STREQ(library_name(Library::kForge), "Forge");
+}
+
+TEST(Forge, Utf8DecodedAsLatin1Mojibake) {
+    // Table 4: Forge decodes UTF8String with ISO-8859-1 (incompatible).
+    auto out = parse_attribute(Library::kForge, attr(StringType::kUtf8String,
+                                                     to_bytes("caf\xC3\xA9")));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "caf\xC3\x83\xC2\xA9");  // "cafÃ©"
+}
+
+TEST(GnuTls, PrintableStringDecodedAsUtf8) {
+    // Table 4: GnuTLS uses UTF-8 for every DN/GN type except BMPString.
+    auto out = parse_attribute(Library::kGnuTls, attr(StringType::kPrintableString,
+                                                      to_bytes("t\xC3\xABst")));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "tëst");  // UTF-8 read through, over-tolerant
+}
+
+TEST(OpenSsl, BmpStringReadBytewiseAsAscii) {
+    // Section 5.1's hostname spoof: UCS-2 CJK whose bytes spell
+    // "github.cn" in ASCII.
+    Bytes bmp = {0x67, 0x69, 0x74, 0x68, 0x75, 0x62, 0x2E, 0x63, 0x6E};
+    auto out = parse_attribute(Library::kOpenSsl, attr(StringType::kBmpString, bmp));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "github.cn");
+}
+
+TEST(OpenSsl, HexEscapesUndecodableBytes) {
+    Bytes payload = to_bytes("te");
+    payload.push_back(0xFF);
+    payload.push_back('s');
+    auto out = parse_attribute(Library::kOpenSsl, attr(StringType::kPrintableString, payload));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "te\\xffs");
+}
+
+TEST(Java, ReplacesNonAsciiWithFffd) {
+    Bytes payload = to_bytes("te");
+    payload.push_back(0xE9);
+    auto out = parse_attribute(Library::kJavaSecurity,
+                               attr(StringType::kPrintableString, payload));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "te\xEF\xBF\xBD");
+}
+
+TEST(Java, BmpStringAsciiCompatible) {
+    Bytes bmp = {0x67, 0x69, 0x74, 0x68, 0x75, 0x62, 0x2E, 0x63, 0x6E};
+    auto out = parse_attribute(Library::kJavaSecurity, attr(StringType::kBmpString, bmp));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "github.cn");
+}
+
+TEST(GoCrypto, RejectsInvalidPrintableString) {
+    // "asn1: syntax error: PrintableString contains invalid character".
+    auto out = parse_attribute(Library::kGoCrypto,
+                               attr(StringType::kPrintableString, to_bytes("te@st")));
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("invalid character"), std::string::npos);
+}
+
+TEST(GoCrypto, RejectsMalformedUtf8) {
+    Bytes bad = to_bytes("te");
+    bad.push_back(0xC3);
+    auto out = parse_attribute(Library::kGoCrypto, attr(StringType::kUtf8String, bad));
+    EXPECT_FALSE(out.ok);
+}
+
+TEST(GoCrypto, AcceptsValidValues) {
+    auto out = parse_attribute(Library::kGoCrypto,
+                               attr(StringType::kUtf8String, to_bytes("株式会社")));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "株式会社");
+}
+
+TEST(PyOpenSsl, CrlDpControlCharsBecomeDots) {
+    // Section 5.2(2): "http://ssl\x01test.com" -> "http://ssl.test.com",
+    // redirecting revocation checks.
+    x509::GeneralName gn = x509::uri_name(std::string("http://ssl\x01test.com", 19));
+    auto out = parse_general_name(Library::kPyOpenSsl, gn, FieldContext::kCrlDp);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "http://ssl.test.com");
+}
+
+TEST(PyOpenSsl, SanControlCharsSurviveOutsideCrlDp) {
+    x509::GeneralName gn = x509::dns_name(std::string("a\x01o.com", 7));
+    auto out = parse_general_name(Library::kPyOpenSsl, gn, FieldContext::kGeneralName);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, std::string("a\x01o.com", 7));
+}
+
+TEST(CnSelection, FirstVsLast) {
+    // Section 4.3.1: PyOpenSSL selects the first CN, Go the last.
+    x509::Certificate cert;
+    cert.subject = x509::make_dn({
+        x509::make_attribute(oids::common_name(), "first.com"),
+        x509::make_attribute(oids::common_name(), "last.com"),
+    });
+    EXPECT_EQ(extract_common_name(Library::kPyOpenSsl, cert), "first.com");
+    EXPECT_EQ(extract_common_name(Library::kGoCrypto, cert), "last.com");
+}
+
+TEST(FormatDn, OpenSslOnelineInjectable) {
+    // Table 5's DN subfield forgery: '/' boundaries are not escaped.
+    x509::DistinguishedName dn = x509::make_dn({
+        x509::make_attribute(oids::common_name(), "evil.com/CN=good.com"),
+    });
+    auto out = format_dn(Library::kOpenSsl, dn);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "/CN=evil.com/CN=good.com");
+}
+
+TEST(FormatDn, CryptographyEscapesRfc4514) {
+    x509::DistinguishedName dn = x509::make_dn({
+        x509::make_attribute(oids::common_name(), "evil.com,CN=good.com"),
+    });
+    auto out = format_dn(Library::kCryptography, dn);
+    ASSERT_TRUE(out.ok);
+    EXPECT_NE(out.value_utf8.find("\\,CN=good.com"), std::string::npos);
+}
+
+TEST(FormatDn, GoCryptoHasNoTextForm) {
+    x509::DistinguishedName dn = x509::make_dn({
+        x509::make_attribute(oids::common_name(), "a.com"),
+    });
+    EXPECT_FALSE(format_dn(Library::kGoCrypto, dn).ok);
+}
+
+TEST(FormatSan, PyOpenSslUnescapedForgery) {
+    // Section 5.2(1): DNSName "a.com, DNS:b.com" renders as two entries.
+    x509::GeneralNames names = {x509::dns_name("a.com, DNS:b.com")};
+    auto out = format_san(Library::kPyOpenSsl, names);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.value_utf8, "DNS:a.com, DNS:b.com");
+}
+
+TEST(FormatSan, NodeEscapesSeparators) {
+    x509::GeneralNames names = {x509::dns_name("a.com, DNS:b.com")};
+    auto out = format_san(Library::kNodeCrypto, names);
+    ASSERT_TRUE(out.ok);
+    // The embedded separator is escaped, defusing naive splitters.
+    EXPECT_NE(out.value_utf8.find("\\, DNS:b.com"), std::string::npos);
+}
+
+TEST(Unsupported, OpenSslHasNoGnApis) {
+    x509::GeneralName gn = x509::dns_name("a.com");
+    EXPECT_FALSE(parse_general_name(Library::kOpenSsl, gn, FieldContext::kGeneralName).ok);
+    EXPECT_FALSE(decode_behavior(Library::kOpenSsl, StringType::kIa5String,
+                                 FieldContext::kGeneralName)
+                     .supported);
+}
+
+TEST(Unsupported, BouncyCastleExtensionsNotExposed) {
+    EXPECT_FALSE(decode_behavior(Library::kBouncyCastle, StringType::kIa5String,
+                                 FieldContext::kGeneralName)
+                     .supported);
+}
+
+TEST(DecodeBehavior, EveryLibraryHasDnSupportForUtf8String) {
+    for (Library lib : kAllLibraries) {
+        EXPECT_TRUE(decode_behavior(lib, StringType::kUtf8String, FieldContext::kDnName)
+                        .supported)
+            << library_name(lib);
+    }
+}
+
+}  // namespace
+}  // namespace unicert::tlslib

@@ -1,0 +1,69 @@
+// Tests for the Unicode block table used by the Unicert generator.
+#include "unicode/blocks.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::unicode {
+namespace {
+
+TEST(Blocks, TableIsSortedAndNonOverlapping) {
+    auto blocks = all_blocks();
+    ASSERT_GT(blocks.size(), 250u);  // paper samples 323 blocks; we carry the major set
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        EXPECT_LE(blocks[i].first, blocks[i].last) << blocks[i].name;
+        if (i > 0) {
+            EXPECT_GT(blocks[i].first, blocks[i - 1].last)
+                << blocks[i - 1].name << " overlaps " << blocks[i].name;
+        }
+    }
+}
+
+TEST(Blocks, LookupKnownCharacters) {
+    EXPECT_EQ(block_name('A'), "Basic Latin");
+    EXPECT_EQ(block_name(0xE9), "Latin-1 Supplement");
+    EXPECT_EQ(block_name(0x0416), "Cyrillic");
+    EXPECT_EQ(block_name(0x4E2D), "CJK Unified Ideographs");
+    EXPECT_EQ(block_name(0x1F600), "Emoticons");
+    EXPECT_EQ(block_name(0x10FFFF), "Supplementary Private Use Area-B");
+}
+
+TEST(Blocks, LookupGapReturnsNoBlock) {
+    // U+2FE0..2FEF is unassigned between Kangxi Radicals and IDC.
+    EXPECT_EQ(block_name(0x2FE5), "No_Block");
+    EXPECT_FALSE(block_of(0x2FE5).has_value());
+}
+
+TEST(Blocks, SurrogateBlocksAreMarked) {
+    auto b = block_of(0xD800);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_TRUE(b->is_surrogate_block());
+    EXPECT_FALSE(block_of('A')->is_surrogate_block());
+}
+
+TEST(Blocks, SamplePerBlockSkipsSurrogates) {
+    CodePoints sample = sample_per_block();
+    EXPECT_EQ(sample.size(), all_blocks().size() - 3);  // 3 surrogate blocks
+    for (CodePoint cp : sample) {
+        EXPECT_FALSE(is_surrogate(cp));
+        EXPECT_TRUE(is_scalar_value(cp));
+    }
+}
+
+TEST(Blocks, SampleContainsOnePerNonSurrogateBlock) {
+    CodePoints sample = sample_per_block();
+    size_t i = 0;
+    for (const Block& b : all_blocks()) {
+        if (b.is_surrogate_block()) continue;
+        ASSERT_LT(i, sample.size());
+        EXPECT_TRUE(b.contains(sample[i])) << b.name;
+        ++i;
+    }
+}
+
+TEST(Blocks, FirstBlockSampleIsPrintable) {
+    CodePoints sample = sample_per_block();
+    EXPECT_EQ(sample[0], static_cast<CodePoint>('A'));
+}
+
+}  // namespace
+}  // namespace unicert::unicode

@@ -1,0 +1,245 @@
+// Tests for unicode/codec: strict and lossy decode across the five
+// decoding methods the paper distinguishes, plus encoders.
+#include "unicode/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::unicode {
+namespace {
+
+Bytes bytes(std::initializer_list<uint8_t> b) { return Bytes(b); }
+
+TEST(AsciiCodec, DecodesPlainAscii) {
+    auto r = decode(to_bytes("test.com"), Encoding::kAscii);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 8u);
+    EXPECT_EQ((*r)[0], 't');
+}
+
+TEST(AsciiCodec, RejectsHighBytes) {
+    auto r = decode(bytes({0x74, 0xC3, 0xA9}), Encoding::kAscii);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "ascii_out_of_range");
+}
+
+TEST(AsciiCodec, EncodeRejectsNonAscii) {
+    auto r = encode({0x74, 0xE9}, Encoding::kAscii);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Latin1Codec, EveryByteDecodes) {
+    Bytes all;
+    for (int i = 0; i < 256; ++i) all.push_back(static_cast<uint8_t>(i));
+    auto r = decode(all, Encoding::kLatin1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 256u);
+    EXPECT_EQ((*r)[0xE9], 0xE9u);  // é
+}
+
+TEST(Latin1Codec, EncodeRejectsAboveFF) {
+    auto r = encode({0x100}, Encoding::kLatin1);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf8Codec, DecodesMultibyte) {
+    // "é" = C3 A9, "€" = E2 82 AC, "𝄞" = F0 9D 84 9E
+    auto r = decode(bytes({0xC3, 0xA9, 0xE2, 0x82, 0xAC, 0xF0, 0x9D, 0x84, 0x9E}),
+                    Encoding::kUtf8);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 3u);
+    EXPECT_EQ((*r)[0], 0xE9u);
+    EXPECT_EQ((*r)[1], 0x20ACu);
+    EXPECT_EQ((*r)[2], 0x1D11Eu);
+}
+
+TEST(Utf8Codec, RejectsOverlong) {
+    // 0xC0 0xAF is an overlong '/' — classic validation-bypass vector.
+    auto r = decode(bytes({0xC0, 0xAF}), Encoding::kUtf8);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf8Codec, RejectsSurrogate) {
+    // ED A0 80 encodes U+D800.
+    auto r = decode(bytes({0xED, 0xA0, 0x80}), Encoding::kUtf8);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf8Codec, RejectsTruncated) {
+    auto r = decode(bytes({0xE2, 0x82}), Encoding::kUtf8);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf8Codec, RejectsLoneContinuation) {
+    auto r = decode(bytes({0x80}), Encoding::kUtf8);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf8Codec, RejectsBeyondMax) {
+    // F4 90 80 80 would be U+110000.
+    auto r = decode(bytes({0xF4, 0x90, 0x80, 0x80}), Encoding::kUtf8);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf8Codec, RoundTripsAllShapes) {
+    CodePoints cps = {0x41, 0x7F, 0x80, 0x7FF, 0x800, 0xFFFF, 0x10000, 0x10FFFF};
+    auto enc = encode(cps, Encoding::kUtf8);
+    ASSERT_TRUE(enc.ok());
+    auto dec = decode(enc.value(), Encoding::kUtf8);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value(), cps);
+}
+
+TEST(Ucs2Codec, DecodesBmp) {
+    auto r = decode(bytes({0x67, 0x69, 0x00, 0x41}), Encoding::kUcs2);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 2u);
+    EXPECT_EQ((*r)[0], 0x6769u);
+    EXPECT_EQ((*r)[1], 0x41u);
+}
+
+TEST(Ucs2Codec, RejectsOddLength) {
+    auto r = decode(bytes({0x00}), Encoding::kUcs2);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Ucs2Codec, RejectsSurrogateUnits) {
+    auto r = decode(bytes({0xD8, 0x00, 0xDC, 0x00}), Encoding::kUcs2);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Ucs2Codec, EncodeRejectsAstral) {
+    auto r = encode({0x1D11E}, Encoding::kUcs2);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf16Codec, DecodesSurrogatePair) {
+    auto r = decode(bytes({0xD8, 0x34, 0xDD, 0x1E}), Encoding::kUtf16);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 1u);
+    EXPECT_EQ((*r)[0], 0x1D11Eu);
+}
+
+TEST(Utf16Codec, RejectsLoneHighSurrogate) {
+    auto r = decode(bytes({0xD8, 0x34}), Encoding::kUtf16);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf16Codec, RejectsLoneLowSurrogate) {
+    auto r = decode(bytes({0xDC, 0x00, 0x00, 0x41}), Encoding::kUtf16);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Utf16Codec, RoundTrip) {
+    CodePoints cps = {0x41, 0xFFFF, 0x10000, 0x10FFFF};
+    auto enc = encode(cps, Encoding::kUtf16);
+    ASSERT_TRUE(enc.ok());
+    auto dec = decode(enc.value(), Encoding::kUtf16);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value(), cps);
+}
+
+TEST(Ucs4Codec, RoundTrip) {
+    CodePoints cps = {0x0, 0x41, 0x10FFFF};
+    auto enc = encode(cps, Encoding::kUcs4);
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(enc->size(), 12u);
+    auto dec = decode(enc.value(), Encoding::kUcs4);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value(), cps);
+}
+
+TEST(Ucs4Codec, RejectsBadScalar) {
+    auto r = decode(bytes({0x00, 0x00, 0xD8, 0x00}), Encoding::kUcs4);
+    EXPECT_FALSE(r.ok());
+}
+
+// ---- Lossy decoding: the paper's "modified decoding" modes ---------------
+
+TEST(LossyDecode, ReplacePolicySubstitutesFffd) {
+    CodePoints r = decode_lossy(bytes({0x41, 0xFF, 0x42}), Encoding::kAscii,
+                                ErrorPolicy::kReplace);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[1], kReplacementChar);
+}
+
+TEST(LossyDecode, SkipPolicyDropsBadBytes) {
+    CodePoints r = decode_lossy(bytes({0x41, 0xFF, 0x42}), Encoding::kAscii, ErrorPolicy::kSkip);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], 'A');
+    EXPECT_EQ(r[1], 'B');
+}
+
+TEST(LossyDecode, HexEscapePolicyMatchesOpenSslStyle) {
+    // OpenSSL renders undecodable bytes as "\xNN".
+    std::string s = transcode_to_utf8(bytes({0x41, 0xFF}), Encoding::kAscii,
+                                      ErrorPolicy::kHexEscape);
+    EXPECT_EQ(s, "A\\xff");
+}
+
+TEST(LossyDecode, Utf8BadByteReplaced) {
+    CodePoints r = decode_lossy(bytes({0x41, 0xC3, 0x28}), Encoding::kUtf8,
+                                ErrorPolicy::kReplace);
+    // C3 is a bad lead (continuation 0x28 invalid): replaced, then '(' decodes.
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0], 'A');
+    EXPECT_EQ(r[1], kReplacementChar);
+    EXPECT_EQ(r[2], '(');
+}
+
+TEST(LossyDecode, StrictPolicyFallsBackToReplaceOnBadInput) {
+    CodePoints r = decode_lossy(bytes({0xFF}), Encoding::kAscii, ErrorPolicy::kStrict);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], kReplacementChar);
+}
+
+// ---- transcode & helpers --------------------------------------------------
+
+TEST(Transcode, Latin1ToUtf8ExpandsHighBytes) {
+    // 0xE9 (é in Latin-1) must become the two-byte UTF-8 form.
+    std::string s = transcode_to_utf8(bytes({0x74, 0xE9}), Encoding::kLatin1,
+                                      ErrorPolicy::kStrict);
+    EXPECT_EQ(s, "t\xC3\xA9");
+}
+
+TEST(Transcode, MisdecodingUtf8AsLatin1Mojibake) {
+    // The Forge bug from Table 4: UTF-8 "é" read as Latin-1 becomes "Ã©".
+    std::string s = transcode_to_utf8(to_bytes("\xC3\xA9"), Encoding::kLatin1,
+                                      ErrorPolicy::kStrict);
+    EXPECT_EQ(s, "\xC3\x83\xC2\xA9");  // "Ã©"
+}
+
+TEST(Transcode, BmpStringReadAsAsciiIsHostnameSpoof) {
+    // Section 5.1: BMPString "杩瑨畢礮据" read
+    // bytewise as ASCII yields "githuby.cn"-style strings.
+    Bytes bmp = {0x67, 0x69, 0x74, 0x68, 0x75, 0x62, 0x2E, 0x63, 0x6E};
+    std::string s = transcode_to_utf8(bmp, Encoding::kAscii, ErrorPolicy::kStrict);
+    EXPECT_EQ(s, "github.cn");
+}
+
+TEST(WellFormed, Checks) {
+    EXPECT_TRUE(is_well_formed(to_bytes("abc"), Encoding::kAscii));
+    EXPECT_FALSE(is_well_formed(bytes({0xFF}), Encoding::kAscii));
+    EXPECT_TRUE(is_well_formed(bytes({0xFF}), Encoding::kLatin1));
+    EXPECT_FALSE(is_well_formed(bytes({0xC3}), Encoding::kUtf8));
+}
+
+TEST(Utf8Helpers, RoundTripString) {
+    auto cps = utf8_to_codepoints("Île-de-France");
+    ASSERT_TRUE(cps.ok());
+    EXPECT_EQ(codepoints_to_utf8(cps.value()), "Île-de-France");
+}
+
+TEST(Utf8Helpers, NonScalarBecomesReplacement) {
+    EXPECT_EQ(codepoints_to_utf8({0xD800}), "\xEF\xBF\xBD");
+}
+
+TEST(EncodingNames, AllNamed) {
+    EXPECT_STREQ(encoding_name(Encoding::kAscii), "ASCII");
+    EXPECT_STREQ(encoding_name(Encoding::kLatin1), "ISO-8859-1");
+    EXPECT_STREQ(encoding_name(Encoding::kUtf8), "UTF-8");
+    EXPECT_STREQ(encoding_name(Encoding::kUcs2), "UCS-2");
+    EXPECT_STREQ(encoding_name(Encoding::kUtf16), "UTF-16");
+}
+
+}  // namespace
+}  // namespace unicert::unicode

@@ -1,0 +1,136 @@
+// Tests for NFC normalization (RFC 5280 "attribute normalization").
+#include "unicode/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "unicode/codec.h"
+
+namespace unicert::unicode {
+namespace {
+
+CodePoints cps(std::initializer_list<CodePoint> l) { return CodePoints(l); }
+
+TEST(CombiningClass, StartersAreZero) {
+    EXPECT_EQ(combining_class('A'), 0);
+    EXPECT_EQ(combining_class(0xE9), 0);
+    EXPECT_EQ(combining_class(0x4E2D), 0);
+}
+
+TEST(CombiningClass, MarksAreNonZero) {
+    EXPECT_EQ(combining_class(0x0301), 230);  // acute
+    EXPECT_EQ(combining_class(0x0327), 202);  // cedilla
+    EXPECT_EQ(combining_class(0x0323), 220);  // dot below
+}
+
+TEST(Decompose, LatinPrecomposed) {
+    CodePoints out;
+    canonical_decompose(0x00E9, out);  // é
+    EXPECT_EQ(out, cps({0x65, 0x0301}));
+}
+
+TEST(Decompose, RecursiveGreek) {
+    // U+0390 -> U+03CA U+0301 -> U+03B9 U+0308 U+0301
+    CodePoints out;
+    canonical_decompose(0x0390, out);
+    EXPECT_EQ(out, cps({0x03B9, 0x0308, 0x0301}));
+}
+
+TEST(Decompose, HangulSyllable) {
+    // U+AC00 (가) = U+1100 + U+1161
+    CodePoints out;
+    canonical_decompose(0xAC00, out);
+    EXPECT_EQ(out, cps({0x1100, 0x1161}));
+}
+
+TEST(Decompose, HangulSyllableWithTrailing) {
+    // U+AC01 (각) = U+1100 + U+1161 + U+11A8
+    CodePoints out;
+    canonical_decompose(0xAC01, out);
+    EXPECT_EQ(out, cps({0x1100, 0x1161, 0x11A8}));
+}
+
+TEST(Compose, PairLookup) {
+    EXPECT_EQ(compose_pair(0x65, 0x0301), 0x00E9u);
+    EXPECT_EQ(compose_pair(0x75, 0x0308), 0x00FCu);  // ü
+    EXPECT_EQ(compose_pair(0x7A, 0x030C), 0x017Eu);  // ž
+    EXPECT_EQ(compose_pair('x', 0x0301), 0u);        // no composite
+}
+
+TEST(Nfc, ComposesDecomposedSequence) {
+    // "Ile" with combining circumflex on I -> "Île"
+    CodePoints in = {0x49, 0x0302, 0x6C, 0x65};
+    CodePoints out = nfc(in);
+    EXPECT_EQ(out, cps({0x00CE, 0x6C, 0x65}));
+}
+
+TEST(Nfc, AlreadyComposedIsStable) {
+    CodePoints in = {0x00CE, 0x6C, 0x65};
+    EXPECT_EQ(nfc(in), in);
+    EXPECT_TRUE(is_nfc(in));
+}
+
+TEST(Nfc, DetectsDenormalizedInput) {
+    CodePoints decomposed = {0x65, 0x0301};  // e + acute
+    EXPECT_FALSE(is_nfc(decomposed));
+    EXPECT_TRUE(is_nfc(nfc(decomposed)));
+}
+
+TEST(Nfc, CanonicalOrderingSortsMarks) {
+    // e + cedilla(202) + acute(230) and e + acute + cedilla must agree.
+    CodePoints a = {0x65, 0x0327, 0x0301};
+    CodePoints b = {0x65, 0x0301, 0x0327};
+    EXPECT_EQ(nfd(a), nfd(b));
+}
+
+TEST(Nfc, BlockedMarkDoesNotCompose) {
+    // e + dot-below(220) + acute(230): acute composes (220 < 230 so not
+    // blocked) to é, dot-below stays.
+    CodePoints in = {0x65, 0x0323, 0x0301};
+    CodePoints out = nfc(in);
+    EXPECT_EQ(out, cps({0x00E9, 0x0323}));
+}
+
+TEST(Nfc, SameCccBlocks) {
+    // Two acutes: second acute has equal ccc -> blocked, stays separate.
+    CodePoints in = {0x65, 0x0301, 0x0301};
+    CodePoints out = nfc(in);
+    EXPECT_EQ(out, cps({0x00E9, 0x0301}));
+}
+
+TEST(Nfc, HangulComposesLvt) {
+    CodePoints in = {0x1100, 0x1161, 0x11A8};
+    CodePoints out = nfc(in);
+    EXPECT_EQ(out, cps({0xAC01}));
+}
+
+TEST(Nfc, HangulRoundTrip) {
+    for (CodePoint s : {0xAC00u, 0xB098u, 0xD7A3u}) {
+        CodePoints in = {s};
+        EXPECT_EQ(nfc(nfd(in)), in) << s;
+    }
+}
+
+TEST(Nfc, CyrillicYo) {
+    CodePoints in = {0x0415, 0x0308};  // Е + diaeresis
+    EXPECT_EQ(nfc(in), cps({0x0401}));  // Ё
+}
+
+TEST(Nfc, IleDeFranceScenario) {
+    // The paper's StateOrProvinceName variants: decomposed "Île" forms
+    // must normalize to the composed one.
+    auto composed = utf8_to_codepoints("Île-de-France");
+    auto decomposed = utf8_to_codepoints("I\xCC\x82le-de-France");  // I + U+0302
+    ASSERT_TRUE(composed.ok());
+    ASSERT_TRUE(decomposed.ok());
+    EXPECT_FALSE(is_nfc(decomposed.value()));
+    EXPECT_EQ(nfc(decomposed.value()), composed.value());
+}
+
+TEST(Nfc, EmptyAndAsciiFastPath) {
+    EXPECT_TRUE(nfc({}).empty());
+    CodePoints ascii = {'t', 'e', 's', 't'};
+    EXPECT_EQ(nfc(ascii), ascii);
+}
+
+}  // namespace
+}  // namespace unicert::unicode

@@ -1,0 +1,154 @@
+// Tests for character properties: control/format classes, the paper's
+// printable-ASCII predicate, and confusable skeletons.
+#include "unicode/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "unicode/codec.h"
+
+namespace unicert::unicode {
+namespace {
+
+TEST(AsciiClasses, PrintableAsciiRange) {
+    EXPECT_TRUE(is_printable_ascii(0x20));
+    EXPECT_TRUE(is_printable_ascii('~'));
+    EXPECT_FALSE(is_printable_ascii(0x1F));
+    EXPECT_FALSE(is_printable_ascii(0x7F));
+    EXPECT_FALSE(is_printable_ascii(0xE9));
+}
+
+TEST(AsciiClasses, Ldh) {
+    EXPECT_TRUE(is_ldh('a'));
+    EXPECT_TRUE(is_ldh('Z'));
+    EXPECT_TRUE(is_ldh('0'));
+    EXPECT_TRUE(is_ldh('-'));
+    EXPECT_FALSE(is_ldh('_'));
+    EXPECT_FALSE(is_ldh('.'));
+    EXPECT_FALSE(is_ldh(0xE9));
+}
+
+TEST(ControlClasses, C0AndC1) {
+    EXPECT_TRUE(is_c0_control(0x00));   // NUL
+    EXPECT_TRUE(is_c0_control(0x1B));   // ESC
+    EXPECT_TRUE(is_c0_control(0x7F));   // DEL — grouped with C0 per the paper
+    EXPECT_TRUE(is_c1_control(0x80));
+    EXPECT_TRUE(is_c1_control(0x9F));
+    EXPECT_FALSE(is_c1_control(0xA0));  // NBSP is not a control
+    EXPECT_TRUE(is_control(0x0A));
+    EXPECT_FALSE(is_control('A'));
+}
+
+TEST(BidiControls, CoversSpoofingSet) {
+    EXPECT_TRUE(is_bidi_control(0x202E));  // RLO — the paypal spoof char
+    EXPECT_TRUE(is_bidi_control(0x202C));  // PDF
+    EXPECT_TRUE(is_bidi_control(0x200E));  // LRM
+    EXPECT_TRUE(is_bidi_control(0x200F));  // RLM
+    EXPECT_TRUE(is_bidi_control(0x2066));  // LRI
+    EXPECT_FALSE(is_bidi_control('A'));
+}
+
+TEST(ZeroWidth, Members) {
+    EXPECT_TRUE(is_zero_width(0x200B));
+    EXPECT_TRUE(is_zero_width(0x200D));
+    EXPECT_TRUE(is_zero_width(0xFEFF));
+    EXPECT_FALSE(is_zero_width(0x20));
+}
+
+TEST(LayoutControls, GeneralPunctuationInvisibles) {
+    EXPECT_TRUE(is_layout_control(0x2000));  // EN QUAD
+    EXPECT_TRUE(is_layout_control(0x202E));  // bidi override counts
+    EXPECT_TRUE(is_layout_control(0x2060));  // WORD JOINER
+    EXPECT_TRUE(is_layout_control(0x206F));
+    EXPECT_FALSE(is_layout_control(0x2070));  // superscript zero is visible
+}
+
+TEST(Spaces, NonStandardSpaces) {
+    EXPECT_TRUE(is_nonstandard_space(0x00A0));  // NBSP (Table 3's PEDDY SHIELD case)
+    EXPECT_TRUE(is_nonstandard_space(0x3000));  // ideographic space (株式会社 case)
+    EXPECT_FALSE(is_nonstandard_space(0x20));
+}
+
+TEST(PrivateUseAndNoncharacters, Classified) {
+    EXPECT_TRUE(is_private_use(0xE000));
+    EXPECT_TRUE(is_private_use(0x10FFFD));
+    EXPECT_TRUE(is_noncharacter(0xFDD0));
+    EXPECT_TRUE(is_noncharacter(0xFFFE));
+    EXPECT_TRUE(is_noncharacter(0x1FFFF));
+    EXPECT_FALSE(is_noncharacter(0xFFFD));
+}
+
+TEST(Confusables, CyrillicToLatinSkeleton) {
+    EXPECT_EQ(confusable_skeleton(0x0430), static_cast<CodePoint>('a'));
+    EXPECT_EQ(confusable_skeleton(0x0440), static_cast<CodePoint>('p'));
+    EXPECT_EQ(confusable_skeleton(0x0455), static_cast<CodePoint>('s'));
+    EXPECT_EQ(confusable_skeleton('q'), static_cast<CodePoint>('q'));  // identity
+}
+
+TEST(Confusables, FullwidthFormsMapAlgorithmically) {
+    EXPECT_EQ(confusable_skeleton(0xFF41), static_cast<CodePoint>('a'));  // ａ
+    EXPECT_EQ(confusable_skeleton(0xFF0E), static_cast<CodePoint>('.'));  // ．
+}
+
+TEST(Confusables, PaypalHomographDetected) {
+    // "раура1" with Cyrillic р/а/у vs "paypal" — skeleton-equal strings.
+    CodePoints cyr = {0x0440, 0x0430, 0x0443, 0x0440, 0x0430, 0x006C};  // раураl
+    CodePoints lat = {'p', 'a', 'y', 'p', 'a', 'l'};
+    EXPECT_TRUE(are_confusable(cyr, lat));
+}
+
+TEST(Confusables, IdenticalStringsAreNotConfusable) {
+    CodePoints s = {'p', 'a', 'y'};
+    EXPECT_FALSE(are_confusable(s, s));
+}
+
+TEST(Confusables, InvisibleCharactersVanishInSkeleton) {
+    // "pay<ZWSP>pal" is confusable with "paypal".
+    CodePoints with_zwsp = {'p', 'a', 'y', 0x200B, 'p', 'a', 'l'};
+    CodePoints plain = {'p', 'a', 'y', 'p', 'a', 'l'};
+    EXPECT_TRUE(are_confusable(with_zwsp, plain));
+}
+
+TEST(CaseFolding, Basic) {
+    EXPECT_EQ(fold_case(static_cast<CodePoint>('A')), static_cast<CodePoint>('a'));
+    EXPECT_EQ(fold_case(0x0391u), 0x03B1u);  // Greek Alpha
+    EXPECT_EQ(fold_case(0x0410u), 0x0430u);  // Cyrillic A
+    EXPECT_EQ(fold_case(0x00C9u), 0x00E9u);  // É
+    EXPECT_EQ(fold_case(0x0401u), 0x0451u);  // Ё
+    EXPECT_EQ(fold_case(0x00D7u), 0x00D7u);  // multiplication sign unchanged
+}
+
+TEST(CaseFolding, LatinExtendedRuns) {
+    EXPECT_EQ(fold_case(0x0100u), 0x0101u);  // Ā -> ā
+    EXPECT_EQ(fold_case(0x0160u), 0x0161u);  // Š -> š
+    EXPECT_EQ(fold_case(0x0141u), 0x0142u);  // Ł -> ł
+    EXPECT_EQ(fold_case(0x017Du), 0x017Eu);  // Ž -> ž
+    EXPECT_EQ(fold_case(0x0178u), 0x00FFu);  // Ÿ -> ÿ
+    EXPECT_EQ(fold_case(0x0218u), 0x0219u);  // Ș -> ș
+    EXPECT_EQ(fold_case(0x1E00u), 0x1E01u);  // Ḁ -> ḁ
+    // Lowercase forms are fixed points.
+    EXPECT_EQ(fold_case(0x0161u), 0x0161u);
+    EXPECT_EQ(fold_case(0x0142u), 0x0142u);
+    EXPECT_EQ(fold_case(0x0219u), 0x0219u);
+}
+
+TEST(CaseFolding, FoldIsIdempotent) {
+    for (CodePoint cp = 0; cp < 0x2000; ++cp) {
+        CodePoint once = fold_case(cp);
+        EXPECT_EQ(fold_case(once), once) << codepoint_label(cp);
+    }
+}
+
+TEST(Labels, CodepointLabelFormat) {
+    EXPECT_EQ(codepoint_label(0x0041), "U+0041");
+    EXPECT_EQ(codepoint_label(0x1F600), "U+01F600");
+}
+
+TEST(UnicertPredicate, HasNonPrintableAscii) {
+    EXPECT_FALSE(has_non_printable_ascii("test.com"));
+    EXPECT_TRUE(has_non_printable_ascii("tëst.com"));
+    EXPECT_TRUE(has_non_printable_ascii(std::string("te\x01st", 6)));
+    EXPECT_TRUE(has_non_printable_ascii("\xFF\xFE"));  // malformed UTF-8 counts
+}
+
+}  // namespace
+}  // namespace unicert::unicode

@@ -1,0 +1,127 @@
+// Tests for chain reconstruction via AIA (Section 5.1 methodology).
+#include "x509/chain.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+#include "x509/parser.h"
+
+namespace unicert::x509 {
+namespace {
+
+namespace oids = asn1::oids;
+
+Certificate make_leaf(const CaEntity& ca, const std::string& host, bool with_aia = true) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x42};
+    cert.issuer = ca.certificate.subject;
+    cert.subject = make_dn({make_attribute(oids::common_name(), host)});
+    cert.validity = {asn1::make_time(2024, 1, 1), asn1::make_time(2024, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name(host).public_key();
+    cert.extensions.push_back(make_san({dns_name(host)}));
+    if (with_aia) {
+        cert.extensions.push_back(make_aia({{oids::ad_ca_issuers(), uri_name(ca.aia_url)}}));
+    }
+    return cert;
+}
+
+TEST(CaRegistry, CreateAndLookup) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Example CA");
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.by_aia_url(ca.aia_url), &ca);
+    EXPECT_EQ(reg.by_name("Example CA"), &ca);
+    EXPECT_EQ(reg.by_name("Missing"), nullptr);
+    EXPECT_EQ(reg.by_subject(ca.certificate.subject), &ca);
+}
+
+TEST(CaRegistry, CaCertIsSelfSignedAndCa) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Root One");
+    EXPECT_TRUE(verify_signature(ca.certificate, ca.key));
+    auto bc = parse_basic_constraints(
+        *ca.certificate.find_extension(oids::basic_constraints()));
+    ASSERT_TRUE(bc.ok());
+    EXPECT_TRUE(bc->ca);
+    EXPECT_EQ(ca.certificate.issuer, ca.certificate.subject);
+}
+
+TEST(Chain, AiaReconstructionSucceeds) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Chain CA");
+    Certificate leaf = make_leaf(ca, "site.example");
+    sign_certificate(leaf, ca.key);
+
+    ChainResult r = build_and_verify_chain(leaf, reg);
+    EXPECT_TRUE(r.chain_complete);
+    EXPECT_TRUE(r.signature_valid);
+    EXPECT_TRUE(r.issuer_trusted);
+    ASSERT_EQ(r.path.size(), 1u);
+    EXPECT_EQ(r.path[0], ca.aia_url);
+}
+
+TEST(Chain, FallsBackToIssuerDnWithoutAia) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("NoAIA CA");
+    Certificate leaf = make_leaf(ca, "site.example", /*with_aia=*/false);
+    sign_certificate(leaf, ca.key);
+
+    ChainResult r = build_and_verify_chain(leaf, reg);
+    EXPECT_TRUE(r.chain_complete);
+    EXPECT_TRUE(r.signature_valid);
+}
+
+TEST(Chain, UnknownIssuerFails) {
+    CaRegistry reg;
+    reg.create_ca("Known CA");
+    CaRegistry other;
+    CaEntity& rogue = other.create_ca("Rogue CA");
+    Certificate leaf = make_leaf(rogue, "victim.example");
+    sign_certificate(leaf, rogue.key);
+
+    ChainResult r = build_and_verify_chain(leaf, reg);
+    EXPECT_FALSE(r.chain_complete);
+    EXPECT_FALSE(r.signature_valid);
+}
+
+TEST(Chain, TamperedSignatureDetected) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Tamper CA");
+    Certificate leaf = make_leaf(ca, "site.example");
+    sign_certificate(leaf, ca.key);
+    leaf.signature[0] ^= 0xFF;
+
+    ChainResult r = build_and_verify_chain(leaf, reg);
+    EXPECT_TRUE(r.chain_complete);
+    EXPECT_FALSE(r.signature_valid);
+}
+
+TEST(Chain, LimitedTrustCaReported) {
+    CaRegistry reg;
+    CaEntity& regional = reg.create_ca("Regional Gov CA", /*publicly_trusted=*/false);
+    Certificate leaf = make_leaf(regional, "gov.example");
+    sign_certificate(leaf, regional.key);
+
+    ChainResult r = build_and_verify_chain(leaf, reg);
+    EXPECT_TRUE(r.chain_complete);
+    EXPECT_TRUE(r.signature_valid);
+    EXPECT_FALSE(r.issuer_trusted);
+}
+
+TEST(Chain, RoundTripThroughDerPreservesVerifiability) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("DER CA");
+    Certificate leaf = make_leaf(ca, "site.example");
+    Bytes der = sign_certificate(leaf, ca.key);
+
+    auto parsed = parse_certificate(der);
+    ASSERT_TRUE(parsed.ok());
+    ChainResult r = build_and_verify_chain(parsed.value(), reg);
+    EXPECT_TRUE(r.chain_complete);
+    EXPECT_TRUE(r.signature_valid);
+}
+
+}  // namespace
+}  // namespace unicert::x509

@@ -1,0 +1,139 @@
+// Tests for the CRL substrate and the CRL-spoofing revocation bypass.
+#include "x509/crl.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "tlslib/profile.h"
+#include "x509/builder.h"
+
+namespace unicert::x509 {
+namespace {
+
+namespace oids = asn1::oids;
+
+CertificateList make_crl(const crypto::SimSigner& key, std::vector<Bytes> revoked_serials) {
+    CertificateList crl;
+    crl.issuer = make_dn({make_attribute(oids::organization_name(), "CRL CA")});
+    crl.this_update = asn1::make_time(2025, 2, 1);
+    crl.next_update = asn1::make_time(2025, 3, 1);
+    for (Bytes& serial : revoked_serials) {
+        crl.revoked.push_back({std::move(serial), asn1::make_time(2025, 1, 15)});
+    }
+    sign_crl(crl, key);
+    return crl;
+}
+
+Certificate leaf_with_crldp(const std::string& url, Bytes serial) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = std::move(serial);
+    cert.subject = make_dn({make_attribute(oids::common_name(), "site.example")});
+    cert.issuer = make_dn({make_attribute(oids::organization_name(), "CRL CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.extensions.push_back(make_crl_distribution_points({{{uri_name(url)}}}));
+    return cert;
+}
+
+TEST(Crl, SignParseRoundTrip) {
+    crypto::SimSigner key = crypto::SimSigner::from_name("CRL CA");
+    CertificateList crl = make_crl(key, {{0x01, 0x02}, {0xAA}});
+    ASSERT_FALSE(crl.der.empty());
+
+    auto parsed = parse_crl(crl.der);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed->issuer, crl.issuer);
+    EXPECT_EQ(parsed->this_update, crl.this_update);
+    EXPECT_EQ(parsed->next_update, crl.next_update);
+    ASSERT_EQ(parsed->revoked.size(), 2u);
+    EXPECT_EQ(parsed->revoked[0].serial, (Bytes{0x01, 0x02}));
+    EXPECT_TRUE(verify_crl(parsed.value(), key));
+}
+
+TEST(Crl, EmptyRevocationListRoundTrip) {
+    crypto::SimSigner key = crypto::SimSigner::from_name("CRL CA");
+    CertificateList crl = make_crl(key, {});
+    auto parsed = parse_crl(crl.der);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed->revoked.empty());
+}
+
+TEST(Crl, IsRevokedLookup) {
+    crypto::SimSigner key = crypto::SimSigner::from_name("CRL CA");
+    CertificateList crl = make_crl(key, {{0x42}});
+    EXPECT_TRUE(crl.is_revoked(Bytes{0x42}));
+    EXPECT_FALSE(crl.is_revoked(Bytes{0x43}));
+    EXPECT_FALSE(crl.is_revoked(Bytes{0x42, 0x00}));
+}
+
+TEST(Crl, TamperedSignatureDetected) {
+    crypto::SimSigner key = crypto::SimSigner::from_name("CRL CA");
+    CertificateList crl = make_crl(key, {{0x42}});
+    crl.signature[3] ^= 0x01;
+    EXPECT_FALSE(verify_crl(crl, key));
+    crypto::SimSigner other = crypto::SimSigner::from_name("Other CA");
+    CertificateList fresh = make_crl(key, {{0x42}});
+    EXPECT_FALSE(verify_crl(fresh, other));
+}
+
+TEST(Crl, ParseRejectsGarbage) {
+    EXPECT_FALSE(parse_crl(to_bytes("garbage")).ok());
+    EXPECT_FALSE(parse_crl({}).ok());
+}
+
+TEST(Revocation, GoodRevokedUnknown) {
+    crypto::SimSigner key = crypto::SimSigner::from_name("CRL CA");
+    CrlDistributor dist;
+    dist.publish("http://crl.example/ca.crl", make_crl(key, {{0x66}}));
+
+    Certificate revoked = leaf_with_crldp("http://crl.example/ca.crl", {0x66});
+    Certificate good = leaf_with_crldp("http://crl.example/ca.crl", {0x67});
+    Certificate orphan = leaf_with_crldp("http://nowhere.example/x.crl", {0x66});
+
+    EXPECT_EQ(dist.check(revoked), RevocationStatus::kRevoked);
+    EXPECT_EQ(dist.check(good), RevocationStatus::kGood);
+    EXPECT_EQ(dist.check(orphan), RevocationStatus::kUnknown);
+}
+
+TEST(Revocation, NoCrldpIsUnknown) {
+    CrlDistributor dist;
+    Certificate cert;
+    cert.serial = {0x01};
+    EXPECT_EQ(dist.check(cert), RevocationStatus::kUnknown);
+}
+
+TEST(Revocation, CrlSpoofEndToEnd) {
+    // Section 5.2(2), full pipeline: the CA publishes its CRL at the
+    // crafted URL containing a control byte. A correct client fetches
+    // it and sees the revocation; a PyOpenSSL-style client rewrites the
+    // control byte to '.' and fetches a different (absent) URL — the
+    // revocation becomes invisible without any network position.
+    crypto::SimSigner key = crypto::SimSigner::from_name("CRL CA");
+    std::string crafted_url("http://ssl\x01test.com/ca.crl", 24);
+
+    CrlDistributor dist;
+    dist.publish(crafted_url, make_crl(key, {{0x99}}));
+
+    Certificate cert = leaf_with_crldp(crafted_url, {0x99});
+
+    // Correct client.
+    EXPECT_EQ(dist.check(cert), RevocationStatus::kRevoked);
+
+    // Vulnerable client: URL passes through the PyOpenSSL CRLDP parser.
+    auto vulnerable_transform = [](const std::string& url) {
+        x509::GeneralName gn = uri_name(url);
+        tlslib::ParseOutcome out = tlslib::parse_general_name(
+            tlslib::Library::kPyOpenSsl, gn, tlslib::FieldContext::kCrlDp);
+        return out.ok ? out.value_utf8 : url;
+    };
+    EXPECT_EQ(dist.check(cert, vulnerable_transform), RevocationStatus::kUnknown);
+}
+
+TEST(Revocation, StatusNames) {
+    EXPECT_STREQ(revocation_status_name(RevocationStatus::kGood), "good");
+    EXPECT_STREQ(revocation_status_name(RevocationStatus::kRevoked), "revoked");
+    EXPECT_STREQ(revocation_status_name(RevocationStatus::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace unicert::x509

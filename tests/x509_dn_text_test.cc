@@ -1,0 +1,134 @@
+// Tests for DN / GeneralName string representations and escaping —
+// the primitives behind Table 5's per-RFC violation checks.
+#include "x509/dn_text.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::x509 {
+namespace {
+
+using asn1::StringType;
+namespace oids = asn1::oids;
+
+DistinguishedName sample_dn() {
+    return make_dn({
+        make_attribute(oids::country_name(), "US", StringType::kPrintableString),
+        make_attribute(oids::organization_name(), "Example Inc"),
+        make_attribute(oids::common_name(), "example.com"),
+    });
+}
+
+TEST(FormatDn, Rfc2253ReverseOrder) {
+    EXPECT_EQ(format_dn(sample_dn(), DnDialect::kRfc2253),
+              "CN=example.com,O=Example Inc,C=US");
+}
+
+TEST(FormatDn, Rfc1779ForwardOrder) {
+    EXPECT_EQ(format_dn(sample_dn(), DnDialect::kRfc1779),
+              "C=US, O=Example Inc, CN=example.com");
+}
+
+TEST(FormatDn, OpenSslOneline) {
+    EXPECT_EQ(format_dn(sample_dn(), DnDialect::kOpenSslOneline),
+              "/C=US/O=Example Inc/CN=example.com");
+}
+
+TEST(FormatDn, MultiValueRdnUsesPlus) {
+    Rdn multi;
+    multi.attributes.push_back(make_attribute(oids::common_name(), "a"));
+    multi.attributes.push_back(make_attribute(oids::organization_name(), "b"));
+    DistinguishedName dn;
+    dn.rdns.push_back(multi);
+    EXPECT_EQ(format_dn(dn, DnDialect::kRfc2253), "CN=a+O=b");
+}
+
+TEST(Escaping, Rfc2253SpecialChars) {
+    EXPECT_EQ(escape_dn_value("a,b", DnDialect::kRfc2253), "a\\,b");
+    EXPECT_EQ(escape_dn_value("a+b", DnDialect::kRfc2253), "a\\+b");
+    EXPECT_EQ(escape_dn_value("a<b>c;d", DnDialect::kRfc2253), "a\\<b\\>c\\;d");
+    EXPECT_EQ(escape_dn_value("back\\slash", DnDialect::kRfc2253), "back\\\\slash");
+}
+
+TEST(Escaping, Rfc2253LeadingTrailing) {
+    EXPECT_EQ(escape_dn_value(" lead", DnDialect::kRfc2253), "\\ lead");
+    EXPECT_EQ(escape_dn_value("trail ", DnDialect::kRfc2253), "trail\\ ");
+    EXPECT_EQ(escape_dn_value("#hash", DnDialect::kRfc2253), "\\#hash");
+    EXPECT_EQ(escape_dn_value("mid dle", DnDialect::kRfc2253), "mid dle");
+}
+
+TEST(Escaping, Rfc4514EscapesNulAsHex) {
+    std::string with_nul("a\0b", 3);
+    EXPECT_EQ(escape_dn_value(with_nul, DnDialect::kRfc4514), "a\\00b");
+}
+
+TEST(Escaping, ControlCharsHexEscaped) {
+    std::string esc = escape_dn_value("a\x01z", DnDialect::kRfc2253);
+    EXPECT_EQ(esc, "a\\01z");
+}
+
+TEST(Escaping, Rfc1779QuotesWhenNeeded) {
+    EXPECT_EQ(escape_dn_value("plain", DnDialect::kRfc1779), "plain");
+    EXPECT_EQ(escape_dn_value("a,b", DnDialect::kRfc1779), "\"a,b\"");
+    EXPECT_EQ(escape_dn_value("say \"hi\"", DnDialect::kRfc1779), "\"say \\\"hi\\\"\"");
+}
+
+TEST(Escaping, DisabledPassesThrough) {
+    EXPECT_EQ(escape_dn_value("a,b+c", DnDialect::kRfc2253, /*apply_escaping=*/false), "a,b+c");
+}
+
+TEST(EscapeCheck, DetectsViolations) {
+    EXPECT_TRUE(is_properly_escaped("a\\,b", DnDialect::kRfc2253));
+    EXPECT_FALSE(is_properly_escaped("a,b", DnDialect::kRfc2253));
+    EXPECT_FALSE(is_properly_escaped("a+b", DnDialect::kRfc4514));
+    EXPECT_TRUE(is_properly_escaped("\"a,b\"", DnDialect::kRfc1779));
+    EXPECT_FALSE(is_properly_escaped("a<b", DnDialect::kRfc1779));
+    EXPECT_FALSE(is_properly_escaped(std::string("a\x01z", 3), DnDialect::kOpenSslOneline));
+    EXPECT_TRUE(is_properly_escaped("a\\x01z", DnDialect::kOpenSslOneline));
+}
+
+TEST(SubfieldForgery, UnescapedDnValueInjectsAttribute) {
+    // The paper's DN forgery: a CN value "evil.com/CN=good.com" renders
+    // into oneline output that *looks* like two attributes.
+    DistinguishedName dn = make_dn({
+        make_attribute(oids::common_name(), "evil.com/CN=good.com"),
+    });
+    std::string oneline = format_dn(dn, DnDialect::kOpenSslOneline);
+    EXPECT_EQ(oneline, "/CN=evil.com/CN=good.com");
+    // Naive splitting on '/' would now see a forged second CN.
+}
+
+TEST(FormatGeneralNames, OpenSslStyle) {
+    GeneralNames gns = {dns_name("a.com"), dns_name("b.com"), rfc822_name("x@y.z")};
+    EXPECT_EQ(format_general_names(gns), "DNS:a.com, DNS:b.com, email:x@y.z");
+}
+
+TEST(FormatGeneralNames, EscapingPreventsInjection) {
+    // Crafted DNSName "a.com, DNS:b.com" must NOT read as two entries
+    // when escaping is on (the attribute-forgery check of Section 5.2).
+    GeneralNames gns = {dns_name("a.com, DNS:b.com")};
+    std::string escaped = format_general_names(gns, /*apply_escaping=*/true);
+    EXPECT_EQ(escaped, "DNS:a.com\\, DNS:b.com");
+    std::string raw = format_general_names(gns, /*apply_escaping=*/false);
+    EXPECT_EQ(raw, "DNS:a.com, DNS:b.com");  // the vulnerable rendering
+}
+
+TEST(FormatGeneralNames, ControlBytesEscaped) {
+    GeneralNames gns = {uri_name(std::string("http://ssl\x01test.com", 20))};
+    std::string s = format_general_names(gns);
+    EXPECT_NE(s.find("\\x01"), std::string::npos);
+}
+
+TEST(FormatGeneralName, DirectoryNameRendersDn) {
+    GeneralName gn = directory_name(make_dn({make_attribute(oids::common_name(), "inner")}));
+    EXPECT_EQ(format_general_name(gn), "DirName:CN=inner");
+}
+
+TEST(DialectNames, Stable) {
+    EXPECT_STREQ(dn_dialect_name(DnDialect::kRfc2253), "RFC2253");
+    EXPECT_STREQ(dn_dialect_name(DnDialect::kRfc4514), "RFC4514");
+    EXPECT_STREQ(dn_dialect_name(DnDialect::kRfc1779), "RFC1779");
+    EXPECT_STREQ(dn_dialect_name(DnDialect::kOpenSslOneline), "oneline");
+}
+
+}  // namespace
+}  // namespace unicert::x509

@@ -1,0 +1,122 @@
+// Tests for RFC 6125/9525 hostname verification, including the NUL
+// truncation hazard and IDN-aware comparison.
+#include "x509/hostname.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::x509 {
+namespace {
+
+namespace oids = asn1::oids;
+
+Certificate cert_with(const GeneralNames& sans, std::vector<std::string> cns = {}) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x31};
+    std::vector<AttributeValue> attrs;
+    for (const std::string& cn : cns) attrs.push_back(make_attribute(oids::common_name(), cn));
+    if (attrs.empty()) attrs.push_back(make_attribute(oids::organization_name(), "Org"));
+    cert.subject = make_dn(std::move(attrs));
+    cert.issuer = cert.subject;
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    if (!sans.empty()) cert.extensions.push_back(make_san(sans));
+    return cert;
+}
+
+TEST(DnsMatch, ExactAndCaseInsensitive) {
+    EXPECT_TRUE(dns_name_matches("example.com", "example.com"));
+    EXPECT_TRUE(dns_name_matches("Example.COM", "example.com"));
+    EXPECT_FALSE(dns_name_matches("example.com", "example.org"));
+    EXPECT_FALSE(dns_name_matches("sub.example.com", "example.com"));
+}
+
+TEST(DnsMatch, TrailingDotTolerated) {
+    EXPECT_TRUE(dns_name_matches("example.com.", "example.com"));
+    EXPECT_TRUE(dns_name_matches("example.com", "example.com."));
+}
+
+TEST(DnsMatch, WildcardRules) {
+    EXPECT_TRUE(dns_name_matches("*.example.com", "www.example.com"));
+    EXPECT_TRUE(dns_name_matches("*.example.com", "api.example.com"));
+    // exactly one label
+    EXPECT_FALSE(dns_name_matches("*.example.com", "a.b.example.com"));
+    EXPECT_FALSE(dns_name_matches("*.example.com", "example.com"));
+    // leftmost, complete label only
+    EXPECT_FALSE(dns_name_matches("www.*.com", "www.example.com"));
+    EXPECT_FALSE(dns_name_matches("w*.example.com", "www.example.com"));
+    // too-broad wildcard refused
+    EXPECT_FALSE(dns_name_matches("*.com", "example.com"));
+}
+
+TEST(DnsMatch, ReferenceMustBeLiteral) {
+    EXPECT_FALSE(dns_name_matches("*.example.com", "*.example.com"));
+}
+
+TEST(DnsMatch, IdnUAndALabelCompareEqual) {
+    EXPECT_TRUE(dns_name_matches("xn--mnchen-3ya.example", "münchen.example"));
+    EXPECT_TRUE(dns_name_matches("münchen.example", "xn--mnchen-3ya.example"));
+    EXPECT_TRUE(dns_name_matches("MÜNCHEN.example", "xn--mnchen-3ya.example"));
+    EXPECT_FALSE(dns_name_matches("xn--mnchen-3ya.example", "muenchen.example"));
+}
+
+TEST(DnsMatch, EmptyAndDegenerate) {
+    EXPECT_FALSE(dns_name_matches("", "example.com"));
+    EXPECT_FALSE(dns_name_matches("example.com", ""));
+    EXPECT_FALSE(dns_name_matches("..", "a.b"));
+}
+
+TEST(Verify, SanMatch) {
+    Certificate cert = cert_with({dns_name("www.example.com"), dns_name("example.com")});
+    auto r = verify_hostname(cert, "example.com");
+    EXPECT_TRUE(r.matched);
+    EXPECT_FALSE(r.used_cn_fallback);
+    EXPECT_EQ(r.matched_identity, "example.com");
+}
+
+TEST(Verify, SanPresentBlocksCnFallback) {
+    // RFC 6125: when SAN dNSNames exist, CN must not be consulted.
+    Certificate cert = cert_with({dns_name("other.example")}, {"target.example"});
+    auto r = verify_hostname(cert, "target.example", {.allow_cn_fallback = true});
+    EXPECT_FALSE(r.matched);
+}
+
+TEST(Verify, CnFallbackWhenEnabledAndNoSan) {
+    Certificate cert = cert_with({}, {"legacy.example"});
+    auto strict = verify_hostname(cert, "legacy.example");
+    EXPECT_FALSE(strict.matched);
+    auto lenient = verify_hostname(cert, "legacy.example", {.allow_cn_fallback = true});
+    EXPECT_TRUE(lenient.matched);
+    EXPECT_TRUE(lenient.used_cn_fallback);
+}
+
+TEST(Verify, NulTruncationBypassOnlyWhenUnsafe) {
+    // The classic "bank.example\0.evil" certificate.
+    Certificate cert = cert_with({dns_name(std::string("bank.example\0.evil", 18))});
+
+    auto safe = verify_hostname(cert, "bank.example");
+    EXPECT_FALSE(safe.matched);  // safe comparison sees the full bytes
+
+    auto unsafe = verify_hostname(cert, "bank.example",
+                                  {.allow_cn_fallback = false, .nul_safe = false});
+    EXPECT_TRUE(unsafe.matched);  // C-string semantics truncate at NUL
+    EXPECT_EQ(unsafe.matched_identity, "bank.example");
+}
+
+TEST(Verify, WildcardViaSan) {
+    Certificate cert = cert_with({dns_name("*.shop.example")});
+    EXPECT_TRUE(verify_hostname(cert, "www.shop.example").matched);
+    EXPECT_FALSE(verify_hostname(cert, "shop.example").matched);
+}
+
+TEST(Verify, DiagnosticsOnMiss) {
+    Certificate no_san = cert_with({});
+    EXPECT_EQ(verify_hostname(no_san, "x.example").detail, "no SAN dNSName present");
+    Certificate wrong_san = cert_with({dns_name("a.example")});
+    EXPECT_EQ(verify_hostname(wrong_san, "x.example").detail, "no SAN dNSName matched");
+}
+
+}  // namespace
+}  // namespace unicert::x509

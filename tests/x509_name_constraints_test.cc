@@ -1,0 +1,125 @@
+// Tests for NameConstraints and the CVE-2021-44533-style bypass.
+#include "x509/name_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::x509 {
+namespace {
+
+namespace oids = asn1::oids;
+
+Certificate leaf_with_sans(const GeneralNames& sans) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x55};
+    cert.subject = make_dn({make_attribute(oids::common_name(), "leaf.example")});
+    cert.issuer = make_dn({make_attribute(oids::organization_name(), "Constrained CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.extensions.push_back(make_san(sans));
+    return cert;
+}
+
+TEST(Subtree, Semantics) {
+    EXPECT_TRUE(dns_within_subtree("example.com", "example.com"));
+    EXPECT_TRUE(dns_within_subtree("www.example.com", "example.com"));
+    EXPECT_TRUE(dns_within_subtree("a.b.example.com", "example.com"));
+    EXPECT_FALSE(dns_within_subtree("badexample.com", "example.com"));
+    EXPECT_FALSE(dns_within_subtree("example.org", "example.com"));
+    EXPECT_TRUE(dns_within_subtree("WWW.EXAMPLE.COM", "example.com"));
+    // Leading-dot form covers subdomains only.
+    EXPECT_TRUE(dns_within_subtree("www.example.com", ".example.com"));
+    EXPECT_FALSE(dns_within_subtree("example.com", ".example.com"));
+}
+
+TEST(NameConstraints, ExtensionRoundTrip) {
+    NameConstraints nc;
+    nc.permitted_dns = {"corp.example", "partner.example"};
+    nc.excluded_dns = {"secret.corp.example"};
+    Extension ext = make_name_constraints(nc);
+    EXPECT_TRUE(ext.critical);
+
+    auto back = parse_name_constraints(ext);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->permitted_dns, nc.permitted_dns);
+    EXPECT_EQ(back->excluded_dns, nc.excluded_dns);
+}
+
+TEST(NameConstraints, PermittedEnforced) {
+    NameConstraints nc;
+    nc.permitted_dns = {"corp.example"};
+
+    EXPECT_EQ(check_name_constraints(leaf_with_sans({dns_name("www.corp.example")}), nc),
+              ConstraintVerdict::kPermitted);
+    EXPECT_EQ(check_name_constraints(leaf_with_sans({dns_name("evil.example")}), nc),
+              ConstraintVerdict::kNotPermitted);
+    // One bad identity poisons the whole certificate.
+    EXPECT_EQ(check_name_constraints(
+                  leaf_with_sans({dns_name("ok.corp.example"), dns_name("evil.example")}), nc),
+              ConstraintVerdict::kNotPermitted);
+}
+
+TEST(NameConstraints, ExclusionWinsOverPermission) {
+    NameConstraints nc;
+    nc.permitted_dns = {"corp.example"};
+    nc.excluded_dns = {"secret.corp.example"};
+    EXPECT_EQ(check_name_constraints(leaf_with_sans({dns_name("x.secret.corp.example")}), nc),
+              ConstraintVerdict::kExcluded);
+}
+
+TEST(NameConstraints, EmptyPermittedListMeansUnrestricted) {
+    NameConstraints nc;
+    nc.excluded_dns = {"evil.example"};
+    EXPECT_EQ(check_name_constraints(leaf_with_sans({dns_name("anything.example")}), nc),
+              ConstraintVerdict::kPermitted);
+}
+
+TEST(NameConstraints, NoDnsIdentitiesIsPermitted) {
+    NameConstraints nc;
+    nc.permitted_dns = {"corp.example"};
+    EXPECT_EQ(check_name_constraints(leaf_with_sans({ip_address(Bytes{10, 0, 0, 1})}), nc),
+              ConstraintVerdict::kPermitted);
+}
+
+TEST(Bypass, EmbeddedSanBoundaryFoolsTextTransformChecker) {
+    // The DER carries ONE identity: "ok.corp.example, DNS:evil.example".
+    // A bytes-faithful checker sees a name outside the permitted tree
+    // (correct rejection). The text-transform checker re-splits the
+    // rendered string, evaluates "ok.corp.example" and "evil.example"…
+    // and a *hostname validator with the same flaw* would then accept a
+    // connection to evil.example. The divergence IS the vulnerability.
+    NameConstraints nc;
+    nc.permitted_dns = {"corp.example", "evil.example"};  // attacker targets evil.example
+
+    Certificate leaf =
+        leaf_with_sans({dns_name("ok.corp.example, DNS:evil.example")});
+
+    // Faithful checker: the literal identity matches neither subtree.
+    EXPECT_EQ(check_name_constraints(leaf, nc, /*use_text_transform=*/false),
+              ConstraintVerdict::kNotPermitted);
+    // Transforming checker: both split pieces are inside permitted trees.
+    EXPECT_EQ(check_name_constraints(leaf, nc, /*use_text_transform=*/true),
+              ConstraintVerdict::kPermitted);
+}
+
+TEST(Bypass, NulTruncationChangesVerdictOnlyInTransformMode) {
+    NameConstraints nc;
+    nc.permitted_dns = {"corp.example"};
+    // "x.corp.example\0.evil" — faithful bytes are outside corp.example
+    // (the suffix differs); the NUL-truncating path sees x.corp.example.
+    Certificate leaf =
+        leaf_with_sans({dns_name(std::string("x.corp.example\0.evil", 21))});
+    EXPECT_EQ(check_name_constraints(leaf, nc, false), ConstraintVerdict::kNotPermitted);
+    EXPECT_EQ(check_name_constraints(leaf, nc, true), ConstraintVerdict::kPermitted);
+}
+
+TEST(NameConstraints, VerdictNames) {
+    EXPECT_STREQ(constraint_verdict_name(ConstraintVerdict::kPermitted), "permitted");
+    EXPECT_STREQ(constraint_verdict_name(ConstraintVerdict::kExcluded), "excluded");
+    EXPECT_STREQ(constraint_verdict_name(ConstraintVerdict::kNotPermitted), "not_permitted");
+}
+
+}  // namespace
+}  // namespace unicert::x509

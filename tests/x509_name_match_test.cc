@@ -1,0 +1,106 @@
+// Tests for RFC 5280 §7.1 DN comparison (caseIgnoreMatch + NFC).
+#include "x509/name_match.h"
+
+#include <gtest/gtest.h>
+
+namespace unicert::x509 {
+namespace {
+
+using asn1::StringType;
+namespace oids = asn1::oids;
+
+AttributeValue attr(const char* v, StringType st = StringType::kUtf8String) {
+    return make_attribute(oids::organization_name(), v, st);
+}
+
+TEST(MatchKey, CaseFolded) {
+    EXPECT_EQ(attribute_match_key(attr("Example Org")), attribute_match_key(attr("EXAMPLE ORG")));
+}
+
+TEST(MatchKey, WhitespaceCollapsed) {
+    EXPECT_EQ(attribute_match_key(attr("Example   Org")), "example org");
+    EXPECT_EQ(attribute_match_key(attr("  Example Org  ")), "example org");
+    // Ideographic space (Table 3's 株式会社 case) collapses too.
+    EXPECT_EQ(attribute_match_key(attr("株式会社　中国銀行")),
+              attribute_match_key(attr("株式会社 中国銀行")));
+}
+
+TEST(MatchKey, NfcNormalized) {
+    // Composed vs decomposed "Île".
+    EXPECT_EQ(attribute_match_key(attr("Île-de-France")),
+              attribute_match_key(attr("I\xCC\x82le-de-France")));
+}
+
+TEST(MatchKey, CrossEncodingEquality) {
+    // Same text as PrintableString vs UTF8String compares equal.
+    EXPECT_EQ(attribute_match_key(attr("Example", StringType::kPrintableString)),
+              attribute_match_key(attr("Example", StringType::kUtf8String)));
+}
+
+TEST(Attributes, TypeMustMatch) {
+    AttributeValue o = make_attribute(oids::organization_name(), "x");
+    AttributeValue cn = make_attribute(oids::common_name(), "x");
+    EXPECT_FALSE(attributes_match(o, cn));
+    EXPECT_TRUE(attributes_match(o, make_attribute(oids::organization_name(), "X")));
+}
+
+TEST(Names, SemanticMatchVsBinaryMismatch) {
+    // The name-chaining scenario behind T2: a CA subject in composed
+    // NFC vs a leaf issuer in decomposed form. Byte comparison breaks
+    // the chain; RFC 5280 comparison holds it together.
+    DistinguishedName ca_subject = make_dn({
+        make_attribute(oids::country_name(), "FR", StringType::kPrintableString),
+        make_attribute(oids::state_or_province_name(), "Île-de-France"),
+        make_attribute(oids::organization_name(), "Café CA"),
+    });
+    DistinguishedName leaf_issuer = make_dn({
+        make_attribute(oids::country_name(), "FR", StringType::kPrintableString),
+        make_attribute(oids::state_or_province_name(), "I\xCC\x82le-de-France"),
+        make_attribute(oids::organization_name(), "CAFÉ CA"),
+    });
+    EXPECT_TRUE(names_match(ca_subject, leaf_issuer));
+    EXPECT_FALSE(names_match_binary(ca_subject, leaf_issuer));
+}
+
+TEST(Names, DifferentContentDoesNotMatch) {
+    DistinguishedName a = make_dn({make_attribute(oids::common_name(), "a.example")});
+    DistinguishedName b = make_dn({make_attribute(oids::common_name(), "b.example")});
+    EXPECT_FALSE(names_match(a, b));
+}
+
+TEST(Names, StructureMatters) {
+    DistinguishedName one_rdn = make_dn({make_attribute(oids::common_name(), "x")});
+    DistinguishedName two_rdns = make_dn({
+        make_attribute(oids::common_name(), "x"),
+        make_attribute(oids::organization_name(), "y"),
+    });
+    EXPECT_FALSE(names_match(one_rdn, two_rdns));
+}
+
+TEST(Names, MultiValueRdnSetSemantics) {
+    // Attribute order inside one RDN is insignificant.
+    Rdn ab, ba;
+    ab.attributes = {make_attribute(oids::common_name(), "cn"),
+                     make_attribute(oids::organization_name(), "o")};
+    ba.attributes = {make_attribute(oids::organization_name(), "O"),
+                     make_attribute(oids::common_name(), "CN")};
+    DistinguishedName a, b;
+    a.rdns.push_back(ab);
+    b.rdns.push_back(ba);
+    EXPECT_TRUE(names_match(a, b));
+    EXPECT_FALSE(names_match_binary(a, b));
+}
+
+TEST(Names, UndecodableValuesOnlyMatchThemselves) {
+    AttributeValue broken;
+    broken.type = oids::organization_name();
+    broken.string_type = StringType::kUtf8String;
+    broken.value_bytes = {0x41, 0xC3};  // truncated UTF-8
+    AttributeValue same = broken;
+    AttributeValue clean = make_attribute(oids::organization_name(), "A");
+    EXPECT_TRUE(attributes_match(broken, same));
+    EXPECT_FALSE(attributes_match(broken, clean));
+}
+
+}  // namespace
+}  // namespace unicert::x509

@@ -1,0 +1,169 @@
+// Tests for the DN model and Name DER round-tripping.
+#include "x509/name.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/der.h"
+
+namespace unicert::x509 {
+namespace {
+
+using asn1::StringType;
+namespace oids = asn1::oids;
+
+TEST(MakeAttribute, DefaultUtf8) {
+    AttributeValue av = make_attribute(oids::common_name(), "tëst.com");
+    EXPECT_EQ(av.string_type, StringType::kUtf8String);
+    EXPECT_EQ(av.to_utf8_lossy(), "tëst.com");
+}
+
+TEST(MakeAttribute, PrintableStringBytes) {
+    AttributeValue av =
+        make_attribute(oids::country_name(), "DE", StringType::kPrintableString);
+    EXPECT_EQ(av.value_bytes, to_bytes("DE"));
+    auto decoded = av.decode();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->size(), 2u);
+}
+
+TEST(MakeAttribute, UncheckedAllowsControlChars) {
+    // NUL inside PrintableString: the misissuance vector.
+    AttributeValue av = make_attribute(oids::common_name(), std::string("e\0vil", 5),
+                                       StringType::kPrintableString);
+    EXPECT_EQ(av.value_bytes.size(), 5u);
+    EXPECT_EQ(av.value_bytes[1], 0x00);
+}
+
+TEST(MakeAttribute, BmpStringEncodesUcs2) {
+    AttributeValue av = make_attribute(oids::common_name(), "AB", StringType::kBmpString);
+    EXPECT_EQ(av.value_bytes, (Bytes{0x00, 'A', 0x00, 'B'}));
+}
+
+TEST(Dn, FindFirstVsLastWithDuplicates) {
+    // Duplicate CNs — PyOpenSSL takes first, Go takes last (paper §4.3.1).
+    DistinguishedName dn = make_dn({
+        make_attribute(oids::common_name(), "first.com"),
+        make_attribute(oids::organization_name(), "Org"),
+        make_attribute(oids::common_name(), "last.com"),
+    });
+    ASSERT_NE(dn.find_first(oids::common_name()), nullptr);
+    EXPECT_EQ(dn.find_first(oids::common_name())->to_utf8_lossy(), "first.com");
+    EXPECT_EQ(dn.find_last(oids::common_name())->to_utf8_lossy(), "last.com");
+    EXPECT_EQ(dn.count(oids::common_name()), 2u);
+    EXPECT_EQ(dn.find_all(oids::common_name()).size(), 2u);
+}
+
+TEST(Dn, MissingAttribute) {
+    DistinguishedName dn = make_dn({make_attribute(oids::organization_name(), "Org")});
+    EXPECT_EQ(dn.find_first(oids::common_name()), nullptr);
+    EXPECT_EQ(dn.find_last(oids::common_name()), nullptr);
+    EXPECT_EQ(dn.count(oids::common_name()), 0u);
+}
+
+TEST(Dn, AllAttributesOrder) {
+    DistinguishedName dn = make_dn({
+        make_attribute(oids::country_name(), "CZ", StringType::kPrintableString),
+        make_attribute(oids::organization_name(), "Česká pošta, s.p."),
+        make_attribute(oids::common_name(), "postsignum.cz"),
+    });
+    auto all = dn.all_attributes();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->type, oids::country_name());
+    EXPECT_EQ(all[2]->type, oids::common_name());
+}
+
+TEST(NameDer, RoundTripSimple) {
+    DistinguishedName dn = make_dn({
+        make_attribute(oids::country_name(), "US", StringType::kPrintableString),
+        make_attribute(oids::organization_name(), "Example Inc"),
+        make_attribute(oids::common_name(), "example.com"),
+    });
+    Bytes der = encode_name(dn);
+    auto back = parse_name(der);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), dn);
+}
+
+TEST(NameDer, RoundTripMultiAttributeRdn) {
+    Rdn multi;
+    multi.attributes.push_back(make_attribute(oids::common_name(), "cn"));
+    multi.attributes.push_back(make_attribute(oids::organization_name(), "o"));
+    DistinguishedName dn;
+    dn.rdns.push_back(multi);
+    Bytes der = encode_name(dn);
+    auto back = parse_name(der);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->rdns.size(), 1u);
+    EXPECT_EQ(back->rdns[0].attributes.size(), 2u);
+}
+
+TEST(NameDer, RoundTripUnicodeValues) {
+    DistinguishedName dn = make_dn({
+        make_attribute(oids::organization_name(), "株式会社　中国銀行"),  // ideographic space
+        make_attribute(oids::locality_name(), "Île-de-France"),
+        make_attribute(oids::common_name(), "Vegas.XXX®™"),
+    });
+    auto back = parse_name(encode_name(dn));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), dn);
+}
+
+TEST(NameDer, PreservesDeclaredStringTypes) {
+    DistinguishedName dn = make_dn({
+        make_attribute(oids::common_name(), "Störi AG", StringType::kTeletexString),
+        make_attribute(oids::organization_name(), "ACME", StringType::kBmpString),
+    });
+    auto back = parse_name(encode_name(dn));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->rdns[0].attributes[0].string_type, StringType::kTeletexString);
+    EXPECT_EQ(back->rdns[1].attributes[0].string_type, StringType::kBmpString);
+}
+
+TEST(NameDer, EmptyNameIsValidSequence) {
+    DistinguishedName empty;
+    Bytes der = encode_name(empty);
+    auto back = parse_name(der);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(NameDer, RejectsEmptyRdnSet) {
+    // SEQUENCE { SET {} } — structurally invalid.
+    Bytes der = {0x30, 0x02, 0x31, 0x00};
+    auto r = parse_name(der);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "x509_empty_rdn");
+}
+
+TEST(NameDer, RejectsNonSequence) {
+    Bytes der = {0x04, 0x00};
+    EXPECT_FALSE(parse_name(der).ok());
+}
+
+TEST(NameDer, RejectsNonStringAttributeValue) {
+    // ATV with INTEGER value.
+    asn1::Writer w;
+    w.add_sequence([](asn1::Writer& seq) {
+        seq.add_set([](asn1::Writer& set) {
+            set.add_sequence([](asn1::Writer& atv) {
+                atv.add_oid_der(oids::common_name().to_der());
+                atv.add_integer(5);
+            });
+        });
+    });
+    auto r = parse_name(w.bytes());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "x509_attr_not_string");
+}
+
+TEST(Lossy, TeletexHighBytesSurviveAsLatin1) {
+    // TeletexString 0xF6 -> ö in the Latin-1 interpretation.
+    AttributeValue av;
+    av.type = oids::common_name();
+    av.string_type = StringType::kTeletexString;
+    av.value_bytes = {'S', 't', 0xF6, 'r', 'i'};
+    EXPECT_EQ(av.to_utf8_lossy(), "St\xC3\xB6ri");
+}
+
+}  // namespace
+}  // namespace unicert::x509

@@ -1,0 +1,117 @@
+// Tests for the OCSP substrate.
+#include "x509/ocsp.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+
+namespace unicert::x509 {
+namespace {
+
+namespace oids = asn1::oids;
+
+crypto::SimSigner responder_key() { return crypto::SimSigner::from_name("OCSP CA"); }
+
+OcspResponder make_responder() {
+    return OcspResponder(responder_key(), asn1::make_time(2025, 2, 1),
+                         asn1::make_time(2025, 2, 8));
+}
+
+Certificate cert_with_ocsp(const std::string& url, Bytes serial) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = std::move(serial);
+    cert.subject = make_dn({make_attribute(oids::common_name(), "ocsp.example")});
+    cert.issuer = make_dn({make_attribute(oids::organization_name(), "OCSP CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.extensions.push_back(make_aia({{oids::ad_ocsp(), uri_name(url)}}));
+    return cert;
+}
+
+TEST(OcspWire, RequestRoundTrip) {
+    OcspRequest request{crypto::sha256_bytes(to_bytes("issuer")), {0x12, 0x34}};
+    auto back = parse_ocsp_request(encode_ocsp_request(request));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->issuer_key_hash, request.issuer_key_hash);
+    EXPECT_EQ(back->serial, request.serial);
+}
+
+TEST(OcspWire, ResponseRoundTripAndVerify) {
+    OcspResponder responder = make_responder();
+    responder.revoke({0x66});
+    Bytes key_hash = crypto::sha256_bytes(responder_key().public_key());
+
+    OcspResponse response = responder.respond({key_hash, {0x66}});
+    auto parsed = parse_ocsp_response(response.der);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->status, RevocationStatus::kRevoked);
+    EXPECT_EQ(parsed->serial, (Bytes{0x66}));
+    EXPECT_EQ(parsed->this_update, asn1::make_time(2025, 2, 1));
+    EXPECT_TRUE(verify_ocsp_response(parsed.value(), responder_key()));
+}
+
+TEST(OcspWire, TamperedResponseRejected) {
+    OcspResponder responder = make_responder();
+    Bytes key_hash = crypto::sha256_bytes(responder_key().public_key());
+    OcspResponse response = responder.respond({key_hash, {0x01}});
+    response.status = RevocationStatus::kRevoked;  // flip good -> revoked
+    EXPECT_FALSE(verify_ocsp_response(response, responder_key()));
+}
+
+TEST(Responder, GoodRevokedUnknownSplits) {
+    OcspResponder responder = make_responder();
+    responder.revoke({0x66});
+    Bytes key_hash = crypto::sha256_bytes(responder_key().public_key());
+
+    EXPECT_EQ(responder.respond({key_hash, {0x66}}).status, RevocationStatus::kRevoked);
+    EXPECT_EQ(responder.respond({key_hash, {0x67}}).status, RevocationStatus::kGood);
+    // Wrong issuer hash: this responder is not authoritative.
+    EXPECT_EQ(responder.respond({crypto::sha256_bytes(to_bytes("other")), {0x66}}).status,
+              RevocationStatus::kUnknown);
+}
+
+TEST(Network, ChecksViaAiaUrl) {
+    OcspNetwork network;
+    OcspResponder responder = make_responder();
+    responder.revoke({0x66});
+    network.publish("http://ocsp.example/q", std::move(responder));
+    Bytes key_hash = crypto::sha256_bytes(responder_key().public_key());
+
+    EXPECT_EQ(network.check(cert_with_ocsp("http://ocsp.example/q", {0x66}), key_hash),
+              RevocationStatus::kRevoked);
+    EXPECT_EQ(network.check(cert_with_ocsp("http://ocsp.example/q", {0x42}), key_hash),
+              RevocationStatus::kGood);
+    EXPECT_EQ(network.check(cert_with_ocsp("http://nowhere.example/q", {0x66}), key_hash),
+              RevocationStatus::kUnknown);
+}
+
+TEST(Network, NoAiaIsUnknown) {
+    OcspNetwork network;
+    Certificate bare;
+    bare.serial = {0x01};
+    EXPECT_EQ(network.check(bare, {}), RevocationStatus::kUnknown);
+}
+
+TEST(Comparison, OcspSurvivesTheCrldpSpoof) {
+    // The Section 5.2(2) CRL spoof rewrites the *CRLDP* URL. A client
+    // that also checks OCSP via AIA still learns of the revocation —
+    // one of the mitigations the paper credits (before short-lived
+    // certs make both obsolete).
+    OcspNetwork network;
+    OcspResponder responder = make_responder();
+    responder.revoke({0x99});
+    network.publish("http://ocsp.example/q", std::move(responder));
+    Bytes key_hash = crypto::sha256_bytes(responder_key().public_key());
+
+    Certificate cert = cert_with_ocsp("http://ocsp.example/q", {0x99});
+    cert.extensions.push_back(make_crl_distribution_points(
+        {{{uri_name(std::string("http://ssl\x01test.com/ca.crl", 24))}}}));
+
+    CrlDistributor crls;  // empty network: the spoofed fetch finds nothing
+    EXPECT_EQ(crls.check(cert), RevocationStatus::kUnknown);
+    EXPECT_EQ(network.check(cert, key_hash), RevocationStatus::kRevoked);
+}
+
+}  // namespace
+}  // namespace unicert::x509

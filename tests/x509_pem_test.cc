@@ -1,0 +1,122 @@
+// Tests for base64 and PEM framing.
+#include "x509/pem.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "common/base64.h"
+#include "x509/builder.h"
+#include "x509/parser.h"
+
+namespace unicert::x509 {
+namespace {
+
+TEST(Base64, KnownVectors) {
+    EXPECT_EQ(base64_encode(to_bytes("")), "");
+    EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+    EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+    EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+    EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+    EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+    EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeRoundTrip) {
+    Bytes data;
+    for (int i = 0; i < 300; ++i) data.push_back(static_cast<uint8_t>(i * 7));
+    auto back = base64_decode(base64_encode(data));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST(Base64, DecodeIgnoresWhitespace) {
+    auto r = base64_decode("Zm9v\nYmFy\r\n");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(to_string(r.value()), "foobar");
+}
+
+TEST(Base64, DecodeRejectsGarbage) {
+    EXPECT_FALSE(base64_decode("Zm9v!").ok());
+    EXPECT_FALSE(base64_decode("Zm9v=X").ok());   // data after padding
+    EXPECT_FALSE(base64_decode("Z").ok());        // dangling unit
+    EXPECT_FALSE(base64_decode("Zm9v====").ok()); // too much padding
+}
+
+TEST(Base64, RejectsNonCanonicalPaddingBits) {
+    // "Zh==" would decode to 'f' only if the low bits of 'h' were
+    // ignored; canonical form is "Zg==".
+    EXPECT_FALSE(base64_decode("Zh==").ok());
+    EXPECT_TRUE(base64_decode("Zg==").ok());
+}
+
+TEST(Pem, EncodeShape) {
+    Bytes der(100, 0xAB);
+    std::string pem = pem_encode("CERTIFICATE", der);
+    EXPECT_TRUE(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+    EXPECT_NE(pem.find("-----END CERTIFICATE-----"), std::string::npos);
+    // 64-column wrapping.
+    size_t first_nl = pem.find('\n');
+    size_t second_nl = pem.find('\n', first_nl + 1);
+    EXPECT_EQ(second_nl - first_nl - 1, 64u);
+}
+
+TEST(Pem, RoundTrip) {
+    Bytes der = {0x30, 0x03, 0x02, 0x01, 0x05};
+    std::string pem = pem_encode("CERTIFICATE", der);
+    auto back = pem_decode(pem);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), der);
+}
+
+TEST(Pem, MultipleBlocksAndLabels) {
+    std::string text = "junk before\n" + pem_encode("CERTIFICATE", to_bytes("AAA")) +
+                       "between\n" + pem_encode("X509 CRL", to_bytes("BBB")) + "after";
+    auto blocks = pem_decode_all(text);
+    ASSERT_TRUE(blocks.ok());
+    ASSERT_EQ(blocks->size(), 2u);
+    EXPECT_EQ((*blocks)[0].label, "CERTIFICATE");
+    EXPECT_EQ((*blocks)[1].label, "X509 CRL");
+    auto crl = pem_decode(text, "X509 CRL");
+    ASSERT_TRUE(crl.ok());
+    EXPECT_EQ(to_string(crl.value()), "BBB");
+}
+
+TEST(Pem, MissingEndIsError) {
+    EXPECT_FALSE(pem_decode_all("-----BEGIN CERTIFICATE-----\nZm9v\n").ok());
+}
+
+TEST(Pem, MissingLabelReported) {
+    std::string pem = pem_encode("CERTIFICATE", to_bytes("x"));
+    auto r = pem_decode(pem, "X509 CRL");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "pem_label_not_found");
+}
+
+TEST(Pem, NoBlocksIsEmptyNotError) {
+    auto blocks = pem_decode_all("no pem here");
+    ASSERT_TRUE(blocks.ok());
+    EXPECT_TRUE(blocks->empty());
+}
+
+TEST(Pem, FullCertificateRoundTrip) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x10};
+    cert.subject = make_dn({make_attribute(asn1::oids::common_name(), "pem.example")});
+    cert.issuer = cert.subject;
+    cert.validity = {asn1::make_time(2024, 1, 1), asn1::make_time(2024, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name("pem.example").public_key();
+    crypto::SimSigner ca = crypto::SimSigner::from_name("PEM CA");
+    Bytes der = sign_certificate(cert, ca);
+
+    std::string pem = pem_encode("CERTIFICATE", der);
+    auto decoded = pem_decode(pem);
+    ASSERT_TRUE(decoded.ok());
+    auto parsed = parse_certificate(decoded.value());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->subject, cert.subject);
+    EXPECT_TRUE(verify_signature(parsed.value(), ca));
+}
+
+}  // namespace
+}  // namespace unicert::x509

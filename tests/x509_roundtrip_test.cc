@@ -1,0 +1,278 @@
+// End-to-end build -> sign -> DER -> parse round trips for full
+// certificates, extensions included.
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+#include "x509/parser.h"
+
+namespace unicert::x509 {
+namespace {
+
+using asn1::StringType;
+namespace oids = asn1::oids;
+
+Certificate make_basic_cert() {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x01, 0x02, 0x03};
+    cert.issuer = make_dn({
+        make_attribute(oids::country_name(), "US", StringType::kPrintableString),
+        make_attribute(oids::organization_name(), "Test CA Org"),
+        make_attribute(oids::common_name(), "Test CA"),
+    });
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "example.com"),
+    });
+    cert.validity = {asn1::make_time(2024, 1, 1), asn1::make_time(2024, 4, 1)};
+    crypto::SimSigner subject_key = crypto::SimSigner::from_name("example.com");
+    cert.subject_public_key = subject_key.public_key();
+    return cert;
+}
+
+TEST(Roundtrip, MinimalCertificate) {
+    Certificate cert = make_basic_cert();
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    Bytes der = sign_certificate(cert, ca);
+    ASSERT_FALSE(der.empty());
+
+    auto parsed = parse_certificate(der);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed->version, 2);
+    EXPECT_EQ(parsed->serial, cert.serial);
+    EXPECT_EQ(parsed->issuer, cert.issuer);
+    EXPECT_EQ(parsed->subject, cert.subject);
+    EXPECT_EQ(parsed->validity, cert.validity);
+    EXPECT_EQ(parsed->subject_public_key, cert.subject_public_key);
+    EXPECT_EQ(parsed->signature, cert.signature);
+    EXPECT_EQ(parsed->tbs_der, cert.tbs_der);
+}
+
+TEST(Roundtrip, SignatureVerifies) {
+    Certificate cert = make_basic_cert();
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    Bytes der = sign_certificate(cert, ca);
+    auto parsed = parse_certificate(der);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(verify_signature(parsed.value(), ca));
+    crypto::SimSigner other = crypto::SimSigner::from_name("Other CA");
+    EXPECT_FALSE(verify_signature(parsed.value(), other));
+}
+
+TEST(Roundtrip, SanExtension) {
+    Certificate cert = make_basic_cert();
+    GeneralNames names = {
+        dns_name("example.com"),
+        dns_name("*.example.com"),
+        dns_name("xn--mnchen-3ya.example"),
+        rfc822_name("admin@example.com"),
+        uri_name("https://example.com/x"),
+        ip_address(Bytes{192, 0, 2, 1}),
+    };
+    cert.extensions.push_back(make_san(names));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+
+    GeneralNames back = parsed->subject_alt_names();
+    ASSERT_EQ(back.size(), 6u);
+    EXPECT_EQ(back[0].type, GeneralNameType::kDnsName);
+    EXPECT_EQ(back[0].to_utf8_lossy(), "example.com");
+    EXPECT_EQ(back[3].type, GeneralNameType::kRfc822Name);
+    EXPECT_EQ(back[4].type, GeneralNameType::kUri);
+    EXPECT_EQ(back[5].type, GeneralNameType::kIpAddress);
+    EXPECT_EQ(back[5].to_utf8_lossy(), "192.0.2.1");
+}
+
+TEST(Roundtrip, DirectoryNameAndOtherNameInSan) {
+    Certificate cert = make_basic_cert();
+    GeneralNames names = {
+        directory_name(make_dn({make_attribute(oids::common_name(), "dir-entity")})),
+        smtp_utf8_mailbox("usér@exämple.com"),
+    };
+    cert.extensions.push_back(make_san(names));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+
+    GeneralNames back = parsed->subject_alt_names();
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].type, GeneralNameType::kDirectoryName);
+    EXPECT_EQ(back[0].directory.find_first(oids::common_name())->to_utf8_lossy(), "dir-entity");
+    EXPECT_EQ(back[1].type, GeneralNameType::kOtherName);
+    EXPECT_EQ(back[1].other_name_oid, oids::smtp_utf8_mailbox());
+}
+
+TEST(Roundtrip, AiaAndCrlDp) {
+    Certificate cert = make_basic_cert();
+    cert.extensions.push_back(make_aia({
+        {oids::ad_ca_issuers(), uri_name("http://ca.invalid/0.crt")},
+        {oids::ad_ocsp(), uri_name("http://ocsp.invalid")},
+    }));
+    cert.extensions.push_back(make_crl_distribution_points({
+        {{uri_name("http://crl.invalid/root.crl")}},
+    }));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+
+    auto urls = parsed->ca_issuer_urls();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], "http://ca.invalid/0.crt");
+
+    auto crls = parsed->crl_urls();
+    ASSERT_EQ(crls.size(), 1u);
+    EXPECT_EQ(crls[0], "http://crl.invalid/root.crl");
+}
+
+TEST(Roundtrip, CertificatePolicies) {
+    Certificate cert = make_basic_cert();
+    PolicyInformation pi;
+    pi.policy_id = asn1::Oid::from_string("2.23.140.1.2.1").value();
+    PolicyQualifier cps;
+    cps.qualifier_id = oids::cps_qualifier();
+    cps.cps_uri = to_bytes("https://cps.invalid");
+    PolicyQualifier notice;
+    notice.qualifier_id = oids::user_notice_qualifier();
+    DisplayText dt;
+    dt.string_type = StringType::kBmpString;  // the SHOULD-violation case
+    dt.value_bytes = {0x00, 'H', 0x00, 'i'};
+    notice.explicit_text = dt;
+    pi.qualifiers = {cps, notice};
+    cert.extensions.push_back(make_certificate_policies({pi}));
+
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+
+    auto cp = parse_certificate_policies(
+        *parsed->find_extension(oids::certificate_policies()));
+    ASSERT_TRUE(cp.ok());
+    ASSERT_EQ(cp->size(), 1u);
+    ASSERT_EQ((*cp)[0].qualifiers.size(), 2u);
+    EXPECT_EQ(to_string((*cp)[0].qualifiers[0].cps_uri), "https://cps.invalid");
+    ASSERT_TRUE((*cp)[0].qualifiers[1].explicit_text.has_value());
+    EXPECT_EQ((*cp)[0].qualifiers[1].explicit_text->string_type, StringType::kBmpString);
+    EXPECT_EQ((*cp)[0].qualifiers[1].explicit_text->to_utf8_lossy(), "Hi");
+}
+
+TEST(Roundtrip, BasicConstraintsAndKeyUsage) {
+    Certificate cert = make_basic_cert();
+    cert.extensions.push_back(make_basic_constraints({true, 3}));
+    cert.extensions.push_back(make_key_usage(0x8600));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+
+    auto bc = parse_basic_constraints(*parsed->find_extension(oids::basic_constraints()));
+    ASSERT_TRUE(bc.ok());
+    EXPECT_TRUE(bc->ca);
+    EXPECT_EQ(bc->path_len, 3);
+    EXPECT_TRUE(parsed->find_extension(oids::basic_constraints())->critical);
+}
+
+TEST(Roundtrip, ExtendedKeyUsage) {
+    Certificate cert = make_basic_cert();
+    cert.extensions.push_back(make_ext_key_usage({eku::server_auth(), eku::client_auth()}));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+
+    const Extension* ext = parsed->find_extension(oids::ext_key_usage());
+    ASSERT_NE(ext, nullptr);
+    auto purposes = parse_ext_key_usage(*ext);
+    ASSERT_TRUE(purposes.ok());
+    ASSERT_EQ(purposes->size(), 2u);
+    EXPECT_EQ((*purposes)[0], eku::server_auth());
+    EXPECT_EQ((*purposes)[1], eku::client_auth());
+    EXPECT_EQ(eku::server_auth().to_string(), "1.3.6.1.5.5.7.3.1");
+    EXPECT_EQ(eku::email_protection().to_string(), "1.3.6.1.5.5.7.3.4");
+    EXPECT_EQ(eku::ocsp_signing().to_string(), "1.3.6.1.5.5.7.3.9");
+}
+
+TEST(Roundtrip, CtPoisonMarksPrecertificate) {
+    Certificate cert = make_basic_cert();
+    cert.extensions.push_back(make_ct_poison());
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed->is_precertificate());
+
+    Certificate normal = make_basic_cert();
+    auto parsed2 = parse_certificate(sign_certificate(normal, ca));
+    ASSERT_TRUE(parsed2.ok());
+    EXPECT_FALSE(parsed2->is_precertificate());
+}
+
+TEST(Roundtrip, DuplicateCnPreserved) {
+    Certificate cert = make_basic_cert();
+    cert.subject = make_dn({
+        make_attribute(oids::common_name(), "first.com"),
+        make_attribute(oids::common_name(), "second.com"),
+    });
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->subject_common_names().size(), 2u);
+}
+
+TEST(Roundtrip, ValidityHelpers) {
+    Certificate cert = make_basic_cert();
+    EXPECT_EQ(cert.validity.lifetime_days(), 91);
+    EXPECT_TRUE(cert.validity.contains(asn1::make_time(2024, 2, 15)));
+    EXPECT_FALSE(cert.validity.contains(asn1::make_time(2025, 1, 1)));
+}
+
+TEST(Roundtrip, Post2049ValidityUsesGeneralizedTime) {
+    Certificate cert = make_basic_cert();
+    cert.validity = {asn1::make_time(2024, 1, 1), asn1::make_time(2052, 1, 1)};
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->validity.not_after, asn1::make_time(2052, 1, 1));
+}
+
+TEST(Roundtrip, DnsIdentitiesMergesCnAndSan) {
+    Certificate cert = make_basic_cert();
+    cert.extensions.push_back(make_san({dns_name("a.example"), dns_name("b.example")}));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    auto parsed = parse_certificate(sign_certificate(cert, ca));
+    ASSERT_TRUE(parsed.ok());
+    auto ids = parsed->dns_identities();
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(ids[0], "example.com");
+    EXPECT_EQ(ids[1], "a.example");
+}
+
+TEST(Roundtrip, Ipv6SanFormatting) {
+    Bytes v6 = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x01};
+    GeneralName gn = ip_address(v6);
+    EXPECT_EQ(gn.to_utf8_lossy(), "2001:db8:0:0:0:0:0:1");
+}
+
+TEST(ParserRejects, Garbage) {
+    EXPECT_FALSE(parse_certificate(to_bytes("not a cert")).ok());
+    EXPECT_FALSE(parse_certificate({}).ok());
+}
+
+TEST(ParserRejects, TruncatedCert) {
+    Certificate cert = make_basic_cert();
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    Bytes der = sign_certificate(cert, ca);
+    Bytes truncated(der.begin(), der.begin() + der.size() / 2);
+    EXPECT_FALSE(parse_certificate(truncated).ok());
+}
+
+TEST(Fingerprint, StableAndDistinct) {
+    Certificate a = make_basic_cert();
+    Certificate b = make_basic_cert();
+    b.serial = {0x09};
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Test CA");
+    sign_certificate(a, ca);
+    sign_certificate(b, ca);
+    EXPECT_EQ(a.fingerprint(), a.fingerprint());
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace unicert::x509

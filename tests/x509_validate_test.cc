@@ -1,0 +1,141 @@
+// Tests for full path validation (validate_certificate).
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "x509/builder.h"
+#include "x509/chain.h"
+
+namespace unicert::x509 {
+namespace {
+
+namespace oids = asn1::oids;
+
+Certificate make_leaf(const CaEntity& ca, int64_t nb, int64_t na) {
+    Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x99};
+    cert.issuer = ca.certificate.subject;
+    cert.subject = make_dn({make_attribute(oids::common_name(), "v.example")});
+    cert.validity = {nb, na};
+    cert.subject_public_key = crypto::SimSigner::from_name("v.example").public_key();
+    cert.extensions.push_back(make_san({dns_name("v.example")}));
+    cert.extensions.push_back(make_aia({{oids::ad_ca_issuers(), uri_name(ca.aia_url)}}));
+    return cert;
+}
+
+TEST(Validate, FullyValidLeaf) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Validate CA");
+    Certificate leaf = make_leaf(ca, asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1));
+    sign_certificate(leaf, ca.key);
+
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_TRUE(r.valid) << r.failure;
+    EXPECT_TRUE(r.signature_valid);
+    EXPECT_TRUE(r.issuer_is_ca);
+    EXPECT_TRUE(r.issuer_name_matches);
+    EXPECT_TRUE(r.within_validity);
+    EXPECT_TRUE(r.issuer_trusted);
+    EXPECT_TRUE(r.failure.empty());
+}
+
+TEST(Validate, ExpiredLeafFails) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Validate CA");
+    Certificate leaf = make_leaf(ca, asn1::make_time(2020, 1, 1), asn1::make_time(2020, 4, 1));
+    sign_certificate(leaf, ca.key);
+
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.within_validity);
+    EXPECT_TRUE(r.signature_valid);
+    EXPECT_EQ(r.failure, "leaf outside its validity window");
+}
+
+TEST(Validate, NotYetValidLeafFails) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Validate CA");
+    Certificate leaf = make_leaf(ca, asn1::make_time(2030, 1, 1), asn1::make_time(2030, 4, 1));
+    sign_certificate(leaf, ca.key);
+    EXPECT_FALSE(validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1)).valid);
+}
+
+TEST(Validate, TamperedSignatureReported) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Validate CA");
+    Certificate leaf = make_leaf(ca, asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1));
+    sign_certificate(leaf, ca.key);
+    leaf.signature[0] ^= 0x01;
+
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.signature_valid);
+    EXPECT_EQ(r.failure, "signature verification failed");
+}
+
+TEST(Validate, NameChainingUsesSemanticComparison) {
+    // The leaf's issuer DN uses different case/whitespace than the CA's
+    // subject; §7.1 comparison still chains it.
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Chain Match CA");
+    Certificate leaf = make_leaf(ca, asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1));
+    // Re-express the issuer DN with case variation.
+    DistinguishedName variant;
+    for (const Rdn& rdn : ca.certificate.subject.rdns) {
+        Rdn copy = rdn;
+        for (AttributeValue& av : copy.attributes) {
+            std::string v = av.to_utf8_lossy();
+            for (char& c : v) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+            av = make_attribute(av.type, v, av.string_type);
+        }
+        variant.rdns.push_back(std::move(copy));
+    }
+    leaf.issuer = variant;
+    sign_certificate(leaf, ca.key);
+
+    // AIA still points at the CA, so discovery succeeds; name chaining
+    // must hold semantically.
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_TRUE(r.issuer_name_matches) << r.failure;
+    EXPECT_TRUE(r.valid) << r.failure;
+}
+
+TEST(Validate, WrongIssuerDnFailsNameChaining) {
+    CaRegistry reg;
+    CaEntity& ca = reg.create_ca("Chain CA");
+    Certificate leaf = make_leaf(ca, asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1));
+    leaf.issuer = make_dn({make_attribute(oids::organization_name(), "Someone Else")});
+    sign_certificate(leaf, ca.key);
+
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.issuer_name_matches);
+}
+
+TEST(Validate, UntrustedIssuerStillValidatesButFlagged) {
+    CaRegistry reg;
+    CaEntity& regional = reg.create_ca("Regional CA", /*publicly_trusted=*/false);
+    Certificate leaf =
+        make_leaf(regional, asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1));
+    sign_certificate(leaf, regional.key);
+
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_TRUE(r.valid) << r.failure;
+    EXPECT_FALSE(r.issuer_trusted);
+}
+
+TEST(Validate, UnknownIssuerFailsEarly) {
+    CaRegistry reg;
+    CaRegistry other;
+    CaEntity& rogue = other.create_ca("Rogue CA");
+    Certificate leaf = make_leaf(rogue, asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1));
+    sign_certificate(leaf, rogue.key);
+
+    ValidationResult r = validate_certificate(leaf, reg, asn1::make_time(2025, 2, 1));
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.chain_complete);
+    EXPECT_EQ(r.failure, "no issuer found via AIA or issuer DN");
+}
+
+}  // namespace
+}  // namespace unicert::x509

@@ -1,0 +1,129 @@
+// unicert_gen: the Section 3.2 test-Unicert generator as a CLI — craft
+// certificates with a chosen defect (or a whole synthetic corpus) and
+// emit PEM for feeding into unicert_lint or external tooling.
+//
+//   unicert_gen --defect <lint-name-or-index> [--host example.com]
+//   unicert_gen --corpus <count> [--seed N]
+//   unicert_gen --list-defects
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "asn1/time.h"
+#include "ctlog/corpus.h"
+#include "x509/builder.h"
+#include "x509/pem.h"
+
+using namespace unicert;
+
+namespace {
+
+void list_defects() {
+    std::printf("index  weight   idn  expected lint\n");
+    size_t i = 0;
+    for (const ctlog::DefectSpec& spec : ctlog::defect_specs()) {
+        std::printf("%5zu  %7.0f  %-3s  %s\n", i++, spec.weight, spec.idn_defect ? "yes" : "",
+                    spec.expected_lint);
+    }
+}
+
+const ctlog::DefectSpec* find_defect(const std::string& key) {
+    auto specs = ctlog::defect_specs();
+    char* end = nullptr;
+    long index = std::strtol(key.c_str(), &end, 10);
+    if (end != key.c_str() && *end == '\0' && index >= 0 &&
+        static_cast<size_t>(index) < specs.size()) {
+        return &specs[static_cast<size_t>(index)];
+    }
+    for (const ctlog::DefectSpec& spec : specs) {
+        if (key == spec.expected_lint) return &spec;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string defect_key;
+    std::string host = "test.example.com";
+    size_t corpus_count = 0;
+    uint64_t seed = 42;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+        if (arg == "--defect") {
+            defect_key = next();
+        } else if (arg == "--host") {
+            host = next();
+        } else if (arg == "--corpus") {
+            corpus_count = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--list-defects") {
+            list_defects();
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "usage: unicert_gen --defect <name|index> [--host H]\n"
+                         "       unicert_gen --corpus <count> [--seed N]\n"
+                         "       unicert_gen --list-defects\n");
+            return 64;
+        }
+    }
+
+    if (corpus_count > 0) {
+        // Scale chosen so the generator emits roughly `corpus_count`.
+        double scale = 36000.0 * 1000.0 / static_cast<double>(corpus_count) / 1000.0 * 1000.0;
+        ctlog::CorpusGenerator gen({.seed = seed, .scale = scale, .sign_certificates = true});
+        auto corpus = gen.generate();
+        size_t emitted = 0;
+        for (const ctlog::CorpusCert& c : corpus) {
+            if (emitted >= corpus_count) break;
+            std::fputs(x509::pem_encode("CERTIFICATE", c.cert.der).c_str(), stdout);
+            ++emitted;
+        }
+        std::fprintf(stderr, "emitted %zu certificates (seed %llu)\n", emitted,
+                     static_cast<unsigned long long>(seed));
+        return 0;
+    }
+
+    if (defect_key.empty()) {
+        // A compliant baseline certificate.
+        x509::Certificate cert;
+        cert.version = 2;
+        cert.serial = {0x01, 0x23};
+        cert.subject = x509::make_dn({x509::make_attribute(asn1::oids::common_name(), host)});
+        cert.issuer = x509::make_dn(
+            {x509::make_attribute(asn1::oids::organization_name(), "unicert_gen CA")});
+        cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+        cert.subject_public_key = crypto::SimSigner::from_name(host).public_key();
+        cert.extensions.push_back(x509::make_san({x509::dns_name(host)}));
+        crypto::SimSigner ca = crypto::SimSigner::from_name("unicert_gen CA");
+        x509::sign_certificate(cert, ca);
+        std::fputs(x509::pem_encode("CERTIFICATE", cert.der).c_str(), stdout);
+        return 0;
+    }
+
+    const ctlog::DefectSpec* spec = find_defect(defect_key);
+    if (spec == nullptr) {
+        std::fprintf(stderr, "unknown defect '%s' (try --list-defects)\n", defect_key.c_str());
+        return 64;
+    }
+
+    // Use the corpus generator to produce one certificate with exactly
+    // this defect: scan a seeded stream for a matching injection.
+    ctlog::CorpusGenerator gen({.seed = seed, .scale = 40.0, .sign_certificates = true});
+    auto corpus = gen.generate();
+    for (const ctlog::CorpusCert& c : corpus) {
+        if (c.defect == spec->kind) {
+            std::fputs(x509::pem_encode("CERTIFICATE", c.cert.der).c_str(), stdout);
+            std::fprintf(stderr, "defect: %s (issuer %s, %d)\n", spec->expected_lint,
+                         c.issuer_org.c_str(), c.year);
+            return 0;
+        }
+    }
+    std::fprintf(stderr, "defect too rare for the sampled stream; retry with --seed\n");
+    return 1;
+}

@@ -1,0 +1,100 @@
+// unicert_inspect: parse a PEM certificate and show its identity
+// fields as every representation the study cares about — the four DN
+// text dialects, the SAN X.509-text form, per-library parser views,
+// and browser display rendering.
+//
+//   unicert_inspect [--asn1] [file.pem]      (stdin when no file)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asn1/dump.h"
+#include "asn1/time.h"
+#include "threat/browser.h"
+#include "tlslib/profile.h"
+#include "x509/dn_text.h"
+#include "x509/parser.h"
+#include "x509/pem.h"
+
+using namespace unicert;
+
+int main(int argc, char** argv) {
+    bool show_asn1 = false;
+    const char* path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--asn1") {
+            show_asn1 = true;
+        } else {
+            path = argv[i];
+        }
+    }
+    std::string input;
+    if (path != nullptr) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", path);
+            return 64;
+        }
+        std::ostringstream out;
+        out << in.rdbuf();
+        input = out.str();
+    } else {
+        std::ostringstream out;
+        out << std::cin.rdbuf();
+        input = out.str();
+    }
+
+    auto der = x509::pem_decode(input);
+    if (!der.ok()) {
+        std::fprintf(stderr, "PEM error: %s\n", der.error().message.c_str());
+        return 64;
+    }
+    auto cert = x509::parse_certificate(der.value());
+    if (!cert.ok()) {
+        std::fprintf(stderr, "parse error: %s\n", cert.error().message.c_str());
+        return 65;
+    }
+
+    if (show_asn1) {
+        std::fputs(asn1::dump(der.value()).c_str(), stdout);
+        std::printf("\n");
+    }
+
+    std::printf("serial      : %s\n", hex_encode(cert->serial).c_str());
+    std::printf("validity    : %s .. %s (%lld days)\n",
+                asn1::format_iso(cert->validity.not_before).c_str(),
+                asn1::format_iso(cert->validity.not_after).c_str(),
+                static_cast<long long>(cert->validity.lifetime_days()));
+    std::printf("fingerprint : %s\n\n", hex_encode(cert->fingerprint()).c_str());
+
+    std::printf("-- subject in each DN dialect --\n");
+    for (x509::DnDialect d : {x509::DnDialect::kRfc2253, x509::DnDialect::kRfc4514,
+                              x509::DnDialect::kRfc1779, x509::DnDialect::kOpenSslOneline}) {
+        std::printf("  %-8s %s\n", x509::dn_dialect_name(d),
+                    x509::format_dn(cert->subject, d).c_str());
+    }
+    std::printf("  issuer   %s\n",
+                x509::format_dn(cert->issuer, x509::DnDialect::kRfc4514).c_str());
+
+    auto sans = cert->subject_alt_names();
+    if (!sans.empty()) {
+        std::printf("\n-- SAN --\n  %s\n", x509::format_general_names(sans).c_str());
+    }
+
+    std::printf("\n-- per-library subject rendering --\n");
+    for (tlslib::Library lib : tlslib::kAllLibraries) {
+        tlslib::ParseOutcome out = tlslib::format_dn(lib, cert->subject);
+        std::printf("  %-20s %s\n", tlslib::library_name(lib),
+                    out.ok ? out.value_utf8.c_str() : out.error.c_str());
+    }
+
+    if (auto* cn = cert->subject.find_first(asn1::oids::common_name())) {
+        std::printf("\n-- browser display of the CN --\n");
+        for (threat::Browser b : threat::kAllBrowsers) {
+            std::printf("  %-15s \"%s\"\n", threat::browser_name(b),
+                        threat::render_for_display(b, cn->to_utf8_lossy()).c_str());
+        }
+    }
+    return 0;
+}

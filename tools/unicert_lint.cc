@@ -1,0 +1,139 @@
+// unicert_lint: the community-facing linter CLI the paper commits to
+// releasing — read PEM certificates from files or stdin, run the
+// 95-rule registry, print findings.
+//
+//   unicert_lint [options] [file.pem ...]
+//     --ignore-effective-dates   apply every rule regardless of issuance date
+//     --list                     list the registry instead of linting
+//     --summary                  one line per certificate instead of findings
+//     --json                     machine-readable JSON, one object per cert
+//
+// Exit code: 0 = compliant, 1 = warnings only, 2 = errors, 64 = usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/json.h"
+#include "lint/lint.h"
+#include "x509/parser.h"
+#include "x509/pem.h"
+
+using namespace unicert;
+
+namespace {
+
+std::string read_stream(std::istream& in) {
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void list_registry() {
+    const lint::Registry& reg = lint::default_registry();
+    std::printf("%zu lints (%zu new to the Unicert study)\n\n", reg.size(), reg.count_new());
+    for (const lint::Rule& rule : reg.rules()) {
+        std::printf("%-55s %-8s %-18s %-9s %s\n", rule.info.name.c_str(),
+                    lint::severity_name(rule.info.severity),
+                    lint::nc_type_name(rule.info.type), lint::source_name(rule.info.source),
+                    rule.info.is_new ? "[new]" : "");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    lint::RunOptions options;
+    bool summary = false;
+    bool json = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--ignore-effective-dates") {
+            options.respect_effective_dates = false;
+        } else if (arg == "--list") {
+            list_registry();
+            return 0;
+        } else if (arg == "--summary") {
+            summary = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: unicert_lint [--ignore-effective-dates] [--summary] [--list] "
+                        "[file.pem ...]\n");
+            return 0;
+        } else if (arg.starts_with("-")) {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            return 64;
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+
+    std::string input;
+    if (files.empty()) {
+        input = read_stream(std::cin);
+    } else {
+        for (const std::string& path : files) {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", path.c_str());
+                return 64;
+            }
+            input += read_stream(in);
+        }
+    }
+
+    auto blocks = x509::pem_decode_all(input);
+    if (!blocks.ok()) {
+        std::fprintf(stderr, "PEM error: %s\n", blocks.error().message.c_str());
+        return 64;
+    }
+    if (blocks->empty()) {
+        std::fprintf(stderr, "no CERTIFICATE blocks found\n");
+        return 64;
+    }
+
+    bool any_error = false, any_warning = false;
+    size_t index = 0;
+    for (const x509::PemBlock& block : blocks.value()) {
+        if (block.label != "CERTIFICATE") continue;
+        auto cert = x509::parse_certificate(block.der);
+        if (!cert.ok()) {
+            std::printf("certificate #%zu: PARSE ERROR: %s\n", index++,
+                        cert.error().message.c_str());
+            any_error = true;
+            continue;
+        }
+        lint::CertReport report = lint::run_lints(cert.value(), lint::default_registry(),
+                                                  options);
+        if (report.has_error()) any_error = true;
+        if (report.has_warning()) any_warning = true;
+
+        std::string subject;
+        if (auto* cn = cert->subject.find_first(asn1::oids::common_name())) {
+            subject = cn->to_utf8_lossy();
+        }
+        if (json) {
+            std::printf("%s\n", core::lint_report_to_json(report).c_str());
+        } else if (summary) {
+            std::printf("certificate #%zu (%s): %zu findings%s\n", index, subject.c_str(),
+                        report.findings.size(),
+                        report.has_error() ? " [ERROR]"
+                                           : (report.has_warning() ? " [warning]" : ""));
+        } else {
+            std::printf("certificate #%zu (%s):\n", index, subject.c_str());
+            if (report.findings.empty()) {
+                std::printf("  compliant\n");
+            }
+            for (const lint::Finding& f : report.findings) {
+                std::printf("  %-8s %-52s %s\n", lint::severity_name(f.lint->severity),
+                            f.lint->name.c_str(), f.detail.c_str());
+            }
+        }
+        ++index;
+    }
+    return any_error ? 2 : (any_warning ? 1 : 0);
+}
