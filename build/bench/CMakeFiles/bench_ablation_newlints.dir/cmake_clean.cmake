@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_newlints.dir/bench_ablation_newlints.cc.o"
+  "CMakeFiles/bench_ablation_newlints.dir/bench_ablation_newlints.cc.o.d"
+  "bench_ablation_newlints"
+  "bench_ablation_newlints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_newlints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

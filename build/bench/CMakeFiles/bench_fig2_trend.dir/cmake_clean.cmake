@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_trend.dir/bench_fig2_trend.cc.o"
+  "CMakeFiles/bench_fig2_trend.dir/bench_fig2_trend.cc.o.d"
+  "bench_fig2_trend"
+  "bench_fig2_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_field_heatmap.dir/bench_fig4_field_heatmap.cc.o"
+  "CMakeFiles/bench_fig4_field_heatmap.dir/bench_fig4_field_heatmap.cc.o.d"
+  "bench_fig4_field_heatmap"
+  "bench_fig4_field_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_field_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

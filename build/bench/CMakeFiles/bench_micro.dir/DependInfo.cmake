@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/unicert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lint/CMakeFiles/unicert_lint.dir/DependInfo.cmake"
+  "/root/repo/build/src/threat/CMakeFiles/unicert_threat.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctlog/CMakeFiles/unicert_ctlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlslib/CMakeFiles/unicert_tlslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/unicert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/idna/CMakeFiles/unicert_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unicert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/unicert_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unicert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

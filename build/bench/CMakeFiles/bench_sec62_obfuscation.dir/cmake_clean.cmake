@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_obfuscation.dir/bench_sec62_obfuscation.cc.o"
+  "CMakeFiles/bench_sec62_obfuscation.dir/bench_sec62_obfuscation.cc.o.d"
+  "bench_sec62_obfuscation"
+  "bench_sec62_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

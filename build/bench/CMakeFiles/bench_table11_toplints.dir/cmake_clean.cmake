@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_toplints.dir/bench_table11_toplints.cc.o"
+  "CMakeFiles/bench_table11_toplints.dir/bench_table11_toplints.cc.o.d"
+  "bench_table11_toplints"
+  "bench_table11_toplints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_toplints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_browsers.dir/bench_table14_browsers.cc.o"
+  "CMakeFiles/bench_table14_browsers.dir/bench_table14_browsers.cc.o.d"
+  "bench_table14_browsers"
+  "bench_table14_browsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_issuers.dir/bench_table2_issuers.cc.o"
+  "CMakeFiles/bench_table2_issuers.dir/bench_table2_issuers.cc.o.d"
+  "bench_table2_issuers"
+  "bench_table2_issuers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_issuers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

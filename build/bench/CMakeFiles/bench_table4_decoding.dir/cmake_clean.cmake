@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_decoding.dir/bench_table4_decoding.cc.o"
+  "CMakeFiles/bench_table4_decoding.dir/bench_table4_decoding.cc.o.d"
+  "bench_table4_decoding"
+  "bench_table4_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_charcheck.dir/bench_table5_charcheck.cc.o"
+  "CMakeFiles/bench_table5_charcheck.dir/bench_table5_charcheck.cc.o.d"
+  "bench_table5_charcheck"
+  "bench_table5_charcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_charcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

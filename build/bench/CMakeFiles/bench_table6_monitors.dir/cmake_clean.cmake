@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_monitors.dir/bench_table6_monitors.cc.o"
+  "CMakeFiles/bench_table6_monitors.dir/bench_table6_monitors.cc.o.d"
+  "bench_table6_monitors"
+  "bench_table6_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_compliance_audit.dir/ca_compliance_audit.cpp.o"
+  "CMakeFiles/ca_compliance_audit.dir/ca_compliance_audit.cpp.o.d"
+  "ca_compliance_audit"
+  "ca_compliance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_compliance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_monitor_audit.dir/ct_monitor_audit.cpp.o"
+  "CMakeFiles/ct_monitor_audit.dir/ct_monitor_audit.cpp.o.d"
+  "ct_monitor_audit"
+  "ct_monitor_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_monitor_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

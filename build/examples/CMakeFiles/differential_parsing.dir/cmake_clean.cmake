@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_parsing.dir/differential_parsing.cpp.o"
+  "CMakeFiles/differential_parsing.dir/differential_parsing.cpp.o.d"
+  "differential_parsing"
+  "differential_parsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_workflow.dir/revocation_workflow.cpp.o"
+  "CMakeFiles/revocation_workflow.dir/revocation_workflow.cpp.o.d"
+  "revocation_workflow"
+  "revocation_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("unicode")
+subdirs("idna")
+subdirs("asn1")
+subdirs("crypto")
+subdirs("x509")
+subdirs("lint")
+subdirs("ctlog")
+subdirs("tlslib")
+subdirs("threat")
+subdirs("core")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn1/der.cc" "src/asn1/CMakeFiles/unicert_asn1.dir/der.cc.o" "gcc" "src/asn1/CMakeFiles/unicert_asn1.dir/der.cc.o.d"
+  "/root/repo/src/asn1/dump.cc" "src/asn1/CMakeFiles/unicert_asn1.dir/dump.cc.o" "gcc" "src/asn1/CMakeFiles/unicert_asn1.dir/dump.cc.o.d"
+  "/root/repo/src/asn1/oid.cc" "src/asn1/CMakeFiles/unicert_asn1.dir/oid.cc.o" "gcc" "src/asn1/CMakeFiles/unicert_asn1.dir/oid.cc.o.d"
+  "/root/repo/src/asn1/strings.cc" "src/asn1/CMakeFiles/unicert_asn1.dir/strings.cc.o" "gcc" "src/asn1/CMakeFiles/unicert_asn1.dir/strings.cc.o.d"
+  "/root/repo/src/asn1/time.cc" "src/asn1/CMakeFiles/unicert_asn1.dir/time.cc.o" "gcc" "src/asn1/CMakeFiles/unicert_asn1.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unicert_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/unicert_unicode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

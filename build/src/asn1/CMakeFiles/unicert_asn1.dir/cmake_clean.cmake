@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_asn1.dir/der.cc.o"
+  "CMakeFiles/unicert_asn1.dir/der.cc.o.d"
+  "CMakeFiles/unicert_asn1.dir/dump.cc.o"
+  "CMakeFiles/unicert_asn1.dir/dump.cc.o.d"
+  "CMakeFiles/unicert_asn1.dir/oid.cc.o"
+  "CMakeFiles/unicert_asn1.dir/oid.cc.o.d"
+  "CMakeFiles/unicert_asn1.dir/strings.cc.o"
+  "CMakeFiles/unicert_asn1.dir/strings.cc.o.d"
+  "CMakeFiles/unicert_asn1.dir/time.cc.o"
+  "CMakeFiles/unicert_asn1.dir/time.cc.o.d"
+  "libunicert_asn1.a"
+  "libunicert_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_common.dir/base64.cc.o"
+  "CMakeFiles/unicert_common.dir/base64.cc.o.d"
+  "libunicert_common.a"
+  "libunicert_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

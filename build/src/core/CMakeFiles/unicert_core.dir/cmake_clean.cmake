@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_core.dir/json.cc.o"
+  "CMakeFiles/unicert_core.dir/json.cc.o.d"
+  "CMakeFiles/unicert_core.dir/pipeline.cc.o"
+  "CMakeFiles/unicert_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/unicert_core.dir/report.cc.o"
+  "CMakeFiles/unicert_core.dir/report.cc.o.d"
+  "libunicert_core.a"
+  "libunicert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_crypto.dir/sha256.cc.o"
+  "CMakeFiles/unicert_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/unicert_crypto.dir/simsig.cc.o"
+  "CMakeFiles/unicert_crypto.dir/simsig.cc.o.d"
+  "libunicert_crypto.a"
+  "libunicert_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

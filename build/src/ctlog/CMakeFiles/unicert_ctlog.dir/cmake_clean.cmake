@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_ctlog.dir/corpus.cc.o"
+  "CMakeFiles/unicert_ctlog.dir/corpus.cc.o.d"
+  "CMakeFiles/unicert_ctlog.dir/log.cc.o"
+  "CMakeFiles/unicert_ctlog.dir/log.cc.o.d"
+  "CMakeFiles/unicert_ctlog.dir/merkle.cc.o"
+  "CMakeFiles/unicert_ctlog.dir/merkle.cc.o.d"
+  "CMakeFiles/unicert_ctlog.dir/monitor.cc.o"
+  "CMakeFiles/unicert_ctlog.dir/monitor.cc.o.d"
+  "CMakeFiles/unicert_ctlog.dir/sct_extension.cc.o"
+  "CMakeFiles/unicert_ctlog.dir/sct_extension.cc.o.d"
+  "libunicert_ctlog.a"
+  "libunicert_ctlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_ctlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

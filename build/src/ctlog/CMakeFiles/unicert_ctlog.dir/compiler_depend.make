@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unicert_ctlog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_idna.dir/bidi.cc.o"
+  "CMakeFiles/unicert_idna.dir/bidi.cc.o.d"
+  "CMakeFiles/unicert_idna.dir/labels.cc.o"
+  "CMakeFiles/unicert_idna.dir/labels.cc.o.d"
+  "CMakeFiles/unicert_idna.dir/punycode.cc.o"
+  "CMakeFiles/unicert_idna.dir/punycode.cc.o.d"
+  "libunicert_idna.a"
+  "libunicert_idna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_idna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunicert_idna.a"
+)

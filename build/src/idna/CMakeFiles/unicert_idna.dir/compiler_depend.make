@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unicert_idna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lint/helpers.cc" "src/lint/CMakeFiles/unicert_lint.dir/helpers.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/helpers.cc.o.d"
+  "/root/repo/src/lint/lint.cc" "src/lint/CMakeFiles/unicert_lint.dir/lint.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/lint.cc.o.d"
+  "/root/repo/src/lint/registry.cc" "src/lint/CMakeFiles/unicert_lint.dir/registry.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/registry.cc.o.d"
+  "/root/repo/src/lint/rules_charset.cc" "src/lint/CMakeFiles/unicert_lint.dir/rules_charset.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/rules_charset.cc.o.d"
+  "/root/repo/src/lint/rules_encoding.cc" "src/lint/CMakeFiles/unicert_lint.dir/rules_encoding.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/rules_encoding.cc.o.d"
+  "/root/repo/src/lint/rules_format.cc" "src/lint/CMakeFiles/unicert_lint.dir/rules_format.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/rules_format.cc.o.d"
+  "/root/repo/src/lint/rules_normalization.cc" "src/lint/CMakeFiles/unicert_lint.dir/rules_normalization.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/rules_normalization.cc.o.d"
+  "/root/repo/src/lint/rules_structure.cc" "src/lint/CMakeFiles/unicert_lint.dir/rules_structure.cc.o" "gcc" "src/lint/CMakeFiles/unicert_lint.dir/rules_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/unicert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/idna/CMakeFiles/unicert_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unicert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/unicert_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unicert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_lint.dir/helpers.cc.o"
+  "CMakeFiles/unicert_lint.dir/helpers.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/lint.cc.o"
+  "CMakeFiles/unicert_lint.dir/lint.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/registry.cc.o"
+  "CMakeFiles/unicert_lint.dir/registry.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/rules_charset.cc.o"
+  "CMakeFiles/unicert_lint.dir/rules_charset.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/rules_encoding.cc.o"
+  "CMakeFiles/unicert_lint.dir/rules_encoding.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/rules_format.cc.o"
+  "CMakeFiles/unicert_lint.dir/rules_format.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/rules_normalization.cc.o"
+  "CMakeFiles/unicert_lint.dir/rules_normalization.cc.o.d"
+  "CMakeFiles/unicert_lint.dir/rules_structure.cc.o"
+  "CMakeFiles/unicert_lint.dir/rules_structure.cc.o.d"
+  "libunicert_lint.a"
+  "libunicert_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

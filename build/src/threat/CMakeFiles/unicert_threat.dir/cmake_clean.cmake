@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_threat.dir/browser.cc.o"
+  "CMakeFiles/unicert_threat.dir/browser.cc.o.d"
+  "CMakeFiles/unicert_threat.dir/log_audit.cc.o"
+  "CMakeFiles/unicert_threat.dir/log_audit.cc.o.d"
+  "CMakeFiles/unicert_threat.dir/middlebox.cc.o"
+  "CMakeFiles/unicert_threat.dir/middlebox.cc.o.d"
+  "CMakeFiles/unicert_threat.dir/scenarios.cc.o"
+  "CMakeFiles/unicert_threat.dir/scenarios.cc.o.d"
+  "CMakeFiles/unicert_threat.dir/tls_wire.cc.o"
+  "CMakeFiles/unicert_threat.dir/tls_wire.cc.o.d"
+  "libunicert_threat.a"
+  "libunicert_threat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

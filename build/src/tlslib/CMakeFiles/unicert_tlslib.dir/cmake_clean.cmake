@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_tlslib.dir/differential.cc.o"
+  "CMakeFiles/unicert_tlslib.dir/differential.cc.o.d"
+  "CMakeFiles/unicert_tlslib.dir/profile.cc.o"
+  "CMakeFiles/unicert_tlslib.dir/profile.cc.o.d"
+  "libunicert_tlslib.a"
+  "libunicert_tlslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_tlslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

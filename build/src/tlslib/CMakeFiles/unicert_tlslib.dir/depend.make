@@ -1,0 +1,2 @@
+# Empty dependencies file for unicert_tlslib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unicode/blocks.cc" "src/unicode/CMakeFiles/unicert_unicode.dir/blocks.cc.o" "gcc" "src/unicode/CMakeFiles/unicert_unicode.dir/blocks.cc.o.d"
+  "/root/repo/src/unicode/codec.cc" "src/unicode/CMakeFiles/unicert_unicode.dir/codec.cc.o" "gcc" "src/unicode/CMakeFiles/unicert_unicode.dir/codec.cc.o.d"
+  "/root/repo/src/unicode/normalize.cc" "src/unicode/CMakeFiles/unicert_unicode.dir/normalize.cc.o" "gcc" "src/unicode/CMakeFiles/unicert_unicode.dir/normalize.cc.o.d"
+  "/root/repo/src/unicode/properties.cc" "src/unicode/CMakeFiles/unicert_unicode.dir/properties.cc.o" "gcc" "src/unicode/CMakeFiles/unicert_unicode.dir/properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unicert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_unicode.dir/blocks.cc.o"
+  "CMakeFiles/unicert_unicode.dir/blocks.cc.o.d"
+  "CMakeFiles/unicert_unicode.dir/codec.cc.o"
+  "CMakeFiles/unicert_unicode.dir/codec.cc.o.d"
+  "CMakeFiles/unicert_unicode.dir/normalize.cc.o"
+  "CMakeFiles/unicert_unicode.dir/normalize.cc.o.d"
+  "CMakeFiles/unicert_unicode.dir/properties.cc.o"
+  "CMakeFiles/unicert_unicode.dir/properties.cc.o.d"
+  "libunicert_unicode.a"
+  "libunicert_unicode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_unicode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

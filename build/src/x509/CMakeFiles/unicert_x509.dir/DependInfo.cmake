@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x509/builder.cc" "src/x509/CMakeFiles/unicert_x509.dir/builder.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/builder.cc.o.d"
+  "/root/repo/src/x509/certificate.cc" "src/x509/CMakeFiles/unicert_x509.dir/certificate.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/certificate.cc.o.d"
+  "/root/repo/src/x509/chain.cc" "src/x509/CMakeFiles/unicert_x509.dir/chain.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/chain.cc.o.d"
+  "/root/repo/src/x509/crl.cc" "src/x509/CMakeFiles/unicert_x509.dir/crl.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/crl.cc.o.d"
+  "/root/repo/src/x509/dn_text.cc" "src/x509/CMakeFiles/unicert_x509.dir/dn_text.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/dn_text.cc.o.d"
+  "/root/repo/src/x509/extensions.cc" "src/x509/CMakeFiles/unicert_x509.dir/extensions.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/extensions.cc.o.d"
+  "/root/repo/src/x509/general_name.cc" "src/x509/CMakeFiles/unicert_x509.dir/general_name.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/general_name.cc.o.d"
+  "/root/repo/src/x509/hostname.cc" "src/x509/CMakeFiles/unicert_x509.dir/hostname.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/hostname.cc.o.d"
+  "/root/repo/src/x509/name.cc" "src/x509/CMakeFiles/unicert_x509.dir/name.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/name.cc.o.d"
+  "/root/repo/src/x509/name_constraints.cc" "src/x509/CMakeFiles/unicert_x509.dir/name_constraints.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/name_constraints.cc.o.d"
+  "/root/repo/src/x509/name_match.cc" "src/x509/CMakeFiles/unicert_x509.dir/name_match.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/name_match.cc.o.d"
+  "/root/repo/src/x509/ocsp.cc" "src/x509/CMakeFiles/unicert_x509.dir/ocsp.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/ocsp.cc.o.d"
+  "/root/repo/src/x509/parser.cc" "src/x509/CMakeFiles/unicert_x509.dir/parser.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/parser.cc.o.d"
+  "/root/repo/src/x509/pem.cc" "src/x509/CMakeFiles/unicert_x509.dir/pem.cc.o" "gcc" "src/x509/CMakeFiles/unicert_x509.dir/pem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn1/CMakeFiles/unicert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unicert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/unicert_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/idna/CMakeFiles/unicert_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unicert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicert_x509.dir/builder.cc.o"
+  "CMakeFiles/unicert_x509.dir/builder.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/certificate.cc.o"
+  "CMakeFiles/unicert_x509.dir/certificate.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/chain.cc.o"
+  "CMakeFiles/unicert_x509.dir/chain.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/crl.cc.o"
+  "CMakeFiles/unicert_x509.dir/crl.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/dn_text.cc.o"
+  "CMakeFiles/unicert_x509.dir/dn_text.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/extensions.cc.o"
+  "CMakeFiles/unicert_x509.dir/extensions.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/general_name.cc.o"
+  "CMakeFiles/unicert_x509.dir/general_name.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/hostname.cc.o"
+  "CMakeFiles/unicert_x509.dir/hostname.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/name.cc.o"
+  "CMakeFiles/unicert_x509.dir/name.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/name_constraints.cc.o"
+  "CMakeFiles/unicert_x509.dir/name_constraints.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/name_match.cc.o"
+  "CMakeFiles/unicert_x509.dir/name_match.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/ocsp.cc.o"
+  "CMakeFiles/unicert_x509.dir/ocsp.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/parser.cc.o"
+  "CMakeFiles/unicert_x509.dir/parser.cc.o.d"
+  "CMakeFiles/unicert_x509.dir/pem.cc.o"
+  "CMakeFiles/unicert_x509.dir/pem.cc.o.d"
+  "libunicert_x509.a"
+  "libunicert_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicert_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asn1_time_test.dir/asn1_time_test.cc.o"
+  "CMakeFiles/asn1_time_test.dir/asn1_time_test.cc.o.d"
+  "asn1_time_test"
+  "asn1_time_test.pdb"
+  "asn1_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asn1_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

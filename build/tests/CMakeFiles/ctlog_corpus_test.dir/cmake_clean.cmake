@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctlog_corpus_test.dir/ctlog_corpus_test.cc.o"
+  "CMakeFiles/ctlog_corpus_test.dir/ctlog_corpus_test.cc.o.d"
+  "ctlog_corpus_test"
+  "ctlog_corpus_test.pdb"
+  "ctlog_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctlog_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctlog_log_test.dir/ctlog_log_test.cc.o"
+  "CMakeFiles/ctlog_log_test.dir/ctlog_log_test.cc.o.d"
+  "ctlog_log_test"
+  "ctlog_log_test.pdb"
+  "ctlog_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctlog_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

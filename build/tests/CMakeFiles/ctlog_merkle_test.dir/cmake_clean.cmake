@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctlog_merkle_test.dir/ctlog_merkle_test.cc.o"
+  "CMakeFiles/ctlog_merkle_test.dir/ctlog_merkle_test.cc.o.d"
+  "ctlog_merkle_test"
+  "ctlog_merkle_test.pdb"
+  "ctlog_merkle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctlog_merkle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctlog_monitor_test.dir/ctlog_monitor_test.cc.o"
+  "CMakeFiles/ctlog_monitor_test.dir/ctlog_monitor_test.cc.o.d"
+  "ctlog_monitor_test"
+  "ctlog_monitor_test.pdb"
+  "ctlog_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctlog_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

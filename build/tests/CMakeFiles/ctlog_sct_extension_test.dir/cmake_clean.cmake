@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctlog_sct_extension_test.dir/ctlog_sct_extension_test.cc.o"
+  "CMakeFiles/ctlog_sct_extension_test.dir/ctlog_sct_extension_test.cc.o.d"
+  "ctlog_sct_extension_test"
+  "ctlog_sct_extension_test.pdb"
+  "ctlog_sct_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctlog_sct_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

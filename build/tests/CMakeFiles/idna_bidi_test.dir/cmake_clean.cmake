@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idna_bidi_test.dir/idna_bidi_test.cc.o"
+  "CMakeFiles/idna_bidi_test.dir/idna_bidi_test.cc.o.d"
+  "idna_bidi_test"
+  "idna_bidi_test.pdb"
+  "idna_bidi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idna_bidi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

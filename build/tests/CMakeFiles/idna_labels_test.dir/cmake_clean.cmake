@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idna_labels_test.dir/idna_labels_test.cc.o"
+  "CMakeFiles/idna_labels_test.dir/idna_labels_test.cc.o.d"
+  "idna_labels_test"
+  "idna_labels_test.pdb"
+  "idna_labels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idna_labels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

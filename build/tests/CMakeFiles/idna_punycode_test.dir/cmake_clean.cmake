@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idna_punycode_test.dir/idna_punycode_test.cc.o"
+  "CMakeFiles/idna_punycode_test.dir/idna_punycode_test.cc.o.d"
+  "idna_punycode_test"
+  "idna_punycode_test.pdb"
+  "idna_punycode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idna_punycode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

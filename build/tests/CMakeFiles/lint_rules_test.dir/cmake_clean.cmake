@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_rules_test.dir/lint_rules_test.cc.o"
+  "CMakeFiles/lint_rules_test.dir/lint_rules_test.cc.o.d"
+  "lint_rules_test"
+  "lint_rules_test.pdb"
+  "lint_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

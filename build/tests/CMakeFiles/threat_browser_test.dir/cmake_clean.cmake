@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_browser_test.dir/threat_browser_test.cc.o"
+  "CMakeFiles/threat_browser_test.dir/threat_browser_test.cc.o.d"
+  "threat_browser_test"
+  "threat_browser_test.pdb"
+  "threat_browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_log_audit_test.dir/threat_log_audit_test.cc.o"
+  "CMakeFiles/threat_log_audit_test.dir/threat_log_audit_test.cc.o.d"
+  "threat_log_audit_test"
+  "threat_log_audit_test.pdb"
+  "threat_log_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_log_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_middlebox_test.dir/threat_middlebox_test.cc.o"
+  "CMakeFiles/threat_middlebox_test.dir/threat_middlebox_test.cc.o.d"
+  "threat_middlebox_test"
+  "threat_middlebox_test.pdb"
+  "threat_middlebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_middlebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

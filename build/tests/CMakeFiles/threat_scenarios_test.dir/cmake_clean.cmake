@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_scenarios_test.dir/threat_scenarios_test.cc.o"
+  "CMakeFiles/threat_scenarios_test.dir/threat_scenarios_test.cc.o.d"
+  "threat_scenarios_test"
+  "threat_scenarios_test.pdb"
+  "threat_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_tls_wire_test.dir/threat_tls_wire_test.cc.o"
+  "CMakeFiles/threat_tls_wire_test.dir/threat_tls_wire_test.cc.o.d"
+  "threat_tls_wire_test"
+  "threat_tls_wire_test.pdb"
+  "threat_tls_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_tls_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlslib_differential_test.dir/tlslib_differential_test.cc.o"
+  "CMakeFiles/tlslib_differential_test.dir/tlslib_differential_test.cc.o.d"
+  "tlslib_differential_test"
+  "tlslib_differential_test.pdb"
+  "tlslib_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlslib_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

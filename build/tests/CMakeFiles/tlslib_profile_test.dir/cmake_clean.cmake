@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlslib_profile_test.dir/tlslib_profile_test.cc.o"
+  "CMakeFiles/tlslib_profile_test.dir/tlslib_profile_test.cc.o.d"
+  "tlslib_profile_test"
+  "tlslib_profile_test.pdb"
+  "tlslib_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlslib_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicode_blocks_test.dir/unicode_blocks_test.cc.o"
+  "CMakeFiles/unicode_blocks_test.dir/unicode_blocks_test.cc.o.d"
+  "unicode_blocks_test"
+  "unicode_blocks_test.pdb"
+  "unicode_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicode_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicode_codec_test.dir/unicode_codec_test.cc.o"
+  "CMakeFiles/unicode_codec_test.dir/unicode_codec_test.cc.o.d"
+  "unicode_codec_test"
+  "unicode_codec_test.pdb"
+  "unicode_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicode_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicode_normalize_test.dir/unicode_normalize_test.cc.o"
+  "CMakeFiles/unicode_normalize_test.dir/unicode_normalize_test.cc.o.d"
+  "unicode_normalize_test"
+  "unicode_normalize_test.pdb"
+  "unicode_normalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicode_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicode_properties_test.dir/unicode_properties_test.cc.o"
+  "CMakeFiles/unicode_properties_test.dir/unicode_properties_test.cc.o.d"
+  "unicode_properties_test"
+  "unicode_properties_test.pdb"
+  "unicode_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicode_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x509_dn_text_test.dir/x509_dn_text_test.cc.o"
+  "CMakeFiles/x509_dn_text_test.dir/x509_dn_text_test.cc.o.d"
+  "x509_dn_text_test"
+  "x509_dn_text_test.pdb"
+  "x509_dn_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x509_dn_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

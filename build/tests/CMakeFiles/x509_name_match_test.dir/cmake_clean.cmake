@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x509_name_match_test.dir/x509_name_match_test.cc.o"
+  "CMakeFiles/x509_name_match_test.dir/x509_name_match_test.cc.o.d"
+  "x509_name_match_test"
+  "x509_name_match_test.pdb"
+  "x509_name_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x509_name_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

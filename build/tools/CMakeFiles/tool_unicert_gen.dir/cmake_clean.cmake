@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_unicert_gen.dir/unicert_gen.cc.o"
+  "CMakeFiles/tool_unicert_gen.dir/unicert_gen.cc.o.d"
+  "unicert_gen"
+  "unicert_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_unicert_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_unicert_gen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_unicert_inspect.dir/unicert_inspect.cc.o"
+  "CMakeFiles/tool_unicert_inspect.dir/unicert_inspect.cc.o.d"
+  "unicert_inspect"
+  "unicert_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_unicert_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

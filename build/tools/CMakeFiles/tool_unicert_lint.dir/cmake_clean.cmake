@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_unicert_lint.dir/unicert_lint.cc.o"
+  "CMakeFiles/tool_unicert_lint.dir/unicert_lint.cc.o.d"
+  "unicert_lint"
+  "unicert_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_unicert_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_pipeline_smoke "sh" "-c" "/root/repo/build/tools/unicert_gen --defect 3 2>/dev/null | /root/repo/build/tools/unicert_lint; test \$? -eq 2")
+set_tests_properties(tool_pipeline_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_inspect_smoke "sh" "-c" "/root/repo/build/tools/unicert_gen 2>/dev/null | /root/repo/build/tools/unicert_inspect --asn1 | grep -q SEQUENCE")
+set_tests_properties(tool_inspect_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lint_list_smoke "sh" "-c" "/root/repo/build/tools/unicert_lint --list | grep -q '95 lints'")
+set_tests_properties(tool_lint_list_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
