@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     }
 
     // 2. Prove inclusion of the first entry against the tree head.
-    auto proof = log.tree().audit_proof(0, log.size());
+    auto proof = log.tree().audit_proof(0, log.size()).value_or({});
     bool included = ctlog::verify_audit_proof(ctlog::leaf_hash(certs[0].der), 0, log.size(),
                                               proof, log.tree_head());
     std::printf("\nMerkle inclusion proof for entry 0: %s (%zu path nodes)\n",

@@ -3,38 +3,42 @@
 namespace unicert::asn1 {
 
 Expected<Tlv> read_tlv(BytesView data) {
-    if (data.empty()) return Error{"der_empty", "no bytes to read"};
+    if (data.empty()) return Error{"der_empty", "no bytes to read", 0};
 
     size_t pos = 0;
     uint8_t id = data[pos++];
     if ((id & 0x1F) == 0x1F) {
-        return Error{"der_high_tag", "multi-byte tag numbers are not used in X.509"};
+        return Error{"der_high_tag", "multi-byte tag numbers are not used in X.509", 0};
     }
 
-    if (pos >= data.size()) return Error{"der_truncated", "missing length octet"};
+    if (pos >= data.size()) return Error{"der_truncated", "missing length octet", pos};
     uint8_t len0 = data[pos++];
     size_t length = 0;
     if (len0 < 0x80) {
         length = len0;
     } else if (len0 == 0x80) {
-        return Error{"der_indefinite_length", "indefinite length is forbidden in DER"};
+        return Error{"der_indefinite_length", "indefinite length is forbidden in DER", pos - 1};
     } else {
         size_t num = len0 & 0x7F;
-        if (num > sizeof(size_t)) return Error{"der_length_too_large", "length field too wide"};
-        if (pos + num > data.size()) return Error{"der_truncated", "length octets truncated"};
+        if (num > sizeof(size_t)) {
+            return Error{"der_length_too_large", "length field too wide", pos - 1};
+        }
+        if (pos + num > data.size()) {
+            return Error{"der_truncated", "length octets truncated", pos};
+        }
         uint8_t first_len_octet = data[pos];
         for (size_t i = 0; i < num; ++i) length = (length << 8) | data[pos++];
         // DER requires minimal length encoding.
         if (num == 1 && length < 0x80) {
-            return Error{"der_nonminimal_length", "long form used for short length"};
+            return Error{"der_nonminimal_length", "long form used for short length", pos - 1};
         }
         if (num > 1 && first_len_octet == 0) {
-            return Error{"der_nonminimal_length", "leading zero in length octets"};
+            return Error{"der_nonminimal_length", "leading zero in length octets", pos - num};
         }
     }
 
     if (pos + length > data.size()) {
-        return Error{"der_truncated", "content extends past end of buffer"};
+        return Error{"der_truncated", "content extends past end of buffer", pos};
     }
 
     Tlv out;
@@ -47,13 +51,15 @@ Expected<Tlv> read_tlv(BytesView data) {
 
 Expected<Tlv> Reader::next() {
     auto tlv = read_tlv(data_.subspan(pos_));
-    if (!tlv.ok()) return tlv;
+    if (!tlv.ok()) return tlv.error().shift_offset(pos_);
     pos_ += tlv->total_len;
     return tlv;
 }
 
 Expected<Tlv> Reader::peek() const {
-    return read_tlv(data_.subspan(pos_));
+    auto tlv = read_tlv(data_.subspan(pos_));
+    if (!tlv.ok()) return tlv.error().shift_offset(pos_);
+    return tlv;
 }
 
 Expected<Tlv> Reader::expect(Tag tag) {

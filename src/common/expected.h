@@ -15,13 +15,29 @@ namespace unicert {
 
 // Error payload carried by Expected on the failure path. Holds a
 // machine-readable code string (stable, snake_case) plus a human
-// message with position / context details.
+// message with position / context details. Parsers additionally record
+// the absolute byte offset where decoding failed (kNoOffset when the
+// failure has no meaningful position), which quarantine reports surface.
 struct Error {
+    static constexpr size_t kNoOffset = static_cast<size_t>(-1);
+
     std::string code;
     std::string message;
+    size_t offset = kNoOffset;
 
     Error() = default;
     Error(std::string c, std::string m) : code(std::move(c)), message(std::move(m)) {}
+    Error(std::string c, std::string m, size_t off)
+        : code(std::move(c)), message(std::move(m)), offset(off) {}
+
+    bool has_offset() const noexcept { return offset != kNoOffset; }
+
+    // Rebase a relative offset onto an enclosing buffer position.
+    Error shift_offset(size_t base) const {
+        Error out = *this;
+        if (out.has_offset()) out.offset += base;
+        return out;
+    }
 
     bool operator==(const Error& other) const = default;
 };

@@ -1,11 +1,14 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
 #include <set>
 
 #include "asn1/time.h"
 #include "unicode/normalize.h"
 #include "unicode/properties.h"
+#include "x509/parser.h"
 
 namespace unicert::core {
 namespace {
@@ -124,7 +127,10 @@ const char* variant_strategy_name(VariantStrategy s) noexcept {
 }
 
 double ValidityCdf::quantile(const std::vector<int64_t>& sorted, double q) {
-    if (sorted.empty()) return 0.0;
+    // Defined (0, NaN-free) for empty input and degenerate q: an empty
+    // class in a downscaled corpus must not poison figure output.
+    if (sorted.empty() || std::isnan(q)) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
     double idx = q * static_cast<double>(sorted.size() - 1);
     size_t lo = static_cast<size_t>(idx);
     size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -139,17 +145,96 @@ double ValidityCdf::cdf_at(const std::vector<int64_t>& sorted, int64_t days) {
     return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
 }
 
+const char* quarantine_stage_name(QuarantineStage s) noexcept {
+    switch (s) {
+        case QuarantineStage::kFetch: return "fetch";
+        case QuarantineStage::kParse: return "parse";
+        case QuarantineStage::kLint: return "lint";
+    }
+    return "?";
+}
+
+void CompliancePipeline::ingest(const ctlog::CorpusCert& cert, const lint::Registry& registry,
+                                const lint::RunOptions& options) {
+    AnalyzedCert a;
+    a.cert = &cert;
+    a.report = lint::run_lints(cert.cert, registry, options);
+    a.noncompliant = a.report.noncompliant();
+    if (a.noncompliant) ++nc_count_;
+    analyzed_.push_back(std::move(a));
+    ++stats_.processed;
+}
+
 CompliancePipeline::CompliancePipeline(const std::vector<ctlog::CorpusCert>& corpus,
-                                       lint::RunOptions options)
-    : corpus_(corpus) {
+                                       lint::RunOptions options) {
     analyzed_.reserve(corpus.size());
     for (const ctlog::CorpusCert& c : corpus) {
-        AnalyzedCert a;
-        a.cert = &c;
-        a.report = lint::run_lints(c.cert, lint::default_registry(), options);
-        a.noncompliant = a.report.noncompliant();
-        if (a.noncompliant) ++nc_count_;
-        analyzed_.push_back(std::move(a));
+        ingest(c, lint::default_registry(), options);
+    }
+}
+
+CompliancePipeline::CompliancePipeline(CertSource& source, PipelineOptions options) {
+    const lint::Registry& registry =
+        options.registry != nullptr ? *options.registry : lint::default_registry();
+    core::Clock& clock = options.clock != nullptr ? *options.clock : core::system_clock();
+    analyzed_.reserve(source.size_hint());
+
+    std::unordered_set<size_t> processed_indices;
+    auto quarantine = [&](size_t index, QuarantineStage stage, Error error) {
+        quarantine_.records.push_back({index, stage, std::move(error)});
+        ++stats_.quarantined;
+    };
+
+    for (;;) {
+        RetryOutcome outcome;
+        auto item = core::retry<std::optional<CertEntry>>(
+            options.retry, clock, [&] { return source.next(); }, &outcome);
+        stats_.retries += outcome.retries;
+        if (!item.ok()) {
+            // Bottom of the ladder: the stream itself failed past the
+            // retry budget — abort with the partial stats preserved.
+            stats_.completed = false;
+            stats_.abort_error = item.error();
+            quarantine_.records.push_back(
+                {processed_indices.size(), QuarantineStage::kFetch, item.error()});
+            break;
+        }
+        if (outcome.retries > 0) ++stats_.recovered;
+        if (!item->has_value()) break;  // end of stream
+        CertEntry entry = std::move(**item);
+
+        if (processed_indices.contains(entry.index)) {
+            // Redelivery of an already-aggregated entry (duplicate or
+            // regressed stream view): suppress, never double-count.
+            ++stats_.duplicates;
+            ++stats_.recovered;
+            continue;
+        }
+
+        const ctlog::CorpusCert* meta = entry.meta;
+        if (meta == nullptr) {
+            auto parsed = x509::parse_certificate(entry.der);
+            if (!parsed.ok()) {
+                quarantine(entry.index, QuarantineStage::kParse, parsed.error());
+                continue;
+            }
+            ctlog::CorpusCert materialized;
+            materialized.cert = std::move(parsed.value());
+            owned_.push_back(std::move(materialized));
+            meta = &owned_.back();
+        }
+
+        try {
+            ingest(*meta, registry, options.lint_options);
+        } catch (const std::exception& ex) {
+            quarantine(entry.index, QuarantineStage::kLint, Error{"lint_exception", ex.what()});
+            continue;
+        } catch (...) {
+            quarantine(entry.index, QuarantineStage::kLint,
+                       Error{"lint_exception", "non-standard exception from lint rule"});
+            continue;
+        }
+        processed_indices.insert(entry.index);
     }
 }
 

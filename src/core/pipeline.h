@@ -8,10 +8,15 @@
 // (Figure 4) — plus the Subject-variant detector behind Table 3.
 #pragma once
 
+#include <deque>
 #include <map>
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "common/expected.h"
+#include "core/resilience.h"
 #include "ctlog/corpus.h"
 #include "lint/lint.h"
 
@@ -119,6 +124,94 @@ struct VariantGroup {
     std::vector<std::string> values;  // the distinct raw Subject O values
 };
 
+// ---- Streaming ingestion ------------------------------------------------------
+
+// One certificate as delivered by a (possibly faulty) stream. Intact
+// corpus entries carry `meta`; wire-form entries carry raw DER the
+// pipeline must parse (and may have to quarantine).
+struct CertEntry {
+    size_t index = 0;                         // stable identity for dedup
+    const ctlog::CorpusCert* meta = nullptr;  // parsed corpus record, if available
+    Bytes der;                                // wire bytes, parsed when meta == nullptr
+};
+
+// Pull-based certificate stream. next() may fail transiently (the
+// pipeline retries per its RetryPolicy) and may deliver duplicates or
+// garbage; end-of-stream is a successful nullopt.
+class CertSource {
+public:
+    virtual ~CertSource() = default;
+
+    virtual size_t size_hint() const { return 0; }
+    virtual Expected<std::optional<CertEntry>> next() = 0;
+};
+
+// Fault-free adapter over an in-memory corpus.
+class VectorCertSource final : public CertSource {
+public:
+    explicit VectorCertSource(const std::vector<ctlog::CorpusCert>& corpus)
+        : corpus_(&corpus) {}
+
+    size_t size_hint() const override { return corpus_->size(); }
+    Expected<std::optional<CertEntry>> next() override {
+        if (pos_ >= corpus_->size()) return std::optional<CertEntry>{};
+        CertEntry entry;
+        entry.index = pos_;
+        entry.meta = &(*corpus_)[pos_];
+        ++pos_;
+        return std::optional<CertEntry>(std::move(entry));
+    }
+
+private:
+    const std::vector<ctlog::CorpusCert>* corpus_;
+    size_t pos_ = 0;
+};
+
+// ---- Quarantine & stats -------------------------------------------------------
+
+// Where in the per-cert ladder an entry failed.
+enum class QuarantineStage { kFetch, kParse, kLint };
+
+const char* quarantine_stage_name(QuarantineStage s) noexcept;
+
+// One isolated entry: the stage it failed at plus the recoverable error
+// (code, message, byte offset for parse failures).
+struct QuarantineRecord {
+    size_t entry_index = 0;
+    QuarantineStage stage = QuarantineStage::kParse;
+    Error error;
+
+    bool operator==(const QuarantineRecord&) const = default;
+};
+
+struct QuarantineReport {
+    std::vector<QuarantineRecord> records;
+
+    bool operator==(const QuarantineReport&) const = default;
+};
+
+// Ingestion accounting surfaced through core::report and unicert_lint.
+struct PipelineStats {
+    size_t processed = 0;    // entries aggregated into the tables
+    size_t recovered = 0;    // faults absorbed: retried fetches + deduped deliveries
+    size_t quarantined = 0;  // entries isolated instead of propagating
+    size_t retries = 0;      // individual retry attempts
+    size_t duplicates = 0;   // redelivered entries suppressed by index dedup
+    bool completed = true;   // false when the stream aborted (see abort_error)
+    Error abort_error;
+
+    bool operator==(const PipelineStats&) const = default;
+};
+
+struct PipelineOptions {
+    lint::RunOptions lint_options;
+    // Registry override (tests inject hostile rules); default registry
+    // when null.
+    const lint::Registry* registry = nullptr;
+    core::RetryPolicy retry;
+    core::Clock* clock = nullptr;  // system clock when null
+};
+
 // ---- Pipeline -----------------------------------------------------------------
 
 class CompliancePipeline {
@@ -126,10 +219,22 @@ public:
     explicit CompliancePipeline(const std::vector<ctlog::CorpusCert>& corpus,
                                 lint::RunOptions options = {});
 
+    // Streaming constructor with per-cert isolation: transient stream
+    // faults are retried, unparseable or lint-crashing entries land in
+    // the quarantine report, duplicate deliveries are deduped by entry
+    // index, and a permanent stream failure aborts with the partial
+    // stats preserved (stats().completed == false). Resilience never
+    // changes measured results: a recoverable fault schedule yields
+    // aggregates identical to the fault-free run.
+    explicit CompliancePipeline(CertSource& source, PipelineOptions options = {});
+
     const std::vector<AnalyzedCert>& analyzed() const noexcept { return analyzed_; }
 
     size_t noncompliant_count() const noexcept { return nc_count_; }
     double noncompliance_rate() const noexcept;
+
+    const PipelineStats& stats() const noexcept { return stats_; }
+    const QuarantineReport& quarantine_report() const noexcept { return quarantine_; }
 
     TaxonomyReport taxonomy_report() const;                  // Table 1
     std::vector<IssuerRow> issuer_report(size_t top_n) const;  // Table 2
@@ -140,9 +245,14 @@ public:
     std::vector<VariantGroup> subject_variants() const;      // Table 3
 
 private:
-    const std::vector<ctlog::CorpusCert>& corpus_;
+    void ingest(const ctlog::CorpusCert& cert, const lint::Registry& registry,
+                const lint::RunOptions& options);
+
     std::vector<AnalyzedCert> analyzed_;
+    std::deque<ctlog::CorpusCert> owned_;  // wire-parsed certs (stable addresses)
     size_t nc_count_ = 0;
+    PipelineStats stats_;
+    QuarantineReport quarantine_;
 };
 
 }  // namespace unicert::core

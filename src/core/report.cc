@@ -76,4 +76,35 @@ std::string log_bar(size_t value, size_t scale) {
     return std::string(static_cast<size_t>(len), '#');
 }
 
+std::string render_pipeline_stats(const PipelineStats& stats) {
+    TextTable table({"processed", "recovered", "quarantined", "retries", "duplicates"});
+    table.add_row({with_commas(stats.processed), with_commas(stats.recovered),
+                   with_commas(stats.quarantined), with_commas(stats.retries),
+                   with_commas(stats.duplicates)});
+    std::string out = table.to_string();
+    if (!stats.completed) {
+        out += "ABORTED: [" + stats.abort_error.code + "] " + stats.abort_error.message + "\n";
+    }
+    return out;
+}
+
+std::string render_quarantine_report(const QuarantineReport& report, size_t max_rows) {
+    if (report.records.empty()) return "quarantine: empty\n";
+    TextTable table({"entry", "stage", "code", "byte offset", "detail"});
+    size_t shown = 0;
+    for (const QuarantineRecord& record : report.records) {
+        if (shown == max_rows) break;
+        table.add_row({std::to_string(record.entry_index),
+                       quarantine_stage_name(record.stage), record.error.code,
+                       record.error.has_offset() ? std::to_string(record.error.offset) : "-",
+                       record.error.message});
+        ++shown;
+    }
+    std::string out = table.to_string();
+    if (report.records.size() > shown) {
+        out += "… " + with_commas(report.records.size() - shown) + " more quarantined\n";
+    }
+    return out;
+}
+
 }  // namespace unicert::core

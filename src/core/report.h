@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.h"
+
 namespace unicert::core {
 
 // A simple fixed-width text table.
@@ -36,5 +38,13 @@ std::string compact(size_t value);
 
 // A log-scale bar for figure-style output (length ~ log10(value)).
 std::string log_bar(size_t value, size_t scale = 4);
+
+// One-block ingestion summary: processed / recovered / quarantined /
+// retries (+ the abort reason when the stream did not complete).
+std::string render_pipeline_stats(const PipelineStats& stats);
+
+// Quarantine evidence table: entry index, failure stage, error code,
+// byte offset. Truncated to `max_rows` with a trailing count.
+std::string render_quarantine_report(const QuarantineReport& report, size_t max_rows = 10);
 
 }  // namespace unicert::core

@@ -1,0 +1,80 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+#include <thread>
+
+namespace unicert::core {
+namespace {
+
+class SystemClock final : public Clock {
+public:
+    int64_t now_ms() override {
+        using namespace std::chrono;
+        return duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+    }
+    void sleep_ms(int64_t ms) override {
+        if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+};
+
+// splitmix64: the one-shot mixer behind the deterministic jitter.
+uint64_t mix64(uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Clock& system_clock() {
+    static SystemClock clock;
+    return clock;
+}
+
+bool is_transient_error(const Error& e) noexcept {
+    std::string_view code = e.code;
+    return code == "unavailable" || code == "timeout" || code == "stale_read" ||
+           code == "entry_dropped";
+}
+
+const char* failure_action_name(FailureAction a) noexcept {
+    switch (a) {
+        case FailureAction::kRetry: return "retry";
+        case FailureAction::kQuarantine: return "quarantine";
+        case FailureAction::kAbort: return "abort";
+    }
+    return "?";
+}
+
+FailureAction classify_failure(const Error& e) noexcept {
+    if (is_transient_error(e)) return FailureAction::kRetry;
+    std::string_view code = e.code;
+    // Stream-level integrity failures: skipping past them would silently
+    // corrupt the measurement, so the consumer must stop and report.
+    if (code == "split_view" || code == "source_closed" || code == "aborted") {
+        return FailureAction::kAbort;
+    }
+    // Everything else is scoped to one entry (malformed DER, a rule that
+    // threw, an out-of-range proof request): isolate and continue.
+    return FailureAction::kQuarantine;
+}
+
+int64_t RetryPolicy::backoff_ms(int attempt) const noexcept {
+    if (attempt < 1) attempt = 1;
+    double base = static_cast<double>(initial_backoff_ms);
+    for (int i = 1; i < attempt; ++i) {
+        base *= multiplier;
+        if (base >= static_cast<double>(max_backoff_ms)) break;
+    }
+    base = std::min(base, static_cast<double>(max_backoff_ms));
+    // Deterministic jitter in [0, jitter_fraction] of the base delay.
+    uint64_t h = mix64(jitter_seed ^ (0xA5A5A5A5ULL + static_cast<uint64_t>(attempt)));
+    double unit = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    double jitter = jitter_fraction > 0 ? base * jitter_fraction * unit : 0.0;
+    return static_cast<int64_t>(base + jitter);
+}
+
+}  // namespace unicert::core

@@ -74,6 +74,7 @@ void Sha256::process_block(const uint8_t* block) noexcept {
 }
 
 void Sha256::update(BytesView data) noexcept {
+    if (data.empty()) return;  // empty spans may carry a null data()
     total_len_ += data.size();
     size_t offset = 0;
     if (buffer_len_ > 0) {

@@ -38,6 +38,7 @@ public:
     // Submit a certificate; appends to the tree and returns the SCT.
     Sct submit(const x509::Certificate& cert, int64_t timestamp);
 
+    const std::string& name() const noexcept { return name_; }
     size_t size() const noexcept { return entries_.size(); }
     const std::vector<LogEntry>& entries() const noexcept { return entries_; }
     const Bytes& log_id() const noexcept { return log_id_; }

@@ -1,0 +1,37 @@
+#include "ctlog/log_source.h"
+
+#include <string>
+
+#include "ctlog/log.h"
+
+namespace unicert::ctlog {
+
+std::string InMemoryLogSource::name() const { return log_->name(); }
+
+Expected<SignedTreeHead> InMemoryLogSource::latest_tree_head() {
+    SignedTreeHead sth;
+    sth.tree_size = log_->size();
+    sth.root_hash = log_->tree_head();
+    sth.timestamp = log_->entries().empty() ? 0 : log_->entries().back().timestamp;
+    return sth;
+}
+
+Expected<RawLogEntry> InMemoryLogSource::entry_at(size_t index) {
+    const auto& entries = log_->entries();
+    if (index >= entries.size()) {
+        return Error{"entry_out_of_range",
+                     "entry " + std::to_string(index) + " beyond log size " +
+                         std::to_string(entries.size())};
+    }
+    RawLogEntry out;
+    out.index = index;
+    out.timestamp = entries[index].timestamp;
+    out.leaf_der = entries[index].certificate.der;
+    return out;
+}
+
+Expected<Digest> InMemoryLogSource::root_at(size_t tree_size) {
+    return log_->tree().root_at(tree_size);
+}
+
+}  // namespace unicert::ctlog

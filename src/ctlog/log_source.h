@@ -1,0 +1,74 @@
+// unicert/ctlog/log_source.h
+//
+// The access boundary between a CT log and its consumers (monitors, the
+// compliance pipeline). Real ingestion stacks never read a log as an
+// in-memory vector: they poll a moving tree head over a flaky frontend
+// and fetch entries that can arrive truncated, duplicated, or not at
+// all. LogSource models exactly that surface — every read can fail with
+// a recoverable Error — so the resilience layer (retry/backoff,
+// checkpointed sync, quarantine) has a realistic substrate, and the
+// faultsim decorator can inject its schedule without the consumers
+// knowing.
+#pragma once
+
+#include <string>
+
+#include "common/expected.h"
+#include "ctlog/merkle.h"
+
+namespace unicert::ctlog {
+
+class CtLog;
+
+// The log's advertised view: size + root hash (RFC 6962 STH shape).
+struct SignedTreeHead {
+    size_t tree_size = 0;
+    Digest root_hash{};
+    int64_t timestamp = 0;
+
+    bool operator==(const SignedTreeHead&) const = default;
+};
+
+// One leaf as fetched over the wire: raw DER, parsed by the consumer.
+struct RawLogEntry {
+    size_t index = 0;
+    int64_t timestamp = 0;
+    Bytes leaf_der;
+};
+
+class LogSource {
+public:
+    virtual ~LogSource() = default;
+
+    virtual std::string name() const = 0;
+
+    // Current tree head. Transient errors ("unavailable", "timeout")
+    // merit a retry; a regressed head is returned as data, not an error
+    // — detecting it is the monitor's job.
+    virtual Expected<SignedTreeHead> latest_tree_head() = 0;
+
+    // Fetch one leaf. A response whose index differs from the request
+    // is a stale/duplicate delivery the caller should treat as
+    // transient.
+    virtual Expected<RawLogEntry> entry_at(size_t index) = 0;
+
+    // Historical root over the first `tree_size` leaves, used to check
+    // a checkpoint still lies on this log's history (split-view test).
+    virtual Expected<Digest> root_at(size_t tree_size) = 0;
+};
+
+// Direct, fault-free adapter over an in-process CtLog.
+class InMemoryLogSource final : public LogSource {
+public:
+    explicit InMemoryLogSource(const CtLog& log) : log_(&log) {}
+
+    std::string name() const override;
+    Expected<SignedTreeHead> latest_tree_head() override;
+    Expected<RawLogEntry> entry_at(size_t index) override;
+    Expected<Digest> root_at(size_t tree_size) override;
+
+private:
+    const CtLog* log_;
+};
+
+}  // namespace unicert::ctlog

@@ -1,6 +1,6 @@
 #include "ctlog/merkle.h"
 
-#include <cassert>
+#include <string>
 
 namespace unicert::ctlog {
 namespace {
@@ -37,17 +37,27 @@ size_t MerkleTree::append(BytesView entry) {
 }
 
 Digest MerkleTree::subtree_root(size_t begin, size_t end) const {
-    assert(begin < end);
+    // Public entry points validate ranges; an inverted range here would
+    // be an internal bug, answered with the empty-tree hash rather than
+    // undefined behaviour.
+    if (begin >= end || end > leaves_.size()) return crypto::sha256({});
     if (end - begin == 1) return leaves_[begin];
     size_t k = split_point(end - begin);
     return node_hash(subtree_root(begin, begin + k), subtree_root(begin + k, end));
 }
 
-Digest MerkleTree::root() const { return root_at(leaves_.size()); }
+Digest MerkleTree::root() const {
+    if (leaves_.empty()) return crypto::sha256({});
+    return subtree_root(0, leaves_.size());
+}
 
-Digest MerkleTree::root_at(size_t n) const {
+Expected<Digest> MerkleTree::root_at(size_t n) const {
     if (n == 0) return crypto::sha256({});
-    assert(n <= leaves_.size());
+    if (n > leaves_.size()) {
+        return Error{"proof_out_of_range",
+                     "tree size " + std::to_string(n) + " exceeds " +
+                         std::to_string(leaves_.size()) + " leaves"};
+    }
     return subtree_root(0, n);
 }
 
@@ -64,17 +74,30 @@ void MerkleTree::subtree_proof(size_t target, size_t begin, size_t end,
     }
 }
 
-std::vector<Digest> MerkleTree::audit_proof(size_t index, size_t tree_size) const {
+Expected<std::vector<Digest>> MerkleTree::audit_proof(size_t index, size_t tree_size) const {
+    if (tree_size == 0 || tree_size > leaves_.size()) {
+        return Error{"proof_out_of_range",
+                     "audit proof for tree size " + std::to_string(tree_size) +
+                         " of a " + std::to_string(leaves_.size()) + "-leaf tree"};
+    }
+    if (index >= tree_size) {
+        return Error{"proof_out_of_range",
+                     "leaf index " + std::to_string(index) + " outside tree size " +
+                         std::to_string(tree_size)};
+    }
     std::vector<Digest> proof;
-    if (tree_size == 0 || index >= tree_size || tree_size > leaves_.size()) return proof;
     subtree_proof(index, 0, tree_size, proof);
     return proof;
 }
 
-std::vector<Digest> MerkleTree::consistency_proof(size_t m, size_t n) const {
+Expected<std::vector<Digest>> MerkleTree::consistency_proof(size_t m, size_t n) const {
     // RFC 6962 sec. 2.1.2, iterative SUBPROOF.
     std::vector<Digest> proof;
-    if (m == 0 || m > n || n > leaves_.size()) return proof;
+    if (m == 0 || m > n || n > leaves_.size()) {
+        return Error{"proof_out_of_range",
+                     "consistency proof " + std::to_string(m) + " -> " + std::to_string(n) +
+                         " invalid for a " + std::to_string(leaves_.size()) + "-leaf tree"};
+    }
     if (m == n) return proof;
 
     // Recursive helper via lambda.

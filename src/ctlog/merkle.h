@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/expected.h"
 #include "crypto/sha256.h"
 
 namespace unicert::ctlog {
@@ -33,14 +34,18 @@ public:
     // The empty tree's root is SHA-256 of the empty string.
     Digest root() const;
 
-    // Root over the first n leaves (for consistency checks).
-    Digest root_at(size_t n) const;
+    // Root over the first n leaves (for consistency checks). Errors on
+    // n beyond the current tree — a hostile or stale request, not a
+    // programming error, so no assert/abort.
+    Expected<Digest> root_at(size_t n) const;
 
     // Audit path proving leaf `index` is in the tree of size `tree_size`.
-    std::vector<Digest> audit_proof(size_t index, size_t tree_size) const;
+    // Out-of-range requests return a `proof_out_of_range` error.
+    Expected<std::vector<Digest>> audit_proof(size_t index, size_t tree_size) const;
 
-    // Consistency proof between tree sizes m <= n.
-    std::vector<Digest> consistency_proof(size_t m, size_t n) const;
+    // Consistency proof between tree sizes m <= n. Invalid size pairs
+    // return a `proof_out_of_range` error.
+    Expected<std::vector<Digest>> consistency_proof(size_t m, size_t n) const;
 
 private:
     Digest subtree_root(size_t begin, size_t end) const;

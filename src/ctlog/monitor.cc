@@ -5,6 +5,7 @@
 
 #include "ctlog/log.h"
 #include "idna/labels.h"
+#include "x509/parser.h"
 #include "unicode/codec.h"
 #include "unicode/properties.h"
 
@@ -160,13 +161,125 @@ std::vector<Monitor::Alert> Monitor::drain_alerts() {
 size_t Monitor::sync(const CtLog& log) {
     size_t indexed = 0;
     const auto& entries = log.entries();
-    for (; synced_entries_ < entries.size(); ++synced_entries_) {
-        const x509::Certificate& cert = entries[synced_entries_].certificate;
+    for (; checkpoint_.next_index < entries.size(); ++checkpoint_.next_index) {
+        const x509::Certificate& cert = entries[checkpoint_.next_index].certificate;
         if (cert.is_precertificate()) continue;  // monitors skip poisoned entries
         index(cert);
         ++indexed;
     }
+    checkpoint_.tree_size = entries.size();
+    checkpoint_.root_hash = log.tree_head();
+    checkpoint_.has_head = true;
     return indexed;
+}
+
+SyncReport Monitor::sync(LogSource& source, const core::RetryPolicy& policy,
+                         core::Clock* clock) {
+    SyncReport report;
+    core::Clock& clk = clock != nullptr ? *clock : core::system_clock();
+
+    auto fetch_head = [&]() -> Expected<SignedTreeHead> {
+        core::RetryOutcome outcome;
+        auto sth = core::retry<SignedTreeHead>(
+            policy, clk, [&] { return source.latest_tree_head(); }, &outcome);
+        report.retries += outcome.retries;
+        return sth;
+    };
+
+    // 1. Fetch the advertised tree head, retrying transient faults.
+    auto sth = fetch_head();
+    if (!sth.ok()) {
+        report.abort_error = sth.error();
+        return report;
+    }
+
+    // 2. Checkpoint consistency: a head smaller than the checkpoint is a
+    //    truncation/regression; the same size with a different history is
+    //    a split view. A flaky frontend can serve a stale head, so a
+    //    regressed view gets re-fetched before the alarm is raised —
+    //    re-syncing from the last consistent checkpoint, never
+    //    double-indexing against the bad view.
+    if (checkpoint_.has_head) {
+        for (int attempt = 1;; ++attempt) {
+            bool regressed = sth->tree_size < checkpoint_.tree_size;
+            bool rewritten = false;
+            if (!regressed) {
+                core::RetryOutcome outcome;
+                auto old_root = core::retry<Digest>(
+                    policy, clk, [&] { return source.root_at(checkpoint_.tree_size); },
+                    &outcome);
+                report.retries += outcome.retries;
+                if (!old_root.ok()) {
+                    report.abort_error = old_root.error();
+                    return report;
+                }
+                rewritten = *old_root != checkpoint_.root_hash;
+            }
+            if (!regressed && !rewritten) break;
+            if (attempt >= policy.max_attempts) {
+                report.split_view_detected = true;
+                report.abort_error =
+                    Error{"split_view",
+                          "log view inconsistent with checkpoint at size " +
+                              std::to_string(checkpoint_.tree_size)};
+                return report;
+            }
+            ++report.resyncs;
+            ++report.retries;
+            clk.sleep_ms(policy.backoff_ms(attempt));
+            sth = fetch_head();
+            if (!sth.ok()) {
+                report.abort_error = sth.error();
+                return report;
+            }
+        }
+    }
+
+    // 3. Consume entries from the cursor up to the verified head.
+    while (checkpoint_.next_index < sth->tree_size) {
+        const size_t want = checkpoint_.next_index;
+        core::RetryOutcome outcome;
+        auto entry = core::retry<RawLogEntry>(
+            policy, clk,
+            [&]() -> Expected<RawLogEntry> {
+                auto e = source.entry_at(want);
+                if (e.ok() && e->index != want) {
+                    // Stale or duplicate delivery: the cursor already
+                    // consumed (or never asked for) this index.
+                    ++report.duplicates_skipped;
+                    return Error{"stale_read", "asked for entry " + std::to_string(want) +
+                                                   ", got " + std::to_string(e->index)};
+                }
+                return e;
+            },
+            &outcome);
+        report.retries += outcome.retries;
+        if (!entry.ok()) {
+            // Budget exhausted or permanent fetch failure: stop with the
+            // cursor parked on this entry so the next pass resumes here.
+            report.abort_error = entry.error();
+            return report;
+        }
+
+        auto cert = x509::parse_certificate(entry->leaf_der);
+        if (!cert.ok()) {
+            // Entry-scoped failure: quarantine and move on (the ladder's
+            // skip-and-quarantine rung); the report keeps the evidence.
+            report.quarantined.push_back({want, cert.error()});
+        } else if (cert->is_precertificate()) {
+            ++report.precerts_skipped;
+        } else {
+            index(cert.value());
+            ++report.indexed;
+        }
+        ++checkpoint_.next_index;
+    }
+
+    checkpoint_.tree_size = sth->tree_size;
+    checkpoint_.root_hash = sth->root_hash;
+    checkpoint_.has_head = true;
+    report.completed = true;
+    return report;
 }
 
 QueryResult Monitor::query(std::string_view pattern) const {

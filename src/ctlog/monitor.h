@@ -15,6 +15,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/expected.h"
+#include "core/resilience.h"
+#include "ctlog/log_source.h"
 #include "x509/certificate.h"
 
 namespace unicert::ctlog {
@@ -47,6 +50,40 @@ struct QueryResult {
     std::vector<size_t> cert_ids;  // indexes assigned at indexing time
 };
 
+// The monitor's durable sync position: the next entry to consume plus
+// the last tree head it verified against. Persisting this (it is plain
+// data) lets a restarted monitor resume without double-indexing or
+// silently skipping entries.
+struct MonitorCheckpoint {
+    size_t next_index = 0;  // first log entry not yet consumed
+    size_t tree_size = 0;   // size of the last consistent tree head
+    Digest root_hash{};     // its root
+    bool has_head = false;
+
+    bool operator==(const MonitorCheckpoint&) const = default;
+};
+
+// One entry the sync loop could not ingest (unparseable leaf DER).
+struct SyncQuarantine {
+    size_t entry_index = 0;
+    Error error;
+
+    bool operator==(const SyncQuarantine&) const = default;
+};
+
+// Outcome of one Monitor::sync pass over a LogSource.
+struct SyncReport {
+    size_t indexed = 0;
+    size_t precerts_skipped = 0;
+    size_t duplicates_skipped = 0;  // stale/duplicate deliveries discarded
+    size_t retries = 0;             // transient faults absorbed by backoff
+    size_t resyncs = 0;             // regressed tree heads recovered from
+    std::vector<SyncQuarantine> quarantined;
+    bool completed = false;         // cursor reached the advertised head
+    bool split_view_detected = false;
+    Error abort_error;              // set when !completed
+};
+
 class Monitor {
 public:
     explicit Monitor(MonitorProfile profile) : profile_(std::move(profile)) {}
@@ -60,6 +97,20 @@ public:
     // precert) entry not yet consumed. Returns how many were indexed.
     // This is the monitors-index-CT-logs loop of Section 6.1.
     size_t sync(const class CtLog& log);
+
+    // Checkpointed sync against a (possibly faulty) LogSource: fetches
+    // the tree head, verifies the previous checkpoint still lies on the
+    // log's history (split-view / truncation signal), then consumes
+    // entries from the cursor with retry/backoff. The cursor only
+    // advances past entries that were indexed, skipped as precerts, or
+    // deliberately quarantined — an aborted pass resumes exactly where
+    // it stopped and alerts fire at most once per entry.
+    SyncReport sync(LogSource& source, const core::RetryPolicy& policy = {},
+                    core::Clock* clock = nullptr);
+
+    // Durable sync position, for persistence and resumption.
+    const MonitorCheckpoint& checkpoint() const noexcept { return checkpoint_; }
+    void restore_checkpoint(const MonitorCheckpoint& checkpoint) { checkpoint_ = checkpoint; }
 
     size_t indexed_count() const noexcept { return records_.size(); }
 
@@ -99,7 +150,7 @@ private:
 
     MonitorProfile profile_;
     std::vector<Record> records_;
-    size_t synced_entries_ = 0;  // log entries already consumed by sync()
+    MonitorCheckpoint checkpoint_;  // sync cursor + last-seen tree head
     std::vector<std::string> watches_;
     std::vector<Alert> pending_alerts_;
 };

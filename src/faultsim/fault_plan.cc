@@ -1,0 +1,76 @@
+#include "faultsim/fault_plan.h"
+
+namespace unicert::faultsim {
+namespace {
+
+// splitmix64 one-shot mixer: the whole schedule is hashes of it.
+uint64_t mix64(uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+double unit(uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+}
+
+uint64_t channel_hash(uint64_t seed, FaultKind kind, size_t index) noexcept {
+    uint64_t k = static_cast<uint64_t>(kind) + 1;
+    return mix64(seed ^ mix64(k * 0x517CC1B727220A95ULL) ^ mix64(index));
+}
+
+}  // namespace
+
+bool FaultPlan::fires(FaultKind kind, size_t index) const noexcept {
+    double rate = 0.0;
+    switch (kind) {
+        case FaultKind::kTransient: rate = options_.transient_rate; break;
+        case FaultKind::kDrop: rate = options_.drop_rate; break;
+        case FaultKind::kDuplicate: rate = options_.duplicate_rate; break;
+        case FaultKind::kPoison: rate = options_.poison_rate; break;
+        case FaultKind::kHeadFlake: rate = options_.head_flake_rate; break;
+        case FaultKind::kHeadRegression: rate = options_.head_regression_rate; break;
+    }
+    if (rate <= 0.0) return false;
+    return unit(channel_hash(options_.seed, kind, index)) < rate;
+}
+
+Bytes FaultPlan::corrupt_der(BytesView der, size_t index) const {
+    uint64_t h = channel_hash(options_.seed, FaultKind::kPoison, index) ^ 0xC0FFEE;
+    Bytes out(der.begin(), der.end());
+    if (out.empty()) {
+        // Nothing to corrupt: synthesize a reserved high-tag fragment
+        // that no DER reader accepts.
+        out = {0x3F, 0x03, 0x01};
+        return out;
+    }
+    if ((h & 1) != 0 && out.size() > 2) {
+        // Truncate strictly inside the outer TLV: its length now runs
+        // past the buffer, a guaranteed der_truncated.
+        out.resize(1 + h % (out.size() - 1));
+    } else {
+        // Reserved high-tag-number identifier: guaranteed der_high_tag.
+        out[0] |= 0x1F;
+    }
+    return out;
+}
+
+Bytes FaultPlan::mutate_der(BytesView der, uint64_t salt) const {
+    uint64_t state = mix64(options_.seed ^ mix64(salt));
+    auto next = [&state]() {
+        state = mix64(state);
+        return state;
+    };
+    Bytes out(der.begin(), der.end());
+    if (out.empty()) return out;
+    size_t flips = 1 + next() % 4;
+    for (size_t i = 0; i < flips; ++i) {
+        out[next() % out.size()] ^= static_cast<uint8_t>(1u << (next() % 8));
+    }
+    if (next() % 5 == 0) out.resize(1 + next() % out.size());
+    if (next() % 10 == 0) out.push_back(static_cast<uint8_t>(next() % 256));
+    return out;
+}
+
+}  // namespace unicert::faultsim

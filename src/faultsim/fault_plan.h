@@ -1,0 +1,69 @@
+// unicert/faultsim/fault_plan.h
+//
+// Deterministic fault-injection substrate. A FaultPlan turns a seed and
+// a handful of rates into an order-independent schedule: the decision
+// for (channel, index) is a pure hash of the seed, so two runs with the
+// same seed produce byte-identical fault schedules regardless of retry
+// interleaving — the property the chaos tests assert. The plan only
+// decides *where* faults land; the FaultyLogSource / FaultyCertSource
+// decorators decide what a fault looks like on their interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace unicert::faultsim {
+
+// Fault channels, one deterministic decision stream each.
+enum class FaultKind {
+    kTransient,       // entry fetch fails with unavailable/timeout, then recovers
+    kDrop,            // entry initially missing (entry_dropped), then recovers
+    kDuplicate,       // entry redelivered / stale view served once
+    kPoison,          // a corrupted copy of the entry is injected
+    kHeadFlake,       // tree-head read fails transiently
+    kHeadRegression,  // tree-head read serves a stale (smaller) view once
+};
+
+struct FaultPlanOptions {
+    uint64_t seed = 1;
+
+    double transient_rate = 0.0;
+    double drop_rate = 0.0;
+    double duplicate_rate = 0.0;
+    double poison_rate = 0.0;
+    double head_flake_rate = 0.0;
+    double head_regression_rate = 0.0;
+
+    // Consecutive failures a transient/drop fault produces before the
+    // operation recovers. Must stay below the consumer's retry budget
+    // for a schedule to be recoverable.
+    int transient_failures = 2;
+};
+
+class FaultPlan {
+public:
+    explicit FaultPlan(FaultPlanOptions options) : options_(options) {}
+
+    const FaultPlanOptions& options() const noexcept { return options_; }
+
+    // Does the channel fire at this index? Pure function of (seed,
+    // kind, index) — stable across runs and call orders.
+    bool fires(FaultKind kind, size_t index) const noexcept;
+
+    // Corruption guaranteed to be unparseable: truncates inside the
+    // outer TLV or stamps a reserved high-tag identifier octet, chosen
+    // deterministically per index. Used for poison copies so a corrupt
+    // delivery can never masquerade as a valid certificate.
+    Bytes corrupt_der(BytesView der, size_t index) const;
+
+    // General randomized mutation — bit flips, truncation, extension —
+    // for fuzz-style robustness tests. NOT guaranteed fatal; the parser
+    // must survive either way.
+    Bytes mutate_der(BytesView der, uint64_t salt) const;
+
+private:
+    FaultPlanOptions options_;
+};
+
+}  // namespace unicert::faultsim

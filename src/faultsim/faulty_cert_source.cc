@@ -1,0 +1,61 @@
+#include "faultsim/faulty_cert_source.h"
+
+#include <string>
+
+namespace unicert::faultsim {
+
+Expected<std::optional<core::CertEntry>> FaultyCertSource::next() {
+    for (;;) {
+        if (pos_ >= corpus_->size()) return std::optional<core::CertEntry>{};
+        const size_t index = pos_;
+
+        switch (step_) {
+            case Step::kPoison:
+                step_ = Step::kTransient;
+                if (plan_.fires(FaultKind::kPoison, index)) {
+                    ++injected_;
+                    core::CertEntry entry;
+                    entry.index = index;
+                    entry.der = plan_.corrupt_der((*corpus_)[index].cert.der, index);
+                    return std::optional<core::CertEntry>(std::move(entry));
+                }
+                continue;
+
+            case Step::kTransient:
+                if (plan_.fires(FaultKind::kTransient, index) &&
+                    failures_served_ < plan_.options().transient_failures) {
+                    ++failures_served_;
+                    ++injected_;
+                    return Error{failures_served_ % 2 == 1 ? "timeout" : "unavailable",
+                                 "stream stalled before entry " + std::to_string(index)};
+                }
+                failures_served_ = 0;
+                step_ = Step::kDeliver;
+                continue;
+
+            case Step::kDeliver: {
+                step_ = Step::kDuplicate;
+                core::CertEntry entry;
+                entry.index = index;
+                entry.meta = &(*corpus_)[index];
+                return std::optional<core::CertEntry>(std::move(entry));
+            }
+
+            case Step::kDuplicate: {
+                const bool redeliver = plan_.fires(FaultKind::kDuplicate, index);
+                ++pos_;
+                step_ = Step::kPoison;
+                if (redeliver) {
+                    ++injected_;
+                    core::CertEntry entry;
+                    entry.index = index;
+                    entry.meta = &(*corpus_)[index];
+                    return std::optional<core::CertEntry>(std::move(entry));
+                }
+                continue;
+            }
+        }
+    }
+}
+
+}  // namespace unicert::faultsim

@@ -1,0 +1,44 @@
+// unicert/faultsim/faulty_cert_source.h
+//
+// CertSource decorator that replays a FaultPlan against the compliance
+// pipeline's streaming ingestion. Faults are recoverable-or-additive by
+// construction: transient errors retry away, duplicate deliveries dedup
+// away, and poison is always an EXTRA corrupted copy delivered before
+// the intact original — so a resilient consumer produces aggregates
+// byte-identical to the fault-free run, with the faults visible only in
+// its stats and quarantine report.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "faultsim/fault_plan.h"
+
+namespace unicert::faultsim {
+
+class FaultyCertSource final : public core::CertSource {
+public:
+    FaultyCertSource(const std::vector<ctlog::CorpusCert>& corpus, FaultPlan plan)
+        : corpus_(&corpus), plan_(std::move(plan)) {}
+
+    size_t size_hint() const override { return corpus_->size(); }
+
+    Expected<std::optional<core::CertEntry>> next() override;
+
+    // Fault accounting, for assertions.
+    size_t injected_faults() const noexcept { return injected_; }
+
+private:
+    // Delivery ladder per corpus position; recoverable faults come
+    // before the intact original so the original always lands.
+    enum class Step { kPoison, kTransient, kDeliver, kDuplicate };
+
+    const std::vector<ctlog::CorpusCert>* corpus_;
+    FaultPlan plan_;
+    size_t pos_ = 0;
+    Step step_ = Step::kPoison;
+    int failures_served_ = 0;
+    size_t injected_ = 0;
+};
+
+}  // namespace unicert::faultsim

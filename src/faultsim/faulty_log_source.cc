@@ -1,0 +1,67 @@
+#include "faultsim/faulty_log_source.h"
+
+#include <string>
+
+namespace unicert::faultsim {
+
+Expected<ctlog::SignedTreeHead> FaultyLogSource::latest_tree_head() {
+    const size_t read = head_reads_++;
+    if (plan_.fires(FaultKind::kHeadFlake, read)) {
+        ++injected_;
+        return Error{"unavailable", "tree head read " + std::to_string(read) + " failed"};
+    }
+    auto sth = inner_->latest_tree_head();
+    if (!sth.ok()) return sth;
+    if (plan_.fires(FaultKind::kHeadRegression, read) && sth->tree_size > 1) {
+        // Serve a stale view: a consistent but smaller tree, the shape a
+        // lagging (or equivocating) frontend presents. The consumer must
+        // treat it as a regression signal, not silently re-index.
+        ++injected_;
+        ctlog::SignedTreeHead stale = sth.value();
+        stale.tree_size /= 2;
+        auto old_root = inner_->root_at(stale.tree_size);
+        if (old_root.ok()) {
+            stale.root_hash = old_root.value();
+            return stale;
+        }
+    }
+    return sth;
+}
+
+Expected<ctlog::RawLogEntry> FaultyLogSource::entry_at(size_t index) {
+    const bool transient = plan_.fires(FaultKind::kTransient, index);
+    const bool dropped = plan_.fires(FaultKind::kDrop, index);
+    if (transient || dropped) {
+        int& failures = entry_failures_[index];
+        if (failures < plan_.options().transient_failures) {
+            ++failures;
+            ++injected_;
+            if (dropped) {
+                return Error{"entry_dropped",
+                             "entry " + std::to_string(index) + " not yet available"};
+            }
+            return Error{failures % 2 == 1 ? "timeout" : "unavailable",
+                         "entry " + std::to_string(index) + " fetch failed"};
+        }
+    }
+    if (index > 0 && plan_.fires(FaultKind::kDuplicate, index) && !stale_served_[index]) {
+        // Stale delivery: the previous entry again, index and all.
+        stale_served_[index] = true;
+        ++injected_;
+        return inner_->entry_at(index - 1);
+    }
+    auto entry = inner_->entry_at(index);
+    if (!entry.ok()) return entry;
+    if (plan_.fires(FaultKind::kPoison, index) && !poison_served_[index]) {
+        poison_served_[index] = true;
+        ++injected_;
+        entry->leaf_der = plan_.corrupt_der(entry->leaf_der, index);
+    }
+    return entry;
+}
+
+Expected<crypto::Digest> FaultyLogSource::root_at(size_t tree_size) {
+    return inner_->root_at(tree_size);
+}
+
+}  // namespace unicert::faultsim

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 namespace unicert::core {
@@ -148,6 +149,30 @@ TEST(ValidityCdf, HelpersOnKnownData) {
     EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at(data, 5), 0.0);
     EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at(data, 100), 1.0);
     EXPECT_DOUBLE_EQ(ValidityCdf::quantile({}, 0.5), 0.0);
+}
+
+TEST(ValidityCdf, DegenerateInputsAreDefinedAndFinite) {
+    // Empty input is defined (no NaN, no UB) for every helper…
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile({}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile({}, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at({}, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::cdf_at({}, 1000), 0.0);
+
+    // …as are hostile quantiles: NaN and out-of-range q never propagate.
+    std::vector<int64_t> data = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(data, std::nan("")), 0.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile({}, std::nan("")), 0.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(data, -0.5), 10.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(data, 1.5), 40.0);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+        EXPECT_TRUE(std::isfinite(ValidityCdf::quantile(data, q))) << q;
+    }
+
+    // Single-element input: every quantile is that element.
+    std::vector<int64_t> one = {90};
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(one, 0.0), 90.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(one, 0.5), 90.0);
+    EXPECT_DOUBLE_EQ(ValidityCdf::quantile(one, 1.0), 90.0);
 }
 
 TEST(Heatmap, SubjectFieldsCarryUnicode) {

@@ -1,0 +1,182 @@
+// Tests for the retry/backoff/degradation-ladder layer.
+#include "core/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unicert::core {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 10;
+    policy.multiplier = 2.0;
+    policy.max_backoff_ms = 60;
+    policy.jitter_fraction = 0.0;  // pure schedule
+    EXPECT_EQ(policy.backoff_ms(1), 10);
+    EXPECT_EQ(policy.backoff_ms(2), 20);
+    EXPECT_EQ(policy.backoff_ms(3), 40);
+    EXPECT_EQ(policy.backoff_ms(4), 60);  // capped
+    EXPECT_EQ(policy.backoff_ms(10), 60);
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerSeed) {
+    RetryPolicy a;
+    a.jitter_fraction = 0.5;
+    a.jitter_seed = 7;
+    RetryPolicy b = a;
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+        EXPECT_EQ(a.backoff_ms(attempt), b.backoff_ms(attempt)) << attempt;
+    }
+    RetryPolicy c = a;
+    c.jitter_seed = 8;
+    bool any_differs = false;
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+        if (a.backoff_ms(attempt) != c.backoff_ms(attempt)) any_differs = true;
+    }
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(RetryPolicy, JitterBounded) {
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 100;
+    policy.multiplier = 1.0;
+    policy.jitter_fraction = 0.25;
+    policy.jitter_seed = 3;
+    for (int attempt = 1; attempt <= 20; ++attempt) {
+        int64_t d = policy.backoff_ms(attempt);
+        EXPECT_GE(d, 100);
+        EXPECT_LE(d, 125);
+    }
+}
+
+TEST(Retry, SucceedsWithoutRetryOnFirstSuccess) {
+    ManualClock clock;
+    RetryOutcome outcome;
+    auto result = retry<int>(RetryPolicy{}, clock, [] { return Expected<int>(42); }, &outcome);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_EQ(outcome.attempts, 1);
+    EXPECT_EQ(outcome.retries, 0u);
+    EXPECT_EQ(clock.total_slept_ms(), 0);
+}
+
+TEST(Retry, TransientFailuresAreRetriedUntilSuccess) {
+    ManualClock clock;
+    RetryPolicy policy;
+    policy.jitter_fraction = 0.0;
+    int calls = 0;
+    RetryOutcome outcome;
+    auto result = retry<int>(
+        policy, clock,
+        [&]() -> Expected<int> {
+            if (++calls < 3) return Error{"timeout", "flake"};
+            return 7;
+        },
+        &outcome);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(outcome.attempts, 3);
+    EXPECT_EQ(outcome.retries, 2u);
+    // Slept 10ms + 20ms from the pure exponential schedule.
+    EXPECT_EQ(clock.total_slept_ms(), 30);
+}
+
+TEST(Retry, PermanentErrorsAreNotRetried) {
+    ManualClock clock;
+    int calls = 0;
+    auto result = retry<int>(RetryPolicy{}, clock, [&]() -> Expected<int> {
+        ++calls;
+        return Error{"der_truncated", "bad bytes"};
+    });
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(clock.total_slept_ms(), 0);
+}
+
+TEST(Retry, AttemptBudgetExhaustionReturnsLastError) {
+    ManualClock clock;
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    int calls = 0;
+    RetryOutcome outcome;
+    auto result = retry<int>(
+        policy, clock, [&]() -> Expected<int> {
+            ++calls;
+            return Error{"unavailable", "always down"};
+        },
+        &outcome);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, "unavailable");
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(outcome.retries, 2u);
+}
+
+TEST(Retry, DeadlineBudgetStopsRetrying) {
+    ManualClock clock;
+    RetryPolicy policy;
+    policy.max_attempts = 100;
+    policy.initial_backoff_ms = 100;
+    policy.multiplier = 1.0;
+    policy.jitter_fraction = 0.0;
+    policy.deadline_ms = 250;  // room for two sleeps, not three
+    int calls = 0;
+    auto result = retry<int>(policy, clock, [&]() -> Expected<int> {
+        ++calls;
+        return Error{"timeout", "slow"};
+    });
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(clock.total_slept_ms(), 200);
+}
+
+TEST(Classify, TransientCodesRetry) {
+    for (const char* code : {"unavailable", "timeout", "stale_read", "entry_dropped"}) {
+        Error e{code, "x"};
+        EXPECT_TRUE(is_transient_error(e)) << code;
+        EXPECT_EQ(classify_failure(e), FailureAction::kRetry) << code;
+    }
+}
+
+TEST(Classify, StreamLevelCodesAbort) {
+    for (const char* code : {"split_view", "source_closed", "aborted"}) {
+        Error e{code, "x"};
+        EXPECT_FALSE(is_transient_error(e)) << code;
+        EXPECT_EQ(classify_failure(e), FailureAction::kAbort) << code;
+    }
+}
+
+TEST(Classify, EntryScopedCodesQuarantine) {
+    for (const char* code : {"der_truncated", "der_high_tag", "lint_exception", "whatever"}) {
+        Error e{code, "x"};
+        EXPECT_FALSE(is_transient_error(e)) << code;
+        EXPECT_EQ(classify_failure(e), FailureAction::kQuarantine) << code;
+    }
+}
+
+TEST(Classify, ActionNamesAreStable) {
+    EXPECT_STREQ(failure_action_name(FailureAction::kRetry), "retry");
+    EXPECT_STREQ(failure_action_name(FailureAction::kQuarantine), "quarantine");
+    EXPECT_STREQ(failure_action_name(FailureAction::kAbort), "abort");
+}
+
+TEST(ManualClockTest, SleepAdvancesEpoch) {
+    ManualClock clock;
+    EXPECT_EQ(clock.now_ms(), 0);
+    clock.sleep_ms(150);
+    EXPECT_EQ(clock.now_ms(), 150);
+    EXPECT_EQ(clock.total_slept_ms(), 150);
+}
+
+TEST(ErrorOffset, ShiftRebasesOnlyRealOffsets) {
+    Error with{"der_truncated", "x", 5};
+    EXPECT_TRUE(with.has_offset());
+    EXPECT_EQ(with.shift_offset(10).offset, 15u);
+    Error without{"timeout", "x"};
+    EXPECT_FALSE(without.has_offset());
+    EXPECT_FALSE(without.shift_offset(10).has_offset());
+}
+
+}  // namespace
+}  // namespace unicert::core

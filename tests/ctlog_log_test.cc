@@ -90,7 +90,9 @@ TEST(CtLog, InclusionProvableThroughTreeApi) {
                    asn1::make_time(2024, 2, 2));
     }
     auto proof = log.tree().audit_proof(0, log.size());
-    EXPECT_TRUE(verify_audit_proof(leaf_hash(cert.der), 0, log.size(), proof, log.tree_head()));
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(
+        verify_audit_proof(leaf_hash(cert.der), 0, log.size(), proof.value(), log.tree_head()));
 }
 
 TEST(CtLog, EntriesKeepTimestamps) {

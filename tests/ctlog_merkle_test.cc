@@ -43,7 +43,26 @@ TEST(Merkle, RootChangesOnAppend) {
     Digest r1 = tree.root();
     tree.append(to_bytes("b"));
     EXPECT_NE(tree.root(), r1);
-    EXPECT_EQ(tree.root_at(1), r1);  // old head still derivable
+    auto old_root = tree.root_at(1);  // old head still derivable
+    ASSERT_TRUE(old_root.ok());
+    EXPECT_EQ(old_root.value(), r1);
+}
+
+TEST(Merkle, RootAtZeroIsEmptyTreeRoot) {
+    MerkleTree tree;
+    tree.append(to_bytes("a"));
+    auto root = tree.root_at(0);
+    ASSERT_TRUE(root.ok());
+    EXPECT_EQ(hex(root.value()),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Merkle, RootAtBeyondTreeIsAnError) {
+    MerkleTree tree;
+    tree.append(to_bytes("a"));
+    auto root = tree.root_at(2);
+    ASSERT_FALSE(root.ok());
+    EXPECT_EQ(root.error().code, "proof_out_of_range");
 }
 
 TEST(Merkle, AuditProofsVerifyForAllLeaves) {
@@ -56,7 +75,9 @@ TEST(Merkle, AuditProofsVerifyForAllLeaves) {
     Digest root = tree.root();
     for (size_t i = 0; i < entries.size(); ++i) {
         auto proof = tree.audit_proof(i, tree.size());
-        EXPECT_TRUE(verify_audit_proof(leaf_hash(entries[i]), i, tree.size(), proof, root))
+        ASSERT_TRUE(proof.ok()) << "leaf " << i;
+        EXPECT_TRUE(
+            verify_audit_proof(leaf_hash(entries[i]), i, tree.size(), proof.value(), root))
             << "leaf " << i;
     }
 }
@@ -65,8 +86,9 @@ TEST(Merkle, AuditProofFailsForWrongLeaf) {
     MerkleTree tree;
     for (int i = 0; i < 8; ++i) tree.append(to_bytes("e" + std::to_string(i)));
     auto proof = tree.audit_proof(3, tree.size());
-    EXPECT_FALSE(verify_audit_proof(leaf_hash(to_bytes("forged")), 3, tree.size(), proof,
-                                    tree.root()));
+    ASSERT_TRUE(proof.ok());
+    EXPECT_FALSE(verify_audit_proof(leaf_hash(to_bytes("forged")), 3, tree.size(),
+                                    proof.value(), tree.root()));
 }
 
 TEST(Merkle, AuditProofFailsForWrongIndex) {
@@ -77,7 +99,9 @@ TEST(Merkle, AuditProofFailsForWrongIndex) {
         tree.append(entries.back());
     }
     auto proof = tree.audit_proof(3, tree.size());
-    EXPECT_FALSE(verify_audit_proof(leaf_hash(entries[3]), 4, tree.size(), proof, tree.root()));
+    ASSERT_TRUE(proof.ok());
+    EXPECT_FALSE(
+        verify_audit_proof(leaf_hash(entries[3]), 4, tree.size(), proof.value(), tree.root()));
 }
 
 TEST(Merkle, AuditProofAgainstPastTreeSize) {
@@ -89,24 +113,42 @@ TEST(Merkle, AuditProofAgainstPastTreeSize) {
     }
     // Prove inclusion of leaf 2 in the first 6-leaf tree.
     auto proof = tree.audit_proof(2, 6);
-    EXPECT_TRUE(verify_audit_proof(leaf_hash(entries[2]), 2, 6, proof, tree.root_at(6)));
+    ASSERT_TRUE(proof.ok());
+    auto old_root = tree.root_at(6);
+    ASSERT_TRUE(old_root.ok());
+    EXPECT_TRUE(verify_audit_proof(leaf_hash(entries[2]), 2, 6, proof.value(),
+                                   old_root.value()));
 }
 
 TEST(Merkle, ConsistencyProofSizes) {
     MerkleTree tree;
     for (int i = 0; i < 16; ++i) tree.append(to_bytes("e" + std::to_string(i)));
-    EXPECT_TRUE(tree.consistency_proof(16, 16).empty());  // same size: empty proof
-    EXPECT_FALSE(tree.consistency_proof(8, 16).empty());
-    EXPECT_TRUE(tree.consistency_proof(0, 16).empty());   // invalid m
-    EXPECT_TRUE(tree.consistency_proof(17, 16).empty());  // m > n
+    auto same = tree.consistency_proof(16, 16);
+    ASSERT_TRUE(same.ok());
+    EXPECT_TRUE(same.value().empty());  // same size: empty proof
+    auto grow = tree.consistency_proof(8, 16);
+    ASSERT_TRUE(grow.ok());
+    EXPECT_FALSE(grow.value().empty());
 }
 
-TEST(Merkle, InvalidProofRequestsAreEmpty) {
+TEST(Merkle, HostileProofRequestsAreErrorsNotAborts) {
+    // These used to be assert() territory; a hostile or stale request
+    // must come back as a recoverable Error instead.
     MerkleTree tree;
     tree.append(to_bytes("a"));
-    EXPECT_TRUE(tree.audit_proof(5, 1).empty());
-    EXPECT_TRUE(tree.audit_proof(0, 0).empty());
-    EXPECT_TRUE(tree.audit_proof(0, 9).empty());  // tree_size beyond leaves
+    for (auto [index, tree_size] : {std::pair<size_t, size_t>{5, 1},
+                                    std::pair<size_t, size_t>{0, 0},
+                                    std::pair<size_t, size_t>{0, 9}}) {
+        auto proof = tree.audit_proof(index, tree_size);
+        ASSERT_FALSE(proof.ok()) << index << "/" << tree_size;
+        EXPECT_EQ(proof.error().code, "proof_out_of_range");
+    }
+    for (auto [m, n] : {std::pair<size_t, size_t>{0, 1}, std::pair<size_t, size_t>{2, 1},
+                        std::pair<size_t, size_t>{1, 9}}) {
+        auto proof = tree.consistency_proof(m, n);
+        ASSERT_FALSE(proof.ok()) << m << "->" << n;
+        EXPECT_EQ(proof.error().code, "proof_out_of_range");
+    }
 }
 
 }  // namespace

@@ -225,6 +225,131 @@ TEST(Watch, SyncRaisesAlertsFromLogEntries) {
     EXPECT_EQ(m.drain_alerts().size(), 1u);
 }
 
+// A LogSource whose entry fetch fails permanently at one index until
+// heal() is called — drives the abort-and-resume path.
+class BreakableSource final : public LogSource {
+public:
+    BreakableSource(LogSource& inner, size_t broken_index)
+        : inner_(&inner), broken_index_(broken_index) {}
+
+    void heal() { healed_ = true; }
+
+    std::string name() const override { return inner_->name(); }
+    Expected<SignedTreeHead> latest_tree_head() override { return inner_->latest_tree_head(); }
+    Expected<RawLogEntry> entry_at(size_t index) override {
+        if (index == broken_index_ && !healed_) {
+            return Error{"unavailable", "entry " + std::to_string(index) + " is down"};
+        }
+        return inner_->entry_at(index);
+    }
+    Expected<Digest> root_at(size_t n) override { return inner_->root_at(n); }
+
+private:
+    LogSource* inner_;
+    size_t broken_index_;
+    bool healed_ = false;
+};
+
+TEST(Watch, CheckpointedResyncAlertsExactlyOncePerCert) {
+    // Satellite of the resilience work: a watch must fire exactly once
+    // per certificate even when sync aborts mid-stream and restarts.
+    CtLog log("resync-log");
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Resync CA");
+    for (int i = 0; i < 6; ++i) {
+        x509::Certificate cert = cert_with_cn_san("victim.example",
+                                                  "victim.example");
+        cert.serial = {static_cast<uint8_t>(i + 1)};
+        x509::sign_certificate(cert, ca);
+        log.submit(cert, asn1::make_time(2025, 2, 1));
+    }
+    InMemoryLogSource inner(log);
+    BreakableSource source(inner, 3);  // entry 3 is down past the retry budget
+
+    Monitor m(profile("Crt.sh"));
+    m.watch("victim.example");
+    core::ManualClock clock;
+    core::RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.jitter_fraction = 0.0;
+
+    SyncReport first = m.sync(source, policy, &clock);
+    EXPECT_FALSE(first.completed);
+    EXPECT_EQ(first.abort_error.code, "unavailable");
+    EXPECT_EQ(first.indexed, 3u);  // entries 0..2 made it in
+    EXPECT_EQ(m.checkpoint().next_index, 3u);  // cursor parked on the bad entry
+    auto alerts = m.drain_alerts();
+    EXPECT_EQ(alerts.size(), 3u);
+
+    // Nothing heals: the pass resumes at the same entry, alerts nothing.
+    SyncReport stuck = m.sync(source, policy, &clock);
+    EXPECT_FALSE(stuck.completed);
+    EXPECT_EQ(stuck.indexed, 0u);
+    EXPECT_TRUE(m.drain_alerts().empty());
+
+    // After healing, only the remaining entries are indexed and alerted:
+    // 6 certs, 6 alerts total, no duplicates from the restarts.
+    source.heal();
+    SyncReport resumed = m.sync(source, policy, &clock);
+    EXPECT_TRUE(resumed.completed);
+    EXPECT_EQ(resumed.indexed, 3u);
+    EXPECT_EQ(m.indexed_count(), 6u);
+    alerts = m.drain_alerts();
+    EXPECT_EQ(alerts.size(), 3u);
+    EXPECT_EQ(m.checkpoint().next_index, 6u);
+    EXPECT_EQ(m.checkpoint().tree_size, 6u);
+}
+
+TEST(Monitor, CheckpointRestoreResumesWithoutDoubleIndexing) {
+    CtLog log("restore-log");
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Restore CA");
+    auto submit = [&](const std::string& host) {
+        x509::Certificate cert = cert_with_cn_san(host, host);
+        x509::sign_certificate(cert, ca);
+        log.submit(cert, asn1::make_time(2025, 2, 1));
+    };
+    submit("a.example");
+    submit("b.example");
+
+    InMemoryLogSource source(log);
+    Monitor m(profile("Crt.sh"));
+    core::ManualClock clock;
+    ASSERT_TRUE(m.sync(source, {}, &clock).completed);
+    MonitorCheckpoint saved = m.checkpoint();
+    EXPECT_EQ(saved.next_index, 2u);
+    EXPECT_TRUE(saved.has_head);
+
+    // A "restarted" monitor restored from the persisted checkpoint picks
+    // up only what the log grew by.
+    submit("c.example");
+    Monitor restarted(profile("Crt.sh"));
+    restarted.restore_checkpoint(saved);
+    SyncReport report = restarted.sync(source, {}, &clock);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.indexed, 1u);
+    EXPECT_EQ(restarted.indexed_count(), 1u);
+}
+
+TEST(Monitor, LegacySyncAndLogSourceSyncShareTheCheckpoint) {
+    CtLog log("shared-log");
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Shared CA");
+    auto submit = [&](const std::string& host) {
+        x509::Certificate cert = cert_with_cn_san(host, host);
+        x509::sign_certificate(cert, ca);
+        log.submit(cert, asn1::make_time(2025, 2, 1));
+    };
+    submit("a.example");
+    Monitor m(profile("Crt.sh"));
+    EXPECT_EQ(m.sync(log), 1u);  // legacy path advances the cursor
+
+    submit("b.example");
+    InMemoryLogSource source(log);
+    core::ManualClock clock;
+    SyncReport report = m.sync(source, {}, &clock);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.indexed, 1u);  // no re-index of a.example
+    EXPECT_EQ(m.indexed_count(), 2u);
+}
+
 TEST(Monitor, IndexedCountTracksSubmissions) {
     Monitor m(profile("Crt.sh"));
     EXPECT_EQ(m.indexed_count(), 0u);

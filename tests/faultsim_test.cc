@@ -1,0 +1,235 @@
+// Tests for the deterministic fault-injection substrate.
+#include "faultsim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "asn1/time.h"
+#include "ctlog/log.h"
+#include "faultsim/faulty_log_source.h"
+#include "x509/builder.h"
+#include "x509/parser.h"
+
+namespace unicert::faultsim {
+namespace {
+
+namespace oids = asn1::oids;
+
+x509::Certificate make_cert(const std::string& host) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {static_cast<uint8_t>(host.size()), 0x01};
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), host)});
+    cert.issuer = x509::make_dn({x509::make_attribute(oids::organization_name(), "Fault CA")});
+    cert.validity = {asn1::make_time(2025, 1, 1), asn1::make_time(2025, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name(host).public_key();
+    cert.extensions.push_back(x509::make_san({x509::dns_name(host)}));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("Fault CA");
+    x509::sign_certificate(cert, ca);
+    return cert;
+}
+
+TEST(FaultPlan, ScheduleIsDeterministicAndOrderIndependent) {
+    FaultPlanOptions options;
+    options.seed = 99;
+    options.transient_rate = 0.3;
+    options.poison_rate = 0.2;
+    FaultPlan a(options), b(options);
+
+    std::vector<bool> forward, backward;
+    for (size_t i = 0; i < 500; ++i) {
+        forward.push_back(a.fires(FaultKind::kTransient, i));
+        forward.push_back(a.fires(FaultKind::kPoison, i));
+    }
+    for (size_t i = 500; i-- > 0;) {
+        backward.push_back(b.fires(FaultKind::kPoison, i));
+        backward.push_back(b.fires(FaultKind::kTransient, i));
+    }
+    std::reverse(backward.begin(), backward.end());
+    // Same decisions regardless of query order (reversed pairs swap the
+    // per-index order too, so normalize by sorting each pair).
+    ASSERT_EQ(forward.size(), backward.size());
+    for (size_t i = 0; i < forward.size(); i += 2) {
+        // backward stores (transient, poison) after the reverse.
+        EXPECT_EQ(forward[i], backward[i]) << i;
+        EXPECT_EQ(forward[i + 1], backward[i + 1]) << i;
+    }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentSchedules) {
+    FaultPlanOptions options;
+    options.transient_rate = 0.5;
+    options.seed = 1;
+    FaultPlan a(options);
+    options.seed = 2;
+    FaultPlan b(options);
+    size_t differing = 0;
+    for (size_t i = 0; i < 200; ++i) {
+        if (a.fires(FaultKind::kTransient, i) != b.fires(FaultKind::kTransient, i)) {
+            ++differing;
+        }
+    }
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultPlan, RatesRoughlyRespected) {
+    FaultPlanOptions options;
+    options.seed = 5;
+    options.drop_rate = 0.25;
+    FaultPlan plan(options);
+    size_t fired = 0;
+    const size_t kTrials = 4000;
+    for (size_t i = 0; i < kTrials; ++i) {
+        if (plan.fires(FaultKind::kDrop, i)) ++fired;
+    }
+    double rate = static_cast<double>(fired) / kTrials;
+    EXPECT_NEAR(rate, 0.25, 0.05);
+    // A zero-rate channel never fires.
+    for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(plan.fires(FaultKind::kPoison, i));
+}
+
+TEST(FaultPlan, CorruptDerIsAlwaysFatalToTheParsers) {
+    x509::Certificate cert = make_cert("victim.example");
+    FaultPlan plan({.seed = 17});
+    for (size_t index = 0; index < 300; ++index) {
+        Bytes poisoned = plan.corrupt_der(cert.der, index);
+        // The certificate parser must refuse every corrupted copy; a
+        // parseable poison would contaminate the chaos invariant.
+        EXPECT_FALSE(x509::parse_certificate(poisoned).ok()) << index;
+        // Corruption is deterministic per (seed, index).
+        EXPECT_EQ(poisoned, plan.corrupt_der(cert.der, index)) << index;
+    }
+    // Even an empty buffer corrupts to something unparseable.
+    Bytes from_empty = plan.corrupt_der({}, 0);
+    EXPECT_FALSE(x509::parse_certificate(from_empty).ok());
+}
+
+TEST(FaultPlan, MutateDerIsDeterministicPerSalt) {
+    x509::Certificate cert = make_cert("mutate.example");
+    FaultPlan plan({.seed = 23});
+    EXPECT_EQ(plan.mutate_der(cert.der, 7), plan.mutate_der(cert.der, 7));
+    EXPECT_NE(plan.mutate_der(cert.der, 7), plan.mutate_der(cert.der, 8));
+}
+
+// ---- FaultyLogSource ---------------------------------------------------------
+
+class FaultyLogSourceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        for (int i = 0; i < 8; ++i) {
+            log_.submit(make_cert("host" + std::to_string(i) + ".example"),
+                        asn1::make_time(2025, 2, 1));
+        }
+    }
+
+    ctlog::CtLog log_{"fault-log"};
+};
+
+TEST_F(FaultyLogSourceTest, PassThroughWhenNoFaultsConfigured) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultyLogSource faulty(inner, FaultPlan({.seed = 1}));
+    EXPECT_EQ(faulty.name(), "fault-log+faults");
+    auto sth = faulty.latest_tree_head();
+    ASSERT_TRUE(sth.ok());
+    EXPECT_EQ(sth->tree_size, 8u);
+    for (size_t i = 0; i < 8; ++i) {
+        auto entry = faulty.entry_at(i);
+        ASSERT_TRUE(entry.ok()) << i;
+        EXPECT_EQ(entry->index, i);
+        EXPECT_TRUE(x509::parse_certificate(entry->leaf_der).ok()) << i;
+    }
+    EXPECT_EQ(faulty.injected_faults(), 0u);
+}
+
+TEST_F(FaultyLogSourceTest, TransientEntryFaultsRecoverAfterConfiguredFailures) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultPlanOptions options;
+    options.seed = 3;
+    options.transient_rate = 1.0;  // every entry flakes
+    options.transient_failures = 2;
+    FaultyLogSource faulty(inner, FaultPlan(options));
+    for (size_t i = 0; i < 8; ++i) {
+        auto first = faulty.entry_at(i);
+        ASSERT_FALSE(first.ok());
+        EXPECT_TRUE(first.error().code == "timeout" || first.error().code == "unavailable");
+        EXPECT_FALSE(faulty.entry_at(i).ok());
+        auto third = faulty.entry_at(i);
+        ASSERT_TRUE(third.ok()) << i;  // recovered
+        EXPECT_EQ(third->index, i);
+    }
+}
+
+TEST_F(FaultyLogSourceTest, DroppedEntriesSurfaceAsEntryDropped) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultPlanOptions options;
+    options.seed = 4;
+    options.drop_rate = 1.0;
+    options.transient_failures = 1;
+    FaultyLogSource faulty(inner, FaultPlan(options));
+    auto first = faulty.entry_at(2);
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(first.error().code, "entry_dropped");
+    EXPECT_TRUE(faulty.entry_at(2).ok());
+}
+
+TEST_F(FaultyLogSourceTest, StaleDeliveryServesPreviousEntryOnce) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultPlanOptions options;
+    options.seed = 5;
+    options.duplicate_rate = 1.0;
+    FaultyLogSource faulty(inner, FaultPlan(options));
+    auto stale = faulty.entry_at(3);
+    ASSERT_TRUE(stale.ok());
+    EXPECT_EQ(stale->index, 2u);  // wrong entry, caller must notice
+    auto good = faulty.entry_at(3);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good->index, 3u);
+}
+
+TEST_F(FaultyLogSourceTest, PoisonedEntryIsServedCorruptedExactlyOnce) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultPlanOptions options;
+    options.seed = 6;
+    options.poison_rate = 1.0;
+    FaultyLogSource faulty(inner, FaultPlan(options));
+    auto poisoned = faulty.entry_at(4);
+    ASSERT_TRUE(poisoned.ok());
+    EXPECT_FALSE(x509::parse_certificate(poisoned->leaf_der).ok());
+    auto clean = faulty.entry_at(4);
+    ASSERT_TRUE(clean.ok());
+    EXPECT_TRUE(x509::parse_certificate(clean->leaf_der).ok());
+}
+
+TEST_F(FaultyLogSourceTest, HeadFlakesAndRegressionsFollowThePlan) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultPlanOptions options;
+    options.seed = 7;
+    options.head_flake_rate = 1.0;
+    FaultyLogSource flaky(inner, FaultPlan(options));
+    EXPECT_FALSE(flaky.latest_tree_head().ok());
+
+    options.head_flake_rate = 0.0;
+    options.head_regression_rate = 1.0;
+    FaultyLogSource regressing(inner, FaultPlan(options));
+    auto stale = regressing.latest_tree_head();
+    ASSERT_TRUE(stale.ok());
+    EXPECT_EQ(stale->tree_size, 4u);  // half of the 8-entry tree
+    auto expected_root = log_.tree().root_at(4);
+    ASSERT_TRUE(expected_root.ok());
+    EXPECT_EQ(stale->root_hash, expected_root.value());
+}
+
+TEST_F(FaultyLogSourceTest, RootAtPassesThrough) {
+    ctlog::InMemoryLogSource inner(log_);
+    FaultyLogSource faulty(inner, FaultPlan({.seed = 8}));
+    auto via_faulty = faulty.root_at(5);
+    auto direct = log_.tree().root_at(5);
+    ASSERT_TRUE(via_faulty.ok());
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_faulty.value(), direct.value());
+}
+
+}  // namespace
+}  // namespace unicert::faultsim

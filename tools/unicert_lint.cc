@@ -7,6 +7,7 @@
 //     --list                     list the registry instead of linting
 //     --summary                  one line per certificate instead of findings
 //     --json                     machine-readable JSON, one object per cert
+//     --stats                    append ingestion stats + quarantine report
 //
 // Exit code: 0 = compliant, 1 = warnings only, 2 = errors, 64 = usage.
 #include <cstdio>
@@ -16,6 +17,8 @@
 #include <sstream>
 
 #include "core/json.h"
+#include "core/pipeline.h"
+#include "core/report.h"
 #include "lint/lint.h"
 #include "x509/parser.h"
 #include "x509/pem.h"
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     lint::RunOptions options;
     bool summary = false;
     bool json = false;
+    bool stats = false;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -60,9 +64,11 @@ int main(int argc, char** argv) {
             summary = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--stats") {
+            stats = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: unicert_lint [--ignore-effective-dates] [--summary] [--list] "
-                        "[file.pem ...]\n");
+            std::printf("usage: unicert_lint [--ignore-effective-dates] [--summary] [--stats] "
+                        "[--list] [file.pem ...]\n");
             return 0;
         } else if (arg.starts_with("-")) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -97,13 +103,19 @@ int main(int argc, char** argv) {
     }
 
     bool any_error = false, any_warning = false;
+    core::PipelineStats ingest_stats;
+    core::QuarantineReport quarantine;
     size_t index = 0;
     for (const x509::PemBlock& block : blocks.value()) {
         if (block.label != "CERTIFICATE") continue;
         auto cert = x509::parse_certificate(block.der);
         if (!cert.ok()) {
-            std::printf("certificate #%zu: PARSE ERROR: %s\n", index++,
+            std::printf("certificate #%zu: PARSE ERROR: %s\n", index,
                         cert.error().message.c_str());
+            quarantine.records.push_back(
+                {index, core::QuarantineStage::kParse, cert.error()});
+            ++ingest_stats.quarantined;
+            ++index;
             any_error = true;
             continue;
         }
@@ -133,7 +145,12 @@ int main(int argc, char** argv) {
                             f.lint->name.c_str(), f.detail.c_str());
             }
         }
+        ++ingest_stats.processed;
         ++index;
+    }
+    if (stats) {
+        std::printf("\n%s", core::render_pipeline_stats(ingest_stats).c_str());
+        std::printf("%s", core::render_quarantine_report(quarantine).c_str());
     }
     return any_error ? 2 : (any_warning ? 1 : 0);
 }
