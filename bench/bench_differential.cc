@@ -1,0 +1,115 @@
+// Microbenchmark for the supervised execution layer: how much does
+// wrapping every profile call in budget accounting (BudgetGuard ticks,
+// wall-clock reads, exception fences) cost relative to the plain
+// DifferentialRunner? Reports evaluations/sec for both engines over
+// the full Table 4 grid and emits a BENCH_differential.json baseline
+// so later sessions can detect regressions in the containment path.
+#include "bench_common.h"
+
+#include <chrono>
+#include <string>
+
+#include "tlslib/supervisor.h"
+
+using namespace unicert;
+using tlslib::DifferentialRunner;
+using tlslib::Library;
+using tlslib::Scenario;
+using tlslib::Supervisor;
+
+namespace {
+
+struct Measurement {
+    size_t evaluations = 0;
+    double seconds = 0.0;
+    double per_sec() const { return seconds > 0.0 ? evaluations / seconds : 0.0; }
+};
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Measurement bench_unsupervised(int repetitions) {
+    DifferentialRunner runner;
+    Measurement m;
+    const double start = now_seconds();
+    for (int rep = 0; rep < repetitions; ++rep) {
+        for (const Scenario& scenario : Supervisor::table4_scenarios()) {
+            for (Library lib : tlslib::kAllLibraries) {
+                (void)runner.infer(lib, scenario);
+                ++m.evaluations;
+            }
+        }
+    }
+    m.seconds = now_seconds() - start;
+    return m;
+}
+
+Measurement bench_supervised(int repetitions) {
+    Measurement m;
+    const double start = now_seconds();
+    for (int rep = 0; rep < repetitions; ++rep) {
+        Supervisor supervisor;
+        for (const Scenario& scenario : Supervisor::table4_scenarios()) {
+            for (Library lib : tlslib::kAllLibraries) {
+                (void)supervisor.evaluate(lib, scenario);
+                ++m.evaluations;
+            }
+        }
+    }
+    m.seconds = now_seconds() - start;
+    return m;
+}
+
+void write_json(const char* path, const Measurement& plain, const Measurement& supervised,
+                double overhead_pct) {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"bench_differential\",\n");
+    std::fprintf(f, "  \"grid\": \"table4 scenarios x 9 libraries\",\n");
+    std::fprintf(f, "  \"unsupervised\": {\"evaluations\": %zu, \"seconds\": %.6f, \"evals_per_sec\": %.1f},\n",
+                 plain.evaluations, plain.seconds, plain.per_sec());
+    std::fprintf(f, "  \"supervised\": {\"evaluations\": %zu, \"seconds\": %.6f, \"evals_per_sec\": %.1f},\n",
+                 supervised.evaluations, supervised.seconds, supervised.per_sec());
+    std::fprintf(f, "  \"supervision_overhead_pct\": %.2f\n", overhead_pct);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int repetitions = 20;
+    if (argc > 1) repetitions = std::max(1, std::atoi(argv[1]));
+
+    bench::print_header("Differential engine — supervised vs unsupervised throughput",
+                        "Section 3.2 inference; DESIGN.md supervised execution");
+
+    // Warm-up: touch both paths once so lazy statics are initialised
+    // outside the timed region.
+    (void)bench_unsupervised(1);
+    (void)bench_supervised(1);
+
+    Measurement plain = bench_unsupervised(repetitions);
+    Measurement supervised = bench_supervised(repetitions);
+    const double overhead_pct =
+        plain.per_sec() > 0.0 ? (plain.per_sec() / std::max(supervised.per_sec(), 1e-9) - 1.0) * 100.0
+                              : 0.0;
+
+    std::printf("repetitions          | %d full Table 4 grids per engine\n", repetitions);
+    std::printf("unsupervised         | %zu evaluations in %.3fs  (%.0f evals/sec)\n",
+                plain.evaluations, plain.seconds, plain.per_sec());
+    std::printf("supervised           | %zu evaluations in %.3fs  (%.0f evals/sec)\n",
+                supervised.evaluations, supervised.seconds, supervised.per_sec());
+    std::printf("supervision overhead | %.2f%%\n\n", overhead_pct);
+
+    write_json("BENCH_differential.json", plain, supervised, overhead_pct);
+    std::printf("baseline written to BENCH_differential.json\n");
+    return 0;
+}

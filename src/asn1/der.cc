@@ -23,7 +23,7 @@ Expected<Tlv> read_tlv(BytesView data) {
         if (num > sizeof(size_t)) {
             return Error{"der_length_too_large", "length field too wide", pos - 1};
         }
-        if (pos + num > data.size()) {
+        if (num > data.size() - pos) {
             return Error{"der_truncated", "length octets truncated", pos};
         }
         uint8_t first_len_octet = data[pos];
@@ -37,7 +37,10 @@ Expected<Tlv> read_tlv(BytesView data) {
         }
     }
 
-    if (pos + length > data.size()) {
+    // Compare against the remaining bytes rather than `pos + length`:
+    // an 8-octet length near SIZE_MAX would wrap the addition and slip
+    // past the bound.
+    if (length > data.size() - pos) {
         return Error{"der_truncated", "content extends past end of buffer", pos};
     }
 
@@ -47,6 +50,38 @@ Expected<Tlv> read_tlv(BytesView data) {
     out.total_len = pos + length;
     out.content = data.subspan(pos, length);
     return out;
+}
+
+Status check_nesting(BytesView data, size_t max_depth) {
+    // Iterative sibling walk: the stack holds the unread remainder of
+    // each constructed level, so stack depth == nesting depth and a
+    // nesting bomb cannot recurse the C++ stack.
+    std::vector<BytesView> stack;
+    stack.push_back(data);
+    while (!stack.empty()) {
+        BytesView& level = stack.back();
+        if (level.empty()) {
+            stack.pop_back();
+            continue;
+        }
+        auto tlv = read_tlv(level);
+        if (!tlv.ok()) {
+            // Only depth is this guard's concern; malformed TLVs are
+            // reported with full context by whichever consumer reads
+            // them. Skip the rest of the level.
+            stack.pop_back();
+            continue;
+        }
+        level = level.subspan(tlv->total_len);
+        if (tlv->is_constructed() && !tlv->content.empty()) {
+            if (stack.size() >= max_depth) {
+                return Error{"der_nesting_too_deep",
+                             "TLV nesting exceeds depth " + std::to_string(max_depth)};
+            }
+            stack.push_back(tlv->content);
+        }
+    }
+    return Status::success();
 }
 
 Expected<Tlv> Reader::next() {

@@ -64,6 +64,16 @@ private:
 // Parse one TLV at the front of `data`.
 Expected<Tlv> read_tlv(BytesView data);
 
+// Deepest TLV nesting a well-formed certificate plausibly needs; DER
+// documents nested deeper are treated as resource-exhaustion bombs.
+inline constexpr size_t kMaxNestingDepth = 64;
+
+// Walk the whole TLV tree (iteratively — bounded memory, no C++
+// recursion) and reject documents nested deeper than `max_depth`.
+// Malformed TLVs are skipped, not reported: this is purely the
+// nesting guard, run before full parsing.
+Status check_nesting(BytesView data, size_t max_depth = kMaxNestingDepth);
+
 // ---- Primitive value decoders ---------------------------------------------
 
 // Small-integer decode (fits int64); X.509 versions/serial flags use this.

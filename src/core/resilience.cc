@@ -62,6 +62,28 @@ FailureAction classify_failure(const Error& e) noexcept {
     return FailureAction::kQuarantine;
 }
 
+Status BudgetGuard::tick(uint64_t steps) {
+    steps_ += steps;
+    if (limits_.max_steps > 0 && steps_ > limits_.max_steps) {
+        return Error{"budget_steps",
+                     "step budget exceeded: " + std::to_string(steps_) + " > " +
+                         std::to_string(limits_.max_steps)};
+    }
+    return check();
+}
+
+Status BudgetGuard::check() const {
+    if (limits_.wall_ms > 0) {
+        int64_t elapsed = elapsed_ms();
+        if (elapsed > limits_.wall_ms) {
+            return Error{"budget_deadline",
+                         "wall budget exceeded: " + std::to_string(elapsed) + "ms > " +
+                             std::to_string(limits_.wall_ms) + "ms"};
+        }
+    }
+    return Status::success();
+}
+
 int64_t RetryPolicy::backoff_ms(int attempt) const noexcept {
     if (attempt < 1) attempt = 1;
     double base = static_cast<double>(initial_backoff_ms);

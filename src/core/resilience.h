@@ -79,6 +79,38 @@ struct RetryPolicy {
     int64_t backoff_ms(int attempt) const noexcept;
 };
 
+// Cooperative execution budget for one supervised operation: a
+// wall-clock deadline plus a step limit, both measured against the
+// injectable Clock so budget tests burn simulated time only. The
+// supervised differential engine charges one step per profile call and
+// aborts the evaluation when tick() reports a blown budget.
+class BudgetGuard {
+public:
+    struct Limits {
+        int64_t wall_ms = 0;     // 0 = unbounded
+        uint64_t max_steps = 0;  // 0 = unbounded
+    };
+
+    BudgetGuard(Limits limits, Clock& clock)
+        : limits_(limits), clock_(&clock), start_ms_(clock.now_ms()) {}
+
+    // Account `steps` units of work, then check both budgets. Error
+    // codes: "budget_deadline" (wall clock) / "budget_steps".
+    Status tick(uint64_t steps = 1);
+
+    // Re-check without consuming steps (e.g. after a call returns).
+    Status check() const;
+
+    uint64_t steps_used() const noexcept { return steps_; }
+    int64_t elapsed_ms() const { return clock_->now_ms() - start_ms_; }
+
+private:
+    Limits limits_;
+    Clock* clock_;
+    int64_t start_ms_;
+    uint64_t steps_ = 0;
+};
+
 // Attempt accounting for one retried operation.
 struct RetryOutcome {
     int attempts = 1;     // tries made (>= 1)

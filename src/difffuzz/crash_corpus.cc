@@ -1,0 +1,173 @@
+#include "difffuzz/crash_corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace unicert::difffuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kMagic = "unicert-crash-v1";
+
+// Filesystem-safe library slug ("Golang Crypto" -> "golang_crypto").
+std::string library_slug(tlslib::Library lib) {
+    std::string slug = tlslib::library_name(lib);
+    for (char& c : slug) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+        if (c == ' ' || c == '.') c = '_';
+    }
+    return slug;
+}
+
+template <typename T, typename Range, typename NameFn>
+std::optional<T> match_name(std::string_view name, const Range& range, NameFn name_of) {
+    for (T candidate : range) {
+        if (name == name_of(candidate)) return candidate;
+    }
+    return std::nullopt;
+}
+
+constexpr std::array<tlslib::EvalOutcome, 7> kAllOutcomes = {
+    tlslib::EvalOutcome::kOk,           tlslib::EvalOutcome::kUnsupported,
+    tlslib::EvalOutcome::kParseRefusal, tlslib::EvalOutcome::kDivergence,
+    tlslib::EvalOutcome::kCrash,        tlslib::EvalOutcome::kHang,
+    tlslib::EvalOutcome::kOversizeOutput,
+};
+
+constexpr std::array<asn1::StringType, 8> kAllStringTypes = {
+    asn1::StringType::kUtf8String,      asn1::StringType::kNumericString,
+    asn1::StringType::kPrintableString, asn1::StringType::kIa5String,
+    asn1::StringType::kVisibleString,   asn1::StringType::kUniversalString,
+    asn1::StringType::kBmpString,       asn1::StringType::kTeletexString,
+};
+
+constexpr std::array<tlslib::FieldContext, 3> kAllContexts = {
+    tlslib::FieldContext::kDnName,
+    tlslib::FieldContext::kGeneralName,
+    tlslib::FieldContext::kCrlDp,
+};
+
+}  // namespace
+
+std::string bucket_key(const CrashEntry& e) {
+    return library_slug(e.lib) + "." + tlslib::eval_outcome_name(e.outcome) + "." + e.signature;
+}
+
+std::string serialize_entry(const CrashEntry& e) {
+    std::ostringstream out;
+    out << kMagic << "\n";
+    out << "library: " << tlslib::library_name(e.lib) << "\n";
+    out << "string_type: " << asn1::string_type_name(e.scenario.declared) << "\n";
+    out << "context: " << tlslib::field_context_name(e.scenario.context) << "\n";
+    out << "outcome: " << tlslib::eval_outcome_name(e.outcome) << "\n";
+    out << "signature: " << e.signature << "\n";
+    out << "detail: " << e.detail << "\n";
+    out << "payload: " << hex_encode(e.payload) << "\n";
+    return out.str();
+}
+
+Expected<CrashEntry> parse_entry(std::string_view text) {
+    std::istringstream in{std::string(text)};
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic) {
+        return Error{"corpus_bad_magic", "not a unicert-crash-v1 entry"};
+    }
+    CrashEntry e;
+    bool have_lib = false, have_outcome = false, have_payload = false;
+    while (std::getline(in, line)) {
+        size_t colon = line.find(": ");
+        if (colon == std::string::npos) continue;
+        std::string_view key(line.data(), colon);
+        std::string_view value(line.data() + colon + 2, line.size() - colon - 2);
+        if (key == "library") {
+            auto lib = match_name<tlslib::Library>(value, tlslib::kAllLibraries,
+                                                   tlslib::library_name);
+            if (!lib) return Error{"corpus_bad_library", "unknown library " + std::string(value)};
+            e.lib = *lib;
+            have_lib = true;
+        } else if (key == "string_type") {
+            auto st = match_name<asn1::StringType>(value, kAllStringTypes,
+                                                   asn1::string_type_name);
+            if (!st) return Error{"corpus_bad_string_type", std::string(value)};
+            e.scenario.declared = *st;
+        } else if (key == "context") {
+            auto ctx = match_name<tlslib::FieldContext>(value, kAllContexts,
+                                                        tlslib::field_context_name);
+            if (!ctx) return Error{"corpus_bad_context", std::string(value)};
+            e.scenario.context = *ctx;
+        } else if (key == "outcome") {
+            auto o = match_name<tlslib::EvalOutcome>(value, kAllOutcomes,
+                                                     tlslib::eval_outcome_name);
+            if (!o) return Error{"corpus_bad_outcome", std::string(value)};
+            e.outcome = *o;
+            have_outcome = true;
+        } else if (key == "signature") {
+            e.signature = std::string(value);
+        } else if (key == "detail") {
+            e.detail = std::string(value);
+        } else if (key == "payload") {
+            e.payload = hex_decode(value);
+            if (e.payload.empty() && !value.empty()) {
+                return Error{"corpus_bad_payload", "payload is not valid hex"};
+            }
+            have_payload = true;
+        }
+    }
+    if (!have_lib || !have_outcome || !have_payload) {
+        return Error{"corpus_incomplete_entry", "missing library/outcome/payload line"};
+    }
+    return e;
+}
+
+CrashCorpus::CrashCorpus(std::string dir) : dir_(std::move(dir)) {
+    if (!dir_.empty()) {
+        std::error_code ec;
+        fs::create_directories(dir_, ec);  // best-effort; persist() reports failures
+    }
+}
+
+bool CrashCorpus::add(const CrashEntry& e) {
+    std::string key = bucket_key(e);
+    auto [it, inserted] = entries_.emplace(key, e);
+    if (inserted) persist(e);
+    return inserted;
+}
+
+void CrashCorpus::update(const CrashEntry& e) {
+    entries_[bucket_key(e)] = e;
+    persist(e);
+}
+
+bool CrashCorpus::contains(const std::string& key) const { return entries_.count(key) > 0; }
+
+void CrashCorpus::persist(const CrashEntry& e) const {
+    if (dir_.empty()) return;
+    fs::path path = fs::path(dir_) / (bucket_key(e) + ".crash");
+    std::ofstream out(path);
+    out << serialize_entry(e);
+}
+
+Status CrashCorpus::load() {
+    entries_.clear();
+    if (dir_.empty()) return Status::success();
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec) return Error{"corpus_unreadable", "cannot read corpus dir " + dir_};
+    for (const fs::directory_entry& file : it) {
+        if (file.path().extension() != ".crash") continue;
+        std::ifstream in(file.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+        auto entry = parse_entry(text.str());
+        if (!entry.ok()) {
+            return Error{entry.error().code,
+                         file.path().filename().string() + ": " + entry.error().message};
+        }
+        entries_[bucket_key(entry.value())] = std::move(entry).value();
+    }
+    return Status::success();
+}
+
+}  // namespace unicert::difffuzz

@@ -1,0 +1,69 @@
+// unicert/difffuzz/crash_corpus.h
+//
+// Triaged, deduplicated corpus of inputs that made a supervised
+// differential evaluation fail. Every failing input is bucketed by
+// (library × outcome × divergence signature); one minimized
+// representative per bucket is kept, and — when a directory is
+// configured — persisted as a small self-describing text file so
+// `unicert_diff --replay` can re-run every bucket deterministically.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "tlslib/supervisor.h"
+
+namespace unicert::difffuzz {
+
+// One failing input. `payload` is the full (minimized) DER input the
+// fuzzer fed to the engine; the scenario is re-derived from it on
+// replay, the copy here is for triage display.
+struct CrashEntry {
+    tlslib::Library lib{};
+    tlslib::Scenario scenario{};
+    tlslib::EvalOutcome outcome = tlslib::EvalOutcome::kCrash;
+    std::string signature;  // divergence/crash signature (hex, 16 chars)
+    std::string detail;     // one-line diagnostic
+    Bytes payload;
+};
+
+// Stable dedup key: "<library-slug>.<outcome>.<signature>".
+std::string bucket_key(const CrashEntry& e);
+
+// The on-disk text format (versioned, hex payload).
+std::string serialize_entry(const CrashEntry& e);
+Expected<CrashEntry> parse_entry(std::string_view text);
+
+class CrashCorpus {
+public:
+    // Empty `dir` keeps the corpus in memory only.
+    explicit CrashCorpus(std::string dir = {});
+
+    const std::string& dir() const noexcept { return dir_; }
+
+    // Insert (and persist) the entry unless its bucket already exists.
+    // Returns true when the bucket is new.
+    bool add(const CrashEntry& e);
+
+    // Replace the representative for an existing bucket (after
+    // minimization shrank its payload).
+    void update(const CrashEntry& e);
+
+    bool contains(const std::string& key) const;
+    size_t size() const noexcept { return entries_.size(); }
+    const std::map<std::string, CrashEntry>& entries() const noexcept { return entries_; }
+
+    // Load every *.crash file from `dir`, replacing in-memory state.
+    Status load();
+
+private:
+    void persist(const CrashEntry& e) const;
+
+    std::string dir_;
+    std::map<std::string, CrashEntry> entries_;
+};
+
+}  // namespace unicert::difffuzz

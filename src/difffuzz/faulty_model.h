@@ -1,0 +1,61 @@
+// unicert/difffuzz/faulty_model.h
+//
+// Misbehaving library-model double for supervised-engine testing and
+// fuzz demos: wraps a base LibraryModel and deterministically injects
+// crashes (throws), hangs (burns injected-clock time inside the call)
+// and oversize outputs. The decision for one call is a pure hash of
+// (seed, library, payload bytes) — NOT a call counter — so a corpus
+// entry replayed later triggers exactly the fault that created it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/resilience.h"
+#include "tlslib/model.h"
+
+namespace unicert::difffuzz {
+
+struct FaultyModelOptions {
+    uint64_t seed = 1;
+    double crash_rate = 0.0;
+    double hang_rate = 0.0;
+    double oversize_rate = 0.0;
+    int64_t hang_ms = 60'000;           // simulated time one hang consumes
+    size_t oversize_bytes = 4u << 20;   // size of an injected flood output
+    // When non-empty, only these libraries misbehave.
+    std::vector<tlslib::Library> only;
+};
+
+class FaultyModel final : public tlslib::LibraryModel {
+public:
+    FaultyModel(tlslib::LibraryModel& base, FaultyModelOptions options, core::Clock& clock)
+        : base_(&base), options_(options), clock_(&clock) {}
+
+    const FaultyModelOptions& options() const noexcept { return options_; }
+    size_t injected_faults() const noexcept { return injected_; }
+
+    tlslib::DecodeBehavior probe_decode(tlslib::Library lib, asn1::StringType st,
+                                        tlslib::FieldContext ctx) override;
+    tlslib::TextBehavior probe_text(tlslib::Library lib, tlslib::FieldContext ctx) override;
+    tlslib::ParseOutcome parse_attribute(tlslib::Library lib,
+                                         const x509::AttributeValue& av) override;
+    tlslib::ParseOutcome parse_general_name(tlslib::Library lib, const x509::GeneralName& gn,
+                                            tlslib::FieldContext ctx) override;
+    tlslib::ParseOutcome format_dn(tlslib::Library lib,
+                                   const x509::DistinguishedName& dn) override;
+    tlslib::ParseOutcome format_san(tlslib::Library lib,
+                                    const x509::GeneralNames& names) override;
+
+private:
+    // Throws / sleeps / returns an oversize outcome when the channel
+    // hash fires; returns nullopt to mean "forward to the base model".
+    std::optional<tlslib::ParseOutcome> maybe_fault(tlslib::Library lib, BytesView payload);
+
+    tlslib::LibraryModel* base_;
+    FaultyModelOptions options_;
+    core::Clock* clock_;
+    size_t injected_ = 0;
+};
+
+}  // namespace unicert::difffuzz

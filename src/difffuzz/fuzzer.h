@@ -1,0 +1,92 @@
+// unicert/difffuzz/fuzzer.h
+//
+// Structure-aware differential fuzz loop over the supervised engine.
+// Seed DER inputs (string TLVs of each scenario family) are mutated by
+// faultsim::DerMutator, decoded back into a (string type, value bytes)
+// scenario, and run through every library model under the Supervisor's
+// containment budget. Two failure sources feed the crash corpus:
+//   - containment failures (crash / hang / oversize-output) of one
+//     library model on one input;
+//   - cross-library divergences, where the supported libraries split
+//     into accept and reject camps; the minority camp is bucketed
+//     under a signature of the full 9-library accept/reject pattern.
+// Everything is a pure function of (options.seed, input bytes), so
+// `unicert_diff --replay` re-triggers every bucket deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resilience.h"
+#include "difffuzz/crash_corpus.h"
+#include "tlslib/supervisor.h"
+
+namespace unicert::difffuzz {
+
+struct FuzzOptions {
+    uint64_t seed = 1;
+    size_t iterations = 256;  // mutated inputs per run()
+    tlslib::FieldContext context = tlslib::FieldContext::kDnName;
+    tlslib::EvalBudget budget;   // per-call containment budget
+    bool minimize = true;        // delta-debug new buckets
+    size_t reduce_checks = 200;  // predicate budget per minimization
+};
+
+struct FuzzStats {
+    size_t inputs = 0;       // mutated inputs evaluated
+    size_t evaluations = 0;  // (library, input) model evaluations run
+    size_t failures = 0;     // failing (library, input) pairs observed
+    size_t new_buckets = 0;  // corpus buckets created this run
+    size_t minimized = 0;    // buckets whose payload shrank
+};
+
+// Outcome of one (library, input) contained evaluation.
+struct InputEval {
+    tlslib::Library lib{};
+    tlslib::EvalOutcome outcome = tlslib::EvalOutcome::kOk;
+    std::string signature;  // set for failure outcomes
+    std::string detail;
+};
+
+class DiffFuzzer {
+public:
+    explicit DiffFuzzer(CrashCorpus& corpus, FuzzOptions options = {},
+                        tlslib::LibraryModel& model = tlslib::builtin_model(),
+                        core::Clock& clock = core::system_clock());
+
+    const FuzzOptions& options() const noexcept { return options_; }
+
+    // The fuzz loop: mutate seeds, evaluate, bucket + minimize
+    // failures into the corpus. Never throws on model misbehaviour.
+    FuzzStats run();
+
+    // Run one DER input through all nine library models, contained.
+    // Returns one entry per library (kOk/kUnsupported included).
+    std::vector<InputEval> evaluate_input(BytesView der);
+
+    // Re-run every corpus bucket and check the same (library, outcome,
+    // signature) reproduces. Returns the number reproduced; bucket keys
+    // that did not are appended to `unreproduced` when non-null.
+    size_t replay(std::vector<std::string>* unreproduced = nullptr);
+
+    // How a raw DER input maps onto an engine scenario: descend through
+    // constructed TLVs to the first primitive leaf; a universal string
+    // tag selects the declared type, anything else defaults to
+    // UTF8String with the raw buffer as value bytes.
+    static tlslib::Scenario derive_scenario(BytesView der, tlslib::FieldContext ctx);
+    static Bytes derive_value(BytesView der);
+
+    // The deterministic seed inputs the mutator starts from.
+    static std::vector<Bytes> seed_inputs();
+
+private:
+    InputEval contain_call(tlslib::Library lib, const tlslib::Scenario& scenario,
+                           const Bytes& value);
+
+    CrashCorpus* corpus_;
+    FuzzOptions options_;
+    tlslib::LibraryModel* model_;
+    core::Clock* clock_;
+};
+
+}  // namespace unicert::difffuzz

@@ -1,0 +1,84 @@
+#include "difffuzz/reducer.h"
+
+#include <algorithm>
+
+#include "asn1/der.h"
+
+namespace unicert::difffuzz {
+namespace {
+
+// Budgeted predicate wrapper.
+struct Checker {
+    const std::function<bool(BytesView)>& predicate;
+    size_t remaining;
+
+    bool operator()(BytesView candidate) {
+        if (remaining == 0) return false;
+        --remaining;
+        return predicate(candidate);
+    }
+};
+
+// Structure pass: while the whole buffer is one constructed TLV whose
+// child region still reproduces, descend into it. Collapses deep
+// wrapper shells (nesting inflation) without O(n^2) byte work.
+Bytes unwrap_pass(Bytes current, Checker& check) {
+    for (;;) {
+        auto tlv = asn1::read_tlv(current);
+        if (!tlv.ok() || !tlv->is_constructed() || tlv->content.empty() ||
+            tlv->total_len != current.size()) {
+            return current;
+        }
+        Bytes child(tlv->content.begin(), tlv->content.end());
+        if (!check(child)) return current;
+        current = std::move(child);
+    }
+}
+
+// Classic ddmin-style chunk deletion: try removing aligned chunks at
+// decreasing granularity, restarting whenever a deletion sticks.
+Bytes ddmin_pass(Bytes current, Checker& check) {
+    size_t chunk = current.size() / 2;
+    while (chunk >= 1 && check.remaining > 0) {
+        bool shrunk = false;
+        for (size_t start = 0; start + chunk <= current.size() && check.remaining > 0;) {
+            Bytes candidate;
+            candidate.reserve(current.size() - chunk);
+            candidate.insert(candidate.end(), current.begin(),
+                             current.begin() + static_cast<long>(start));
+            candidate.insert(candidate.end(),
+                             current.begin() + static_cast<long>(start + chunk),
+                             current.end());
+            if (!candidate.empty() && check(candidate)) {
+                current = std::move(candidate);
+                shrunk = true;
+                // Keep `start` in place: the next chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if (!shrunk) chunk /= 2;
+        else chunk = std::min(chunk, current.size() / 2);
+        if (chunk == 0) break;
+    }
+    return current;
+}
+
+}  // namespace
+
+Bytes reduce(BytesView input, const std::function<bool(BytesView)>& still_fails,
+             size_t max_checks) {
+    Checker check{still_fails, max_checks};
+    Bytes current(input.begin(), input.end());
+    // Alternate passes until a fixpoint: unwrapping can expose new
+    // deletable bytes and vice versa.
+    for (;;) {
+        size_t before = current.size();
+        current = unwrap_pass(std::move(current), check);
+        current = ddmin_pass(std::move(current), check);
+        if (current.size() >= before || check.remaining == 0) break;
+    }
+    return current;
+}
+
+}  // namespace unicert::difffuzz

@@ -1,0 +1,23 @@
+// unicert/difffuzz/reducer.h
+//
+// Delta-debugging DER reducer: shrink a failing input to a (locally)
+// minimal payload that still reproduces the same failure bucket. Two
+// passes compose: a structure-aware unwrap pass (replace the buffer
+// with one of its TLV children — collapses nesting-inflation bombs in
+// O(depth) steps) and classic ddmin chunk deletion over the raw bytes.
+// Purely deterministic: no randomness, fixed scan order.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+
+namespace unicert::difffuzz {
+
+// `still_fails` must return true when the candidate reproduces the
+// original failure. The input itself is assumed to fail. Returns the
+// smallest reproducer found within `max_checks` predicate calls.
+Bytes reduce(BytesView input, const std::function<bool(BytesView)>& still_fails,
+             size_t max_checks = 2000);
+
+}  // namespace unicert::difffuzz

@@ -1,0 +1,202 @@
+#include "faultsim/der_mutator.h"
+
+#include <vector>
+
+#include "asn1/der.h"
+#include "asn1/strings.h"
+
+namespace unicert::faultsim {
+namespace {
+
+// splitmix64, same mixer as FaultPlan: schedules stay order-independent.
+uint64_t mix64(uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+// One TLV node located in the buffer.
+struct Node {
+    size_t offset = 0;      // of the identifier octet
+    size_t header_len = 0;  // tag + length octets
+    size_t total_len = 0;   // header + content
+    uint8_t identifier = 0;
+};
+
+// Collect TLV nodes breadth-first (bounded: the input is untrusted).
+std::vector<Node> collect_nodes(BytesView der) {
+    constexpr size_t kMaxNodes = 256;
+    constexpr size_t kMaxDepth = 48;
+    std::vector<Node> nodes;
+    // (buffer offset, view, depth) work list.
+    std::vector<std::pair<std::pair<size_t, size_t>, size_t>> work = {{{0, der.size()}, 0}};
+    while (!work.empty() && nodes.size() < kMaxNodes) {
+        auto [range, depth] = work.back();
+        work.pop_back();
+        size_t pos = range.first;
+        const size_t end = range.first + range.second;
+        while (pos < end && nodes.size() < kMaxNodes) {
+            auto tlv = asn1::read_tlv(der.subspan(pos, end - pos));
+            if (!tlv.ok()) break;
+            nodes.push_back({pos, tlv->header_len, tlv->total_len, tlv->identifier});
+            if (tlv->is_constructed() && depth < kMaxDepth && !tlv->content.empty()) {
+                work.push_back({{pos + tlv->header_len, tlv->content.size()}, depth + 1});
+            }
+            pos += tlv->total_len;
+        }
+    }
+    return nodes;
+}
+
+const uint8_t kStringTags[] = {
+    static_cast<uint8_t>(asn1::Tag::kUtf8String),
+    static_cast<uint8_t>(asn1::Tag::kPrintableString),
+    static_cast<uint8_t>(asn1::Tag::kIa5String),
+    static_cast<uint8_t>(asn1::Tag::kNumericString),
+    static_cast<uint8_t>(asn1::Tag::kTeletexString),
+    static_cast<uint8_t>(asn1::Tag::kVisibleString),
+    static_cast<uint8_t>(asn1::Tag::kBmpString),
+    static_cast<uint8_t>(asn1::Tag::kUniversalString),
+};
+
+Bytes byte_noise(BytesView der, uint64_t state) {
+    Bytes out(der.begin(), der.end());
+    if (out.empty()) return {0x3F, 0x03, 0x01};  // reserved high-tag fragment
+    auto next = [&state]() {
+        state = mix64(state);
+        return state;
+    };
+    size_t flips = 1 + next() % 4;
+    for (size_t i = 0; i < flips; ++i) {
+        out[next() % out.size()] ^= static_cast<uint8_t>(1u << (next() % 8));
+    }
+    if (next() % 5 == 0) out.resize(1 + next() % out.size());
+    if (next() % 8 == 0) out.push_back(static_cast<uint8_t>(next() % 256));
+    return out;
+}
+
+}  // namespace
+
+const char* der_mutation_name(DerMutation m) noexcept {
+    switch (m) {
+        case DerMutation::kTagFlip: return "tag_flip";
+        case DerMutation::kStringTypeSwap: return "string_type_swap";
+        case DerMutation::kLengthBomb: return "length_bomb";
+        case DerMutation::kTruncate: return "truncate";
+        case DerMutation::kNestingInflate: return "nesting_inflate";
+        case DerMutation::kByteNoise: return "byte_noise";
+    }
+    return "?";
+}
+
+DerMutation DerMutator::pick(uint64_t salt) const noexcept {
+    uint64_t h = mix64(seed_ ^ mix64(salt ^ 0xD15EA5E0ULL));
+    return kAllDerMutations[h % kAllDerMutations.size()];
+}
+
+Bytes DerMutator::mutate(BytesView der, uint64_t salt) const {
+    return apply(pick(salt), der, salt);
+}
+
+Bytes DerMutator::apply(DerMutation m, BytesView der, uint64_t salt) const {
+    uint64_t state = mix64(seed_ ^ mix64(salt));
+    auto next = [&state]() {
+        state = mix64(state);
+        return state;
+    };
+
+    std::vector<Node> nodes = collect_nodes(der);
+    if (nodes.empty() || m == DerMutation::kByteNoise) return byte_noise(der, next());
+
+    Bytes out(der.begin(), der.end());
+    switch (m) {
+        case DerMutation::kTagFlip: {
+            const Node& n = nodes[next() % nodes.size()];
+            // New tag number in the same class; constructed bit kept so
+            // lengths stay plausible. Tag number 31 (0x1F) announces a
+            // multi-byte tag, which the reader rejects — also a case.
+            out[n.offset] = static_cast<uint8_t>((n.identifier & 0xE0) | (next() % 32));
+            return out;
+        }
+
+        case DerMutation::kStringTypeSwap: {
+            // Retag a character-string TLV as a different string type:
+            // the exact declared-type-vs-content mismatch the paper's
+            // Table 4 scenarios probe.
+            std::vector<const Node*> strings;
+            for (const Node& n : nodes) {
+                if (n.identifier == (n.identifier & 0x1F) &&
+                    asn1::string_type_from_tag(n.identifier & 0x1F).has_value()) {
+                    strings.push_back(&n);
+                }
+            }
+            if (strings.empty()) return byte_noise(der, next());
+            const Node& n = *strings[next() % strings.size()];
+            uint8_t replacement = kStringTags[next() % std::size(kStringTags)];
+            if (replacement == (n.identifier & 0x1F)) {
+                replacement = kStringTags[(next() + 1) % std::size(kStringTags)];
+            }
+            out[n.offset] = replacement;
+            return out;
+        }
+
+        case DerMutation::kLengthBomb: {
+            // Replace the node's length octets with a long-form length
+            // claiming vastly more content than the buffer holds.
+            const Node& n = nodes[next() % nodes.size()];
+            Bytes bomb;
+            bomb.push_back(out[n.offset]);  // keep identifier
+            if (next() % 2 == 0) {
+                // 4-byte length near 4 GiB.
+                bomb.insert(bomb.end(), {0x84, 0xFF, 0xFF, 0xFF, 0xF1});
+            } else {
+                // 8-byte length: exercises the size_t overflow path.
+                bomb.insert(bomb.end(), {0x88, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xF1});
+            }
+            Bytes result(out.begin(), out.begin() + static_cast<long>(n.offset));
+            result.insert(result.end(), bomb.begin(), bomb.end());
+            result.insert(result.end(), out.begin() + static_cast<long>(n.offset + n.header_len),
+                          out.end());
+            return result;
+        }
+
+        case DerMutation::kTruncate: {
+            const Node& n = nodes[next() % nodes.size()];
+            // Cut strictly inside the TLV: header survives, content is
+            // short — the der_truncated family.
+            size_t keep = n.offset + 1 + next() % std::max<size_t>(1, n.total_len - 1);
+            out.resize(keep);
+            return out;
+        }
+
+        case DerMutation::kNestingInflate: {
+            // Wrap a node in K extra constructed SEQUENCE layers.
+            // K straddles the parser's 64-deep guard so the fuzzer
+            // exercises both the accept and reject side of it.
+            const Node& n = nodes[next() % nodes.size()];
+            size_t layers = 48 + next() % 48;  // 48..95
+            Bytes wrapped(out.begin() + static_cast<long>(n.offset),
+                          out.begin() + static_cast<long>(n.offset + n.total_len));
+            for (size_t i = 0; i < layers; ++i) {
+                Bytes shell;
+                shell.push_back(0x30);
+                Bytes len = asn1::encode_length(wrapped.size());
+                shell.insert(shell.end(), len.begin(), len.end());
+                shell.insert(shell.end(), wrapped.begin(), wrapped.end());
+                wrapped = std::move(shell);
+            }
+            Bytes result(out.begin(), out.begin() + static_cast<long>(n.offset));
+            result.insert(result.end(), wrapped.begin(), wrapped.end());
+            result.insert(result.end(), out.begin() + static_cast<long>(n.offset + n.total_len),
+                          out.end());
+            return result;
+        }
+
+        case DerMutation::kByteNoise:
+            break;  // handled above
+    }
+    return byte_noise(der, next());
+}
+
+}  // namespace unicert::faultsim

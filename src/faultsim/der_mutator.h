@@ -1,0 +1,60 @@
+// unicert/faultsim/der_mutator.h
+//
+// Structure-aware X.509/DER mutator for the differential fuzz loop.
+// Where FaultPlan::mutate_der flips random bits, the DerMutator first
+// walks the TLV tree and then mutates *structurally*: tag flips,
+// string-type swaps, length bombs, truncations inside a chosen TLV,
+// and nesting inflation (wrapping a node in dozens of extra SEQUENCE
+// layers, which is exactly what the asn1 nesting-depth guard must
+// absorb). Like FaultPlan, every decision is a pure hash of
+// (seed, salt): the same seed replays the same mutation stream
+// regardless of call order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace unicert::faultsim {
+
+enum class DerMutation {
+    kTagFlip,         // rewrite one identifier octet's tag number
+    kStringTypeSwap,  // retag a character-string TLV as another string type
+    kLengthBomb,      // length field claiming far more content than exists
+    kTruncate,        // cut the buffer inside a chosen TLV
+    kNestingInflate,  // wrap a node in many extra SEQUENCE layers
+    kByteNoise,       // unstructured bit flips / resize fallback
+};
+
+const char* der_mutation_name(DerMutation m) noexcept;
+
+inline constexpr std::array<DerMutation, 6> kAllDerMutations = {
+    DerMutation::kTagFlip,   DerMutation::kStringTypeSwap, DerMutation::kLengthBomb,
+    DerMutation::kTruncate,  DerMutation::kNestingInflate, DerMutation::kByteNoise,
+};
+
+class DerMutator {
+public:
+    explicit DerMutator(uint64_t seed) : seed_(seed) {}
+
+    uint64_t seed() const noexcept { return seed_; }
+
+    // The mutation `mutate` would pick for this salt.
+    DerMutation pick(uint64_t salt) const noexcept;
+
+    // Pick a mutation kind by hash and apply it. Output is NOT
+    // guaranteed parseable (that is the point); it is guaranteed
+    // deterministic in (seed, salt, der).
+    Bytes mutate(BytesView der, uint64_t salt) const;
+
+    // Apply one specific mutation kind (for targeted tests). Falls
+    // back to kByteNoise when the structure the kind needs is absent
+    // (e.g. no string-typed TLV for kStringTypeSwap).
+    Bytes apply(DerMutation m, BytesView der, uint64_t salt) const;
+
+private:
+    uint64_t seed_;
+};
+
+}  // namespace unicert::faultsim

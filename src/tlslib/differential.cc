@@ -20,21 +20,22 @@ constexpr std::array<ErrorPolicy, 4> kCandidateHandling = {
     ErrorPolicy::kStrict, ErrorPolicy::kReplace, ErrorPolicy::kSkip, ErrorPolicy::kHexEscape,
 };
 
-// Run one payload through a library as a DN attribute or GN.
-ParseOutcome run_payload(Library lib, const Scenario& s, const Bytes& payload) {
+// Run one payload through a library model as a DN attribute or GN.
+ParseOutcome run_payload(LibraryModel& model, Library lib, const Scenario& s,
+                         const Bytes& payload) {
     if (s.context == FieldContext::kDnName) {
         x509::AttributeValue av;
         av.type = asn1::oids::common_name();
         av.string_type = s.declared;
         av.value_bytes = payload;
-        return parse_attribute(lib, av);
+        return model.parse_attribute(lib, av);
     }
     x509::GeneralName gn;
     gn.type = s.context == FieldContext::kCrlDp ? x509::GeneralNameType::kUri
                                                 : x509::GeneralNameType::kDnsName;
     gn.string_type = asn1::StringType::kIa5String;
     gn.value_bytes = payload;
-    return parse_general_name(lib, gn, s.context);
+    return model.parse_general_name(lib, gn, s.context);
 }
 
 // Reference decoding of a payload: method + handling, rendered to the
@@ -170,7 +171,7 @@ std::vector<Bytes> DifferentialRunner::test_payloads(StringType declared) {
 InferredDecoding DifferentialRunner::infer(Library lib, const Scenario& scenario) const {
     InferredDecoding result;
 
-    DecodeBehavior probe = decode_behavior(lib, scenario.declared, scenario.context);
+    DecodeBehavior probe = model_->probe_decode(lib, scenario.declared, scenario.context);
     if (!probe.supported) {
         result.supported = false;
         return result;
@@ -182,11 +183,12 @@ InferredDecoding DifferentialRunner::infer(Library lib, const Scenario& scenario
     std::vector<std::optional<std::string>> observed;
     observed.reserve(payloads.size());
     for (const Bytes& payload : payloads) {
-        ParseOutcome outcome = run_payload(lib, scenario, payload);
+        ParseOutcome outcome = run_payload(*model_, lib, scenario, payload);
         if (!outcome.ok) {
             result.parse_errors = true;
             observed.push_back(std::nullopt);
         } else {
+            result.observations += 1;
             observed.push_back(outcome.value_utf8);
         }
     }
@@ -252,7 +254,7 @@ InferredDecoding DifferentialRunner::infer(Library lib, const Scenario& scenario
 
 ViolationClass DifferentialRunner::illegal_char_violation(Library lib, StringType declared,
                                                           FieldContext ctx) const {
-    DecodeBehavior probe = decode_behavior(lib, declared, ctx);
+    DecodeBehavior probe = model_->probe_decode(lib, declared, ctx);
     if (!probe.supported) return ViolationClass::kUnsupported;
 
     // Appendix E exclusion (iv): when the library decodes the type with
@@ -298,7 +300,7 @@ ViolationClass DifferentialRunner::illegal_char_violation(Library lib, StringTyp
 
     Scenario scenario{declared, ctx};
     for (const Bytes& payload : bad) {
-        ParseOutcome outcome = run_payload(lib, scenario, payload);
+        ParseOutcome outcome = run_payload(*model_, lib, scenario, payload);
         if (!outcome.ok) continue;  // properly rejected: no violation
 
         // Violation (a): an out-of-charset character survives verbatim.
@@ -333,7 +335,7 @@ ViolationClass DifferentialRunner::illegal_char_violation(Library lib, StringTyp
 }
 
 bool DifferentialRunner::dn_subfield_forgery_possible(Library lib) const {
-    TextBehavior tb = text_behavior(lib, FieldContext::kDnName);
+    TextBehavior tb = model_->probe_text(lib, FieldContext::kDnName);
     if (!tb.supported) return false;
     // A CN value that *contains* an attribute boundary for the
     // library's own output format.
@@ -343,7 +345,7 @@ bool DifferentialRunner::dn_subfield_forgery_possible(Library lib) const {
     x509::DistinguishedName dn = x509::make_dn({
         x509::make_attribute(asn1::oids::common_name(), payload),
     });
-    ParseOutcome out = format_dn(lib, dn);
+    ParseOutcome out = model_->format_dn(lib, dn);
     if (!out.ok) return false;
     // Naive splitter: break on unescaped separators, count "CN=" tokens.
     // The DN has exactly one real CN, so >1 token means forgery.
@@ -370,10 +372,10 @@ bool DifferentialRunner::dn_subfield_forgery_possible(Library lib) const {
 }
 
 bool DifferentialRunner::san_subfield_forgery_possible(Library lib) const {
-    TextBehavior tb = text_behavior(lib, FieldContext::kGeneralName);
+    TextBehavior tb = model_->probe_text(lib, FieldContext::kGeneralName);
     if (!tb.supported) return false;
     x509::GeneralNames names = {x509::dns_name("a.com, DNS:b.com")};
-    ParseOutcome out = format_san(lib, names);
+    ParseOutcome out = model_->format_san(lib, names);
     if (!out.ok) return false;
     // A naive splitter on ", " sees two DNS entries iff the separator
     // inside the value was not escaped (a preceding backslash defuses it).
@@ -387,7 +389,7 @@ bool DifferentialRunner::san_subfield_forgery_possible(Library lib) const {
 
 ViolationClass DifferentialRunner::escaping_violation(Library lib, FieldContext ctx,
                                                       x509::DnDialect standard) const {
-    TextBehavior tb = text_behavior(lib, ctx);
+    TextBehavior tb = model_->probe_text(lib, ctx);
     if (!tb.supported) return ViolationClass::kUnsupported;
 
     // Libraries whose API documents an explicit RFC are only assessed

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "tlslib/model.h"
 #include "tlslib/profile.h"
 
 namespace unicert::tlslib {
@@ -46,6 +47,7 @@ const char* violation_class_symbol(ViolationClass c) noexcept;
 struct InferredDecoding {
     bool supported = true;
     bool parse_errors = false;                    // library refused some inputs
+    size_t observations = 0;                      // payloads the library parsed
     std::optional<unicode::Encoding> method;      // matched reference decoding
     std::optional<unicode::ErrorPolicy> handling; // matched char-handling mode
     bool modified = false;                        // handling != plain strict
@@ -62,6 +64,14 @@ DecodeClass classify_decoding(asn1::StringType declared, const InferredDecoding&
 
 class DifferentialRunner {
 public:
+    // Evaluates against the built-in profile tables by default; pass a
+    // model to test doubles or supervised/guarded wrappers. The model
+    // must outlive the runner.
+    DifferentialRunner() : model_(&builtin_model()) {}
+    explicit DifferentialRunner(LibraryModel& model) : model_(&model) {}
+
+    LibraryModel& model() const noexcept { return *model_; }
+
     // Test byte payloads per Section 3.2: baseline + every byte value
     // 0x00..0xFF embedded + multi-byte UTF-8 + UCS-2 + block samples.
     static std::vector<Bytes> test_payloads(asn1::StringType declared);
@@ -89,6 +99,9 @@ public:
     // SAN: a DNSName value that injects a second "DNS:" entry into the
     // rendered SAN text (PyOpenSSL).
     bool san_subfield_forgery_possible(Library lib) const;
+
+private:
+    LibraryModel* model_;
 };
 
 }  // namespace unicert::tlslib

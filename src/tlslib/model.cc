@@ -1,0 +1,35 @@
+#include "tlslib/model.h"
+
+namespace unicert::tlslib {
+
+DecodeBehavior LibraryModel::probe_decode(Library lib, asn1::StringType st, FieldContext ctx) {
+    return decode_behavior(lib, st, ctx);
+}
+
+TextBehavior LibraryModel::probe_text(Library lib, FieldContext ctx) {
+    return text_behavior(lib, ctx);
+}
+
+ParseOutcome LibraryModel::parse_attribute(Library lib, const x509::AttributeValue& av) {
+    return tlslib::parse_attribute(lib, av);
+}
+
+ParseOutcome LibraryModel::parse_general_name(Library lib, const x509::GeneralName& gn,
+                                              FieldContext ctx) {
+    return tlslib::parse_general_name(lib, gn, ctx);
+}
+
+ParseOutcome LibraryModel::format_dn(Library lib, const x509::DistinguishedName& dn) {
+    return tlslib::format_dn(lib, dn);
+}
+
+ParseOutcome LibraryModel::format_san(Library lib, const x509::GeneralNames& names) {
+    return tlslib::format_san(lib, names);
+}
+
+LibraryModel& builtin_model() {
+    static LibraryModel model;
+    return model;
+}
+
+}  // namespace unicert::tlslib

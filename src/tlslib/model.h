@@ -1,0 +1,35 @@
+// unicert/tlslib/model.h
+//
+// The evaluation seam of the differential engine. A LibraryModel is
+// the set of operations the Section 3.2 harness performs against one
+// of the nine library profiles; the default implementation forwards to
+// the static behaviour tables in profile.cc. Making it a virtual
+// interface lets the Supervisor wrap every call in budget checks and
+// lets tests substitute misbehaving doubles (throwing, hanging,
+// oversize-output models) without touching the inference logic.
+#pragma once
+
+#include "tlslib/profile.h"
+
+namespace unicert::tlslib {
+
+class LibraryModel {
+public:
+    virtual ~LibraryModel() = default;
+
+    // Behaviour probes (cheap; used for support checks, not parsing).
+    virtual DecodeBehavior probe_decode(Library lib, asn1::StringType st, FieldContext ctx);
+    virtual TextBehavior probe_text(Library lib, FieldContext ctx);
+
+    // Simulated parsing APIs, one virtual per profile entry point.
+    virtual ParseOutcome parse_attribute(Library lib, const x509::AttributeValue& av);
+    virtual ParseOutcome parse_general_name(Library lib, const x509::GeneralName& gn,
+                                            FieldContext ctx);
+    virtual ParseOutcome format_dn(Library lib, const x509::DistinguishedName& dn);
+    virtual ParseOutcome format_san(Library lib, const x509::GeneralNames& names);
+};
+
+// The process-wide default model backed by profile.cc's tables.
+LibraryModel& builtin_model();
+
+}  // namespace unicert::tlslib

@@ -1,0 +1,288 @@
+#include "tlslib/supervisor.h"
+
+#include <exception>
+#include <utility>
+
+namespace unicert::tlslib {
+namespace {
+
+size_t lib_index(Library lib) noexcept { return static_cast<size_t>(lib); }
+
+// Internal control-flow signals thrown by the guarded model and caught
+// by Supervisor::contain. Deliberately NOT derived from std::exception
+// so a profile double throwing std::runtime_error is classified as a
+// crash, not a budget violation.
+struct HangSignal {
+    std::string detail;
+};
+struct OversizeSignal {
+    std::string detail;
+};
+
+// Wraps the model under evaluation: charges one budget step per
+// profile call, re-checks the wall clock when a call returns (a
+// cooperative hang burns simulated clock inside the call), and caps
+// the output size of every ParseOutcome.
+class GuardedModel final : public LibraryModel {
+public:
+    GuardedModel(LibraryModel& base, const EvalBudget& budget, core::Clock& clock)
+        : base_(&base),
+          budget_(budget),
+          guard_({.wall_ms = budget.wall_ms, .max_steps = budget.max_model_calls}, clock) {}
+
+    uint64_t calls() const noexcept { return guard_.steps_used(); }
+
+    DecodeBehavior probe_decode(Library lib, asn1::StringType st, FieldContext ctx) override {
+        pre();
+        return base_->probe_decode(lib, st, ctx);
+    }
+    TextBehavior probe_text(Library lib, FieldContext ctx) override {
+        pre();
+        return base_->probe_text(lib, ctx);
+    }
+    ParseOutcome parse_attribute(Library lib, const x509::AttributeValue& av) override {
+        pre();
+        return post(base_->parse_attribute(lib, av));
+    }
+    ParseOutcome parse_general_name(Library lib, const x509::GeneralName& gn,
+                                    FieldContext ctx) override {
+        pre();
+        return post(base_->parse_general_name(lib, gn, ctx));
+    }
+    ParseOutcome format_dn(Library lib, const x509::DistinguishedName& dn) override {
+        pre();
+        return post(base_->format_dn(lib, dn));
+    }
+    ParseOutcome format_san(Library lib, const x509::GeneralNames& names) override {
+        pre();
+        return post(base_->format_san(lib, names));
+    }
+
+private:
+    void pre() { raise_if(guard_.tick()); }
+
+    ParseOutcome post(ParseOutcome out) {
+        raise_if(guard_.check());
+        if (budget_.max_output_bytes > 0 && out.value_utf8.size() > budget_.max_output_bytes) {
+            throw OversizeSignal{"output of " + std::to_string(out.value_utf8.size()) +
+                                 " bytes exceeds budget of " +
+                                 std::to_string(budget_.max_output_bytes)};
+        }
+        return out;
+    }
+
+    static void raise_if(const Status& s) {
+        if (!s.ok()) throw HangSignal{s.error().message};
+    }
+
+    LibraryModel* base_;
+    EvalBudget budget_;
+    core::BudgetGuard guard_;
+};
+
+}  // namespace
+
+const char* eval_outcome_name(EvalOutcome o) noexcept {
+    switch (o) {
+        case EvalOutcome::kOk: return "ok";
+        case EvalOutcome::kUnsupported: return "unsupported";
+        case EvalOutcome::kParseRefusal: return "parse_refusal";
+        case EvalOutcome::kDivergence: return "divergence";
+        case EvalOutcome::kCrash: return "crash";
+        case EvalOutcome::kHang: return "hang";
+        case EvalOutcome::kOversizeOutput: return "oversize_output";
+    }
+    return "?";
+}
+
+bool eval_outcome_is_failure(EvalOutcome o) noexcept {
+    return o == EvalOutcome::kDivergence || o == EvalOutcome::kCrash ||
+           o == EvalOutcome::kHang || o == EvalOutcome::kOversizeOutput;
+}
+
+bool eval_outcome_quarantines(EvalOutcome o) noexcept {
+    return o == EvalOutcome::kCrash || o == EvalOutcome::kHang ||
+           o == EvalOutcome::kOversizeOutput;
+}
+
+Supervisor::Supervisor(LibraryModel& model, EvalBudget budget, core::Clock& clock)
+    : model_(&model), budget_(budget), clock_(&clock) {}
+
+bool Supervisor::quarantined(Library lib) const noexcept {
+    return quarantine_[lib_index(lib)].has_value();
+}
+
+std::optional<EvalOutcome> Supervisor::quarantine_reason(Library lib) const noexcept {
+    return quarantine_[lib_index(lib)];
+}
+
+void Supervisor::reset_quarantine() noexcept { quarantine_.fill(std::nullopt); }
+
+std::vector<Scenario> Supervisor::table4_scenarios() {
+    using asn1::StringType;
+    return {
+        {StringType::kPrintableString, FieldContext::kDnName},
+        {StringType::kIa5String, FieldContext::kDnName},
+        {StringType::kBmpString, FieldContext::kDnName},
+        {StringType::kUtf8String, FieldContext::kDnName},
+        {StringType::kIa5String, FieldContext::kGeneralName},
+    };
+}
+
+template <typename Fn>
+EvalOutcome Supervisor::contain(Library lib, Fn&& fn, std::string& detail, uint64_t* calls,
+                                int64_t* wall) {
+    GuardedModel guarded(*model_, budget_, *clock_);
+    DifferentialRunner runner(guarded);
+    int64_t t0 = clock_->now_ms();
+    EvalOutcome outcome = EvalOutcome::kOk;
+    try {
+        fn(runner);
+    } catch (const HangSignal& h) {
+        outcome = EvalOutcome::kHang;
+        detail = h.detail;
+    } catch (const OversizeSignal& o) {
+        outcome = EvalOutcome::kOversizeOutput;
+        detail = o.detail;
+    } catch (const std::exception& e) {
+        outcome = EvalOutcome::kCrash;
+        detail = e.what();
+    } catch (...) {
+        outcome = EvalOutcome::kCrash;
+        detail = "non-standard exception";
+    }
+    if (calls != nullptr) *calls = guarded.calls();
+    if (wall != nullptr) *wall = clock_->now_ms() - t0;
+    if (eval_outcome_quarantines(outcome) && !quarantine_[lib_index(lib)]) {
+        quarantine_[lib_index(lib)] = outcome;
+    }
+    return outcome;
+}
+
+SupervisedEval Supervisor::evaluate(Library lib, const Scenario& scenario) {
+    SupervisedEval cell;
+    cell.lib = lib;
+    cell.scenario = scenario;
+
+    if (auto reason = quarantine_reason(lib)) {
+        cell.outcome = EvalOutcome::kUnsupported;
+        cell.inferred.supported = false;
+        cell.detail = std::string("quarantined after ") + eval_outcome_name(*reason);
+        return cell;
+    }
+
+    InferredDecoding inferred;
+    EvalOutcome contained = contain(
+        lib, [&](DifferentialRunner& r) { inferred = r.infer(lib, scenario); }, cell.detail,
+        &cell.model_calls, &cell.wall_ms);
+    if (contained != EvalOutcome::kOk) {
+        cell.outcome = contained;
+        cell.inferred.supported = false;
+        return cell;  // decode_class stays kUnsupported: cell unresolvable
+    }
+
+    cell.inferred = inferred;
+    cell.decode_class = classify_decoding(scenario.declared, inferred);
+    if (!inferred.supported) {
+        cell.outcome = EvalOutcome::kUnsupported;
+    } else if (inferred.method.has_value()) {
+        cell.outcome = EvalOutcome::kOk;
+    } else if (inferred.observations == 0) {
+        cell.outcome = EvalOutcome::kParseRefusal;
+        cell.detail = "library refused every test payload";
+    } else {
+        cell.outcome = EvalOutcome::kDivergence;
+        cell.detail = "no reference decoding matched " +
+                      std::to_string(inferred.observations) + " observed outputs";
+    }
+    return cell;
+}
+
+SupervisedViolation Supervisor::evaluate_illegal_char(Library lib, asn1::StringType declared,
+                                                      FieldContext ctx) {
+    SupervisedViolation v;
+    v.lib = lib;
+    v.kind = ViolationKind::kIllegalChar;
+    v.declared = declared;
+    v.context = ctx;
+
+    if (auto reason = quarantine_reason(lib)) {
+        v.outcome = EvalOutcome::kUnsupported;
+        v.detail = std::string("quarantined after ") + eval_outcome_name(*reason);
+        return v;
+    }
+
+    ViolationClass cls = ViolationClass::kUnsupported;
+    EvalOutcome contained = contain(
+        lib, [&](DifferentialRunner& r) { cls = r.illegal_char_violation(lib, declared, ctx); },
+        v.detail, nullptr, nullptr);
+    v.outcome = contained;
+    if (contained == EvalOutcome::kOk) v.violation = cls;
+    return v;
+}
+
+SupervisedViolation Supervisor::evaluate_escaping(Library lib, FieldContext ctx,
+                                                  x509::DnDialect standard) {
+    SupervisedViolation v;
+    v.lib = lib;
+    v.kind = ViolationKind::kEscaping;
+    v.context = ctx;
+    v.standard = standard;
+
+    if (auto reason = quarantine_reason(lib)) {
+        v.outcome = EvalOutcome::kUnsupported;
+        v.detail = std::string("quarantined after ") + eval_outcome_name(*reason);
+        return v;
+    }
+
+    ViolationClass cls = ViolationClass::kUnsupported;
+    EvalOutcome contained = contain(
+        lib, [&](DifferentialRunner& r) { cls = r.escaping_violation(lib, ctx, standard); },
+        v.detail, nullptr, nullptr);
+    v.outcome = contained;
+    if (contained == EvalOutcome::kOk) v.violation = cls;
+    return v;
+}
+
+SweepReport Supervisor::sweep(const std::vector<Scenario>& scenarios) {
+    using asn1::StringType;
+    SweepReport report;
+
+    for (const Scenario& scenario : scenarios) {
+        for (Library lib : kAllLibraries) {
+            report.decode_cells.push_back(evaluate(lib, scenario));
+        }
+    }
+
+    // Table 5 rows 1-4 (illegal characters) and 5-10 (escaping).
+    const std::pair<StringType, FieldContext> kCharRows[] = {
+        {StringType::kPrintableString, FieldContext::kDnName},
+        {StringType::kIa5String, FieldContext::kDnName},
+        {StringType::kBmpString, FieldContext::kDnName},
+        {StringType::kIa5String, FieldContext::kGeneralName},
+    };
+    for (Library lib : kAllLibraries) {
+        for (const auto& [st, ctx] : kCharRows) {
+            report.violation_cells.push_back(evaluate_illegal_char(lib, st, ctx));
+        }
+        for (x509::DnDialect standard : {x509::DnDialect::kRfc2253, x509::DnDialect::kRfc4514,
+                                         x509::DnDialect::kRfc1779}) {
+            for (FieldContext ctx : {FieldContext::kDnName, FieldContext::kGeneralName}) {
+                report.violation_cells.push_back(evaluate_escaping(lib, ctx, standard));
+            }
+        }
+    }
+
+    for (const SupervisedEval& cell : report.decode_cells) {
+        if (eval_outcome_is_failure(cell.outcome)) ++report.failures;
+    }
+    for (const SupervisedViolation& cell : report.violation_cells) {
+        if (eval_outcome_is_failure(cell.outcome)) ++report.failures;
+    }
+    for (Library lib : kAllLibraries) {
+        if (quarantined(lib)) report.quarantined.push_back(lib);
+    }
+    return report;
+}
+
+}  // namespace unicert::tlslib

@@ -1,0 +1,128 @@
+// unicert/tlslib/supervisor.h
+//
+// Supervised execution layer for the differential engine. The plain
+// DifferentialRunner assumes every profile evaluation returns cleanly;
+// at fuzzing scale that assumption breaks — a throwing, hanging or
+// runaway model would abort a whole Table 4/5 sweep. The Supervisor
+// runs each (library, scenario) evaluation under a per-call budget
+// (wall-clock watchdog plus a model-call step limit, charged against
+// the injectable core::Clock via core::BudgetGuard) and converts every
+// misbehaviour into a structured EvalOutcome, so failures become data
+// in the sweep output instead of aborts. A library model that crashes,
+// hangs or floods its output is quarantined — marked kUnsupported for
+// the remainder of the sweep — and the healthy models' cells are
+// reproduced exactly as an unsupervised run would.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/resilience.h"
+#include "tlslib/differential.h"
+
+namespace unicert::tlslib {
+
+// Failure taxonomy for one supervised evaluation.
+enum class EvalOutcome {
+    kOk,              // evaluation completed, a reference decoding matched
+    kUnsupported,     // profile declares no support ('-') or is quarantined
+    kParseRefusal,    // the library refused every test payload
+    kDivergence,      // outputs observed but no reference decoding matched
+    kCrash,           // the model threw out of a profile call
+    kHang,            // wall-clock or step budget exhausted mid-evaluation
+    kOversizeOutput,  // a single output exceeded the byte budget
+};
+
+const char* eval_outcome_name(EvalOutcome o) noexcept;
+
+// Failure outcomes are data for the crash corpus; quarantining outcomes
+// additionally disable the model for the remaining sweep.
+bool eval_outcome_is_failure(EvalOutcome o) noexcept;     // divergence/crash/hang/oversize
+bool eval_outcome_quarantines(EvalOutcome o) noexcept;    // crash/hang/oversize
+
+// Per-evaluation budget. Zero disables the corresponding limit.
+struct EvalBudget {
+    int64_t wall_ms = 5000;            // watchdog across one evaluation
+    uint64_t max_model_calls = 1 << 20;  // step/allocation proxy limit
+    size_t max_output_bytes = 1 << 20;   // per profile-call output cap
+};
+
+// One supervised Table 4 cell.
+struct SupervisedEval {
+    Library lib{};
+    Scenario scenario{};
+    EvalOutcome outcome = EvalOutcome::kOk;
+    InferredDecoding inferred;
+    DecodeClass decode_class = DecodeClass::kUnsupported;
+    std::string detail;        // error text for failure outcomes
+    uint64_t model_calls = 0;  // budget accounting
+    int64_t wall_ms = 0;
+};
+
+// One supervised Table 5 cell (illegal-character or escaping row).
+enum class ViolationKind { kIllegalChar, kEscaping };
+
+struct SupervisedViolation {
+    Library lib{};
+    ViolationKind kind = ViolationKind::kIllegalChar;
+    asn1::StringType declared = asn1::StringType::kPrintableString;  // kIllegalChar rows
+    FieldContext context = FieldContext::kDnName;
+    x509::DnDialect standard = x509::DnDialect::kRfc2253;            // kEscaping rows
+    ViolationClass violation = ViolationClass::kUnsupported;
+    EvalOutcome outcome = EvalOutcome::kOk;
+    std::string detail;
+};
+
+// The full Table 4/5 sweep, with failures embedded as cells.
+struct SweepReport {
+    std::vector<SupervisedEval> decode_cells;          // Table 4
+    std::vector<SupervisedViolation> violation_cells;  // Table 5
+    std::vector<Library> quarantined;                  // models disabled mid-sweep
+    size_t failures = 0;  // cells with eval_outcome_is_failure()
+};
+
+class Supervisor {
+public:
+    explicit Supervisor(LibraryModel& model = builtin_model(), EvalBudget budget = {},
+                        core::Clock& clock = core::system_clock());
+
+    // Run one Table 4 inference under budget; never throws — every
+    // model misbehaviour is contained and classified.
+    SupervisedEval evaluate(Library lib, const Scenario& scenario);
+
+    // Table 5 cells under the same containment.
+    SupervisedViolation evaluate_illegal_char(Library lib, asn1::StringType declared,
+                                              FieldContext ctx);
+    SupervisedViolation evaluate_escaping(Library lib, FieldContext ctx,
+                                          x509::DnDialect standard);
+
+    // The complete Table 4/5 sweep over all nine libraries. Completes
+    // regardless of model behaviour; misbehaving models appear as
+    // failure cells and are quarantined for their remaining cells.
+    SweepReport sweep() { return sweep(table4_scenarios()); }
+    SweepReport sweep(const std::vector<Scenario>& scenarios);
+
+    bool quarantined(Library lib) const noexcept;
+    // The outcome that quarantined the library, when it is.
+    std::optional<EvalOutcome> quarantine_reason(Library lib) const noexcept;
+    void reset_quarantine() noexcept;
+
+    const EvalBudget& budget() const noexcept { return budget_; }
+
+    // The canonical Table 4 scenario rows.
+    static std::vector<Scenario> table4_scenarios();
+
+private:
+    template <typename Fn>
+    EvalOutcome contain(Library lib, Fn&& fn, std::string& detail, uint64_t* calls,
+                        int64_t* wall);
+
+    LibraryModel* model_;
+    EvalBudget budget_;
+    core::Clock* clock_;
+    std::array<std::optional<EvalOutcome>, kAllLibraries.size()> quarantine_{};
+};
+
+}  // namespace unicert::tlslib

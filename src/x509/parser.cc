@@ -24,6 +24,9 @@ Expected<int64_t> parse_time(const asn1::Tlv& tlv) {
 }  // namespace
 
 Expected<Certificate> parse_certificate(BytesView der) {
+    // Depth guard first: a nesting bomb must be rejected before any
+    // structure-directed walk starts.
+    if (Status depth = asn1::check_nesting(der); !depth.ok()) return depth.error();
     auto outer = asn1::read_tlv(der);
     if (!outer.ok()) return outer.error();
     if (!outer->is_universal(asn1::Tag::kSequence)) {

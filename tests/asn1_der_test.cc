@@ -190,5 +190,59 @@ TEST(DerTag, IdentifierHelpers) {
     EXPECT_FALSE(is_constructed_id(0x02));
 }
 
+
+// ---- resource-exhaustion guards -----------------------------------------
+
+namespace guard_tests {
+
+Bytes nested_sequences(size_t depth) {
+    Bytes der{0x04, 0x01, 0x41};  // OCTET STRING "A" at the bottom
+    for (size_t i = 0; i < depth; ++i) {
+        Bytes shell{0x30};
+        Bytes len = encode_length(der.size());
+        shell.insert(shell.end(), len.begin(), len.end());
+        shell.insert(shell.end(), der.begin(), der.end());
+        der = std::move(shell);
+    }
+    return der;
+}
+
+}  // namespace guard_tests
+
+TEST(NestingGuard, AcceptsUpToTheLimit) {
+    EXPECT_TRUE(check_nesting(guard_tests::nested_sequences(0)).ok());
+    EXPECT_TRUE(check_nesting(guard_tests::nested_sequences(10)).ok());
+    EXPECT_TRUE(check_nesting(guard_tests::nested_sequences(kMaxNestingDepth - 1)).ok());
+}
+
+TEST(NestingGuard, RejectsBeyondTheLimit) {
+    auto st = check_nesting(guard_tests::nested_sequences(kMaxNestingDepth + 1));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, "der_nesting_too_deep");
+    // A 500-deep bomb must also fail fast, without recursing.
+    EXPECT_FALSE(check_nesting(guard_tests::nested_sequences(500)).ok());
+}
+
+TEST(NestingGuard, CustomDepthAndMalformedTails) {
+    Bytes der = guard_tests::nested_sequences(5);
+    EXPECT_FALSE(check_nesting(der, 3).ok());
+    EXPECT_TRUE(check_nesting(der, 16).ok());
+    // Garbage is not the guard's concern: it only reports depth.
+    Bytes junk{0xFF, 0xFF, 0x00};
+    EXPECT_TRUE(check_nesting(junk).ok());
+}
+
+TEST(ReadTlv, HugeLengthDoesNotOverflow) {
+    // 8-octet long-form length of 0xFFFFFFFFFFFFFFFF: adding it to the
+    // header offset would wrap size_t and bypass the bounds check.
+    Bytes der{0x04, 0x88, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x41};
+    auto tlv = read_tlv(der);
+    ASSERT_FALSE(tlv.ok());
+    EXPECT_EQ(tlv.error().code, "der_truncated");
+    // Just under the wrap point as a 4-octet length: same clean error.
+    Bytes der32{0x04, 0x84, 0xFF, 0xFF, 0xFF, 0xFC, 0x41};
+    EXPECT_FALSE(read_tlv(der32).ok());
+}
+
 }  // namespace
 }  // namespace unicert::asn1

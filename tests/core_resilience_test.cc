@@ -178,5 +178,50 @@ TEST(ErrorOffset, ShiftRebasesOnlyRealOffsets) {
     EXPECT_FALSE(without.shift_offset(10).has_offset());
 }
 
+
+// ---- BudgetGuard ---------------------------------------------------------
+
+TEST(BudgetGuard, StepLimitTripsAtTheBoundary) {
+    ManualClock clock;
+    BudgetGuard guard({.wall_ms = 0, .max_steps = 3}, clock);
+    EXPECT_TRUE(guard.tick().ok());
+    EXPECT_TRUE(guard.tick().ok());
+    EXPECT_TRUE(guard.tick().ok());
+    auto st = guard.tick();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, "budget_steps");
+}
+
+TEST(BudgetGuard, WallClockBudgetUsesInjectedClock) {
+    ManualClock clock;
+    BudgetGuard guard({.wall_ms = 100, .max_steps = 0}, clock);
+    EXPECT_TRUE(guard.check().ok());
+    clock.sleep_ms(99);
+    EXPECT_TRUE(guard.check().ok());
+    clock.sleep_ms(2);
+    auto st = guard.check();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, "budget_deadline");
+    EXPECT_GE(guard.elapsed_ms(), 101);
+}
+
+TEST(BudgetGuard, ZeroLimitsAreUnbounded) {
+    ManualClock clock;
+    BudgetGuard guard({.wall_ms = 0, .max_steps = 0}, clock);
+    clock.sleep_ms(1'000'000);
+    for (int i = 0; i < 10'000; ++i) {
+        ASSERT_TRUE(guard.tick().ok());
+    }
+    EXPECT_EQ(guard.steps_used(), 10'000u);
+}
+
+TEST(BudgetGuard, TickCanChargeMultipleSteps) {
+    ManualClock clock;
+    BudgetGuard guard({.wall_ms = 0, .max_steps = 10}, clock);
+    EXPECT_TRUE(guard.tick(9).ok());
+    EXPECT_TRUE(guard.tick(1).ok());
+    EXPECT_FALSE(guard.tick(1).ok());
+}
+
 }  // namespace
 }  // namespace unicert::core

@@ -1,0 +1,224 @@
+// Tests for the differential fuzz loop: corpus format round-trips,
+// delta-debug reduction, deterministic fuzzing, and corpus replay.
+#include "difffuzz/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "asn1/der.h"
+#include "difffuzz/crash_corpus.h"
+#include "difffuzz/faulty_model.h"
+#include "difffuzz/reducer.h"
+
+namespace unicert::difffuzz {
+namespace {
+
+using tlslib::EvalOutcome;
+using tlslib::Library;
+
+CrashEntry sample_entry() {
+    CrashEntry e;
+    e.lib = Library::kGoCrypto;
+    e.scenario = {asn1::StringType::kBmpString, tlslib::FieldContext::kDnName};
+    e.outcome = EvalOutcome::kDivergence;
+    e.signature = "00d1f2e3a4b5c697";
+    e.detail = "accept/reject split AAAARAAAA";
+    e.payload = {0x1E, 0x04, 0x00, 't', 0x00, 'e'};
+    return e;
+}
+
+TEST(CrashCorpus, BucketKeyIsFilesystemSafe) {
+    CrashEntry e = sample_entry();
+    EXPECT_EQ(bucket_key(e), "golang_crypto.divergence.00d1f2e3a4b5c697");
+}
+
+TEST(CrashCorpus, SerializeParseRoundTrip) {
+    CrashEntry e = sample_entry();
+    auto parsed = parse_entry(serialize_entry(e));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->lib, e.lib);
+    EXPECT_EQ(parsed->scenario.declared, e.scenario.declared);
+    EXPECT_EQ(parsed->scenario.context, e.scenario.context);
+    EXPECT_EQ(parsed->outcome, e.outcome);
+    EXPECT_EQ(parsed->signature, e.signature);
+    EXPECT_EQ(parsed->detail, e.detail);
+    EXPECT_EQ(parsed->payload, e.payload);
+}
+
+TEST(CrashCorpus, ParseRejectsGarbage) {
+    EXPECT_FALSE(parse_entry("not a corpus entry").ok());
+    EXPECT_FALSE(parse_entry("unicert-crash-v1\nlibrary: NoSuchLib\n").ok());
+}
+
+TEST(CrashCorpus, DedupsByBucket) {
+    CrashCorpus corpus;
+    CrashEntry e = sample_entry();
+    EXPECT_TRUE(corpus.add(e));
+    e.detail = "different detail, same bucket";
+    EXPECT_FALSE(corpus.add(e));
+    EXPECT_EQ(corpus.size(), 1u);
+    e.signature = "ffffffffffffffff";
+    EXPECT_TRUE(corpus.add(e));
+    EXPECT_EQ(corpus.size(), 2u);
+}
+
+TEST(CrashCorpus, PersistsAndLoadsFromDisk) {
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "unicert_difffuzz_corpus_test").string();
+    std::filesystem::remove_all(dir);
+    {
+        CrashCorpus corpus(dir);
+        corpus.add(sample_entry());
+    }
+    CrashCorpus reloaded(dir);
+    ASSERT_TRUE(reloaded.load().ok());
+    ASSERT_EQ(reloaded.size(), 1u);
+    EXPECT_EQ(reloaded.entries().begin()->second.payload, sample_entry().payload);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Reducer, ShrinksToMinimalReproducer) {
+    // Failure: payload contains the byte 0x7F anywhere.
+    Bytes input;
+    for (int i = 0; i < 64; ++i) input.push_back(static_cast<uint8_t>(i));
+    auto has_del = [](BytesView b) {
+        for (uint8_t v : b) {
+            if (v == 0x7F) return true;
+        }
+        return false;
+    };
+    Bytes input2 = input;
+    input2.push_back(0x7F);
+    Bytes reduced = reduce(input2, has_del);
+    EXPECT_EQ(reduced, Bytes{0x7F});
+}
+
+TEST(Reducer, UnwrapsNestingShells) {
+    // Failure: the leaf string "BOOM" is reachable.
+    asn1::Writer w;
+    w.add_string(asn1::string_type_tag(asn1::StringType::kUtf8String), "BOOM");
+    Bytes der = w.take();
+    for (int i = 0; i < 30; ++i) {
+        asn1::Writer outer;
+        Bytes inner = der;
+        outer.add_sequence([&](asn1::Writer& s) { s.add_raw(inner); });
+        der = outer.take();
+    }
+    auto still_fails = [](BytesView b) {
+        std::string s(b.begin(), b.end());
+        return s.find("BOOM") != std::string::npos;
+    };
+    Bytes reduced = reduce(der, still_fails, 5000);
+    EXPECT_LE(reduced.size(), 8u);  // shells gone, essence kept
+    EXPECT_TRUE(still_fails(reduced));
+}
+
+TEST(Reducer, RespectsCheckBudget) {
+    Bytes input(256, 0xAA);
+    size_t calls = 0;
+    auto count_and_accept = [&](BytesView) {
+        ++calls;
+        return true;
+    };
+    reduce(input, count_and_accept, 10);
+    EXPECT_LE(calls, 10u);
+}
+
+TEST(DiffFuzzer, ScenarioDerivationFollowsTheLeafTag) {
+    Bytes bmp_value{0x00, 't'};
+    asn1::Writer w;
+    w.add_sequence([&](asn1::Writer& s) {
+        s.add_string(asn1::string_type_tag(asn1::StringType::kBmpString), bmp_value);
+    });
+    Bytes der = w.take();
+    tlslib::Scenario sc = DiffFuzzer::derive_scenario(der, tlslib::FieldContext::kDnName);
+    EXPECT_EQ(sc.declared, asn1::StringType::kBmpString);
+    EXPECT_EQ(DiffFuzzer::derive_value(der), (Bytes{0x00, 't'}));
+    // Unparseable input: raw bytes as a UTF8String value.
+    Bytes junk{0xFF, 0x10, 0x03};
+    sc = DiffFuzzer::derive_scenario(junk, tlslib::FieldContext::kDnName);
+    EXPECT_EQ(sc.declared, asn1::StringType::kUtf8String);
+    EXPECT_EQ(DiffFuzzer::derive_value(junk), junk);
+}
+
+TEST(DiffFuzzer, RunIsDeterministicInSeed) {
+    FuzzOptions fo;
+    fo.seed = 99;
+    fo.iterations = 24;
+    fo.minimize = false;
+    CrashCorpus a, b;
+    core::ManualClock clock;
+    FuzzStats sa = DiffFuzzer(a, fo, tlslib::builtin_model(), clock).run();
+    FuzzStats sb = DiffFuzzer(b, fo, tlslib::builtin_model(), clock).run();
+    EXPECT_EQ(sa.inputs, sb.inputs);
+    EXPECT_EQ(sa.failures, sb.failures);
+    EXPECT_EQ(a.size(), b.size());
+    auto ia = a.entries().begin();
+    for (const auto& [key, entry] : b.entries()) {
+        EXPECT_EQ(ia->first, key);
+        EXPECT_EQ(ia->second.payload, entry.payload);
+        ++ia;
+    }
+}
+
+TEST(DiffFuzzer, InjectedCrashesAreBucketedAndReplayable) {
+    core::ManualClock clock;
+    FaultyModelOptions fmo;
+    fmo.seed = 5;
+    fmo.crash_rate = 0.05;
+    FaultyModel faulty(tlslib::builtin_model(), fmo, clock);
+
+    CrashCorpus corpus;
+    FuzzOptions fo;
+    fo.seed = 5;
+    fo.iterations = 40;
+    DiffFuzzer fuzzer(corpus, fo, faulty, clock);
+    FuzzStats stats = fuzzer.run();
+    EXPECT_GT(stats.failures, 0u);
+    EXPECT_GT(corpus.size(), 0u);
+    EXPECT_GT(faulty.injected_faults(), 0u);
+
+    // Every bucket replays: the fault decision is content-keyed, so
+    // the identical engine re-triggers each one.
+    std::vector<std::string> unreproduced;
+    size_t reproduced = fuzzer.replay(&unreproduced);
+    EXPECT_EQ(reproduced, corpus.size());
+    EXPECT_TRUE(unreproduced.empty()) << unreproduced.front();
+}
+
+TEST(DiffFuzzer, MinimizedBucketsStillReproduce) {
+    core::ManualClock clock;
+    FaultyModelOptions fmo;
+    fmo.seed = 9;
+    fmo.crash_rate = 0.04;
+    FaultyModel faulty(tlslib::builtin_model(), fmo, clock);
+    CrashCorpus corpus;
+    FuzzOptions fo;
+    fo.seed = 9;
+    fo.iterations = 30;
+    fo.minimize = true;
+    DiffFuzzer fuzzer(corpus, fo, faulty, clock);
+    FuzzStats stats = fuzzer.run();
+    ASSERT_GT(corpus.size(), 0u);
+    EXPECT_GT(stats.minimized, 0u);
+    EXPECT_EQ(fuzzer.replay(nullptr), corpus.size());
+}
+
+TEST(FaultyModel, OnlyListScopesTheFaults) {
+    core::ManualClock clock;
+    FaultyModelOptions fmo;
+    fmo.crash_rate = 1.0;
+    fmo.only = {Library::kForge};
+    FaultyModel faulty(tlslib::builtin_model(), fmo, clock);
+    x509::AttributeValue av;
+    av.type = asn1::oids::common_name();
+    av.string_type = asn1::StringType::kUtf8String;
+    av.value_bytes = to_bytes("payload");
+    EXPECT_THROW(faulty.parse_attribute(Library::kForge, av), std::runtime_error);
+    EXPECT_NO_THROW(faulty.parse_attribute(Library::kOpenSsl, av));
+}
+
+}  // namespace
+}  // namespace unicert::difffuzz

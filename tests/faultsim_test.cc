@@ -8,6 +8,9 @@
 
 #include "asn1/time.h"
 #include "ctlog/log.h"
+#include "asn1/der.h"
+#include "asn1/strings.h"
+#include "faultsim/der_mutator.h"
 #include "faultsim/faulty_log_source.h"
 #include "x509/builder.h"
 #include "x509/parser.h"
@@ -229,6 +232,94 @@ TEST_F(FaultyLogSourceTest, RootAtPassesThrough) {
     ASSERT_TRUE(via_faulty.ok());
     ASSERT_TRUE(direct.ok());
     EXPECT_EQ(via_faulty.value(), direct.value());
+}
+
+// ---- DerMutator ----------------------------------------------------------
+
+namespace der_mutator_tests {
+
+Bytes sample_der() {
+    asn1::Writer w;
+    w.add_sequence([](asn1::Writer& seq) {
+        seq.add_string(asn1::string_type_tag(asn1::StringType::kPrintableString), "test.com");
+        seq.add_integer(7);
+    });
+    return w.take();
+}
+
+}  // namespace der_mutator_tests
+
+TEST(DerMutator, DeterministicInSeedAndSalt) {
+    Bytes der = der_mutator_tests::sample_der();
+    DerMutator a(42), b(42), c(43);
+    for (uint64_t salt = 0; salt < 16; ++salt) {
+        EXPECT_EQ(a.mutate(der, salt), b.mutate(der, salt));
+        EXPECT_EQ(a.pick(salt), b.pick(salt));
+    }
+    // A different seed must diverge somewhere in the stream.
+    bool differs = false;
+    for (uint64_t salt = 0; salt < 16 && !differs; ++salt) {
+        differs = a.mutate(der, salt) != c.mutate(der, salt);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(DerMutator, TruncateShrinksAndNestingInflateWraps) {
+    Bytes der = der_mutator_tests::sample_der();
+    DerMutator m(7);
+    Bytes truncated = m.apply(DerMutation::kTruncate, der, 1);
+    EXPECT_LT(truncated.size(), der.size());
+
+    // A single-TLV buffer pins the wrapped node to the root, so the
+    // whole inflated document stays parseable top-down.
+    asn1::Writer leaf;
+    leaf.add_string(asn1::string_type_tag(asn1::StringType::kPrintableString), "x");
+    der = leaf.take();
+    Bytes inflated = m.apply(DerMutation::kNestingInflate, der, 1);
+    EXPECT_GT(inflated.size(), der.size());
+    // The inflation must stack enough SEQUENCE layers to straddle the
+    // asn1 nesting guard.
+    size_t depth = 0;
+    BytesView view = inflated;
+    while (true) {
+        auto tlv = asn1::read_tlv(view);
+        if (!tlv.ok() || !tlv->is_constructed() || tlv->content.empty()) break;
+        ++depth;
+        view = tlv->content;
+    }
+    EXPECT_GE(depth, 40u);
+}
+
+TEST(DerMutator, LengthBombIsRejectedByReader) {
+    // Single-TLV buffer: the bombed node is the root, so the oversized
+    // length is visible to the first read. The hardened reader must
+    // fail cleanly (no size_t wraparound) on every seed's bomb width.
+    asn1::Writer leaf;
+    leaf.add_string(asn1::string_type_tag(asn1::StringType::kIa5String), "bomb.example");
+    Bytes der = leaf.take();
+    for (uint64_t salt = 0; salt < 16; ++salt) {
+        DerMutator m(11 + salt);
+        Bytes bombed = m.apply(DerMutation::kLengthBomb, der, salt);
+        auto tlv = asn1::read_tlv(bombed);
+        EXPECT_FALSE(tlv.ok()) << "salt " << salt;
+    }
+}
+
+TEST(DerMutator, StringTypeSwapRetagsStringTlv) {
+    Bytes der = der_mutator_tests::sample_der();
+    DerMutator m(5);
+    bool retagged = false;
+    for (uint64_t salt = 0; salt < 32 && !retagged; ++salt) {
+        Bytes swapped = m.apply(DerMutation::kStringTypeSwap, der, salt);
+        retagged = swapped != der && swapped.size() == der.size();
+    }
+    EXPECT_TRUE(retagged);
+}
+
+TEST(DerMutator, EveryMutationHasAName) {
+    for (DerMutation m : kAllDerMutations) {
+        EXPECT_STRNE(der_mutation_name(m), "?");
+    }
 }
 
 }  // namespace

@@ -135,5 +135,51 @@ TEST(Punycode, DecodedInsertionOrderMatters) {
     EXPECT_EQ(enc.value(), "ab-8ja");
 }
 
+
+// ---- boundary + property tests ------------------------------------------
+
+TEST(Punycode, BoundaryCodePointsRoundTrip) {
+    for (unicode::CodePoint cp : {0x80u, 0xFFu, 0x7FFu, 0x800u, 0xFFFDu,
+                                  0x10000u, 0x10FFFFu}) {
+        CodePoints input{'a', cp, 'z'};
+        auto enc = punycode_encode(input);
+        ASSERT_TRUE(enc.ok()) << "U+" << std::hex << cp;
+        auto dec = punycode_decode(enc.value());
+        ASSERT_TRUE(dec.ok()) << "U+" << std::hex << cp;
+        EXPECT_EQ(dec.value(), input) << "U+" << std::hex << cp;
+    }
+}
+
+TEST(Punycode, SeededRoundTripProperty) {
+    // Deterministic property sweep: 200 random labels mixing printable
+    // ASCII with BMP and astral code points must survive
+    // encode -> decode unchanged.
+    uint64_t state = 0x243F6A8885A308D3ULL;  // fixed seed
+    auto next = [&state]() {
+        state += 0x9E3779B97F4A7C15ULL;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    };
+    for (int iter = 0; iter < 200; ++iter) {
+        CodePoints input;
+        size_t len = 1 + next() % 12;
+        for (size_t i = 0; i < len; ++i) {
+            switch (next() % 4) {
+                case 0: input.push_back(0x20 + next() % 0x5F); break;       // ASCII
+                case 1: input.push_back(0xA0 + next() % 0x460); break;      // Latin..Cyrillic
+                case 2: input.push_back(0x4E00 + next() % 0x51FF); break;   // CJK
+                default: input.push_back(0x10000 + next() % 0x1000); break; // astral
+            }
+        }
+        auto enc = punycode_encode(input);
+        ASSERT_TRUE(enc.ok()) << "iter " << iter;
+        auto dec = punycode_decode(enc.value());
+        ASSERT_TRUE(dec.ok()) << "iter " << iter << " encoded=" << enc.value();
+        EXPECT_EQ(dec.value(), input) << "iter " << iter;
+    }
+}
+
 }  // namespace
 }  // namespace unicert::idna

@@ -1,0 +1,171 @@
+// Tests for the supervised execution layer: a misbehaving library
+// model (throwing, hanging, flooding) must become failure *data* in
+// the sweep — never an abort — while healthy models reproduce exactly
+// the cells an unsupervised run infers.
+#include "tlslib/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "difffuzz/faulty_model.h"
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::StringType;
+
+const Scenario kUtf8Dn{StringType::kUtf8String, FieldContext::kDnName};
+const Scenario kPrintableDn{StringType::kPrintableString, FieldContext::kDnName};
+
+difffuzz::FaultyModelOptions fault_only(Library lib) {
+    difffuzz::FaultyModelOptions fo;
+    fo.only = {lib};
+    return fo;
+}
+
+TEST(Taxonomy, NamesArePrintable) {
+    EXPECT_STREQ(eval_outcome_name(EvalOutcome::kOk), "ok");
+    EXPECT_STREQ(eval_outcome_name(EvalOutcome::kCrash), "crash");
+    EXPECT_STREQ(eval_outcome_name(EvalOutcome::kHang), "hang");
+    EXPECT_STREQ(eval_outcome_name(EvalOutcome::kOversizeOutput), "oversize_output");
+    EXPECT_STREQ(eval_outcome_name(EvalOutcome::kParseRefusal), "parse_refusal");
+    EXPECT_STREQ(eval_outcome_name(EvalOutcome::kDivergence), "divergence");
+}
+
+TEST(Taxonomy, FailureAndQuarantinePredicates) {
+    EXPECT_FALSE(eval_outcome_is_failure(EvalOutcome::kOk));
+    EXPECT_FALSE(eval_outcome_is_failure(EvalOutcome::kUnsupported));
+    EXPECT_FALSE(eval_outcome_is_failure(EvalOutcome::kParseRefusal));
+    EXPECT_TRUE(eval_outcome_is_failure(EvalOutcome::kDivergence));
+    EXPECT_TRUE(eval_outcome_is_failure(EvalOutcome::kCrash));
+    // Divergence is a finding, not a malfunction: it must not disable
+    // the model for the rest of the sweep.
+    EXPECT_FALSE(eval_outcome_quarantines(EvalOutcome::kDivergence));
+    EXPECT_TRUE(eval_outcome_quarantines(EvalOutcome::kCrash));
+    EXPECT_TRUE(eval_outcome_quarantines(EvalOutcome::kHang));
+    EXPECT_TRUE(eval_outcome_quarantines(EvalOutcome::kOversizeOutput));
+}
+
+TEST(Supervisor, HealthySweepHasNoFailures) {
+    Supervisor supervisor;
+    SweepReport report = supervisor.sweep();
+    EXPECT_EQ(report.failures, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_EQ(report.decode_cells.size(),
+              Supervisor::table4_scenarios().size() * kAllLibraries.size());
+    for (const SupervisedEval& cell : report.decode_cells) {
+        EXPECT_FALSE(eval_outcome_is_failure(cell.outcome));
+    }
+}
+
+TEST(Supervisor, HealthyCellsMatchUnsupervisedRun) {
+    Supervisor supervisor;
+    DifferentialRunner runner;
+    for (const Scenario& scenario : Supervisor::table4_scenarios()) {
+        for (Library lib : kAllLibraries) {
+            SupervisedEval cell = supervisor.evaluate(lib, scenario);
+            InferredDecoding plain = runner.infer(lib, scenario);
+            EXPECT_EQ(cell.decode_class, classify_decoding(scenario.declared, plain))
+                << library_name(lib) << " / " << asn1::string_type_name(scenario.declared);
+            EXPECT_EQ(cell.inferred.method, plain.method);
+            EXPECT_EQ(cell.inferred.supported, plain.supported);
+        }
+    }
+}
+
+TEST(Supervisor, CrashingDoubleIsContainedAndQuarantined) {
+    core::ManualClock clock;
+    auto fo = fault_only(Library::kJavaSecurity);
+    fo.crash_rate = 1.0;
+    difffuzz::FaultyModel faulty(builtin_model(), fo, clock);
+    Supervisor supervisor(faulty, {}, clock);
+
+    SupervisedEval cell = supervisor.evaluate(Library::kJavaSecurity, kUtf8Dn);
+    EXPECT_EQ(cell.outcome, EvalOutcome::kCrash);
+    EXPECT_NE(cell.detail.find("injected crash"), std::string::npos);
+    ASSERT_TRUE(supervisor.quarantined(Library::kJavaSecurity));
+    EXPECT_EQ(*supervisor.quarantine_reason(Library::kJavaSecurity), EvalOutcome::kCrash);
+
+    // Quarantine degrades the model to kUnsupported, no more calls.
+    SupervisedEval next = supervisor.evaluate(Library::kJavaSecurity, kPrintableDn);
+    EXPECT_EQ(next.outcome, EvalOutcome::kUnsupported);
+
+    supervisor.reset_quarantine();
+    EXPECT_FALSE(supervisor.quarantined(Library::kJavaSecurity));
+}
+
+TEST(Supervisor, HangingDoubleTripsTheWallBudget) {
+    core::ManualClock clock;
+    auto fo = fault_only(Library::kForge);
+    fo.hang_rate = 1.0;
+    fo.hang_ms = 60'000;  // simulated; the watchdog fires at 5000ms
+    difffuzz::FaultyModel faulty(builtin_model(), fo, clock);
+    Supervisor supervisor(faulty, {}, clock);
+
+    SupervisedEval cell = supervisor.evaluate(Library::kForge, kUtf8Dn);
+    EXPECT_EQ(cell.outcome, EvalOutcome::kHang);
+    EXPECT_TRUE(supervisor.quarantined(Library::kForge));
+    // The hang burned simulated time only, and the cell records it.
+    EXPECT_GE(cell.wall_ms, 5000);
+}
+
+TEST(Supervisor, OversizeOutputTripsTheByteBudget) {
+    core::ManualClock clock;
+    auto fo = fault_only(Library::kNodeCrypto);
+    fo.oversize_rate = 1.0;
+    fo.oversize_bytes = 4u << 20;
+    difffuzz::FaultyModel faulty(builtin_model(), fo, clock);
+    Supervisor supervisor(faulty, {}, clock);
+
+    SupervisedEval cell = supervisor.evaluate(Library::kNodeCrypto, kUtf8Dn);
+    EXPECT_EQ(cell.outcome, EvalOutcome::kOversizeOutput);
+    EXPECT_TRUE(supervisor.quarantined(Library::kNodeCrypto));
+}
+
+TEST(Supervisor, StepBudgetExhaustionClassifiesAsHang) {
+    core::ManualClock clock;
+    EvalBudget budget;
+    budget.max_model_calls = 10;  // an inference needs hundreds of calls
+    Supervisor supervisor(builtin_model(), budget, clock);
+    SupervisedEval cell = supervisor.evaluate(Library::kOpenSsl, kUtf8Dn);
+    EXPECT_EQ(cell.outcome, EvalOutcome::kHang);
+    // The guard reports exhaustion on the call that crosses the limit.
+    EXPECT_LE(cell.model_calls, 11u);
+}
+
+// The acceptance scenario: one throwing and one hanging double among
+// nine models. The sweep must complete, classify both as failures,
+// quarantine them, and reproduce the healthy models' cells exactly.
+TEST(Supervisor, MixedFaultSweepCompletesAndHealthyCellsAreExact) {
+    core::ManualClock clock;
+    difffuzz::FaultyModelOptions fo;
+    fo.crash_rate = 1.0;  // rates apply only to the `only` list
+    fo.hang_rate = 0.0;
+    fo.only = {Library::kPyOpenSsl};
+    difffuzz::FaultyModel faulty(builtin_model(), fo, clock);
+    Supervisor supervisor(faulty, {}, clock);
+    SweepReport report = supervisor.sweep();
+
+    EXPECT_GT(report.failures, 0u);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0], Library::kPyOpenSsl);
+
+    // Healthy models: cell-for-cell identical to a fault-free sweep.
+    Supervisor healthy;
+    SweepReport reference = healthy.sweep();
+    ASSERT_EQ(report.decode_cells.size(), reference.decode_cells.size());
+    for (size_t i = 0; i < report.decode_cells.size(); ++i) {
+        if (report.decode_cells[i].lib == Library::kPyOpenSsl) continue;
+        EXPECT_EQ(report.decode_cells[i].outcome, reference.decode_cells[i].outcome);
+        EXPECT_EQ(report.decode_cells[i].decode_class, reference.decode_cells[i].decode_class);
+    }
+    ASSERT_EQ(report.violation_cells.size(), reference.violation_cells.size());
+    for (size_t i = 0; i < report.violation_cells.size(); ++i) {
+        if (report.violation_cells[i].lib == Library::kPyOpenSsl) continue;
+        EXPECT_EQ(report.violation_cells[i].violation, reference.violation_cells[i].violation);
+    }
+}
+
+}  // namespace
+}  // namespace unicert::tlslib

@@ -118,5 +118,36 @@ TEST(Verify, DiagnosticsOnMiss) {
     EXPECT_EQ(verify_hostname(wrong_san, "x.example").detail, "no SAN dNSName matched");
 }
 
+
+// ---- fuzz-surfaced edge cases -------------------------------------------
+
+TEST(DnsMatch, EmptyLabelsNeverMatch) {
+    // An empty label must not compare equal, even to itself.
+    EXPECT_FALSE(dns_name_matches("a..example.com", "a..example.com"));
+    EXPECT_FALSE(dns_name_matches(".example.com", "example.com"));
+    EXPECT_FALSE(dns_name_matches("example..com", "example.com"));
+    EXPECT_FALSE(dns_name_matches("*..com", "x..com"));
+}
+
+TEST(DnsMatch, TrailingDotEdgeCases) {
+    EXPECT_TRUE(dns_name_matches("example.com.", "example.com"));
+    EXPECT_TRUE(dns_name_matches("example.com", "example.com."));
+    EXPECT_TRUE(dns_name_matches("example.com.", "example.com."));
+    // Only ONE trailing root label is tolerated.
+    EXPECT_FALSE(dns_name_matches("example.com..", "example.com"));
+    EXPECT_FALSE(dns_name_matches("example.com", "example.com.."));
+    // A bare dot is an empty name, not a match-anything.
+    EXPECT_FALSE(dns_name_matches(".", "."));
+}
+
+TEST(DnsMatch, MixedScriptLabelsDoNotFalselyMatch) {
+    // Cyrillic 'а' (U+0430) inside an otherwise-Latin label: the
+    // confusable must not compare equal to the pure-Latin name.
+    EXPECT_FALSE(dns_name_matches("p\xD0\xB0ypal.com", "paypal.com"));
+    EXPECT_FALSE(dns_name_matches("paypal.com", "p\xD0\xB0ypal.com"));
+    // But the same confusable string matches itself consistently.
+    EXPECT_TRUE(dns_name_matches("p\xD0\xB0ypal.com", "p\xD0\xB0ypal.com"));
+}
+
 }  // namespace
 }  // namespace unicert::x509

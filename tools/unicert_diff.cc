@@ -1,0 +1,348 @@
+// unicert_diff: the supervised differential-parsing engine as a CLI.
+//
+//   unicert_diff                        supervised Table 4/5 sweep (default)
+//   unicert_diff --fuzz                 structure-aware DER fuzz loop
+//   unicert_diff --replay               re-run every crash-corpus bucket
+//   unicert_diff --triage               summarize the crash corpus
+//
+// Fault-injection flags wrap the built-in library models in a
+// deterministic misbehaving double, which is how the containment path
+// is exercised without a real crashing parser. Fuzz runs record their
+// seed and injection rates in <corpus>/corpus.meta so --replay
+// reconstructs the identical engine.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "difffuzz/faulty_model.h"
+#include "difffuzz/fuzzer.h"
+#include "tlslib/supervisor.h"
+
+using namespace unicert;
+
+namespace {
+
+constexpr const char* kUsage = R"(unicert_diff - supervised differential-parsing engine
+
+usage: unicert_diff [mode] [options]
+
+modes (default --sweep):
+  --sweep               run the supervised Table 4/5 sweep over all nine
+                        library models and print the grids
+  --fuzz                mutate DER seeds and run each input through every
+                        library model under containment; failures are
+                        bucketed into the crash corpus
+  --replay              re-run every corpus bucket and verify the same
+                        (library, outcome, signature) reproduces
+  --triage              print a per-bucket summary of the crash corpus
+
+options:
+  --corpus DIR          crash-corpus directory (--fuzz persists to it;
+                        --replay/--triage read it; in-memory when omitted)
+  --seed N              fuzz/mutation seed (default 1)
+  --iterations N        fuzz inputs to generate (default 256)
+  --inject-crash R      probability [0,1] that a model call throws
+  --inject-hang R       probability [0,1] that a model call hangs
+  --inject-oversize R   probability [0,1] that a model call floods output
+  --no-minimize         skip delta-debug minimization of new buckets
+  --help                this text
+
+exit codes:
+  0   success: sweep clean / fuzz ran / every replayed bucket reproduced
+  1   failures: sweep had failure cells, fuzz found new buckets, or a
+      replayed bucket did not reproduce
+  64  usage error (unknown flag, missing argument, bad number)
+  66  corpus directory missing or unreadable
+)";
+
+struct Options {
+    enum class Mode { kSweep, kFuzz, kReplay, kTriage } mode = Mode::kSweep;
+    std::string corpus_dir;
+    uint64_t seed = 1;
+    size_t iterations = 256;
+    double crash_rate = 0.0;
+    double hang_rate = 0.0;
+    double oversize_rate = 0.0;
+    bool minimize = true;
+};
+
+bool parse_double(const char* s, double* out) {
+    char* end = nullptr;
+    *out = std::strtod(s, &end);
+    return end != s && *end == '\0' && *out >= 0.0 && *out <= 1.0;
+}
+
+bool parse_u64(const char* s, uint64_t* out) {
+    char* end = nullptr;
+    *out = std::strtoull(s, &end, 10);
+    return end != s && *end == '\0';
+}
+
+int parse_args(int argc, char** argv, Options* opts) {
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        auto need_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "unicert_diff: %s requires a value\n", argv[i]);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
+        } else if (arg == "--sweep") {
+            opts->mode = Options::Mode::kSweep;
+        } else if (arg == "--fuzz") {
+            opts->mode = Options::Mode::kFuzz;
+        } else if (arg == "--replay") {
+            opts->mode = Options::Mode::kReplay;
+        } else if (arg == "--triage") {
+            opts->mode = Options::Mode::kTriage;
+        } else if (arg == "--corpus") {
+            const char* v = need_value();
+            if (!v) return 64;
+            opts->corpus_dir = v;
+        } else if (arg == "--seed") {
+            const char* v = need_value();
+            if (!v || !parse_u64(v, &opts->seed)) return 64;
+        } else if (arg == "--iterations") {
+            uint64_t n = 0;
+            const char* v = need_value();
+            if (!v || !parse_u64(v, &n)) return 64;
+            opts->iterations = static_cast<size_t>(n);
+        } else if (arg == "--inject-crash") {
+            const char* v = need_value();
+            if (!v || !parse_double(v, &opts->crash_rate)) return 64;
+        } else if (arg == "--inject-hang") {
+            const char* v = need_value();
+            if (!v || !parse_double(v, &opts->hang_rate)) return 64;
+        } else if (arg == "--inject-oversize") {
+            const char* v = need_value();
+            if (!v || !parse_double(v, &opts->oversize_rate)) return 64;
+        } else if (arg == "--no-minimize") {
+            opts->minimize = false;
+        } else {
+            std::fprintf(stderr, "unicert_diff: unknown argument %s (try --help)\n", argv[i]);
+            return 64;
+        }
+    }
+    return 0;
+}
+
+bool has_injection(const Options& o) {
+    return o.crash_rate > 0.0 || o.hang_rate > 0.0 || o.oversize_rate > 0.0;
+}
+
+// ---- corpus.meta: reproduce the engine that filled the corpus ------------
+
+void save_meta(const Options& o) {
+    if (o.corpus_dir.empty()) return;
+    std::ofstream out(o.corpus_dir + "/corpus.meta");
+    out << "unicert-fuzz-meta-v1\n";
+    out << "seed: " << o.seed << "\n";
+    out << "crash_rate: " << o.crash_rate << "\n";
+    out << "hang_rate: " << o.hang_rate << "\n";
+    out << "oversize_rate: " << o.oversize_rate << "\n";
+}
+
+void load_meta(Options* o) {
+    if (o->corpus_dir.empty()) return;
+    std::ifstream in(o->corpus_dir + "/corpus.meta");
+    std::string line;
+    if (!in || !std::getline(in, line) || line != "unicert-fuzz-meta-v1") return;
+    while (std::getline(in, line)) {
+        size_t colon = line.find(": ");
+        if (colon == std::string::npos) continue;
+        std::string key = line.substr(0, colon);
+        const char* value = line.c_str() + colon + 2;
+        if (key == "seed") parse_u64(value, &o->seed);
+        if (key == "crash_rate") parse_double(value, &o->crash_rate);
+        if (key == "hang_rate") parse_double(value, &o->hang_rate);
+        if (key == "oversize_rate") parse_double(value, &o->oversize_rate);
+    }
+}
+
+// ---- engine assembly -----------------------------------------------------
+
+// Owns the optional fault-injecting double and the clock that makes
+// injected hangs terminate instantly.
+struct Engine {
+    core::ManualClock manual_clock;
+    std::unique_ptr<difffuzz::FaultyModel> faulty;
+
+    tlslib::LibraryModel& model() {
+        return faulty ? static_cast<tlslib::LibraryModel&>(*faulty) : tlslib::builtin_model();
+    }
+    core::Clock& clock() {
+        return faulty ? static_cast<core::Clock&>(manual_clock) : core::system_clock();
+    }
+};
+
+Engine make_engine(const Options& o) {
+    Engine e;
+    if (has_injection(o)) {
+        difffuzz::FaultyModelOptions fo;
+        fo.seed = o.seed;
+        fo.crash_rate = o.crash_rate;
+        fo.hang_rate = o.hang_rate;
+        fo.oversize_rate = o.oversize_rate;
+        e.faulty = std::make_unique<difffuzz::FaultyModel>(tlslib::builtin_model(), fo,
+                                                           e.manual_clock);
+    }
+    return e;
+}
+
+difffuzz::DiffFuzzer make_fuzzer(Engine& e, difffuzz::CrashCorpus& corpus, const Options& o) {
+    difffuzz::FuzzOptions fo;
+    fo.seed = o.seed;
+    fo.iterations = o.iterations;
+    fo.minimize = o.minimize;
+    return difffuzz::DiffFuzzer(corpus, fo, e.model(), e.clock());
+}
+
+// ---- modes ---------------------------------------------------------------
+
+const char* cell_symbol(const tlslib::SupervisedEval& cell) {
+    switch (cell.outcome) {
+        case tlslib::EvalOutcome::kCrash: return "C!";
+        case tlslib::EvalOutcome::kHang: return "H!";
+        case tlslib::EvalOutcome::kOversizeOutput: return "F!";
+        case tlslib::EvalOutcome::kParseRefusal: return "R";
+        default: return tlslib::decode_class_symbol(cell.decode_class);
+    }
+}
+
+int run_sweep(const Options& o) {
+    Engine engine = make_engine(o);
+    tlslib::Supervisor supervisor(engine.model(), {}, engine.clock());
+    tlslib::SweepReport report = supervisor.sweep();
+
+    std::printf("-- Table 4 (supervised decode inference) --\n");
+    std::printf("%-28s", "scenario");
+    for (tlslib::Library lib : tlslib::kAllLibraries) {
+        std::printf(" %-4.4s", tlslib::library_name(lib));
+    }
+    std::printf("\n");
+    auto scenarios = tlslib::Supervisor::table4_scenarios();
+    for (const tlslib::Scenario& s : scenarios) {
+        std::string row = std::string(asn1::string_type_name(s.declared)) + "/" +
+                          tlslib::field_context_name(s.context);
+        std::printf("%-28s", row.c_str());
+        for (tlslib::Library lib : tlslib::kAllLibraries) {
+            for (const tlslib::SupervisedEval& cell : report.decode_cells) {
+                if (cell.lib == lib && cell.scenario.declared == s.declared &&
+                    cell.scenario.context == s.context) {
+                    std::printf(" %-4s", cell_symbol(cell));
+                    break;
+                }
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n-- Table 5 (supervised violation cells) --\n");
+    size_t t5_failures = 0;
+    for (const tlslib::SupervisedViolation& v : report.violation_cells) {
+        if (tlslib::eval_outcome_is_failure(v.outcome)) ++t5_failures;
+    }
+    std::printf("cells: %zu (%zu failure)\n", report.violation_cells.size(), t5_failures);
+
+    if (!report.quarantined.empty()) {
+        std::printf("\nquarantined models:\n");
+        for (tlslib::Library lib : report.quarantined) {
+            std::printf("  %s\n", tlslib::library_name(lib));
+        }
+    }
+    std::printf("\nsweep cells: %zu   failures: %zu\n",
+                report.decode_cells.size() + report.violation_cells.size(), report.failures);
+    return report.failures > 0 ? 1 : 0;
+}
+
+int run_fuzz(const Options& o) {
+    Engine engine = make_engine(o);
+    difffuzz::CrashCorpus corpus(o.corpus_dir);
+    if (!o.corpus_dir.empty()) {
+        // Merge with an existing corpus so repeated runs accumulate.
+        (void)corpus.load();
+    }
+    difffuzz::DiffFuzzer fuzzer = make_fuzzer(engine, corpus, o);
+    difffuzz::FuzzStats stats = fuzzer.run();
+    save_meta(o);
+    std::printf("fuzz: seed=%llu inputs=%zu evaluations=%zu failures=%zu\n",
+                static_cast<unsigned long long>(o.seed), stats.inputs, stats.evaluations,
+                stats.failures);
+    std::printf("corpus: %zu bucket(s), %zu new, %zu minimized%s%s\n", corpus.size(),
+                stats.new_buckets, stats.minimized, o.corpus_dir.empty() ? "" : " -> ",
+                o.corpus_dir.c_str());
+    return stats.new_buckets > 0 ? 1 : 0;
+}
+
+int run_replay(Options o) {
+    if (o.corpus_dir.empty()) {
+        std::fprintf(stderr, "unicert_diff: --replay requires --corpus DIR\n");
+        return 64;
+    }
+    if (!std::filesystem::is_directory(o.corpus_dir)) {
+        std::fprintf(stderr, "unicert_diff: cannot read corpus dir %s\n", o.corpus_dir.c_str());
+        return 66;
+    }
+    load_meta(&o);
+    difffuzz::CrashCorpus corpus(o.corpus_dir);
+    if (Status st = corpus.load(); !st.ok()) {
+        std::fprintf(stderr, "unicert_diff: %s\n", st.error().message.c_str());
+        return 66;
+    }
+    Engine engine = make_engine(o);
+    difffuzz::DiffFuzzer fuzzer = make_fuzzer(engine, corpus, o);
+    std::vector<std::string> unreproduced;
+    size_t reproduced = fuzzer.replay(&unreproduced);
+    std::printf("replay: %zu/%zu bucket(s) reproduced\n", reproduced, corpus.size());
+    for (const std::string& key : unreproduced) {
+        std::printf("  NOT reproduced: %s\n", key.c_str());
+    }
+    return unreproduced.empty() ? 0 : 1;
+}
+
+int run_triage(const Options& o) {
+    if (o.corpus_dir.empty()) {
+        std::fprintf(stderr, "unicert_diff: --triage requires --corpus DIR\n");
+        return 64;
+    }
+    if (!std::filesystem::is_directory(o.corpus_dir)) {
+        std::fprintf(stderr, "unicert_diff: cannot read corpus dir %s\n", o.corpus_dir.c_str());
+        return 66;
+    }
+    difffuzz::CrashCorpus corpus(o.corpus_dir);
+    if (Status st = corpus.load(); !st.ok()) {
+        std::fprintf(stderr, "unicert_diff: %s\n", st.error().message.c_str());
+        return 66;
+    }
+    std::printf("corpus %s: %zu bucket(s)\n", o.corpus_dir.c_str(), corpus.size());
+    for (const auto& [key, entry] : corpus.entries()) {
+        std::printf("  %-48s %4zuB  %s/%s  %s\n", key.c_str(), entry.payload.size(),
+                    asn1::string_type_name(entry.scenario.declared),
+                    tlslib::field_context_name(entry.scenario.context), entry.detail.c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opts;
+    if (int rc = parse_args(argc, argv, &opts); rc != 0) return rc;
+    switch (opts.mode) {
+        case Options::Mode::kSweep: return run_sweep(opts);
+        case Options::Mode::kFuzz: return run_fuzz(opts);
+        case Options::Mode::kReplay: return run_replay(opts);
+        case Options::Mode::kTriage: return run_triage(opts);
+    }
+    return 0;
+}

@@ -19,12 +19,38 @@
 
 using namespace unicert;
 
+namespace {
+
+constexpr const char* kUsage = R"(unicert_inspect - show a certificate's identity fields
+
+usage: unicert_inspect [--asn1] [file.pem]    (reads stdin when no file)
+
+  --asn1    also print the full ASN.1 structure dump
+  --help    this text
+
+exit codes:
+  0   certificate parsed and printed
+  64  input unreadable or not valid PEM (missing/truncated envelope,
+      bad base64)
+  65  PEM decoded but the DER certificate failed to parse
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
     bool show_asn1 = false;
     const char* path = nullptr;
     for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--asn1") {
+        std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        }
+        if (arg == "--asn1") {
             show_asn1 = true;
+        } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+            std::fprintf(stderr, "unicert_inspect: unknown flag %s (try --help)\n", argv[i]);
+            return 64;
         } else {
             path = argv[i];
         }
