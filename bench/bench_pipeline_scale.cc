@@ -1,0 +1,136 @@
+// Scaling benchmark for the parallel compliance pipeline: serial
+// CompliancePipeline vs ParallelPipeline at 1/2/4/8 workers over the
+// default reference corpus. Besides throughput, every parallel run is
+// checked against the serial aggregates — a benchmark that got faster
+// by breaking determinism must fail loudly, not report a speedup.
+//
+// Emits BENCH_pipeline_scale.json with certs/sec and speedup per job
+// count. Note: speedup is bounded by the host's core count; on a
+// single-core CI runner every configuration measures ~1x.
+#include "bench_common.h"
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/parallel_pipeline.h"
+
+using namespace unicert;
+
+namespace {
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// The aggregates every run must agree on, serialized for comparison.
+std::string aggregate_key(const core::CompliancePipeline& pipeline) {
+    std::ostringstream out;
+    out << pipeline.noncompliant_count() << "/" << pipeline.analyzed().size();
+    core::TaxonomyReport taxonomy = pipeline.taxonomy_report();
+    out << " nc=" << taxonomy.total_nc << " trusted=" << taxonomy.total_nc_trusted;
+    for (const core::LintRow& row : pipeline.top_lints(5)) {
+        out << " " << row.name << ":" << row.nc_certs;
+    }
+    return out.str();
+}
+
+struct Run {
+    size_t jobs = 0;  // 0 = serial CompliancePipeline
+    double seconds = 0.0;
+    double certs_per_sec = 0.0;
+    double speedup = 1.0;
+    bool parity = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int repetitions = 3;
+    if (argc > 1) repetitions = std::max(1, std::atoi(argv[1]));
+
+    bench::print_header("Parallel pipeline scaling — serial vs 1/2/4/8 workers",
+                        "DESIGN.md §8 concurrency model (deterministic merge)");
+
+    const std::vector<ctlog::CorpusCert>& corpus = bench::default_corpus();
+    std::printf("corpus size          | %zu certs, %d repetitions per config\n",
+                corpus.size(), repetitions);
+    std::printf("hardware threads     | %zu\n\n", core::Executor::default_concurrency());
+
+    // Serial baseline (also the parity reference).
+    std::string reference;
+    Run serial;
+    {
+        double start = now_seconds();
+        for (int r = 0; r < repetitions; ++r) {
+            core::VectorCertSource source(corpus);
+            core::CompliancePipeline pipeline(source);
+            if (r == 0) reference = aggregate_key(pipeline);
+        }
+        serial.seconds = (now_seconds() - start) / repetitions;
+        serial.certs_per_sec = corpus.size() / serial.seconds;
+    }
+
+    std::vector<Run> runs;
+    for (size_t jobs : {1u, 2u, 4u, 8u}) {
+        Run run;
+        run.jobs = jobs;
+        double start = now_seconds();
+        for (int r = 0; r < repetitions; ++r) {
+            core::VectorCertSource source(corpus);
+            core::ParallelPipeline pipeline(source, {}, {.jobs = jobs});
+            if (r == 0) run.parity = aggregate_key(pipeline) == reference;
+        }
+        run.seconds = (now_seconds() - start) / repetitions;
+        run.certs_per_sec = corpus.size() / run.seconds;
+        run.speedup = serial.seconds / run.seconds;
+        runs.push_back(run);
+    }
+
+    core::TextTable table({"Config", "Seconds/run", "Certs/sec", "Speedup", "Parity"});
+    table.add_row({"serial", std::to_string(serial.seconds),
+                   core::with_commas(static_cast<size_t>(serial.certs_per_sec)), "1.00x",
+                   "ref"});
+    bool all_parity = true;
+    for (const Run& run : runs) {
+        all_parity = all_parity && run.parity;
+        char speedup[32];
+        std::snprintf(speedup, sizeof(speedup), "%.2fx", run.speedup);
+        table.add_row({"jobs=" + std::to_string(run.jobs), std::to_string(run.seconds),
+                       core::with_commas(static_cast<size_t>(run.certs_per_sec)), speedup,
+                       run.parity ? "OK" : "DIVERGED"});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::FILE* f = std::fopen("BENCH_pipeline_scale.json", "w");
+    if (f != nullptr) {
+        std::fprintf(f, "{\n  \"benchmark\": \"bench_pipeline_scale\",\n");
+        std::fprintf(f, "  \"corpus_certs\": %zu,\n", corpus.size());
+        std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+                     core::Executor::default_concurrency());
+        std::fprintf(f, "  \"serial\": {\"seconds\": %.6f, \"certs_per_sec\": %.1f},\n",
+                     serial.seconds, serial.certs_per_sec);
+        std::fprintf(f, "  \"parallel\": [\n");
+        for (size_t i = 0; i < runs.size(); ++i) {
+            std::fprintf(f,
+                         "    {\"jobs\": %zu, \"seconds\": %.6f, \"certs_per_sec\": %.1f, "
+                         "\"speedup\": %.3f, \"parity\": %s}%s\n",
+                         runs[i].jobs, runs[i].seconds, runs[i].certs_per_sec,
+                         runs[i].speedup, runs[i].parity ? "true" : "false",
+                         i + 1 < runs.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nbaseline written to BENCH_pipeline_scale.json\n");
+    }
+
+    if (!all_parity) {
+        std::printf("PARITY FAILURE: a parallel run diverged from the serial aggregates\n");
+        return 1;
+    }
+    return 0;
+}

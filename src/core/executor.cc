@@ -1,0 +1,128 @@
+#include "core/executor.h"
+
+#include <chrono>
+
+namespace unicert::core {
+
+size_t Executor::default_concurrency() noexcept {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+Executor::Executor(size_t threads) {
+    if (threads == 0) threads = default_concurrency();
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+Executor::~Executor() {
+    wait_idle();
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(wake_mu_);
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void Executor::submit(std::function<void()> task) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    size_t slot = rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    {
+        std::lock_guard<std::mutex> lk(workers_[slot]->mu);
+        workers_[slot]->queue.push_back(std::move(task));
+    }
+    queued_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        // Empty critical section orders the queued_ increment before any
+        // worker's predicate re-check, closing the lost-wakeup window.
+        std::lock_guard<std::mutex> lk(wake_mu_);
+    }
+    wake_cv_.notify_one();
+}
+
+bool Executor::take_task(size_t id, std::function<void()>& out) {
+    const size_t n = workers_.size();
+    // Own queue first, newest work (back): it is the cache-warm end.
+    if (id != npos) {
+        Worker& own = *workers_[id];
+        std::lock_guard<std::mutex> lk(own.mu);
+        if (!own.queue.empty()) {
+            out = std::move(own.queue.back());
+            own.queue.pop_back();
+            return true;
+        }
+    }
+    // Steal oldest work (front) from the next victims in ring order.
+    const size_t start = id == npos ? 0 : id + 1;
+    for (size_t k = 0; k < n; ++k) {
+        size_t victim = (start + k) % n;
+        if (victim == id) continue;
+        Worker& w = *workers_[victim];
+        std::lock_guard<std::mutex> lk(w.mu);
+        if (!w.queue.empty()) {
+            out = std::move(w.queue.front());
+            w.queue.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void Executor::run_task(std::function<void()>& task) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    task = nullptr;  // release captures before signalling idle
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        {
+            std::lock_guard<std::mutex> lk(idle_mu_);
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+bool Executor::try_run_one() {
+    std::function<void()> task;
+    if (!take_task(npos, task)) return false;
+    run_task(task);
+    return true;
+}
+
+void Executor::worker_loop(size_t id) {
+    for (;;) {
+        std::function<void()> task;
+        if (take_task(id, task)) {
+            run_task(task);
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(wake_mu_);
+        wake_cv_.wait(lk, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire) &&
+            queued_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+void Executor::wait_idle() {
+    while (inflight_.load(std::memory_order_acquire) > 0) {
+        if (try_run_one()) continue;
+        // Nothing stealable: either all remaining work is running on
+        // workers, or a running task is about to submit more. Sleep on
+        // the idle signal with a short recheck so helper draining
+        // resumes if new tasks appear.
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+            return inflight_.load(std::memory_order_acquire) == 0;
+        });
+    }
+}
+
+}  // namespace unicert::core

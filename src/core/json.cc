@@ -75,4 +75,61 @@ std::string taxonomy_to_json(const TaxonomyReport& report) {
     return out;
 }
 
+std::string issuer_report_to_json(const std::vector<IssuerRow>& rows) {
+    std::string out = "{\"issuers\":[";
+    bool first = true;
+    for (const IssuerRow& row : rows) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"organization\":\"" + json_escape(row.organization) + "\"";
+        out += ",\"trust\":\"" + std::string(ctlog::trust_status_label(row.trust)) + "\"";
+        out += ",\"region\":\"" + json_escape(row.region) + "\"";
+        out += ",\"total\":" + std::to_string(row.total);
+        out += ",\"noncompliant\":" + std::to_string(row.noncompliant);
+        out += ",\"recent_noncompliant\":" + std::to_string(row.recent_nc) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+namespace {
+
+std::string fixed(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
+std::string cdf_class_to_json(const std::vector<int64_t>& sorted) {
+    std::string out = "{\"count\":" + std::to_string(sorted.size());
+    out += ",\"quantiles\":{";
+    bool first = true;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"p" + std::to_string(static_cast<int>(q * 100)) + "\":" +
+               fixed(ValidityCdf::quantile(sorted, q));
+    }
+    out += "},\"cdf_at_days\":{";
+    first = true;
+    for (int64_t days : {90, 180, 365, 398, 730, 825, 1185}) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + std::to_string(days) + "\":" +
+               fixed(ValidityCdf::cdf_at(sorted, days));
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace
+
+std::string validity_cdf_to_json(const ValidityCdf& cdf) {
+    std::string out = "{\"idn_certs\":" + cdf_class_to_json(cdf.idn_certs);
+    out += ",\"other_unicerts\":" + cdf_class_to_json(cdf.other_unicerts);
+    out += ",\"noncompliant\":" + cdf_class_to_json(cdf.noncompliant);
+    out += "}";
+    return out;
+}
+
 }  // namespace unicert::core

@@ -1,0 +1,85 @@
+// unicert/core/parallel_pipeline.h
+//
+// The parallel compliance pipeline: shard a certificate stream across
+// the work-stealing Executor and merge shard results with a
+// deterministic, input-order-respecting reducer, so that for every
+// (corpus, lint set, thread count, fault plan) the emitted report,
+// stats, and quarantine list are byte-identical to the serial
+// CompliancePipeline. Two ingestion shapes:
+//
+//  * CertSource: a generic pull stream is inherently serial, so the
+//    constructor thread runs the exact serial fetch/retry/dedup ladder
+//    and fans parse + lint (the hot path) out in bounded batches.
+//    Batches carry sequence tags; the reducer reassembles results in
+//    delivery order. Because dedup decisions depend on whether an
+//    earlier delivery of the same index succeeded (a poison copy fails
+//    parse; the intact original must then be processed), the fetch
+//    thread stalls on the rare in-flight-index collision until that
+//    entry's outcome is known — the serial decision, reproduced.
+//
+//  * ctlog::LogSource: entry fetches are random-access, so the log
+//    shards into contiguous ranges (ctlog::shard_ranges) and each
+//    shard runs the full streaming ladder — fetch, retry, parse, lint,
+//    quarantine — concurrently via internal::run_stream over its own
+//    LogCertSource. Shards merge in range order (= log order), and
+//    each exposes a ShardCheckpoint so an aborted pass resumes per
+//    shard (PR 1's resumable-sync property, survived into parallel
+//    ingestion). Requires the LogSource to tolerate concurrent reads
+//    when jobs > 1 (InMemoryLogSource and FaultyLogSource both do).
+//
+// See DESIGN.md §8 for the concurrency model and the reentrancy
+// contract lint rules must satisfy.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ctlog/shard.h"
+
+namespace unicert::core {
+
+struct ParallelOptions {
+    // Worker threads. 0 = Executor::default_concurrency().
+    size_t jobs = 0;
+    // Entries per lint batch on the CertSource path. 0 = auto (sized
+    // so every worker sees several batches).
+    size_t batch_size = 0;
+    // Shard count on the LogSource path. 0 = jobs.
+    size_t shards = 0;
+};
+
+class ParallelPipeline : public CompliancePipeline {
+public:
+    // Generic stream: serial fetch ladder + parallel parse/lint.
+    explicit ParallelPipeline(CertSource& source, PipelineOptions options = {},
+                              ParallelOptions parallel = {});
+
+    // Sharded CT-log ingestion over [0, latest_tree_head().tree_size).
+    explicit ParallelPipeline(ctlog::LogSource& log, PipelineOptions options = {},
+                              ParallelOptions parallel = {});
+
+    // Resume a previous sharded ingestion: completed shards are
+    // skipped, aborted shards continue from their cursor. The merged
+    // result covers only entries processed by THIS pass.
+    ParallelPipeline(ctlog::LogSource& log, std::vector<ctlog::ShardCheckpoint> resume,
+                     PipelineOptions options = {}, ParallelOptions parallel = {});
+
+    size_t jobs() const noexcept { return jobs_; }
+
+    // LogSource path only: one checkpoint per shard, in range order.
+    // Empty for CertSource runs.
+    const std::vector<ctlog::ShardCheckpoint>& shard_checkpoints() const noexcept {
+        return shard_checkpoints_;
+    }
+
+private:
+    void run_batched(CertSource& source, const PipelineOptions& options,
+                     const ParallelOptions& parallel);
+    void run_sharded(ctlog::LogSource& log, std::vector<ctlog::ShardCheckpoint> shards,
+                     const PipelineOptions& options, const ParallelOptions& parallel);
+
+    size_t jobs_ = 1;
+    std::vector<ctlog::ShardCheckpoint> shard_checkpoints_;
+};
+
+}  // namespace unicert::core

@@ -173,41 +173,55 @@ CompliancePipeline::CompliancePipeline(const std::vector<ctlog::CorpusCert>& cor
     }
 }
 
-CompliancePipeline::CompliancePipeline(CertSource& source, PipelineOptions options) {
-    const lint::Registry& registry =
-        options.registry != nullptr ? *options.registry : lint::default_registry();
-    core::Clock& clock = options.clock != nullptr ? *options.clock : core::system_clock();
-    analyzed_.reserve(source.size_hint());
+namespace internal {
+
+void run_stream(CertSource& source, const PipelineOptions& options,
+                const lint::Registry& registry, Clock& clock, StreamState& state) {
+    const size_t size_hint = source.size_hint();
+    state.analyzed.reserve(size_hint);
 
     std::unordered_set<size_t> processed_indices;
     auto quarantine = [&](size_t index, QuarantineStage stage, Error error) {
-        quarantine_.records.push_back({index, stage, std::move(error)});
-        ++stats_.quarantined;
+        state.quarantine.records.push_back({index, stage, std::move(error)});
+        ++state.stats.quarantined;
+    };
+    auto ingest = [&](const ctlog::CorpusCert& cert) {
+        AnalyzedCert a;
+        a.cert = &cert;
+        a.report = lint::run_lints(cert.cert, registry, options.lint_options);
+        a.noncompliant = a.report.noncompliant();
+        if (a.noncompliant) ++state.nc_count;
+        state.analyzed.push_back(std::move(a));
+        ++state.stats.processed;
+        if (options.progress && options.progress_interval > 0 &&
+            state.stats.processed % options.progress_interval == 0) {
+            options.progress(state.stats.processed, size_hint);
+        }
     };
 
     for (;;) {
         RetryOutcome outcome;
         auto item = core::retry<std::optional<CertEntry>>(
             options.retry, clock, [&] { return source.next(); }, &outcome);
-        stats_.retries += outcome.retries;
+        state.stats.retries += outcome.retries;
         if (!item.ok()) {
             // Bottom of the ladder: the stream itself failed past the
             // retry budget — abort with the partial stats preserved.
-            stats_.completed = false;
-            stats_.abort_error = item.error();
-            quarantine_.records.push_back(
+            state.stats.completed = false;
+            state.stats.abort_error = item.error();
+            state.quarantine.records.push_back(
                 {processed_indices.size(), QuarantineStage::kFetch, item.error()});
             break;
         }
-        if (outcome.retries > 0) ++stats_.recovered;
+        if (outcome.retries > 0) ++state.stats.recovered;
         if (!item->has_value()) break;  // end of stream
         CertEntry entry = std::move(**item);
 
         if (processed_indices.contains(entry.index)) {
             // Redelivery of an already-aggregated entry (duplicate or
             // regressed stream view): suppress, never double-count.
-            ++stats_.duplicates;
-            ++stats_.recovered;
+            ++state.stats.duplicates;
+            ++state.stats.recovered;
             continue;
         }
 
@@ -220,12 +234,12 @@ CompliancePipeline::CompliancePipeline(CertSource& source, PipelineOptions optio
             }
             ctlog::CorpusCert materialized;
             materialized.cert = std::move(parsed.value());
-            owned_.push_back(std::move(materialized));
-            meta = &owned_.back();
+            state.owned.push_back(std::move(materialized));
+            meta = &state.owned.back();
         }
 
         try {
-            ingest(*meta, registry, options.lint_options);
+            ingest(*meta);
         } catch (const std::exception& ex) {
             quarantine(entry.index, QuarantineStage::kLint, Error{"lint_exception", ex.what()});
             continue;
@@ -236,6 +250,22 @@ CompliancePipeline::CompliancePipeline(CertSource& source, PipelineOptions optio
         }
         processed_indices.insert(entry.index);
     }
+}
+
+}  // namespace internal
+
+CompliancePipeline::CompliancePipeline(CertSource& source, PipelineOptions options) {
+    const lint::Registry& registry =
+        options.registry != nullptr ? *options.registry : lint::default_registry();
+    core::Clock& clock = options.clock != nullptr ? *options.clock : core::system_clock();
+
+    internal::StreamState state;
+    internal::run_stream(source, options, registry, clock, state);
+    analyzed_ = std::move(state.analyzed);
+    owned_ = std::move(state.owned);  // deque move keeps element addresses stable
+    nc_count_ = state.nc_count;
+    stats_ = std::move(state.stats);
+    quarantine_ = std::move(state.quarantine);
 }
 
 double CompliancePipeline::noncompliance_rate() const noexcept {
@@ -310,8 +340,12 @@ std::vector<IssuerRow> CompliancePipeline::issuer_report(size_t top_n) const {
     std::vector<IssuerRow> rows;
     rows.reserve(by_issuer.size());
     for (auto& [name, row] : by_issuer) rows.push_back(std::move(row));
+    // Tie-break on the organization name so the ranking is a total
+    // order: golden-file diffs must not depend on std::sort tie
+    // placement.
     std::sort(rows.begin(), rows.end(), [](const IssuerRow& a, const IssuerRow& b) {
-        return a.noncompliant > b.noncompliant;
+        return a.noncompliant != b.noncompliant ? a.noncompliant > b.noncompliant
+                                                : a.organization < b.organization;
     });
     if (rows.size() > top_n) rows.resize(top_n);
     return rows;
@@ -335,8 +369,9 @@ std::vector<LintRow> CompliancePipeline::top_lints(size_t top_n) const {
     }
     std::vector<LintRow> rows;
     for (auto& [name, row] : by_lint) rows.push_back(std::move(row));
-    std::sort(rows.begin(), rows.end(),
-              [](const LintRow& a, const LintRow& b) { return a.nc_certs > b.nc_certs; });
+    std::sort(rows.begin(), rows.end(), [](const LintRow& a, const LintRow& b) {
+        return a.nc_certs != b.nc_certs ? a.nc_certs > b.nc_certs : a.name < b.name;
+    });
     if (rows.size() > top_n) rows.resize(top_n);
     return rows;
 }

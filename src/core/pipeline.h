@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -210,9 +211,38 @@ struct PipelineOptions {
     const lint::Registry* registry = nullptr;
     core::RetryPolicy retry;
     core::Clock* clock = nullptr;  // system clock when null
+    // Observability hook: invoked after every `progress_interval`
+    // successfully linted certificates (and never concurrently — the
+    // pipeline serializes calls, including from parallel runs). Purely
+    // observational; it must not mutate pipeline state.
+    std::function<void(size_t processed, size_t size_hint)> progress;
+    size_t progress_interval = 5000;
 };
 
 // ---- Pipeline -----------------------------------------------------------------
+
+namespace internal {
+
+// Everything one streaming ingestion run produces. The serial pipeline
+// fills one of these; the parallel pipeline fills one per shard and
+// merges them deterministically (parallel_pipeline.cc).
+struct StreamState {
+    std::vector<AnalyzedCert> analyzed;
+    std::deque<ctlog::CorpusCert> owned;  // wire-parsed certs (stable addresses)
+    size_t nc_count = 0;
+    PipelineStats stats;
+    QuarantineReport quarantine;
+};
+
+// The streaming ingestion ladder — retry transient fetch faults, dedup
+// redeliveries by entry index, parse wire entries, quarantine per-cert
+// failures, abort on permanent stream failure — shared verbatim by
+// CompliancePipeline's streaming constructor and by each shard task of
+// the parallel log-ingestion path, so both make identical decisions.
+void run_stream(CertSource& source, const PipelineOptions& options,
+                const lint::Registry& registry, Clock& clock, StreamState& state);
+
+}  // namespace internal
 
 class CompliancePipeline {
 public:
@@ -244,12 +274,20 @@ public:
     FieldHeatmap field_heatmap() const;                      // Figure 4
     std::vector<VariantGroup> subject_variants() const;      // Table 3
 
-private:
+protected:
+    // For ParallelPipeline: construct empty, then fill the state via a
+    // deterministic merge of shard results.
+    CompliancePipeline() = default;
+
     void ingest(const ctlog::CorpusCert& cert, const lint::Registry& registry,
                 const lint::RunOptions& options);
 
     std::vector<AnalyzedCert> analyzed_;
     std::deque<ctlog::CorpusCert> owned_;  // wire-parsed certs (stable addresses)
+    // Parallel runs park each shard/batch's wire-parsed certs here;
+    // moving a deque preserves element addresses, so AnalyzedCert::cert
+    // pointers stay valid across the merge.
+    std::vector<std::deque<ctlog::CorpusCert>> owned_shards_;
     size_t nc_count_ = 0;
     PipelineStats stats_;
     QuarantineReport quarantine_;

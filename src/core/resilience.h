@@ -10,6 +10,7 @@
 // layering so the CT modules can depend on it without a cycle.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -31,18 +32,33 @@ Clock& system_clock();
 
 // Manually advanced clock: sleep_ms() moves the epoch forward without
 // blocking. Backoff schedules become pure arithmetic under test.
+// Thread-safe: parallel shard tasks back off against a shared instance,
+// and the slept total stays deterministic (a commutative sum) however
+// the sleeps interleave.
 class ManualClock final : public Clock {
 public:
-    int64_t now_ms() override { return now_; }
-    void sleep_ms(int64_t ms) override {
-        now_ += ms;
-        slept_ += ms;
+    ManualClock() = default;
+    // Movable for value members; the atomics only make concurrent
+    // sleeps safe, moving a clock mid-use was never supported.
+    ManualClock(ManualClock&& other) noexcept
+        : now_(other.now_.load(std::memory_order_relaxed)),
+          slept_(other.slept_.load(std::memory_order_relaxed)) {}
+    ManualClock& operator=(ManualClock&& other) noexcept {
+        now_.store(other.now_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+        slept_.store(other.slept_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+        return *this;
     }
-    int64_t total_slept_ms() const noexcept { return slept_; }
+
+    int64_t now_ms() override { return now_.load(std::memory_order_relaxed); }
+    void sleep_ms(int64_t ms) override {
+        now_.fetch_add(ms, std::memory_order_relaxed);
+        slept_.fetch_add(ms, std::memory_order_relaxed);
+    }
+    int64_t total_slept_ms() const noexcept { return slept_.load(std::memory_order_relaxed); }
 
 private:
-    int64_t now_ = 0;
-    int64_t slept_ = 0;
+    std::atomic<int64_t> now_{0};
+    std::atomic<int64_t> slept_{0};
 };
 
 // Errors worth retrying: the operation may succeed on a later attempt

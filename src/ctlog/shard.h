@@ -1,0 +1,72 @@
+// unicert/ctlog/shard.h
+//
+// Shardable views over a CT log for parallel ingestion. A log of N
+// entries splits into contiguous, balanced ShardRanges; each shard is
+// consumed independently (its own cursor, retries, quarantine) and
+// carries its own ShardCheckpoint so a parallel ingestion pass aborted
+// in one shard resumes exactly where that shard stopped — the
+// per-shard analogue of the monitor's resumable-sync checkpoint.
+// Shards are contiguous index ranges, so concatenating shard results
+// in range order reproduces the global log order: the property the
+// deterministic-merge invariant (DESIGN.md §8) relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctlog/log_source.h"
+
+namespace unicert::ctlog {
+
+// Half-open entry range [begin, end).
+struct ShardRange {
+    size_t begin = 0;
+    size_t end = 0;
+
+    size_t size() const noexcept { return end - begin; }
+    bool empty() const noexcept { return begin >= end; }
+
+    bool operator==(const ShardRange&) const = default;
+};
+
+// Split [0, total) into at most `shards` contiguous ranges, balanced to
+// within one entry, larger shards first. Fewer ranges come back when
+// total < shards; zero when the log is empty.
+std::vector<ShardRange> shard_ranges(size_t total, size_t shards);
+
+// One shard's durable ingestion position: the next entry to consume
+// within its range. `completed` means the cursor reached range.end
+// without a stream-level abort; a resumed pass skips completed shards.
+struct ShardCheckpoint {
+    ShardRange range;
+    size_t next_index = 0;
+    bool completed = false;
+
+    size_t remaining() const noexcept {
+        return next_index >= range.end ? 0 : range.end - next_index;
+    }
+
+    bool operator==(const ShardCheckpoint&) const = default;
+};
+
+// A LogSource restricted to one shard: entry reads outside the range
+// are refused, and the advertised tree head is clamped to range.end so
+// a consumer sized by the head never walks off the shard. Reads
+// delegate to the inner source, so fault decorators stay in effect.
+class ShardedLogView final : public LogSource {
+public:
+    ShardedLogView(LogSource& inner, ShardRange range) : inner_(&inner), range_(range) {}
+
+    const ShardRange& range() const noexcept { return range_; }
+
+    std::string name() const override;
+    Expected<SignedTreeHead> latest_tree_head() override;
+    Expected<RawLogEntry> entry_at(size_t index) override;
+    Expected<Digest> root_at(size_t tree_size) override;
+
+private:
+    LogSource* inner_;
+    ShardRange range_;
+};
+
+}  // namespace unicert::ctlog

@@ -5,6 +5,7 @@
 namespace unicert::faultsim {
 
 Expected<ctlog::SignedTreeHead> FaultyLogSource::latest_tree_head() {
+    std::lock_guard<std::mutex> lk(mu_);
     const size_t read = head_reads_++;
     if (plan_.fires(FaultKind::kHeadFlake, read)) {
         ++injected_;
@@ -29,6 +30,10 @@ Expected<ctlog::SignedTreeHead> FaultyLogSource::latest_tree_head() {
 }
 
 Expected<ctlog::RawLogEntry> FaultyLogSource::entry_at(size_t index) {
+    // Holding the lock across the inner fetch serializes concurrent
+    // shard reads, which keeps the per-index fault schedule exact;
+    // throughput is irrelevant for a fault-injection decorator.
+    std::lock_guard<std::mutex> lk(mu_);
     const bool transient = plan_.fires(FaultKind::kTransient, index);
     const bool dropped = plan_.fires(FaultKind::kDrop, index);
     if (transient || dropped) {

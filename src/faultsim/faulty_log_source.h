@@ -7,9 +7,14 @@
 // under the consumer's retry policy; corruption is quarantined. All
 // state is per-instance, so the same plan replayed against a fresh
 // decorator produces the identical fault sequence.
+//
+// Thread-safe: the bookkeeping is per-index and guarded by an internal
+// mutex, so sharded parallel ingestion can fetch entries concurrently
+// and still observe exactly the per-index schedule the plan dictates.
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "ctlog/log_source.h"
 #include "faultsim/fault_plan.h"
@@ -28,11 +33,15 @@ public:
     Expected<crypto::Digest> root_at(size_t tree_size) override;
 
     // Fault accounting, for assertions.
-    size_t injected_faults() const noexcept { return injected_; }
+    size_t injected_faults() const noexcept {
+        std::lock_guard<std::mutex> lk(mu_);
+        return injected_;
+    }
 
 private:
     ctlog::LogSource* inner_;
     FaultPlan plan_;
+    mutable std::mutex mu_;  // guards every mutable member below
     std::map<size_t, int> entry_failures_;   // consecutive failures served per index
     std::map<size_t, bool> stale_served_;    // duplicate delivery done?
     std::map<size_t, bool> poison_served_;   // corrupted copy delivered?

@@ -1,0 +1,123 @@
+// Golden-file regression tests for the paper's headline artifacts: the
+// Table 1 taxonomy, Table 2 issuer ranking and Figure 3 validity CDF
+// over the reference corpus (seed 42, scale 1000 — the same corpus the
+// benchmarks use). Any change to corpus generation, the lint registry,
+// aggregation or JSON emission shows up here as a readable diff instead
+// of a silent drift.
+//
+// When a change is intentional, refresh the files with either of
+//   ./tests/golden_regression_test --update-golden
+//   UNICERT_UPDATE_GOLDEN=1 ctest -R Golden
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/parallel_pipeline.h"
+#include "core/pipeline.h"
+#include "ctlog/corpus.h"
+
+namespace unicert {
+namespace {
+
+bool update_golden = false;
+
+std::string golden_path(const std::string& name) {
+    return std::string(UNICERT_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// Diff `actual` against the golden file, or rewrite it in update mode.
+void expect_golden(const std::string& name, const std::string& actual) {
+    const std::string path = golden_path(name);
+    if (update_golden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual << "\n";
+        GTEST_LOG_(INFO) << "updated " << path;
+        return;
+    }
+    const std::string expected = read_file(path);
+    ASSERT_FALSE(expected.empty())
+        << path << " is missing — regenerate with --update-golden";
+    EXPECT_EQ(actual + "\n", expected)
+        << name << " drifted from the golden file. If the change is "
+        << "intentional, refresh with --update-golden and review the diff.";
+}
+
+class GoldenRegression : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        ctlog::CorpusGenerator gen({.seed = 42, .scale = 1000.0});
+        corpus_ = new std::vector<ctlog::CorpusCert>(gen.generate());
+        pipeline_ = new core::CompliancePipeline(*corpus_);
+    }
+    static void TearDownTestSuite() {
+        delete pipeline_;
+        pipeline_ = nullptr;
+        delete corpus_;
+        corpus_ = nullptr;
+    }
+
+    static std::vector<ctlog::CorpusCert>* corpus_;
+    static core::CompliancePipeline* pipeline_;
+};
+
+std::vector<ctlog::CorpusCert>* GoldenRegression::corpus_ = nullptr;
+core::CompliancePipeline* GoldenRegression::pipeline_ = nullptr;
+
+TEST_F(GoldenRegression, Table1Taxonomy) {
+    expect_golden("table1_taxonomy.json",
+                  core::taxonomy_to_json(pipeline_->taxonomy_report()));
+}
+
+TEST_F(GoldenRegression, Table2IssuerShare) {
+    expect_golden("table2_issuers.json",
+                  core::issuer_report_to_json(pipeline_->issuer_report(10)));
+}
+
+TEST_F(GoldenRegression, Fig3ValidityCdf) {
+    expect_golden("fig3_validity_cdf.json",
+                  core::validity_cdf_to_json(pipeline_->validity_cdf()));
+}
+
+TEST_F(GoldenRegression, ParallelPipelineEmitsIdenticalArtifacts) {
+    // The golden files also pin the parallel path: a merge-order bug
+    // would change these artifacts byte-for-byte.
+    core::VectorCertSource source(*corpus_);
+    core::ParallelPipeline parallel(source, {}, {.jobs = 4});
+    EXPECT_EQ(core::taxonomy_to_json(parallel.taxonomy_report()),
+              core::taxonomy_to_json(pipeline_->taxonomy_report()));
+    EXPECT_EQ(core::issuer_report_to_json(parallel.issuer_report(10)),
+              core::issuer_report_to_json(pipeline_->issuer_report(10)));
+    EXPECT_EQ(core::validity_cdf_to_json(parallel.validity_cdf()),
+              core::validity_cdf_to_json(pipeline_->validity_cdf()));
+}
+
+}  // namespace
+}  // namespace unicert
+
+// Custom main: accept --update-golden (or UNICERT_UPDATE_GOLDEN=1, for
+// driving the refresh through ctest) before handing off to GoogleTest.
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden") unicert::update_golden = true;
+    }
+    const char* env = std::getenv("UNICERT_UPDATE_GOLDEN");
+    if (env != nullptr && std::string(env) != "0" && std::string(env) != "") {
+        unicert::update_golden = true;
+    }
+    return RUN_ALL_TESTS();
+}

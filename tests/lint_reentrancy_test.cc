@@ -1,0 +1,130 @@
+// Registry reentrancy: the contract that makes parallel linting sound.
+// Rules are pure functions of the certificate — no mutable statics, no
+// shared caches — so the same registry serves any number of concurrent
+// pipelines. These tests drive the full default registry from many
+// threads at once and assert bit-identical results; under the tsan
+// preset they double as a data-race probe of every rule.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_pipeline.h"
+#include "core/pipeline.h"
+#include "ctlog/corpus.h"
+#include "lint/lint.h"
+
+namespace unicert {
+namespace {
+
+std::string report_fingerprint(const core::CompliancePipeline& pipeline) {
+    std::ostringstream out;
+    for (const core::AnalyzedCert& a : pipeline.analyzed()) {
+        for (const lint::Finding& f : a.report.findings) {
+            out << f.lint->name << "(" << f.detail << ");";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+TEST(LintReentrancy, DefaultRegistryHasNoMutableSharedState) {
+    // run_lints on the same cert from many threads must agree with the
+    // single-threaded result for every cert in a mixed corpus.
+    ctlog::CorpusGenerator gen({.seed = 11, .scale = 400000.0});
+    std::vector<ctlog::CorpusCert> corpus = gen.generate();
+    ASSERT_GT(corpus.size(), 20u);
+    const lint::Registry& registry = lint::default_registry();
+
+    std::vector<lint::CertReport> reference;
+    reference.reserve(corpus.size());
+    for (const ctlog::CorpusCert& c : corpus) {
+        reference.push_back(lint::run_lints(c.cert, registry, {}));
+    }
+
+    constexpr int kThreads = 8;
+    std::vector<std::string> failures(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t i = 0; i < corpus.size(); ++i) {
+                lint::CertReport report = lint::run_lints(corpus[i].cert, registry, {});
+                if (report.findings.size() != reference[i].findings.size()) {
+                    failures[t] = "cert " + std::to_string(i) + ": finding count diverged";
+                    return;
+                }
+                for (size_t f = 0; f < report.findings.size(); ++f) {
+                    if (report.findings[f].lint != reference[i].findings[f].lint ||
+                        report.findings[f].detail != reference[i].findings[f].detail) {
+                        failures[t] = "cert " + std::to_string(i) + ": finding " +
+                                      std::to_string(f) + " diverged";
+                        return;
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "") << "thread " << t;
+}
+
+TEST(LintReentrancy, TwoConcurrentPipelinesProduceIdenticalResults) {
+    // Two full parallel pipelines over the same corpus and the same
+    // registry instance, racing each other — the registry must serve
+    // both without cross-talk.
+    ctlog::CorpusGenerator gen({.seed = 23, .scale = 100000.0});
+    std::vector<ctlog::CorpusCert> corpus = gen.generate();
+    ASSERT_GT(corpus.size(), 10u);
+
+    core::CompliancePipeline reference(corpus);
+    const std::string expected = report_fingerprint(reference);
+
+    std::string fp_a, fp_b;
+    std::thread a([&] {
+        core::VectorCertSource source(corpus);
+        core::ParallelPipeline p(source, {}, {.jobs = 4});
+        fp_a = report_fingerprint(p);
+    });
+    std::thread b([&] {
+        core::VectorCertSource source(corpus);
+        core::ParallelPipeline p(source, {}, {.jobs = 4});
+        fp_b = report_fingerprint(p);
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(fp_a, expected);
+    EXPECT_EQ(fp_b, expected);
+}
+
+TEST(LintReentrancy, RunOptionsAreThreadLocalToTheCall) {
+    // Different RunOptions in flight simultaneously must not bleed into
+    // each other (options travel by value through run_lints).
+    ctlog::CorpusGenerator gen({.seed = 31, .scale = 100000.0});
+    std::vector<ctlog::CorpusCert> corpus = gen.generate();
+    const lint::Registry& registry = lint::default_registry();
+
+    lint::RunOptions defaults;
+    std::vector<size_t> counts_default(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        counts_default[i] = lint::run_lints(corpus[i].cert, registry, defaults).findings.size();
+    }
+
+    std::atomic<bool> diverged{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (size_t i = 0; i < corpus.size(); ++i) {
+                size_t n =
+                    lint::run_lints(corpus[i].cert, registry, defaults).findings.size();
+                if (n != counts_default[i]) diverged = true;
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_FALSE(diverged.load());
+}
+
+}  // namespace
+}  // namespace unicert

@@ -7,16 +7,24 @@
 //     --list                     list the registry instead of linting
 //     --summary                  one line per certificate instead of findings
 //     --json                     machine-readable JSON, one object per cert
-//     --stats                    append ingestion stats + quarantine report
+//     --stats                    append ingestion stats + quarantine report,
+//                                with incremental progress on stderr
+//     --jobs N                   lint with N worker threads (default: all
+//                                hardware threads; output is identical for
+//                                every N — the parallel pipeline merges
+//                                results in input order)
 //
 // Exit code: 0 = compliant, 1 = warnings only, 2 = errors, 64 = usage.
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "core/json.h"
+#include "core/parallel_pipeline.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "lint/lint.h"
@@ -44,6 +52,41 @@ void list_registry() {
     }
 }
 
+void print_usage() {
+    std::printf(
+        "usage: unicert_lint [options] [file.pem ...]\n"
+        "  --ignore-effective-dates  apply every rule regardless of issuance date\n"
+        "  --list                    list the registry instead of linting\n"
+        "  --summary                 one line per certificate instead of findings\n"
+        "  --json                    machine-readable JSON, one object per cert\n"
+        "  --stats                   append ingestion stats + quarantine report,\n"
+        "                            with incremental progress on stderr\n"
+        "  --jobs N                  lint with N worker threads (default: all\n"
+        "                            hardware threads; output is byte-identical\n"
+        "                            for every N)\n");
+}
+
+// CertSource over the decoded PEM blocks: wire DER in file order, so
+// the pipeline's parse/quarantine ladder handles malformed blocks.
+class DerListSource final : public core::CertSource {
+public:
+    explicit DerListSource(const std::vector<Bytes>& ders) : ders_(&ders) {}
+
+    size_t size_hint() const override { return ders_->size(); }
+    Expected<std::optional<core::CertEntry>> next() override {
+        if (pos_ >= ders_->size()) return std::optional<core::CertEntry>{};
+        core::CertEntry entry;
+        entry.index = pos_;
+        entry.der = (*ders_)[pos_];
+        ++pos_;
+        return std::optional<core::CertEntry>(std::move(entry));
+    }
+
+private:
+    const std::vector<Bytes>* ders_;
+    size_t pos_ = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +94,7 @@ int main(int argc, char** argv) {
     bool summary = false;
     bool json = false;
     bool stats = false;
+    size_t jobs = 0;  // 0 = hardware concurrency
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -66,9 +110,27 @@ int main(int argc, char** argv) {
             json = true;
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--jobs" || arg.starts_with("--jobs=")) {
+            std::string_view value;
+            if (arg == "--jobs") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "--jobs requires a thread count\n");
+                    return 64;
+                }
+                value = argv[++i];
+            } else {
+                value = arg.substr(strlen("--jobs="));
+            }
+            size_t parsed = 0;
+            auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+            if (ec != std::errc() || ptr != value.data() + value.size() || parsed == 0) {
+                std::fprintf(stderr, "invalid --jobs value: %.*s\n",
+                             static_cast<int>(value.size()), value.data());
+                return 64;
+            }
+            jobs = parsed;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: unicert_lint [--ignore-effective-dates] [--summary] [--stats] "
-                        "[--list] [file.pem ...]\n");
+            print_usage();
             return 0;
         } else if (arg.starts_with("-")) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -97,35 +159,52 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "PEM error: %s\n", blocks.error().message.c_str());
         return 64;
     }
-    if (blocks->empty()) {
+    std::vector<Bytes> ders;
+    for (const x509::PemBlock& block : blocks.value()) {
+        if (block.label == "CERTIFICATE") ders.push_back(block.der);
+    }
+    if (ders.empty()) {
         std::fprintf(stderr, "no CERTIFICATE blocks found\n");
         return 64;
     }
 
+    // Lint everything through the parallel pipeline; the deterministic
+    // merge hands results back in input order, so the printed output is
+    // byte-identical for every --jobs value.
+    core::PipelineOptions pipeline_options;
+    pipeline_options.lint_options = options;
+    if (stats) {
+        pipeline_options.progress_interval = 2500;
+        pipeline_options.progress = [](size_t processed, size_t size_hint) {
+            std::fprintf(stderr, "linted %zu/%zu certificates...\n", processed, size_hint);
+        };
+    }
+    DerListSource source(ders);
+    core::ParallelPipeline pipeline(source, pipeline_options, {.jobs = jobs});
+
+    // Reconstruct the per-cert stream: quarantined indices interleave
+    // with analyzed certs, which arrive in input order.
+    std::map<size_t, const core::QuarantineRecord*> quarantined;
+    for (const core::QuarantineRecord& record : pipeline.quarantine_report().records) {
+        quarantined[record.entry_index] = &record;
+    }
     bool any_error = false, any_warning = false;
-    core::PipelineStats ingest_stats;
-    core::QuarantineReport quarantine;
-    size_t index = 0;
-    for (const x509::PemBlock& block : blocks.value()) {
-        if (block.label != "CERTIFICATE") continue;
-        auto cert = x509::parse_certificate(block.der);
-        if (!cert.ok()) {
+    size_t next_analyzed = 0;
+    for (size_t index = 0; index < ders.size(); ++index) {
+        auto quarantine_it = quarantined.find(index);
+        if (quarantine_it != quarantined.end()) {
             std::printf("certificate #%zu: PARSE ERROR: %s\n", index,
-                        cert.error().message.c_str());
-            quarantine.records.push_back(
-                {index, core::QuarantineStage::kParse, cert.error()});
-            ++ingest_stats.quarantined;
-            ++index;
+                        quarantine_it->second->error.message.c_str());
             any_error = true;
             continue;
         }
-        lint::CertReport report = lint::run_lints(cert.value(), lint::default_registry(),
-                                                  options);
+        const core::AnalyzedCert& analyzed = pipeline.analyzed()[next_analyzed++];
+        const lint::CertReport& report = analyzed.report;
         if (report.has_error()) any_error = true;
         if (report.has_warning()) any_warning = true;
 
         std::string subject;
-        if (auto* cn = cert->subject.find_first(asn1::oids::common_name())) {
+        if (auto* cn = analyzed.cert->cert.subject.find_first(asn1::oids::common_name())) {
             subject = cn->to_utf8_lossy();
         }
         if (json) {
@@ -145,12 +224,10 @@ int main(int argc, char** argv) {
                             f.lint->name.c_str(), f.detail.c_str());
             }
         }
-        ++ingest_stats.processed;
-        ++index;
     }
     if (stats) {
-        std::printf("\n%s", core::render_pipeline_stats(ingest_stats).c_str());
-        std::printf("%s", core::render_quarantine_report(quarantine).c_str());
+        std::printf("\n%s", core::render_pipeline_stats(pipeline.stats()).c_str());
+        std::printf("%s", core::render_quarantine_report(pipeline.quarantine_report()).c_str());
     }
     return any_error ? 2 : (any_warning ? 1 : 0);
 }
