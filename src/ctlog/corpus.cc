@@ -611,4 +611,54 @@ std::vector<CorpusCert> CorpusGenerator::generate() {
     return corpus;
 }
 
+std::vector<CorpusCert> CorpusGenerator::generate_defect_showcase(size_t per_kind) {
+    // Independent stream: a distinct seed derivation keeps the showcase
+    // from sharing state with (or perturbing) generate()'s pinned RNG.
+    Rng rng(options_.seed ^ 0xDEFEC7C0DEULL);
+    std::vector<CorpusCert> out;
+    out.reserve(kDefects.size() * per_kind);
+
+    uint64_t serial_counter = 1;
+    for (const DefectSpec& spec : kDefects) {
+        for (size_t i = 0; i < per_kind; ++i) {
+            CorpusCert cc;
+            cc.issuer_org = "Showcase CA";
+            cc.trust = TrustStatus::kPublic;
+            cc.trusted_at_issuance = true;
+            cc.year = 2024;
+            cc.defect = spec.kind;
+
+            Certificate& cert = cc.cert;
+            cert.version = 2;
+            for (int b = 7; b >= 0; --b) {
+                cert.serial.push_back(static_cast<uint8_t>((serial_counter >> (b * 8)) & 0xFF));
+            }
+            ++serial_counter;
+
+            cert.issuer = make_dn({
+                make_attribute(oids::country_name(), "US", StringType::kPrintableString),
+                make_attribute(oids::organization_name(), "Showcase CA"),
+                make_attribute(oids::common_name(), "Showcase CA Root"),
+            });
+
+            std::string host = random_host(rng, false);
+            cert.subject = make_dn({
+                make_attribute(oids::country_name(), "US", StringType::kPrintableString),
+                make_attribute(oids::organization_name(), "Showcase Org"),
+                make_attribute(oids::common_name(), host),
+            });
+            cert.extensions.push_back(x509::make_san({dns_name(host)}));
+            apply_defect(cert, spec.kind, host, rng);
+
+            // Issued after RFC 9598 (May 2024) so no rule is date-gated.
+            int64_t issued = asn1::make_time(2024, 7, 1) +
+                             static_cast<int64_t>(rng.below(120)) * 86400;
+            cert.validity = {issued, issued + 365 * 86400};
+            cert.subject_public_key = crypto::sha256_bytes(cert.serial);
+            out.push_back(std::move(cc));
+        }
+    }
+    return out;
+}
+
 }  // namespace unicert::ctlog

@@ -122,6 +122,15 @@ public:
     // Generate the full corpus (deterministic for a given seed/scale).
     std::vector<CorpusCert> generate();
 
+    // Deterministic forced-defect showcase: `per_kind` certificates per
+    // DefectKind, each guaranteed to carry exactly that defect, all
+    // issued mid-2024 so every rule family (including the post-2024 RFC
+    // 9549/9598 lints) is in effect. Runs on an independent RNG stream:
+    // calling this never perturbs generate()'s output, which downstream
+    // golden files byte-pin. Used by lint::analysis to guarantee probe
+    // coverage for rare defect kinds.
+    std::vector<CorpusCert> generate_defect_showcase(size_t per_kind = 1);
+
     // Total cert count the options imply.
     size_t target_count() const noexcept;
 

@@ -1,0 +1,24 @@
+#include "lint/cert_view.h"
+
+#include <algorithm>
+
+namespace unicert::lint {
+
+void AccessTrace::note_extension(const asn1::Oid& oid) {
+    if (!saw_extension(oid)) extensions.push_back(oid);
+}
+
+bool AccessTrace::saw_extension(const asn1::Oid& oid) const noexcept {
+    return std::find(extensions.begin(), extensions.end(), oid) != extensions.end();
+}
+
+void AccessTrace::merge(const AccessTrace& other) {
+    fields |= other.fields;
+    for (const asn1::Oid& oid : other.extensions) note_extension(oid);
+}
+
+void CertView::note_extension(const asn1::Oid& oid) const {
+    if (trace_ != nullptr) trace_->note_extension(oid);
+}
+
+}  // namespace unicert::lint

@@ -19,11 +19,26 @@ std::optional<unicode::CodePoints> decode_attribute(const x509::AttributeValue& 
     return std::move(decoded).value();
 }
 
-std::optional<std::string> subject_attribute_utf8(const x509::Certificate& cert,
-                                                  const asn1::Oid& type) {
-    const x509::AttributeValue* av = cert.subject.find_first(type);
+std::optional<std::string> subject_attribute_utf8(const CertView& cert, const asn1::Oid& type) {
+    const x509::AttributeValue* av = cert.subject().find_first(type);
     if (av == nullptr) return std::nullopt;
     return av->to_utf8_lossy();
+}
+
+int64_t source_publication_date(Source s) noexcept {
+    switch (s) {
+        case Source::kRfc5280: return dates::kRfc5280;
+        case Source::kRfc6818: return asn1::make_time(2013, 1, 1);
+        case Source::kRfc8399: return asn1::make_time(2018, 5, 1);
+        case Source::kRfc9549: return dates::kRfc9549;
+        case Source::kRfc9598: return dates::kRfc9598;
+        case Source::kIdna: return dates::kIdna2008;
+        case Source::kDnsRfc: return dates::kAlways;  // RFC 1034 (1987) predates X.509 use
+        case Source::kCabfBr: return dates::kCabfBr;
+        case Source::kCommunity: return dates::kCommunity;
+        case Source::kX680: return dates::kAlways;
+    }
+    return dates::kAlways;
 }
 
 bool looks_like_hostname(std::string_view value) {
@@ -35,7 +50,7 @@ bool looks_like_hostname(std::string_view value) {
     return true;
 }
 
-std::vector<DnsNameRef> dns_name_candidates(const x509::Certificate& cert) {
+std::vector<DnsNameRef> dns_name_candidates(const CertView& cert) {
     std::vector<DnsNameRef> out;
     for (const x509::GeneralName& gn : cert.subject_alt_names()) {
         if (gn.type == x509::GeneralNameType::kDnsName) {

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "asn1/time.h"
+#include "lint/cert_view.h"
+#include "lint/lint.h"
 #include "unicode/codec.h"
 #include "x509/certificate.h"
 
@@ -35,6 +37,11 @@ inline const int64_t kRfc9598 = asn1::make_time(2024, 5, 1);
 inline const int64_t kAlways = 0;
 }  // namespace dates
 
+// Publication date of the standard behind a Source: the floor for any
+// rule's effective date. A rule citing a standard cannot take effect
+// before the standard existed (the analyzer's anachronism check).
+int64_t source_publication_date(Source s) noexcept;
+
 // ---- Attribute iteration -----------------------------------------------------
 
 // Visit every AttributeTypeAndValue in a DN.
@@ -47,8 +54,7 @@ void for_each_attribute(const x509::DistinguishedName& dn,
 std::optional<unicode::CodePoints> decode_attribute(const x509::AttributeValue& av);
 
 // First attribute of `type` in the subject, decoded lossily to UTF-8.
-std::optional<std::string> subject_attribute_utf8(const x509::Certificate& cert,
-                                                  const asn1::Oid& type);
+std::optional<std::string> subject_attribute_utf8(const CertView& cert, const asn1::Oid& type);
 
 // ---- DNSName extraction -----------------------------------------------------
 
@@ -61,7 +67,7 @@ struct DnsNameRef {
 // All DNSName candidates: SAN dNSName entries plus Subject CNs that
 // look like hostnames (contain a dot, no spaces) — matching how the
 // paper treats "DNSName-related fields".
-std::vector<DnsNameRef> dns_name_candidates(const x509::Certificate& cert);
+std::vector<DnsNameRef> dns_name_candidates(const CertView& cert);
 
 // Does a CN value look like it is meant to be a hostname?
 bool looks_like_hostname(std::string_view value);

@@ -1,8 +1,60 @@
 #include "lint/lint.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace unicert::lint {
+
+namespace {
+
+template <typename T>
+bool contains(const std::vector<T>& haystack, const T& needle) {
+    return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+template <typename T>
+bool same_set(const std::vector<T>& a, const std::vector<T>& b) {
+    if (a.size() != b.size()) return false;
+    return std::all_of(a.begin(), a.end(), [&](const T& v) { return contains(b, v); });
+}
+
+}  // namespace
+
+bool RuleFootprint::allows_field(x509::CertField f) const noexcept {
+    if ((fields & x509::field_bit(x509::CertField::kWholeCert)) != 0) return true;
+    return (fields & x509::field_bit(f)) != 0;
+}
+
+bool RuleFootprint::allows_extension(const asn1::Oid& oid) const noexcept {
+    if ((fields & x509::field_bit(x509::CertField::kWholeCert)) != 0) return true;
+    if ((fields & x509::field_bit(x509::CertField::kExtensions)) != 0) return true;
+    return contains(extensions, oid);
+}
+
+bool RuleFootprint::overlaps(const RuleFootprint& other) const noexcept {
+    uint32_t whole = x509::field_bit(x509::CertField::kWholeCert);
+    if (((fields | other.fields) & whole) != 0) return true;
+    if ((fields & other.fields) != 0) return true;
+    return std::any_of(extensions.begin(), extensions.end(),
+                       [&](const asn1::Oid& oid) { return contains(other.extensions, oid); });
+}
+
+bool RuleFootprint::same_scope(const RuleFootprint& other) const noexcept {
+    return fields == other.fields && same_set(extensions, other.extensions) &&
+           same_set(attributes, other.attributes) && same_set(string_types, other.string_types);
+}
+
+RuleFootprint footprint(std::initializer_list<x509::CertField> fields,
+                        std::initializer_list<const asn1::Oid*> extensions,
+                        std::initializer_list<const asn1::Oid*> attributes,
+                        std::initializer_list<asn1::StringType> string_types) {
+    RuleFootprint fp;
+    for (x509::CertField f : fields) fp.fields |= x509::field_bit(f);
+    for (const asn1::Oid* oid : extensions) fp.extensions.push_back(*oid);
+    for (const asn1::Oid* oid : attributes) fp.attributes.push_back(*oid);
+    fp.string_types.assign(string_types.begin(), string_types.end());
+    return fp;
+}
 
 const char* severity_name(Severity s) noexcept {
     switch (s) {
@@ -61,6 +113,19 @@ bool CertReport::has_lint(std::string_view name) const noexcept {
                        [name](const Finding& f) { return f.lint->name == name; });
 }
 
+void Registry::add(Rule rule) {
+    if (rule.info.name.empty()) {
+        throw std::invalid_argument("lint rule with empty name");
+    }
+    if (!rule.check) {
+        throw std::invalid_argument("lint rule '" + rule.info.name + "' has no check function");
+    }
+    if (find(rule.info.name) != nullptr) {
+        throw std::invalid_argument("duplicate lint rule name '" + rule.info.name + "'");
+    }
+    rules_.push_back(std::move(rule));
+}
+
 const Rule* Registry::find(std::string_view name) const {
     for (const Rule& r : rules_) {
         if (r.info.name == name) return &r;
@@ -81,12 +146,13 @@ size_t Registry::count_new() const {
 CertReport run_lints(const x509::Certificate& cert, const Registry& registry,
                      const RunOptions& options) {
     CertReport report;
+    CertView view(cert);
     for (const Rule& rule : registry.rules()) {
         if (options.respect_effective_dates &&
             cert.validity.not_before < rule.info.effective_date) {
             continue;
         }
-        if (auto detail = rule.check(cert)) {
+        if (auto detail = rule.check(view)) {
             report.findings.push_back({&rule.info, std::move(*detail)});
         }
     }

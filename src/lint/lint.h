@@ -13,7 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "asn1/strings.h"
+#include "lint/cert_view.h"
 #include "x509/certificate.h"
+#include "x509/field.h"
 
 namespace unicert::lint {
 
@@ -49,6 +52,34 @@ enum class NcType {
 
 const char* nc_type_name(NcType t) noexcept;
 
+// Declared read footprint of a rule: which certificate fields,
+// extensions, DN attribute types and string encodings the rule may
+// inspect. Field and extension reads are verified dynamically against
+// the CertView access trace by the rule-set analyzer
+// (lint::analysis::Analyzer); attribute and string-type sets are
+// declarative and scope the analyzer's cross-rule relation search
+// (DESIGN.md section 9).
+struct RuleFootprint {
+    uint32_t fields = 0;                         // x509::CertField mask
+    std::vector<asn1::Oid> extensions;           // extension OIDs the rule may probe
+    std::vector<asn1::Oid> attributes;           // DN attribute types read (empty = any)
+    std::vector<asn1::StringType> string_types;  // encodings inspected (empty = any)
+
+    bool allows_field(x509::CertField f) const noexcept;
+    bool allows_extension(const asn1::Oid& oid) const noexcept;
+    // True when the two footprints can observe overlapping certificate
+    // content (shared field bit or shared extension OID).
+    bool overlaps(const RuleFootprint& other) const noexcept;
+    // Field/extension/attribute/string-type sets all equal.
+    bool same_scope(const RuleFootprint& other) const noexcept;
+};
+
+// Footprint literal helper for rule registration sites.
+RuleFootprint footprint(std::initializer_list<x509::CertField> fields,
+                        std::initializer_list<const asn1::Oid*> extensions = {},
+                        std::initializer_list<const asn1::Oid*> attributes = {},
+                        std::initializer_list<asn1::StringType> string_types = {});
+
 struct LintInfo {
     std::string name;        // stable snake_case id, e.g. "e_rfc_dns_idn_a2u_unpermitted_unichar"
     std::string description;
@@ -57,13 +88,16 @@ struct LintInfo {
     NcType type = NcType::kInvalidCharacter;
     int64_t effective_date = 0;  // Unix time; applies to certs issued on/after
     bool is_new = false;         // one of the paper's 50 newly-added lints
+    RuleFootprint footprint;     // declared read set (DESIGN.md section 9)
 };
 
 // One lint rule: metadata + a check returning a violation detail
-// message, or nullopt when compliant.
+// message, or nullopt when compliant. Checks read the certificate
+// exclusively through the CertView facade so the analyzer can trace
+// their accesses.
 struct Rule {
     LintInfo info;
-    std::function<std::optional<std::string>(const x509::Certificate&)> check;
+    std::function<std::optional<std::string>(const CertView&)> check;
 };
 
 // A violation found on a specific certificate.
@@ -87,7 +121,12 @@ struct CertReport {
 // carries the full 95-rule set described in DESIGN.md.
 class Registry {
 public:
-    void add(Rule rule) { rules_.push_back(std::move(rule)); }
+    // Validates at registration time: a rule must carry a non-empty
+    // name that is not already registered, and a check function.
+    // Throws std::invalid_argument on violation, so a duplicate or
+    // incomplete rule can never reach a running pipeline. (Name style,
+    // metadata and footprint hygiene are the analyzer's job.)
+    void add(Rule rule);
 
     std::span<const Rule> rules() const noexcept { return rules_; }
     size_t size() const noexcept { return rules_.size(); }

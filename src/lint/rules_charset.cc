@@ -11,17 +11,17 @@ namespace {
 using unicode::CodePoint;
 using unicode::CodePoints;
 using x509::AttributeValue;
-using x509::Certificate;
+using x509::CertField;
 using x509::GeneralName;
 using x509::GeneralNameType;
 
 // Scan every subject attribute with a code-point predicate; report the
 // first hit.
-std::optional<std::string> scan_subject(const Certificate& cert,
+std::optional<std::string> scan_subject(const CertView& cert,
                                         bool (*pred)(CodePoint),
                                         const char* what) {
     std::optional<std::string> found;
-    for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+    for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
         if (found) return;
         auto cps = decode_attribute(av);
         if (!cps) return;
@@ -37,7 +37,7 @@ std::optional<std::string> scan_subject(const Certificate& cert,
 }
 
 // Scan SAN GeneralNames of string kinds with a per-code-point predicate.
-std::optional<std::string> scan_san(const Certificate& cert, GeneralNameType kind,
+std::optional<std::string> scan_san(const CertView& cert, GeneralNameType kind,
                                     bool (*pred)(CodePoint), const char* what) {
     for (const GeneralName& gn : cert.subject_alt_names()) {
         if (gn.type != kind) continue;
@@ -55,11 +55,11 @@ std::optional<std::string> scan_san(const Certificate& cert, GeneralNameType kin
 }
 
 Rule make(std::string name, std::string description, Severity severity, Source source,
-          int64_t effective, bool is_new,
-          std::function<std::optional<std::string>(const Certificate&)> check) {
+          int64_t effective, bool is_new, RuleFootprint fp,
+          std::function<std::optional<std::string>(const CertView&)> check) {
     Rule r;
     r.info = {std::move(name), std::move(description), severity, source,
-              NcType::kInvalidCharacter, effective, is_new};
+              NcType::kInvalidCharacter, effective, is_new, std::move(fp)};
     r.check = std::move(check);
     return r;
 }
@@ -88,16 +88,21 @@ void register_charset_rules(Registry& reg) {
         "e_rfc_subject_dn_not_printable_characters",
         "Subject DN attribute values must not contain control characters",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) { return scan_subject(cert, pred_control, "control"); }));
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) { return scan_subject(cert, pred_control, "control"); }));
 
-    // 2. PrintableString values restricted to the X.680 charset.
+    // 2. PrintableString values restricted to the X.680 charset. RFC
+    //    5280 section 4.1.2.4 incorporates the X.680 PrintableString
+    //    repertoire into the profile, so the rule is cited (and dated)
+    //    against RFC 5280 like its siblings in the "rfc" namespace.
     reg.add(make(
         "e_rfc_subject_printable_string_badalpha",
         "PrintableString Subject values may only use the X.680 printable charset",
-        Severity::kError, Source::kX680, dates::kAlways, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kPrintableString}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kPrintableString) return;
                 auto cps = decode_attribute(av);
                 if (!cps) return;
@@ -118,9 +123,10 @@ void register_charset_rules(Registry& reg) {
         "w_community_subject_dn_trailing_whitespace",
         "Subject DN values should not end with whitespace",
         Severity::kWarning, Source::kCommunity, dates::kCommunity, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found) return;
                 auto cps = decode_attribute(av);
                 if (!cps || cps->empty()) return;
@@ -134,9 +140,10 @@ void register_charset_rules(Registry& reg) {
         "w_community_subject_dn_leading_whitespace",
         "Subject DN values should not start with whitespace",
         Severity::kWarning, Source::kCommunity, dates::kCommunity, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found) return;
                 auto cps = decode_attribute(av);
                 if (!cps || cps->empty()) return;
@@ -153,7 +160,9 @@ void register_charset_rules(Registry& reg) {
         "e_rfc_dns_idn_a2u_unpermitted_unichar",
         "IDN A-labels must decode to IDNA2008-permitted code points",
         Severity::kError, Source::kIdna, dates::kIdna2008, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {&asn1::oids::subject_alt_name()},
+                  {&asn1::oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const DnsNameRef& dns : dns_name_candidates(cert)) {
                 size_t start = 0;
                 const std::string& host = dns.value;
@@ -179,7 +188,9 @@ void register_charset_rules(Registry& reg) {
         "e_rfc_dns_idn_malformed_unicode",
         "IDN A-labels must be convertible to U-labels",
         Severity::kError, Source::kIdna, dates::kIdna2008, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {&asn1::oids::subject_alt_name()},
+                  {&asn1::oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const DnsNameRef& dns : dns_name_candidates(cert)) {
                 size_t start = 0;
                 const std::string& host = dns.value;
@@ -205,7 +216,9 @@ void register_charset_rules(Registry& reg) {
         "e_cab_dns_bad_character_in_label",
         "DNS labels must contain only letters, digits and hyphens",
         Severity::kError, Source::kCabfBr, dates::kCabfBr, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {&asn1::oids::subject_alt_name()},
+                  {&asn1::oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const DnsNameRef& dns : dns_name_candidates(cert)) {
                 if (!dns.from_san) continue;
                 size_t start = 0;
@@ -234,7 +247,8 @@ void register_charset_rules(Registry& reg) {
         "e_ext_san_dns_contain_unpermitted_unichar",
         "SAN DNSNames must not contain characters beyond printable ASCII",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&asn1::oids::subject_alt_name()}, {}, {asn1::StringType::kIa5String}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const GeneralName& gn : cert.subject_alt_names()) {
                 if (gn.type != GeneralNameType::kDnsName) continue;
                 for (uint8_t b : gn.value_bytes) {
@@ -251,41 +265,48 @@ void register_charset_rules(Registry& reg) {
     reg.add(make(
         "e_subject_dn_nul_character", "Subject DN values must not contain NUL",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) { return scan_subject(cert, pred_nul, "NUL"); }));
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) { return scan_subject(cert, pred_nul, "NUL"); }));
     reg.add(make(
         "e_subject_dn_bidi_control",
         "Subject DN values must not contain bidirectional control characters",
         Severity::kError, Source::kRfc5280, dates::kCommunity, true,
-        [](const Certificate& cert) { return scan_subject(cert, pred_bidi, "bidi control"); }));
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) { return scan_subject(cert, pred_bidi, "bidi control"); }));
     reg.add(make(
         "e_subject_dn_layout_control",
         "Subject DN values must not contain invisible layout/format characters",
         Severity::kError, Source::kRfc5280, dates::kCommunity, true,
-        [](const Certificate& cert) {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) {
             return scan_subject(cert, pred_layout, "layout control");
         }));
     reg.add(make(
         "e_subject_dn_del_character",
         "Subject DN values must not contain DEL (U+007F)",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) { return scan_subject(cert, pred_del, "DEL"); }));
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) { return scan_subject(cert, pred_del, "DEL"); }));
     reg.add(make(
         "e_subject_dn_c1_control",
         "UTF8String Subject values must not contain C1 controls",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) { return scan_subject(cert, pred_c1, "C1 control"); }));
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) { return scan_subject(cert, pred_c1, "C1 control"); }));
     reg.add(make(
         "e_subject_dn_replacement_character",
         "Subject DN values must not contain U+FFFD (evidence of mojibake re-encoding)",
         Severity::kError, Source::kCommunity, dates::kCommunity, true,
-        [](const Certificate& cert) {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) {
             return scan_subject(cert, pred_fffd, "replacement character");
         }));
     reg.add(make(
         "e_utf8string_noncharacter",
         "UTF8String values must not contain noncharacters or private-use code points",
         Severity::kError, Source::kX680, dates::kAlways, true,
-        [](const Certificate& cert) {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) {
             return scan_subject(cert, pred_nonchar_private, "noncharacter/private-use");
         }));
 
@@ -295,7 +316,8 @@ void register_charset_rules(Registry& reg) {
         "e_cn_control_characters",
         "CommonName must not contain control characters",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {&asn1::oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const AttributeValue* cn : cert.subject_common_names()) {
                 auto cps = decode_attribute(*cn);
                 if (!cps) continue;
@@ -313,21 +335,24 @@ void register_charset_rules(Registry& reg) {
         "e_ext_san_rfc822_control_characters",
         "SAN rfc822Names must not contain control characters",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) {
+        footprint({}, {&asn1::oids::subject_alt_name()}),
+        [](const CertView& cert) {
             return scan_san(cert, GeneralNameType::kRfc822Name, pred_control, "control");
         }));
     reg.add(make(
         "e_ext_san_uri_control_characters",
         "SAN URIs must not contain control characters",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) {
+        footprint({}, {&asn1::oids::subject_alt_name()}),
+        [](const CertView& cert) {
             return scan_san(cert, GeneralNameType::kUri, pred_control, "control");
         }));
     reg.add(make(
         "e_ext_crldp_uri_control_characters",
         "CRLDistributionPoints URIs must not contain control characters",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&asn1::oids::crl_distribution_points()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext =
                 cert.find_extension(asn1::oids::crl_distribution_points());
             if (ext == nullptr) return std::nullopt;
@@ -351,7 +376,8 @@ void register_charset_rules(Registry& reg) {
         "w_subject_dn_nonstandard_whitespace",
         "Subject DN values should use U+0020 rather than typographic space characters",
         Severity::kWarning, Source::kCommunity, dates::kCommunity, false,
-        [](const Certificate& cert) {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) {
             return scan_subject(cert, unicode::is_nonstandard_space, "non-standard space");
         }));
 
@@ -360,9 +386,10 @@ void register_charset_rules(Registry& reg) {
         "e_ia5string_high_bytes",
         "IA5String values must stay within the 7-bit IA5 repertoire",
         Severity::kError, Source::kX680, dates::kAlways, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kIa5String}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kIa5String) return;
                 for (uint8_t b : av.value_bytes) {
                     if (b > 0x7F) {
@@ -381,9 +408,10 @@ void register_charset_rules(Registry& reg) {
         "e_teletexstring_escape_sequences",
         "TeletexString values must not contain T.61 escape sequences",
         Severity::kError, Source::kX680, dates::kAlways, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kTeletexString}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kTeletexString) return;
                 for (uint8_t b : av.value_bytes) {
                     if (b == 0x1B) {

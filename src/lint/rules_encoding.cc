@@ -12,24 +12,28 @@ namespace unicert::lint {
 namespace {
 
 using x509::AttributeValue;
-using x509::Certificate;
+using x509::CertField;
 using x509::GeneralName;
 using x509::GeneralNameType;
 
 Rule make(std::string name, std::string description, Severity severity, Source source,
-          int64_t effective, bool is_new,
-          std::function<std::optional<std::string>(const Certificate&)> check) {
+          int64_t effective, bool is_new, RuleFootprint fp,
+          std::function<std::optional<std::string>(const CertView&)> check) {
     Rule r;
     r.info = {std::move(name), std::move(description), severity, source,
-              NcType::kInvalidEncoding, effective, is_new};
+              NcType::kInvalidEncoding, effective, is_new, std::move(fp)};
     r.check = std::move(check);
     return r;
 }
 
 enum class Where { kSubject, kIssuer };
 
-const x509::DistinguishedName& dn_of(const Certificate& cert, Where where) {
-    return where == Where::kSubject ? cert.subject : cert.issuer;
+const x509::DistinguishedName& dn_of(const CertView& cert, Where where) {
+    return where == Where::kSubject ? cert.subject() : cert.issuer();
+}
+
+CertField field_of(Where where) {
+    return where == Where::kSubject ? CertField::kSubject : CertField::kIssuer;
 }
 
 // Factory: attribute must be PrintableString or UTF8String (CABF BR
@@ -38,7 +42,8 @@ Rule printable_or_utf8(std::string name, Where where, const asn1::Oid& oid, bool
     return make(std::move(name),
                 "attribute must be encoded as PrintableString or UTF8String",
                 Severity::kError, Source::kCabfBr, dates::kCabfBr, is_new,
-                [&oid, where](const Certificate& cert) -> std::optional<std::string> {
+                footprint({field_of(where)}, {}, {&oid}),
+                [&oid, where](const CertView& cert) -> std::optional<std::string> {
                     for (const AttributeValue* av : dn_of(cert, where).find_all(oid)) {
                         if (auto v = check_printable_or_utf8(*av)) return v;
                     }
@@ -50,7 +55,8 @@ Rule printable_or_utf8(std::string name, Where where, const asn1::Oid& oid, bool
 Rule printable_only(std::string name, Where where, const asn1::Oid& oid, bool is_new) {
     return make(std::move(name), "attribute must be encoded as PrintableString",
                 Severity::kError, Source::kRfc5280, dates::kRfc5280, is_new,
-                [&oid, where](const Certificate& cert) -> std::optional<std::string> {
+                footprint({field_of(where)}, {}, {&oid}),
+                [&oid, where](const CertView& cert) -> std::optional<std::string> {
                     for (const AttributeValue* av : dn_of(cert, where).find_all(oid)) {
                         if (auto v = check_printable_only(*av)) return v;
                     }
@@ -78,7 +84,8 @@ Rule san_gn_ascii(std::string name, GeneralNameType kind, Source source) {
     return make(std::move(name), "SAN entries of this kind must be IA5 (ASCII) encoded",
                 Severity::kError, source,
                 source == Source::kRfc9598 ? dates::kRfc9598 : dates::kRfc5280, /*is_new=*/true,
-                [kind](const Certificate& cert) {
+                footprint({}, {&asn1::oids::subject_alt_name()}),
+                [kind](const CertView& cert) {
                     return check_gn_ascii(cert.subject_alt_names(), kind);
                 });
 }
@@ -87,7 +94,8 @@ Rule ian_gn_ascii(std::string name, GeneralNameType kind, Source source) {
     return make(std::move(name), "IAN entries of this kind must be IA5 (ASCII) encoded",
                 Severity::kError, source,
                 source == Source::kRfc9598 ? dates::kRfc9598 : dates::kRfc5280, /*is_new=*/true,
-                [kind](const Certificate& cert) -> std::optional<std::string> {
+                footprint({}, {&asn1::oids::issuer_alt_name()}),
+                [kind](const CertView& cert) -> std::optional<std::string> {
                     const x509::Extension* ext =
                         cert.find_extension(asn1::oids::issuer_alt_name());
                     if (ext == nullptr) return std::nullopt;
@@ -101,7 +109,8 @@ Rule ian_gn_ascii(std::string name, GeneralNameType kind, Source source) {
 Rule access_uri_ascii(std::string name, const asn1::Oid& ext_oid) {
     return make(std::move(name), "access descriptor URIs must be IA5 (ASCII) encoded",
                 Severity::kError, Source::kRfc5280, dates::kRfc5280, /*is_new=*/true,
-                [&ext_oid](const Certificate& cert) -> std::optional<std::string> {
+                footprint({}, {&ext_oid}),
+                [&ext_oid](const CertView& cert) -> std::optional<std::string> {
                     const x509::Extension* ext = cert.find_extension(ext_oid);
                     if (ext == nullptr) return std::nullopt;
                     auto ads = x509::parse_access_descriptions(*ext);
@@ -122,10 +131,10 @@ Rule access_uri_ascii(std::string name, const asn1::Oid& ext_oid) {
 Rule string_type_warning(std::string name, asn1::StringType st, Source source,
                          int64_t effective, std::string description) {
     return make(std::move(name), std::move(description), Severity::kWarning, source, effective,
-                /*is_new=*/true,
-                [st](const Certificate& cert) -> std::optional<std::string> {
+                /*is_new=*/true, footprint({CertField::kSubject}, {}, {}, {st}),
+                [st](const CertView& cert) -> std::optional<std::string> {
                     std::optional<std::string> found;
-                    for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+                    for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                         if (found || av.string_type != st) return;
                         found = asn1::attribute_short_name(av.type) + " uses " +
                                 asn1::string_type_name(st);
@@ -146,7 +155,7 @@ struct InnerValue {
     }
 };
 
-std::optional<InnerValue> smtp_utf8_inner(const Certificate& cert) {
+std::optional<InnerValue> smtp_utf8_inner(const CertView& cert) {
     for (const GeneralName& gn : cert.subject_alt_names()) {
         if (gn.type == GeneralNameType::kOtherName &&
             gn.other_name_oid == asn1::oids::smtp_utf8_mailbox()) {
@@ -158,6 +167,12 @@ std::optional<InnerValue> smtp_utf8_inner(const Certificate& cert) {
         }
     }
     return std::nullopt;
+}
+
+// Footprint of the SmtpUTF8Mailbox rule family (SAN otherName probe).
+RuleFootprint smtp_utf8_footprint() {
+    return footprint({}, {&asn1::oids::subject_alt_name()}, {},
+                     {asn1::StringType::kUtf8String});
 }
 
 }  // namespace
@@ -221,7 +236,8 @@ void register_encoding_rules(Registry& reg) {
         "w_rfc_ext_cp_explicit_text_not_utf8",
         "explicitText SHOULD be encoded as UTF8String",
         Severity::kWarning, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&oids::certificate_policies()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext = cert.find_extension(oids::certificate_policies());
             if (ext == nullptr) return std::nullopt;
             auto policies = x509::parse_certificate_policies(*ext);
@@ -241,7 +257,8 @@ void register_encoding_rules(Registry& reg) {
         "e_rfc_ext_cp_explicit_text_ia5",
         "explicitText MUST NOT be encoded as IA5String",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&oids::certificate_policies()}, {}, {asn1::StringType::kIa5String}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext = cert.find_extension(oids::certificate_policies());
             if (ext == nullptr) return std::nullopt;
             auto policies = x509::parse_certificate_policies(*ext);
@@ -260,7 +277,8 @@ void register_encoding_rules(Registry& reg) {
         "w_rfc9549_ext_cp_explicit_text_bmp_deprecated",
         "RFC 9549 deprecates BMPString explicitText",
         Severity::kWarning, Source::kRfc9549, dates::kRfc9549, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&oids::certificate_policies()}, {}, {asn1::StringType::kBmpString}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext = cert.find_extension(oids::certificate_policies());
             if (ext == nullptr) return std::nullopt;
             auto policies = x509::parse_certificate_policies(*ext);
@@ -278,7 +296,8 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_ext_cp_cps_uri_not_ia5", "CPS URIs must be IA5 (ASCII) encoded",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&oids::certificate_policies()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext = cert.find_extension(oids::certificate_policies());
             if (ext == nullptr) return std::nullopt;
             auto policies = x509::parse_certificate_policies(*ext);
@@ -309,7 +328,8 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_ext_crldp_uri_not_ia5", "CRLDistributionPoints URIs must be IA5 (ASCII) encoded",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&oids::crl_distribution_points()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext = cert.find_extension(oids::crl_distribution_points());
             if (ext == nullptr) return std::nullopt;
             auto points = x509::parse_crl_distribution_points(*ext);
@@ -331,8 +351,8 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_smtp_utf8_mailbox_not_utf8string",
         "SmtpUTF8Mailbox must be encoded as UTF8String",
-        Severity::kError, Source::kRfc9598, dates::kRfc9598, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        Severity::kError, Source::kRfc9598, dates::kRfc9598, true, smtp_utf8_footprint(),
+        [](const CertView& cert) -> std::optional<std::string> {
             auto inner = smtp_utf8_inner(cert);
             if (!inner) return std::nullopt;
             if (!inner->is_utf8_string()) {
@@ -343,8 +363,8 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "w_smtp_utf8_mailbox_ascii_only",
         "all-ASCII mailboxes should use rfc822Name, not SmtpUTF8Mailbox",
-        Severity::kWarning, Source::kRfc9598, dates::kRfc9598, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        Severity::kWarning, Source::kRfc9598, dates::kRfc9598, true, smtp_utf8_footprint(),
+        [](const CertView& cert) -> std::optional<std::string> {
             auto inner = smtp_utf8_inner(cert);
             if (!inner || !inner->is_utf8_string()) return std::nullopt;
             for (uint8_t b : inner->content) {
@@ -355,8 +375,8 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_smtp_utf8_mailbox_domain_a_label",
         "SmtpUTF8Mailbox domains must be U-labels, not A-labels",
-        Severity::kError, Source::kRfc9598, dates::kRfc9598, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        Severity::kError, Source::kRfc9598, dates::kRfc9598, true, smtp_utf8_footprint(),
+        [](const CertView& cert) -> std::optional<std::string> {
             auto inner = smtp_utf8_inner(cert);
             if (!inner || !inner->is_utf8_string()) return std::nullopt;
             std::string mailbox = to_string(inner->content);
@@ -388,9 +408,10 @@ void register_encoding_rules(Registry& reg) {
         "e_utf8string_invalid_sequence",
         "UTF8String values must be well-formed UTF-8",
         Severity::kError, Source::kX680, dates::kAlways, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kUtf8String}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kUtf8String) return;
                 if (!unicode::is_well_formed(av.value_bytes, unicode::Encoding::kUtf8)) {
                     found = asn1::attribute_short_name(av.type) + " has ill-formed UTF-8";
@@ -401,9 +422,10 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_bmpstring_odd_length", "BMPString values must have even byte length",
         Severity::kError, Source::kX680, dates::kAlways, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kBmpString}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kBmpString) return;
                 if (av.value_bytes.size() % 2 != 0) {
                     found = asn1::attribute_short_name(av.type) + " BMPString has odd length";
@@ -414,9 +436,10 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_bmpstring_surrogates", "BMPString values must not contain surrogate code units",
         Severity::kError, Source::kX680, dates::kAlways, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kBmpString}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kBmpString) return;
                 if (!unicode::is_well_formed(av.value_bytes, unicode::Encoding::kUcs2)) {
                     found = asn1::attribute_short_name(av.type) +
@@ -429,9 +452,10 @@ void register_encoding_rules(Registry& reg) {
         "e_universalstring_bad_length",
         "UniversalString values must be a multiple of 4 bytes",
         Severity::kError, Source::kX680, dates::kAlways, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kUniversalString}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kUniversalString) return;
                 if (av.value_bytes.size() % 4 != 0) {
                     found = asn1::attribute_short_name(av.type) +
@@ -445,8 +469,9 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_email_address_not_ia5", "emailAddress attributes must use IA5String",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
-            for (const AttributeValue* av : cert.subject.find_all(oids::email_address())) {
+        footprint({CertField::kSubject}, {}, {&oids::email_address()}),
+        [](const CertView& cert) -> std::optional<std::string> {
+            for (const AttributeValue* av : cert.subject().find_all(oids::email_address())) {
                 if (av->string_type != asn1::StringType::kIa5String) {
                     return std::string("emailAddress uses ") +
                            asn1::string_type_name(av->string_type);
@@ -457,8 +482,9 @@ void register_encoding_rules(Registry& reg) {
     reg.add(make(
         "e_domain_component_not_ia5", "domainComponent attributes must use IA5String",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
-            for (const AttributeValue* av : cert.subject.find_all(oids::domain_component())) {
+        footprint({CertField::kSubject}, {}, {&oids::domain_component()}),
+        [](const CertView& cert) -> std::optional<std::string> {
+            for (const AttributeValue* av : cert.subject().find_all(oids::domain_component())) {
                 if (av->string_type != asn1::StringType::kIa5String) {
                     return std::string("DC uses ") + asn1::string_type_name(av->string_type);
                 }
@@ -469,14 +495,18 @@ void register_encoding_rules(Registry& reg) {
         "e_dn_attribute_non_directory_string",
         "DirectoryString attributes must not use IA5String/NumericString/VisibleString",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {},
+                  {&oids::common_name(), &oids::organization_name(),
+                   &oids::organizational_unit_name(), &oids::locality_name(),
+                   &oids::state_or_province_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             static const asn1::Oid* kDirectoryAttrs[] = {
                 &oids::common_name(),      &oids::organization_name(),
                 &oids::organizational_unit_name(), &oids::locality_name(),
                 &oids::state_or_province_name(),
             };
             for (const asn1::Oid* oid : kDirectoryAttrs) {
-                for (const AttributeValue* av : cert.subject.find_all(*oid)) {
+                for (const AttributeValue* av : cert.subject().find_all(*oid)) {
                     if (!asn1::is_directory_string_type(av->string_type)) {
                         return asn1::attribute_short_name(*oid) + " uses non-DirectoryString " +
                                asn1::string_type_name(av->string_type);

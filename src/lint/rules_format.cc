@@ -10,16 +10,16 @@ namespace {
 
 using unicode::CodePoints;
 using x509::AttributeValue;
-using x509::Certificate;
+using x509::CertField;
 using x509::GeneralName;
 using x509::GeneralNameType;
 
 Rule make(std::string name, std::string description, Severity severity, Source source,
-          int64_t effective,
-          std::function<std::optional<std::string>(const Certificate&)> check) {
+          int64_t effective, RuleFootprint fp,
+          std::function<std::optional<std::string>(const CertView&)> check) {
     Rule r;
     r.info = {std::move(name), std::move(description), severity, source,
-              NcType::kIllegalFormat, effective, /*is_new=*/false};
+              NcType::kIllegalFormat, effective, /*is_new=*/false, std::move(fp)};
     r.check = std::move(check);
     return r;
 }
@@ -30,8 +30,9 @@ Rule attr_max_length(std::string name, const asn1::Oid& oid, size_t max_chars) {
         std::move(name),
         "attribute value exceeds its X.520 upper bound of " + std::to_string(max_chars),
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [&oid, max_chars](const Certificate& cert) -> std::optional<std::string> {
-            for (const AttributeValue* av : cert.subject.find_all(oid)) {
+        footprint({CertField::kSubject}, {}, {&oid}),
+        [&oid, max_chars](const CertView& cert) -> std::optional<std::string> {
+            for (const AttributeValue* av : cert.subject().find_all(oid)) {
                 auto cps = decode_attribute(*av);
                 if (!cps) continue;
                 if (cps->size() > max_chars) {
@@ -45,7 +46,7 @@ Rule attr_max_length(std::string name, const asn1::Oid& oid, size_t max_chars) {
 }
 
 std::optional<std::string> for_each_dns_label(
-    const Certificate& cert,
+    const CertView& cert,
     const std::function<std::optional<std::string>(const std::string&, size_t label_index)>&
         check) {
     for (const DnsNameRef& dns : dns_name_candidates(cert)) {
@@ -65,6 +66,12 @@ std::optional<std::string> for_each_dns_label(
     return std::nullopt;
 }
 
+// Footprint of every rule reading DNSName candidates (SAN + subject CN).
+RuleFootprint dns_footprint() {
+    return footprint({CertField::kSubject}, {&asn1::oids::subject_alt_name()},
+                     {&asn1::oids::common_name()});
+}
+
 }  // namespace
 
 void register_format_rules(Registry& reg) {
@@ -74,7 +81,8 @@ void register_format_rules(Registry& reg) {
         "e_rfc_ext_cp_explicit_text_too_long",
         "CertificatePolicies explicitText must not exceed 200 characters",
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&asn1::oids::certificate_policies()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             const x509::Extension* ext = cert.find_extension(asn1::oids::certificate_policies());
             if (ext == nullptr) return std::nullopt;
             auto policies = x509::parse_certificate_policies(*ext);
@@ -109,8 +117,9 @@ void register_format_rules(Registry& reg) {
         "e_subject_country_not_two_letters",
         "CountryName must be a 2-character ISO 3166 code",
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
-            for (const AttributeValue* av : cert.subject.find_all(asn1::oids::country_name())) {
+        footprint({CertField::kSubject}, {}, {&asn1::oids::country_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
+            for (const AttributeValue* av : cert.subject().find_all(asn1::oids::country_name())) {
                 auto cps = decode_attribute(*av);
                 if (!cps) continue;
                 if (cps->size() != 2) {
@@ -125,8 +134,9 @@ void register_format_rules(Registry& reg) {
         "e_subject_country_not_uppercase",
         "CountryName codes must use uppercase letters",
         Severity::kError, Source::kCabfBr, dates::kCabfBr,
-        [](const Certificate& cert) -> std::optional<std::string> {
-            for (const AttributeValue* av : cert.subject.find_all(asn1::oids::country_name())) {
+        footprint({CertField::kSubject}, {}, {&asn1::oids::country_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
+            for (const AttributeValue* av : cert.subject().find_all(asn1::oids::country_name())) {
                 auto cps = decode_attribute(*av);
                 if (!cps) continue;
                 for (unicode::CodePoint cp : *cps) {
@@ -139,8 +149,8 @@ void register_format_rules(Registry& reg) {
     // 9-12. DNS syntax limits.
     reg.add(make(
         "e_dns_label_too_long", "DNS labels are limited to 63 octets",
-        Severity::kError, Source::kDnsRfc, dates::kAlways,
-        [](const Certificate& cert) {
+        Severity::kError, Source::kDnsRfc, dates::kAlways, dns_footprint(),
+        [](const CertView& cert) {
             return for_each_dns_label(cert, [](const std::string& label, size_t)
                                                 -> std::optional<std::string> {
                 if (label.size() > 63) return "label of " + std::to_string(label.size()) + " octets";
@@ -149,8 +159,8 @@ void register_format_rules(Registry& reg) {
         }));
     reg.add(make(
         "e_dns_name_too_long", "DNS names are limited to 253 octets",
-        Severity::kError, Source::kDnsRfc, dates::kAlways,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        Severity::kError, Source::kDnsRfc, dates::kAlways, dns_footprint(),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const DnsNameRef& dns : dns_name_candidates(cert)) {
                 if (dns.value.size() > 253) {
                     return "name of " + std::to_string(dns.value.size()) + " octets";
@@ -160,8 +170,8 @@ void register_format_rules(Registry& reg) {
         }));
     reg.add(make(
         "e_dns_label_empty", "DNS names must not contain empty labels",
-        Severity::kError, Source::kDnsRfc, dates::kAlways,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        Severity::kError, Source::kDnsRfc, dates::kAlways, dns_footprint(),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const DnsNameRef& dns : dns_name_candidates(cert)) {
                 if (dns.value.empty()) return std::string("empty DNSName");
                 if (dns.value.find("..") != std::string::npos || dns.value.front() == '.') {
@@ -173,8 +183,8 @@ void register_format_rules(Registry& reg) {
     reg.add(make(
         "e_dns_wildcard_not_leftmost",
         "wildcards are only permitted as the complete leftmost label",
-        Severity::kError, Source::kCabfBr, dates::kCabfBr,
-        [](const Certificate& cert) {
+        Severity::kError, Source::kCabfBr, dates::kCabfBr, dns_footprint(),
+        [](const CertView& cert) {
             return for_each_dns_label(cert, [](const std::string& label, size_t index)
                                                 -> std::optional<std::string> {
                 if (label.find('*') != std::string::npos && (index != 0 || label != "*")) {
@@ -188,33 +198,37 @@ void register_format_rules(Registry& reg) {
     reg.add(make(
         "e_serial_number_too_long", "serialNumber must be at most 20 octets",
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
-            if (cert.serial.size() > 20) {
-                return std::to_string(cert.serial.size()) + "-octet serial";
+        footprint({CertField::kSerial}),
+        [](const CertView& cert) -> std::optional<std::string> {
+            if (cert.serial().size() > 20) {
+                return std::to_string(cert.serial().size()) + "-octet serial";
             }
             return std::nullopt;
         }));
     reg.add(make(
         "e_serial_number_not_positive", "serialNumber must be a positive integer",
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSerial}),
+        [](const CertView& cert) -> std::optional<std::string> {
             bool all_zero = true;
-            for (uint8_t b : cert.serial) {
+            for (uint8_t b : cert.serial()) {
                 if (b != 0) {
                     all_zero = false;
                     break;
                 }
             }
-            if (cert.serial.empty() || all_zero) return std::string("zero or empty serial");
+            if (cert.serial().empty() || all_zero) return std::string("zero or empty serial");
             return std::nullopt;
         }));
 
-    // 15. Validity sanity.
+    // 15. Validity sanity. Cited against RFC 5280 sec. 4.1.2.5, so the
+    //     effective date matches the citation rather than kAlways.
     reg.add(make(
         "e_validity_reversed", "notAfter must not precede notBefore",
-        Severity::kError, Source::kRfc5280, dates::kAlways,
-        [](const Certificate& cert) -> std::optional<std::string> {
-            if (cert.validity.not_after < cert.validity.not_before) {
+        Severity::kError, Source::kRfc5280, dates::kRfc5280,
+        footprint({CertField::kValidity}),
+        [](const CertView& cert) -> std::optional<std::string> {
+            if (cert.validity().not_after < cert.validity().not_before) {
                 return std::string("notAfter < notBefore");
             }
             return std::nullopt;
@@ -224,7 +238,8 @@ void register_format_rules(Registry& reg) {
     reg.add(make(
         "e_san_dns_empty_value", "SAN DNSName values must not be empty",
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&asn1::oids::subject_alt_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const GeneralName& gn : cert.subject_alt_names()) {
                 if (gn.type == GeneralNameType::kDnsName && gn.value_bytes.empty()) {
                     return std::string("empty DNSName entry");
@@ -237,7 +252,8 @@ void register_format_rules(Registry& reg) {
     reg.add(make(
         "e_rfc822_no_at_symbol", "rfc822Names must be addr-spec mailboxes",
         Severity::kError, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&asn1::oids::subject_alt_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const GeneralName& gn : cert.subject_alt_names()) {
                 if (gn.type != GeneralNameType::kRfc822Name) continue;
                 std::string v = gn.to_utf8_lossy();

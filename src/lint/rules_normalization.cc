@@ -11,14 +11,14 @@ namespace {
 
 using unicode::CodePoints;
 using x509::AttributeValue;
-using x509::Certificate;
+using x509::CertField;
 
 Rule make(std::string name, std::string description, Severity severity, Source source,
-          int64_t effective, bool is_new,
-          std::function<std::optional<std::string>(const Certificate&)> check) {
+          int64_t effective, bool is_new, RuleFootprint fp,
+          std::function<std::optional<std::string>(const CertView&)> check) {
     Rule r;
     r.info = {std::move(name), std::move(description), severity, source,
-              NcType::kBadNormalization, effective, is_new};
+              NcType::kBadNormalization, effective, is_new, std::move(fp)};
     r.check = std::move(check);
     return r;
 }
@@ -34,7 +34,9 @@ void register_normalization_rules(Registry& reg) {
         "e_rfc_idn_unicode_not_nfc",
         "Decoded IDN U-labels must be in Unicode NFC form",
         Severity::kError, Source::kIdna, dates::kIdna2008, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {&asn1::oids::subject_alt_name()},
+                  {&asn1::oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const DnsNameRef& dns : dns_name_candidates(cert)) {
                 size_t start = 0;
                 const std::string& host = dns.value;
@@ -62,9 +64,10 @@ void register_normalization_rules(Registry& reg) {
         "e_rfc_utf8_string_not_nfc",
         "UTF8String attribute values must be NFC-normalized",
         Severity::kError, Source::kRfc5280, dates::kRfc5280, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {}, {asn1::StringType::kUtf8String}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found || av.string_type != asn1::StringType::kUtf8String) return;
                 auto cps = decode_attribute(av);
                 if (!cps) return;
@@ -80,7 +83,8 @@ void register_normalization_rules(Registry& reg) {
         "e_mail_smtp_utf8_not_nfc",
         "SmtpUTF8Mailbox values must be NFC-normalized",
         Severity::kError, Source::kRfc9598, dates::kRfc9598, true,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&asn1::oids::subject_alt_name()}, {}, {asn1::StringType::kUtf8String}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const x509::GeneralName& gn : cert.subject_alt_names()) {
                 if (gn.type != x509::GeneralNameType::kOtherName ||
                     gn.other_name_oid != asn1::oids::smtp_utf8_mailbox()) {
@@ -101,9 +105,10 @@ void register_normalization_rules(Registry& reg) {
         "w_rfc_dn_leading_combining_mark",
         "DN values should not begin with a combining mark",
         Severity::kWarning, Source::kRfc5280, dates::kRfc5280, false,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) -> std::optional<std::string> {
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found) return;
                 auto cps = decode_attribute(av);
                 if (!cps || cps->empty()) return;

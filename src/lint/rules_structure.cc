@@ -7,16 +7,16 @@ namespace unicert::lint {
 namespace {
 
 using x509::AttributeValue;
-using x509::Certificate;
+using x509::CertField;
 using x509::GeneralName;
 using x509::GeneralNameType;
 
 Rule make(std::string name, std::string description, Severity severity, NcType type,
-          Source source, int64_t effective,
-          std::function<std::optional<std::string>(const Certificate&)> check) {
+          Source source, int64_t effective, RuleFootprint fp,
+          std::function<std::optional<std::string>(const CertView&)> check) {
     Rule r;
     r.info = {std::move(name), std::move(description), severity, source, type, effective,
-              /*is_new=*/false};
+              /*is_new=*/false, std::move(fp)};
     r.check = std::move(check);
     return r;
 }
@@ -34,7 +34,8 @@ void register_structure_rules(Registry& reg) {
         "w_cab_subject_common_name_not_in_san",
         "Subject CommonName values must be repeated in the SAN",
         Severity::kError, NcType::kInvalidStructure, Source::kCabfBr, dates::kCabfBr,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {&oids::subject_alt_name()}, {&oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             auto cns = cert.subject_common_names();
             if (cns.empty()) return std::nullopt;
             x509::GeneralNames sans = cert.subject_alt_names();
@@ -59,7 +60,8 @@ void register_structure_rules(Registry& reg) {
         "e_rfc_subject_duplicate_attribute",
         "Subject must not repeat attribute types (other than CN, OU, DC, STREET)",
         Severity::kError, NcType::kInvalidStructure, Source::kRfc5280, dates::kRfc5280,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}),
+        [](const CertView& cert) -> std::optional<std::string> {
             // Attributes that may legitimately repeat.
             const asn1::Oid* repeatable[] = {
                 &asn1::oids::common_name(),  // handled by the discouraged lint
@@ -69,7 +71,7 @@ void register_structure_rules(Registry& reg) {
             };
             std::vector<asn1::Oid> seen;
             std::optional<std::string> found;
-            for_each_attribute(cert.subject, [&](const AttributeValue& av) {
+            for_each_attribute(cert.subject(), [&](const AttributeValue& av) {
                 if (found) return;
                 for (const asn1::Oid* ok : repeatable) {
                     if (av.type == *ok) return;
@@ -87,12 +89,15 @@ void register_structure_rules(Registry& reg) {
 }
 
 void register_discouraged_rules(Registry& reg) {
+    namespace oids = asn1::oids;
+
     // 1. Multiple CommonNames in the Subject (589 certs in the paper).
     reg.add(make(
         "w_cab_subject_contain_extra_common_name",
         "Subject should contain at most one CommonName",
         Severity::kWarning, NcType::kDiscouragedField, Source::kCabfBr, dates::kCabfBr,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({CertField::kSubject}, {}, {&oids::common_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             size_t n = cert.subject_common_names().size();
             if (n > 1) return std::to_string(n) + " CommonName attributes present";
             return std::nullopt;
@@ -103,7 +108,8 @@ void register_discouraged_rules(Registry& reg) {
         "w_discouraged_san_uri",
         "URI entries in the SAN of server certificates are discouraged",
         Severity::kWarning, NcType::kDiscouragedField, Source::kCabfBr, dates::kCabfBr,
-        [](const Certificate& cert) -> std::optional<std::string> {
+        footprint({}, {&oids::subject_alt_name()}),
+        [](const CertView& cert) -> std::optional<std::string> {
             for (const GeneralName& gn : cert.subject_alt_names()) {
                 if (gn.type == GeneralNameType::kUri) {
                     return std::string("SAN contains a URI entry");

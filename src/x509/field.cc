@@ -1,0 +1,31 @@
+#include "x509/field.h"
+
+namespace unicert::x509 {
+
+const char* cert_field_name(CertField f) noexcept {
+    switch (f) {
+        case CertField::kVersion: return "version";
+        case CertField::kSerial: return "serial";
+        case CertField::kSignatureAlgorithm: return "signature_algorithm";
+        case CertField::kIssuer: return "issuer";
+        case CertField::kValidity: return "validity";
+        case CertField::kSubject: return "subject";
+        case CertField::kSubjectPublicKey: return "subject_public_key";
+        case CertField::kExtensions: return "extensions";
+        case CertField::kSignature: return "signature";
+        case CertField::kWholeCert: return "whole_cert";
+    }
+    return "?";
+}
+
+std::string cert_field_mask_names(uint32_t mask) {
+    std::string out;
+    for (uint32_t bit = 1; bit != 0 && bit <= field_bit(CertField::kWholeCert); bit <<= 1) {
+        if ((mask & bit) == 0) continue;
+        if (!out.empty()) out += '|';
+        out += cert_field_name(static_cast<CertField>(bit));
+    }
+    return out;
+}
+
+}  // namespace unicert::x509

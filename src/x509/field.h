@@ -1,0 +1,38 @@
+// unicert/x509/field.h
+//
+// Top-level TBSCertificate field enumeration, used as a bitmask by the
+// lint layer's declared rule footprints and the access-tracing view
+// (lint::CertView / lint::analysis::TracingCertView). Each enumerator
+// is its own bit so field sets compose with plain bitwise OR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace unicert::x509 {
+
+enum class CertField : uint32_t {
+    kVersion = 1u << 0,
+    kSerial = 1u << 1,
+    kSignatureAlgorithm = 1u << 2,
+    kIssuer = 1u << 3,
+    kValidity = 1u << 4,
+    kSubject = 1u << 5,
+    kSubjectPublicKey = 1u << 6,
+    // Enumerating the raw extension list (as opposed to probing one
+    // extension by OID, which the lint layer tracks per OID).
+    kExtensions = 1u << 7,
+    kSignature = 1u << 8,
+    // Whole-certificate escape hatch: DER blobs, fingerprints, or any
+    // access that cannot be attributed to a single field.
+    kWholeCert = 1u << 9,
+};
+
+constexpr uint32_t field_bit(CertField f) noexcept { return static_cast<uint32_t>(f); }
+
+const char* cert_field_name(CertField f) noexcept;
+
+// "subject|validity" style rendering of a CertField bitmask.
+std::string cert_field_mask_names(uint32_t mask);
+
+}  // namespace unicert::x509

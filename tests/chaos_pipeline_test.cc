@@ -191,7 +191,7 @@ TEST_F(ChaosPipeline, ThrowingLintIsQuarantinedNotFatal) {
     lint::Rule rule;
     rule.info.name = "x_always_throws";
     rule.info.severity = lint::Severity::kError;
-    rule.check = [](const x509::Certificate&) -> std::optional<std::string> {
+    rule.check = [](const lint::CertView&) -> std::optional<std::string> {
         throw std::runtime_error("rule exploded");
     };
     hostile.add(std::move(rule));

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
+#include "lint/helpers.h"
 #include "lint/lint.h"
 
 namespace unicert::lint {
@@ -104,6 +106,100 @@ TEST(Registry, EffectiveDatesAreSane) {
         // Nothing becomes effective after the study window ends (2025).
         EXPECT_LT(r.info.effective_date, 1767225600 /* 2026-01-01 */) << r.info.name;
     }
+}
+
+TEST(Registry, EffectiveDatesNeverPredateTheCitedStandard) {
+    // Regression for two real metadata bugs: e_validity_reversed carried
+    // effective=kAlways while citing RFC 5280, and the PrintableString
+    // badalpha rule cited X.680 for a repertoire RFC 5280 incorporates.
+    for (const Rule& r : default_registry().rules()) {
+        EXPECT_GE(r.info.effective_date, source_publication_date(r.info.source))
+            << r.info.name << " becomes effective before " << source_name(r.info.source)
+            << " was published";
+    }
+}
+
+TEST(Registry, MetadataFixRegressions) {
+    const Registry& reg = default_registry();
+    const Rule* reversed = reg.find("e_validity_reversed");
+    ASSERT_NE(reversed, nullptr);
+    EXPECT_EQ(reversed->info.effective_date, dates::kRfc5280);
+
+    const Rule* badalpha = reg.find("e_rfc_subject_printable_string_badalpha");
+    ASSERT_NE(badalpha, nullptr);
+    EXPECT_EQ(badalpha->info.source, Source::kRfc5280);
+    EXPECT_EQ(badalpha->info.effective_date, dates::kRfc5280);
+}
+
+TEST(Registry, EveryRuleDeclaresAFootprint) {
+    for (const Rule& r : default_registry().rules()) {
+        EXPECT_TRUE(r.info.footprint.fields != 0 || !r.info.footprint.extensions.empty())
+            << r.info.name << " declares no readable surface";
+    }
+}
+
+TEST(Registry, FindReturnsTheExactRule) {
+    const Registry& reg = default_registry();
+    const Rule* rule = reg.find("e_validity_reversed");
+    ASSERT_NE(rule, nullptr);
+    EXPECT_EQ(rule->info.name, "e_validity_reversed");
+    // Prefix and superstring lookups must not match.
+    EXPECT_EQ(reg.find("e_validity"), nullptr);
+    EXPECT_EQ(reg.find("e_validity_reversed_"), nullptr);
+    EXPECT_EQ(reg.find(""), nullptr);
+}
+
+TEST(Registry, EmptyRegistryCounts) {
+    Registry reg;
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.count_new(), 0u);
+    EXPECT_EQ(reg.count_type(NcType::kInvalidCharacter), 0u);
+    EXPECT_EQ(reg.find("anything"), nullptr);
+}
+
+namespace {
+Rule trivial_rule(std::string name) {
+    Rule rule;
+    rule.info.name = std::move(name);
+    rule.info.description = "test rule";
+    rule.info.footprint = footprint({x509::CertField::kSerial});
+    rule.check = [](const CertView&) -> std::optional<std::string> { return std::nullopt; };
+    return rule;
+}
+}  // namespace
+
+TEST(Registry, AddRejectsDuplicateNames) {
+    Registry reg;
+    reg.add(trivial_rule("e_test_rule"));
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_THROW(reg.add(trivial_rule("e_test_rule")), std::invalid_argument);
+    // The failed add must not have perturbed the registry.
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_NE(reg.find("e_test_rule"), nullptr);
+}
+
+TEST(Registry, AddRejectsEmptyNameAndMissingCheck) {
+    Registry reg;
+    EXPECT_THROW(reg.add(trivial_rule("")), std::invalid_argument);
+
+    Rule no_check = trivial_rule("e_no_check");
+    no_check.check = nullptr;
+    EXPECT_THROW(reg.add(no_check), std::invalid_argument);
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Registry, CountTypeAndCountNewTrackAdds) {
+    Registry reg;
+    Rule a = trivial_rule("e_type_a");
+    a.info.type = NcType::kBadNormalization;
+    a.info.is_new = true;
+    Rule b = trivial_rule("e_type_b");
+    b.info.type = NcType::kBadNormalization;
+    reg.add(std::move(a));
+    reg.add(std::move(b));
+    EXPECT_EQ(reg.count_type(NcType::kBadNormalization), 2u);
+    EXPECT_EQ(reg.count_type(NcType::kIllegalFormat), 0u);
+    EXPECT_EQ(reg.count_new(), 1u);
 }
 
 TEST(Names, EnumLabelers) {

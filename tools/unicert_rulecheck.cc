@@ -1,0 +1,193 @@
+// unicert_rulecheck: static + dynamic analyzer for the lint rule set
+// itself (DESIGN.md section 9). Run in CI as a blocking gate: every
+// rule's declared footprint, determinism, order independence, metadata
+// hygiene and cross-rule relations are verified against a seeded probe
+// corpus; known-intentional findings live in a checked-in baseline.
+//
+//   unicert_rulecheck [options]
+//     --json               machine-readable report on stdout
+//     --baseline FILE      acknowledge findings listed in FILE
+//     --write-baseline     print baseline lines for current findings
+//                          (redirect into the baseline file to accept)
+//     --seed N             probe corpus seed (default 42)
+//     --scale X            corpus downscale factor (default 16000)
+//     --no-relations       skip cross-rule relation mining
+//     --self-test-bad      analyze a deliberately broken registry and
+//                          expect findings (gate plumbing test)
+//
+// Exit code: 0 = clean (after baseline), 1 = findings remain, 2 = usage
+// or I/O error. With --self-test-bad the meanings of 0/1 are what the
+// analyzer reports for the broken registry — CI asserts it is non-zero.
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lint/analysis/analyzer.h"
+#include "lint/helpers.h"
+#include "lint/lint.h"
+
+using namespace unicert;
+using lint::analysis::AnalysisFinding;
+using lint::analysis::AnalysisReport;
+
+namespace {
+
+void print_usage() {
+    std::printf(
+        "usage: unicert_rulecheck [options]\n"
+        "  --json            machine-readable report on stdout\n"
+        "  --baseline FILE   acknowledge findings listed in FILE\n"
+        "  --write-baseline  print baseline lines for current findings\n"
+        "  --seed N          probe corpus seed (default 42)\n"
+        "  --scale X         corpus downscale factor (default 16000)\n"
+        "  --no-relations    skip cross-rule relation mining\n"
+        "  --self-test-bad   analyze a deliberately broken registry\n");
+}
+
+// A registry seeded with one deliberate violation per analyzer check
+// family, proving the gate actually trips (ISSUE acceptance: a bad rule
+// yields a non-zero exit and a finding naming the rule).
+lint::Registry make_bad_registry() {
+    using lint::Severity;
+    using lint::Source;
+    using lint::NcType;
+    namespace dates = lint::dates;
+    lint::Registry reg;
+
+    // Footprint violation: declares serial-only, reads the subject.
+    reg.add({{"e_selftest_undeclared_read", "reads outside its declared footprint",
+              Severity::kError, Source::kCommunity, NcType::kInvalidStructure,
+              dates::kCommunity, true, lint::footprint({x509::CertField::kSerial}, {}, {})},
+             [](const lint::CertView& cert) -> std::optional<std::string> {
+                 if (cert.subject().all_attributes().empty()) return std::nullopt;
+                 return "subject is not empty";
+             }});
+
+    // Nondeterminism + order dependence: verdict flips on every call.
+    reg.add({{"w_selftest_flaky", "verdict depends on hidden state", Severity::kWarning,
+              Source::kCommunity, NcType::kInvalidStructure, dates::kCommunity, true,
+              lint::footprint({x509::CertField::kSerial}, {}, {})},
+             [](const lint::CertView& cert) -> std::optional<std::string> {
+                 static unsigned calls = 0;
+                 (void)cert.serial();
+                 if (++calls % 2 == 0) return "flaky verdict";
+                 return std::nullopt;
+             }});
+
+    // Prefix/severity mismatch + anachronistic effective date (RFC 9549
+    // rule claiming to be effective since always).
+    reg.add({{"e_rfc9549_selftest_misdated", "mislabelled severity and date",
+              Severity::kWarning, Source::kRfc9549, NcType::kInvalidEncoding, dates::kAlways,
+              true, lint::footprint({x509::CertField::kValidity}, {}, {})},
+             [](const lint::CertView& cert) -> std::optional<std::string> {
+                 if (cert.validity().not_before > cert.validity().not_after)
+                     return "reversed validity";
+                 return std::nullopt;
+             }});
+
+    // Malformed name + missing footprint.
+    reg.add({{"BadName", "name violates the naming contract", Severity::kInfo,
+              Source::kCommunity, NcType::kInvalidStructure, dates::kCommunity, true,
+              lint::RuleFootprint{}},
+             [](const lint::CertView&) -> std::optional<std::string> { return std::nullopt; }});
+
+    return reg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    bool write_baseline = false;
+    bool self_test_bad = false;
+    std::string baseline_path;
+    lint::analysis::AnalyzerOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--write-baseline") {
+            write_baseline = true;
+        } else if (arg == "--self-test-bad") {
+            self_test_bad = true;
+        } else if (arg == "--no-relations") {
+            options.check_relations = false;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            std::string_view v = argv[++i];
+            auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), options.seed);
+            if (ec != std::errc{} || p != v.data() + v.size()) {
+                std::fprintf(stderr, "unicert_rulecheck: bad --seed '%s'\n", v.data());
+                return 2;
+            }
+        } else if (arg == "--scale" && i + 1 < argc) {
+            options.corpus_scale = std::atof(argv[++i]);
+            if (options.corpus_scale <= 0) {
+                std::fprintf(stderr, "unicert_rulecheck: bad --scale\n");
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unicert_rulecheck: unknown option '%s'\n",
+                         std::string(arg).c_str());
+            print_usage();
+            return 2;
+        }
+    }
+
+    // Table 1 counts only hold for the real registry.
+    options.check_table1_counts = !self_test_bad;
+
+    std::string baseline_text;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr, "unicert_rulecheck: cannot read baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        baseline_text = buf.str();
+    }
+
+    lint::analysis::Analyzer analyzer(options);
+    AnalysisReport report = self_test_bad ? analyzer.analyze(make_bad_registry())
+                                          : analyzer.analyze(lint::default_registry());
+    if (!baseline_text.empty()) lint::analysis::apply_baseline(report, baseline_text);
+
+    if (write_baseline) {
+        std::printf("# unicert_rulecheck acknowledged findings\n");
+        std::printf("# format: <class> <rule> <other>  (\"-\" = no counterpart)\n");
+        for (const AnalysisFinding& f : report.findings) {
+            std::printf("%s\n", lint::analysis::baseline_line(f).c_str());
+        }
+        return lint::analysis::exit_code(report);
+    }
+
+    if (json) {
+        std::fputs(lint::analysis::analysis_report_to_json(report).c_str(), stdout);
+        return lint::analysis::exit_code(report);
+    }
+
+    std::printf("unicert_rulecheck: %zu rules x %zu probes\n", report.rules_checked,
+                report.probe_count);
+    for (const AnalysisFinding& f : report.findings) {
+        std::printf("FINDING %-26s %s%s%s: %s\n", lint::analysis::check_class_name(f.cls),
+                    f.rule.c_str(), f.other.empty() ? "" : " vs ", f.other.c_str(),
+                    f.detail.c_str());
+    }
+    if (!report.baselined.empty()) {
+        std::printf("%zu finding(s) acknowledged by baseline\n", report.baselined.size());
+    }
+    std::printf(report.clean() ? "rule set clean\n" : "%zu finding(s)\n",
+                report.findings.size());
+    return lint::analysis::exit_code(report);
+}
