@@ -1,0 +1,368 @@
+#include "core/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace unicert::core {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+Error errno_error(std::string code, const std::string& path) {
+    return Error{std::move(code), path + ": " + std::strerror(errno)};
+}
+
+// POSIX-fd file so sync() is a real fsync. ofstream cannot express
+// that (flush only drains the stream buffer into the page cache).
+class PosixFile final : public File {
+public:
+    explicit PosixFile(int fd) : fd_(fd) {}
+    ~PosixFile() override { (void)close(); }
+
+    Expected<size_t> write(BytesView data) override {
+        if (fd_ < 0) return Error{"fs_write_failed", "write on closed file"};
+        size_t written = 0;
+        while (written < data.size()) {
+            ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                if (errno == ENOSPC) return Error{"fs_no_space", std::strerror(errno)};
+                return Error{"fs_write_failed", std::strerror(errno)};
+            }
+            if (n == 0) break;
+            written += static_cast<size_t>(n);
+        }
+        return written;
+    }
+
+    Status sync() override {
+        if (fd_ < 0) return Error{"fs_sync_failed", "sync on closed file"};
+        if (::fsync(fd_) != 0) return Error{"fs_sync_failed", std::strerror(errno)};
+        return Status::success();
+    }
+
+    Status close() override {
+        if (fd_ < 0) return Status::success();
+        int fd = fd_;
+        fd_ = -1;
+        if (::close(fd) != 0) return Error{"fs_close_failed", std::strerror(errno)};
+        return Status::success();
+    }
+
+private:
+    int fd_;
+};
+
+class RealFs final : public Fs {
+public:
+    Expected<FilePtr> open_append(const std::string& path) override {
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd < 0) return errno_error("fs_open_failed", path);
+        return FilePtr(new PosixFile(fd));
+    }
+
+    Expected<FilePtr> create(const std::string& path) override {
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0) return errno_error("fs_open_failed", path);
+        return FilePtr(new PosixFile(fd));
+    }
+
+    Expected<Bytes> read_file(const std::string& path) override {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            return errno == ENOENT ? errno_error("fs_not_found", path)
+                                   : errno_error("fs_read_failed", path);
+        }
+        Bytes out;
+        uint8_t buf[1 << 16];
+        for (;;) {
+            ssize_t n = ::read(fd, buf, sizeof(buf));
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                Error e = errno_error("fs_read_failed", path);
+                ::close(fd);
+                return e;
+            }
+            if (n == 0) break;
+            out.insert(out.end(), buf, buf + n);
+        }
+        ::close(fd);
+        return out;
+    }
+
+    Expected<bool> exists(const std::string& path) override {
+        std::error_code ec;
+        bool found = stdfs::exists(path, ec);
+        if (ec) return Error{"fs_read_failed", path + ": " + ec.message()};
+        return found;
+    }
+
+    Status rename(const std::string& from, const std::string& to) override {
+        if (::rename(from.c_str(), to.c_str()) != 0) {
+            return errno_error("fs_rename_failed", from + " -> " + to);
+        }
+        return Status::success();
+    }
+
+    Status remove(const std::string& path) override {
+        if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+            return errno_error("fs_remove_failed", path);
+        }
+        return Status::success();
+    }
+
+    Status make_dirs(const std::string& path) override {
+        std::error_code ec;
+        stdfs::create_directories(path, ec);
+        if (ec) return Error{"fs_mkdir_failed", path + ": " + ec.message()};
+        return Status::success();
+    }
+
+    Expected<std::vector<std::string>> list_dir(const std::string& path) override {
+        std::error_code ec;
+        stdfs::directory_iterator it(path, ec);
+        if (ec) return Error{"fs_not_found", path + ": " + ec.message()};
+        std::vector<std::string> names;
+        for (const stdfs::directory_entry& entry : it) {
+            if (entry.is_regular_file(ec)) names.push_back(entry.path().filename().string());
+        }
+        std::sort(names.begin(), names.end());
+        return names;
+    }
+
+    Status sync_dir(const std::string& path) override {
+        int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+        if (fd < 0) return errno_error("fs_sync_failed", path);
+        int rc = ::fsync(fd);
+        ::close(fd);
+        if (rc != 0) return errno_error("fs_sync_failed", path);
+        return Status::success();
+    }
+};
+
+std::string parent_dir(const std::string& path) {
+    size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+Fs& real_fs() {
+    static RealFs fs;
+    return fs;
+}
+
+// ---- MemFs -----------------------------------------------------------------
+
+// Handle into a MemFs file. Generation-checked so simulate_crash() and
+// remove() invalidate outstanding handles instead of resurrecting state.
+class MemFile final : public File {
+public:
+    MemFile(MemFs* fs, std::string path, uint64_t generation)
+        : fs_(fs), path_(std::move(path)), generation_(generation) {}
+
+    Expected<size_t> write(BytesView data) override {
+        MemFs::FileState* state = resolve();
+        if (state == nullptr) return Error{"fs_write_failed", path_ + ": stale handle"};
+        append(state->content, data);
+        return data.size();
+    }
+
+    Status sync() override {
+        MemFs::FileState* state = resolve();
+        if (state == nullptr) return Error{"fs_sync_failed", path_ + ": stale handle"};
+        state->durable = state->content;
+        state->ever_synced = true;
+        return Status::success();
+    }
+
+    Status close() override {
+        closed_ = true;
+        return Status::success();
+    }
+
+private:
+    MemFs::FileState* resolve() {
+        if (closed_) return nullptr;
+        auto it = fs_->files_.find(path_);
+        if (it == fs_->files_.end() || it->second.generation != generation_) return nullptr;
+        return &it->second;
+    }
+
+    MemFs* fs_;
+    std::string path_;
+    uint64_t generation_;
+    bool closed_ = false;
+};
+
+Expected<FilePtr> MemFs::open_append(const std::string& path) {
+    FileState& state = files_[path];  // creates when absent
+    return FilePtr(new MemFile(this, path, state.generation));
+}
+
+Expected<FilePtr> MemFs::create(const std::string& path) {
+    FileState& state = files_[path];
+    state.content.clear();
+    // Truncation of a previously durable file is itself volatile until
+    // the next sync; the durable snapshot survives a crash.
+    return FilePtr(new MemFile(this, path, state.generation));
+}
+
+Expected<Bytes> MemFs::read_file(const std::string& path) {
+    auto it = files_.find(path);
+    if (it == files_.end()) return Error{"fs_not_found", path + ": no such file"};
+    return it->second.content;
+}
+
+Expected<bool> MemFs::exists(const std::string& path) {
+    return files_.count(path) > 0;
+}
+
+Status MemFs::rename(const std::string& from, const std::string& to) {
+    auto it = files_.find(from);
+    if (it == files_.end()) return Error{"fs_rename_failed", from + ": no such file"};
+    FileState state = std::move(it->second);
+    files_.erase(it);
+    ++state.generation;  // invalidate handles under both names
+    files_[to] = std::move(state);
+    return Status::success();
+}
+
+Status MemFs::remove(const std::string& path) {
+    files_.erase(path);
+    return Status::success();
+}
+
+Status MemFs::make_dirs(const std::string& path) {
+    std::string prefix;
+    for (size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (!prefix.empty()) dirs_[prefix] = true;
+        }
+        if (i < path.size()) prefix.push_back(path[i]);
+    }
+    return Status::success();
+}
+
+Expected<std::vector<std::string>> MemFs::list_dir(const std::string& path) {
+    std::string prefix = path;
+    if (!prefix.empty() && prefix.back() != '/') prefix.push_back('/');
+    std::vector<std::string> names;
+    bool dir_known = dirs_.count(path) > 0;
+    for (const auto& [file_path, state] : files_) {
+        if (file_path.size() <= prefix.size() || file_path.compare(0, prefix.size(), prefix) != 0) {
+            continue;
+        }
+        std::string rest = file_path.substr(prefix.size());
+        if (rest.find('/') != std::string::npos) continue;  // nested deeper
+        names.push_back(std::move(rest));
+        dir_known = true;
+    }
+    if (!dir_known) return Error{"fs_not_found", path + ": no such directory"};
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+Status MemFs::sync_dir(const std::string&) {
+    // Directory entries are modelled as durable once the file itself
+    // has been synced (see the class comment); nothing further to do.
+    return Status::success();
+}
+
+void MemFs::simulate_crash(const TornTailFn& keep) {
+    for (auto it = files_.begin(); it != files_.end();) {
+        FileState& state = it->second;
+        size_t durable_len = state.durable.size();
+        size_t unsynced = state.content.size() > durable_len
+                              ? state.content.size() - durable_len
+                              : 0;
+        size_t kept = keep ? std::min(keep(it->first, durable_len, unsynced), unsynced) : 0;
+        Bytes next = state.durable;
+        if (kept > 0) {
+            next.insert(next.end(), state.content.begin() + static_cast<ptrdiff_t>(durable_len),
+                        state.content.begin() + static_cast<ptrdiff_t>(durable_len + kept));
+        }
+        if (!state.ever_synced && next.empty()) {
+            it = files_.erase(it);  // never reached disk at all
+            continue;
+        }
+        // Whatever survived the crash is, by definition, on disk now.
+        state.content = std::move(next);
+        state.durable = state.content;
+        state.ever_synced = true;
+        ++state.generation;  // open handles are gone after a reboot
+        ++it;
+    }
+}
+
+bool MemFs::flip_bit(const std::string& path, size_t byte_offset, unsigned bit) {
+    auto it = files_.find(path);
+    if (it == files_.end() || byte_offset >= it->second.content.size()) return false;
+    uint8_t mask = static_cast<uint8_t>(1u << (bit & 7));
+    it->second.content[byte_offset] ^= mask;
+    if (byte_offset < it->second.durable.size()) it->second.durable[byte_offset] ^= mask;
+    return true;
+}
+
+size_t MemFs::unsynced_bytes() const {
+    size_t total = 0;
+    for (const auto& [path, state] : files_) {
+        if (state.content.size() > state.durable.size()) {
+            total += state.content.size() - state.durable.size();
+        }
+    }
+    return total;
+}
+
+// ---- atomic_write_file -----------------------------------------------------
+
+Status atomic_write_file(Fs& fs, const std::string& path, BytesView data,
+                         const std::string& dir) {
+    const std::string tmp = path + ".tmp";
+    auto file = fs.create(tmp);
+    if (!file.ok()) return file.error();
+    auto written = (*file)->write(data);
+    if (!written.ok() || *written != data.size()) {
+        (void)(*file)->close();
+        (void)fs.remove(tmp);
+        if (!written.ok()) return written.error();
+        return Error{"fs_short_write", tmp + ": wrote " + std::to_string(*written) + " of " +
+                                           std::to_string(data.size()) + " bytes"};
+    }
+    // fsync BEFORE rename: otherwise the rename can become durable
+    // while the content is not, and a crash leaves an empty/torn file
+    // under the final name — the exact corruption this helper exists
+    // to rule out.
+    if (Status st = (*file)->sync(); !st.ok()) {
+        (void)(*file)->close();
+        (void)fs.remove(tmp);
+        return st;
+    }
+    if (Status st = (*file)->close(); !st.ok()) {
+        (void)fs.remove(tmp);
+        return st;
+    }
+    if (Status st = fs.rename(tmp, path); !st.ok()) {
+        (void)fs.remove(tmp);
+        return st;
+    }
+    std::string sync_target = dir.empty() ? parent_dir(path) : dir;
+    if (!sync_target.empty()) {
+        if (Status st = fs.sync_dir(sync_target); !st.ok()) return st;
+    }
+    return Status::success();
+}
+
+Status atomic_write_file(Fs& fs, const std::string& path, std::string_view data,
+                         const std::string& dir) {
+    return atomic_write_file(
+        fs, path, BytesView(reinterpret_cast<const uint8_t*>(data.data()), data.size()), dir);
+}
+
+}  // namespace unicert::core

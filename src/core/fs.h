@@ -1,0 +1,162 @@
+// unicert/core/fs.h
+//
+// The filesystem seam every durable component writes through. Direct
+// std::ofstream / std::filesystem calls cannot be fault-injected, so
+// anything that must survive crashes (the CT-log store, checkpoint
+// snapshots, the crash corpus) takes an Fs& and the tests swap in
+// faultsim::FaultyFs over a MemFs to inject short writes, failed
+// fsyncs, ENOSPC and post-crash torn tails deterministically.
+//
+// The contract is deliberately POSIX-shaped:
+//   * File::write may be short (returns bytes actually written) and
+//     written data lives in the page cache until File::sync succeeds;
+//   * rename is atomic (readers see the old or the new file, never a
+//     mix), which is what the write-temp-then-rename snapshot pattern
+//     relies on;
+//   * MemFs models the durable/volatile split explicitly: only synced
+//     bytes survive simulate_crash(), so crash tests measure exactly
+//     what a kernel would have kept after power loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+
+namespace unicert::core {
+
+// One open file handle, append-positioned. Error codes surfaced by
+// implementations (and injected by FaultyFs): fs_open_failed,
+// fs_write_failed, fs_short_write*, fs_no_space, fs_sync_failed,
+// fs_crashed.  (*short writes are returned as a short count, not an
+// error — callers must check, exactly like POSIX write(2).)
+class File {
+public:
+    virtual ~File() = default;
+
+    // Append `data`; returns the number of bytes actually written,
+    // which may be less than data.size() on a short write.
+    virtual Expected<size_t> write(BytesView data) = 0;
+
+    // Flush to durable storage (fsync). Until this succeeds, written
+    // bytes may vanish in a crash.
+    virtual Status sync() = 0;
+
+    // Close the handle. Idempotent; further writes are errors.
+    virtual Status close() = 0;
+};
+
+using FilePtr = std::unique_ptr<File>;
+
+// Minimal filesystem surface the durability layer needs. Paths are
+// plain strings ('/'-separated); implementations may interpret them
+// relative to a root.
+class Fs {
+public:
+    virtual ~Fs() = default;
+
+    // Open for appending, creating the file when absent.
+    virtual Expected<FilePtr> open_append(const std::string& path) = 0;
+
+    // Create or truncate, then open for writing.
+    virtual Expected<FilePtr> create(const std::string& path) = 0;
+
+    // Whole-file read. Errors: fs_not_found, fs_read_failed.
+    virtual Expected<Bytes> read_file(const std::string& path) = 0;
+
+    virtual Expected<bool> exists(const std::string& path) = 0;
+
+    // Atomic replace: `to` is either the old or the new file, never a
+    // partial mix.
+    virtual Status rename(const std::string& from, const std::string& to) = 0;
+
+    virtual Status remove(const std::string& path) = 0;
+
+    // mkdir -p.
+    virtual Status make_dirs(const std::string& path) = 0;
+
+    // Entry names (not full paths) in `path`, sorted, files only.
+    virtual Expected<std::vector<std::string>> list_dir(const std::string& path) = 0;
+
+    // fsync the directory so renames/creates within it are durable.
+    virtual Status sync_dir(const std::string& path) = 0;
+};
+
+// The process-wide real filesystem (POSIX fds so sync() is a real
+// fsync, not an ofstream flush).
+Fs& real_fs();
+
+// In-memory filesystem with an explicit durable/volatile split, the
+// substrate for deterministic crash tests. Every file tracks the bytes
+// made durable by the last successful sync separately from its live
+// content; simulate_crash() rewinds the live view to durable state,
+// optionally keeping a caller-chosen prefix of each unsynced tail (how
+// FaultyFs models torn writes).
+//
+// Simplifications, documented so tests know what is and is not
+// modelled: rename of a synced file is immediately durable (real
+// kernels need a directory fsync; the store performs one anyway so the
+// fault channel still gets exercised), and remove is immediate.
+class MemFs final : public Fs {
+public:
+    Expected<FilePtr> open_append(const std::string& path) override;
+    Expected<FilePtr> create(const std::string& path) override;
+    Expected<Bytes> read_file(const std::string& path) override;
+    Expected<bool> exists(const std::string& path) override;
+    Status rename(const std::string& from, const std::string& to) override;
+    Status remove(const std::string& path) override;
+    Status make_dirs(const std::string& path) override;
+    Expected<std::vector<std::string>> list_dir(const std::string& path) override;
+    Status sync_dir(const std::string& path) override;
+
+    // --- crash-test surface ------------------------------------------------
+
+    // Decides, per crashed file, how many bytes of the unsynced tail
+    // survive (0 = clean rewind to the durable snapshot). The return
+    // value is clamped to [0, unsynced_len].
+    using TornTailFn = std::function<size_t(const std::string& path, size_t durable_len,
+                                            size_t unsynced_len)>;
+
+    // Power loss: every file reverts to its durable snapshot plus a
+    // `keep`-chosen prefix of the unsynced tail. Files never synced (and
+    // whose tail is fully dropped) disappear entirely. Open handles are
+    // invalidated.
+    void simulate_crash(const TornTailFn& keep = nullptr);
+
+    // Flip one bit in place — bit-rot injection for fsck tests. Returns
+    // false when the file is missing or offset is out of range. Mutates
+    // both live and durable state (rot survives crashes).
+    bool flip_bit(const std::string& path, size_t byte_offset, unsigned bit = 0);
+
+    // Bytes not yet made durable across all files (0 after a sync-everything).
+    size_t unsynced_bytes() const;
+
+private:
+    friend class MemFile;
+
+    struct FileState {
+        Bytes content;            // live view (page cache + disk)
+        Bytes durable;            // what survives a crash
+        bool ever_synced = false;
+        uint64_t generation = 0;  // bumped by crash/remove to invalidate handles
+    };
+
+    std::map<std::string, FileState> files_;
+    std::map<std::string, bool> dirs_;  // path -> exists (value unused)
+};
+
+// Write-temp-then-rename: the whole buffer lands at `path` atomically
+// and durably, or the old content (if any) is untouched. The temp file
+// is `path` + ".tmp"; stray temp files from an earlier crash are
+// overwritten. `dir` (when non-empty) is fsynced after the rename.
+Status atomic_write_file(Fs& fs, const std::string& path, BytesView data,
+                         const std::string& dir = "");
+Status atomic_write_file(Fs& fs, const std::string& path, std::string_view data,
+                         const std::string& dir = "");
+
+}  // namespace unicert::core

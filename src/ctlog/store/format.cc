@@ -1,0 +1,260 @@
+#include "ctlog/store/format.h"
+
+#include <cstdio>
+
+namespace unicert::ctlog::store {
+namespace {
+
+void put_magic(Bytes& out, std::string_view magic) {
+    out.insert(out.end(), magic.begin(), magic.end());
+}
+
+bool has_magic(BytesView buffer, std::string_view magic) {
+    if (buffer.size() < magic.size()) return false;
+    return std::equal(magic.begin(), magic.end(), buffer.begin());
+}
+
+void put_digest(Bytes& out, const Digest& d) { out.insert(out.end(), d.begin(), d.end()); }
+
+Digest digest_of(BytesView data) { return crypto::sha256(data); }
+
+bool digest_matches(BytesView data, BytesView trailer) {
+    Digest expect = digest_of(data);
+    return std::equal(expect.begin(), expect.end(), trailer.begin());
+}
+
+}  // namespace
+
+void put_u32be(Bytes& out, uint32_t v) {
+    for (int i = 3; i >= 0; --i) out.push_back(static_cast<uint8_t>((v >> (i * 8)) & 0xFF));
+}
+
+void put_u64be(Bytes& out, uint64_t v) {
+    for (int i = 7; i >= 0; --i) out.push_back(static_cast<uint8_t>((v >> (i * 8)) & 0xFF));
+}
+
+uint32_t get_u32be(BytesView in, size_t offset) {
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i) v = (v << 8) | in[offset + i];
+    return v;
+}
+
+uint64_t get_u64be(BytesView in, size_t offset) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) v = (v << 8) | in[offset + i];
+    return v;
+}
+
+// ---- records ---------------------------------------------------------------
+
+namespace {
+
+Bytes encode_record(uint8_t type, uint64_t seq, BytesView payload) {
+    Bytes out;
+    out.reserve(kRecordPreludeLen + payload.size() + kDigestLen);
+    out.push_back(type);
+    put_u64be(out, seq);
+    put_u32be(out, static_cast<uint32_t>(payload.size()));
+    append(out, payload);
+    put_digest(out, digest_of(out));
+    return out;
+}
+
+}  // namespace
+
+Bytes encode_entry_record(const EntryRecord& record) {
+    Bytes payload;
+    payload.reserve(8 + record.leaf_der.size());
+    put_u64be(payload, static_cast<uint64_t>(record.timestamp));
+    append(payload, record.leaf_der);
+    return encode_record(kRecordEntry, record.seq, payload);
+}
+
+Bytes encode_commit_record(const CommitRecord& record) {
+    Bytes payload;
+    payload.reserve(8 + kDigestLen);
+    put_u64be(payload, record.tree_size);
+    put_digest(payload, record.root);
+    return encode_record(kRecordCommit, record.seq, payload);
+}
+
+Expected<ScannedRecord> scan_record(BytesView buffer, size_t offset) {
+    if (offset + kRecordPreludeLen > buffer.size()) {
+        return Error{"record_truncated", "frame prelude runs past end of segment", offset};
+    }
+    ScannedRecord rec;
+    rec.offset = offset;
+    rec.type = buffer[offset];
+    if (rec.type != kRecordEntry && rec.type != kRecordCommit) {
+        return Error{"record_bad_type", "unknown record type " + std::to_string(rec.type),
+                     offset};
+    }
+    rec.seq = get_u64be(buffer, offset + 1);
+    uint32_t payload_len = get_u32be(buffer, offset + 9);
+    if (payload_len > kMaxPayloadLen) {
+        return Error{"record_bad_length", "payload length " + std::to_string(payload_len) +
+                                              " exceeds the format bound", offset};
+    }
+    rec.frame_len = kRecordPreludeLen + payload_len + kDigestLen;
+    if (offset + rec.frame_len > buffer.size()) {
+        return Error{"record_truncated", "frame body runs past end of segment", offset};
+    }
+    BytesView framed = buffer.subspan(offset, kRecordPreludeLen + payload_len);
+    BytesView trailer = buffer.subspan(offset + kRecordPreludeLen + payload_len, kDigestLen);
+    rec.digest_ok = digest_matches(framed, trailer);
+    rec.payload = buffer.subspan(offset + kRecordPreludeLen, payload_len);
+    return rec;
+}
+
+Expected<EntryRecord> decode_entry(const ScannedRecord& record) {
+    if (record.type != kRecordEntry) {
+        return Error{"record_bad_type", "not an entry record", record.offset};
+    }
+    if (record.payload.size() < 8) {
+        return Error{"record_bad_length", "entry payload shorter than its timestamp",
+                     record.offset};
+    }
+    EntryRecord out;
+    out.seq = record.seq;
+    out.timestamp = static_cast<int64_t>(get_u64be(record.payload, 0));
+    out.leaf_der.assign(record.payload.begin() + 8, record.payload.end());
+    return out;
+}
+
+Expected<CommitRecord> decode_commit(const ScannedRecord& record) {
+    if (record.type != kRecordCommit) {
+        return Error{"record_bad_type", "not a commit record", record.offset};
+    }
+    if (record.payload.size() != 8 + kDigestLen) {
+        return Error{"record_bad_length", "commit payload has the wrong size", record.offset};
+    }
+    CommitRecord out;
+    out.seq = record.seq;
+    out.tree_size = get_u64be(record.payload, 0);
+    std::copy(record.payload.begin() + 8, record.payload.end(), out.root.begin());
+    return out;
+}
+
+// ---- segment header --------------------------------------------------------
+
+Bytes encode_segment_header(uint64_t base_seq) {
+    Bytes out;
+    out.reserve(kSegmentHeaderLen);
+    put_magic(out, kSegmentMagic);
+    put_u64be(out, base_seq);
+    put_digest(out, digest_of(out));
+    return out;
+}
+
+Expected<uint64_t> decode_segment_header(BytesView buffer) {
+    if (buffer.size() < kSegmentHeaderLen) {
+        return Error{"segment_truncated", "file shorter than the segment header", 0};
+    }
+    if (!has_magic(buffer, kSegmentMagic)) {
+        return Error{"segment_bad_magic", "not a unicert segment file", 0};
+    }
+    size_t covered = kSegmentMagic.size() + 8;
+    if (!digest_matches(buffer.subspan(0, covered), buffer.subspan(covered, kDigestLen))) {
+        return Error{"segment_checksum", "segment header digest mismatch", 0};
+    }
+    return get_u64be(buffer, kSegmentMagic.size());
+}
+
+std::string segment_file_name(uint64_t base_seq) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "seg-%016llx.seg",
+                  static_cast<unsigned long long>(base_seq));
+    return buf;
+}
+
+std::optional<uint64_t> parse_segment_file_name(std::string_view name) {
+    if (name.size() != 4 + 16 + 4 || !name.starts_with("seg-") || !name.ends_with(".seg")) {
+        return std::nullopt;
+    }
+    uint64_t v = 0;
+    for (char c : name.substr(4, 16)) {
+        int nibble;
+        if (c >= '0' && c <= '9') nibble = c - '0';
+        else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+        else return std::nullopt;
+        v = (v << 4) | static_cast<uint64_t>(nibble);
+    }
+    return v;
+}
+
+// ---- snapshots -------------------------------------------------------------
+
+Bytes encode_snapshot(BytesView payload) {
+    Bytes out;
+    out.reserve(kSnapshotMagic.size() + 4 + payload.size() + kDigestLen);
+    put_magic(out, kSnapshotMagic);
+    put_u32be(out, static_cast<uint32_t>(payload.size()));
+    append(out, payload);
+    put_digest(out, digest_of(out));
+    return out;
+}
+
+Expected<Bytes> decode_snapshot(BytesView buffer) {
+    const size_t prelude = kSnapshotMagic.size() + 4;
+    if (buffer.size() < prelude + kDigestLen) {
+        return Error{"snapshot_truncated", "file shorter than the snapshot envelope", 0};
+    }
+    if (!has_magic(buffer, kSnapshotMagic)) {
+        return Error{"snapshot_bad_magic", "not a unicert snapshot file", 0};
+    }
+    uint32_t payload_len = get_u32be(buffer, kSnapshotMagic.size());
+    if (payload_len > kMaxPayloadLen || prelude + payload_len + kDigestLen != buffer.size()) {
+        return Error{"snapshot_truncated", "snapshot length field disagrees with file size", 0};
+    }
+    size_t covered = prelude + payload_len;
+    if (!digest_matches(buffer.subspan(0, covered), buffer.subspan(covered, kDigestLen))) {
+        return Error{"snapshot_checksum", "snapshot digest mismatch", 0};
+    }
+    return Bytes(buffer.begin() + static_cast<ptrdiff_t>(prelude),
+                 buffer.begin() + static_cast<ptrdiff_t>(covered));
+}
+
+Bytes encode_head_snapshot(const HeadSnapshot& head) {
+    Bytes payload;
+    put_u64be(payload, head.tree_size);
+    put_digest(payload, head.root);
+    return encode_snapshot(payload);
+}
+
+Expected<HeadSnapshot> decode_head_snapshot(BytesView file_bytes) {
+    auto payload = decode_snapshot(file_bytes);
+    if (!payload.ok()) return payload.error();
+    if (payload->size() != 8 + kDigestLen) {
+        return Error{"snapshot_truncated", "head snapshot payload has the wrong size", 0};
+    }
+    HeadSnapshot head;
+    head.tree_size = get_u64be(*payload, 0);
+    std::copy(payload->begin() + 8, payload->end(), head.root.begin());
+    return head;
+}
+
+Bytes encode_checkpoint_snapshot(const MonitorCheckpoint& checkpoint) {
+    Bytes payload;
+    put_u64be(payload, checkpoint.next_index);
+    put_u64be(payload, checkpoint.tree_size);
+    put_digest(payload, checkpoint.root_hash);
+    payload.push_back(checkpoint.has_head ? 1 : 0);
+    return encode_snapshot(payload);
+}
+
+Expected<MonitorCheckpoint> decode_checkpoint_snapshot(BytesView file_bytes) {
+    auto payload = decode_snapshot(file_bytes);
+    if (!payload.ok()) return payload.error();
+    if (payload->size() != 8 + 8 + kDigestLen + 1) {
+        return Error{"snapshot_truncated", "checkpoint payload has the wrong size", 0};
+    }
+    MonitorCheckpoint out;
+    out.next_index = get_u64be(*payload, 0);
+    out.tree_size = get_u64be(*payload, 8);
+    std::copy(payload->begin() + 16, payload->begin() + 16 + kDigestLen,
+              out.root_hash.begin());
+    out.has_head = (*payload)[16 + kDigestLen] != 0;
+    return out;
+}
+
+}  // namespace unicert::ctlog::store

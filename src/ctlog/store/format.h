@@ -1,0 +1,132 @@
+// unicert/ctlog/store/format.h
+//
+// On-disk framing for the durable CT-log store (DESIGN.md section 10).
+// Three artifact kinds, all self-checking:
+//
+//   segment file  seg-<base seq, 16 hex digits>.seg
+//     header:  "unicertseg1\n" | u64be base_seq | SHA-256(preceding)
+//     records: back-to-back frames, sequence numbers strictly
+//              monotonic from base_seq
+//
+//   record frame (both entry and commit records)
+//     u8 type | u64be seq | u32be payload_len | payload | SHA-256(frame)
+//       type 1 entry:  payload = u64be timestamp | leaf DER
+//       type 2 commit: payload = u64be tree_size | 32-byte Merkle root
+//
+//   snapshot file (tree head, monitor checkpoints; replaced atomically)
+//     "unicertsnp1\n" | u32be payload_len | payload | SHA-256(preceding)
+//
+// Every multi-byte integer is big-endian. The SHA-256 trailer covers
+// everything before it in the artifact/frame, so a single flipped bit
+// anywhere is detected, and a torn tail fails either the length check
+// (frame runs past the buffer) or the digest check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/expected.h"
+#include "crypto/sha256.h"
+#include "ctlog/monitor.h"
+
+namespace unicert::ctlog::store {
+
+using crypto::Digest;
+
+inline constexpr std::string_view kSegmentMagic = "unicertseg1\n";
+inline constexpr std::string_view kSnapshotMagic = "unicertsnp1\n";
+inline constexpr uint8_t kRecordEntry = 1;
+inline constexpr uint8_t kRecordCommit = 2;
+
+// Guard against absurd length fields when rescanning damaged files: no
+// leaf certificate or commit payload approaches this.
+inline constexpr uint32_t kMaxPayloadLen = 1u << 26;  // 64 MiB
+
+// Size of the fixed record prelude (type + seq + payload_len).
+inline constexpr size_t kRecordPreludeLen = 1 + 8 + 4;
+inline constexpr size_t kDigestLen = 32;
+inline constexpr size_t kSegmentHeaderLen = 12 + 8 + kDigestLen;
+
+// ---- primitive big-endian helpers -----------------------------------------
+
+void put_u32be(Bytes& out, uint32_t v);
+void put_u64be(Bytes& out, uint64_t v);
+uint32_t get_u32be(BytesView in, size_t offset);
+uint64_t get_u64be(BytesView in, size_t offset);
+
+// ---- records ---------------------------------------------------------------
+
+struct EntryRecord {
+    uint64_t seq = 0;
+    int64_t timestamp = 0;
+    Bytes leaf_der;
+};
+
+struct CommitRecord {
+    uint64_t seq = 0;        // sequence number of the commit frame itself
+    uint64_t tree_size = 0;  // entries committed so far (all segments)
+    Digest root{};           // Merkle root over those entries
+};
+
+Bytes encode_entry_record(const EntryRecord& record);
+Bytes encode_commit_record(const CommitRecord& record);
+
+// One frame scanned out of a segment buffer.
+struct ScannedRecord {
+    uint8_t type = 0;
+    uint64_t seq = 0;
+    BytesView payload;      // view into the scanned buffer
+    size_t offset = 0;      // frame start within the buffer
+    size_t frame_len = 0;   // total bytes consumed
+    bool digest_ok = true;  // false: framing parsed but the SHA-256
+                            // trailer mismatched (bit rot) — the frame
+                            // is quarantinable and the scan can resume
+                            // at offset + frame_len
+};
+
+// Decode the frame starting at `offset`. A checksum mismatch is NOT an
+// error (the frame boundary is still known): it comes back with
+// digest_ok = false. Error codes, all unresumable:
+//   record_truncated   frame runs past the end of the buffer (torn tail)
+//   record_bad_type    unknown record type byte
+//   record_bad_length  length field exceeds kMaxPayloadLen
+Expected<ScannedRecord> scan_record(BytesView buffer, size_t offset);
+
+// Interpret a scanned frame's payload.
+Expected<EntryRecord> decode_entry(const ScannedRecord& record);
+Expected<CommitRecord> decode_commit(const ScannedRecord& record);
+
+// ---- segment header --------------------------------------------------------
+
+Bytes encode_segment_header(uint64_t base_seq);
+
+// Error codes: segment_truncated / segment_bad_magic / segment_checksum.
+Expected<uint64_t> decode_segment_header(BytesView buffer);
+
+std::string segment_file_name(uint64_t base_seq);
+std::optional<uint64_t> parse_segment_file_name(std::string_view name);
+
+// ---- snapshots -------------------------------------------------------------
+
+Bytes encode_snapshot(BytesView payload);
+
+// Error codes: snapshot_truncated / snapshot_bad_magic / snapshot_checksum.
+Expected<Bytes> decode_snapshot(BytesView buffer);
+
+// Tree-head snapshot payload: u64be tree_size | root.
+struct HeadSnapshot {
+    uint64_t tree_size = 0;
+    Digest root{};
+};
+
+Bytes encode_head_snapshot(const HeadSnapshot& head);
+Expected<HeadSnapshot> decode_head_snapshot(BytesView file_bytes);
+
+// MonitorCheckpoint snapshot payload:
+//   u64be next_index | u64be tree_size | root | u8 has_head.
+Bytes encode_checkpoint_snapshot(const MonitorCheckpoint& checkpoint);
+Expected<MonitorCheckpoint> decode_checkpoint_snapshot(BytesView file_bytes);
+
+}  // namespace unicert::ctlog::store

@@ -1,13 +1,9 @@
 #include "difffuzz/crash_corpus.h"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 namespace unicert::difffuzz {
 namespace {
-
-namespace fs = std::filesystem;
 
 constexpr std::string_view kMagic = "unicert-crash-v1";
 
@@ -121,49 +117,53 @@ Expected<CrashEntry> parse_entry(std::string_view text) {
     return e;
 }
 
-CrashCorpus::CrashCorpus(std::string dir) : dir_(std::move(dir)) {
+CrashCorpus::CrashCorpus(std::string dir, core::Fs* fs)
+    : dir_(std::move(dir)), fs_(fs != nullptr ? fs : &core::real_fs()) {
     if (!dir_.empty()) {
-        std::error_code ec;
-        fs::create_directories(dir_, ec);  // best-effort; persist() reports failures
+        (void)fs_->make_dirs(dir_);  // best-effort; persist() reports failures
     }
 }
 
 bool CrashCorpus::add(const CrashEntry& e) {
     std::string key = bucket_key(e);
     auto [it, inserted] = entries_.emplace(key, e);
-    if (inserted) persist(e);
+    if (inserted) (void)persist(e);
     return inserted;
 }
 
 void CrashCorpus::update(const CrashEntry& e) {
     entries_[bucket_key(e)] = e;
-    persist(e);
+    (void)persist(e);
 }
 
 bool CrashCorpus::contains(const std::string& key) const { return entries_.count(key) > 0; }
 
-void CrashCorpus::persist(const CrashEntry& e) const {
-    if (dir_.empty()) return;
-    fs::path path = fs::path(dir_) / (bucket_key(e) + ".crash");
-    std::ofstream out(path);
-    out << serialize_entry(e);
+Status CrashCorpus::persist(const CrashEntry& e) {
+    if (dir_.empty()) return Status::success();
+    // Temp + rename: a crash mid-write must never leave a truncated
+    // .crash file behind to poison later --replay runs.
+    std::string text = serialize_entry(e);
+    Status st = core::atomic_write_file(*fs_, dir_ + "/" + bucket_key(e) + ".crash",
+                                        std::string_view(text), dir_);
+    if (!st.ok() && persist_status_.ok()) persist_status_ = st;
+    return st;
 }
 
 Status CrashCorpus::load() {
     entries_.clear();
     if (dir_.empty()) return Status::success();
-    std::error_code ec;
-    fs::directory_iterator it(dir_, ec);
-    if (ec) return Error{"corpus_unreadable", "cannot read corpus dir " + dir_};
-    for (const fs::directory_entry& file : it) {
-        if (file.path().extension() != ".crash") continue;
-        std::ifstream in(file.path());
-        std::ostringstream text;
-        text << in.rdbuf();
-        auto entry = parse_entry(text.str());
+    auto names = fs_->list_dir(dir_);
+    if (!names.ok()) return Error{"corpus_unreadable", "cannot read corpus dir " + dir_};
+    for (const std::string& name : *names) {
+        if (!name.ends_with(".crash")) continue;
+        auto bytes = fs_->read_file(dir_ + "/" + name);
+        if (!bytes.ok()) {
+            return Error{"corpus_unreadable", name + ": " + bytes.error().message};
+        }
+        auto entry = parse_entry(
+            std::string_view(reinterpret_cast<const char*>(bytes->data()), bytes->size()));
         if (!entry.ok()) {
-            return Error{entry.error().code,
-                         file.path().filename().string() + ": " + entry.error().message};
+            return Error{entry.error().code, name + ": " + entry.error().message};
         }
         entries_[bucket_key(entry.value())] = std::move(entry).value();
     }

@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/expected.h"
+#include "core/fs.h"
 #include "tlslib/supervisor.h"
 
 namespace unicert::difffuzz {
@@ -39,8 +40,10 @@ Expected<CrashEntry> parse_entry(std::string_view text);
 
 class CrashCorpus {
 public:
-    // Empty `dir` keeps the corpus in memory only.
-    explicit CrashCorpus(std::string dir = {});
+    // Empty `dir` keeps the corpus in memory only. All I/O goes through
+    // `fs` (the process filesystem when null), so crash tests can run
+    // the corpus over a fault-injected substrate.
+    explicit CrashCorpus(std::string dir = {}, core::Fs* fs = nullptr);
 
     const std::string& dir() const noexcept { return dir_; }
 
@@ -59,11 +62,19 @@ public:
     // Load every *.crash file from `dir`, replacing in-memory state.
     Status load();
 
+    // First persist failure observed by add()/update(), success when
+    // every write landed. Callers that accumulated buckets silently
+    // check this once at the end and fail loudly instead of shipping a
+    // corpus with holes.
+    const Status& persist_status() const noexcept { return persist_status_; }
+
 private:
-    void persist(const CrashEntry& e) const;
+    Status persist(const CrashEntry& e);
 
     std::string dir_;
+    core::Fs* fs_;
     std::map<std::string, CrashEntry> entries_;
+    Status persist_status_;
 };
 
 }  // namespace unicert::difffuzz

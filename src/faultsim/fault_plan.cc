@@ -31,9 +31,20 @@ bool FaultPlan::fires(FaultKind kind, size_t index) const noexcept {
         case FaultKind::kPoison: rate = options_.poison_rate; break;
         case FaultKind::kHeadFlake: rate = options_.head_flake_rate; break;
         case FaultKind::kHeadRegression: rate = options_.head_regression_rate; break;
+        case FaultKind::kShortWrite: rate = options_.short_write_rate; break;
+        case FaultKind::kSyncFail: rate = options_.sync_fail_rate; break;
+        case FaultKind::kNoSpace: rate = options_.no_space_rate; break;
+        case FaultKind::kTornTail: rate = options_.torn_tail_rate; break;
+        case FaultKind::kBitFlip: rate = options_.bit_flip_rate; break;
     }
     if (rate <= 0.0) return false;
     return unit(channel_hash(options_.seed, kind, index)) < rate;
+}
+
+size_t FaultPlan::choose(FaultKind kind, size_t index, size_t bound) const noexcept {
+    if (bound == 0) return 0;
+    return static_cast<size_t>(mix64(channel_hash(options_.seed, kind, index) ^ 0x5EED) %
+                               bound);
 }
 
 Bytes FaultPlan::corrupt_der(BytesView der, size_t index) const {

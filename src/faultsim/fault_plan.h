@@ -23,6 +23,12 @@ enum class FaultKind {
     kPoison,          // a corrupted copy of the entry is injected
     kHeadFlake,       // tree-head read fails transiently
     kHeadRegression,  // tree-head read serves a stale (smaller) view once
+    // Filesystem channels, consumed by FaultyFs (indexed by I/O op):
+    kShortWrite,      // write() persists only a prefix and reports it
+    kSyncFail,        // fsync fails; written data stays volatile
+    kNoSpace,         // write() fails with fs_no_space
+    kTornTail,        // post-crash: part of a file's unsynced tail survives
+    kBitFlip,         // post-crash: one bit of the surviving torn tail flips
 };
 
 struct FaultPlanOptions {
@@ -34,6 +40,13 @@ struct FaultPlanOptions {
     double poison_rate = 0.0;
     double head_flake_rate = 0.0;
     double head_regression_rate = 0.0;
+
+    // Filesystem channel rates (FaultyFs).
+    double short_write_rate = 0.0;
+    double sync_fail_rate = 0.0;
+    double no_space_rate = 0.0;
+    double torn_tail_rate = 0.0;
+    double bit_flip_rate = 0.0;
 
     // Consecutive failures a transient/drop fault produces before the
     // operation recovers. Must stay below the consumer's retry budget
@@ -50,6 +63,11 @@ public:
     // Does the channel fire at this index? Pure function of (seed,
     // kind, index) — stable across runs and call orders.
     bool fires(FaultKind kind, size_t index) const noexcept;
+
+    // Deterministic draw in [0, bound) for a fault that needs a size —
+    // how short a short write is, how much of a torn tail survives.
+    // Pure function of (seed, kind, index); bound 0 returns 0.
+    size_t choose(FaultKind kind, size_t index, size_t bound) const noexcept;
 
     // Corruption guaranteed to be unparseable: truncates inside the
     // outer TLV or stamps a reserved high-tag identifier octet, chosen

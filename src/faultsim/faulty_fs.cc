@@ -1,0 +1,147 @@
+#include "faultsim/faulty_fs.h"
+
+#include <utility>
+
+namespace unicert::faultsim {
+namespace {
+
+Error crashed_error(const std::string& what) {
+    return Error{"fs_crashed", what + ": simulated power loss"};
+}
+
+}  // namespace
+
+// File wrapper charging the op budget and sampling the write/sync
+// channels. The op index is taken from the owning FaultyFs so writes
+// to different files share one deterministic schedule.
+class FaultyFile final : public core::File {
+public:
+    FaultyFile(FaultyFs* fs, core::FilePtr inner) : fs_(fs), inner_(std::move(inner)) {}
+
+    Expected<size_t> write(BytesView data) override {
+        size_t op = fs_->ops_ + 1;
+        if (!fs_->charge_op()) return crashed_error("write");
+        if (fs_->plan_.fires(FaultKind::kNoSpace, op)) {
+            return Error{"fs_no_space", "injected ENOSPC at op " + std::to_string(op)};
+        }
+        if (fs_->plan_.fires(FaultKind::kShortWrite, op) && data.size() > 1) {
+            // Persist a strict prefix and report the short count, like
+            // POSIX write(2) on a nearly-full disk or signal delivery.
+            size_t short_len = 1 + fs_->plan_.choose(FaultKind::kShortWrite, op,
+                                                     data.size() - 1);
+            auto written = inner_->write(data.subspan(0, short_len));
+            if (!written.ok()) return written;
+            return *written;  // < data.size(): caller must notice
+        }
+        return inner_->write(data);
+    }
+
+    Status sync() override {
+        size_t op = fs_->ops_ + 1;
+        if (!fs_->charge_op()) return crashed_error("sync");
+        if (fs_->plan_.fires(FaultKind::kSyncFail, op)) {
+            return Error{"fs_sync_failed", "injected fsync failure at op " + std::to_string(op)};
+        }
+        return inner_->sync();
+    }
+
+    Status close() override { return inner_->close(); }
+
+private:
+    FaultyFs* fs_;
+    core::FilePtr inner_;
+};
+
+bool FaultyFs::charge_op() {
+    if (crashed_) return false;
+    ++ops_;
+    if (options_.crash_after_ops != 0 && ops_ >= options_.crash_after_ops) {
+        crashed_ = true;
+        return false;
+    }
+    return true;
+}
+
+Expected<core::FilePtr> FaultyFs::open_append(const std::string& path) {
+    if (!charge_op()) return crashed_error("open " + path);
+    auto inner = inner_->open_append(path);
+    if (!inner.ok()) return inner.error();
+    return core::FilePtr(new FaultyFile(this, std::move(*inner)));
+}
+
+Expected<core::FilePtr> FaultyFs::create(const std::string& path) {
+    if (!charge_op()) return crashed_error("create " + path);
+    auto inner = inner_->create(path);
+    if (!inner.ok()) return inner.error();
+    return core::FilePtr(new FaultyFile(this, std::move(*inner)));
+}
+
+Expected<Bytes> FaultyFs::read_file(const std::string& path) {
+    if (crashed_) return crashed_error("read " + path);
+    return inner_->read_file(path);
+}
+
+Expected<bool> FaultyFs::exists(const std::string& path) {
+    if (crashed_) return crashed_error("stat " + path);
+    return inner_->exists(path);
+}
+
+Status FaultyFs::rename(const std::string& from, const std::string& to) {
+    if (!charge_op()) return crashed_error("rename " + from);
+    return inner_->rename(from, to);
+}
+
+Status FaultyFs::remove(const std::string& path) {
+    if (!charge_op()) return crashed_error("remove " + path);
+    return inner_->remove(path);
+}
+
+Status FaultyFs::make_dirs(const std::string& path) {
+    if (!charge_op()) return crashed_error("mkdir " + path);
+    return inner_->make_dirs(path);
+}
+
+Expected<std::vector<std::string>> FaultyFs::list_dir(const std::string& path) {
+    if (crashed_) return crashed_error("list " + path);
+    return inner_->list_dir(path);
+}
+
+Status FaultyFs::sync_dir(const std::string& path) {
+    if (!charge_op()) return crashed_error("syncdir " + path);
+    return inner_->sync_dir(path);
+}
+
+void FaultyFs::crash() {
+    crashed_ = true;
+    struct Torn {
+        std::string path;
+        size_t index;        // channel index used for the keep decision
+        size_t last_kept;    // absolute offset of the last surviving torn byte
+    };
+    std::vector<Torn> torn;
+    size_t file_index = 0;
+    inner_->simulate_crash([&](const std::string& path, size_t durable_len, size_t unsynced) {
+        size_t idx = file_index++;
+        if (unsynced == 0) return size_t{0};
+        size_t kept = 0;
+        if (plan_.fires(FaultKind::kTornTail, idx)) {
+            // Part of the tail reached the platter before the lights
+            // went out — anywhere from one byte to all of it.
+            kept = 1 + plan_.choose(FaultKind::kTornTail, idx, unsynced);
+            torn.push_back({path, idx, durable_len + kept - 1});
+        }
+        return kept;
+    });
+    // Bit flips ride on surviving torn bytes: the torn sector holds
+    // garbage rather than a clean prefix. The flip lands in the last
+    // kept byte — the most suspicious spot for a checksum to catch.
+    for (const Torn& t : torn) {
+        if (plan_.fires(FaultKind::kBitFlip, t.index)) {
+            (void)inner_->flip_bit(t.path, t.last_kept,
+                                   static_cast<unsigned>(plan_.choose(FaultKind::kBitFlip,
+                                                                      t.index, 8)));
+        }
+    }
+}
+
+}  // namespace unicert::faultsim

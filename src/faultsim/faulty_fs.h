@@ -1,0 +1,89 @@
+// unicert/faultsim/faulty_fs.h
+//
+// Fault-injecting decorator over the core::Fs seam, the filesystem
+// analogue of FaultyLogSource. Wraps a core::MemFs and injects, from
+// the seeded FaultPlan's deterministic channels:
+//
+//   * short writes     — write() persists only a prefix (POSIX-style
+//                        short count, no error);
+//   * failed fsync     — sync() fails and the written bytes stay
+//                        volatile, so a later crash eats them;
+//   * ENOSPC           — write() fails outright with fs_no_space;
+//   * power loss       — after `crash_after_ops` mutating operations,
+//                        every subsequent operation fails with
+//                        fs_crashed (the kill-point sweep's knob);
+//   * torn tails       — crash() replays power-loss semantics onto the
+//                        inner MemFs: each file keeps its durable bytes
+//                        plus a plan-chosen prefix of its unsynced tail;
+//   * bit flips        — a torn tail that survives may additionally
+//                        have one bit flipped (sector garbage).
+//
+// Mutating ops are numbered in call order; each number indexes the
+// plan's channels, so a schedule replays identically for a given seed.
+// Read-side ops (read_file/exists/list_dir) are passed through
+// unfaulted — recovery code must be able to see the damage, not fight
+// the instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/fs.h"
+#include "faultsim/fault_plan.h"
+
+namespace unicert::faultsim {
+
+struct FaultyFsOptions {
+    FaultPlanOptions plan;
+
+    // Fail every mutating operation from the N-th onward (1-based) with
+    // fs_crashed, simulating power loss mid-run. 0 = never crash.
+    size_t crash_after_ops = 0;
+};
+
+class FaultyFs final : public core::Fs {
+public:
+    FaultyFs(core::MemFs& inner, FaultyFsOptions options)
+        : inner_(&inner), options_(options), plan_(options.plan) {}
+
+    Expected<core::FilePtr> open_append(const std::string& path) override;
+    Expected<core::FilePtr> create(const std::string& path) override;
+    Expected<Bytes> read_file(const std::string& path) override;
+    Expected<bool> exists(const std::string& path) override;
+    Status rename(const std::string& from, const std::string& to) override;
+    Status remove(const std::string& path) override;
+    Status make_dirs(const std::string& path) override;
+    Expected<std::vector<std::string>> list_dir(const std::string& path) override;
+    Status sync_dir(const std::string& path) override;
+
+    // Mutating operations observed so far.
+    size_t ops() const noexcept { return ops_; }
+
+    // True once the op budget has been exhausted (some op failed with
+    // fs_crashed).
+    bool crashed() const noexcept { return crashed_; }
+
+    // Apply power-loss semantics to the inner MemFs: unsynced tails are
+    // torn (or dropped) per the kTornTail/kBitFlip channels. Call after
+    // the workload has failed with fs_crashed, then reopen the store
+    // against the inner fs directly — the "reboot".
+    void crash();
+
+    const FaultPlan& plan() const noexcept { return plan_; }
+
+private:
+    friend class FaultyFile;
+
+    // Charge one mutating op against the budget. Returns false when the
+    // simulated machine is already (or now) dead.
+    bool charge_op();
+
+    core::MemFs* inner_;
+    FaultyFsOptions options_;
+    FaultPlan plan_;
+    size_t ops_ = 0;
+    size_t files_seen_ = 0;  // per-file index for the torn-tail channel
+    bool crashed_ = false;
+};
+
+}  // namespace unicert::faultsim

@@ -1,0 +1,243 @@
+// Tests for the core::Fs seam: MemFs durable/volatile semantics,
+// simulate_crash with torn tails, bit-rot injection, and the
+// atomic_write_file pattern every snapshot in the store relies on.
+#include "core/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace unicert::core {
+namespace {
+
+Bytes bytes_of(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string text_of(const Bytes& b) {
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(MemFs, WriteReadRoundTrip) {
+    MemFs fs;
+    auto f = fs.create("a.txt");
+    ASSERT_TRUE(f.ok());
+    Bytes data = bytes_of("hello");
+    auto wrote = (*f)->write(BytesView(data.data(), data.size()));
+    ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, 5u);
+    EXPECT_TRUE((*f)->sync().ok());
+    EXPECT_TRUE((*f)->close().ok());
+
+    auto back = fs.read_file("a.txt");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "hello");
+    auto there = fs.exists("a.txt");
+    ASSERT_TRUE(there.ok());
+    EXPECT_TRUE(*there);
+}
+
+TEST(MemFs, OpenAppendExtendsExistingContent) {
+    MemFs fs;
+    {
+        auto f = fs.create("log");
+        ASSERT_TRUE(f.ok());
+        Bytes a = bytes_of("one");
+        ASSERT_TRUE((*f)->write(BytesView(a.data(), a.size())).ok());
+        ASSERT_TRUE((*f)->sync().ok());
+    }
+    {
+        auto f = fs.open_append("log");
+        ASSERT_TRUE(f.ok());
+        Bytes b = bytes_of("+two");
+        ASSERT_TRUE((*f)->write(BytesView(b.data(), b.size())).ok());
+        ASSERT_TRUE((*f)->sync().ok());
+    }
+    auto back = fs.read_file("log");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "one+two");
+}
+
+TEST(MemFs, UnsyncedBytesVanishOnCrash) {
+    MemFs fs;
+    auto f = fs.create("wal");
+    ASSERT_TRUE(f.ok());
+    Bytes synced = bytes_of("durable|");
+    ASSERT_TRUE((*f)->write(BytesView(synced.data(), synced.size())).ok());
+    ASSERT_TRUE((*f)->sync().ok());
+    Bytes tail = bytes_of("volatile");
+    ASSERT_TRUE((*f)->write(BytesView(tail.data(), tail.size())).ok());
+    EXPECT_EQ(fs.unsynced_bytes(), 8u);
+
+    fs.simulate_crash();
+    auto back = fs.read_file("wal");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "durable|");
+    EXPECT_EQ(fs.unsynced_bytes(), 0u);
+}
+
+TEST(MemFs, NeverSyncedFileDisappearsOnCrash) {
+    MemFs fs;
+    auto f = fs.create("ghost");
+    ASSERT_TRUE(f.ok());
+    Bytes data = bytes_of("gone");
+    ASSERT_TRUE((*f)->write(BytesView(data.data(), data.size())).ok());
+    fs.simulate_crash();
+    auto there = fs.exists("ghost");
+    ASSERT_TRUE(there.ok());
+    EXPECT_FALSE(*there);
+}
+
+TEST(MemFs, TornTailKeepsChosenPrefix) {
+    MemFs fs;
+    auto f = fs.create("torn");
+    ASSERT_TRUE(f.ok());
+    Bytes synced = bytes_of("base");
+    ASSERT_TRUE((*f)->write(BytesView(synced.data(), synced.size())).ok());
+    ASSERT_TRUE((*f)->sync().ok());
+    Bytes tail = bytes_of("0123456789");
+    ASSERT_TRUE((*f)->write(BytesView(tail.data(), tail.size())).ok());
+
+    fs.simulate_crash([](const std::string&, size_t durable_len, size_t unsynced_len) {
+        EXPECT_EQ(durable_len, 4u);
+        EXPECT_EQ(unsynced_len, 10u);
+        return size_t{3};
+    });
+    auto back = fs.read_file("torn");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "base012");
+}
+
+TEST(MemFs, CrashInvalidatesOpenHandles) {
+    MemFs fs;
+    auto f = fs.create("h");
+    ASSERT_TRUE(f.ok());
+    Bytes data = bytes_of("x");
+    ASSERT_TRUE((*f)->write(BytesView(data.data(), data.size())).ok());
+    ASSERT_TRUE((*f)->sync().ok());
+    fs.simulate_crash();
+    auto wrote = (*f)->write(BytesView(data.data(), data.size()));
+    EXPECT_FALSE(wrote.ok());
+}
+
+TEST(MemFs, FlipBitMutatesDurableState) {
+    MemFs fs;
+    auto f = fs.create("rot");
+    ASSERT_TRUE(f.ok());
+    Bytes data = bytes_of("A");  // 0x41
+    ASSERT_TRUE((*f)->write(BytesView(data.data(), data.size())).ok());
+    ASSERT_TRUE((*f)->sync().ok());
+
+    EXPECT_TRUE(fs.flip_bit("rot", 0, 1));
+    auto back = fs.read_file("rot");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], 0x43);  // bit rot survives a crash: it hit the platter
+    fs.simulate_crash();
+    back = fs.read_file("rot");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], 0x43);
+
+    EXPECT_FALSE(fs.flip_bit("rot", 99));
+    EXPECT_FALSE(fs.flip_bit("missing", 0));
+}
+
+TEST(MemFs, RenameIsAtomicReplace) {
+    MemFs fs;
+    {
+        auto f = fs.create("dst");
+        Bytes old = bytes_of("old");
+        ASSERT_TRUE((*f)->write(BytesView(old.data(), old.size())).ok());
+        ASSERT_TRUE((*f)->sync().ok());
+    }
+    {
+        auto f = fs.create("dst.tmp");
+        Bytes neu = bytes_of("new");
+        ASSERT_TRUE((*f)->write(BytesView(neu.data(), neu.size())).ok());
+        ASSERT_TRUE((*f)->sync().ok());
+    }
+    ASSERT_TRUE(fs.rename("dst.tmp", "dst").ok());
+    auto back = fs.read_file("dst");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "new");
+    auto tmp = fs.exists("dst.tmp");
+    ASSERT_TRUE(tmp.ok());
+    EXPECT_FALSE(*tmp);
+}
+
+TEST(MemFs, ListDirReturnsSortedFileNames) {
+    MemFs fs;
+    ASSERT_TRUE(fs.make_dirs("d").ok());
+    for (const char* name : {"d/b", "d/a", "d/c"}) {
+        auto f = fs.create(name);
+        ASSERT_TRUE(f.ok());
+        ASSERT_TRUE((*f)->sync().ok());
+    }
+    auto names = fs.list_dir("d");
+    ASSERT_TRUE(names.ok());
+    ASSERT_EQ(names->size(), 3u);
+    EXPECT_TRUE(std::is_sorted(names->begin(), names->end()));
+    EXPECT_EQ((*names)[0], "a");
+}
+
+TEST(MemFs, ReadMissingFileIsNotFound) {
+    MemFs fs;
+    auto back = fs.read_file("nope");
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.error().code, "fs_not_found");
+}
+
+TEST(AtomicWrite, ReplacesDurablyAndRemovesTemp) {
+    MemFs fs;
+    ASSERT_TRUE(fs.make_dirs("d").ok());
+    ASSERT_TRUE(atomic_write_file(fs, "d/snap", std::string_view("v1"), "d").ok());
+    ASSERT_TRUE(atomic_write_file(fs, "d/snap", std::string_view("v2"), "d").ok());
+
+    // Both the content and its durability must survive a clean crash.
+    fs.simulate_crash();
+    auto back = fs.read_file("d/snap");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "v2");
+    auto tmp = fs.exists("d/snap.tmp");
+    ASSERT_TRUE(tmp.ok());
+    EXPECT_FALSE(*tmp);
+}
+
+TEST(AtomicWrite, OverwritesStrayTempFromEarlierCrash) {
+    MemFs fs;
+    {
+        auto f = fs.create("snap.tmp");  // torn leftovers from a previous run
+        Bytes junk = bytes_of("junk");
+        ASSERT_TRUE((*f)->write(BytesView(junk.data(), junk.size())).ok());
+        ASSERT_TRUE((*f)->sync().ok());
+    }
+    ASSERT_TRUE(atomic_write_file(fs, "snap", std::string_view("good")).ok());
+    auto back = fs.read_file("snap");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "good");
+}
+
+TEST(RealFs, SmokeRoundTripAndSync) {
+    // One pass over the POSIX implementation in a temp dir so the seam's
+    // default backend is covered, not just the in-memory model.
+    Fs& fs = real_fs();
+    std::string dir = ::testing::TempDir() + "unicert_core_fs_test";
+    ASSERT_TRUE(fs.make_dirs(dir).ok());
+    std::string path = dir + "/real.txt";
+
+    ASSERT_TRUE(atomic_write_file(fs, path, std::string_view("real-data"), dir).ok());
+    auto back = fs.read_file(path);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(text_of(*back), "real-data");
+
+    auto names = fs.list_dir(dir);
+    ASSERT_TRUE(names.ok());
+    EXPECT_TRUE(std::find(names->begin(), names->end(), "real.txt") != names->end());
+
+    ASSERT_TRUE(fs.remove(path).ok());
+    auto there = fs.exists(path);
+    ASSERT_TRUE(there.ok());
+    EXPECT_FALSE(*there);
+}
+
+}  // namespace
+}  // namespace unicert::core

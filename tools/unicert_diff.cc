@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fs.h"
 #include "difffuzz/faulty_model.h"
 #include "difffuzz/fuzzer.h"
 #include "tlslib/supervisor.h"
@@ -59,6 +60,7 @@ exit codes:
       replayed bucket did not reproduce
   64  usage error (unknown flag, missing argument, bad number)
   66  corpus directory missing or unreadable
+  74  I/O error writing the corpus or corpus.meta
 )";
 
 struct Options {
@@ -142,14 +144,19 @@ bool has_injection(const Options& o) {
 
 // ---- corpus.meta: reproduce the engine that filled the corpus ------------
 
-void save_meta(const Options& o) {
-    if (o.corpus_dir.empty()) return;
-    std::ofstream out(o.corpus_dir + "/corpus.meta");
+// Temp + rename, and loud on failure: a truncated or missing
+// corpus.meta silently replays with the wrong engine parameters.
+Status save_meta(const Options& o) {
+    if (o.corpus_dir.empty()) return Status::success();
+    std::ostringstream out;
     out << "unicert-fuzz-meta-v1\n";
     out << "seed: " << o.seed << "\n";
     out << "crash_rate: " << o.crash_rate << "\n";
     out << "hang_rate: " << o.hang_rate << "\n";
     out << "oversize_rate: " << o.oversize_rate << "\n";
+    std::string text = out.str();
+    return core::atomic_write_file(core::real_fs(), o.corpus_dir + "/corpus.meta",
+                                   std::string_view(text), o.corpus_dir);
 }
 
 void load_meta(Options* o) {
@@ -274,7 +281,16 @@ int run_fuzz(const Options& o) {
     }
     difffuzz::DiffFuzzer fuzzer = make_fuzzer(engine, corpus, o);
     difffuzz::FuzzStats stats = fuzzer.run();
-    save_meta(o);
+    if (Status st = save_meta(o); !st.ok()) {
+        std::fprintf(stderr, "unicert_diff: cannot write corpus.meta: %s\n",
+                     st.error().message.c_str());
+        return 74;
+    }
+    if (const Status& st = corpus.persist_status(); !st.ok()) {
+        std::fprintf(stderr, "unicert_diff: corpus persist failed: %s\n",
+                     st.error().message.c_str());
+        return 74;
+    }
     std::printf("fuzz: seed=%llu inputs=%zu evaluations=%zu failures=%zu\n",
                 static_cast<unsigned long long>(o.seed), stats.inputs, stats.evaluations,
                 stats.failures);

@@ -30,9 +30,9 @@ usage: unicert_inspect [--asn1] [file.pem]    (reads stdin when no file)
 
 exit codes:
   0   certificate parsed and printed
-  64  input unreadable or not valid PEM (missing/truncated envelope,
-      bad base64)
+  64  input is not valid PEM (missing/truncated envelope, bad base64)
   65  PEM decoded but the DER certificate failed to parse
+  66  input file missing, unreadable, or only partially read
 )";
 
 }  // namespace
@@ -57,14 +57,20 @@ int main(int argc, char** argv) {
     }
     std::string input;
     if (path != nullptr) {
-        std::ifstream in(path);
+        std::ifstream in(path, std::ios::binary);
         if (!in) {
             std::fprintf(stderr, "cannot open %s\n", path);
-            return 64;
+            return 66;
         }
         std::ostringstream out;
         out << in.rdbuf();
         input = out.str();
+        if (in.bad()) {
+            // A short read must not be linted as if it were the whole
+            // certificate — fail loudly with a distinct code.
+            std::fprintf(stderr, "read error on %s\n", path);
+            return 66;
+        }
     } else {
         std::ostringstream out;
         out << std::cin.rdbuf();

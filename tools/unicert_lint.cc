@@ -13,8 +13,11 @@
 //                                hardware threads; output is identical for
 //                                every N — the parallel pipeline merges
 //                                results in input order)
+//     --store DIR                lint the entries of a durable CT-log store
+//                                (see unicert_store) instead of PEM input
 //
-// Exit code: 0 = compliant, 1 = warnings only, 2 = errors, 64 = usage.
+// Exit code: 0 = compliant, 1 = warnings only, 2 = errors, 64 = usage,
+// 66 = input file or store unreadable / partially read.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -23,10 +26,12 @@
 #include <map>
 #include <sstream>
 
+#include "core/fs.h"
 #include "core/json.h"
 #include "core/parallel_pipeline.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "ctlog/store/store.h"
 #include "lint/lint.h"
 #include "x509/parser.h"
 #include "x509/pem.h"
@@ -63,7 +68,9 @@ void print_usage() {
         "                            with incremental progress on stderr\n"
         "  --jobs N                  lint with N worker threads (default: all\n"
         "                            hardware threads; output is byte-identical\n"
-        "                            for every N)\n");
+        "                            for every N)\n"
+        "  --store DIR               lint the entries of a durable CT-log store\n"
+        "                            (see unicert_store) instead of PEM input\n");
 }
 
 // CertSource over the decoded PEM blocks: wire DER in file order, so
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
     bool json = false;
     bool stats = false;
     size_t jobs = 0;  // 0 = hardware concurrency
+    std::string store_dir;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -129,6 +137,12 @@ int main(int argc, char** argv) {
                 return 64;
             }
             jobs = parsed;
+        } else if (arg == "--store") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--store requires a store directory\n");
+                return 64;
+            }
+            store_dir = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             print_usage();
             return 0;
@@ -140,32 +154,58 @@ int main(int argc, char** argv) {
         }
     }
 
-    std::string input;
-    if (files.empty()) {
-        input = read_stream(std::cin);
-    } else {
-        for (const std::string& path : files) {
-            std::ifstream in(path);
-            if (!in) {
-                std::fprintf(stderr, "cannot open %s\n", path.c_str());
-                return 64;
-            }
-            input += read_stream(in);
-        }
-    }
-
-    auto blocks = x509::pem_decode_all(input);
-    if (!blocks.ok()) {
-        std::fprintf(stderr, "PEM error: %s\n", blocks.error().message.c_str());
-        return 64;
-    }
     std::vector<Bytes> ders;
-    for (const x509::PemBlock& block : blocks.value()) {
-        if (block.label == "CERTIFICATE") ders.push_back(block.der);
-    }
-    if (ders.empty()) {
-        std::fprintf(stderr, "no CERTIFICATE blocks found\n");
-        return 64;
+    if (!store_dir.empty()) {
+        // Ingest straight from a durable on-disk store: recovery has
+        // already verified each entry against the Merkle root.
+        if (!files.empty()) {
+            std::fprintf(stderr, "--store and PEM file arguments are mutually exclusive\n");
+            return 64;
+        }
+        auto store = ctlog::store::Store::open(core::real_fs(), store_dir);
+        if (!store.ok()) {
+            std::fprintf(stderr, "cannot open store %s: %s\n", store_dir.c_str(),
+                         store.error().message.c_str());
+            return 66;
+        }
+        for (const ctlog::store::StoredEntry& entry : (*store)->entries()) {
+            ders.push_back(entry.leaf_der);
+        }
+        if (ders.empty()) {
+            std::fprintf(stderr, "store %s holds no entries\n", store_dir.c_str());
+            return 0;
+        }
+    } else {
+        std::string input;
+        if (files.empty()) {
+            input = read_stream(std::cin);
+        } else {
+            for (const std::string& path : files) {
+                std::ifstream in(path, std::ios::binary);
+                if (!in) {
+                    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+                    return 66;
+                }
+                input += read_stream(in);
+                if (in.bad()) {
+                    std::fprintf(stderr, "read error on %s\n", path.c_str());
+                    return 66;
+                }
+            }
+        }
+
+        auto blocks = x509::pem_decode_all(input);
+        if (!blocks.ok()) {
+            std::fprintf(stderr, "PEM error: %s\n", blocks.error().message.c_str());
+            return 64;
+        }
+        for (const x509::PemBlock& block : blocks.value()) {
+            if (block.label == "CERTIFICATE") ders.push_back(block.der);
+        }
+        if (ders.empty()) {
+            std::fprintf(stderr, "no CERTIFICATE blocks found\n");
+            return 64;
+        }
     }
 
     // Lint everything through the parallel pipeline; the deterministic

@@ -1,0 +1,245 @@
+// unicert_store: manage the durable CT-log store (DESIGN.md section
+// 10) — the on-disk substrate a long ingestion run appends to and
+// recovers from after a crash.
+//
+//   unicert_store --init <dir>
+//   unicert_store --append <dir> [file.pem ...]   (stdin when no file)
+//   unicert_store --verify <dir>
+//   unicert_store --fsck <dir>
+//   unicert_store --stats <dir>
+//
+//   --segment-records N   frames per segment before rolling (default 1024)
+//
+// exit codes:
+//   0   success; for --verify/--fsck: store is clean
+//   1   --verify/--fsck: recovered, uncommitted tail truncated
+//   2   --verify/--fsck: quarantined records, store is read-only
+//   3   store unrecoverable (committed data lost or format breakage)
+//   64  usage error
+//   66  store directory or PEM input missing/unreadable
+//   74  I/O error while appending (store latched; reopen to recover)
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/fs.h"
+#include "ctlog/store/store.h"
+#include "x509/pem.h"
+
+using namespace unicert;
+using ctlog::store::RecoveryReport;
+using ctlog::store::RecoveryState;
+
+namespace {
+
+constexpr const char* kUsage = R"(unicert_store - durable crash-safe CT-log store
+
+usage: unicert_store --init <dir> [--segment-records N]
+       unicert_store --append <dir> [file.pem ...]   (reads stdin when no file)
+       unicert_store --verify <dir>
+       unicert_store --fsck <dir>
+       unicert_store --stats <dir>
+
+  --init             create an empty store directory
+  --append           append the CERTIFICATE blocks as one committed batch
+  --verify           open the store: replay recovery, repair the tail if
+                     needed, cross-check the Merkle root, print the report
+  --fsck             read-only integrity scan; never mutates the store
+  --stats            entry/segment counts and the current tree head
+  --segment-records  frames per segment before rolling (default 1024)
+
+exit codes:
+  0   success; for --verify/--fsck: store is clean
+  1   --verify/--fsck: recovered, uncommitted tail truncated
+  2   --verify/--fsck: quarantined records, store is read-only
+  3   store unrecoverable (committed data lost or format breakage)
+  64  usage error
+  66  store directory or PEM input missing/unreadable
+  74  I/O error while appending (store latched; reopen to recover)
+)";
+
+std::string read_stream(std::istream& in) {
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void print_report(const RecoveryReport& report) {
+    std::printf("state               : %s\n",
+                ctlog::store::recovery_state_name(report.state));
+    std::printf("segments scanned    : %zu\n", report.segments_scanned);
+    std::printf("entries recovered   : %zu\n", report.entries_recovered);
+    std::printf("tail records dropped: %zu\n", report.tail_records_dropped);
+    std::printf("tail bytes dropped  : %zu\n", report.tail_bytes_dropped);
+    std::printf("head snapshot       : %s\n",
+                !report.head_snapshot_present ? "absent"
+                : report.head_snapshot_matched ? "present, matches"
+                                               : "present, MISMATCH");
+    if (report.stray_temp_files > 0) {
+        std::printf("stray temp files    : %zu\n", report.stray_temp_files);
+    }
+    for (const auto& q : report.quarantined) {
+        std::printf("quarantined         : %s offset %zu seq %llu: %s\n", q.segment.c_str(),
+                    q.offset, static_cast<unsigned long long>(q.seq), q.error.code.c_str());
+    }
+    for (const std::string& note : report.notes) {
+        std::printf("note                : %s\n", note.c_str());
+    }
+}
+
+int open_failure_exit(const Error& error) {
+    return error.code == "store_unrecoverable" ? 3 : 66;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string command;
+    std::string dir;
+    std::vector<std::string> files;
+    ctlog::store::StoreOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        }
+        if (arg == "--init" || arg == "--append" || arg == "--verify" || arg == "--fsck" ||
+            arg == "--stats") {
+            if (!command.empty()) {
+                std::fprintf(stderr, "unicert_store: only one command per invocation\n");
+                return 64;
+            }
+            command = arg.substr(2);
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "unicert_store: %.*s requires a store directory\n",
+                             static_cast<int>(arg.size()), arg.data());
+                return 64;
+            }
+            dir = argv[++i];
+        } else if (arg == "--segment-records") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "unicert_store: --segment-records requires a count\n");
+                return 64;
+            }
+            std::string_view value = argv[++i];
+            size_t parsed = 0;
+            auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+            if (ec != std::errc() || ptr != value.data() + value.size() || parsed == 0) {
+                std::fprintf(stderr, "unicert_store: invalid --segment-records value\n");
+                return 64;
+            }
+            options.segment_max_records = parsed;
+        } else if (arg.starts_with("-")) {
+            std::fprintf(stderr, "unicert_store: unknown option %s (try --help)\n", argv[i]);
+            return 64;
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+    if (command.empty()) {
+        std::fputs(kUsage, stderr);
+        return 64;
+    }
+
+    core::Fs& fs = core::real_fs();
+
+    if (command == "init") {
+        options.create_if_missing = true;
+        RecoveryReport report;
+        auto store = ctlog::store::Store::open(fs, dir, options, &report);
+        if (!store.ok()) {
+            std::fprintf(stderr, "unicert_store: %s\n", store.error().message.c_str());
+            return open_failure_exit(store.error());
+        }
+        std::printf("initialized store at %s (%zu entries)\n", dir.c_str(), (*store)->size());
+        return 0;
+    }
+
+    if (command == "fsck") {
+        auto report = ctlog::store::fsck(fs, dir);
+        if (!report.ok()) {
+            std::fprintf(stderr, "unicert_store: cannot read %s: %s\n", dir.c_str(),
+                         report.error().message.c_str());
+            return 66;
+        }
+        print_report(*report);
+        return ctlog::store::recovery_exit_code(report->state);
+    }
+
+    RecoveryReport report;
+    auto store = ctlog::store::Store::open(fs, dir, options, &report);
+    if (!store.ok()) {
+        if (store.error().code == "store_unrecoverable") print_report(report);
+        std::fprintf(stderr, "unicert_store: %s\n", store.error().message.c_str());
+        return open_failure_exit(store.error());
+    }
+
+    if (command == "verify") {
+        print_report(report);
+        std::printf("tree head           : %s\n", hex_encode((*store)->tree_head()).c_str());
+        return ctlog::store::recovery_exit_code(report.state);
+    }
+
+    if (command == "stats") {
+        std::printf("entries   : %zu\n", (*store)->size());
+        std::printf("segments  : %zu\n", (*store)->segment_count());
+        std::printf("tree head : %s\n", hex_encode((*store)->tree_head()).c_str());
+        std::printf("recovery  : %s\n", ctlog::store::recovery_state_name(report.state));
+        if ((*store)->read_only()) {
+            std::printf("read-only : %s\n", (*store)->read_only_reason().c_str());
+        }
+        return 0;
+    }
+
+    // --append
+    std::string input;
+    if (files.empty()) {
+        input = read_stream(std::cin);
+    } else {
+        for (const std::string& path : files) {
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr, "unicert_store: cannot open %s\n", path.c_str());
+                return 66;
+            }
+            input += read_stream(in);
+            if (in.bad()) {
+                std::fprintf(stderr, "unicert_store: read error on %s\n", path.c_str());
+                return 66;
+            }
+        }
+    }
+    auto blocks = x509::pem_decode_all(input);
+    if (!blocks.ok()) {
+        std::fprintf(stderr, "unicert_store: PEM error: %s\n", blocks.error().message.c_str());
+        return 64;
+    }
+    std::vector<ctlog::store::PendingEntry> batch;
+    int64_t now = static_cast<int64_t>(std::time(nullptr));
+    for (const x509::PemBlock& block : blocks.value()) {
+        if (block.label != "CERTIFICATE") continue;
+        ctlog::store::PendingEntry entry;
+        entry.leaf_der = block.der;
+        entry.timestamp = now;
+        batch.push_back(std::move(entry));
+    }
+    if (batch.empty()) {
+        std::fprintf(stderr, "unicert_store: no CERTIFICATE blocks found\n");
+        return 64;
+    }
+    if (auto st = (*store)->append_batch(batch); !st.ok()) {
+        std::fprintf(stderr, "unicert_store: append failed: %s: %s\n", st.error().code.c_str(),
+                     st.error().message.c_str());
+        return 74;
+    }
+    std::printf("appended %zu entr%s; store now holds %zu (tree head %s)\n", batch.size(),
+                batch.size() == 1 ? "y" : "ies", (*store)->size(),
+                hex_encode((*store)->tree_head()).c_str());
+    return 0;
+}
