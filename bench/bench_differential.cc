@@ -4,11 +4,17 @@
 // DifferentialRunner? Reports evaluations/sec for both engines over
 // the full Table 4 grid and emits a BENCH_differential.json baseline
 // so later sessions can detect regressions in the containment path.
+// It also compares bucket discovery between blind fuzzing (DiffFuzzer's
+// fixed-seed mutation loop) and the feedback-guided campaign engine at
+// the same input budget; the seed-pinned `campaign_at_least_blind` flag
+// in the JSON is CI's check that the feedback loop actually pays.
 #include "bench_common.h"
 
 #include <chrono>
 #include <string>
 
+#include "difffuzz/campaign/campaign.h"
+#include "difffuzz/faulty_model.h"
 #include "tlslib/supervisor.h"
 
 using namespace unicert;
@@ -63,8 +69,67 @@ Measurement bench_supervised(int repetitions) {
     return m;
 }
 
+// ---- feedback-guided vs blind bucket discovery ---------------------------
+
+struct Discovery {
+    size_t inputs = 0;
+    size_t buckets = 0;
+    double seconds = 0.0;
+};
+
+// Both runs drive the identical fault-injected engine (content-keyed
+// faults, so discovery depends only on which inputs get generated) for
+// the same number of mutated inputs.
+constexpr uint64_t kDiscoverySeed = 7;
+constexpr uint64_t kDiscoveryInputs = 192;
+constexpr double kDiscoveryCrashRate = 0.03;
+
+difffuzz::FaultyModel make_discovery_model(core::ManualClock& clock) {
+    difffuzz::FaultyModelOptions fmo;
+    fmo.seed = kDiscoverySeed;
+    fmo.crash_rate = kDiscoveryCrashRate;
+    return difffuzz::FaultyModel(tlslib::builtin_model(), fmo, clock);
+}
+
+Discovery bench_blind_fuzz() {
+    core::ManualClock clock;
+    difffuzz::FaultyModel faulty = make_discovery_model(clock);
+    difffuzz::CrashCorpus corpus;
+    difffuzz::FuzzOptions fo;
+    fo.seed = kDiscoverySeed;
+    fo.iterations = kDiscoveryInputs;
+    fo.minimize = false;
+    Discovery d;
+    const double start = now_seconds();
+    difffuzz::DiffFuzzer(corpus, fo, faulty, clock).run();
+    d.seconds = now_seconds() - start;
+    d.inputs = kDiscoveryInputs;
+    d.buckets = corpus.size();
+    return d;
+}
+
+Discovery bench_campaign() {
+    core::ManualClock clock;
+    difffuzz::FaultyModel faulty = make_discovery_model(clock);
+    core::MemFs fs;
+    difffuzz::CrashCorpus corpus("camp/corpus", &fs);
+    difffuzz::campaign::CheckpointStore store(fs, "camp");
+    difffuzz::campaign::CampaignOptions options;
+    options.seed = kDiscoverySeed;
+    options.batch_size = 16;
+    options.max_evals = kDiscoveryInputs;
+    difffuzz::campaign::Campaign campaign(options, corpus, store, faulty, clock);
+    Discovery d;
+    const double start = now_seconds();
+    if (campaign.start_fresh().ok()) (void)campaign.run();
+    d.seconds = now_seconds() - start;
+    d.inputs = kDiscoveryInputs;
+    d.buckets = campaign.state().buckets.size();
+    return d;
+}
+
 void write_json(const char* path, const Measurement& plain, const Measurement& supervised,
-                double overhead_pct) {
+                double overhead_pct, const Discovery& blind, const Discovery& campaign) {
     std::FILE* f = std::fopen(path, "w");
     if (!f) {
         std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -77,7 +142,15 @@ void write_json(const char* path, const Measurement& plain, const Measurement& s
                  plain.evaluations, plain.seconds, plain.per_sec());
     std::fprintf(f, "  \"supervised\": {\"evaluations\": %zu, \"seconds\": %.6f, \"evals_per_sec\": %.1f},\n",
                  supervised.evaluations, supervised.seconds, supervised.per_sec());
-    std::fprintf(f, "  \"supervision_overhead_pct\": %.2f\n", overhead_pct);
+    std::fprintf(f, "  \"supervision_overhead_pct\": %.2f,\n", overhead_pct);
+    std::fprintf(f, "  \"discovery_seed\": %llu,\n",
+                 static_cast<unsigned long long>(kDiscoverySeed));
+    std::fprintf(f, "  \"blind_fuzz\": {\"inputs\": %zu, \"buckets\": %zu, \"seconds\": %.6f},\n",
+                 blind.inputs, blind.buckets, blind.seconds);
+    std::fprintf(f, "  \"campaign\": {\"inputs\": %zu, \"buckets\": %zu, \"seconds\": %.6f},\n",
+                 campaign.inputs, campaign.buckets, campaign.seconds);
+    std::fprintf(f, "  \"campaign_at_least_blind\": %s\n",
+                 campaign.buckets >= blind.buckets ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -109,7 +182,19 @@ int main(int argc, char** argv) {
                 supervised.evaluations, supervised.seconds, supervised.per_sec());
     std::printf("supervision overhead | %.2f%%\n\n", overhead_pct);
 
-    write_json("BENCH_differential.json", plain, supervised, overhead_pct);
+    Discovery blind = bench_blind_fuzz();
+    Discovery campaign = bench_campaign();
+    std::printf("bucket discovery at %zu inputs (seed %llu, crash rate %.2f):\n",
+                blind.inputs, static_cast<unsigned long long>(kDiscoverySeed),
+                kDiscoveryCrashRate);
+    std::printf("blind fuzz           | %zu bucket(s) in %.3fs\n", blind.buckets,
+                blind.seconds);
+    std::printf("campaign             | %zu bucket(s) in %.3fs\n", campaign.buckets,
+                campaign.seconds);
+    std::printf("campaign_at_least_blind | %s\n\n",
+                campaign.buckets >= blind.buckets ? "true" : "false");
+
+    write_json("BENCH_differential.json", plain, supervised, overhead_pct, blind, campaign);
     std::printf("baseline written to BENCH_differential.json\n");
     return 0;
 }

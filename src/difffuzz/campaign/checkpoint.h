@@ -1,0 +1,72 @@
+// unicert/difffuzz/campaign/checkpoint.h
+//
+// Atomically-committed checkpoint generations for campaign state,
+// written through the core::Fs seam (so the kill-point sweep can run
+// the whole commit path over faultsim::FaultyFs). Each generation is
+// one self-checking `unicert-campaign-v1` file, landed with the
+// write-temp-fsync-rename pattern the durable CT-log store established:
+// a crash at any filesystem operation leaves either the previous
+// generation or the new one fully intact, never a mix. Recovery scans
+// the directory newest-first and resumes from the first generation
+// whose checksum validates; torn or bit-rotted files are skipped (and
+// noted), stray temp files from an interrupted commit are removed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fs.h"
+#include "difffuzz/campaign/state.h"
+
+namespace unicert::difffuzz::campaign {
+
+// What recover() found. `found == false` means an empty (or absent)
+// state directory — a fresh campaign, not an error.
+struct RecoveredCheckpoint {
+    CampaignState state;
+    uint64_t generation = 0;
+    bool found = false;
+    size_t corrupt_skipped = 0;       // generations whose checksum failed
+    size_t stray_temp_files = 0;      // interrupted-commit leftovers removed
+    std::vector<std::string> notes;   // one line per skipped/cleaned file
+};
+
+class CheckpointStore {
+public:
+    // Keeps the newest `keep` generations on disk; older ones are
+    // pruned (best-effort) after each successful commit.
+    explicit CheckpointStore(core::Fs& fs, std::string dir, size_t keep = 3);
+
+    const std::string& dir() const noexcept { return dir_; }
+
+    // mkdir -p the state directory.
+    Status init();
+
+    // Atomically commit `state` as generation `generation`. Idempotent
+    // per generation number: re-committing the same generation is a
+    // no-op. Prune failures are swallowed — an old generation left
+    // behind is garbage, not corruption.
+    Status commit(const CampaignState& state, uint64_t generation);
+
+    // Newest generation whose checksum validates. Error code
+    // campaign_unrecoverable when checkpoint files exist but none
+    // validates (an acknowledged commit was lost — the invariant the
+    // kill-point sweep asserts never fires).
+    Expected<RecoveredCheckpoint> recover();
+
+    // Highest generation commit() has acknowledged this process run.
+    std::optional<uint64_t> last_committed() const noexcept { return last_committed_; }
+
+    // ckpt-<16 hex digits>.ckpt
+    static std::string checkpoint_file_name(uint64_t generation);
+    static std::optional<uint64_t> parse_checkpoint_file_name(std::string_view name);
+
+private:
+    core::Fs* fs_;
+    std::string dir_;
+    size_t keep_;
+    std::optional<uint64_t> last_committed_;
+};
+
+}  // namespace unicert::difffuzz::campaign

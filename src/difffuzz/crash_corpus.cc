@@ -1,11 +1,13 @@
 #include "difffuzz/crash_corpus.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace unicert::difffuzz {
 namespace {
 
 constexpr std::string_view kMagic = "unicert-crash-v1";
+constexpr std::string_view kMetaMagic = "unicert-fuzz-meta-v1";
 
 // Filesystem-safe library slug ("Golang Crypto" -> "golang_crypto").
 std::string library_slug(tlslib::Library lib) {
@@ -149,25 +151,109 @@ Status CrashCorpus::persist(const CrashEntry& e) {
     return st;
 }
 
-Status CrashCorpus::load() {
+Status CrashCorpus::load(LoadReport* report) {
     entries_.clear();
     if (dir_.empty()) return Status::success();
     auto names = fs_->list_dir(dir_);
     if (!names.ok()) return Error{"corpus_unreadable", "cannot read corpus dir " + dir_};
+    auto skip = [&](const std::string& name, const Error& why) {
+        if (report == nullptr) return;
+        ++report->skipped;
+        report->notes.push_back(name + ": " + why.code + ": " + why.message);
+    };
     for (const std::string& name : *names) {
         if (!name.ends_with(".crash")) continue;
         auto bytes = fs_->read_file(dir_ + "/" + name);
         if (!bytes.ok()) {
-            return Error{"corpus_unreadable", name + ": " + bytes.error().message};
+            skip(name, bytes.error());
+            continue;
         }
         auto entry = parse_entry(
             std::string_view(reinterpret_cast<const char*>(bytes->data()), bytes->size()));
         if (!entry.ok()) {
-            return Error{entry.error().code, name + ": " + entry.error().message};
+            skip(name, entry.error());
+            continue;
         }
         entries_[bucket_key(entry.value())] = std::move(entry).value();
+        if (report != nullptr) ++report->loaded;
     }
     return Status::success();
+}
+
+// ---- corpus.meta -----------------------------------------------------------
+
+std::string serialize_meta(const CorpusMeta& meta) {
+    std::ostringstream out;
+    out << kMetaMagic << "\n";
+    out << "seed: " << meta.seed << "\n";
+    out << "crash_rate: " << meta.crash_rate << "\n";
+    out << "hang_rate: " << meta.hang_rate << "\n";
+    out << "oversize_rate: " << meta.oversize_rate << "\n";
+    return out.str();
+}
+
+MetaParseResult parse_meta(std::string_view text) {
+    MetaParseResult result;
+    size_t first_newline = text.find('\n');
+    if (first_newline == std::string_view::npos ||
+        text.substr(0, first_newline) != kMetaMagic) {
+        result.note = "corpus.meta is not a " + std::string(kMetaMagic) + " file";
+        return result;
+    }
+    result.ok = true;
+    // A file cut mid-line ends without '\n'; everything after the last
+    // newline is the torn tail and is skipped, not trusted.
+    std::string_view body = text.substr(first_newline + 1);
+    if (!body.empty() && body.back() != '\n') {
+        size_t last_newline = body.rfind('\n');
+        std::string_view tail =
+            last_newline == std::string_view::npos ? body : body.substr(last_newline + 1);
+        body = last_newline == std::string_view::npos ? std::string_view{}
+                                                      : body.substr(0, last_newline + 1);
+        result.truncated = true;
+        result.note = "torn tail ignored: \"" + std::string(tail) + "\"";
+    }
+    auto parse_u64 = [](std::string_view v, uint64_t* out) {
+        char* end = nullptr;
+        std::string s(v);
+        *out = std::strtoull(s.c_str(), &end, 10);
+        return end != s.c_str() && *end == '\0';
+    };
+    auto parse_rate = [](std::string_view v, double* out) {
+        char* end = nullptr;
+        std::string s(v);
+        *out = std::strtod(s.c_str(), &end);
+        return end != s.c_str() && *end == '\0' && *out >= 0.0 && *out <= 1.0;
+    };
+    size_t pos = 0;
+    while (pos < body.size()) {
+        size_t newline = body.find('\n', pos);
+        std::string_view line = body.substr(pos, newline - pos);
+        pos = newline + 1;
+        size_t colon = line.find(": ");
+        if (colon == std::string_view::npos) {
+            result.truncated = true;
+            result.note = "malformed line ignored: \"" + std::string(line) + "\"";
+            continue;
+        }
+        std::string_view key = line.substr(0, colon);
+        std::string_view value = line.substr(colon + 2);
+        bool applied = true;
+        if (key == "seed") {
+            applied = parse_u64(value, &result.meta.seed);
+        } else if (key == "crash_rate") {
+            applied = parse_rate(value, &result.meta.crash_rate);
+        } else if (key == "hang_rate") {
+            applied = parse_rate(value, &result.meta.hang_rate);
+        } else if (key == "oversize_rate") {
+            applied = parse_rate(value, &result.meta.oversize_rate);
+        }
+        if (!applied) {
+            result.truncated = true;
+            result.note = "unparseable value ignored: \"" + std::string(line) + "\"";
+        }
+    }
+    return result;
 }
 
 }  // namespace unicert::difffuzz

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/expected.h"
@@ -38,6 +39,43 @@ std::string bucket_key(const CrashEntry& e);
 std::string serialize_entry(const CrashEntry& e);
 Expected<CrashEntry> parse_entry(std::string_view text);
 
+// What a (lenient) corpus load salvaged. Individual entries that are
+// truncated, bit-rotted or otherwise unparseable are skipped and
+// reported here instead of aborting the load — a half-written file
+// must never block replay of the rest of the corpus.
+struct LoadReport {
+    size_t loaded = 0;
+    size_t skipped = 0;
+    std::vector<std::string> notes;  // one line per skipped file
+};
+
+// ---- corpus.meta: the engine parameters that filled a corpus -------------
+//
+// Fuzz/campaign runs record their seed and fault-injection rates next
+// to the corpus so --replay reconstructs the identical engine. The
+// file is tiny and atomically written, but a crashed writer (or a
+// short write on a sick disk) can still leave a torn tail — parsing is
+// therefore lenient: every complete `key: value` line is applied and a
+// cut-off tail is reported, not fatal.
+
+struct CorpusMeta {
+    uint64_t seed = 1;
+    double crash_rate = 0.0;
+    double hang_rate = 0.0;
+    double oversize_rate = 0.0;
+};
+
+std::string serialize_meta(const CorpusMeta& meta);
+
+struct MetaParseResult {
+    CorpusMeta meta;
+    bool ok = false;         // magic line recognized; `meta` holds parsed fields
+    bool truncated = false;  // a torn/partial tail was detected and skipped
+    std::string note;        // human diagnostic when !ok or truncated
+};
+
+MetaParseResult parse_meta(std::string_view text);
+
 class CrashCorpus {
 public:
     // Empty `dir` keeps the corpus in memory only. All I/O goes through
@@ -60,7 +98,11 @@ public:
     const std::map<std::string, CrashEntry>& entries() const noexcept { return entries_; }
 
     // Load every *.crash file from `dir`, replacing in-memory state.
-    Status load();
+    // Lenient per entry: an unreadable or unparseable file (torn tail,
+    // bit rot, partial write) is skipped and recorded in `report`, so
+    // one damaged entry never aborts a replay of the rest. Only a
+    // directory-level failure is an error.
+    Status load(LoadReport* report = nullptr);
 
     // First persist failure observed by add()/update(), success when
     // every write landed. Callers that accumulated buckets silently

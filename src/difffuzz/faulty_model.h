@@ -8,6 +8,7 @@
 // entry replayed later triggers exactly the fault that created it.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -33,7 +34,9 @@ public:
         : base_(&base), options_(options), clock_(&clock) {}
 
     const FaultyModelOptions& options() const noexcept { return options_; }
-    size_t injected_faults() const noexcept { return injected_; }
+    size_t injected_faults() const noexcept {
+        return injected_.load(std::memory_order_relaxed);
+    }
 
     tlslib::DecodeBehavior probe_decode(tlslib::Library lib, asn1::StringType st,
                                         tlslib::FieldContext ctx) override;
@@ -55,7 +58,8 @@ private:
     tlslib::LibraryModel* base_;
     FaultyModelOptions options_;
     core::Clock* clock_;
-    size_t injected_ = 0;
+    // Atomic: campaign workers drive one shared model concurrently.
+    std::atomic<size_t> injected_{0};
 };
 
 }  // namespace unicert::difffuzz

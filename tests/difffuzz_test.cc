@@ -79,6 +79,67 @@ TEST(CrashCorpus, PersistsAndLoadsFromDisk) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(CrashCorpus, LoadSkipsDamagedEntriesInsteadOfAborting) {
+    // Regression: a truncated or garbage .crash file used to abort the
+    // whole load, blocking --replay of every healthy bucket.
+    core::MemFs fs;
+    CrashCorpus corpus("corpus", &fs);
+    CrashEntry good = sample_entry();
+    ASSERT_TRUE(corpus.add(good));
+
+    // A partially-written entry (crashed writer, no atomic rename) and
+    // a file of garbage land next to it.
+    std::string full = serialize_entry(good);
+    std::string torn = full.substr(0, full.size() / 2);
+    auto file = fs.create("corpus/torn_bucket.crash");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(
+        (*file)->write(BytesView(reinterpret_cast<const uint8_t*>(torn.data()), torn.size()))
+            .ok());
+    ASSERT_TRUE(core::atomic_write_file(fs, "corpus/junk.crash",
+                                        std::string_view("not a corpus entry")).ok());
+
+    CrashCorpus reloaded("corpus", &fs);
+    LoadReport report;
+    ASSERT_TRUE(reloaded.load(&report).ok());
+    EXPECT_EQ(report.loaded, 1u);
+    EXPECT_EQ(report.skipped, 2u);
+    ASSERT_EQ(report.notes.size(), 2u);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_TRUE(reloaded.contains(bucket_key(good)));
+}
+
+TEST(CrashCorpus, MetaRoundTripAndTornTailSalvage) {
+    CorpusMeta meta;
+    meta.seed = 77;
+    meta.crash_rate = 0.05;
+    meta.hang_rate = 0.5;
+    meta.oversize_rate = 1.0;
+    std::string text = serialize_meta(meta);
+
+    MetaParseResult parsed = parse_meta(text);
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_FALSE(parsed.truncated);
+    EXPECT_EQ(parsed.meta.seed, 77u);
+    EXPECT_EQ(parsed.meta.crash_rate, 0.05);
+    EXPECT_EQ(parsed.meta.hang_rate, 0.5);
+    EXPECT_EQ(parsed.meta.oversize_rate, 1.0);
+
+    // Cut mid-line: complete lines before the tear still apply, the
+    // torn tail is reported, parsing does not abort.
+    size_t cut = text.find("hang_rate: ") + 7;  // inside the hang_rate line
+    MetaParseResult salvaged = parse_meta(text.substr(0, cut));
+    ASSERT_TRUE(salvaged.ok);
+    EXPECT_TRUE(salvaged.truncated);
+    EXPECT_FALSE(salvaged.note.empty());
+    EXPECT_EQ(salvaged.meta.seed, 77u);
+    EXPECT_EQ(salvaged.meta.crash_rate, 0.05);
+    EXPECT_EQ(salvaged.meta.hang_rate, 0.0);  // torn line ignored, default kept
+
+    // Not a meta file at all.
+    EXPECT_FALSE(parse_meta("something else\nseed: 3\n").ok);
+}
+
 TEST(Reducer, ShrinksToMinimalReproducer) {
     // Failure: payload contains the byte 0x7F anywhere.
     Bytes input;

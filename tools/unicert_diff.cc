@@ -4,23 +4,31 @@
 //   unicert_diff --fuzz                 structure-aware DER fuzz loop
 //   unicert_diff --replay               re-run every crash-corpus bucket
 //   unicert_diff --triage               summarize the crash corpus
+//   unicert_diff --campaign             start a checkpointed fuzzing campaign
+//   unicert_diff --resume               continue a campaign after a crash
+//   unicert_diff --status               print the last committed generation
 //
 // Fault-injection flags wrap the built-in library models in a
 // deterministic misbehaving double, which is how the containment path
 // is exercised without a real crashing parser. Fuzz runs record their
 // seed and injection rates in <corpus>/corpus.meta so --replay
 // reconstructs the identical engine.
+//
+// Campaign runs persist their full state (seed corpus, bucket map,
+// energy table, input cursor) as checksummed checkpoint generations in
+// --state DIR; kill -9 at any point and `--resume` continues
+// byte-equivalently to an uninterrupted run (DESIGN.md section 11).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/fs.h"
+#include "difffuzz/campaign/campaign.h"
 #include "difffuzz/faulty_model.h"
 #include "difffuzz/fuzzer.h"
 #include "tlslib/supervisor.h"
@@ -42,12 +50,24 @@ modes (default --sweep):
   --replay              re-run every corpus bucket and verify the same
                         (library, outcome, signature) reproduces
   --triage              print a per-bucket summary of the crash corpus
+  --campaign            start a fresh feedback-guided campaign in --state
+                        DIR (refuses to clobber an existing one)
+  --resume              continue a campaign from its newest valid
+                        checkpoint generation
+  --status              print the last committed campaign generation
 
 options:
-  --corpus DIR          crash-corpus directory (--fuzz persists to it;
-                        --replay/--triage read it; in-memory when omitted)
+  --corpus DIR          crash-corpus directory (--fuzz/--campaign persist
+                        to it; --replay/--triage read it; campaigns
+                        default to <state>/corpus; in-memory when omitted)
+  --state DIR           campaign state directory (checkpoint generations)
   --seed N              fuzz/mutation seed (default 1)
   --iterations N        fuzz inputs to generate (default 256)
+  --jobs N              campaign evaluation workers (default 1)
+  --batch N             campaign inputs per scheduling round (default 16)
+  --checkpoint-every N  batches per committed generation (default 4)
+  --max-evals N         stop the campaign after N cumulative inputs
+  --max-wall-ms N       stop the campaign after N wall milliseconds
   --inject-crash R      probability [0,1] that a model call throws
   --inject-hang R       probability [0,1] that a model call hangs
   --inject-oversize R   probability [0,1] that a model call floods output
@@ -55,19 +75,30 @@ options:
   --help                this text
 
 exit codes:
-  0   success: sweep clean / fuzz ran / every replayed bucket reproduced
+  0   success: sweep clean / fuzz ran / every replayed bucket reproduced /
+      campaign ran to its stop condition
   1   failures: sweep had failure cells, fuzz found new buckets, or a
       replayed bucket did not reproduce
-  64  usage error (unknown flag, missing argument, bad number)
-  66  corpus directory missing or unreadable
-  74  I/O error writing the corpus or corpus.meta
+  64  usage error (unknown flag, missing argument, bad number, campaign
+      without a stop condition)
+  65  --campaign refused: --state DIR already holds a campaign (use
+      --resume to continue it)
+  66  corpus/state directory missing, unreadable, or no valid checkpoint
+  74  I/O error writing the corpus, corpus.meta, or a checkpoint
 )";
 
 struct Options {
-    enum class Mode { kSweep, kFuzz, kReplay, kTriage } mode = Mode::kSweep;
+    enum class Mode { kSweep, kFuzz, kReplay, kTriage, kCampaign, kResume, kStatus };
+    Mode mode = Mode::kSweep;
     std::string corpus_dir;
+    std::string state_dir;
     uint64_t seed = 1;
     size_t iterations = 256;
+    size_t jobs = 1;
+    size_t batch = 16;
+    uint64_t checkpoint_every = 4;
+    uint64_t max_evals = 0;
+    uint64_t max_wall_ms = 0;
     double crash_rate = 0.0;
     double hang_rate = 0.0;
     double oversize_rate = 0.0;
@@ -96,6 +127,10 @@ int parse_args(int argc, char** argv, Options* opts) {
             }
             return argv[++i];
         };
+        auto need_u64 = [&](uint64_t* out) {
+            const char* v = need_value();
+            return v != nullptr && parse_u64(v, out);
+        };
         if (arg == "--help" || arg == "-h") {
             std::fputs(kUsage, stdout);
             std::exit(0);
@@ -107,18 +142,40 @@ int parse_args(int argc, char** argv, Options* opts) {
             opts->mode = Options::Mode::kReplay;
         } else if (arg == "--triage") {
             opts->mode = Options::Mode::kTriage;
+        } else if (arg == "--campaign") {
+            opts->mode = Options::Mode::kCampaign;
+        } else if (arg == "--resume") {
+            opts->mode = Options::Mode::kResume;
+        } else if (arg == "--status") {
+            opts->mode = Options::Mode::kStatus;
         } else if (arg == "--corpus") {
             const char* v = need_value();
             if (!v) return 64;
             opts->corpus_dir = v;
-        } else if (arg == "--seed") {
+        } else if (arg == "--state") {
             const char* v = need_value();
-            if (!v || !parse_u64(v, &opts->seed)) return 64;
+            if (!v) return 64;
+            opts->state_dir = v;
+        } else if (arg == "--seed") {
+            if (!need_u64(&opts->seed)) return 64;
         } else if (arg == "--iterations") {
             uint64_t n = 0;
-            const char* v = need_value();
-            if (!v || !parse_u64(v, &n)) return 64;
+            if (!need_u64(&n)) return 64;
             opts->iterations = static_cast<size_t>(n);
+        } else if (arg == "--jobs") {
+            uint64_t n = 0;
+            if (!need_u64(&n) || n == 0) return 64;
+            opts->jobs = static_cast<size_t>(n);
+        } else if (arg == "--batch") {
+            uint64_t n = 0;
+            if (!need_u64(&n) || n == 0) return 64;
+            opts->batch = static_cast<size_t>(n);
+        } else if (arg == "--checkpoint-every") {
+            if (!need_u64(&opts->checkpoint_every)) return 64;
+        } else if (arg == "--max-evals") {
+            if (!need_u64(&opts->max_evals)) return 64;
+        } else if (arg == "--max-wall-ms") {
+            if (!need_u64(&opts->max_wall_ms)) return 64;
         } else if (arg == "--inject-crash") {
             const char* v = need_value();
             if (!v || !parse_double(v, &opts->crash_rate)) return 64;
@@ -148,32 +205,53 @@ bool has_injection(const Options& o) {
 // corpus.meta silently replays with the wrong engine parameters.
 Status save_meta(const Options& o) {
     if (o.corpus_dir.empty()) return Status::success();
-    std::ostringstream out;
-    out << "unicert-fuzz-meta-v1\n";
-    out << "seed: " << o.seed << "\n";
-    out << "crash_rate: " << o.crash_rate << "\n";
-    out << "hang_rate: " << o.hang_rate << "\n";
-    out << "oversize_rate: " << o.oversize_rate << "\n";
-    std::string text = out.str();
+    difffuzz::CorpusMeta meta;
+    meta.seed = o.seed;
+    meta.crash_rate = o.crash_rate;
+    meta.hang_rate = o.hang_rate;
+    meta.oversize_rate = o.oversize_rate;
+    std::string text = difffuzz::serialize_meta(meta);
     return core::atomic_write_file(core::real_fs(), o.corpus_dir + "/corpus.meta",
                                    std::string_view(text), o.corpus_dir);
 }
 
 void load_meta(Options* o) {
     if (o->corpus_dir.empty()) return;
-    std::ifstream in(o->corpus_dir + "/corpus.meta");
-    std::string line;
-    if (!in || !std::getline(in, line) || line != "unicert-fuzz-meta-v1") return;
-    while (std::getline(in, line)) {
-        size_t colon = line.find(": ");
-        if (colon == std::string::npos) continue;
-        std::string key = line.substr(0, colon);
-        const char* value = line.c_str() + colon + 2;
-        if (key == "seed") parse_u64(value, &o->seed);
-        if (key == "crash_rate") parse_double(value, &o->crash_rate);
-        if (key == "hang_rate") parse_double(value, &o->hang_rate);
-        if (key == "oversize_rate") parse_double(value, &o->oversize_rate);
+    auto bytes = core::real_fs().read_file(o->corpus_dir + "/corpus.meta");
+    if (!bytes.ok()) return;  // no meta: replay with CLI-provided parameters
+    difffuzz::MetaParseResult parsed = difffuzz::parse_meta(
+        std::string_view(reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+    if (!parsed.ok) {
+        std::fprintf(stderr, "unicert_diff: warning: %s\n", parsed.note.c_str());
+        return;
     }
+    if (parsed.truncated) {
+        // A crashed writer left a torn tail: every complete line still
+        // applies, the cut-off remainder is reported, not fatal.
+        std::fprintf(stderr, "unicert_diff: warning: corpus.meta partially written (%s)\n",
+                     parsed.note.c_str());
+    }
+    o->seed = parsed.meta.seed;
+    o->crash_rate = parsed.meta.crash_rate;
+    o->hang_rate = parsed.meta.hang_rate;
+    o->oversize_rate = parsed.meta.oversize_rate;
+}
+
+// Lenient corpus load: print what was salvaged and what was skipped.
+int load_corpus_lenient(difffuzz::CrashCorpus& corpus) {
+    difffuzz::LoadReport report;
+    if (Status st = corpus.load(&report); !st.ok()) {
+        std::fprintf(stderr, "unicert_diff: %s\n", st.error().message.c_str());
+        return 66;
+    }
+    for (const std::string& note : report.notes) {
+        std::fprintf(stderr, "unicert_diff: warning: skipped %s\n", note.c_str());
+    }
+    if (report.skipped > 0) {
+        std::fprintf(stderr, "unicert_diff: %zu damaged entr%s skipped, %zu loaded\n",
+                     report.skipped, report.skipped == 1 ? "y" : "ies", report.loaded);
+    }
+    return 0;
 }
 
 // ---- engine assembly -----------------------------------------------------
@@ -277,7 +355,7 @@ int run_fuzz(const Options& o) {
     difffuzz::CrashCorpus corpus(o.corpus_dir);
     if (!o.corpus_dir.empty()) {
         // Merge with an existing corpus so repeated runs accumulate.
-        (void)corpus.load();
+        if (int rc = load_corpus_lenient(corpus); rc != 0) return rc;
     }
     difffuzz::DiffFuzzer fuzzer = make_fuzzer(engine, corpus, o);
     difffuzz::FuzzStats stats = fuzzer.run();
@@ -311,10 +389,7 @@ int run_replay(Options o) {
     }
     load_meta(&o);
     difffuzz::CrashCorpus corpus(o.corpus_dir);
-    if (Status st = corpus.load(); !st.ok()) {
-        std::fprintf(stderr, "unicert_diff: %s\n", st.error().message.c_str());
-        return 66;
-    }
+    if (int rc = load_corpus_lenient(corpus); rc != 0) return rc;
     Engine engine = make_engine(o);
     difffuzz::DiffFuzzer fuzzer = make_fuzzer(engine, corpus, o);
     std::vector<std::string> unreproduced;
@@ -336,16 +411,140 @@ int run_triage(const Options& o) {
         return 66;
     }
     difffuzz::CrashCorpus corpus(o.corpus_dir);
-    if (Status st = corpus.load(); !st.ok()) {
-        std::fprintf(stderr, "unicert_diff: %s\n", st.error().message.c_str());
-        return 66;
-    }
+    if (int rc = load_corpus_lenient(corpus); rc != 0) return rc;
     std::printf("corpus %s: %zu bucket(s)\n", o.corpus_dir.c_str(), corpus.size());
     for (const auto& [key, entry] : corpus.entries()) {
         std::printf("  %-48s %4zuB  %s/%s  %s\n", key.c_str(), entry.payload.size(),
                     asn1::string_type_name(entry.scenario.declared),
                     tlslib::field_context_name(entry.scenario.context), entry.detail.c_str());
     }
+    return 0;
+}
+
+// ---- campaign ------------------------------------------------------------
+
+difffuzz::campaign::CampaignOptions campaign_options(const Options& o) {
+    difffuzz::campaign::CampaignOptions co;
+    co.seed = o.seed;
+    co.jobs = o.jobs;
+    co.batch_size = o.batch;
+    co.checkpoint_every = o.checkpoint_every;
+    co.max_evals = o.max_evals;
+    co.max_wall_ms = static_cast<int64_t>(o.max_wall_ms);
+    return co;
+}
+
+int run_campaign_loop(Options o, bool fresh) {
+    if (o.state_dir.empty()) {
+        std::fprintf(stderr, "unicert_diff: %s requires --state DIR\n",
+                     fresh ? "--campaign" : "--resume");
+        return 64;
+    }
+    if (o.max_evals == 0 && o.max_wall_ms == 0) {
+        std::fprintf(stderr,
+                     "unicert_diff: set --max-evals and/or --max-wall-ms; unbounded "
+                     "campaigns are refused\n");
+        return 64;
+    }
+    if (o.corpus_dir.empty()) o.corpus_dir = o.state_dir + "/corpus";
+
+    difffuzz::campaign::CheckpointStore store(core::real_fs(), o.state_dir);
+    if (fresh) {
+        auto probe = store.recover();
+        if (!probe.ok()) {
+            std::fprintf(stderr, "unicert_diff: %s\n", probe.error().message.c_str());
+            return 66;
+        }
+        if (probe->found) {
+            std::fprintf(stderr,
+                         "unicert_diff: %s already holds a campaign (gen %llu); use "
+                         "--resume to continue it or point --state elsewhere\n",
+                         o.state_dir.c_str(),
+                         static_cast<unsigned long long>(probe->generation));
+            return 65;
+        }
+    }
+
+    difffuzz::CrashCorpus corpus(o.corpus_dir);
+    difffuzz::campaign::Campaign campaign(campaign_options(o), corpus, store);
+
+    if (fresh) {
+        if (Status st = campaign.start_fresh(); !st.ok()) {
+            std::fprintf(stderr, "unicert_diff: cannot start campaign: %s\n",
+                         st.error().message.c_str());
+            return 74;
+        }
+        if (Status st = save_meta(o); !st.ok()) {
+            std::fprintf(stderr, "unicert_diff: cannot write corpus.meta: %s\n",
+                         st.error().message.c_str());
+            return 74;
+        }
+        std::printf("campaign: started in %s (seed=%llu)\n", o.state_dir.c_str(),
+                    static_cast<unsigned long long>(o.seed));
+    } else {
+        auto recovered = campaign.resume();
+        if (!recovered.ok()) {
+            std::fprintf(stderr, "unicert_diff: cannot resume: %s\n",
+                         recovered.error().message.c_str());
+            return 66;
+        }
+        // The .crash files written before the crash are durable; load
+        // them (leniently) so the corpus dedup map matches the resumed
+        // bucket set instead of rewriting every entry.
+        if (int rc = load_corpus_lenient(corpus); rc != 0) return rc;
+        for (const std::string& note : recovered->notes) {
+            std::fprintf(stderr, "unicert_diff: recovery: %s\n", note.c_str());
+        }
+        std::printf("campaign: resumed %s at %s\n", o.state_dir.c_str(),
+                    difffuzz::campaign::describe_state(campaign.state(), recovered->generation)
+                        .c_str());
+    }
+
+    difffuzz::campaign::CampaignReport report = campaign.run();
+    if (!report.io.ok()) {
+        std::fprintf(stderr, "unicert_diff: campaign aborted: %s: %s\n",
+                     report.io.error().code.c_str(), report.io.error().message.c_str());
+        return 74;
+    }
+    std::printf("campaign: %s\n",
+                difffuzz::campaign::describe_state(campaign.state(),
+                                                   campaign.state().batches_done)
+                    .c_str());
+    std::printf("run: inputs=%llu new_buckets=%llu checkpoints=%llu retried=%llu "
+                "quarantined=%llu stop=%s\n",
+                static_cast<unsigned long long>(report.inputs),
+                static_cast<unsigned long long>(report.new_buckets),
+                static_cast<unsigned long long>(report.checkpoints),
+                static_cast<unsigned long long>(report.retried),
+                static_cast<unsigned long long>(report.quarantined),
+                report.stopped_by_evals ? "max-evals"
+                : report.stopped_by_wall ? "max-wall-ms"
+                                         : "none");
+    return 0;
+}
+
+int run_status(const Options& o) {
+    if (o.state_dir.empty()) {
+        std::fprintf(stderr, "unicert_diff: --status requires --state DIR\n");
+        return 64;
+    }
+    difffuzz::campaign::CheckpointStore store(core::real_fs(), o.state_dir);
+    auto recovered = store.recover();
+    if (!recovered.ok()) {
+        std::fprintf(stderr, "unicert_diff: %s\n", recovered.error().message.c_str());
+        return 66;
+    }
+    if (!recovered->found) {
+        std::fprintf(stderr, "unicert_diff: no campaign checkpoint in %s\n",
+                     o.state_dir.c_str());
+        return 66;
+    }
+    for (const std::string& note : recovered->notes) {
+        std::fprintf(stderr, "unicert_diff: recovery: %s\n", note.c_str());
+    }
+    std::printf("status: %s\n",
+                difffuzz::campaign::describe_state(recovered->state, recovered->generation)
+                    .c_str());
     return 0;
 }
 
@@ -359,6 +558,9 @@ int main(int argc, char** argv) {
         case Options::Mode::kFuzz: return run_fuzz(opts);
         case Options::Mode::kReplay: return run_replay(opts);
         case Options::Mode::kTriage: return run_triage(opts);
+        case Options::Mode::kCampaign: return run_campaign_loop(opts, /*fresh=*/true);
+        case Options::Mode::kResume: return run_campaign_loop(opts, /*fresh=*/false);
+        case Options::Mode::kStatus: return run_status(opts);
     }
     return 0;
 }
