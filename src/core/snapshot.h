@@ -1,0 +1,65 @@
+// unicert/core/snapshot.h
+//
+// MVCC-style snapshot pinning: a single-slot publisher/reader seam for
+// immutable generations. A publisher installs a new shared_ptr'd
+// generation; readers pin the current one and keep using it for as
+// long as they hold the pointer, no matter how many newer generations
+// are published (or how the files behind them are pruned) in the
+// meantime. This is the concurrency contract of the monitor query
+// service: index generations are epoch-tagged immutable values, and a
+// reader mid-query never observes a generation change.
+//
+// The slot is deliberately tiny — a mutex around a shared_ptr plus a
+// monotonically increasing version — because correctness under TSan
+// matters more here than lock-free cleverness; pin() is two atomic
+// refcount ops and a mutex hop, far below the cost of any query.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace unicert::core {
+
+template <typename T>
+class VersionedSlot {
+public:
+    // Pin the current generation (nullptr when none was ever
+    // published). The caller owns a reference: the generation stays
+    // alive until every pin is dropped, even across publish().
+    std::shared_ptr<const T> pin() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return current_;
+    }
+
+    // Install a new generation; readers pinned to the old one are
+    // unaffected. Returns the slot version after the publish.
+    uint64_t publish(std::shared_ptr<const T> next) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_ = std::move(next);
+        return ++version_;
+    }
+
+    // Drop the current generation (readers holding pins keep theirs).
+    void clear() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_.reset();
+        ++version_;
+    }
+
+    // Number of publish()/clear() calls so far; 0 = never published.
+    uint64_t version() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return version_;
+    }
+
+    bool empty() const { return pin() == nullptr; }
+
+private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const T> current_;
+    uint64_t version_ = 0;
+};
+
+}  // namespace unicert::core

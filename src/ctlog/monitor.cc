@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <array>
 
+#include "ctlog/index/matcher.h"
 #include "ctlog/log.h"
-#include "idna/labels.h"
 #include "x509/parser.h"
-#include "unicode/codec.h"
-#include "unicode/properties.h"
 
 namespace unicert::ctlog {
 namespace {
@@ -39,93 +37,19 @@ const std::array<MonitorProfile, 5>& profiles() {
     return kProfiles;
 }
 
-std::string ascii_fold(std::string_view s) {
-    std::string out(s);
-    for (char& c : out) {
-        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 0x20);
-    }
-    return out;
-}
-
-bool has_special_unicode(std::string_view s) {
-    return unicode::has_non_printable_ascii(s);
-}
-
-bool is_ascii_only(std::string_view s) {
-    return std::all_of(s.begin(), s.end(),
-                       [](char c) { return static_cast<unsigned char>(c) < 0x80; });
-}
-
-bool contains_xn_label(std::string_view host) {
-    return host.find("xn--") != std::string_view::npos;
-}
-
-// ccTLD heuristic: last label is a 2-letter code or a Punycode TLD.
-bool has_punycode_cctld(std::string_view host) {
-    size_t dot = host.rfind('.');
-    std::string_view tld = dot == std::string_view::npos ? host : host.substr(dot + 1);
-    return tld.starts_with("xn--");
-}
-
 }  // namespace
 
 std::span<const MonitorProfile> monitor_profiles() { return profiles(); }
 
-std::vector<std::string> Monitor::derive_keys(const x509::Certificate& cert,
-                                              bool& hidden) const {
-    std::vector<std::string> keys;
-    const MonitorCapabilities& caps = profile_.caps;
-
-    auto add_key = [&](std::string value) {
-        if (value.empty()) return;
-        if (!caps.returns_special_unicode && has_special_unicode(value)) {
-            // This monitor cannot surface certs with special Unicode in
-            // searchable fields (P1.4): the record becomes unreachable.
-            hidden = true;
-            return;
-        }
-        keys.push_back(caps.case_insensitive ? ascii_fold(value) : std::move(value));
-    };
-
-    // CN handling, with SSLMate's quirks.
-    for (const x509::AttributeValue* cn : cert.subject_common_names()) {
-        std::string value = cn->to_utf8_lossy();
-        if (caps.cn_ignored_if_space && value.find(' ') != std::string::npos) continue;
-        if (caps.cn_substring_before_slash) {
-            if (size_t slash = value.find('/'); slash != std::string::npos) {
-                value = value.substr(0, slash);
-            }
-        }
-        add_key(std::move(value));
-    }
-
-    // SAN DNSNames (all monitors) and IPs (crt.sh/SSLMate — harmless to
-    // include generally).
-    for (const x509::GeneralName& gn : cert.subject_alt_names()) {
-        if (gn.type == x509::GeneralNameType::kDnsName ||
-            gn.type == x509::GeneralNameType::kIpAddress) {
-            add_key(gn.to_utf8_lossy());
-        }
-    }
-
-    // Subject O / OU / emailAddress for monitors that index them.
-    if (caps.searches_subject_attrs) {
-        for (const asn1::Oid* oid :
-             {&asn1::oids::organization_name(), &asn1::oids::organizational_unit_name(),
-              &asn1::oids::email_address()}) {
-            for (const x509::AttributeValue* av : cert.subject.find_all(*oid)) {
-                add_key(av->to_utf8_lossy());
-            }
-        }
-    }
-    return keys;
-}
-
 size_t Monitor::index(const x509::Certificate& cert) {
+    // All Table 6 capability semantics (CN quirks, special-Unicode
+    // hiding, case folding) live in the shared matcher, which the
+    // persistent index derives from too — scan and index paths cannot
+    // drift.
+    index::DerivedRecord derived = index::derive_record(profile_.caps, cert);
     Record record;
-    bool hidden = false;
-    record.keys = derive_keys(cert, hidden);
-    record.hidden = hidden && record.keys.empty();
+    record.keys = std::move(derived.keys);
+    record.hidden = derived.hidden;
     records_.push_back(std::move(record));
     size_t id = records_.size() - 1;
     raise_alerts_for(id);
@@ -140,14 +64,9 @@ void Monitor::raise_alerts_for(size_t id) {
     if (record.hidden) return;
     const MonitorCapabilities& caps = profile_.caps;
     for (const std::string& domain : watches_) {
-        std::string needle = caps.case_insensitive ? ascii_fold(domain) : domain;
-        for (const std::string& key : record.keys) {
-            bool match = caps.fuzzy_search ? key.find(needle) != std::string::npos
-                                           : key == needle;
-            if (match) {
-                pending_alerts_.push_back({domain, id});
-                break;
-            }
+        std::string needle = index::fold(caps, domain);
+        if (index::any_key_matches(caps, record.keys, needle)) {
+            pending_alerts_.push_back({domain, id});
         }
     }
 }
@@ -286,58 +205,19 @@ QueryResult Monitor::query(std::string_view pattern) const {
     QueryResult result;
     const MonitorCapabilities& caps = profile_.caps;
 
-    // --- Input validation -----------------------------------------------
-    if (!is_ascii_only(pattern)) {
-        if (!caps.unicode_search) {
-            result.query_accepted = false;
-            result.rejection_reason = "Unicode queries not supported";
-            return result;
-        }
-    }
-    if (contains_xn_label(pattern)) {
-        if (!caps.punycode_idn) {
-            result.query_accepted = false;
-            result.rejection_reason = "Punycode queries not supported";
-            return result;
-        }
-        if (!caps.punycode_idn_cctld && has_punycode_cctld(pattern)) {
-            result.query_accepted = false;
-            result.rejection_reason = "Punycode ccTLDs not supported";
-            return result;
-        }
-        if (caps.ulabel_check) {
-            // Validate every xn-- label; deceptive IDNs are refused
-            // (SSLMate / Facebook behaviour in P1.3).
-            std::string host(pattern);
-            size_t start = 0;
-            while (start <= host.size()) {
-                size_t dot = host.find('.', start);
-                std::string label = host.substr(
-                    start, dot == std::string::npos ? std::string::npos : dot - start);
-                if (idna::looks_like_a_label(label) && !idna::check_label(label).ok()) {
-                    result.query_accepted = false;
-                    result.rejection_reason = "IDN label fails U-label validation: " + label;
-                    return result;
-                }
-                if (dot == std::string::npos) break;
-                start = dot + 1;
-            }
-        }
+    // --- Input validation ---------------------------------------------------
+    if (auto rejection = index::validate_query(caps, pattern)) {
+        result.query_accepted = false;
+        result.rejection_reason = std::move(rejection->reason);
+        return result;
     }
 
     // --- Matching ----------------------------------------------------------
-    std::string needle = caps.case_insensitive ? ascii_fold(pattern) : std::string(pattern);
+    std::string needle = index::fold(caps, pattern);
     for (size_t id = 0; id < records_.size(); ++id) {
         const Record& record = records_[id];
         if (record.hidden) continue;
-        bool match = false;
-        for (const std::string& key : record.keys) {
-            if (caps.fuzzy_search ? key.find(needle) != std::string::npos : key == needle) {
-                match = true;
-                break;
-            }
-        }
-        if (match) result.cert_ids.push_back(id);
+        if (index::any_key_matches(caps, record.keys, needle)) result.cert_ids.push_back(id);
     }
     return result;
 }

@@ -140,11 +140,9 @@ public:
 
 private:
     struct Record {
-        std::vector<std::string> keys;  // derived searchable keys
+        std::vector<std::string> keys;  // derived searchable keys (index::derive_record)
         bool hidden = false;            // excluded from results entirely
     };
-
-    std::vector<std::string> derive_keys(const x509::Certificate& cert, bool& hidden) const;
 
     void raise_alerts_for(size_t id);
 

@@ -78,6 +78,10 @@ Expected<core::FilePtr> FaultyFs::create(const std::string& path) {
 
 Expected<Bytes> FaultyFs::read_file(const std::string& path) {
     if (crashed_) return crashed_error("read " + path);
+    if (read_faults_remaining_ > 0 && path.find(read_fault_substring_) != std::string::npos) {
+        --read_faults_remaining_;
+        return Error{"fs_read_failed", "injected media error reading " + path};
+    }
     return inner_->read_file(path);
 }
 

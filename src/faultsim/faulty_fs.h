@@ -69,6 +69,16 @@ public:
     // against the inner fs directly — the "reboot".
     void crash();
 
+    // Fail the next `count` read_file() calls whose path contains
+    // `substring` with fs_read_failed (transient media error, not power
+    // loss). Reads are otherwise passed through unfaulted; this knob
+    // exists so recovery code's unreadable-file classification can be
+    // exercised deterministically.
+    void fail_reads(std::string substring, size_t count) {
+        read_fault_substring_ = std::move(substring);
+        read_faults_remaining_ = count;
+    }
+
     const FaultPlan& plan() const noexcept { return plan_; }
 
 private:
@@ -84,6 +94,8 @@ private:
     size_t ops_ = 0;
     size_t files_seen_ = 0;  // per-file index for the torn-tail channel
     bool crashed_ = false;
+    std::string read_fault_substring_;
+    size_t read_faults_remaining_ = 0;
 };
 
 }  // namespace unicert::faultsim

@@ -7,17 +7,24 @@
 //   unicert_store --verify <dir>
 //   unicert_store --fsck <dir>
 //   unicert_store --stats <dir>
+//   unicert_store --query <dir> --pattern P [--monitor NAME] [--no-index]
+//   unicert_store --build-index <dir>
+//   unicert_store --verify-index <dir>
 //
 //   --segment-records N   frames per segment before rolling (default 1024)
 //
 // exit codes:
-//   0   success; for --verify/--fsck: store is clean
+//   0   success; for --verify/--fsck: store is clean; for --query: every
+//       profile answered from a healthy index (or --no-index was asked
+//       for); for --verify-index: a fresh valid generation is served
 //   1   --verify/--fsck: recovered, uncommitted tail truncated
+//       --query: answered correctly but degraded (index rebuilt or scan)
+//       --verify-index: damage classified, index rebuilt from the store
 //   2   --verify/--fsck: quarantined records, store is read-only
 //   3   store unrecoverable (committed data lost or format breakage)
 //   64  usage error
 //   66  store directory or PEM input missing/unreadable
-//   74  I/O error while appending (store latched; reopen to recover)
+//   74  I/O error while appending or publishing an index generation
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +34,8 @@
 #include <sstream>
 
 #include "core/fs.h"
+#include "ctlog/index/index.h"
+#include "ctlog/index/query.h"
 #include "ctlog/store/store.h"
 #include "x509/pem.h"
 
@@ -43,6 +52,9 @@ usage: unicert_store --init <dir> [--segment-records N]
        unicert_store --verify <dir>
        unicert_store --fsck <dir>
        unicert_store --stats <dir>
+       unicert_store --query <dir> --pattern P [--monitor NAME] [--no-index]
+       unicert_store --build-index <dir>
+       unicert_store --verify-index <dir>
 
   --init             create an empty store directory
   --append           append the CERTIFICATE blocks as one committed batch
@@ -50,16 +62,34 @@ usage: unicert_store --init <dir> [--segment-records N]
                      needed, cross-check the Merkle root, print the report
   --fsck             read-only integrity scan; never mutates the store
   --stats            entry/segment counts and the current tree head
+  --query            answer a Table 6 monitor query through the
+                     self-healing index service; one line per profile on
+                     stdout (identical no matter which ladder rung
+                     answered), rung/epoch diagnostics on stderr
+  --pattern          the query string (required with --query)
+  --monitor          restrict --query to one profile (default: all five)
+  --no-index         force the linear-scan rung (parity baseline)
+  --build-index      derive and atomically publish a fresh index
+                     generation at the store's current head
+  --verify-index     classify every index file (torn / bad-checksum /
+                     bad-magic / bad-payload / stale-basis / superseded /
+                     stray-tmp / unreadable) and rebuild when no fresh
+                     valid generation is being served
   --segment-records  frames per segment before rolling (default 1024)
 
 exit codes:
-  0   success; for --verify/--fsck: store is clean
+  0   success; for --verify/--fsck: store is clean; for --query: all
+      profiles answered from a healthy index (or --no-index was asked
+      for); for --verify-index: fresh valid generation served, nothing
+      to heal
   1   --verify/--fsck: recovered, uncommitted tail truncated
+      --query: answered correctly but degraded (rebuilt index or scan)
+      --verify-index: damage classified, generation rebuilt from store
   2   --verify/--fsck: quarantined records, store is read-only
   3   store unrecoverable (committed data lost or format breakage)
   64  usage error
   66  store directory or PEM input missing/unreadable
-  74  I/O error while appending (store latched; reopen to recover)
+  74  I/O error while appending or publishing an index generation
 )";
 
 std::string read_stream(std::istream& in) {
@@ -102,6 +132,10 @@ int main(int argc, char** argv) {
     std::string dir;
     std::vector<std::string> files;
     ctlog::store::StoreOptions options;
+    std::string pattern;
+    bool have_pattern = false;
+    std::string monitor_name;
+    bool no_index = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string_view arg = argv[i];
@@ -109,8 +143,30 @@ int main(int argc, char** argv) {
             std::fputs(kUsage, stdout);
             return 0;
         }
+        if (arg == "--pattern") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "unicert_store: --pattern requires a value\n");
+                return 64;
+            }
+            pattern = argv[++i];
+            have_pattern = true;
+            continue;
+        }
+        if (arg == "--monitor") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "unicert_store: --monitor requires a profile name\n");
+                return 64;
+            }
+            monitor_name = argv[++i];
+            continue;
+        }
+        if (arg == "--no-index") {
+            no_index = true;
+            continue;
+        }
         if (arg == "--init" || arg == "--append" || arg == "--verify" || arg == "--fsck" ||
-            arg == "--stats") {
+            arg == "--stats" || arg == "--query" || arg == "--build-index" ||
+            arg == "--verify-index") {
             if (!command.empty()) {
                 std::fprintf(stderr, "unicert_store: only one command per invocation\n");
                 return 64;
@@ -184,6 +240,99 @@ int main(int argc, char** argv) {
         print_report(report);
         std::printf("tree head           : %s\n", hex_encode((*store)->tree_head()).c_str());
         return ctlog::store::recovery_exit_code(report.state);
+    }
+
+    if (command == "query") {
+        if (!have_pattern) {
+            std::fprintf(stderr, "unicert_store: --query requires --pattern\n");
+            return 64;
+        }
+        std::vector<ctlog::MonitorProfile> selected;
+        for (const ctlog::MonitorProfile& profile : ctlog::monitor_profiles()) {
+            if (monitor_name.empty() || profile.name == monitor_name) {
+                selected.push_back(profile);
+            }
+        }
+        if (selected.empty()) {
+            std::fprintf(stderr, "unicert_store: unknown monitor profile '%s'\n",
+                         monitor_name.c_str());
+            return 64;
+        }
+        ctlog::index::QueryService service(fs, **store);
+        ctlog::index::QueryOptions query_options;
+        query_options.use_index = !no_index;
+        bool degraded = false;
+        for (const ctlog::MonitorProfile& profile : selected) {
+            auto served = service.query(profile, pattern, query_options);
+            // stdout carries only the answer, so an indexed run and a
+            // --no-index run are byte-comparable; the rung taken and
+            // the generation epoch go to stderr.
+            if (!served.result.query_accepted) {
+                std::printf("%s\trejected\t%s\n", profile.name.c_str(),
+                            served.result.rejection_reason.c_str());
+            } else {
+                std::printf("%s\t%zu", profile.name.c_str(), served.result.cert_ids.size());
+                for (size_t id : served.result.cert_ids) std::printf("\t%zu", id);
+                std::printf("\n");
+            }
+            std::fprintf(stderr, "%s: path=%s epoch=%llu tail=%zu%s%s\n", profile.name.c_str(),
+                         ctlog::index::query_path_name(served.path),
+                         static_cast<unsigned long long>(served.epoch), served.tail_scanned,
+                         served.degraded ? " DEGRADED: " : "",
+                         served.degraded ? served.degradation_reason.c_str() : "");
+            degraded = degraded || served.degraded;
+        }
+        return degraded ? 1 : 0;
+    }
+
+    if (command == "build-index") {
+        ctlog::index::QueryService service(fs, **store);
+        if (auto st = service.refresh(); !st.ok()) {
+            std::fprintf(stderr, "unicert_store: index publish failed: %s: %s\n",
+                         st.error().code.c_str(), st.error().message.c_str());
+            return 74;
+        }
+        auto generation = service.pin();
+        std::printf("published index epoch %llu over %llu entries (basis root %s)\n",
+                    static_cast<unsigned long long>(generation->epoch),
+                    static_cast<unsigned long long>(generation->basis_size),
+                    hex_encode(generation->basis_root).c_str());
+        return 0;
+    }
+
+    if (command == "verify-index") {
+        auto fsck = ctlog::index::fsck_index(fs, **store);
+        std::printf("index files scanned : %zu\n", fsck.files_scanned);
+        if (fsck.valid_epoch) {
+            std::printf("valid generation    : epoch %llu, basis %llu (%s)\n",
+                        static_cast<unsigned long long>(*fsck.valid_epoch),
+                        static_cast<unsigned long long>(fsck.valid_basis),
+                        fsck.fresh ? "fresh" : "stale");
+        } else {
+            std::printf("valid generation    : none\n");
+        }
+        for (const auto& damage : fsck.damage) {
+            std::printf("damage              : %s: %s (%s)\n", damage.file.c_str(),
+                        ctlog::index::index_damage_name(damage.kind), damage.detail.c_str());
+        }
+        for (const std::string& note : fsck.notes) {
+            std::printf("note                : %s\n", note.c_str());
+        }
+        if (fsck.valid_epoch && fsck.fresh) {
+            std::printf("index is healthy\n");
+            return 0;
+        }
+        // Heal: rebuild from the store and publish a fresh generation.
+        ctlog::index::QueryService service(fs, **store);
+        if (auto st = service.refresh(); !st.ok()) {
+            std::fprintf(stderr, "unicert_store: rebuild publish failed: %s: %s\n",
+                         st.error().code.c_str(), st.error().message.c_str());
+            return 74;
+        }
+        std::printf("rebuilt index epoch %llu over %llu entries\n",
+                    static_cast<unsigned long long>(service.pin()->epoch),
+                    static_cast<unsigned long long>(service.pin()->basis_size));
+        return 1;
     }
 
     if (command == "stats") {
