@@ -9,8 +9,10 @@
 #include "idna/punycode.h"
 #include "lint/lint.h"
 #include "tlslib/differential.h"
+#include "core/arena.h"
 #include "unicode/normalize.h"
 #include "x509/builder.h"
+#include "x509/lazy.h"
 #include "x509/parser.h"
 
 namespace {
@@ -52,6 +54,30 @@ void BM_CertificateParse(benchmark::State& state) {
                             static_cast<int64_t>(der.size()));
 }
 BENCHMARK(BM_CertificateParse);
+
+void BM_CertificateIndex(benchmark::State& state) {
+    Bytes der = sample_cert().der;
+    for (auto _ : state) {
+        auto lazy = x509::LazyCertificate::index(der);
+        benchmark::DoNotOptimize(lazy.ok());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(der.size()));
+}
+BENCHMARK(BM_CertificateIndex);
+
+void BM_CertificateIndexArena(benchmark::State& state) {
+    Bytes der = sample_cert().der;
+    core::Arena arena;
+    for (auto _ : state) {
+        core::ArenaScope scope(arena);
+        auto lazy = x509::LazyCertificate::index(der, &arena);
+        benchmark::DoNotOptimize(lazy.ok());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(der.size()));
+}
+BENCHMARK(BM_CertificateIndexArena);
 
 void BM_CertificateBuildAndSign(benchmark::State& state) {
     crypto::SimSigner ca = crypto::SimSigner::from_name("Benchmark CA");
@@ -107,6 +133,19 @@ void BM_LintFullRegistry(benchmark::State& state) {
     state.counters["lints"] = static_cast<double>(lint::default_registry().size());
 }
 BENCHMARK(BM_LintFullRegistry);
+
+void BM_LintFullRegistryLazy(benchmark::State& state) {
+    Bytes der = sample_cert().der;
+    core::Arena arena;
+    for (auto _ : state) {
+        core::ArenaScope scope(arena);
+        auto lazy = x509::LazyCertificate::index(der, &arena);
+        lint::CertReport report = lint::run_lints(*lazy);
+        benchmark::DoNotOptimize(report.findings.size());
+    }
+    state.counters["lints"] = static_cast<double>(lint::default_registry().size());
+}
+BENCHMARK(BM_LintFullRegistryLazy);
 
 void BM_DifferentialInferOneScenario(benchmark::State& state) {
     tlslib::DifferentialRunner runner;

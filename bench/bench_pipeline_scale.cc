@@ -106,6 +106,64 @@ int main(int argc, char** argv) {
     }
     std::fputs(table.to_string().c_str(), stdout);
 
+    // Wire-form zero-copy ingestion (DESIGN.md §13): the same jobs
+    // sweep over one contiguous buffer of back-to-back signed DER
+    // certificates — the layout of an mmap'd corpus segment — streamed
+    // through DerFileCertSource, so every cert is indexed and linted as
+    // borrowed views with no per-cert copies.
+    Bytes wire_blob;
+    size_t wire_certs = 0;
+    {
+        ctlog::CorpusGenerator gen({.seed = 42, .scale = 5000.0, .sign_certificates = true});
+        for (const ctlog::CorpusCert& c : gen.generate()) {
+            wire_blob.insert(wire_blob.end(), c.cert.der.begin(), c.cert.der.end());
+            ++wire_certs;
+        }
+    }
+    std::string wire_reference;
+    Run wire_serial;
+    {
+        double start = now_seconds();
+        for (int r = 0; r < repetitions; ++r) {
+            core::DerFileCertSource source(wire_blob);
+            core::CompliancePipeline pipeline(source);
+            if (r == 0) wire_reference = aggregate_key(pipeline);
+        }
+        wire_serial.seconds = (now_seconds() - start) / repetitions;
+        wire_serial.certs_per_sec = wire_certs / wire_serial.seconds;
+    }
+    std::vector<Run> wire_runs;
+    for (size_t jobs : {1u, 2u, 4u, 8u}) {
+        Run run;
+        run.jobs = jobs;
+        double start = now_seconds();
+        for (int r = 0; r < repetitions; ++r) {
+            core::DerFileCertSource source(wire_blob);
+            core::ParallelPipeline pipeline(source, {}, {.jobs = jobs});
+            if (r == 0) run.parity = aggregate_key(pipeline) == wire_reference;
+        }
+        run.seconds = (now_seconds() - start) / repetitions;
+        run.certs_per_sec = wire_certs / run.seconds;
+        run.speedup = wire_serial.seconds / run.seconds;
+        wire_runs.push_back(run);
+    }
+
+    std::printf("\nwire-form zero-copy ingestion (%zu signed certs, one DER buffer):\n",
+                wire_certs);
+    core::TextTable wire_table({"Config", "Seconds/run", "Certs/sec", "Speedup", "Parity"});
+    wire_table.add_row({"serial", std::to_string(wire_serial.seconds),
+                        core::with_commas(static_cast<size_t>(wire_serial.certs_per_sec)),
+                        "1.00x", "ref"});
+    for (const Run& run : wire_runs) {
+        all_parity = all_parity && run.parity;
+        char speedup[32];
+        std::snprintf(speedup, sizeof(speedup), "%.2fx", run.speedup);
+        wire_table.add_row({"jobs=" + std::to_string(run.jobs), std::to_string(run.seconds),
+                            core::with_commas(static_cast<size_t>(run.certs_per_sec)), speedup,
+                            run.parity ? "OK" : "DIVERGED"});
+    }
+    std::fputs(wire_table.to_string().c_str(), stdout);
+
     std::FILE* f = std::fopen("BENCH_pipeline_scale.json", "w");
     if (f != nullptr) {
         std::fprintf(f, "{\n  \"benchmark\": \"bench_pipeline_scale\",\n");
@@ -123,7 +181,21 @@ int main(int argc, char** argv) {
                          runs[i].speedup, runs[i].parity ? "true" : "false",
                          i + 1 < runs.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"wire_zero_copy\": {\n");
+        std::fprintf(f, "    \"corpus_certs\": %zu,\n", wire_certs);
+        std::fprintf(f, "    \"serial\": {\"seconds\": %.6f, \"certs_per_sec\": %.1f},\n",
+                     wire_serial.seconds, wire_serial.certs_per_sec);
+        std::fprintf(f, "    \"parallel\": [\n");
+        for (size_t i = 0; i < wire_runs.size(); ++i) {
+            std::fprintf(f,
+                         "      {\"jobs\": %zu, \"seconds\": %.6f, \"certs_per_sec\": %.1f, "
+                         "\"speedup\": %.3f, \"parity\": %s}%s\n",
+                         wire_runs[i].jobs, wire_runs[i].seconds, wire_runs[i].certs_per_sec,
+                         wire_runs[i].speedup, wire_runs[i].parity ? "true" : "false",
+                         i + 1 < wire_runs.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }\n}\n");
         std::fclose(f);
         std::printf("\nbaseline written to BENCH_pipeline_scale.json\n");
     }

@@ -55,13 +55,23 @@ Expected<Tlv> read_tlv(BytesView data) {
 Status check_nesting(BytesView data, size_t max_depth) {
     // Iterative sibling walk: the stack holds the unread remainder of
     // each constructed level, so stack depth == nesting depth and a
-    // nesting bomb cannot recurse the C++ stack.
-    std::vector<BytesView> stack;
-    stack.push_back(data);
-    while (!stack.empty()) {
-        BytesView& level = stack.back();
+    // nesting bomb cannot recurse the C++ stack. The depth guard bounds
+    // the stack, so the default limit fits a fixed inline buffer — this
+    // runs once per certificate on the zero-copy hot path and must not
+    // touch the heap.
+    BytesView inline_stack[kMaxNestingDepth];
+    std::vector<BytesView> heap_stack;
+    BytesView* stack = inline_stack;
+    if (max_depth > kMaxNestingDepth) {
+        heap_stack.resize(max_depth);
+        stack = heap_stack.data();
+    }
+    size_t depth = 0;
+    stack[depth++] = data;
+    while (depth > 0) {
+        BytesView& level = stack[depth - 1];
         if (level.empty()) {
-            stack.pop_back();
+            --depth;
             continue;
         }
         auto tlv = read_tlv(level);
@@ -69,16 +79,16 @@ Status check_nesting(BytesView data, size_t max_depth) {
             // Only depth is this guard's concern; malformed TLVs are
             // reported with full context by whichever consumer reads
             // them. Skip the rest of the level.
-            stack.pop_back();
+            --depth;
             continue;
         }
         level = level.subspan(tlv->total_len);
         if (tlv->is_constructed() && !tlv->content.empty()) {
-            if (stack.size() >= max_depth) {
+            if (depth >= max_depth) {
                 return Error{"der_nesting_too_deep",
                              "TLV nesting exceeds depth " + std::to_string(max_depth)};
             }
-            stack.push_back(tlv->content);
+            stack[depth++] = tlv->content;
         }
     }
     return Status::success();
@@ -121,17 +131,26 @@ Expected<Tlv> Reader::expect_context(uint8_t n) {
 Expected<int64_t> decode_integer(const Tlv& tlv) {
     if (tlv.content.empty()) return Error{"der_bad_integer", "empty INTEGER"};
     if (tlv.content.size() > 8) return Error{"der_integer_too_large", "INTEGER exceeds 64 bits"};
-    int64_t v = (tlv.content[0] & 0x80) ? -1 : 0;
+    // Accumulate in unsigned space: shifting a negative signed value is
+    // UB, and an 8-octet INTEGER with the top bit set (INT64_MIN) must
+    // decode without tripping UBSan.
+    uint64_t v = (tlv.content[0] & 0x80) ? ~uint64_t{0} : 0;
     for (uint8_t b : tlv.content) v = (v << 8) | b;
-    return v;
+    return static_cast<int64_t>(v);
 }
 
-Expected<Bytes> decode_integer_bytes(const Tlv& tlv) {
+Expected<BytesView> decode_integer_magnitude(const Tlv& tlv) {
     if (tlv.content.empty()) return Error{"der_bad_integer", "empty INTEGER"};
     BytesView c = tlv.content;
     // Strip a single leading zero used to keep the value positive.
     if (c.size() > 1 && c[0] == 0x00) c = c.subspan(1);
-    return Bytes(c.begin(), c.end());
+    return c;
+}
+
+Expected<Bytes> decode_integer_bytes(const Tlv& tlv) {
+    auto view = decode_integer_magnitude(tlv);
+    if (!view.ok()) return view.error();
+    return Bytes(view->begin(), view->end());
 }
 
 Expected<bool> decode_boolean(const Tlv& tlv) {
@@ -142,13 +161,19 @@ Expected<bool> decode_boolean(const Tlv& tlv) {
     return tlv.content[0] == 0xFF;
 }
 
-Expected<Bytes> decode_bit_string(const Tlv& tlv) {
+Expected<BytesView> decode_bit_string_view(const Tlv& tlv) {
     if (tlv.content.empty()) return Error{"der_bad_bit_string", "missing unused-bits octet"};
     if (tlv.content[0] != 0) {
         return Error{"der_bit_string_unused_bits",
                      "certificates require 0 unused bits in BIT STRING"};
     }
-    return Bytes(tlv.content.begin() + 1, tlv.content.end());
+    return tlv.content.subspan(1);
+}
+
+Expected<Bytes> decode_bit_string(const Tlv& tlv) {
+    auto view = decode_bit_string_view(tlv);
+    if (!view.ok()) return view.error();
+    return Bytes(view->begin(), view->end());
 }
 
 Bytes encode_length(size_t len) {
@@ -237,7 +262,9 @@ void Writer::add_string(Tag t, BytesView value_bytes) {
 }
 
 void Writer::add_string(Tag t, std::string_view value_bytes) {
-    add_tlv(identifier(t), to_bytes(value_bytes));
+    // No intermediate owned copy: the bytes go straight into the buffer.
+    add_tlv(identifier(t),
+            BytesView{reinterpret_cast<const uint8_t*>(value_bytes.data()), value_bytes.size()});
 }
 
 void Writer::add_constructed(uint8_t id, const std::function<void(Writer&)>& body) {

@@ -82,10 +82,17 @@ Expected<int64_t> decode_integer(const Tlv& tlv);
 // Arbitrary-precision INTEGER as big-endian magnitude bytes (serials).
 Expected<Bytes> decode_integer_bytes(const Tlv& tlv);
 
+// Zero-copy variant: the same validation and leading-zero stripping as
+// decode_integer_bytes, but the result aliases the input buffer.
+Expected<BytesView> decode_integer_magnitude(const Tlv& tlv);
+
 Expected<bool> decode_boolean(const Tlv& tlv);
 
 // BIT STRING content without the unused-bits octet (must be 0 in certs).
 Expected<Bytes> decode_bit_string(const Tlv& tlv);
+
+// Zero-copy variant of decode_bit_string; aliases the input buffer.
+Expected<BytesView> decode_bit_string_view(const Tlv& tlv);
 
 // ---- Writer ------------------------------------------------------------
 

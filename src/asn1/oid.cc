@@ -29,11 +29,16 @@ Expected<Oid> Oid::from_string(std::string_view dotted) {
     return Oid{std::move(arcs)};
 }
 
-Expected<Oid> Oid::from_der(BytesView content) {
+namespace {
+
+// Shared base-128 scan behind from_der and validate_oid_der: one
+// acceptance set, one Error vocabulary. `out` is null in validate-only
+// mode, which is what keeps the zero-copy index allocation-free.
+Status scan_oid_der(BytesView content, std::vector<uint32_t>* out) {
     if (content.empty()) return Error{"oid_empty", "empty OID content"};
-    std::vector<uint32_t> arcs;
     uint64_t cur = 0;
     bool in_arc = false;
+    bool first_done = false;
     for (size_t i = 0; i < content.size(); ++i) {
         uint8_t b = content[i];
         if (!in_arc && b == 0x80) {
@@ -43,21 +48,34 @@ Expected<Oid> Oid::from_der(BytesView content) {
         if (cur > 0xFFFFFFFFULL) return Error{"oid_arc_overflow", "arc exceeds 32 bits"};
         in_arc = true;
         if ((b & 0x80) == 0) {
-            if (arcs.empty()) {
+            if (!first_done) {
                 // First subidentifier packs the first two arcs.
-                uint32_t first = cur < 40 ? 0 : (cur < 80 ? 1 : 2);
-                arcs.push_back(first);
-                arcs.push_back(static_cast<uint32_t>(cur - first * 40));
-            } else {
-                arcs.push_back(static_cast<uint32_t>(cur));
+                first_done = true;
+                if (out != nullptr) {
+                    uint32_t first = cur < 40 ? 0 : (cur < 80 ? 1 : 2);
+                    out->push_back(first);
+                    out->push_back(static_cast<uint32_t>(cur - first * 40));
+                }
+            } else if (out != nullptr) {
+                out->push_back(static_cast<uint32_t>(cur));
             }
             cur = 0;
             in_arc = false;
         }
     }
     if (in_arc) return Error{"oid_truncated", "OID ends mid-arc"};
+    return Status::success();
+}
+
+}  // namespace
+
+Expected<Oid> Oid::from_der(BytesView content) {
+    std::vector<uint32_t> arcs;
+    if (Status s = scan_oid_der(content, &arcs); !s.ok()) return s.error();
     return Oid{std::move(arcs)};
 }
+
+Status validate_oid_der(BytesView content) { return scan_oid_der(content, nullptr); }
 
 Bytes Oid::to_der() const {
     Bytes out;
@@ -75,6 +93,36 @@ Bytes Oid::to_der() const {
     push_base128(static_cast<uint64_t>(arcs_[0]) * 40 + arcs_[1]);
     for (size_t i = 2; i < arcs_.size(); ++i) push_base128(arcs_[i]);
     return out;
+}
+
+bool Oid::matches_der(BytesView content) const noexcept {
+    if (arcs_.size() < 2 || content.empty()) return false;
+    // Decode arc-by-arc and compare against arcs_ incrementally; no
+    // allocation either way (this runs per extension probe on the lint
+    // hot path).
+    size_t next = 0;  // index into arcs_ of the next expected arc
+    uint64_t cur = 0;
+    bool in_arc = false;
+    for (uint8_t b : content) {
+        if (!in_arc && b == 0x80) return false;
+        cur = (cur << 7) | (b & 0x7F);
+        if (cur > 0xFFFFFFFFULL) return false;
+        in_arc = true;
+        if ((b & 0x80) == 0) {
+            uint64_t expected;
+            if (next == 0) {
+                expected = static_cast<uint64_t>(arcs_[0]) * 40 + arcs_[1];
+                next = 2;
+            } else {
+                if (next >= arcs_.size()) return false;
+                expected = arcs_[next++];
+            }
+            if (cur != expected) return false;
+            cur = 0;
+            in_arc = false;
+        }
+    }
+    return !in_arc && next == arcs_.size();
 }
 
 std::string Oid::to_string() const {

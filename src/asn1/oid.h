@@ -32,6 +32,11 @@ public:
     // Encode to DER content octets.
     Bytes to_der() const;
 
+    // True when `content` (DER content octets) encodes exactly this
+    // OID. Allocation-free — the zero-copy extension probe compares
+    // raw OID spans against well-known OIDs without decoding them.
+    bool matches_der(BytesView content) const noexcept;
+
     std::string to_string() const;
 
     bool operator==(const Oid& other) const = default;
@@ -40,6 +45,12 @@ public:
 private:
     std::vector<uint32_t> arcs_;
 };
+
+// Structural validation of DER OID content octets without building the
+// arc vector — exactly the acceptance set (and Errors) of
+// Oid::from_der, minus the allocation. The zero-copy certificate index
+// validates every OID it records a span for through this.
+Status validate_oid_der(BytesView content);
 
 // ---- Well-known OIDs -------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "core/fs.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -57,6 +58,36 @@ public:
 
 private:
     int fd_;
+};
+
+// Heap-owned buffer: the default map_readonly result and the empty-file
+// case of the real one.
+class OwnedBuffer final : public MappedBuffer {
+public:
+    explicit OwnedBuffer(Bytes data) : data_(std::move(data)) {}
+
+    BytesView view() const noexcept override { return data_; }
+
+private:
+    Bytes data_;
+};
+
+// A real PROT_READ/MAP_PRIVATE mapping.
+class MmapBuffer final : public MappedBuffer {
+public:
+    MmapBuffer(void* addr, size_t len) : addr_(addr), len_(len) {}
+    ~MmapBuffer() override { ::munmap(addr_, len_); }
+
+    MmapBuffer(const MmapBuffer&) = delete;
+    MmapBuffer& operator=(const MmapBuffer&) = delete;
+
+    BytesView view() const noexcept override {
+        return {static_cast<const uint8_t*>(addr_), len_};
+    }
+
+private:
+    void* addr_;
+    size_t len_;
 };
 
 class RealFs final : public Fs {
@@ -144,6 +175,29 @@ public:
         if (rc != 0) return errno_error("fs_sync_failed", path);
         return Status::success();
     }
+
+    Expected<MappedPtr> map_readonly(const std::string& path) override {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            return errno == ENOENT ? errno_error("fs_not_found", path)
+                                   : errno_error("fs_read_failed", path);
+        }
+        struct stat st{};
+        if (::fstat(fd, &st) != 0) {
+            Error e = errno_error("fs_read_failed", path);
+            ::close(fd);
+            return e;
+        }
+        size_t len = static_cast<size_t>(st.st_size);
+        if (len == 0) {
+            ::close(fd);
+            return MappedPtr(new OwnedBuffer({}));
+        }
+        void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);  // the mapping keeps its own reference
+        if (addr == MAP_FAILED) return errno_error("fs_read_failed", path);
+        return MappedPtr(new MmapBuffer(addr, len));
+    }
 };
 
 std::string parent_dir(const std::string& path) {
@@ -152,6 +206,12 @@ std::string parent_dir(const std::string& path) {
 }
 
 }  // namespace
+
+Expected<MappedPtr> Fs::map_readonly(const std::string& path) {
+    auto data = read_file(path);
+    if (!data.ok()) return data.error();
+    return MappedPtr(new OwnedBuffer(std::move(data).value()));
+}
 
 Fs& real_fs() {
     static RealFs fs;

@@ -53,6 +53,21 @@ public:
 
 using FilePtr = std::unique_ptr<File>;
 
+// A read-only byte buffer backing a whole file — an mmap'd region on
+// the real filesystem, an owned copy elsewhere. The view stays valid
+// for the buffer's lifetime regardless of later writes to the path
+// (private mapping / snapshot semantics); holders of sub-views (e.g. a
+// zero-copy pipeline run over a corpus segment) must keep the
+// MappedBuffer alive for as long as the views are dereferenced.
+class MappedBuffer {
+public:
+    virtual ~MappedBuffer() = default;
+
+    virtual BytesView view() const noexcept = 0;
+};
+
+using MappedPtr = std::unique_ptr<MappedBuffer>;
+
 // Minimal filesystem surface the durability layer needs. Paths are
 // plain strings ('/'-separated); implementations may interpret them
 // relative to a root.
@@ -85,6 +100,13 @@ public:
 
     // fsync the directory so renames/creates within it are durable.
     virtual Status sync_dir(const std::string& path) = 0;
+
+    // Map a whole file read-only. The default implementation is a
+    // read_file copy (correct everywhere, including MemFs); the real
+    // filesystem overrides it with mmap so a multi-GB corpus segment
+    // costs page-cache references instead of heap. Errors mirror
+    // read_file (fs_not_found, fs_read_failed).
+    virtual Expected<MappedPtr> map_readonly(const std::string& path);
 };
 
 // The process-wide real filesystem (POSIX fds so sync() is a real

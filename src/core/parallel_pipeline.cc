@@ -7,8 +7,10 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/arena.h"
 #include "core/executor.h"
 #include "core/log_ingest.h"
+#include "x509/lazy.h"
 #include "x509/parser.h"
 
 namespace unicert::core {
@@ -18,7 +20,10 @@ namespace {
 struct WorkItem {
     size_t index = 0;                         // stream entry index (dedup identity)
     const ctlog::CorpusCert* meta = nullptr;  // corpus-backed entry
-    Bytes der;                                // wire entry when meta == nullptr
+    Bytes der;                                // owned wire entry when meta == nullptr
+    BytesView view;                           // borrowed wire entry (mmap-backed source)
+
+    BytesView bytes() const noexcept { return view.empty() ? BytesView(der) : view; }
 };
 
 // Outcome of one delivery, in batch-local delivery order.
@@ -54,22 +59,42 @@ ItemResult process_item(WorkItem& item, BatchResult& slot, const lint::Registry&
                         const lint::RunOptions& lint_options) {
     ItemResult res;
     res.index = item.index;
-    const ctlog::CorpusCert* meta = item.meta;
-    if (meta == nullptr) {
-        auto parsed = x509::parse_certificate(item.der);
-        if (!parsed.ok()) {
-            res.quarantined = {item.index, QuarantineStage::kParse, parsed.error()};
+    if (item.meta == nullptr) {
+        // Wire entry: zero-copy index + lazy lint, materializing the
+        // owning Certificate only on success — the batch worker mirror
+        // of the serial ladder's wire path. One arena per worker
+        // thread; a scope per item hands the memory back immediately.
+        static thread_local core::Arena arena;
+        ArenaScope scope(arena);
+        auto lazy = x509::LazyCertificate::index(item.bytes(), &arena);
+        if (!lazy.ok()) {
+            res.quarantined = {item.index, QuarantineStage::kParse, lazy.error()};
             return res;
         }
-        ctlog::CorpusCert materialized;
-        materialized.cert = std::move(parsed.value());
-        slot.owned.push_back(std::move(materialized));
-        meta = &slot.owned.back();
+        try {
+            lint::CertReport report = lint::run_lints(*lazy, registry, lint_options);
+            ctlog::CorpusCert materialized;
+            materialized.cert = lazy->materialize();
+            slot.owned.push_back(std::move(materialized));
+            AnalyzedCert a;
+            a.cert = &slot.owned.back();
+            a.report = std::move(report);
+            a.noncompliant = a.report.noncompliant();
+            res.analyzed = std::move(a);
+            res.success = true;
+        } catch (const std::exception& ex) {
+            res.quarantined = {item.index, QuarantineStage::kLint,
+                               Error{"lint_exception", ex.what()}};
+        } catch (...) {
+            res.quarantined = {item.index, QuarantineStage::kLint,
+                               Error{"lint_exception", "non-standard exception from lint rule"}};
+        }
+        return res;
     }
     try {
         AnalyzedCert a;
-        a.cert = meta;
-        a.report = lint::run_lints(meta->cert, registry, lint_options);
+        a.cert = item.meta;
+        a.report = lint::run_lints(item.meta->cert, registry, lint_options);
         a.noncompliant = a.report.noncompliant();
         res.analyzed = std::move(a);
         res.success = true;
@@ -208,7 +233,7 @@ void ParallelPipeline::run_batched(CertSource& source, const PipelineOptions& op
             std::lock_guard<std::mutex> lk(state.mu);
             state.outcome[entry.index] = EntryOutcome::kInFlight;
         }
-        current.push_back({entry.index, entry.meta, std::move(entry.der)});
+        current.push_back({entry.index, entry.meta, std::move(entry.der), entry.view});
         if (current.size() >= batch_size) flush();
     }
     flush();

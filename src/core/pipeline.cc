@@ -5,9 +5,12 @@
 #include <exception>
 #include <set>
 
+#include "asn1/der.h"
 #include "asn1/time.h"
+#include "core/arena.h"
 #include "unicode/normalize.h"
 #include "unicode/properties.h"
+#include "x509/lazy.h"
 #include "x509/parser.h"
 
 namespace unicert::core {
@@ -154,6 +157,31 @@ const char* quarantine_stage_name(QuarantineStage s) noexcept {
     return "?";
 }
 
+DerFileCertSource::DerFileCertSource(BytesView data) : data_(data) {
+    // Prescan for size_hint: count well-delimited TLVs. The scan stops
+    // at the first bad boundary — next() will surface that as a stream
+    // error when it gets there, so the hint only ever undercounts on
+    // inputs that abort anyway.
+    size_t pos = 0;
+    while (pos < data_.size()) {
+        auto tlv = asn1::read_tlv(data_.subspan(pos));
+        if (!tlv.ok()) break;
+        pos += tlv->total_len;
+        ++count_;
+    }
+}
+
+Expected<std::optional<CertEntry>> DerFileCertSource::next() {
+    if (pos_ >= data_.size()) return std::optional<CertEntry>{};
+    auto tlv = asn1::read_tlv(data_.subspan(pos_));
+    if (!tlv.ok()) return tlv.error().shift_offset(pos_);
+    CertEntry entry;
+    entry.index = index_++;
+    entry.view = data_.subspan(pos_, tlv->total_len);
+    pos_ += tlv->total_len;
+    return std::optional<CertEntry>(std::move(entry));
+}
+
 void CompliancePipeline::ingest(const ctlog::CorpusCert& cert, const lint::Registry& registry,
                                 const lint::RunOptions& options) {
     AnalyzedCert a;
@@ -185,10 +213,10 @@ void run_stream(CertSource& source, const PipelineOptions& options,
         state.quarantine.records.push_back({index, stage, std::move(error)});
         ++state.stats.quarantined;
     };
-    auto ingest = [&](const ctlog::CorpusCert& cert) {
+    auto record = [&](const ctlog::CorpusCert& cert, lint::CertReport report) {
         AnalyzedCert a;
         a.cert = &cert;
-        a.report = lint::run_lints(cert.cert, registry, options.lint_options);
+        a.report = std::move(report);
         a.noncompliant = a.report.noncompliant();
         if (a.noncompliant) ++state.nc_count;
         state.analyzed.push_back(std::move(a));
@@ -198,6 +226,9 @@ void run_stream(CertSource& source, const PipelineOptions& options,
             options.progress(state.stats.processed, size_hint);
         }
     };
+    // Per-run arena: one scope per wire certificate, so after the first
+    // few entries the zero-copy index allocates nothing.
+    core::Arena arena;
 
     for (;;) {
         RetryOutcome outcome;
@@ -225,28 +256,46 @@ void run_stream(CertSource& source, const PipelineOptions& options,
             continue;
         }
 
-        const ctlog::CorpusCert* meta = entry.meta;
-        if (meta == nullptr) {
-            auto parsed = x509::parse_certificate(entry.der);
-            if (!parsed.ok()) {
-                quarantine(entry.index, QuarantineStage::kParse, parsed.error());
+        if (entry.meta == nullptr) {
+            // Wire entry: zero-copy index + lazy lint over the raw
+            // bytes; the owning Certificate is only materialized after
+            // the lint pass succeeds, from the same index (identical
+            // bytes by construction — the parity suite pins this).
+            ArenaScope scope(arena);
+            auto lazy = x509::LazyCertificate::index(entry.bytes(), &arena);
+            if (!lazy.ok()) {
+                quarantine(entry.index, QuarantineStage::kParse, lazy.error());
                 continue;
             }
-            ctlog::CorpusCert materialized;
-            materialized.cert = std::move(parsed.value());
-            state.owned.push_back(std::move(materialized));
-            meta = &state.owned.back();
-        }
-
-        try {
-            ingest(*meta);
-        } catch (const std::exception& ex) {
-            quarantine(entry.index, QuarantineStage::kLint, Error{"lint_exception", ex.what()});
-            continue;
-        } catch (...) {
-            quarantine(entry.index, QuarantineStage::kLint,
-                       Error{"lint_exception", "non-standard exception from lint rule"});
-            continue;
+            try {
+                lint::CertReport report =
+                    lint::run_lints(*lazy, registry, options.lint_options);
+                ctlog::CorpusCert materialized;
+                materialized.cert = lazy->materialize();
+                state.owned.push_back(std::move(materialized));
+                record(state.owned.back(), std::move(report));
+            } catch (const std::exception& ex) {
+                quarantine(entry.index, QuarantineStage::kLint,
+                           Error{"lint_exception", ex.what()});
+                continue;
+            } catch (...) {
+                quarantine(entry.index, QuarantineStage::kLint,
+                           Error{"lint_exception", "non-standard exception from lint rule"});
+                continue;
+            }
+        } else {
+            try {
+                record(*entry.meta,
+                       lint::run_lints(entry.meta->cert, registry, options.lint_options));
+            } catch (const std::exception& ex) {
+                quarantine(entry.index, QuarantineStage::kLint,
+                           Error{"lint_exception", ex.what()});
+                continue;
+            } catch (...) {
+                quarantine(entry.index, QuarantineStage::kLint,
+                           Error{"lint_exception", "non-standard exception from lint rule"});
+                continue;
+            }
         }
         processed_indices.insert(entry.index);
     }

@@ -133,7 +133,13 @@ struct VariantGroup {
 struct CertEntry {
     size_t index = 0;                         // stable identity for dedup
     const ctlog::CorpusCert* meta = nullptr;  // parsed corpus record, if available
-    Bytes der;                                // wire bytes, parsed when meta == nullptr
+    Bytes der;                                // owned wire bytes, parsed when meta == nullptr
+    // Borrowed wire bytes, e.g. a slice of an mmap'd corpus file. The
+    // backing buffer must outlive the pipeline run; sources that cannot
+    // guarantee that fill `der` instead.
+    BytesView view;
+
+    BytesView bytes() const noexcept { return view.empty() ? BytesView(der) : view; }
 };
 
 // Pull-based certificate stream. next() may fail transiently (the
@@ -166,6 +172,27 @@ public:
 private:
     const std::vector<ctlog::CorpusCert>* corpus_;
     size_t pos_ = 0;
+};
+
+// Wire-form source over one contiguous buffer of back-to-back DER
+// certificates (the layout of an mmap'd corpus segment; see
+// core::Fs::map_readonly). Entries borrow from the buffer — the stream
+// itself never copies a certificate — so the buffer must outlive the
+// pipeline run. A malformed TLV boundary is a permanent stream error
+// (the pipeline aborts with the offset into the file); garbage *inside*
+// a well-delimited certificate is quarantined per cert as usual.
+class DerFileCertSource final : public CertSource {
+public:
+    explicit DerFileCertSource(BytesView data);
+
+    size_t size_hint() const override { return count_; }
+    Expected<std::optional<CertEntry>> next() override;
+
+private:
+    BytesView data_;
+    size_t pos_ = 0;
+    size_t index_ = 0;
+    size_t count_ = 0;  // prescanned entry count
 };
 
 // ---- Quarantine & stats -------------------------------------------------------

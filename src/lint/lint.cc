@@ -159,4 +159,20 @@ CertReport run_lints(const x509::Certificate& cert, const Registry& registry,
     return report;
 }
 
+CertReport run_lints(const x509::LazyCertificate& cert, const Registry& registry,
+                     const RunOptions& options) {
+    CertReport report;
+    CertView view(cert);
+    for (const Rule& rule : registry.rules()) {
+        if (options.respect_effective_dates &&
+            cert.validity().not_before < rule.info.effective_date) {
+            continue;
+        }
+        if (auto detail = rule.check(view)) {
+            report.findings.push_back({&rule.info, std::move(*detail)});
+        }
+    }
+    return report;
+}
+
 }  // namespace unicert::lint

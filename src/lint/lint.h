@@ -155,4 +155,12 @@ struct RunOptions {
 CertReport run_lints(const x509::Certificate& cert, const Registry& registry = default_registry(),
                      const RunOptions& options = {});
 
+// Zero-copy variant: rules read through a lazily-materializing CertView
+// over the index, so only fields inside the union of the applicable
+// rules' footprints are ever decoded. Produces the identical CertReport
+// to running over cert.materialize() (the parity suite pins this).
+CertReport run_lints(const x509::LazyCertificate& cert,
+                     const Registry& registry = default_registry(),
+                     const RunOptions& options = {});
+
 }  // namespace unicert::lint

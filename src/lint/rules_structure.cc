@@ -38,7 +38,7 @@ void register_structure_rules(Registry& reg) {
         [](const CertView& cert) -> std::optional<std::string> {
             auto cns = cert.subject_common_names();
             if (cns.empty()) return std::nullopt;
-            x509::GeneralNames sans = cert.subject_alt_names();
+            const x509::GeneralNames& sans = cert.subject_alt_names();
             for (const AttributeValue* cn : cns) {
                 std::string value = cn->to_utf8_lossy();
                 if (!looks_like_hostname(value)) continue;

@@ -96,14 +96,19 @@ Bytes encode_name(const DistinguishedName& dn) {
     return w.take();
 }
 
-Expected<DistinguishedName> parse_name(BytesView der) {
+namespace {
+
+// The one Name walk behind parse_name and validate_name: identical
+// structure checks and Errors either way; `out` selects whether the
+// DistinguishedName is materialized (null = validate only, no
+// allocation).
+Status walk_name(BytesView der, DistinguishedName* out) {
     auto seq = asn1::read_tlv(der);
     if (!seq.ok()) return seq.error();
     if (!seq->is_universal(asn1::Tag::kSequence)) {
         return Error{"x509_name_not_sequence", "Name must be a SEQUENCE"};
     }
 
-    DistinguishedName dn;
     asn1::Reader rdns(seq->content);
     while (!rdns.done()) {
         auto set = rdns.expect(asn1::Tag::kSet);
@@ -119,8 +124,16 @@ Expected<DistinguishedName> parse_name(BytesView der) {
 
             auto oid_tlv = fields.expect(asn1::Tag::kOid);
             if (!oid_tlv.ok()) return oid_tlv.error();
-            auto oid = asn1::Oid::from_der(oid_tlv->content);
-            if (!oid.ok()) return oid.error();
+            // The OID is checked before the value tag in both modes so
+            // a doubly-malformed attribute reports the same error.
+            asn1::Oid oid;
+            if (out == nullptr) {
+                if (Status s = asn1::validate_oid_der(oid_tlv->content); !s.ok()) return s;
+            } else {
+                auto decoded = asn1::Oid::from_der(oid_tlv->content);
+                if (!decoded.ok()) return decoded.error();
+                oid = std::move(decoded).value();
+            }
 
             auto val = fields.next();
             if (!val.ok()) return val.error();
@@ -131,15 +144,27 @@ Expected<DistinguishedName> parse_name(BytesView der) {
                                  std::to_string(val->tag_number())};
             }
 
-            AttributeValue av;
-            av.type = std::move(oid).value();
-            av.string_type = *st;
-            av.value_bytes.assign(val->content.begin(), val->content.end());
-            rdn.attributes.push_back(std::move(av));
+            if (out != nullptr) {
+                AttributeValue av;
+                av.type = std::move(oid);
+                av.string_type = *st;
+                av.value_bytes.assign(val->content.begin(), val->content.end());
+                rdn.attributes.push_back(std::move(av));
+            }
         }
-        dn.rdns.push_back(std::move(rdn));
+        if (out != nullptr) out->rdns.push_back(std::move(rdn));
     }
+    return Status::success();
+}
+
+}  // namespace
+
+Expected<DistinguishedName> parse_name(BytesView der) {
+    DistinguishedName dn;
+    if (Status s = walk_name(der, &dn); !s.ok()) return s.error();
     return dn;
 }
+
+Status validate_name(BytesView der) { return walk_name(der, nullptr); }
 
 }  // namespace unicert::x509

@@ -82,4 +82,11 @@ Bytes encode_name(const DistinguishedName& dn);
 // Parse a Name from its DER (the SEQUENCE TLV must be at the front).
 Expected<DistinguishedName> parse_name(BytesView der);
 
+// Structural validation of a Name without materializing the
+// DistinguishedName: the exact acceptance set (and Errors) of
+// parse_name, allocation-free. The zero-copy certificate index records
+// a span for each Name after validating it through this, so a later
+// parse_name over the same span cannot fail.
+Status validate_name(BytesView der);
+
 }  // namespace unicert::x509

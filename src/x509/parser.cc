@@ -1,187 +1,19 @@
 #include "x509/parser.h"
 
-#include "asn1/der.h"
-#include "asn1/time.h"
+#include "x509/lazy.h"
 
 namespace unicert::x509 {
-namespace {
 
-Expected<asn1::Oid> parse_algorithm_identifier(const asn1::Tlv& tlv) {
-    asn1::Reader r(tlv.content);
-    auto oid_tlv = r.expect(asn1::Tag::kOid);
-    if (!oid_tlv.ok()) return oid_tlv.error();
-    return asn1::Oid::from_der(oid_tlv->content);
-}
-
-Expected<int64_t> parse_time(const asn1::Tlv& tlv) {
-    if (tlv.is_universal(asn1::Tag::kUtcTime)) return asn1::parse_utc_time(tlv.content);
-    if (tlv.is_universal(asn1::Tag::kGeneralizedTime)) {
-        return asn1::parse_generalized_time(tlv.content);
-    }
-    return Error{"x509_bad_time_tag", "validity time must be UTCTime or GeneralizedTime"};
-}
-
-}  // namespace
-
+// There is exactly one certificate decoder: LazyCertificate::index
+// performs the full structural walk and validation, and the owning
+// parse is index + materialize. The parity harness
+// (tests/parse_parity_test.cc) pins this against a retained copy of
+// the original owning parser across generated corpora, mutants and
+// handcrafted edge cases — byte-identical results and Errors.
 Expected<Certificate> parse_certificate(BytesView der) {
-    // Depth guard first: a nesting bomb must be rejected before any
-    // structure-directed walk starts.
-    if (Status depth = asn1::check_nesting(der); !depth.ok()) return depth.error();
-    auto outer = asn1::read_tlv(der);
-    if (!outer.ok()) return outer.error();
-    if (!outer->is_universal(asn1::Tag::kSequence)) {
-        return Error{"x509_not_sequence", "Certificate must be a SEQUENCE"};
-    }
-
-    Certificate cert;
-    cert.der.assign(der.begin(), der.begin() + outer->total_len);
-
-    asn1::Reader top(outer->content);
-
-    // ---- TBSCertificate ----
-    auto tbs = top.expect(asn1::Tag::kSequence);
-    if (!tbs.ok()) return tbs.error();
-    {
-        // Recover the raw TBS bytes (header + content) for signature checks.
-        size_t tbs_start = outer->header_len;
-        cert.tbs_der.assign(der.begin() + tbs_start, der.begin() + tbs_start + tbs->total_len);
-    }
-
-    asn1::Reader r(tbs->content);
-
-    // version [0] EXPLICIT (optional)
-    auto first = r.peek();
-    if (!first.ok()) return first.error();
-    if (first->is_context(0) && first->is_constructed()) {
-        auto vwrap = r.next();
-        asn1::Reader vr(vwrap->content);
-        auto v = vr.expect(asn1::Tag::kInteger);
-        if (!v.ok()) return v.error();
-        auto version = asn1::decode_integer(v.value());
-        if (!version.ok()) return version.error();
-        cert.version = static_cast<int>(version.value());
-    } else {
-        cert.version = 0;
-    }
-
-    // serialNumber
-    auto serial = r.expect(asn1::Tag::kInteger);
-    if (!serial.ok()) return serial.error();
-    auto serial_bytes = asn1::decode_integer_bytes(serial.value());
-    if (!serial_bytes.ok()) return serial_bytes.error();
-    cert.serial = std::move(serial_bytes).value();
-
-    // signature AlgorithmIdentifier
-    auto alg = r.expect(asn1::Tag::kSequence);
-    if (!alg.ok()) return alg.error();
-    auto alg_oid = parse_algorithm_identifier(alg.value());
-    if (!alg_oid.ok()) return alg_oid.error();
-    cert.signature_algorithm = std::move(alg_oid).value();
-
-    // issuer Name — parse from its raw TLV span.
-    auto issuer_tlv = r.peek();
-    if (!issuer_tlv.ok()) return issuer_tlv.error();
-    {
-        BytesView span = tbs->content.subspan(r.position(), issuer_tlv->total_len);
-        auto issuer = parse_name(span);
-        if (!issuer.ok()) return issuer.error();
-        cert.issuer = std::move(issuer).value();
-        (void)r.next();
-    }
-
-    // validity
-    auto validity = r.expect(asn1::Tag::kSequence);
-    if (!validity.ok()) return validity.error();
-    {
-        asn1::Reader vr(validity->content);
-        auto nb_tlv = vr.next();
-        if (!nb_tlv.ok()) return nb_tlv.error();
-        auto nb = parse_time(nb_tlv.value());
-        if (!nb.ok()) return nb.error();
-        auto na_tlv = vr.next();
-        if (!na_tlv.ok()) return na_tlv.error();
-        auto na = parse_time(na_tlv.value());
-        if (!na.ok()) return na.error();
-        cert.validity = {nb.value(), na.value()};
-    }
-
-    // subject Name
-    auto subject_tlv = r.peek();
-    if (!subject_tlv.ok()) return subject_tlv.error();
-    {
-        BytesView span = tbs->content.subspan(r.position(), subject_tlv->total_len);
-        auto subject = parse_name(span);
-        if (!subject.ok()) return subject.error();
-        cert.subject = std::move(subject).value();
-        (void)r.next();
-    }
-
-    // SubjectPublicKeyInfo
-    auto spki = r.expect(asn1::Tag::kSequence);
-    if (!spki.ok()) return spki.error();
-    {
-        asn1::Reader sr(spki->content);
-        auto spki_alg = sr.expect(asn1::Tag::kSequence);
-        if (!spki_alg.ok()) return spki_alg.error();
-        auto bit_str = sr.expect(asn1::Tag::kBitString);
-        if (!bit_str.ok()) return bit_str.error();
-        auto key = asn1::decode_bit_string(bit_str.value());
-        if (!key.ok()) return key.error();
-        cert.subject_public_key = std::move(key).value();
-    }
-
-    // Optional fields: issuerUniqueID [1], subjectUniqueID [2], extensions [3]
-    while (!r.done()) {
-        auto tlv = r.next();
-        if (!tlv.ok()) return tlv.error();
-        if (tlv->is_context(3) && tlv->is_constructed()) {
-            asn1::Reader wrap(tlv->content);
-            auto exts_seq = wrap.expect(asn1::Tag::kSequence);
-            if (!exts_seq.ok()) return exts_seq.error();
-            asn1::Reader er(exts_seq->content);
-            while (!er.done()) {
-                auto ext_tlv = er.expect(asn1::Tag::kSequence);
-                if (!ext_tlv.ok()) return ext_tlv.error();
-                asn1::Reader ef(ext_tlv->content);
-                auto oid_tlv = ef.expect(asn1::Tag::kOid);
-                if (!oid_tlv.ok()) return oid_tlv.error();
-                auto oid = asn1::Oid::from_der(oid_tlv->content);
-                if (!oid.ok()) return oid.error();
-
-                Extension ext;
-                ext.oid = std::move(oid).value();
-
-                auto next = ef.next();
-                if (!next.ok()) return next.error();
-                if (next->is_universal(asn1::Tag::kBoolean)) {
-                    auto crit = asn1::decode_boolean(next.value());
-                    if (!crit.ok()) return crit.error();
-                    ext.critical = crit.value();
-                    next = ef.next();
-                    if (!next.ok()) return next.error();
-                }
-                if (!next->is_universal(asn1::Tag::kOctetString)) {
-                    return Error{"x509_ext_not_octet_string",
-                                 "extnValue must be an OCTET STRING"};
-                }
-                ext.value.assign(next->content.begin(), next->content.end());
-                cert.extensions.push_back(std::move(ext));
-            }
-        }
-    }
-
-    // ---- signatureAlgorithm (outer) ----
-    auto outer_alg = top.expect(asn1::Tag::kSequence);
-    if (!outer_alg.ok()) return outer_alg.error();
-
-    // ---- signatureValue ----
-    auto sig = top.expect(asn1::Tag::kBitString);
-    if (!sig.ok()) return sig.error();
-    auto sig_bytes = asn1::decode_bit_string(sig.value());
-    if (!sig_bytes.ok()) return sig_bytes.error();
-    cert.signature = std::move(sig_bytes).value();
-
-    return cert;
+    auto lazy = LazyCertificate::index(der);
+    if (!lazy.ok()) return lazy.error();
+    return lazy->materialize();
 }
 
 }  // namespace unicert::x509

@@ -1,0 +1,196 @@
+// Lazy-decode footprint guarantees: when rules read through a
+// lazy-backed CertView, nothing outside the union of the applicable
+// rules' declared RuleFootprints is ever materialized, and each rule in
+// isolation decodes only within its own declared footprint. This is the
+// contract that makes the zero-copy lint hot path cheap — the decode
+// set is bounded by what the active rules declare, not by what the
+// certificate contains.
+#include <gtest/gtest.h>
+
+#include "asn1/time.h"
+#include "core/arena.h"
+#include "ctlog/corpus.h"
+#include "lint/lint.h"
+#include "x509/builder.h"
+#include "x509/lazy.h"
+
+namespace {
+
+using namespace unicert;
+namespace oids = asn1::oids;
+
+std::vector<ctlog::CorpusCert> small_corpus() {
+    ctlog::CorpusOptions options;
+    options.seed = 42;
+    options.scale = 300000.0;
+    options.sign_certificates = true;
+    return ctlog::CorpusGenerator(options).generate();
+}
+
+constexpr x509::CertField kAllFields[] = {
+    x509::CertField::kVersion,        x509::CertField::kSerial,
+    x509::CertField::kSignatureAlgorithm, x509::CertField::kIssuer,
+    x509::CertField::kValidity,       x509::CertField::kSubject,
+    x509::CertField::kSubjectPublicKey, x509::CertField::kExtensions,
+    x509::CertField::kSignature,      x509::CertField::kWholeCert,
+};
+
+// Every rule, run in isolation over a fresh lazy view, must stay inside
+// its own declared footprint: each materialized field bit and each
+// probed extension OID must be one the footprint allows.
+TEST(LazyFootprint, EachRuleDecodesOnlyItsDeclaredFootprint) {
+    const lint::Registry& registry = lint::default_registry();
+    std::vector<ctlog::CorpusCert> corpus = small_corpus();
+    ASSERT_GT(corpus.size(), 50u);
+
+    core::Arena arena;
+    for (const ctlog::CorpusCert& c : corpus) {
+        core::ArenaScope scope(arena);
+        auto lazy = x509::LazyCertificate::index(c.cert.der, &arena);
+        ASSERT_TRUE(lazy.ok());
+        for (const lint::Rule& rule : registry.rules()) {
+            lint::CertView view(*lazy);
+            if (view.validity().not_before < rule.info.effective_date) continue;
+            (void)rule.check(view);
+            for (x509::CertField f : kAllFields) {
+                if ((view.decoded_fields() & x509::field_bit(f)) == 0) continue;
+                EXPECT_TRUE(rule.info.footprint.allows_field(f))
+                    << rule.info.name << " materialized undeclared field "
+                    << x509::cert_field_name(f);
+            }
+            for (const asn1::Oid& oid : view.decoded_extensions()) {
+                EXPECT_TRUE(rule.info.footprint.allows_extension(oid))
+                    << rule.info.name << " probed undeclared extension " << oid.to_string();
+            }
+        }
+    }
+}
+
+// Running a whole registry through one shared view decodes at most the
+// union of the applicable rules' footprints.
+TEST(LazyFootprint, SharedViewStaysInsideFootprintUnion) {
+    const lint::Registry& registry = lint::default_registry();
+    std::vector<ctlog::CorpusCert> corpus = small_corpus();
+
+    for (const ctlog::CorpusCert& c : corpus) {
+        auto lazy = x509::LazyCertificate::index(c.cert.der);
+        ASSERT_TRUE(lazy.ok());
+        lint::CertView view(*lazy);
+        std::vector<const lint::RuleFootprint*> applicable;
+        for (const lint::Rule& rule : registry.rules()) {
+            if (view.validity().not_before < rule.info.effective_date) continue;
+            (void)rule.check(view);
+            applicable.push_back(&rule.info.footprint);
+        }
+        for (x509::CertField f : kAllFields) {
+            if ((view.decoded_fields() & x509::field_bit(f)) == 0) continue;
+            bool allowed = false;
+            for (const lint::RuleFootprint* fp : applicable) {
+                if (fp->allows_field(f)) allowed = true;
+            }
+            EXPECT_TRUE(allowed) << "field " << x509::cert_field_name(f)
+                                 << " decoded outside the active footprint union";
+        }
+        for (const asn1::Oid& oid : view.decoded_extensions()) {
+            bool allowed = false;
+            for (const lint::RuleFootprint* fp : applicable) {
+                if (fp->allows_extension(oid)) allowed = true;
+            }
+            EXPECT_TRUE(allowed) << "extension " << oid.to_string()
+                                 << " probed outside the active footprint union";
+        }
+    }
+}
+
+// A narrowed registry must shrink the decode set: with only a
+// serial-reading rule active, no extension is ever probed and no field
+// beyond serial (plus the eager version/validity, which never log) is
+// materialized.
+TEST(LazyFootprint, NarrowRegistryDecodesNothingElse) {
+    auto check = [](const lint::CertView& view) -> std::optional<std::string> {
+        if (view.serial().empty()) return "empty serial";
+        return std::nullopt;
+    };
+    lint::Registry narrow;
+    lint::Rule rule;
+    rule.info.name = "e_serial_only_probe";
+    rule.info.description = "test-only: reads serial, nothing else";
+    rule.info.footprint = lint::footprint({x509::CertField::kSerial});
+    rule.check = check;
+    narrow.add(std::move(rule));
+
+    std::vector<ctlog::CorpusCert> corpus = small_corpus();
+    size_t with_extensions = 0;
+    for (const ctlog::CorpusCert& c : corpus) {
+        auto lazy = x509::LazyCertificate::index(c.cert.der);
+        ASSERT_TRUE(lazy.ok());
+        if (!lazy->raw_extensions().empty()) ++with_extensions;
+        lint::CertReport report = lint::run_lints(*lazy, narrow);
+        EXPECT_TRUE(report.findings.empty());
+        lint::CertView view(*lazy);
+        (void)check(view);
+        EXPECT_EQ(view.decoded_fields(), x509::field_bit(x509::CertField::kSerial));
+        EXPECT_TRUE(view.decoded_extensions().empty());
+    }
+    // The corpus must actually contain extension-bearing certs for the
+    // "never probed" claim to mean anything.
+    EXPECT_GT(with_extensions, 0u);
+}
+
+// Direct decode-log bookkeeping checks on a known certificate.
+TEST(LazyFootprint, DecodeLogRecordsExactlyWhatWasTouched) {
+    x509::Certificate cert;
+    cert.version = 2;
+    cert.serial = {0x01, 0x02};
+    cert.issuer = x509::make_dn({x509::make_attribute(oids::common_name(), "FP CA")});
+    cert.subject = x509::make_dn({x509::make_attribute(oids::common_name(), "fp.example")});
+    cert.validity = {asn1::make_time(2024, 1, 1), asn1::make_time(2024, 4, 1)};
+    cert.subject_public_key = crypto::SimSigner::from_name("fp-test").public_key();
+    cert.extensions.push_back(x509::make_san({x509::dns_name("fp.example")}));
+    crypto::SimSigner ca = crypto::SimSigner::from_name("FP CA");
+    x509::sign_certificate(cert, ca);
+
+    auto lazy = x509::LazyCertificate::index(cert.der);
+    ASSERT_TRUE(lazy.ok());
+    lint::CertView view(*lazy);
+    ASSERT_TRUE(view.lazy_backed());
+
+    // Eager fields never show in the decode log.
+    (void)view.version();
+    (void)view.validity();
+    EXPECT_EQ(view.decoded_fields(), 0u);
+    EXPECT_TRUE(view.decoded_extensions().empty());
+
+    (void)view.serial();
+    EXPECT_EQ(view.decoded_fields(), x509::field_bit(x509::CertField::kSerial));
+
+    // Repeated reads are memoized: same bits, and subject_alt_names
+    // hands back the same object every call.
+    (void)view.serial();
+    EXPECT_EQ(view.decoded_fields(), x509::field_bit(x509::CertField::kSerial));
+    const x509::GeneralNames& san1 = view.subject_alt_names();
+    const x509::GeneralNames& san2 = view.subject_alt_names();
+    EXPECT_EQ(&san1, &san2);
+    ASSERT_EQ(san1.size(), 1u);
+
+    // A probe records the probed OID — on a miss too (the raw OID spans
+    // were compared), which keeps the log an overapproximation of reads
+    // rather than an underapproximation.
+    EXPECT_EQ(view.find_extension(oids::basic_constraints()), nullptr);
+    bool probed_miss = false;
+    for (const asn1::Oid& oid : view.decoded_extensions()) {
+        if (oid == oids::basic_constraints()) probed_miss = true;
+    }
+    EXPECT_TRUE(probed_miss);
+
+    // The owned backend decodes nothing, ever.
+    lint::CertView owned_view(cert);
+    (void)owned_view.serial();
+    (void)owned_view.subject_alt_names();
+    (void)owned_view.find_extension(oids::subject_alt_name());
+    EXPECT_FALSE(owned_view.lazy_backed());
+    EXPECT_EQ(owned_view.decoded_fields(), 0u);
+    EXPECT_TRUE(owned_view.decoded_extensions().empty());
+}
+
+}  // namespace

@@ -15,6 +15,9 @@
 //                                results in input order)
 //     --store DIR                lint the entries of a durable CT-log store
 //                                (see unicert_store) instead of PEM input
+//     --der-file FILE            lint a file of back-to-back DER certificates,
+//                                mmap'd and linted zero-copy (no per-cert
+//                                buffer is ever allocated)
 //
 // Exit code: 0 = compliant, 1 = warnings only, 2 = errors, 64 = usage,
 // 66 = input file or store unreadable / partially read.
@@ -70,7 +73,9 @@ void print_usage() {
         "                            hardware threads; output is byte-identical\n"
         "                            for every N)\n"
         "  --store DIR               lint the entries of a durable CT-log store\n"
-        "                            (see unicert_store) instead of PEM input\n");
+        "                            (see unicert_store) instead of PEM input\n"
+        "  --der-file FILE           lint a file of back-to-back DER certificates,\n"
+        "                            mmap'd and linted zero-copy\n");
 }
 
 // CertSource over the decoded PEM blocks: wire DER in file order, so
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
     bool stats = false;
     size_t jobs = 0;  // 0 = hardware concurrency
     std::string store_dir;
+    std::string der_file;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -143,6 +149,12 @@ int main(int argc, char** argv) {
                 return 64;
             }
             store_dir = argv[++i];
+        } else if (arg == "--der-file") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--der-file requires a file path\n");
+                return 64;
+            }
+            der_file = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             print_usage();
             return 0;
@@ -155,7 +167,25 @@ int main(int argc, char** argv) {
     }
 
     std::vector<Bytes> ders;
-    if (!store_dir.empty()) {
+    core::MappedPtr mapped;  // backs the zero-copy views for the whole run
+    if (!der_file.empty()) {
+        if (!store_dir.empty() || !files.empty()) {
+            std::fprintf(stderr,
+                         "--der-file is mutually exclusive with --store and PEM arguments\n");
+            return 64;
+        }
+        auto buffer = core::real_fs().map_readonly(der_file);
+        if (!buffer.ok()) {
+            std::fprintf(stderr, "cannot map %s: %s\n", der_file.c_str(),
+                         buffer.error().message.c_str());
+            return 66;
+        }
+        mapped = std::move(buffer).value();
+        if (mapped->view().empty()) {
+            std::fprintf(stderr, "%s holds no certificates\n", der_file.c_str());
+            return 0;
+        }
+    } else if (!store_dir.empty()) {
         // Ingest straight from a durable on-disk store: recovery has
         // already verified each entry against the Merkle root.
         if (!files.empty()) {
@@ -219,8 +249,13 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "linted %zu/%zu certificates...\n", processed, size_hint);
         };
     }
-    DerListSource source(ders);
-    core::ParallelPipeline pipeline(source, pipeline_options, {.jobs = jobs});
+    std::unique_ptr<core::CertSource> source;
+    if (mapped != nullptr) {
+        source = std::make_unique<core::DerFileCertSource>(mapped->view());
+    } else {
+        source = std::make_unique<DerListSource>(ders);
+    }
+    core::ParallelPipeline pipeline(*source, pipeline_options, {.jobs = jobs});
 
     // Reconstruct the per-cert stream: quarantined indices interleave
     // with analyzed certs, which arrive in input order.
@@ -228,9 +263,15 @@ int main(int argc, char** argv) {
     for (const core::QuarantineRecord& record : pipeline.quarantine_report().records) {
         quarantined[record.entry_index] = &record;
     }
+    // In --der-file mode the entry count comes from the pipeline itself
+    // (every delivered entry was either analyzed or quarantined).
+    const size_t total_entries =
+        mapped != nullptr
+            ? pipeline.analyzed().size() + pipeline.quarantine_report().records.size()
+            : ders.size();
     bool any_error = false, any_warning = false;
     size_t next_analyzed = 0;
-    for (size_t index = 0; index < ders.size(); ++index) {
+    for (size_t index = 0; index < total_entries; ++index) {
         auto quarantine_it = quarantined.find(index);
         if (quarantine_it != quarantined.end()) {
             std::printf("certificate #%zu: PARSE ERROR: %s\n", index,
@@ -268,6 +309,11 @@ int main(int argc, char** argv) {
     if (stats) {
         std::printf("\n%s", core::render_pipeline_stats(pipeline.stats()).c_str());
         std::printf("%s", core::render_quarantine_report(pipeline.quarantine_report()).c_str());
+    }
+    if (!pipeline.stats().completed) {
+        std::fprintf(stderr, "input stream aborted: %s\n",
+                     pipeline.stats().abort_error.message.c_str());
+        return 66;
     }
     return any_error ? 2 : (any_warning ? 1 : 0);
 }
