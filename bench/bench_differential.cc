@@ -13,9 +13,15 @@
 #include <chrono>
 #include <string>
 
+#include "asn1/encoding.h"
+#include "crypto/simsig.h"
+#include "ctlog/corpus.h"
 #include "difffuzz/campaign/campaign.h"
 #include "difffuzz/faulty_model.h"
+#include "faultsim/der_mutator.h"
+#include "tlslib/encoding_profile.h"
 #include "tlslib/supervisor.h"
+#include "x509/builder.h"
 
 using namespace unicert;
 using tlslib::DifferentialRunner;
@@ -128,8 +134,73 @@ Discovery bench_campaign() {
     return d;
 }
 
+// ---- encoding-axis campaign comparison -----------------------------------
+//
+// The same mutation budget with and without the BER-izing axis: blind
+// byte corruption almost never lands on a *valid* alternative encoding,
+// so without the axis the encoding-tolerance differences between the
+// nine libraries stay invisible. With it, every BER rule that splits
+// the libraries (some accept, some refuse) shows up as a divergence.
+
+struct EncodingAxis {
+    size_t inputs = 0;
+    size_t decodable = 0;                                    // tolerantly decodable mutants
+    size_t divergent = 0;                                    // mixed accept/reject across libs
+    size_t per_rule[asn1::kEncodingRuleCount] = {};          // rule -> divergent mutants
+    double seconds = 0.0;
+};
+
+constexpr uint64_t kEncodingSeed = 13;
+constexpr uint64_t kEncodingInputsPerBase = 24;
+
+std::vector<Bytes> encoding_axis_bases() {
+    ctlog::CorpusOptions copts;
+    copts.seed = kEncodingSeed;
+    copts.scale = 5000000.0;  // a handful of base certificates
+    ctlog::CorpusGenerator gen(copts);
+    crypto::SimSigner signer = crypto::SimSigner::from_name("Bench Enc CA");
+    std::vector<Bytes> bases;
+    auto corpus = gen.generate();
+    for (auto& cc : corpus) bases.push_back(x509::sign_certificate(cc.cert, signer));
+    if (!corpus.empty()) {
+        // Padded-bit-string carrier (generated keyUsage has no spare bits).
+        x509::Certificate padded = corpus.front().cert;
+        padded.extensions.push_back(
+            x509::Extension{asn1::oids::key_usage(), true, Bytes{0x03, 0x02, 0x05, 0xA0}});
+        bases.push_back(x509::sign_certificate(padded, signer));
+    }
+    return bases;
+}
+
+EncodingAxis bench_encoding_axis(const std::vector<Bytes>& bases, bool ber_axis) {
+    faultsim::DerMutator mutator(kEncodingSeed, ber_axis);
+    EncodingAxis r;
+    const double start = now_seconds();
+    for (const Bytes& base : bases) {
+        for (uint64_t salt = 0; salt < kEncodingInputsPerBase; ++salt) {
+            Bytes mutant = mutator.mutate(base, salt);
+            ++r.inputs;
+            auto scan = asn1::scan_encoding(mutant, asn1::kToleranceAllBer);
+            if (!scan.ok() || scan->mask == 0) continue;
+            ++r.decodable;
+            size_t accepts = 0;
+            for (tlslib::Library lib : tlslib::kAllLibraries) {
+                if (tlslib::parse_encoding(lib, mutant).accepted) ++accepts;
+            }
+            if (accepts == 0 || accepts == tlslib::kAllLibraries.size()) continue;
+            ++r.divergent;
+            for (asn1::EncodingRule rule : asn1::kAllBerRules) {
+                if (scan->exercised(rule)) r.per_rule[static_cast<size_t>(rule)]++;
+            }
+        }
+    }
+    r.seconds = now_seconds() - start;
+    return r;
+}
+
 void write_json(const char* path, const Measurement& plain, const Measurement& supervised,
-                double overhead_pct, const Discovery& blind, const Discovery& campaign) {
+                double overhead_pct, const Discovery& blind, const Discovery& campaign,
+                const EncodingAxis& enc_off, const EncodingAxis& enc_on) {
     std::FILE* f = std::fopen(path, "w");
     if (!f) {
         std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -149,8 +220,25 @@ void write_json(const char* path, const Measurement& plain, const Measurement& s
                  blind.inputs, blind.buckets, blind.seconds);
     std::fprintf(f, "  \"campaign\": {\"inputs\": %zu, \"buckets\": %zu, \"seconds\": %.6f},\n",
                  campaign.inputs, campaign.buckets, campaign.seconds);
-    std::fprintf(f, "  \"campaign_at_least_blind\": %s\n",
+    std::fprintf(f, "  \"campaign_at_least_blind\": %s,\n",
                  campaign.buckets >= blind.buckets ? "true" : "false");
+    for (int axis = 0; axis < 2; ++axis) {
+        const EncodingAxis& e = axis == 0 ? enc_off : enc_on;
+        std::fprintf(f,
+                     "  \"encoding_axis_%s\": {\"inputs\": %zu, \"ber_decodable\": %zu, "
+                     "\"divergent\": %zu, \"seconds\": %.6f, \"per_rule_divergence\": {",
+                     axis == 0 ? "off" : "on", e.inputs, e.decodable, e.divergent, e.seconds);
+        bool first = true;
+        for (asn1::EncodingRule rule : asn1::kAllBerRules) {
+            std::fprintf(f, "%s\"%s\": %zu", first ? "" : ", ",
+                         asn1::encoding_rule_name(rule),
+                         e.per_rule[static_cast<size_t>(rule)]);
+            first = false;
+        }
+        std::fprintf(f, "}},\n");
+    }
+    std::fprintf(f, "  \"encoding_axis_pays\": %s\n",
+                 enc_on.divergent > enc_off.divergent ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -194,7 +282,26 @@ int main(int argc, char** argv) {
     std::printf("campaign_at_least_blind | %s\n\n",
                 campaign.buckets >= blind.buckets ? "true" : "false");
 
-    write_json("BENCH_differential.json", plain, supervised, overhead_pct, blind, campaign);
+    std::vector<Bytes> bases = encoding_axis_bases();
+    EncodingAxis enc_off = bench_encoding_axis(bases, /*ber_axis=*/false);
+    EncodingAxis enc_on = bench_encoding_axis(bases, /*ber_axis=*/true);
+    std::printf("encoding-axis campaign (%zu bases x %llu mutants, seed %llu):\n",
+                bases.size(), static_cast<unsigned long long>(kEncodingInputsPerBase),
+                static_cast<unsigned long long>(kEncodingSeed));
+    std::printf("ber axis off         | %zu/%zu decodable-BER, %zu divergent\n",
+                enc_off.decodable, enc_off.inputs, enc_off.divergent);
+    std::printf("ber axis on          | %zu/%zu decodable-BER, %zu divergent\n",
+                enc_on.decodable, enc_on.inputs, enc_on.divergent);
+    for (asn1::EncodingRule rule : asn1::kAllBerRules) {
+        std::printf("  %-26s | off %zu  on %zu\n", asn1::encoding_rule_name(rule),
+                    enc_off.per_rule[static_cast<size_t>(rule)],
+                    enc_on.per_rule[static_cast<size_t>(rule)]);
+    }
+    std::printf("encoding_axis_pays   | %s\n\n",
+                enc_on.divergent > enc_off.divergent ? "true" : "false");
+
+    write_json("BENCH_differential.json", plain, supervised, overhead_pct, blind, campaign,
+               enc_off, enc_on);
     std::printf("baseline written to BENCH_differential.json\n");
     return 0;
 }

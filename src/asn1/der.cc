@@ -1,39 +1,81 @@
 #include "asn1/der.h"
 
+#include "asn1/strings.h"
+
 namespace unicert::asn1 {
 
+const char* asn1_error_code(Asn1Error e) noexcept {
+    switch (e) {
+        case Asn1Error::kEmpty: return "der_empty";
+        case Asn1Error::kHighTag: return "der_high_tag";
+        case Asn1Error::kTruncated: return "der_truncated";
+        case Asn1Error::kIndefiniteLength: return "der_indefinite_length";
+        case Asn1Error::kNonMinimalLength: return "der_nonminimal_length";
+        case Asn1Error::kLengthTooLarge: return "der_length_too_large";
+        case Asn1Error::kNestingTooDeep: return "der_nesting_too_deep";
+        case Asn1Error::kConstructedString: return "ber_constructed_string";
+        case Asn1Error::kBadSegment: return "ber_bad_segment";
+        case Asn1Error::kMissingEoc: return "ber_missing_eoc";
+        case Asn1Error::kPaddedBitString: return "ber_padded_bit_string";
+        case Asn1Error::kNonMinimalInteger: return "ber_nonminimal_integer";
+    }
+    return "der_error";
+}
+
+const char* encoding_rule_name(EncodingRule r) noexcept {
+    switch (r) {
+        case EncodingRule::kDer: return "der";
+        case EncodingRule::kLongFormLength: return "ber_long_form_length";
+        case EncodingRule::kConstructedString: return "ber_constructed_string";
+        case EncodingRule::kIndefiniteLength: return "ber_indefinite_length";
+        case EncodingRule::kPaddedBitString: return "ber_padded_bit_string";
+        case EncodingRule::kNonMinimalInteger: return "ber_nonminimal_integer";
+    }
+    return "unknown";
+}
+
 Expected<Tlv> read_tlv(BytesView data) {
-    if (data.empty()) return Error{"der_empty", "no bytes to read", 0};
+    if (data.empty()) return Error{asn1_error_code(Asn1Error::kEmpty), "no bytes to read", 0};
 
     size_t pos = 0;
     uint8_t id = data[pos++];
     if ((id & 0x1F) == 0x1F) {
-        return Error{"der_high_tag", "multi-byte tag numbers are not used in X.509", 0};
+        return Error{asn1_error_code(Asn1Error::kHighTag),
+                     "multi-byte tag numbers are not used in X.509", 0};
     }
 
-    if (pos >= data.size()) return Error{"der_truncated", "missing length octet", pos};
+    if (pos >= data.size()) {
+        return Error{asn1_error_code(Asn1Error::kTruncated), "missing length octet", pos};
+    }
     uint8_t len0 = data[pos++];
     size_t length = 0;
     if (len0 < 0x80) {
         length = len0;
     } else if (len0 == 0x80) {
-        return Error{"der_indefinite_length", "indefinite length is forbidden in DER", pos - 1};
+        return Error{asn1_error_code(Asn1Error::kIndefiniteLength),
+                     "indefinite length is forbidden in DER", pos - 1};
     } else {
         size_t num = len0 & 0x7F;
-        if (num > sizeof(size_t)) {
-            return Error{"der_length_too_large", "length field too wide", pos - 1};
-        }
         if (num > data.size() - pos) {
-            return Error{"der_truncated", "length octets truncated", pos};
+            return Error{asn1_error_code(Asn1Error::kTruncated), "length octets truncated", pos};
         }
-        uint8_t first_len_octet = data[pos];
+        // A redundant leading zero is the specific non-minimal-length
+        // error even when the field is too wide to accumulate; check it
+        // before the width guard so a zero-padded 9-octet length reports
+        // Asn1Error::kNonMinimalLength, not kLengthTooLarge.
+        if (num > 1 && data[pos] == 0) {
+            return Error{asn1_error_code(Asn1Error::kNonMinimalLength),
+                         "leading zero in length octets", pos};
+        }
+        if (num > sizeof(size_t)) {
+            return Error{asn1_error_code(Asn1Error::kLengthTooLarge),
+                         "length field too wide", pos - 1};
+        }
         for (size_t i = 0; i < num; ++i) length = (length << 8) | data[pos++];
         // DER requires minimal length encoding.
         if (num == 1 && length < 0x80) {
-            return Error{"der_nonminimal_length", "long form used for short length", pos - 1};
-        }
-        if (num > 1 && first_len_octet == 0) {
-            return Error{"der_nonminimal_length", "leading zero in length octets", pos - num};
+            return Error{asn1_error_code(Asn1Error::kNonMinimalLength),
+                         "long form used for short length", pos - 1};
         }
     }
 
@@ -50,6 +92,150 @@ Expected<Tlv> read_tlv(BytesView data) {
     out.total_len = pos + length;
     out.content = data.subspan(pos, length);
     return out;
+}
+
+namespace {
+
+Expected<BerTlv> read_tlv_tolerant_at(BytesView data, uint32_t tolerance, size_t depth);
+
+// Length of the content of an indefinite TLV: walk child TLVs until the
+// 00 00 end-of-contents pair. Returns the content length excluding EOC.
+Expected<size_t> indefinite_content_len(BytesView data, uint32_t tolerance, size_t depth) {
+    size_t pos = 0;
+    for (;;) {
+        if (pos + 1 < data.size() && data[pos] == 0x00 && data[pos + 1] == 0x00) return pos;
+        if (pos >= data.size()) {
+            return Error{asn1_error_code(Asn1Error::kMissingEoc),
+                         "indefinite length without end-of-contents", pos};
+        }
+        auto child = read_tlv_tolerant_at(data.subspan(pos), tolerance, depth + 1);
+        if (!child.ok()) return child.error().shift_offset(pos);
+        pos += child->tlv.total_len;
+    }
+}
+
+// True for universal tags whose values are strings X.690 allows to be
+// split into constructed segments: OCTET STRING and the restricted
+// character strings. BIT STRING is deliberately excluded — constructed
+// BIT STRING segmentation (pad-bit stitching) is not supported and is
+// rejected outright.
+bool is_segmentable_string_id(uint8_t id) {
+    if (tag_class_of(id) != TagClass::kUniversal) return false;
+    uint8_t n = tag_number_of(id);
+    if (n == static_cast<uint8_t>(Tag::kOctetString)) return true;
+    return string_type_from_tag(n).has_value();
+}
+
+Expected<BerTlv> read_tlv_tolerant_at(BytesView data, uint32_t tolerance, size_t depth) {
+    if (depth > kMaxNestingDepth) {
+        return Error{asn1_error_code(Asn1Error::kNestingTooDeep),
+                     "indefinite-length nesting exceeds depth " +
+                         std::to_string(kMaxNestingDepth),
+                     0};
+    }
+    if (data.empty()) return Error{asn1_error_code(Asn1Error::kEmpty), "no bytes to read", 0};
+
+    BerTlv out;
+    size_t pos = 0;
+    uint8_t id = data[pos++];
+    if ((id & 0x1F) == 0x1F) {
+        return Error{asn1_error_code(Asn1Error::kHighTag),
+                     "multi-byte tag numbers are not used in X.509", 0};
+    }
+
+    if (pos >= data.size()) {
+        return Error{asn1_error_code(Asn1Error::kTruncated), "missing length octet", pos};
+    }
+    uint8_t len0 = data[pos++];
+    size_t length = 0;
+    bool indefinite = false;
+    const bool tol_long =
+        (tolerance & encoding_rule_bit(EncodingRule::kLongFormLength)) != 0;
+    if (len0 < 0x80) {
+        length = len0;
+    } else if (len0 == 0x80) {
+        if ((tolerance & encoding_rule_bit(EncodingRule::kIndefiniteLength)) == 0) {
+            return Error{asn1_error_code(Asn1Error::kIndefiniteLength),
+                         "indefinite length is forbidden in DER", pos - 1};
+        }
+        if (!is_constructed_id(id)) {
+            // X.690 8.1.3.2: only constructed encodings may use the
+            // indefinite form, under every tolerance.
+            return Error{asn1_error_code(Asn1Error::kIndefiniteLength),
+                         "indefinite length on a primitive TLV", pos - 1};
+        }
+        indefinite = true;
+    } else {
+        size_t num = len0 & 0x7F;
+        if (num > data.size() - pos) {
+            return Error{asn1_error_code(Asn1Error::kTruncated), "length octets truncated", pos};
+        }
+        const bool redundant_zero = num > 1 && data[pos] == 0;
+        if (redundant_zero && !tol_long) {
+            return Error{asn1_error_code(Asn1Error::kNonMinimalLength),
+                         "leading zero in length octets", pos};
+        }
+        // Width-check the length after stripping tolerated zero padding
+        // so 0x89 00 <8 octets> still accumulates.
+        size_t effective = num;
+        for (size_t zi = pos; effective > 1 && data[zi] == 0; ++zi) --effective;
+        if (effective > sizeof(size_t)) {
+            return Error{asn1_error_code(Asn1Error::kLengthTooLarge),
+                         "length field too wide", pos - 1};
+        }
+        for (size_t i = 0; i < num; ++i) length = (length << 8) | data[pos++];
+        if (effective == 1 && length < 0x80 && !redundant_zero) {
+            if (!tol_long) {
+                return Error{asn1_error_code(Asn1Error::kNonMinimalLength),
+                             "long form used for short length", pos - 1};
+            }
+            out.deviations |= encoding_rule_bit(EncodingRule::kLongFormLength);
+        } else if (redundant_zero) {
+            out.deviations |= encoding_rule_bit(EncodingRule::kLongFormLength);
+        }
+    }
+
+    if (is_constructed_id(id) && is_segmentable_string_id(id)) {
+        if ((tolerance & encoding_rule_bit(EncodingRule::kConstructedString)) == 0) {
+            return Error{asn1_error_code(Asn1Error::kConstructedString),
+                         "constructed string encoding is forbidden in DER", 0};
+        }
+        out.deviations |= encoding_rule_bit(EncodingRule::kConstructedString);
+    }
+    if (is_constructed_id(id) && tag_class_of(id) == TagClass::kUniversal &&
+        tag_number_of(id) == static_cast<uint8_t>(Tag::kBitString)) {
+        return Error{asn1_error_code(Asn1Error::kBadSegment),
+                     "constructed BIT STRING segments are not supported", 0};
+    }
+
+    size_t content_len = 0;
+    size_t trailer = 0;
+    if (indefinite) {
+        auto clen = indefinite_content_len(data.subspan(pos), tolerance, depth);
+        if (!clen.ok()) return clen.error().shift_offset(pos);
+        content_len = clen.value();
+        trailer = 2;
+        out.indefinite = true;
+        out.deviations |= encoding_rule_bit(EncodingRule::kIndefiniteLength);
+    } else {
+        if (length > data.size() - pos) {
+            return Error{asn1_error_code(Asn1Error::kTruncated),
+                         "content extends past end of buffer", pos};
+        }
+        content_len = length;
+    }
+
+    out.tlv.identifier = id;
+    out.tlv.header_len = pos;
+    out.tlv.total_len = pos + content_len + trailer;
+    out.tlv.content = data.subspan(pos, content_len);
+    return out;
+}
+
+}  // namespace
+
+Expected<BerTlv> read_tlv_tolerant(BytesView data, uint32_t tolerance) {
+    return read_tlv_tolerant_at(data, tolerance, 0);
 }
 
 Status check_nesting(BytesView data, size_t max_depth) {
@@ -188,6 +374,22 @@ Bytes encode_length(size_t len) {
         len >>= 8;
     }
     out.push_back(static_cast<uint8_t>(0x80 | tmp.size()));
+    out.insert(out.end(), tmp.rbegin(), tmp.rend());
+    return out;
+}
+
+Bytes encode_length_ber_long(size_t len, size_t extra_zero_octets) {
+    Bytes tmp;
+    size_t v = len;
+    do {
+        tmp.push_back(static_cast<uint8_t>(v & 0xFF));
+        v >>= 8;
+    } while (v > 0);
+    size_t extras = extra_zero_octets;
+    if (tmp.size() + extras > 126) extras = 126 - tmp.size();
+    Bytes out;
+    out.push_back(static_cast<uint8_t>(0x80 | (tmp.size() + extras)));
+    out.insert(out.end(), extras, 0x00);
     out.insert(out.end(), tmp.rbegin(), tmp.rend());
     return out;
 }

@@ -64,6 +64,102 @@ private:
 // Parse one TLV at the front of `data`.
 Expected<Tlv> read_tlv(BytesView data);
 
+// ---- Error taxonomy -------------------------------------------------------
+
+// Structural decode failures the TLV readers can report. Each value maps
+// to a stable snake_case wire code via asn1_error_code(); the strings are
+// part of the tool/JSON surface and must not change once shipped.
+enum class Asn1Error : uint8_t {
+    kEmpty,               // no bytes where a TLV was required
+    kHighTag,             // multi-byte tag number (not used in X.509)
+    kTruncated,           // length/content extends past the buffer
+    kIndefiniteLength,    // 0x80 length octet outside tolerant mode
+    kNonMinimalLength,    // long form where short fits, or redundant
+                          // leading zero length octets
+    kLengthTooLarge,      // length field wider than size_t
+    kNestingTooDeep,      // TLV tree exceeds the depth guard
+    kConstructedString,   // constructed string met without tolerance
+    kBadSegment,          // constructed-string segment with a foreign tag,
+                          // a nested constructed segment, or a constructed
+                          // BIT STRING (unsupported)
+    kMissingEoc,          // indefinite length without a matching 00 00
+    kPaddedBitString,     // nonzero padding bits without tolerance
+    kNonMinimalInteger,   // redundant INTEGER sign octets without tolerance
+};
+
+// Stable wire code for an Asn1Error ("der_truncated", ...).
+const char* asn1_error_code(Asn1Error e) noexcept;
+
+// ---- Encoding-rule taxonomy (X.690) ---------------------------------------
+
+// The encoding axis the differential engine probes: DER is the canonical
+// form; the five BER relaxations below are the deviations real parsers
+// disagree on (the ASN1EncodingRule taxonomy from the Bouncy Castle /
+// pc-dart lineage). kDer is rule zero so the BER rules form a contiguous
+// bitmask starting at bit 1.
+enum class EncodingRule : uint8_t {
+    kDer = 0,              // canonical: minimal definite lengths, primitive
+                           // strings, zero pad bits, minimal integers
+    kLongFormLength,       // long-form length where short fits, or
+                           // redundant leading zero length octets
+    kConstructedString,    // string value split into constructed segments
+    kIndefiniteLength,     // constructed TLV with 0x80 length + 00 00 EOC
+    kPaddedBitString,      // BIT STRING whose padding bits are nonzero
+    kNonMinimalInteger,    // INTEGER with redundant leading 00/FF octets
+};
+
+inline constexpr size_t kEncodingRuleCount = 6;
+
+// The five non-DER rules, in deviation-bit order.
+inline constexpr EncodingRule kAllBerRules[] = {
+    EncodingRule::kLongFormLength,   EncodingRule::kConstructedString,
+    EncodingRule::kIndefiniteLength, EncodingRule::kPaddedBitString,
+    EncodingRule::kNonMinimalInteger,
+};
+
+// Stable snake_case name ("ber_long_form_length", ...).
+const char* encoding_rule_name(EncodingRule r) noexcept;
+
+// Bit for tolerance masks and deviation sets.
+constexpr uint32_t encoding_rule_bit(EncodingRule r) noexcept {
+    return 1u << static_cast<uint8_t>(r);
+}
+
+// Tolerance masks for the tolerant decode paths. Strict DER (mask 0)
+// keeps today's byte-exact reject behaviour.
+inline constexpr uint32_t kToleranceStrictDer = 0;
+inline constexpr uint32_t kToleranceAllBer =
+    encoding_rule_bit(EncodingRule::kLongFormLength) |
+    encoding_rule_bit(EncodingRule::kConstructedString) |
+    encoding_rule_bit(EncodingRule::kIndefiniteLength) |
+    encoding_rule_bit(EncodingRule::kPaddedBitString) |
+    encoding_rule_bit(EncodingRule::kNonMinimalInteger);
+
+// One TLV decoded under a tolerance mask. `deviations` records which
+// non-DER header encodings this TLV itself exercised (value-level rules —
+// padded bit strings, non-minimal integers — are the scanner's business,
+// see asn1/encoding.h). For indefinite TLVs `content` excludes the EOC
+// pair but `total_len` includes it.
+struct BerTlv {
+    Tlv tlv;
+    uint32_t deviations = 0;   // encoding_rule_bit()s exercised by the header
+    bool indefinite = false;
+
+    bool exercised(EncodingRule r) const noexcept {
+        return (deviations & encoding_rule_bit(r)) != 0;
+    }
+};
+
+// Parse one TLV at the front of `data` under `tolerance` (a bitmask of
+// encoding_rule_bit()s). With kToleranceStrictDer this rejects every BER
+// header deviation with the same codes read_tlv uses — a superset of
+// read_tlv's checks (read_tlv does not police constructed strings; the
+// X.509 layer does). Each tolerance bit converts the corresponding
+// rejection into a recorded deviation. Indefinite lengths require
+// scanning for the matching EOC, which nests at most kMaxNestingDepth
+// deep. Constructed BIT STRINGs are rejected under every tolerance.
+Expected<BerTlv> read_tlv_tolerant(BytesView data, uint32_t tolerance);
+
 // Deepest TLV nesting a well-formed certificate plausibly needs; DER
 // documents nested deeper are treated as resource-exhaustion bombs.
 inline constexpr size_t kMaxNestingDepth = 64;
@@ -135,5 +231,12 @@ private:
 
 // Encode a DER length field.
 Bytes encode_length(size_t len);
+
+// Encode a length in BER long form: always the long form (even when the
+// short form fits) with `extra_zero_octets` redundant leading zeros.
+// Non-minimal by construction — for the BER-izing mutator and tests
+// only; DER writers use encode_length. The total octet count is capped
+// at the wire maximum of 126 value octets.
+Bytes encode_length_ber_long(size_t len, size_t extra_zero_octets);
 
 }  // namespace unicert::asn1

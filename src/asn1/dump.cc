@@ -50,33 +50,57 @@ std::string value_preview(const Tlv& tlv) {
     return hex.empty() ? "" : "0x" + hex;
 }
 
+bool is_string_tag(const Tlv& tlv) {
+    if (tlv.tag_class() != TagClass::kUniversal) return false;
+    return tlv.tag_number() == static_cast<uint8_t>(Tag::kOctetString) ||
+           string_type_from_tag(tlv.tag_number()).has_value();
+}
+
 void dump_node(BytesView data, size_t depth, size_t max_depth, std::string& out) {
-    Reader reader(data);
-    while (!reader.done()) {
-        auto tlv = reader.next();
-        if (!tlv.ok()) {
-            out += std::string(depth * 2, ' ') + "<malformed: " + tlv.error().message + ">\n";
+    // Decode tolerantly so BER documents (indefinite lengths,
+    // constructed strings) render legibly instead of bailing; strict
+    // DER input produces exactly the output the old strict walk did.
+    size_t pos = 0;
+    while (pos < data.size()) {
+        auto bt = read_tlv_tolerant(data.subspan(pos), kToleranceAllBer);
+        if (!bt.ok()) {
+            out += std::string(depth * 2, ' ') + "<malformed: " + bt.error().message + ">\n";
             return;
         }
-        out += std::string(depth * 2, ' ') + tag_description(tlv->identifier) + " (" +
-               std::to_string(tlv->content.size()) + ")";
-        if (tlv->is_constructed() && depth < max_depth) {
+        const Tlv& tlv = bt->tlv;
+        pos += tlv.total_len;
+        out += std::string(depth * 2, ' ') + tag_description(tlv.identifier) + " (" +
+               std::to_string(tlv.content.size()) + ")";
+        if (bt->indefinite) out += " [indefinite]";
+        if (tlv.is_constructed() && is_string_tag(tlv)) {
+            size_t segments = 0;
+            size_t p = 0;
+            while (p < tlv.content.size()) {
+                auto seg = read_tlv_tolerant(tlv.content.subspan(p), kToleranceAllBer);
+                if (!seg.ok()) break;
+                ++segments;
+                p += seg->tlv.total_len;
+            }
+            out += " [" + std::to_string(segments) +
+                   (segments == 1 ? " segment]" : " segments]");
+        }
+        if (tlv.is_constructed() && depth < max_depth) {
             out += "\n";
-            dump_node(tlv->content, depth + 1, max_depth, out);
-        } else if (tlv->is_universal(Tag::kOctetString) && depth < max_depth &&
-                   !tlv->content.empty() && (tlv->content[0] == 0x30 || tlv->content[0] == 0x04 ||
-                                             tlv->content[0] == 0x05 || tlv->content[0] == 0x03)) {
+            dump_node(tlv.content, depth + 1, max_depth, out);
+        } else if (tlv.is_universal(Tag::kOctetString) && depth < max_depth &&
+                   !tlv.content.empty() && (tlv.content[0] == 0x30 || tlv.content[0] == 0x04 ||
+                                            tlv.content[0] == 0x05 || tlv.content[0] == 0x03)) {
             // Extension values are DER inside an OCTET STRING: recurse
             // when the payload plausibly starts a TLV.
-            auto inner = read_tlv(tlv->content);
-            if (inner.ok() && inner->total_len == tlv->content.size()) {
+            auto inner = read_tlv(tlv.content);
+            if (inner.ok() && inner->total_len == tlv.content.size()) {
                 out += " wrapping:\n";
-                dump_node(tlv->content, depth + 1, max_depth, out);
+                dump_node(tlv.content, depth + 1, max_depth, out);
             } else {
-                out += " " + value_preview(tlv.value()) + "\n";
+                out += " " + value_preview(tlv) + "\n";
             }
         } else {
-            std::string preview = value_preview(tlv.value());
+            std::string preview = value_preview(tlv);
             if (!preview.empty()) out += " " + preview;
             out += "\n";
         }

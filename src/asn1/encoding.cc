@@ -1,0 +1,234 @@
+#include "asn1/encoding.h"
+
+#include "asn1/strings.h"
+
+namespace unicert::asn1 {
+namespace {
+
+constexpr uint32_t rule_bit(EncodingRule r) noexcept { return encoding_rule_bit(r); }
+
+// Shared accumulator for scan and normalize: one walker produces both
+// the canonical bytes and the deviation list so the two views can never
+// disagree. Deviation offsets are positions in the ORIGINAL document.
+struct WalkOut {
+    Bytes der;
+    std::vector<EncodingDeviation> deviations;
+    uint32_t mask = 0;
+    size_t tlv_count = 0;
+
+    void record(EncodingRule r, size_t offset, uint8_t id) {
+        deviations.push_back(EncodingDeviation{r, offset, id});
+        mask |= rule_bit(r);
+    }
+    void merge(WalkOut&& sub) {
+        deviations.insert(deviations.end(), sub.deviations.begin(), sub.deviations.end());
+        mask |= sub.mask;
+        tlv_count += sub.tlv_count;
+    }
+};
+
+bool is_segmentable_string_id(uint8_t id) {
+    if (tag_class_of(id) != TagClass::kUniversal) return false;
+    uint8_t n = tag_number_of(id);
+    if (n == static_cast<uint8_t>(Tag::kOctetString)) return true;
+    return string_type_from_tag(n).has_value();
+}
+
+void emit_tlv(Bytes& out, uint8_t id, BytesView content) {
+    out.push_back(id);
+    Bytes len = encode_length(content.size());
+    out.insert(out.end(), len.begin(), len.end());
+    out.insert(out.end(), content.begin(), content.end());
+}
+
+Status walk_level(BytesView data, size_t base, size_t depth, uint32_t tolerance, WalkOut& out);
+
+// Normalize one TLV (already read) into out.der, recording deviations.
+// `abs` is the identifier's offset in the original document.
+Status walk_tlv(const BerTlv& bt, size_t abs, size_t depth, uint32_t tolerance, WalkOut& out) {
+    const Tlv& tlv = bt.tlv;
+    out.tlv_count++;
+    if (bt.exercised(EncodingRule::kLongFormLength)) {
+        out.record(EncodingRule::kLongFormLength, abs, tlv.identifier);
+    }
+    if (bt.exercised(EncodingRule::kConstructedString)) {
+        out.record(EncodingRule::kConstructedString, abs, tlv.identifier);
+    }
+    if (bt.exercised(EncodingRule::kIndefiniteLength)) {
+        out.record(EncodingRule::kIndefiniteLength, abs, tlv.identifier);
+    }
+
+    const size_t content_base = abs + tlv.header_len;
+
+    if (tlv.is_constructed() && is_segmentable_string_id(tlv.identifier)) {
+        // Constructed string: concatenate primitive segments back into
+        // one primitive TLV. Segments must carry the parent's tag or
+        // OCTET STRING and be primitive; anything else is unsupported.
+        Bytes joined;
+        size_t pos = 0;
+        while (pos < tlv.content.size()) {
+            auto seg = read_tlv_tolerant(tlv.content.subspan(pos), tolerance);
+            if (!seg.ok()) return seg.error().shift_offset(content_base + pos);
+            const Tlv& s = seg->tlv;
+            bool tag_ok = tag_class_of(s.identifier) == TagClass::kUniversal &&
+                          (tag_number_of(s.identifier) == tag_number_of(tlv.identifier) ||
+                           tag_number_of(s.identifier) ==
+                               static_cast<uint8_t>(Tag::kOctetString));
+            if (s.is_constructed() || !tag_ok) {
+                return Error{asn1_error_code(Asn1Error::kBadSegment),
+                             "constructed string segment must be a primitive of the "
+                             "same type",
+                             content_base + pos};
+            }
+            out.tlv_count++;
+            if (seg->exercised(EncodingRule::kLongFormLength)) {
+                out.record(EncodingRule::kLongFormLength, content_base + pos, s.identifier);
+            }
+            joined.insert(joined.end(), s.content.begin(), s.content.end());
+            pos += s.total_len;
+        }
+        emit_tlv(out.der, static_cast<uint8_t>(tlv.identifier & ~kConstructedBit), joined);
+        return Status::success();
+    }
+
+    if (tlv.is_constructed()) {
+        WalkOut sub;
+        auto st = walk_level(tlv.content, content_base, depth + 1, tolerance, sub);
+        if (!st.ok()) return st;
+        out.der.push_back(tlv.identifier);
+        Bytes len = encode_length(sub.der.size());
+        out.der.insert(out.der.end(), len.begin(), len.end());
+        out.der.insert(out.der.end(), sub.der.begin(), sub.der.end());
+        out.merge(std::move(sub));
+        return Status::success();
+    }
+
+    // Primitive values: the two value-level rules, plus the extension
+    // wrapper descent.
+    if (tlv.is_universal(Tag::kInteger) && integer_is_nonminimal(tlv.content)) {
+        if ((tolerance & rule_bit(EncodingRule::kNonMinimalInteger)) == 0) {
+            return Error{asn1_error_code(Asn1Error::kNonMinimalInteger),
+                         "INTEGER has redundant leading sign octets", abs};
+        }
+        out.record(EncodingRule::kNonMinimalInteger, abs, tlv.identifier);
+        BytesView c = tlv.content;
+        while (c.size() > 1 && ((c[0] == 0x00 && (c[1] & 0x80) == 0) ||
+                                (c[0] == 0xFF && (c[1] & 0x80) != 0))) {
+            c = c.subspan(1);
+        }
+        emit_tlv(out.der, tlv.identifier, c);
+        return Status::success();
+    }
+    if (tlv.is_universal(Tag::kBitString) && bit_string_pad_nonzero(tlv.content)) {
+        if ((tolerance & rule_bit(EncodingRule::kPaddedBitString)) == 0) {
+            return Error{asn1_error_code(Asn1Error::kPaddedBitString),
+                         "BIT STRING padding bits are not zero", abs};
+        }
+        out.record(EncodingRule::kPaddedBitString, abs, tlv.identifier);
+        Bytes fixed(tlv.content.begin(), tlv.content.end());
+        fixed.back() = static_cast<uint8_t>(fixed.back() &
+                                            ~((1u << fixed[0]) - 1u));
+        emit_tlv(out.der, tlv.identifier, fixed);
+        return Status::success();
+    }
+    if (nested_in_octet_string(tlv, kToleranceAllBer)) {
+        // Speculative descent: extension bodies are DER inside an OCTET
+        // STRING. Eligibility is probed at FULL tolerance — whether the
+        // value is structured content cannot depend on the caller's
+        // strictness, or a strict scan would silently skip exactly the
+        // wrapped deviations it exists to find. Once the value is known
+        // to be structured, the inner walk runs at the caller's
+        // tolerance and its errors are real. Only a tolerant-walk
+        // failure (opaque blob after all) falls back to verbatim.
+        WalkOut sub;
+        auto st = walk_level(tlv.content, content_base, depth + 1, tolerance, sub);
+        if (st.ok()) {
+            out.der.push_back(tlv.identifier);
+            Bytes len = encode_length(sub.der.size());
+            out.der.insert(out.der.end(), len.begin(), len.end());
+            out.der.insert(out.der.end(), sub.der.begin(), sub.der.end());
+            out.merge(std::move(sub));
+            return Status::success();
+        }
+        if (tolerance != kToleranceAllBer) {
+            WalkOut probe;
+            if (walk_level(tlv.content, content_base, depth + 1, kToleranceAllBer, probe)
+                    .ok()) {
+                return st;  // structured content whose deviation exceeds tolerance
+            }
+        }
+    }
+    emit_tlv(out.der, tlv.identifier, tlv.content);
+    return Status::success();
+}
+
+Status walk_level(BytesView data, size_t base, size_t depth, uint32_t tolerance, WalkOut& out) {
+    if (depth > kMaxNestingDepth) {
+        return Error{asn1_error_code(Asn1Error::kNestingTooDeep),
+                     "TLV nesting exceeds depth " + std::to_string(kMaxNestingDepth), base};
+    }
+    size_t pos = 0;
+    while (pos < data.size()) {
+        auto bt = read_tlv_tolerant(data.subspan(pos), tolerance);
+        if (!bt.ok()) return bt.error().shift_offset(base + pos);
+        auto st = walk_tlv(bt.value(), base + pos, depth, tolerance, out);
+        if (!st.ok()) return st;
+        pos += bt->tlv.total_len;
+    }
+    return Status::success();
+}
+
+}  // namespace
+
+bool integer_is_nonminimal(BytesView content) noexcept {
+    if (content.size() < 2) return false;
+    return (content[0] == 0x00 && (content[1] & 0x80) == 0) ||
+           (content[0] == 0xFF && (content[1] & 0x80) != 0);
+}
+
+bool bit_string_pad_nonzero(BytesView content) noexcept {
+    if (content.size() < 2) return false;
+    uint8_t unused = content[0];
+    if (unused == 0 || unused > 7) return false;
+    return (content.back() & ((1u << unused) - 1u)) != 0;
+}
+
+std::optional<BerTlv> nested_in_octet_string(const Tlv& tlv, uint32_t tolerance) {
+    if (tlv.is_constructed() || !tlv.is_universal(Tag::kOctetString)) return std::nullopt;
+    if (tlv.content.empty()) return std::nullopt;
+    // Only universal-class inner identifiers qualify: extension bodies
+    // start with SEQUENCE / OCTET STRING / BIT STRING / NULL / INTEGER,
+    // and the class guard keeps raw blobs that coincidentally look
+    // TLV-ish (context tags, high-tag forms) opaque.
+    if (tag_class_of(tlv.content[0]) != TagClass::kUniversal) return std::nullopt;
+    if ((tlv.content[0] & 0x1F) == 0x1F) return std::nullopt;
+    auto inner = read_tlv_tolerant(tlv.content, tolerance);
+    if (!inner.ok()) return std::nullopt;
+    if (inner->tlv.total_len != tlv.content.size()) return std::nullopt;
+    return inner.value();
+}
+
+Expected<EncodingScan> scan_encoding(BytesView data, uint32_t tolerance) {
+    WalkOut out;
+    auto st = walk_level(data, 0, 0, tolerance, out);
+    if (!st.ok()) return st.error();
+    EncodingScan scan;
+    scan.deviations = std::move(out.deviations);
+    scan.mask = out.mask;
+    scan.tlv_count = out.tlv_count;
+    return scan;
+}
+
+Expected<NormalizedDer> normalize_to_der(BytesView data, uint32_t tolerance) {
+    WalkOut out;
+    auto st = walk_level(data, 0, 0, tolerance, out);
+    if (!st.ok()) return st.error();
+    NormalizedDer norm;
+    norm.der = std::move(out.der);
+    norm.deviations = std::move(out.deviations);
+    norm.mask = out.mask;
+    norm.tlv_count = out.tlv_count;
+    return norm;
+}
+
+}  // namespace unicert::asn1

@@ -1,0 +1,81 @@
+// unicert/asn1/encoding.h
+//
+// Whole-document encoding-rule analysis over the tolerant TLV reader:
+// scan a DER/BER document for the non-DER encodings it exercises, and
+// normalize a tolerated BER document back to canonical DER. This is the
+// ground truth the encoding-deviation lints, the tlslib EncodingProfile
+// models, and the EncodingAnalyzer all share.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "asn1/der.h"
+
+namespace unicert::asn1 {
+
+// One observed use of a non-DER encoding rule, anchored to the TLV that
+// exercised it.
+struct EncodingDeviation {
+    EncodingRule rule = EncodingRule::kDer;
+    size_t offset = 0;       // byte offset of the TLV's identifier octet
+    uint8_t identifier = 0;  // that TLV's identifier
+
+    bool operator==(const EncodingDeviation&) const = default;
+};
+
+// Result of scanning a document.
+struct EncodingScan {
+    std::vector<EncodingDeviation> deviations;  // document order
+    uint32_t mask = 0;                          // OR of encoding_rule_bit()s
+    size_t tlv_count = 0;                       // TLVs visited
+
+    bool strict_der() const noexcept { return mask == 0; }
+    bool exercised(EncodingRule r) const noexcept {
+        return (mask & encoding_rule_bit(r)) != 0;
+    }
+};
+
+// Result of normalizing a document to DER.
+struct NormalizedDer {
+    Bytes der;                                  // canonical re-encoding
+    std::vector<EncodingDeviation> deviations;  // what normalization undid
+    uint32_t mask = 0;
+    size_t tlv_count = 0;
+};
+
+// Walk every TLV in `data` (recursing into constructed values and into
+// extension-style OCTET STRING wrappers, see nested_in_octet_string)
+// and record each non-DER encoding exercised. Deviations covered by
+// `tolerance` are recorded; any deviation outside the mask is an error,
+// so scanning with kToleranceStrictDer is a strict-DER conformance
+// check. Value-level rules (padded bit strings, non-minimal integers)
+// are detected here, not in read_tlv_tolerant.
+Expected<EncodingScan> scan_encoding(BytesView data, uint32_t tolerance);
+
+// Re-encode `data` as canonical DER, undoing every deviation `tolerance`
+// admits: definite minimal lengths, constructed strings concatenated
+// back to primitive form, bit-string pad bits zeroed, redundant INTEGER
+// sign octets stripped. Strict-DER input re-encodes byte-identically.
+// The recorded deviations match scan_encoding's on the same input.
+Expected<NormalizedDer> normalize_to_der(BytesView data, uint32_t tolerance);
+
+// The shared recursion rule for extension bodies: X.509 wraps extension
+// values in a primitive OCTET STRING whose content is itself one DER
+// TLV. When `tlv` is such a wrapper — primitive universal OCTET STRING
+// whose content parses under `tolerance` as exactly one universal-class
+// TLV spanning the whole value — returns that inner TLV; otherwise
+// nullopt and the value is treated as opaque bytes. scan_encoding,
+// normalize_to_der, and the BER-izing mutator all descend by this rule
+// so their notions of "reachable TLV" agree.
+std::optional<BerTlv> nested_in_octet_string(const Tlv& tlv, uint32_t tolerance);
+
+// Value-level deviation predicates (primitive TLV content).
+// INTEGER with a redundant leading 0x00/0xFF sign octet.
+bool integer_is_nonminimal(BytesView content) noexcept;
+// BIT STRING whose pad bits (the low `content[0]` bits of the last
+// octet) are not all zero. Requires a well-formed value; malformed
+// bit strings (empty, pad count > 7) are the scanner's errors.
+bool bit_string_pad_nonzero(BytesView content) noexcept;
+
+}  // namespace unicert::asn1

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "asn1/der.h"
+#include "asn1/encoding.h"
 #include "asn1/strings.h"
 
 namespace unicert::faultsim {
@@ -76,6 +77,168 @@ Bytes byte_noise(BytesView der, uint64_t state) {
     return out;
 }
 
+// ---- BER-izing (semantics-preserving re-encode) ---------------------------
+//
+// Unlike the flat byte-splicing corruptions above, a BER-izing transform
+// changes a node's encoded SIZE, which would desynchronize every
+// ancestor's length field. So the document is parsed into a tree, one
+// eligible node gets an encoding override, and the whole tree is
+// re-encoded (minimal DER everywhere else reproduces the input bytes
+// for untouched subtrees).
+
+struct BerNode {
+    uint8_t identifier = 0;
+    BytesView content;               // raw value bytes in the input buffer
+    std::vector<BerNode> children;   // constructed children, or the TLV
+                                     // nested inside an OCTET STRING value
+};
+
+constexpr size_t kBerTreeMaxDepth = 48;
+
+bool build_ber_tree(BytesView data, size_t depth, std::vector<BerNode>& out) {
+    size_t pos = 0;
+    while (pos < data.size()) {
+        auto tlv = asn1::read_tlv(data.subspan(pos));
+        if (!tlv.ok()) return false;
+        BerNode n;
+        n.identifier = tlv->identifier;
+        n.content = tlv->content;
+        if (tlv->is_constructed()) {
+            if (depth >= kBerTreeMaxDepth) return false;
+            if (!build_ber_tree(tlv->content, depth + 1, n.children)) return false;
+        } else if (depth < kBerTreeMaxDepth &&
+                   asn1::nested_in_octet_string(tlv.value(), asn1::kToleranceStrictDer)) {
+            // Same descent rule as scan/normalize: extension bodies are
+            // reachable, opaque blobs stay leaves.
+            if (!build_ber_tree(tlv->content, depth + 1, n.children)) n.children.clear();
+        }
+        out.push_back(std::move(n));
+        pos += tlv->total_len;
+    }
+    return true;
+}
+
+bool berize_eligible(const BerNode& n, asn1::EncodingRule rule) {
+    using asn1::EncodingRule;
+    using asn1::Tag;
+    const bool universal = asn1::tag_class_of(n.identifier) == asn1::TagClass::kUniversal;
+    const uint8_t num = asn1::tag_number_of(n.identifier);
+    switch (rule) {
+        case EncodingRule::kLongFormLength:
+            return true;  // any TLV's length can be written long-form
+        case EncodingRule::kConstructedString:
+            return !asn1::is_constructed_id(n.identifier) && universal &&
+                   (num == static_cast<uint8_t>(Tag::kOctetString) ||
+                    asn1::string_type_from_tag(num).has_value()) &&
+                   n.content.size() >= 2;
+        case EncodingRule::kIndefiniteLength:
+            return asn1::is_constructed_id(n.identifier);
+        case EncodingRule::kPaddedBitString:
+            // Needs spare pad bits that are currently zero, so zeroing
+            // them (normalization) restores the original bytes.
+            return !asn1::is_constructed_id(n.identifier) && universal &&
+                   num == static_cast<uint8_t>(Tag::kBitString) && n.content.size() >= 2 &&
+                   n.content[0] >= 1 && n.content[0] <= 7 &&
+                   (n.content.back() & ((1u << n.content[0]) - 1u)) == 0;
+        case EncodingRule::kNonMinimalInteger:
+            return !asn1::is_constructed_id(n.identifier) && universal &&
+                   num == static_cast<uint8_t>(Tag::kInteger) && !n.content.empty() &&
+                   n.content.size() <= 20;
+        case EncodingRule::kDer:
+            return false;
+    }
+    return false;
+}
+
+void collect_berize_eligible(const std::vector<BerNode>& nodes, asn1::EncodingRule rule,
+                             std::vector<const BerNode*>& out) {
+    for (const BerNode& n : nodes) {
+        if (berize_eligible(n, rule)) out.push_back(&n);
+        collect_berize_eligible(n.children, rule, out);
+    }
+}
+
+struct BerPlan {
+    const BerNode* target = nullptr;
+    asn1::EncodingRule rule = asn1::EncodingRule::kDer;
+    uint64_t tweak = 0;
+};
+
+void emit_der_tlv(Bytes& out, uint8_t id, BytesView content) {
+    out.push_back(id);
+    Bytes len = asn1::encode_length(content.size());
+    out.insert(out.end(), len.begin(), len.end());
+    out.insert(out.end(), content.begin(), content.end());
+}
+
+void encode_ber_node(const BerNode& n, const BerPlan& plan, Bytes& out) {
+    using asn1::EncodingRule;
+    const bool targeted = (&n == plan.target);
+
+    Bytes content;
+    if (!n.children.empty() &&
+        !(targeted && plan.rule == EncodingRule::kConstructedString)) {
+        for (const BerNode& c : n.children) encode_ber_node(c, plan, content);
+    } else {
+        content.assign(n.content.begin(), n.content.end());
+    }
+
+    if (!targeted) {
+        emit_der_tlv(out, n.identifier, content);
+        return;
+    }
+    switch (plan.rule) {
+        case EncodingRule::kLongFormLength: {
+            out.push_back(n.identifier);
+            Bytes len = asn1::encode_length_ber_long(content.size(), 1 + plan.tweak % 2);
+            out.insert(out.end(), len.begin(), len.end());
+            out.insert(out.end(), content.begin(), content.end());
+            return;
+        }
+        case EncodingRule::kConstructedString: {
+            // Split the raw value into 2..4 primitive same-tag segments.
+            size_t k = std::min<size_t>(2 + plan.tweak % 3, content.size());
+            Bytes segments;
+            size_t off = 0;
+            for (size_t i = 0; i < k; ++i) {
+                size_t take = content.size() / k + (i < content.size() % k ? 1 : 0);
+                emit_der_tlv(segments, n.identifier,
+                             BytesView(content).subspan(off, take));
+                off += take;
+            }
+            emit_der_tlv(out, static_cast<uint8_t>(n.identifier | asn1::kConstructedBit),
+                         segments);
+            return;
+        }
+        case EncodingRule::kIndefiniteLength: {
+            out.push_back(n.identifier);
+            out.push_back(0x80);
+            out.insert(out.end(), content.begin(), content.end());
+            out.push_back(0x00);
+            out.push_back(0x00);
+            return;
+        }
+        case EncodingRule::kPaddedBitString: {
+            uint8_t unused = content[0];
+            uint8_t garbage =
+                static_cast<uint8_t>(1 + plan.tweak % ((1u << unused) - 1u));
+            content.back() = static_cast<uint8_t>(content.back() | garbage);
+            emit_der_tlv(out, n.identifier, content);
+            return;
+        }
+        case EncodingRule::kNonMinimalInteger: {
+            uint8_t sign = (content[0] & 0x80) ? 0xFF : 0x00;
+            Bytes widened(1 + plan.tweak % 2, sign);
+            widened.insert(widened.end(), content.begin(), content.end());
+            emit_der_tlv(out, n.identifier, widened);
+            return;
+        }
+        case EncodingRule::kDer:
+            break;
+    }
+    emit_der_tlv(out, n.identifier, content);
+}
+
 }  // namespace
 
 const char* der_mutation_name(DerMutation m) noexcept {
@@ -86,13 +249,38 @@ const char* der_mutation_name(DerMutation m) noexcept {
         case DerMutation::kTruncate: return "truncate";
         case DerMutation::kNestingInflate: return "nesting_inflate";
         case DerMutation::kByteNoise: return "byte_noise";
+        case DerMutation::kBerize: return "berize";
     }
     return "?";
 }
 
 DerMutation DerMutator::pick(uint64_t salt) const noexcept {
     uint64_t h = mix64(seed_ ^ mix64(salt ^ 0xD15EA5E0ULL));
+    if (ber_axis_) {
+        size_t idx = h % (kAllDerMutations.size() + 1);
+        return idx == kAllDerMutations.size() ? DerMutation::kBerize : kAllDerMutations[idx];
+    }
     return kAllDerMutations[h % kAllDerMutations.size()];
+}
+
+std::optional<Bytes> DerMutator::berize(asn1::EncodingRule rule, BytesView der,
+                                        uint64_t salt) const {
+    if (rule == asn1::EncodingRule::kDer || der.empty()) return std::nullopt;
+    std::vector<BerNode> roots;
+    if (!build_ber_tree(der, 0, roots)) return std::nullopt;
+    std::vector<const BerNode*> eligible;
+    collect_berize_eligible(roots, rule, eligible);
+    if (eligible.empty()) return std::nullopt;
+
+    uint64_t state = mix64(seed_ ^ mix64(salt ^ 0xBE71EDULL));
+    BerPlan plan;
+    plan.rule = rule;
+    plan.target = eligible[state % eligible.size()];
+    plan.tweak = mix64(state);
+
+    Bytes out;
+    for (const BerNode& n : roots) encode_ber_node(n, plan, out);
+    return out;
 }
 
 Bytes DerMutator::mutate(BytesView der, uint64_t salt) const {
@@ -191,6 +379,20 @@ Bytes DerMutator::apply(DerMutation m, BytesView der, uint64_t salt) const {
             result.insert(result.end(), out.begin() + static_cast<long>(n.offset + n.total_len),
                           out.end());
             return result;
+        }
+
+        case DerMutation::kBerize: {
+            // Rotate through the BER rules from a hash-chosen start
+            // until one applies; clean DER always admits at least the
+            // long-form rule, so the fallback only fires on input that
+            // is already corrupt.
+            size_t start = next() % std::size(asn1::kAllBerRules);
+            for (size_t i = 0; i < std::size(asn1::kAllBerRules); ++i) {
+                auto b = berize(asn1::kAllBerRules[(start + i) % std::size(asn1::kAllBerRules)],
+                                der, salt);
+                if (b) return *b;
+            }
+            return byte_noise(der, next());
         }
 
         case DerMutation::kByteNoise:

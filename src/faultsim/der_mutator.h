@@ -13,7 +13,9 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 
+#include "asn1/der.h"
 #include "common/bytes.h"
 
 namespace unicert::faultsim {
@@ -25,10 +27,15 @@ enum class DerMutation {
     kTruncate,        // cut the buffer inside a chosen TLV
     kNestingInflate,  // wrap a node in many extra SEQUENCE layers
     kByteNoise,       // unstructured bit flips / resize fallback
+    kBerize,          // semantics-preserving BER re-encoding of one TLV
 };
 
 const char* der_mutation_name(DerMutation m) noexcept;
 
+// The corruption kinds. kBerize is deliberately NOT in this list: the
+// list drives `pick`'s hash distribution for existing seed-pinned
+// campaigns, and BER-izing is opt-in via the ber_axis constructor flag
+// so those replays stay byte-stable.
 inline constexpr std::array<DerMutation, 6> kAllDerMutations = {
     DerMutation::kTagFlip,   DerMutation::kStringTypeSwap, DerMutation::kLengthBomb,
     DerMutation::kTruncate,  DerMutation::kNestingInflate, DerMutation::kByteNoise,
@@ -36,9 +43,14 @@ inline constexpr std::array<DerMutation, 6> kAllDerMutations = {
 
 class DerMutator {
 public:
-    explicit DerMutator(uint64_t seed) : seed_(seed) {}
+    // `ber_axis` adds kBerize to the kinds `pick` draws from, widening
+    // the campaign onto the encoding-rule axis. Off by default: it
+    // changes the pick distribution, so existing seeds replay unchanged.
+    explicit DerMutator(uint64_t seed, bool ber_axis = false)
+        : seed_(seed), ber_axis_(ber_axis) {}
 
     uint64_t seed() const noexcept { return seed_; }
+    bool ber_axis() const noexcept { return ber_axis_; }
 
     // The mutation `mutate` would pick for this salt.
     DerMutation pick(uint64_t salt) const noexcept;
@@ -53,8 +65,18 @@ public:
     // (e.g. no string-typed TLV for kStringTypeSwap).
     Bytes apply(DerMutation m, BytesView der, uint64_t salt) const;
 
+    // Semantics-preserving BER-izing: re-encode one hash-chosen TLV of a
+    // well-formed DER document under the given non-DER rule (long-form
+    // length, constructed split, indefinite wrap, bit-string pad,
+    // integer widen). The result decodes tolerantly to the same values
+    // and asn1::normalize_to_der maps it back byte-identically. Returns
+    // nullopt when the document is not clean DER, the rule is kDer, or
+    // no TLV is eligible (e.g. no BIT STRING with spare pad bits).
+    std::optional<Bytes> berize(asn1::EncodingRule rule, BytesView der, uint64_t salt) const;
+
 private:
     uint64_t seed_;
+    bool ber_axis_ = false;
 };
 
 }  // namespace unicert::faultsim

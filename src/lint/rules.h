@@ -15,4 +15,11 @@ void register_encoding_rules(Registry& registry);       // T3 Invalid Encoding (
 void register_structure_rules(Registry& registry);      // T3 Invalid Structure (2)
 void register_discouraged_rules(Registry& registry);    // T3 Discouraged Field (2)
 
+// Document-level BER-vs-DER deviation lints (5). NOT part of
+// default_registry(): they live in their own registry so the Table 1
+// census (and its pinned 95-lint count) is undisturbed; unicert_enccheck
+// and the encoding analyzer run them.
+void register_encoding_deviation_rules(Registry& registry);
+const Registry& encoding_deviation_registry();
+
 }  // namespace unicert::lint

@@ -1,0 +1,85 @@
+// Encoding-deviation lints: the document-level BER-vs-DER rules
+// (X.690 section 10 DER restrictions) detected by asn1::scan_encoding.
+// These live in their own registry — encoding_deviation_registry(), the
+// rule set unicert_enccheck runs — rather than default_registry(),
+// which stays pinned to the paper's 95-lint Table 1 census.
+#include "asn1/encoding.h"
+#include "lint/helpers.h"
+#include "lint/rules.h"
+
+namespace unicert::lint {
+namespace {
+
+using asn1::EncodingRule;
+using x509::CertField;
+
+// One rule per non-DER encoding: fires when the certificate's encoded
+// bytes exercise that rule anywhere in the TLV tree (extension bodies
+// included). A certificate that does not even decode tolerantly is
+// other rules' business — these stay silent on it.
+Rule deviation_rule(std::string name, std::string description, Severity severity,
+                    EncodingRule rule) {
+    Rule r;
+    r.info = {std::move(name),
+              std::move(description),
+              severity,
+              Source::kX680,
+              NcType::kInvalidEncoding,
+              dates::kAlways,
+              true,
+              footprint({CertField::kWholeCert})};
+    r.check = [rule](const CertView& cert) -> std::optional<std::string> {
+        const Bytes& der = cert.whole_cert().der;
+        if (der.empty()) return std::nullopt;
+        auto scan = asn1::scan_encoding(BytesView(der), asn1::kToleranceAllBer);
+        if (!scan.ok()) return std::nullopt;
+        if (!scan->exercised(rule)) return std::nullopt;
+        for (const asn1::EncodingDeviation& d : scan->deviations) {
+            if (d.rule != rule) continue;
+            return std::string(asn1::encoding_rule_name(rule)) + " at offset " +
+                   std::to_string(d.offset);
+        }
+        return std::string(asn1::encoding_rule_name(rule));
+    };
+    return r;
+}
+
+}  // namespace
+
+void register_encoding_deviation_rules(Registry& registry) {
+    registry.add(deviation_rule(
+        "e_ber_long_form_length",
+        "DER requires minimal length encoding; long form where short fits or "
+        "redundant leading zero length octets is BER",
+        Severity::kError, EncodingRule::kLongFormLength));
+    registry.add(deviation_rule(
+        "e_ber_indefinite_length",
+        "DER forbids the indefinite length form (X.690 10.1); 0x80 length with "
+        "an end-of-contents pair is BER",
+        Severity::kError, EncodingRule::kIndefiniteLength));
+    registry.add(deviation_rule(
+        "e_ber_constructed_string",
+        "DER requires primitive string encodings (X.690 10.2); constructed "
+        "segmented strings are BER",
+        Severity::kError, EncodingRule::kConstructedString));
+    registry.add(deviation_rule(
+        "w_nonminimal_integer",
+        "INTEGER value has redundant leading sign octets; DER requires the "
+        "minimal two's-complement form",
+        Severity::kWarning, EncodingRule::kNonMinimalInteger));
+    registry.add(deviation_rule(
+        "e_bit_string_pad_nonzero",
+        "BIT STRING padding bits must be zero in DER (X.690 11.2.1)",
+        Severity::kError, EncodingRule::kPaddedBitString));
+}
+
+const Registry& encoding_deviation_registry() {
+    static const Registry registry = [] {
+        Registry r;
+        register_encoding_deviation_rules(r);
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace unicert::lint

@@ -1,0 +1,126 @@
+// unicert/tlslib/analysis/encoding_analyzer.h
+//
+// Analyzer for the encoding-rule tolerance contracts (the tlslib
+// counterpart of lint::analysis::Analyzer, PR 4's rule-set checker).
+// Every LibraryModel declares a static EncodingProfile; this analyzer
+// generates a deviation corpus — probe certificates crossed with the
+// semantics-preserving BER-izing DerMutator transforms — replays it
+// through all nine models, and verifies:
+//
+//   * DER controls — every library accepts the untouched DER originals;
+//   * profile conformance — observed accept/reject per probe matches
+//     the mask of rules the declared profile rejects;
+//   * normalize conformance — the bytes a library re-emits are
+//     canonical DER exactly when its profile says it normalizes every
+//     deviation present, and the raw input otherwise;
+//   * determinism and order independence — the outcome matrix is stable
+//     across repeats and across reversed probe/library order (the PR 4
+//     replay contract);
+//   * corpus coverage — each of the five BER rules is exercised by at
+//     least one probe, so the checks above cannot pass vacuously;
+//   * lint ground truth — each encoding-deviation lint fires on exactly
+//     the probes whose scan mask contains its rule;
+//   * rule metadata — lint::analysis::Analyzer hygiene checks over the
+//     deviation lint registry.
+//
+// Known-intentional findings are acknowledged via a plain-text baseline
+// (tools/enccheck_baseline.txt), mirroring unicert_rulecheck.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn1/encoding.h"
+#include "tlslib/model.h"
+
+namespace unicert::tlslib::analysis {
+
+enum class EncCheckClass {
+    kDerRejected,        // a pure-DER control probe was refused
+    kProfileViolation,   // observed accept/reject disagrees with profile
+    kNormalizeMismatch,  // re-emitted bytes disagree with the declaration
+    kNondeterminism,     // same probe, different outcome on repeat
+    kOrderDependence,    // outcome depends on probe/library order
+    kRuleUncovered,      // no probe exercises this encoding rule
+    kLintMismatch,       // deviation lint disagrees with scan ground truth
+    kRuleDefect,         // lint::analysis finding on the deviation registry
+};
+
+const char* enc_check_class_name(EncCheckClass c) noexcept;
+
+struct EncFinding {
+    EncCheckClass cls = EncCheckClass::kProfileViolation;
+    std::string subject;  // library or lint name, or "corpus"
+    std::string rule;     // encoding-rule name, or "-"
+    std::string detail;   // human-readable evidence
+};
+
+// One entry of the deviation corpus.
+struct DeviationProbe {
+    Bytes der;     // probe bytes (BER-ized, or the DER control itself)
+    Bytes origin;  // the strict-DER document the probe came from
+    uint32_t mask = 0;  // ground-truth deviation mask (tolerant scan)
+    std::optional<asn1::EncodingRule> target;  // nullopt: control probe
+};
+
+struct EncodingAnalyzerOptions {
+    uint64_t seed = 42;
+    // CorpusGenerator downscale for the base documents (larger = fewer
+    // certificates; the default yields roughly 60).
+    double corpus_scale = 600000.0;
+    // BER-ized variants per (base document, rule).
+    size_t variants_per_rule = 3;
+    // Extra outcome-matrix repetitions for the determinism check.
+    size_t determinism_repeats = 2;
+    bool check_lints = true;
+    bool check_rule_metadata = true;
+};
+
+struct EncodingReport {
+    size_t libraries_checked = 0;
+    size_t probe_count = 0;
+    size_t deviant_probe_count = 0;
+    // [0] counts DER controls; [1..5] probes exercising each BER rule.
+    std::array<size_t, asn1::kEncodingRuleCount> per_rule_probes{};
+    std::vector<EncFinding> findings;   // violations (gate-blocking)
+    std::vector<EncFinding> baselined;  // acknowledged via baseline
+
+    bool clean() const noexcept { return findings.empty(); }
+};
+
+class EncodingAnalyzer {
+public:
+    explicit EncodingAnalyzer(EncodingAnalyzerOptions options = {}) : options_(options) {}
+
+    // Run every check against `model`. Deterministic for a given
+    // (options.seed, model behaviour). Findings are deduplicated by
+    // (class, subject, rule) keeping the first evidence.
+    EncodingReport analyze(LibraryModel& model) const;
+
+    // The deviation corpus the analyzer replays (exposed for the bench
+    // and tests). Deterministic in options.seed.
+    static std::vector<DeviationProbe> build_corpus(const EncodingAnalyzerOptions& options);
+
+private:
+    EncodingAnalyzerOptions options_;
+};
+
+// Baseline handling, same format as lint::analysis:
+//   <class> <subject> <rule>
+// with `-` for an empty rule; blank lines and `#` comments ignored.
+// Returns the number of findings moved to report.baselined.
+size_t apply_baseline(EncodingReport& report, std::string_view baseline_text);
+
+// The canonical baseline line for a finding (no trailing newline).
+std::string baseline_line(const EncFinding& f);
+
+// Machine-readable report (the unicert_enccheck --json shape).
+std::string encoding_report_to_json(const EncodingReport& report);
+
+// Process exit code the CI gate uses: 0 clean, 1 findings remain.
+int exit_code(const EncodingReport& report) noexcept;
+
+}  // namespace unicert::tlslib::analysis

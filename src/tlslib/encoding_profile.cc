@@ -1,0 +1,118 @@
+#include "tlslib/encoding_profile.h"
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::EncodingRule;
+
+// Shorthand for the table below.
+constexpr RuleResponse R = RuleResponse::kReject;
+constexpr RuleResponse A = RuleResponse::kAccept;
+constexpr RuleResponse N = RuleResponse::kNormalize;
+
+constexpr EncodingProfile make_profile(RuleResponse long_form, RuleResponse constructed,
+                                       RuleResponse indefinite, RuleResponse padded,
+                                       RuleResponse nonminimal_int) {
+    EncodingProfile p{};
+    p.responses[static_cast<uint8_t>(EncodingRule::kDer)] = RuleResponse::kAccept;
+    p.responses[static_cast<uint8_t>(EncodingRule::kLongFormLength)] = long_form;
+    p.responses[static_cast<uint8_t>(EncodingRule::kConstructedString)] = constructed;
+    p.responses[static_cast<uint8_t>(EncodingRule::kIndefiniteLength)] = indefinite;
+    p.responses[static_cast<uint8_t>(EncodingRule::kPaddedBitString)] = padded;
+    p.responses[static_cast<uint8_t>(EncodingRule::kNonMinimalInteger)] = nonminimal_int;
+    return p;
+}
+
+// Declared tolerance per library, indexed like kAllLibraries. The C/Go
+// lineage parses strictly; Java's DerValue canonicalizes most BER forms
+// (DerIndefLenConverter) but refuses dirty pad bits; Bouncy Castle's
+// ASN1InputStream canonicalizes everything; forge parses whatever it
+// can and re-emits the original bytes; GnuTLS (libtasn1) historically
+// swallowed long-form and indefinite lengths.
+//                                        long  cons  indef pad   int
+constexpr EncodingProfile kProfiles[] = {
+    /* OpenSSL       */ make_profile(R,    R,    R,    R,    R),
+    /* GnuTLS        */ make_profile(N,    R,    N,    R,    R),
+    /* PyOpenSSL     */ make_profile(R,    R,    R,    R,    R),
+    /* Cryptography  */ make_profile(R,    R,    R,    R,    R),
+    /* GoCrypto      */ make_profile(R,    R,    R,    R,    R),
+    /* JavaSecurity  */ make_profile(N,    N,    N,    R,    N),
+    /* BouncyCastle  */ make_profile(N,    N,    N,    N,    N),
+    /* NodeCrypto    */ make_profile(R,    R,    R,    R,    R),
+    /* Forge         */ make_profile(A,    A,    A,    A,    A),
+};
+
+}  // namespace
+
+const char* rule_response_name(RuleResponse r) noexcept {
+    switch (r) {
+        case RuleResponse::kReject: return "reject";
+        case RuleResponse::kAccept: return "accept";
+        case RuleResponse::kNormalize: return "normalize";
+    }
+    return "?";
+}
+
+uint32_t EncodingProfile::rejected_mask() const noexcept {
+    uint32_t mask = 0;
+    for (EncodingRule r : asn1::kAllBerRules) {
+        if (response(r) == RuleResponse::kReject) mask |= asn1::encoding_rule_bit(r);
+    }
+    return mask;
+}
+
+uint32_t EncodingProfile::normalized_mask() const noexcept {
+    uint32_t mask = 0;
+    for (EncodingRule r : asn1::kAllBerRules) {
+        if (response(r) == RuleResponse::kNormalize) mask |= asn1::encoding_rule_bit(r);
+    }
+    return mask;
+}
+
+const EncodingProfile& encoding_profile(Library lib) noexcept {
+    return kProfiles[static_cast<size_t>(lib)];
+}
+
+EncodingOutcome parse_encoding(Library lib, BytesView der) {
+    EncodingOutcome out;
+    auto scan = asn1::scan_encoding(der, asn1::kToleranceAllBer);
+    if (!scan.ok()) {
+        // Not decodable even tolerantly: every library refuses.
+        out.error = scan.error().code;
+        return out;
+    }
+    out.deviations = scan->mask;
+    const EncodingProfile& profile = encoding_profile(lib);
+    for (EncodingRule r : asn1::kAllBerRules) {
+        if (scan->exercised(r) && profile.response(r) == RuleResponse::kReject) {
+            out.refused = r;
+            out.error = std::string("refused_") + asn1::encoding_rule_name(r);
+            return out;
+        }
+    }
+    out.accepted = true;
+
+    uint32_t normalized = profile.normalized_mask();
+    // Deliberate modelled implementation quirk (curated in
+    // tools/enccheck_baseline.txt): forge's re-emit path zeroes
+    // bit-string pad bits even though its declared profile claims it
+    // surfaces the raw encoding — declared kAccept, observed normalize.
+    if (lib == Library::kForge) {
+        normalized |= asn1::encoding_rule_bit(EncodingRule::kPaddedBitString);
+    }
+    if (out.deviations != 0 && (out.deviations & ~normalized) == 0) {
+        auto fixed = asn1::normalize_to_der(der, asn1::kToleranceAllBer);
+        if (fixed.ok()) {
+            out.wire = std::move(fixed.value().der);
+        } else {
+            out.wire.assign(der.begin(), der.end());
+        }
+    } else {
+        // Either pure DER or at least one tolerated rule the library
+        // leaves as-is: the re-emitted bytes are the input.
+        out.wire.assign(der.begin(), der.end());
+    }
+    return out;
+}
+
+}  // namespace unicert::tlslib

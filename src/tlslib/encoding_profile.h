@@ -1,0 +1,64 @@
+// unicert/tlslib/encoding_profile.h
+//
+// Per-library encoding-rule tolerance contracts. Where profile.h models
+// what each of the nine libraries does with *decoded values* (Tables
+// 4/5), this file models what each library does with the *encoding
+// itself*: for every non-DER rule in asn1::EncodingRule, does the
+// library reject the document, accept it and expose the raw BER bytes,
+// or accept it and canonicalize to DER? The declarations mirror
+// lint::RuleFootprint — static claims that `unicert_enccheck` verifies
+// dynamically against a BER-ized deviation corpus.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "asn1/encoding.h"
+#include "tlslib/library.h"
+
+namespace unicert::tlslib {
+
+// What a library does when a document exercises one non-DER rule.
+enum class RuleResponse : uint8_t {
+    kReject,     // parse error
+    kAccept,     // parses; re-emitted bytes keep the BER encoding
+    kNormalize,  // parses; re-emitted bytes are canonical DER
+};
+
+const char* rule_response_name(RuleResponse r) noexcept;
+
+// A library's declared tolerance, indexed by EncodingRule. The kDer
+// slot must be kAccept: every library accepts canonical DER.
+struct EncodingProfile {
+    std::array<RuleResponse, asn1::kEncodingRuleCount> responses{};
+
+    RuleResponse response(asn1::EncodingRule r) const noexcept {
+        return responses[static_cast<uint8_t>(r)];
+    }
+    uint32_t rejected_mask() const noexcept;
+    uint32_t normalized_mask() const noexcept;
+};
+
+// The declared profile for each of the nine libraries (static table,
+// the contract unicert_enccheck checks observed behaviour against).
+const EncodingProfile& encoding_profile(Library lib) noexcept;
+
+// Observed behaviour of one simulated encoding-parse.
+struct EncodingOutcome {
+    bool accepted = false;
+    uint32_t deviations = 0;  // mask of encoding_rule_bit()s in the input
+    // First rule (in kAllBerRules order) that made the library refuse.
+    std::optional<asn1::EncodingRule> refused;
+    // Bytes the library would re-emit after parsing: canonical DER when
+    // it normalizes everything it tolerated, the input verbatim when it
+    // surfaces raw BER. Empty on reject.
+    Bytes wire;
+    std::string error;  // stable code when !accepted
+};
+
+// Simulate `lib` parsing `der` (which may be BER) per its profile.
+// Free-function form of the LibraryModel::parse_encoding seam.
+EncodingOutcome parse_encoding(Library lib, BytesView der);
+
+}  // namespace unicert::tlslib

@@ -27,6 +27,10 @@ ParseOutcome LibraryModel::format_san(Library lib, const x509::GeneralNames& nam
     return tlslib::format_san(lib, names);
 }
 
+EncodingOutcome LibraryModel::parse_encoding(Library lib, BytesView der) {
+    return tlslib::parse_encoding(lib, der);
+}
+
 LibraryModel& builtin_model() {
     static LibraryModel model;
     return model;

@@ -9,6 +9,7 @@
 // oversize-output models) without touching the inference logic.
 #pragma once
 
+#include "tlslib/encoding_profile.h"
 #include "tlslib/profile.h"
 
 namespace unicert::tlslib {
@@ -27,6 +28,13 @@ public:
                                             FieldContext ctx);
     virtual ParseOutcome format_dn(Library lib, const x509::DistinguishedName& dn);
     virtual ParseOutcome format_san(Library lib, const x509::GeneralNames& names);
+
+    // Encoding-rule tolerance: how `lib` handles the (possibly BER)
+    // document bytes themselves. The default forwards to the declared
+    // EncodingProfile table; doubles override this to model a library
+    // whose observed behaviour drifts from its declaration — exactly
+    // what the EncodingAnalyzer must catch.
+    virtual EncodingOutcome parse_encoding(Library lib, BytesView der);
 };
 
 // The process-wide default model backed by profile.cc's tables.

@@ -61,6 +61,36 @@ TEST(DerReader, RejectsNonMinimalLength) {
     EXPECT_EQ(r.error().code, "der_nonminimal_length");
 }
 
+TEST(DerReader, RejectsRedundantZeroLengthOctets) {
+    // 0x82 0x00 0x05: two length octets where one carries the value —
+    // valid BER, but DER demands the minimum number of octets
+    // (X.690 10.1). Regression: this used to slip through because only
+    // the one-octet-long-form-below-0x80 case was policed.
+    Bytes b = {0x04, 0x82, 0x00, 0x05, 0x01, 0x02, 0x03, 0x04, 0x05};
+    auto r = read_tlv(b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "der_nonminimal_length");
+    EXPECT_EQ(r.error().offset, 2u);  // first (zero) length octet
+}
+
+TEST(DerReader, RedundantZeroBeatsWidthCheck) {
+    // Nine length octets headed by 0x00: the redundant zero is the
+    // DER defect to report, not the (would-be) oversize width.
+    Bytes b = {0x04, 0x89, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+    auto r = read_tlv(b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "der_nonminimal_length");
+}
+
+TEST(DerErrors, StableCodeNames) {
+    EXPECT_STREQ(asn1_error_code(Asn1Error::kNonMinimalLength), "der_nonminimal_length");
+    EXPECT_STREQ(asn1_error_code(Asn1Error::kIndefiniteLength), "der_indefinite_length");
+    EXPECT_STREQ(asn1_error_code(Asn1Error::kConstructedString), "ber_constructed_string");
+    EXPECT_STREQ(asn1_error_code(Asn1Error::kMissingEoc), "ber_missing_eoc");
+    EXPECT_STREQ(asn1_error_code(Asn1Error::kPaddedBitString), "ber_padded_bit_string");
+    EXPECT_STREQ(asn1_error_code(Asn1Error::kNonMinimalInteger), "ber_nonminimal_integer");
+}
+
 TEST(DerReader, SequenceIteration) {
     Writer w;
     w.add_sequence([](Writer& seq) {

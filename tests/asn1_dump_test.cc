@@ -90,6 +90,34 @@ TEST(Dump, DepthLimitStopsRecursion) {
     EXPECT_NE(deep.find("NULL"), std::string::npos);
 }
 
+TEST(Dump, IndefiniteLengthAnnotated) {
+    // SEQUENCE with indefinite length holding one INTEGER.
+    Bytes ber = {0x30, 0x80, 0x02, 0x01, 0x2A, 0x00, 0x00};
+    std::string out = dump(ber);
+    EXPECT_NE(out.find("SEQUENCE"), std::string::npos);
+    EXPECT_NE(out.find("[indefinite]"), std::string::npos);
+    EXPECT_NE(out.find("INTEGER (1) 42"), std::string::npos);
+    EXPECT_EQ(out.find("<malformed:"), std::string::npos);
+}
+
+TEST(Dump, ConstructedStringSegmentsAnnotated) {
+    // Constructed OCTET STRING of two primitive segments.
+    Bytes ber = {0x24, 0x08, 0x04, 0x02, 'a', 'b', 0x04, 0x02, 'c', 'd'};
+    std::string out = dump(ber);
+    EXPECT_NE(out.find("[2 segments]"), std::string::npos);
+    // The segments themselves render as children.
+    EXPECT_NE(out.find("\"ab\""), std::string::npos);
+    EXPECT_NE(out.find("\"cd\""), std::string::npos);
+    EXPECT_EQ(out.find("<malformed:"), std::string::npos);
+}
+
+TEST(Dump, LongFormLengthStillRenders) {
+    Bytes ber = {0x04, 0x81, 0x03, 'a', 'b', 'c'};
+    std::string out = dump(ber);
+    EXPECT_NE(out.find("OCTET STRING"), std::string::npos);
+    EXPECT_EQ(out.find("<malformed:"), std::string::npos);
+}
+
 TEST(Dump, BinaryContentHexPreviewTruncated) {
     Writer w;
     w.add_octet_string(Bytes(64, 0xAB));

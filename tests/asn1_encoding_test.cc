@@ -1,0 +1,294 @@
+// Tests for the tolerant TLV reader and the whole-document encoding
+// scan / normalize walker (asn1/encoding.h).
+#include "asn1/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/der.h"
+
+namespace unicert::asn1 {
+namespace {
+
+// ---- read_tlv_tolerant ----------------------------------------------------
+
+TEST(TolerantReader, StrictModeMatchesReadTlv) {
+    Writer w;
+    w.add_sequence([](Writer& seq) {
+        seq.add_integer(42);
+        seq.add_string(Tag::kUtf8String, "ok");
+    });
+    auto bt = read_tlv_tolerant(w.bytes(), kToleranceStrictDer);
+    ASSERT_TRUE(bt.ok());
+    EXPECT_EQ(bt->deviations, 0u);
+    EXPECT_FALSE(bt->indefinite);
+    auto plain = read_tlv(w.bytes());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(bt->tlv.total_len, plain->total_len);
+}
+
+TEST(TolerantReader, LongFormLength) {
+    Bytes b = {0x04, 0x81, 0x03, 'a', 'b', 'c'};
+    EXPECT_FALSE(read_tlv_tolerant(b, kToleranceStrictDer).ok());
+    auto bt = read_tlv_tolerant(b, kToleranceAllBer);
+    ASSERT_TRUE(bt.ok());
+    EXPECT_TRUE(bt->exercised(EncodingRule::kLongFormLength));
+    EXPECT_EQ(bt->tlv.content.size(), 3u);
+}
+
+TEST(TolerantReader, RedundantZeroLengthOctets) {
+    Bytes b = {0x04, 0x82, 0x00, 0x03, 'a', 'b', 'c'};
+    auto strict = read_tlv_tolerant(b, kToleranceStrictDer);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, "der_nonminimal_length");
+    auto bt = read_tlv_tolerant(b, kToleranceAllBer);
+    ASSERT_TRUE(bt.ok());
+    EXPECT_TRUE(bt->exercised(EncodingRule::kLongFormLength));
+    EXPECT_EQ(bt->tlv.content.size(), 3u);
+}
+
+TEST(TolerantReader, IndefiniteLength) {
+    Bytes b = {0x30, 0x80, 0x02, 0x01, 0x05, 0x00, 0x00};
+    auto strict = read_tlv_tolerant(b, kToleranceStrictDer);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, "der_indefinite_length");
+    auto bt = read_tlv_tolerant(b, kToleranceAllBer);
+    ASSERT_TRUE(bt.ok());
+    EXPECT_TRUE(bt->indefinite);
+    EXPECT_TRUE(bt->exercised(EncodingRule::kIndefiniteLength));
+    EXPECT_EQ(bt->tlv.content.size(), 3u);   // EOC excluded from content
+    EXPECT_EQ(bt->tlv.total_len, b.size());  // but included in total
+}
+
+TEST(TolerantReader, IndefiniteRequiresEoc) {
+    Bytes b = {0x30, 0x80, 0x02, 0x01, 0x05};
+    auto bt = read_tlv_tolerant(b, kToleranceAllBer);
+    ASSERT_FALSE(bt.ok());
+    EXPECT_EQ(bt.error().code, "ber_missing_eoc");
+}
+
+TEST(TolerantReader, IndefiniteOnPrimitiveRejected) {
+    // 0x80 length on a primitive identifier is not a tolerable BER form.
+    Bytes b = {0x04, 0x80, 0x00, 0x00};
+    EXPECT_FALSE(read_tlv_tolerant(b, kToleranceAllBer).ok());
+}
+
+TEST(TolerantReader, ConstructedStringTolerated) {
+    // Constructed OCTET STRING (0x24) of two primitive segments.
+    Bytes b = {0x24, 0x08, 0x04, 0x02, 'a', 'b', 0x04, 0x02, 'c', 'd'};
+    auto strict = read_tlv_tolerant(b, kToleranceStrictDer);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, "ber_constructed_string");
+    auto bt = read_tlv_tolerant(b, kToleranceAllBer);
+    ASSERT_TRUE(bt.ok());
+    EXPECT_TRUE(bt->exercised(EncodingRule::kConstructedString));
+}
+
+TEST(TolerantReader, ConstructedBitStringAlwaysRejected) {
+    // X.509 never segments BIT STRING; the reader refuses it under every
+    // tolerance rather than guessing at pad-octet semantics.
+    Bytes b = {0x23, 0x08, 0x03, 0x02, 0x00, 0xAA, 0x03, 0x02, 0x00, 0xBB};
+    EXPECT_FALSE(read_tlv_tolerant(b, kToleranceStrictDer).ok());
+    EXPECT_FALSE(read_tlv_tolerant(b, kToleranceAllBer).ok());
+}
+
+TEST(TolerantReader, ToleranceIsPerRule) {
+    Bytes long_form = {0x04, 0x81, 0x03, 'a', 'b', 'c'};
+    EXPECT_TRUE(
+        read_tlv_tolerant(long_form, encoding_rule_bit(EncodingRule::kLongFormLength)).ok());
+    EXPECT_FALSE(
+        read_tlv_tolerant(long_form, encoding_rule_bit(EncodingRule::kIndefiniteLength)).ok());
+}
+
+// ---- value-level predicates ------------------------------------------------
+
+TEST(ValuePredicates, NonMinimalInteger) {
+    EXPECT_TRUE(integer_is_nonminimal(Bytes{0x00, 0x05}));
+    EXPECT_TRUE(integer_is_nonminimal(Bytes{0xFF, 0x85}));
+    EXPECT_FALSE(integer_is_nonminimal(Bytes{0x00, 0x85}));  // needed sign octet
+    EXPECT_FALSE(integer_is_nonminimal(Bytes{0xFF, 0x05}));  // stripping would flip sign
+    EXPECT_FALSE(integer_is_nonminimal(Bytes{0x05}));
+    EXPECT_FALSE(integer_is_nonminimal(Bytes{0x00}));
+}
+
+TEST(ValuePredicates, BitStringPad) {
+    EXPECT_TRUE(bit_string_pad_nonzero(Bytes{0x04, 0xFF}));
+    EXPECT_FALSE(bit_string_pad_nonzero(Bytes{0x04, 0xF0}));
+    EXPECT_FALSE(bit_string_pad_nonzero(Bytes{0x00, 0xFF}));  // no pad bits
+    EXPECT_FALSE(bit_string_pad_nonzero(Bytes{0x00}));        // empty bit string
+}
+
+// ---- scan_encoding ---------------------------------------------------------
+
+TEST(ScanEncoding, StrictDerIsClean) {
+    Writer w;
+    w.add_sequence([](Writer& seq) {
+        seq.add_integer(128);
+        seq.add_bit_string(Bytes{0xDE, 0xAD});
+        seq.add_octet_string(Bytes{0xFF, 0xFE});
+    });
+    auto scan = scan_encoding(w.bytes(), kToleranceAllBer);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_TRUE(scan->strict_der());
+    EXPECT_TRUE(scan->deviations.empty());
+    EXPECT_GE(scan->tlv_count, 4u);
+}
+
+TEST(ScanEncoding, DetectsEachRule) {
+    struct Case {
+        Bytes doc;
+        EncodingRule rule;
+    } cases[] = {
+        {{0x04, 0x81, 0x03, 'a', 'b', 'c'}, EncodingRule::kLongFormLength},
+        {{0x30, 0x80, 0x02, 0x01, 0x05, 0x00, 0x00}, EncodingRule::kIndefiniteLength},
+        {{0x24, 0x08, 0x04, 0x02, 'a', 'b', 0x04, 0x02, 'c', 'd'},
+         EncodingRule::kConstructedString},
+        {{0x03, 0x02, 0x04, 0xFF}, EncodingRule::kPaddedBitString},
+        {{0x02, 0x02, 0x00, 0x05}, EncodingRule::kNonMinimalInteger},
+    };
+    for (const Case& c : cases) {
+        auto scan = scan_encoding(c.doc, kToleranceAllBer);
+        ASSERT_TRUE(scan.ok()) << encoding_rule_name(c.rule);
+        EXPECT_TRUE(scan->exercised(c.rule)) << encoding_rule_name(c.rule);
+        EXPECT_EQ(scan->mask, encoding_rule_bit(c.rule)) << encoding_rule_name(c.rule);
+        ASSERT_FALSE(scan->deviations.empty());
+        EXPECT_EQ(scan->deviations.front().rule, c.rule);
+        // The same document is a strict-DER error, with the rule's code.
+        EXPECT_FALSE(scan_encoding(c.doc, kToleranceStrictDer).ok())
+            << encoding_rule_name(c.rule);
+    }
+}
+
+TEST(ScanEncoding, DescendsIntoOctetStringWrappers) {
+    // OCTET STRING wrapping an INTEGER with a long-form length — the
+    // extension-body shape. The deviation is inside the wrapper.
+    Bytes b = {0x04, 0x04, 0x02, 0x81, 0x01, 0x05};
+    auto scan = scan_encoding(b, kToleranceAllBer);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_TRUE(scan->exercised(EncodingRule::kLongFormLength));
+}
+
+TEST(ScanEncoding, OpaqueOctetStringStaysOpaque) {
+    Bytes b = {0x04, 0x02, 0xFF, 0xFE};  // content is not a TLV
+    auto scan = scan_encoding(b, kToleranceAllBer);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_TRUE(scan->strict_der());
+}
+
+TEST(ScanEncoding, DepthGuard) {
+    Bytes doc = {0x04, 0x01, 0x41};
+    for (size_t i = 0; i < kMaxNestingDepth + 4; ++i) {
+        Bytes shell = {0x30};
+        Bytes len = encode_length(doc.size());
+        shell.insert(shell.end(), len.begin(), len.end());
+        shell.insert(shell.end(), doc.begin(), doc.end());
+        doc = std::move(shell);
+    }
+    auto scan = scan_encoding(doc, kToleranceAllBer);
+    ASSERT_FALSE(scan.ok());
+    EXPECT_EQ(scan.error().code, "der_nesting_too_deep");
+}
+
+// ---- normalize_to_der ------------------------------------------------------
+
+TEST(NormalizeToDer, StrictDerIsByteIdentical) {
+    Writer w;
+    w.add_sequence([](Writer& seq) {
+        seq.add_integer(-129);
+        seq.add_string(Tag::kPrintableString, "id");
+        seq.add_explicit(0, [](Writer& inner) { inner.add_boolean(true); });
+    });
+    auto norm = normalize_to_der(w.bytes(), kToleranceAllBer);
+    ASSERT_TRUE(norm.ok());
+    EXPECT_EQ(norm->der, w.bytes());
+    EXPECT_EQ(norm->mask, 0u);
+}
+
+TEST(NormalizeToDer, CanonicalizesEachRule) {
+    struct Case {
+        Bytes doc;
+        Bytes want;
+    } cases[] = {
+        // long form -> short form
+        {{0x04, 0x81, 0x03, 'a', 'b', 'c'}, {0x04, 0x03, 'a', 'b', 'c'}},
+        // indefinite -> definite
+        {{0x30, 0x80, 0x02, 0x01, 0x05, 0x00, 0x00}, {0x30, 0x03, 0x02, 0x01, 0x05}},
+        // constructed string -> primitive concatenation
+        {{0x24, 0x08, 0x04, 0x02, 'a', 'b', 0x04, 0x02, 'c', 'd'},
+         {0x04, 0x04, 'a', 'b', 'c', 'd'}},
+        // pad bits zeroed
+        {{0x03, 0x02, 0x04, 0xFF}, {0x03, 0x02, 0x04, 0xF0}},
+        // redundant sign octets stripped (positive and negative)
+        {{0x02, 0x02, 0x00, 0x05}, {0x02, 0x01, 0x05}},
+        {{0x02, 0x03, 0xFF, 0xFF, 0x85}, {0x02, 0x01, 0x85}},
+    };
+    for (const Case& c : cases) {
+        auto norm = normalize_to_der(c.doc, kToleranceAllBer);
+        ASSERT_TRUE(norm.ok());
+        EXPECT_EQ(norm->der, c.want);
+        // The normalized form is clean DER: a re-scan finds nothing.
+        auto rescan = scan_encoding(norm->der, kToleranceAllBer);
+        ASSERT_TRUE(rescan.ok());
+        EXPECT_TRUE(rescan->strict_der());
+    }
+}
+
+TEST(NormalizeToDer, AgreesWithScan) {
+    Bytes b = {0x30, 0x80, 0x02, 0x02, 0x00, 0x05, 0x00, 0x00};
+    auto scan = scan_encoding(b, kToleranceAllBer);
+    auto norm = normalize_to_der(b, kToleranceAllBer);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_TRUE(norm.ok());
+    EXPECT_EQ(scan->mask, norm->mask);
+    EXPECT_EQ(scan->deviations, norm->deviations);
+    EXPECT_TRUE(scan->exercised(EncodingRule::kIndefiniteLength));
+    EXPECT_TRUE(scan->exercised(EncodingRule::kNonMinimalInteger));
+}
+
+TEST(NormalizeToDer, NestedWrapperCanonicalized) {
+    Bytes b = {0x04, 0x04, 0x02, 0x81, 0x01, 0x05};
+    Bytes want = {0x04, 0x03, 0x02, 0x01, 0x05};
+    auto norm = normalize_to_der(b, kToleranceAllBer);
+    ASSERT_TRUE(norm.ok());
+    EXPECT_EQ(norm->der, want);
+}
+
+// ---- nested_in_octet_string ------------------------------------------------
+
+TEST(NestedInOctetString, AcceptsExactWrapper) {
+    Writer inner;
+    inner.add_integer(7);
+    Writer w;
+    w.add_octet_string(inner.bytes());
+    auto tlv = read_tlv(w.bytes());
+    ASSERT_TRUE(tlv.ok());
+    auto nested = nested_in_octet_string(tlv.value(), kToleranceStrictDer);
+    ASSERT_TRUE(nested.has_value());
+    EXPECT_TRUE(nested->tlv.is_universal(Tag::kInteger));
+}
+
+TEST(NestedInOctetString, RejectsTrailingBytes) {
+    // Inner TLV plus one stray byte: not an exact wrapper.
+    Bytes b = {0x04, 0x04, 0x02, 0x01, 0x07, 0xAA};
+    auto tlv = read_tlv(b);
+    ASSERT_TRUE(tlv.ok());
+    EXPECT_FALSE(nested_in_octet_string(tlv.value(), kToleranceAllBer).has_value());
+}
+
+TEST(NestedInOctetString, RejectsNonUniversalContent) {
+    // Context-class inner TLV: treated as opaque bytes.
+    Bytes b = {0x04, 0x03, 0x82, 0x01, 0x07};
+    auto tlv = read_tlv(b);
+    ASSERT_TRUE(tlv.ok());
+    EXPECT_FALSE(nested_in_octet_string(tlv.value(), kToleranceAllBer).has_value());
+}
+
+// ---- encode_length_ber_long ------------------------------------------------
+
+TEST(EncodeLengthBerLong, Shapes) {
+    EXPECT_EQ(encode_length_ber_long(3, 0), (Bytes{0x81, 0x03}));
+    EXPECT_EQ(encode_length_ber_long(3, 1), (Bytes{0x82, 0x00, 0x03}));
+    EXPECT_EQ(encode_length_ber_long(300, 1), (Bytes{0x83, 0x00, 0x01, 0x2C}));
+}
+
+}  // namespace
+}  // namespace unicert::asn1

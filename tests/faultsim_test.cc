@@ -320,6 +320,40 @@ TEST(DerMutator, EveryMutationHasAName) {
     for (DerMutation m : kAllDerMutations) {
         EXPECT_STRNE(der_mutation_name(m), "?");
     }
+    EXPECT_STREQ(der_mutation_name(DerMutation::kBerize), "berize");
+}
+
+TEST(DerMutator, BerizeExcludedFromDefaultPick) {
+    // kBerize must never appear in the default stream: the campaign
+    // checkpoints and golden corpora byte-pin pick()'s distribution.
+    DerMutator m(42);
+    for (uint64_t salt = 0; salt < 256; ++salt) {
+        EXPECT_NE(m.pick(salt), DerMutation::kBerize) << salt;
+    }
+}
+
+TEST(DerMutator, BerAxisWidensPick) {
+    DerMutator plain(42);
+    DerMutator widened(42, /*ber_axis=*/true);
+    EXPECT_FALSE(plain.ber_axis());
+    EXPECT_TRUE(widened.ber_axis());
+    bool saw_berize = false;
+    for (uint64_t salt = 0; salt < 256 && !saw_berize; ++salt) {
+        saw_berize = widened.pick(salt) == DerMutation::kBerize;
+    }
+    EXPECT_TRUE(saw_berize);
+}
+
+TEST(DerMutator, BerizeAppliedViaApplyYieldsBerOrNoise) {
+    // Through apply(), kBerize either produces a tolerantly-decodable
+    // BER re-encoding of the document or falls back to byte noise —
+    // it must never return the input unchanged.
+    Bytes der = der_mutator_tests::sample_der();
+    DerMutator m(9, /*ber_axis=*/true);
+    for (uint64_t salt = 0; salt < 16; ++salt) {
+        Bytes mutated = m.apply(DerMutation::kBerize, der, salt);
+        EXPECT_NE(mutated, der) << salt;
+    }
 }
 
 }  // namespace

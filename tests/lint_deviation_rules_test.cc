@@ -1,0 +1,128 @@
+// Tests for the encoding-deviation lint family (rules_deviation.cc):
+// the five document-level BER-vs-DER rules living in their own
+// registry, separate from the paper's 95-lint Table 1 census.
+#include <gtest/gtest.h>
+
+#include "asn1/encoding.h"
+#include "crypto/simsig.h"
+#include "ctlog/corpus.h"
+#include "faultsim/der_mutator.h"
+#include "lint/cert_view.h"
+#include "lint/lint.h"
+#include "lint/rules.h"
+#include "x509/builder.h"
+#include "x509/parser.h"
+
+namespace unicert::lint {
+namespace {
+
+using asn1::EncodingRule;
+
+struct LintRulePair {
+    const char* lint;
+    EncodingRule rule;
+};
+constexpr LintRulePair kPairs[] = {
+    {"e_ber_long_form_length", EncodingRule::kLongFormLength},
+    {"e_ber_indefinite_length", EncodingRule::kIndefiniteLength},
+    {"e_ber_constructed_string", EncodingRule::kConstructedString},
+    {"w_nonminimal_integer", EncodingRule::kNonMinimalInteger},
+    {"e_bit_string_pad_nonzero", EncodingRule::kPaddedBitString},
+};
+
+x509::Certificate make_test_cert(Bytes* out_der) {
+    ctlog::CorpusOptions copts;
+    copts.seed = 5;
+    copts.scale = 30000000.0;  // one or two certs
+    ctlog::CorpusGenerator gen(copts);
+    auto corpus = gen.generate();
+    EXPECT_FALSE(corpus.empty());
+    x509::Certificate cert = corpus.front().cert;
+    // Padded-capable keyUsage carrier (5 zero pad bits).
+    cert.extensions.push_back(
+        x509::Extension{asn1::oids::key_usage(), true, Bytes{0x03, 0x02, 0x05, 0xA0}});
+    crypto::SimSigner signer = crypto::SimSigner::from_name("Deviation CA");
+    *out_der = x509::sign_certificate(cert, signer);
+    return cert;
+}
+
+TEST(DeviationRegistry, ExactlyTheFiveRules) {
+    const Registry& reg = encoding_deviation_registry();
+    EXPECT_EQ(reg.rules().size(), 5u);
+    for (const LintRulePair& p : kPairs) {
+        const Rule* rule = reg.find(p.lint);
+        ASSERT_NE(rule, nullptr) << p.lint;
+        EXPECT_TRUE(rule->info.footprint.allows_field(x509::CertField::kWholeCert)) << p.lint;
+        EXPECT_EQ(rule->info.type, NcType::kInvalidEncoding) << p.lint;
+    }
+    // Severity convention: warning prefix <=> warning severity.
+    EXPECT_EQ(reg.find("w_nonminimal_integer")->info.severity, Severity::kWarning);
+    EXPECT_EQ(reg.find("e_ber_indefinite_length")->info.severity, Severity::kError);
+}
+
+TEST(DeviationRegistry, SeparateFromTable1Census) {
+    const Registry& table1 = default_registry();
+    for (const LintRulePair& p : kPairs) {
+        EXPECT_EQ(table1.find(p.lint), nullptr)
+            << p.lint << " must not perturb the pinned 95-lint census";
+    }
+}
+
+TEST(DeviationRules, SilentOnStrictDer) {
+    Bytes der;
+    make_test_cert(&der);
+    auto parsed = x509::parse_certificate(der);
+    ASSERT_TRUE(parsed.ok());
+    x509::Certificate cert = std::move(parsed).value();
+    CertView view(cert);
+    for (const LintRulePair& p : kPairs) {
+        auto verdict = encoding_deviation_registry().find(p.lint)->check(view);
+        EXPECT_FALSE(verdict.has_value()) << p.lint;
+    }
+}
+
+TEST(DeviationRules, EachFiresOnItsOwnDeviation) {
+    Bytes der;
+    make_test_cert(&der);
+    faultsim::DerMutator mutator(3);
+    for (const LintRulePair& p : kPairs) {
+        std::optional<Bytes> mutated;
+        for (uint64_t salt = 0; salt < 8 && !mutated; ++salt) {
+            mutated = mutator.berize(p.rule, der, salt);
+        }
+        ASSERT_TRUE(mutated.has_value()) << p.lint;
+
+        auto parsed = x509::parse_certificate(der);
+        ASSERT_TRUE(parsed.ok());
+        x509::Certificate cert = std::move(parsed).value();
+        cert.der.assign(mutated->begin(), mutated->end());
+        CertView view(cert);
+
+        for (const LintRulePair& q : kPairs) {
+            auto verdict = encoding_deviation_registry().find(q.lint)->check(view);
+            if (q.rule == p.rule) {
+                ASSERT_TRUE(verdict.has_value()) << q.lint << " on " << p.lint << " mutant";
+                EXPECT_NE(verdict->find("offset"), std::string::npos);
+            } else {
+                EXPECT_FALSE(verdict.has_value()) << q.lint << " on " << p.lint << " mutant";
+            }
+        }
+    }
+}
+
+TEST(DeviationRules, SilentOnUndecodableBytes) {
+    Bytes der;
+    make_test_cert(&der);
+    auto parsed = x509::parse_certificate(der);
+    ASSERT_TRUE(parsed.ok());
+    x509::Certificate cert = std::move(parsed).value();
+    cert.der = {0xFF, 0x03, 0x00};  // not tolerantly decodable
+    CertView view(cert);
+    for (const LintRulePair& p : kPairs) {
+        EXPECT_FALSE(encoding_deviation_registry().find(p.lint)->check(view).has_value())
+            << p.lint;
+    }
+}
+
+}  // namespace
+}  // namespace unicert::lint

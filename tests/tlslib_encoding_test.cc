@@ -1,0 +1,286 @@
+// Tests for the declared EncodingProfiles, the parse_encoding model
+// seam, and the EncodingAnalyzer conformance checker.
+#include "tlslib/encoding_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "asn1/encoding.h"
+#include "tlslib/analysis/encoding_analyzer.h"
+#include "tlslib/model.h"
+
+namespace unicert::tlslib {
+namespace {
+
+using asn1::EncodingRule;
+namespace analysis = tlslib::analysis;
+
+// A BER document per rule (single-rule, normalizable).
+Bytes doc_for(EncodingRule rule) {
+    switch (rule) {
+        case EncodingRule::kDer: return {0x04, 0x03, 'a', 'b', 'c'};
+        case EncodingRule::kLongFormLength: return {0x04, 0x81, 0x03, 'a', 'b', 'c'};
+        case EncodingRule::kConstructedString:
+            return {0x24, 0x08, 0x04, 0x02, 'a', 'b', 0x04, 0x02, 'c', 'd'};
+        case EncodingRule::kIndefiniteLength:
+            return {0x30, 0x80, 0x02, 0x01, 0x05, 0x00, 0x00};
+        case EncodingRule::kPaddedBitString: return {0x03, 0x02, 0x04, 0xFF};
+        case EncodingRule::kNonMinimalInteger: return {0x02, 0x02, 0x00, 0x05};
+    }
+    return {};
+}
+
+// ---- declared profiles -----------------------------------------------------
+
+TEST(EncodingProfile, EveryLibraryAcceptsDer) {
+    for (Library lib : kAllLibraries) {
+        EXPECT_EQ(encoding_profile(lib).response(EncodingRule::kDer), RuleResponse::kAccept)
+            << library_name(lib);
+    }
+}
+
+TEST(EncodingProfile, EveryRuleHasDisagreement) {
+    // The differential surface is only interesting if, for each BER
+    // rule, at least one library refuses it and at least one does not.
+    for (EncodingRule rule : asn1::kAllBerRules) {
+        int rejecting = 0, tolerating = 0;
+        for (Library lib : kAllLibraries) {
+            if (encoding_profile(lib).response(rule) == RuleResponse::kReject) {
+                ++rejecting;
+            } else {
+                ++tolerating;
+            }
+        }
+        EXPECT_GT(rejecting, 0) << asn1::encoding_rule_name(rule);
+        EXPECT_GT(tolerating, 0) << asn1::encoding_rule_name(rule);
+    }
+}
+
+TEST(EncodingProfile, MasksMatchResponses) {
+    const EncodingProfile& gnutls = encoding_profile(Library::kGnuTls);
+    EXPECT_NE(gnutls.rejected_mask() & asn1::encoding_rule_bit(EncodingRule::kConstructedString),
+              0u);
+    EXPECT_NE(gnutls.normalized_mask() & asn1::encoding_rule_bit(EncodingRule::kLongFormLength),
+              0u);
+    EXPECT_EQ(encoding_profile(Library::kOpenSsl).rejected_mask(),
+              asn1::kToleranceAllBer);  // OpenSSL refuses every BER rule
+    EXPECT_EQ(encoding_profile(Library::kForge).rejected_mask(), 0u);
+}
+
+// ---- parse_encoding --------------------------------------------------------
+
+TEST(ParseEncoding, StrictDerAcceptedVerbatimEverywhere) {
+    Bytes der = doc_for(EncodingRule::kDer);
+    for (Library lib : kAllLibraries) {
+        EncodingOutcome out = parse_encoding(lib, der);
+        EXPECT_TRUE(out.accepted) << library_name(lib);
+        EXPECT_EQ(out.deviations, 0u);
+        EXPECT_EQ(out.wire, der) << library_name(lib);
+    }
+}
+
+TEST(ParseEncoding, OpenSslRefusesEveryBerRule) {
+    for (EncodingRule rule : asn1::kAllBerRules) {
+        EncodingOutcome out = parse_encoding(Library::kOpenSsl, doc_for(rule));
+        EXPECT_FALSE(out.accepted) << asn1::encoding_rule_name(rule);
+        ASSERT_TRUE(out.refused.has_value());
+        EXPECT_EQ(*out.refused, rule);
+        EXPECT_NE(out.error.find("refused_"), std::string::npos);
+    }
+}
+
+TEST(ParseEncoding, BouncyCastleNormalizesEverything) {
+    for (EncodingRule rule : asn1::kAllBerRules) {
+        Bytes doc = doc_for(rule);
+        EncodingOutcome out = parse_encoding(Library::kBouncyCastle, doc);
+        ASSERT_TRUE(out.accepted) << asn1::encoding_rule_name(rule);
+        auto norm = asn1::normalize_to_der(doc, asn1::kToleranceAllBer);
+        ASSERT_TRUE(norm.ok());
+        EXPECT_EQ(out.wire, norm->der) << asn1::encoding_rule_name(rule);
+        EXPECT_NE(out.wire, doc) << asn1::encoding_rule_name(rule);
+    }
+}
+
+TEST(ParseEncoding, ForgeEchoesRawBytes) {
+    // Forge accepts without normalizing: the wire view keeps the BER.
+    Bytes doc = doc_for(EncodingRule::kLongFormLength);
+    EncodingOutcome out = parse_encoding(Library::kForge, doc);
+    ASSERT_TRUE(out.accepted);
+    EXPECT_EQ(out.wire, doc);
+}
+
+TEST(ParseEncoding, ForgePaddedBitStringQuirk) {
+    // The deliberate declaration drift the baseline acknowledges: Forge
+    // declares kAccept for padded bit strings yet re-packs the value.
+    Bytes doc = doc_for(EncodingRule::kPaddedBitString);
+    EncodingOutcome out = parse_encoding(Library::kForge, doc);
+    ASSERT_TRUE(out.accepted);
+    auto norm = asn1::normalize_to_der(doc, asn1::kToleranceAllBer);
+    ASSERT_TRUE(norm.ok());
+    EXPECT_EQ(out.wire, norm->der);
+    EXPECT_NE(out.wire, doc);
+}
+
+TEST(ParseEncoding, GnuTlsMixedProfile) {
+    EXPECT_TRUE(parse_encoding(Library::kGnuTls, doc_for(EncodingRule::kLongFormLength)).accepted);
+    EXPECT_FALSE(
+        parse_encoding(Library::kGnuTls, doc_for(EncodingRule::kConstructedString)).accepted);
+    EXPECT_FALSE(
+        parse_encoding(Library::kGnuTls, doc_for(EncodingRule::kPaddedBitString)).accepted);
+}
+
+TEST(ParseEncoding, UndecodableBytesRefusedEverywhere) {
+    Bytes junk = {0xFF, 0x09, 0x00};
+    for (Library lib : kAllLibraries) {
+        EncodingOutcome out = parse_encoding(lib, junk);
+        EXPECT_FALSE(out.accepted) << library_name(lib);
+        EXPECT_FALSE(out.refused.has_value()) << library_name(lib);
+        EXPECT_FALSE(out.error.empty());
+    }
+}
+
+// ---- EncodingAnalyzer ------------------------------------------------------
+
+analysis::EncodingAnalyzerOptions fast_options() {
+    analysis::EncodingAnalyzerOptions options;
+    options.corpus_scale = 4000000.0;  // ~9 base certs: fast but covering
+    options.variants_per_rule = 2;
+    options.determinism_repeats = 1;
+    return options;
+}
+
+TEST(EncodingAnalyzer, CorpusCoversEveryRule) {
+    auto probes = analysis::EncodingAnalyzer::build_corpus(fast_options());
+    ASSERT_FALSE(probes.empty());
+    std::array<size_t, asn1::kEncodingRuleCount> seen{};
+    size_t controls = 0;
+    for (const auto& p : probes) {
+        if (!p.target) {
+            ++controls;
+            EXPECT_EQ(p.mask, 0u);
+            continue;
+        }
+        seen[static_cast<size_t>(*p.target)]++;
+        EXPECT_TRUE((p.mask & asn1::encoding_rule_bit(*p.target)) != 0);
+    }
+    EXPECT_GT(controls, 0u);
+    for (EncodingRule rule : asn1::kAllBerRules) {
+        EXPECT_GT(seen[static_cast<size_t>(rule)], 0u) << asn1::encoding_rule_name(rule);
+    }
+}
+
+TEST(EncodingAnalyzer, BuiltinModelCleanModuloForgeQuirk) {
+    analysis::EncodingAnalyzer analyzer(fast_options());
+    analysis::EncodingReport report = analyzer.analyze(builtin_model());
+    ASSERT_EQ(report.findings.size(), 1u);
+    const analysis::EncFinding& f = report.findings.front();
+    EXPECT_EQ(f.cls, analysis::EncCheckClass::kNormalizeMismatch);
+    EXPECT_EQ(f.subject, "Forge");
+    EXPECT_EQ(f.rule, "ber_padded_bit_string");
+
+    // ...and that one finding is exactly what the checked-in baseline
+    // acknowledges.
+    size_t moved = analysis::apply_baseline(
+        report, "# comment\nnormalize_mismatch Forge ber_padded_bit_string\n");
+    EXPECT_EQ(moved, 1u);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(analysis::exit_code(report), 0);
+}
+
+TEST(EncodingAnalyzer, DetectsProfileDrift) {
+    // A model that refuses long-form lengths as BouncyCastle (declared:
+    // normalize everything) must produce a profile_violation naming it.
+    class Drifting : public LibraryModel {
+    public:
+        EncodingOutcome parse_encoding(Library lib, BytesView der) override {
+            EncodingOutcome out = LibraryModel::parse_encoding(lib, der);
+            if (lib == Library::kBouncyCastle && out.accepted &&
+                (out.deviations &
+                 asn1::encoding_rule_bit(EncodingRule::kLongFormLength)) != 0) {
+                out.accepted = false;
+                out.refused = EncodingRule::kLongFormLength;
+                out.error = "drift";
+                out.wire.clear();
+            }
+            return out;
+        }
+    } model;
+    auto options = fast_options();
+    options.check_rule_metadata = false;  // model drift is the subject here
+    analysis::EncodingAnalyzer analyzer(options);
+    analysis::EncodingReport report = analyzer.analyze(model);
+    bool found = false;
+    for (const analysis::EncFinding& f : report.findings) {
+        if (f.cls == analysis::EncCheckClass::kProfileViolation &&
+            f.subject == library_name(Library::kBouncyCastle) &&
+            f.rule == "ber_long_form_length") {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(analysis::exit_code(report), 1);
+}
+
+TEST(EncodingAnalyzer, DetectsNondeterminism) {
+    // Flips its verdict the second time it sees the same document, so
+    // the analyzer's repeat pass is guaranteed to observe the drift.
+    class Flaky : public LibraryModel {
+    public:
+        EncodingOutcome parse_encoding(Library lib, BytesView der) override {
+            EncodingOutcome out = LibraryModel::parse_encoding(lib, der);
+            if (lib == Library::kForge && out.deviations != 0 &&
+                ++seen_[Bytes(der.begin(), der.end())] > 1) {
+                out.accepted = false;
+                out.error = "flaky";
+                out.wire.clear();
+            }
+            return out;
+        }
+
+    private:
+        std::map<Bytes, unsigned> seen_;
+    } model;
+    auto options = fast_options();
+    options.check_lints = false;
+    options.check_rule_metadata = false;
+    analysis::EncodingAnalyzer analyzer(options);
+    analysis::EncodingReport report = analyzer.analyze(model);
+    bool nondet = false;
+    for (const analysis::EncFinding& f : report.findings) {
+        if (f.cls == analysis::EncCheckClass::kNondeterminism && f.subject == "Forge") {
+            nondet = true;
+        }
+    }
+    EXPECT_TRUE(nondet);
+}
+
+TEST(EncodingAnalyzer, ReportsAreDeterministic) {
+    auto options = fast_options();
+    analysis::EncodingAnalyzer analyzer(options);
+    analysis::EncodingReport a = analyzer.analyze(builtin_model());
+    analysis::EncodingReport b = analyzer.analyze(builtin_model());
+    EXPECT_EQ(analysis::encoding_report_to_json(a), analysis::encoding_report_to_json(b));
+}
+
+TEST(EncodingAnalyzer, JsonShape) {
+    analysis::EncodingAnalyzer analyzer(fast_options());
+    analysis::EncodingReport report = analyzer.analyze(builtin_model());
+    std::string json = analysis::encoding_report_to_json(report);
+    EXPECT_NE(json.find("\"libraries_checked\":9"), std::string::npos);
+    EXPECT_NE(json.find("\"per_rule_probes\""), std::string::npos);
+    EXPECT_NE(json.find("\"ber_long_form_length\""), std::string::npos);
+    EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"class\":\"normalize_mismatch\""), std::string::npos);
+}
+
+TEST(EncodingAnalyzer, BaselineLineFormat) {
+    analysis::EncFinding f;
+    f.cls = analysis::EncCheckClass::kRuleUncovered;
+    f.subject = "corpus";
+    f.rule = "";
+    EXPECT_EQ(analysis::baseline_line(f), "rule_uncovered corpus -");
+}
+
+}  // namespace
+}  // namespace unicert::tlslib

@@ -1,0 +1,189 @@
+// unicert_enccheck: encoding-rule conformance gate (DESIGN.md
+// section 14). Every library profile declares how it treats each
+// non-DER encoding rule (reject / accept raw / normalize); this tool
+// replays a seeded deviation corpus — probe certificates crossed with
+// semantics-preserving BER-izing mutations — through all nine models
+// and verifies the observed behaviour matches the declaration, plus
+// determinism, order independence, corpus coverage, the deviation
+// lints, and the deviation-lint registry metadata. Known-intentional
+// findings live in a checked-in baseline (tools/enccheck_baseline.txt).
+//
+//   unicert_enccheck [options]
+//     --json               machine-readable report on stdout
+//     --baseline FILE      acknowledge findings listed in FILE
+//     --write-baseline     print baseline lines for current findings
+//                          (redirect into the baseline file to accept)
+//     --seed N             probe corpus seed (default 42)
+//     --scale X            corpus downscale factor (default 600000)
+//     --no-lints           skip the deviation-lint ground-truth check
+//     --no-metadata        skip lint::analysis over the deviation rules
+//     --self-test-bad      analyze a deliberately drifting model double
+//                          and expect findings (gate plumbing test)
+//
+// Exit code: 0 = clean (after baseline), 1 = findings remain, 2 = usage
+// or I/O error. With --self-test-bad CI asserts the exit is non-zero.
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "asn1/encoding.h"
+#include "tlslib/analysis/encoding_analyzer.h"
+#include "tlslib/model.h"
+
+using namespace unicert;
+using tlslib::analysis::EncFinding;
+using tlslib::analysis::EncodingReport;
+
+namespace {
+
+void print_usage() {
+    std::printf(
+        "usage: unicert_enccheck [options]\n"
+        "  --json            machine-readable report on stdout\n"
+        "  --baseline FILE   acknowledge findings listed in FILE\n"
+        "  --write-baseline  print baseline lines for current findings\n"
+        "  --seed N          probe corpus seed (default 42)\n"
+        "  --scale X         corpus downscale factor (default 600000)\n"
+        "  --no-lints        skip the deviation-lint ground-truth check\n"
+        "  --no-metadata     skip lint::analysis over the deviation rules\n"
+        "  --self-test-bad   analyze a deliberately drifting model double\n");
+}
+
+// A model whose observed encoding behaviour drifts from the declared
+// profiles in two distinct ways, proving the gate actually trips:
+//   * BouncyCastle (declared: normalize everything) refuses long-form
+//     lengths -> profile_violation;
+//   * OpenSSL's verdict on deviant documents depends on hidden state
+//     (it flips the second time it sees the same bytes) ->
+//     nondeterminism and order_dependence.
+class DriftingModel : public tlslib::LibraryModel {
+public:
+    tlslib::EncodingOutcome parse_encoding(tlslib::Library lib, BytesView der) override {
+        auto scan = asn1::scan_encoding(der, asn1::kToleranceAllBer);
+        const uint32_t mask = scan.ok() ? scan->mask : 0;
+        if (lib == tlslib::Library::kBouncyCastle &&
+            (mask & asn1::encoding_rule_bit(asn1::EncodingRule::kLongFormLength)) != 0) {
+            tlslib::EncodingOutcome out;
+            out.accepted = false;
+            out.deviations = mask;
+            out.refused = asn1::EncodingRule::kLongFormLength;
+            out.error = "selftest drift: refused long-form length";
+            return out;
+        }
+        if (lib == tlslib::Library::kOpenSsl && mask != 0 &&
+            ++seen_[Bytes(der.begin(), der.end())] > 1) {
+            tlslib::EncodingOutcome out;
+            out.accepted = true;  // declared profile rejects every BER rule
+            out.deviations = mask;
+            out.wire.assign(der.begin(), der.end());
+            return out;
+        }
+        return tlslib::LibraryModel::parse_encoding(lib, der);
+    }
+
+private:
+    std::map<Bytes, unsigned> seen_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    bool write_baseline = false;
+    bool self_test_bad = false;
+    std::string baseline_path;
+    tlslib::analysis::EncodingAnalyzerOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--write-baseline") {
+            write_baseline = true;
+        } else if (arg == "--self-test-bad") {
+            self_test_bad = true;
+        } else if (arg == "--no-lints") {
+            options.check_lints = false;
+        } else if (arg == "--no-metadata") {
+            options.check_rule_metadata = false;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            std::string_view v = argv[++i];
+            auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), options.seed);
+            if (ec != std::errc{} || p != v.data() + v.size()) {
+                std::fprintf(stderr, "unicert_enccheck: bad --seed '%s'\n", v.data());
+                return 2;
+            }
+        } else if (arg == "--scale" && i + 1 < argc) {
+            options.corpus_scale = std::atof(argv[++i]);
+            if (options.corpus_scale <= 0) {
+                std::fprintf(stderr, "unicert_enccheck: bad --scale\n");
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unicert_enccheck: unknown option '%s'\n",
+                         std::string(arg).c_str());
+            print_usage();
+            return 2;
+        }
+    }
+
+    std::string baseline_text;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr, "unicert_enccheck: cannot read baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        baseline_text = buf.str();
+    }
+
+    tlslib::analysis::EncodingAnalyzer analyzer(options);
+    EncodingReport report;
+    if (self_test_bad) {
+        DriftingModel model;
+        report = analyzer.analyze(model);
+    } else {
+        report = analyzer.analyze(tlslib::builtin_model());
+    }
+    if (!baseline_text.empty()) tlslib::analysis::apply_baseline(report, baseline_text);
+
+    if (write_baseline) {
+        std::printf("# unicert_enccheck acknowledged findings\n");
+        std::printf("# format: <class> <subject> <rule>  (\"-\" = no rule)\n");
+        for (const EncFinding& f : report.findings) {
+            std::printf("%s\n", tlslib::analysis::baseline_line(f).c_str());
+        }
+        return tlslib::analysis::exit_code(report);
+    }
+
+    if (json) {
+        std::fputs(tlslib::analysis::encoding_report_to_json(report).c_str(), stdout);
+        return tlslib::analysis::exit_code(report);
+    }
+
+    std::printf("unicert_enccheck: %zu libraries x %zu probes (%zu deviant)\n",
+                report.libraries_checked, report.probe_count, report.deviant_probe_count);
+    for (const EncFinding& f : report.findings) {
+        std::printf("FINDING %-20s %s [%s]: %s\n",
+                    tlslib::analysis::enc_check_class_name(f.cls), f.subject.c_str(),
+                    f.rule.c_str(), f.detail.c_str());
+    }
+    if (!report.baselined.empty()) {
+        std::printf("%zu finding(s) acknowledged by baseline\n", report.baselined.size());
+    }
+    std::printf(report.clean() ? "encoding contracts clean\n" : "%zu finding(s)\n",
+                report.findings.size());
+    return tlslib::analysis::exit_code(report);
+}
