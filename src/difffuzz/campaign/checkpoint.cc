@@ -1,121 +1,42 @@
 #include "difffuzz/campaign/checkpoint.h"
 
-#include <algorithm>
-#include <cstdio>
-
 namespace unicert::difffuzz::campaign {
-namespace {
-
-constexpr std::string_view kPrefix = "ckpt-";
-constexpr std::string_view kSuffix = ".ckpt";
-
-bool is_hex_lower(char c) {
-    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
-}
-
-}  // namespace
 
 CheckpointStore::CheckpointStore(core::Fs& fs, std::string dir, size_t keep)
-    : fs_(&fs), dir_(std::move(dir)), keep_(std::max<size_t>(keep, 1)) {}
+    : store_(fs, std::move(dir), "campaign", keep) {}
 
 std::string CheckpointStore::checkpoint_file_name(uint64_t generation) {
-    char buf[38];
-    std::snprintf(buf, sizeof(buf), "ckpt-%016llx.ckpt",
-                  static_cast<unsigned long long>(generation));
-    return buf;
+    return core::GenerationStore::file_name(generation);
 }
 
 std::optional<uint64_t> CheckpointStore::parse_checkpoint_file_name(std::string_view name) {
-    if (name.size() != kPrefix.size() + 16 + kSuffix.size()) return std::nullopt;
-    if (!name.starts_with(kPrefix) || !name.ends_with(kSuffix)) return std::nullopt;
-    uint64_t generation = 0;
-    for (size_t i = 0; i < 16; ++i) {
-        char c = name[kPrefix.size() + i];
-        if (!is_hex_lower(c)) return std::nullopt;
-        generation = (generation << 4) | static_cast<uint64_t>(
-                                             c <= '9' ? c - '0' : c - 'a' + 10);
-    }
-    return generation;
+    return core::GenerationStore::parse_file_name(name);
 }
 
-Status CheckpointStore::init() { return fs_->make_dirs(dir_); }
+Status CheckpointStore::init() { return store_.init(); }
 
 Status CheckpointStore::commit(const CampaignState& state, uint64_t generation) {
-    if (last_committed_ && *last_committed_ == generation) return Status::success();
-    std::string text = serialize_state(state);
-    Status st = core::atomic_write_file(*fs_, dir_ + "/" + checkpoint_file_name(generation),
-                                        std::string_view(text), dir_);
-    if (!st.ok()) return st;
-    last_committed_ = generation;
-
-    // Best-effort prune of generations older than the newest `keep_`.
-    auto names = fs_->list_dir(dir_);
-    if (!names.ok()) return Status::success();
-    std::vector<uint64_t> generations;
-    for (const std::string& name : *names) {
-        if (auto gen = parse_checkpoint_file_name(name)) generations.push_back(*gen);
-    }
-    std::sort(generations.begin(), generations.end());
-    if (generations.size() <= keep_) return Status::success();
-    for (size_t i = 0; i + keep_ < generations.size(); ++i) {
-        (void)fs_->remove(dir_ + "/" + checkpoint_file_name(generations[i]));
-    }
-    return Status::success();
+    return store_.commit(serialize_state(state), generation);
 }
 
 Expected<RecoveredCheckpoint> CheckpointStore::recover() {
+    auto raw = store_.recover([](std::string_view payload) -> Status {
+        auto state = parse_state(payload);
+        if (!state.ok()) return state.error();
+        return Status::success();
+    });
+    if (!raw.ok()) return raw.error();
+
     RecoveredCheckpoint recovered;
-    auto names = fs_->list_dir(dir_);
-    if (!names.ok()) {
-        // An absent directory is a campaign that never started, not an
-        // error. (Fs::exists is file-only on some implementations, so
-        // the listing itself is the existence probe.)
-        if (names.error().code == "fs_not_found") return recovered;
-        return Error{"campaign_state_unreadable", "cannot read state dir " + dir_};
-    }
-
-    std::vector<uint64_t> generations;
-    for (const std::string& name : *names) {
-        if (auto gen = parse_checkpoint_file_name(name)) {
-            generations.push_back(*gen);
-        } else if (name.ends_with(".tmp")) {
-            // An interrupted commit; the generation it was writing was
-            // never acknowledged, so dropping it loses nothing.
-            (void)fs_->remove(dir_ + "/" + name);
-            ++recovered.stray_temp_files;
-            recovered.notes.push_back("removed stray temp file " + name);
-        }
-    }
-    std::sort(generations.rbegin(), generations.rend());
-
-    for (uint64_t generation : generations) {
-        std::string name = checkpoint_file_name(generation);
-        auto bytes = fs_->read_file(dir_ + "/" + name);
-        if (!bytes.ok()) {
-            ++recovered.corrupt_skipped;
-            recovered.notes.push_back(name + ": " + bytes.error().message);
-            continue;
-        }
-        auto state = parse_state(
-            std::string_view(reinterpret_cast<const char*>(bytes->data()), bytes->size()));
-        if (!state.ok()) {
-            ++recovered.corrupt_skipped;
-            recovered.notes.push_back(name + ": " + state.error().message);
-            continue;
-        }
+    recovered.generation = raw->generation;
+    recovered.found = raw->found;
+    recovered.corrupt_skipped = raw->corrupt_skipped;
+    recovered.stray_temp_files = raw->stray_temp_files;
+    recovered.notes = std::move(raw->notes);
+    if (raw->found) {
+        auto state = parse_state(raw->payload);
+        if (!state.ok()) return state.error();  // validated above; unreachable
         recovered.state = std::move(state).value();
-        recovered.generation = generation;
-        recovered.found = true;
-        last_committed_ = generation;
-        return recovered;
-    }
-
-    if (!generations.empty()) {
-        // Commits are atomic, so a directory full of invalid
-        // checkpoints means an acknowledged generation was destroyed.
-        return Error{"campaign_unrecoverable",
-                     "no checkpoint in " + dir_ + " validates (" +
-                         std::to_string(generations.size()) + " present)"};
     }
     return recovered;
 }

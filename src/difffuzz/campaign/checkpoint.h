@@ -1,22 +1,18 @@
 // unicert/difffuzz/campaign/checkpoint.h
 //
-// Atomically-committed checkpoint generations for campaign state,
-// written through the core::Fs seam (so the kill-point sweep can run
-// the whole commit path over faultsim::FaultyFs). Each generation is
-// one self-checking `unicert-campaign-v1` file, landed with the
-// write-temp-fsync-rename pattern the durable CT-log store established:
-// a crash at any filesystem operation leaves either the previous
-// generation or the new one fully intact, never a mix. Recovery scans
-// the directory newest-first and resumes from the first generation
-// whose checksum validates; torn or bit-rotted files are skipped (and
-// noted), stray temp files from an interrupted commit are removed.
+// Atomically-committed checkpoint generations for campaign state. The
+// generation mechanics (write-temp-fsync-rename commits, newest-valid
+// recovery, stray-temp cleanup, pruning) live in core::GenerationStore;
+// this wrapper binds them to the `unicert-campaign-v1` serialization and
+// keeps the campaign_* error codes and CampaignState-typed API the
+// campaign engine and its kill-point sweep were written against.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "core/fs.h"
+#include "core/generation_store.h"
 #include "difffuzz/campaign/state.h"
 
 namespace unicert::difffuzz::campaign {
@@ -38,7 +34,7 @@ public:
     // pruned (best-effort) after each successful commit.
     explicit CheckpointStore(core::Fs& fs, std::string dir, size_t keep = 3);
 
-    const std::string& dir() const noexcept { return dir_; }
+    const std::string& dir() const noexcept { return store_.dir(); }
 
     // mkdir -p the state directory.
     Status init();
@@ -56,17 +52,16 @@ public:
     Expected<RecoveredCheckpoint> recover();
 
     // Highest generation commit() has acknowledged this process run.
-    std::optional<uint64_t> last_committed() const noexcept { return last_committed_; }
+    std::optional<uint64_t> last_committed() const noexcept {
+        return store_.last_committed();
+    }
 
     // ckpt-<16 hex digits>.ckpt
     static std::string checkpoint_file_name(uint64_t generation);
     static std::optional<uint64_t> parse_checkpoint_file_name(std::string_view name);
 
 private:
-    core::Fs* fs_;
-    std::string dir_;
-    size_t keep_;
-    std::optional<uint64_t> last_committed_;
+    core::GenerationStore store_;
 };
 
 }  // namespace unicert::difffuzz::campaign

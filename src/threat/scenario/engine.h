@@ -1,0 +1,127 @@
+// unicert/threat/scenario/engine.h
+//
+// The crash-survivable population-scale scenario engine (DESIGN.md
+// section 15). One run streams `users` simulated TLS handshakes through
+// the profile fleets: users are planned into fixed-size shards from the
+// checkpoint cursor, shards fan out on core::Executor, and per-shard
+// tallies merge back in submission order — so detection/evasion counts
+// are byte-identical at any job count. Every per-user decision is a
+// pure hash of (seed, user_index); the cursor is the only in-flight
+// ledger a resume needs.
+//
+// Robustness contract (the kill-point sweep asserts all of it):
+//   * state lands as checksummed `unicert-scenario-v1` generations
+//     through core::GenerationStore — SIGKILL at any filesystem op
+//     resumes from the newest valid generation to a byte-identical
+//     final state;
+//   * per-user profile evaluation runs under core::resilience retry
+//     with FaultPlan flake/poison channels — transient faults are
+//     absorbed, poisoned users are quarantined exactly once and
+//     reported separately (the Wilson intervals in stats.h widen for
+//     them rather than absorbing the loss);
+//   * a damaged monitor index only degrades cost: the service backend
+//     descends PR 7's fresh -> rebuilt -> linear-scan ladder and the
+//     tallies stay identical, with `degraded_queries` reported.
+#pragma once
+
+#include <string>
+
+#include "core/generation_store.h"
+#include "core/resilience.h"
+#include "threat/scenario/fleet.h"
+#include "threat/scenario/state.h"
+#include "threat/scenario/traffic.h"
+
+namespace unicert::threat::scenario {
+
+struct ScenarioOptions {
+    TrafficModel traffic;
+    uint64_t users = 0;       // stop condition: total user indexes to consume
+    size_t jobs = 1;
+    size_t shard_size = 512;  // users per executor task
+    size_t round_shards = 8;  // shards planned per fan-out round
+    // Commit a generation every N shards (generation number ==
+    // shards_done, so boundaries are independent of job count).
+    uint64_t checkpoint_every = 8;
+
+    // Harness fault channels (FaultPlan kTransient / kPoison, keyed by
+    // user index so the schedule is identical at any job count).
+    double flake_rate = 0.0;
+    double poison_rate = 0.0;
+    int flake_failures = 2;   // transient failures before recovery
+    core::RetryPolicy retry{.max_attempts = 4, .initial_backoff_ms = 1,
+                            .max_backoff_ms = 8};
+
+    // Answer the monitor column through the durable store +
+    // QueryService in `service_dir` (under the engine's Fs) instead of
+    // in-memory monitors. Verdicts are identical either way (parity-
+    // tested); the service path additionally exercises the index
+    // degradation ladder.
+    bool use_service_matrix = false;
+    std::string service_dir = "scenario-monitor";
+};
+
+// What recover()/resume() found (mirrors the generation store's shape
+// with the payload parsed).
+struct RecoveredScenario {
+    ScenarioState state;
+    uint64_t generation = 0;
+    bool found = false;
+    size_t corrupt_skipped = 0;
+    size_t stray_temp_files = 0;
+    std::vector<std::string> notes;
+};
+
+struct ScenarioReport {
+    uint64_t users_processed = 0;  // consumed this run (incl. quarantined)
+    uint64_t retried = 0;          // transient faults absorbed by backoff
+    uint64_t quarantined = 0;      // users dropped this run
+    uint64_t checkpoints = 0;      // generations committed this run
+    size_t degraded_queries = 0;   // monitor ladder descents (service backend)
+    bool matrix_via_service = false;
+    bool stopped_by_users = false;
+    Status io;                     // first I/O failure, if any
+};
+
+class ScenarioEngine {
+public:
+    // The engine writes checkpoint generations into `state_dir` under
+    // `fs`; `clock` drives retry backoff (inject a ManualClock to keep
+    // fault schedules deterministic and fast).
+    ScenarioEngine(ScenarioOptions options, core::Fs& fs, std::string state_dir,
+                   core::Clock& clock);
+
+    // Begin a new run: generation 0 is committed before any work so a
+    // crash at the first user still resumes.
+    Status start_fresh();
+
+    // Continue from the newest valid generation. Error code
+    // scenario_no_checkpoint when the state directory holds none. The
+    // recovered seed/dose/CAA parameters override the options' traffic
+    // model — a resumed run must replay the original draws.
+    Expected<RecoveredScenario> resume();
+
+    // Consume users until the `users` bound; checkpoint per the options.
+    ScenarioReport run();
+
+    const ScenarioState& state() const noexcept { return state_; }
+    core::GenerationStore& store() noexcept { return store_; }
+
+private:
+    struct Shard;
+    void evaluate_shard(Shard& shard, const TrafficModel& model,
+                        const DetectionMatrix& matrix, const KeyTable& keys) const;
+    TrafficModel effective_model() const;
+
+    ScenarioOptions options_;
+    core::Fs* fs_;
+    core::Clock* clock_;
+    core::GenerationStore store_;
+    ScenarioState state_;
+    bool started_ = false;
+};
+
+// One-line summary for --status output and the CI tally-parity grep.
+std::string describe_state(const ScenarioState& state, uint64_t generation);
+
+}  // namespace unicert::threat::scenario

@@ -1,0 +1,120 @@
+// unicert/threat/scenario/fleet.h
+//
+// The profile fleets the scenario engine drives — the §6.2 middlebox
+// and HTTP-client models, the Appendix F browser renderers, and the
+// Table 6 CT-monitor profiles — evaluated once per (victim, technique)
+// cell into a DetectionMatrix. Because a crafted certificate is a pure
+// function of (victim, technique), every fleet verdict is too; the
+// per-user hot path then costs a few hash draws plus counter
+// increments, which is what makes population scale (millions of users)
+// tractable without materializing any traffic.
+//
+// Two monitor backends produce the concealment column and must agree
+// byte-for-byte (the parity tests pin this):
+//   * in-memory — a fresh ctlog::Monitor per profile, indexes the
+//     crafted certs directly;
+//   * service   — the forged certs are ingested into a durable
+//     ctlog::store::Store and queried through the self-healing
+//     index::QueryService, exercising PR 7's fresh -> rebuilt ->
+//     linear-scan degradation ladder; when the index files are damaged
+//     the answers are identical, only `degraded_queries` grows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "core/fs.h"
+#include "threat/scenario/traffic.h"
+
+namespace unicert::threat::scenario {
+
+// Fleet verdicts for one (victim, technique) cell.
+struct TechniqueCell {
+    // Per-middlebox: does a blocklist rule on the victim name fire?
+    std::vector<bool> mb_flagged;        // kAllMiddleboxes order
+    // Per-client: is the crafted SAN entry accepted?
+    std::vector<bool> client_accepted;   // kAllClients order
+    // Per-browser: does the crafted value display as the target?
+    std::vector<bool> browser_spoofed;   // kAllBrowsers order
+    // Per-monitor: does the owner's query for their own domain MISS the
+    // logged forgery?
+    std::vector<bool> monitor_concealed; // monitor_profiles() order
+    bool caa_applicable = false;
+
+    bool operator==(const TechniqueCell&) const = default;
+};
+
+struct DetectionMatrix {
+    size_t victims = 0;
+    size_t techniques = 0;
+    std::vector<TechniqueCell> cells;   // victim-major
+    std::vector<bool> victim_caa;       // per-victim CAA adoption draw
+    // Service-backend bookkeeping (not part of the parity comparison —
+    // and never checkpointed: a damaged index changes cost, not state).
+    bool via_service = false;
+    size_t degraded_queries = 0;
+
+    const TechniqueCell& cell(size_t victim, size_t technique) const {
+        return cells[victim * techniques + technique];
+    }
+    bool same_verdicts(const DetectionMatrix& other) const {
+        return victims == other.victims && techniques == other.techniques &&
+               cells == other.cells && victim_caa == other.victim_caa;
+    }
+};
+
+// Evaluate all fleets over the crafted-cert grid with in-memory
+// monitors. Pure function of the (resolved) model.
+DetectionMatrix build_matrix(const TrafficModel& model);
+
+// Same verdicts, but the monitor column is answered through the durable
+// store + QueryService in `dir` under `fs` (created there when absent).
+// Damage the files between calls to exercise the degradation ladder.
+Expected<DetectionMatrix> build_matrix_via_service(const TrafficModel& model, core::Fs& fs,
+                                                   const std::string& dir);
+
+// The fixed tally vocabulary: every counter the engine can emit, with
+// stable string names (used in checkpoints, reports and goldens) and
+// dense ids (used on the hot path).
+class KeyTable {
+public:
+    explicit KeyTable(const TrafficModel& model);
+
+    size_t size() const noexcept { return names_.size(); }
+    const std::vector<std::string>& names() const noexcept { return names_; }
+
+    // Dense ids, grouped for observe()'s direct indexing.
+    size_t users_benign;
+    size_t users_adversarial;
+    size_t benign_idn;
+    std::vector<size_t> technique;          // kAllTechniques order
+    std::vector<size_t> mb_flagged;         // kAllMiddleboxes order
+    size_t mb_any_flagged;
+    size_t mb_all_evaded;
+    std::vector<size_t> client_accepted;    // kAllClients order
+    std::vector<size_t> browser_spoofed;    // kAllBrowsers order
+    size_t browser_any_spoofed;
+    std::vector<size_t> monitor_concealed;  // monitor_profiles() order
+    size_t monitor_any_surfaced;
+    size_t caa_applicable;
+    size_t caa_flagged;
+    size_t joint_detected;   // monitor OR CAA caught it (the interlink question)
+    size_t detected_any;     // any fleet dimension caught it
+
+private:
+    size_t intern(std::string name);
+    std::vector<std::string> names_;
+};
+
+// Dense per-shard tally, merged into the state's name -> count map in
+// shard submission order.
+using Tally = std::vector<uint64_t>;
+
+// Fold one synthesized handshake into `tally` using the precomputed
+// verdicts. Pure: same sample + matrix -> same increments.
+void observe(const HandshakeSample& sample, const TrafficModel& model,
+             const DetectionMatrix& matrix, const KeyTable& keys, Tally& tally);
+
+}  // namespace unicert::threat::scenario

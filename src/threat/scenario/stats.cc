@@ -1,0 +1,45 @@
+#include "threat/scenario/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unicert::threat::scenario {
+namespace {
+
+// Wilson score interval: center ± halfwidth in the reparameterized
+// space, clamped to [0, 1].
+double wilson_bound(uint64_t successes, uint64_t trials, double z, bool upper) {
+    if (trials == 0) return upper ? 1.0 : 0.0;
+    double n = static_cast<double>(trials);
+    double p = static_cast<double>(successes) / n;
+    double z2 = z * z;
+    double denom = 1.0 + z2 / n;
+    double center = (p + z2 / (2.0 * n)) / denom;
+    double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    double bound = upper ? center + half : center - half;
+    return std::clamp(bound, 0.0, 1.0);
+}
+
+}  // namespace
+
+double wilson_low(uint64_t successes, uint64_t trials, double z) {
+    return wilson_bound(successes, trials, z, /*upper=*/false);
+}
+
+double wilson_high(uint64_t successes, uint64_t trials, double z) {
+    return wilson_bound(successes, trials, z, /*upper=*/true);
+}
+
+RateEstimate estimate_rate(uint64_t successes, uint64_t trials, uint64_t quarantined,
+                           double z) {
+    RateEstimate est;
+    est.successes = successes;
+    est.trials = trials;
+    est.quarantined = quarantined;
+    est.rate = trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
+    est.ci_low = wilson_low(successes, trials + quarantined, z);
+    est.ci_high = wilson_high(successes + quarantined, trials + quarantined, z);
+    return est;
+}
+
+}  // namespace unicert::threat::scenario

@@ -1,0 +1,37 @@
+// unicert/threat/scenario/stats.h
+//
+// Wilson score confidence intervals for the scenario engine's
+// detection/evasion rates, with quarantine-aware conservative bounds:
+// a user the retry/quarantine ladder dropped could have been either a
+// success or a failure, so the reported interval is widened to cover
+// both extremes instead of silently absorbing the dropped work. The
+// point estimate stays the evaluated-only rate; the bounds are honest
+// about what was not measured.
+#pragma once
+
+#include <cstdint>
+
+namespace unicert::threat::scenario {
+
+// Wilson score interval bounds for `successes` out of `trials`, at
+// normal quantile `z` (1.96 = 95%). Degenerate inputs (trials == 0)
+// yield [0, 1].
+double wilson_low(uint64_t successes, uint64_t trials, double z = 1.96);
+double wilson_high(uint64_t successes, uint64_t trials, double z = 1.96);
+
+struct RateEstimate {
+    double rate = 0.0;     // successes / trials (0 when trials == 0)
+    double ci_low = 0.0;   // quarantined counted as failures
+    double ci_high = 1.0;  // quarantined counted as successes
+    uint64_t successes = 0;
+    uint64_t trials = 0;       // evaluated users only
+    uint64_t quarantined = 0;  // dropped by the ladder, excluded from rate
+};
+
+// Estimate with the quarantine-conservative interval:
+//   ci_low  = wilson_low(successes, trials + quarantined)
+//   ci_high = wilson_high(successes + quarantined, trials + quarantined)
+RateEstimate estimate_rate(uint64_t successes, uint64_t trials, uint64_t quarantined,
+                           double z = 1.96);
+
+}  // namespace unicert::threat::scenario

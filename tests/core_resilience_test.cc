@@ -179,6 +179,117 @@ TEST(ErrorOffset, ShiftRebasesOnlyRealOffsets) {
 }
 
 
+// ---- property tests ------------------------------------------------------
+
+// Records the exact sleep sequence retry() asked for.
+class RecordingClock final : public Clock {
+public:
+    int64_t now_ms() override { return now_; }
+    void sleep_ms(int64_t ms) override {
+        now_ += ms;
+        sleeps.push_back(ms);
+    }
+    std::vector<int64_t> sleeps;
+
+private:
+    int64_t now_ = 0;
+};
+
+// With a fixed jitter seed the whole retry ladder — attempt count,
+// every backoff delay, the final outcome — is a pure function of the
+// policy. Two runs of the same always-flaky op must match delay for
+// delay, across a spread of seeds and shapes.
+TEST(RetryProperty, FixedSeedYieldsFullyDeterministicLadder) {
+    for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+        for (double jitter : {0.0, 0.25, 0.9}) {
+            RetryPolicy policy;
+            policy.max_attempts = 8;
+            policy.initial_backoff_ms = 5;
+            policy.multiplier = 3.0;
+            policy.max_backoff_ms = 200;
+            policy.jitter_fraction = jitter;
+            policy.jitter_seed = seed;
+
+            auto run = [&policy]() {
+                RecordingClock clock;
+                RetryOutcome outcome;
+                auto result = retry<int>(
+                    policy, clock, []() -> Expected<int> { return Error{"timeout", "flaky"}; },
+                    &outcome);
+                EXPECT_FALSE(result.ok());
+                EXPECT_EQ(outcome.attempts, 8);
+                return clock.sleeps;
+            };
+            std::vector<int64_t> first = run();
+            EXPECT_EQ(first.size(), 7u) << "one sleep between each attempt pair";
+            EXPECT_EQ(first, run()) << "seed " << seed << " jitter " << jitter;
+        }
+    }
+}
+
+// No delay in any ladder ever exceeds the cap plus its jitter headroom
+// (and the jitterless cap exactly), whatever the growth shape.
+TEST(RetryProperty, BackoffNeverExceedsCap) {
+    for (uint64_t seed : {3u, 11u, 99u}) {
+        for (double multiplier : {1.5, 2.0, 10.0}) {
+            for (double jitter : {0.0, 0.5}) {
+                RetryPolicy policy;
+                policy.max_attempts = 24;
+                policy.initial_backoff_ms = 7;
+                policy.multiplier = multiplier;
+                policy.max_backoff_ms = 100;
+                policy.jitter_fraction = jitter;
+                policy.jitter_seed = seed;
+
+                RecordingClock clock;
+                (void)retry<int>(policy, clock,
+                                 []() -> Expected<int> { return Error{"unavailable", "down"}; });
+                int64_t ceiling = static_cast<int64_t>(100.0 * (1.0 + jitter));
+                for (int64_t delay : clock.sleeps) {
+                    EXPECT_LE(delay, ceiling)
+                        << "seed " << seed << " x" << multiplier << " jitter " << jitter;
+                    EXPECT_GE(delay, 0);
+                }
+            }
+        }
+    }
+}
+
+// A poisoned item costs exactly one attempt and one quarantine: the
+// permanent error short-circuits the ladder (no retries, no sleeps)
+// and classify_failure sends it to quarantine — never twice, never to
+// abort. Transient neighbours are unaffected.
+TEST(RetryProperty, PoisonedItemsQuarantineExactlyOnce) {
+    const std::vector<bool> poisoned = {false, true, false, false, true, true, false};
+    std::vector<int> quarantines(poisoned.size(), 0);
+    std::vector<int> attempts(poisoned.size(), 0);
+    RecordingClock clock;
+    RetryPolicy policy;
+    policy.jitter_fraction = 0.0;
+
+    for (size_t item = 0; item < poisoned.size(); ++item) {
+        int flakes = item % 2;  // odd items flake once before succeeding
+        auto result = retry<int>(policy, clock, [&]() -> Expected<int> {
+            ++attempts[item];
+            if (poisoned[item]) return Error{"profile_poisoned", "bad item"};
+            if (flakes-- > 0) return Error{"timeout", "flake"};
+            return static_cast<int>(item);
+        });
+        if (!result.ok() && classify_failure(result.error()) == FailureAction::kQuarantine) {
+            ++quarantines[item];
+        }
+    }
+
+    for (size_t item = 0; item < poisoned.size(); ++item) {
+        if (poisoned[item]) {
+            EXPECT_EQ(quarantines[item], 1) << item;
+            EXPECT_EQ(attempts[item], 1) << item << ": permanent errors must not retry";
+        } else {
+            EXPECT_EQ(quarantines[item], 0) << item;
+        }
+    }
+}
+
 // ---- BudgetGuard ---------------------------------------------------------
 
 TEST(BudgetGuard, StepLimitTripsAtTheBoundary) {

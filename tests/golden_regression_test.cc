@@ -21,6 +21,8 @@
 #include "core/parallel_pipeline.h"
 #include "core/pipeline.h"
 #include "ctlog/corpus.h"
+#include "ctlog/monitor.h"
+#include "threat/scenario/fleet.h"
 
 namespace unicert {
 namespace {
@@ -103,6 +105,39 @@ TEST_F(GoldenRegression, ParallelPipelineEmitsIdenticalArtifacts) {
               core::issuer_report_to_json(pipeline_->issuer_report(10)));
     EXPECT_EQ(core::validity_cdf_to_json(parallel.validity_cdf()),
               core::validity_cdf_to_json(pipeline_->validity_cdf()));
+}
+
+// Table 6 under scenario traffic: for every obfuscation technique, how
+// many of the default victim set each monitor would conceal (the
+// owner's own-domain query misses the logged forgery), plus whether
+// the CAA interlink applies to the technique at all. Pins the crafted
+// certs, every monitor capability model and the victim grid at once.
+TEST_F(GoldenRegression, Table6ScenarioDetection) {
+    namespace scenario = threat::scenario;
+    scenario::TrafficModel model = scenario::resolved(scenario::TrafficModel{});
+    scenario::DetectionMatrix matrix = scenario::build_matrix(model);
+    auto profiles = ctlog::monitor_profiles();
+
+    std::ostringstream out;
+    out << "# concealed victims out of " << matrix.victims
+        << " per (technique, monitor); caa = interlink applies\n";
+    out << "technique";
+    for (const auto& profile : profiles) out << " | " << profile.name;
+    out << " | caa\n";
+    for (size_t t = 0; t < matrix.techniques; ++t) {
+        out << scenario::technique_name(scenario::kAllTechniques[t]);
+        for (size_t m = 0; m < profiles.size(); ++m) {
+            size_t concealed = 0;
+            for (size_t v = 0; v < matrix.victims; ++v) {
+                if (matrix.cell(v, t).monitor_concealed[m]) ++concealed;
+            }
+            out << " | " << concealed;
+        }
+        out << " | " << (matrix.cell(0, t).caa_applicable ? "yes" : "no") << "\n";
+    }
+    std::string text = out.str();
+    text.pop_back();  // expect_golden appends the trailing newline
+    expect_golden("table6_scenario.txt", text);
 }
 
 }  // namespace

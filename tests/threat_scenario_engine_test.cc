@@ -1,0 +1,231 @@
+// Determinism, fleet-parity and fault-accounting tests for the
+// population-scale scenario engine (DESIGN.md section 15).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/resilience.h"
+#include "ctlog/index/query.h"
+#include "faultsim/faulty_fs.h"
+#include "threat/scenario/engine.h"
+
+namespace unicert::threat::scenario {
+namespace {
+
+ScenarioOptions base_options(uint64_t users = 2000) {
+    ScenarioOptions o;
+    o.traffic.seed = 11;
+    o.traffic.dose = 0.05;
+    o.users = users;
+    o.shard_size = 128;
+    o.round_shards = 4;
+    o.checkpoint_every = 2;
+    return o;
+}
+
+std::string run_to_string(ScenarioOptions options, size_t jobs) {
+    options.jobs = jobs;
+    core::MemFs fs;
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs, "scn", clock);
+    EXPECT_TRUE(engine.start_fresh().ok());
+    ScenarioReport report = engine.run();
+    EXPECT_TRUE(report.io.ok());
+    EXPECT_TRUE(report.stopped_by_users);
+    return serialize_state(engine.state());
+}
+
+// The headline determinism contract: per-shard tallies merge in plan
+// order, so the serialized state is byte-identical at any job count.
+TEST(ScenarioEngine, StateByteIdenticalAcrossJobCounts) {
+    const std::string reference = run_to_string(base_options(), 1);
+    for (size_t jobs : {2u, 4u, 8u}) {
+        EXPECT_EQ(run_to_string(base_options(), jobs), reference) << "jobs=" << jobs;
+    }
+}
+
+// Fault injection must not disturb determinism either: the FaultPlan
+// channels key on user index, not on scheduling.
+TEST(ScenarioEngine, FaultedStateByteIdenticalAcrossJobCounts) {
+    ScenarioOptions options = base_options();
+    options.flake_rate = 0.05;
+    options.poison_rate = 0.01;
+    const std::string reference = run_to_string(options, 1);
+    for (size_t jobs : {2u, 4u, 8u}) {
+        EXPECT_EQ(run_to_string(options, jobs), reference) << "jobs=" << jobs;
+    }
+}
+
+// In-memory monitors and the durable store + QueryService backend must
+// agree on every (victim, technique) verdict — and therefore on every
+// tally.
+TEST(ScenarioEngine, ServiceMatrixParity) {
+    TrafficModel model = resolved(TrafficModel{.seed = 11, .dose = 0.05});
+    DetectionMatrix in_memory = build_matrix(model);
+
+    core::MemFs fs;
+    auto via_service = build_matrix_via_service(model, fs, "monitor");
+    ASSERT_TRUE(via_service.ok()) << via_service.error().message;
+    EXPECT_TRUE(via_service->via_service);
+    EXPECT_TRUE(in_memory.same_verdicts(*via_service));
+
+    // And end-to-end: identical serialized state through the engine.
+    ScenarioOptions options = base_options(/*users=*/1500);
+    const std::string reference = run_to_string(options, 2);
+    options.use_service_matrix = true;
+    options.jobs = 2;
+    core::MemFs fs2;
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs2, "scn", clock);
+    ASSERT_TRUE(engine.start_fresh().ok());
+    ScenarioReport report = engine.run();
+    ASSERT_TRUE(report.io.ok());
+    EXPECT_TRUE(report.matrix_via_service);
+    EXPECT_EQ(serialize_state(engine.state()), reference);
+}
+
+// A damaged monitor index only degrades query cost, never the
+// verdicts: the tallies stay identical and the descent is counted.
+TEST(ScenarioEngine, DamagedIndexDegradesCostNotState) {
+    ScenarioOptions options = base_options(/*users=*/1500);
+    options.use_service_matrix = true;
+    options.jobs = 2;
+
+    // Healthy reference run, which also materializes the store+index.
+    core::MemFs fs;
+    std::string healthy_state;
+    {
+        core::ManualClock clock;
+        ScenarioEngine engine(options, fs, "scn", clock);
+        ASSERT_TRUE(engine.start_fresh().ok());
+        ScenarioReport report = engine.run();
+        ASSERT_TRUE(report.io.ok());
+        healthy_state = serialize_state(engine.state());
+    }
+
+    // Tear every index generation mid-file.
+    auto names = fs.list_dir("scenario-monitor/index");
+    ASSERT_TRUE(names.ok());
+    size_t torn = 0;
+    for (const std::string& name : *names) {
+        if (!name.ends_with(".idx")) continue;
+        std::string path = "scenario-monitor/index/" + name;
+        auto bytes = fs.read_file(path);
+        ASSERT_TRUE(bytes.ok());
+        Bytes cut(bytes->begin(), bytes->begin() + bytes->size() / 2);
+        auto file = fs.create(path);
+        ASSERT_TRUE(file.ok());
+        auto wrote = (*file)->write(BytesView(cut.data(), cut.size()));
+        ASSERT_TRUE(wrote.ok() && *wrote == cut.size());
+        ASSERT_TRUE((*file)->sync().ok());
+        ++torn;
+    }
+    ASSERT_GT(torn, 0u);
+
+    core::MemFs fresh_state_fs;  // same monitor fs, fresh scenario state
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs, "scn2", clock);
+    ASSERT_TRUE(engine.start_fresh().ok());
+    ScenarioReport report = engine.run();
+    ASSERT_TRUE(report.io.ok());
+    EXPECT_GT(report.degraded_queries, 0u);
+    EXPECT_EQ(serialize_state(engine.state()), healthy_state);
+}
+
+// Poisoned users are quarantined exactly once, counted separately, and
+// never contribute to the tallies; transient flakes are absorbed.
+TEST(ScenarioEngine, QuarantineAccounting) {
+    ScenarioOptions options = base_options();
+    options.flake_rate = 0.10;
+    options.poison_rate = 0.02;
+    options.jobs = 4;
+
+    core::MemFs fs;
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs, "scn", clock);
+    ASSERT_TRUE(engine.start_fresh().ok());
+    ScenarioReport report = engine.run();
+    ASSERT_TRUE(report.io.ok());
+
+    const ScenarioState& state = engine.state();
+    EXPECT_GT(report.retried, 0u);       // flakes really fired and were retried
+    EXPECT_GT(report.quarantined, 0u);   // poisons really fired
+    EXPECT_EQ(state.quarantined, report.quarantined);
+    // Every user is accounted exactly once: evaluated or quarantined.
+    EXPECT_EQ(state.evaluated + state.quarantined, options.users);
+    auto benign = state.tallies.find("users_benign");
+    auto adversarial = state.tallies.find("users_adversarial");
+    uint64_t observed = (benign != state.tallies.end() ? benign->second : 0) +
+                        (adversarial != state.tallies.end() ? adversarial->second : 0);
+    EXPECT_EQ(observed, state.evaluated);
+}
+
+// The CAA interlink: joint detection can only add to monitor-only
+// detection, and only via techniques where CAA applies.
+TEST(ScenarioEngine, CaaJointDetectionIsMonotone) {
+    ScenarioOptions options = base_options(/*users=*/4000);
+    options.traffic.dose = 0.2;  // plenty of adversarial draws
+    options.traffic.caa_adoption = 0.5;
+    options.jobs = 2;
+
+    core::MemFs fs;
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs, "scn", clock);
+    ASSERT_TRUE(engine.start_fresh().ok());
+    ASSERT_TRUE(engine.run().io.ok());
+    const ScenarioState& state = engine.state();
+    auto tally = [&state](const char* key) -> uint64_t {
+        auto it = state.tallies.find(key);
+        return it == state.tallies.end() ? 0 : it->second;
+    };
+    EXPECT_GE(tally("joint_detected"), tally("monitor_any_surfaced"));
+    EXPECT_GE(tally("detected_any"), tally("joint_detected"));
+    EXPECT_GT(tally("caa_applicable"), 0u);
+    EXPECT_GE(tally("caa_applicable"), tally("caa_flagged"));
+}
+
+// Refusing to run without a stop condition or before start/resume.
+TEST(ScenarioEngine, RefusesUnstartedAndUnbounded) {
+    core::MemFs fs;
+    core::ManualClock clock;
+    {
+        ScenarioEngine engine(base_options(), fs, "scn", clock);
+        ScenarioReport report = engine.run();  // no start_fresh()/resume()
+        EXPECT_EQ(report.io.error().code, "scenario_not_started");
+    }
+    {
+        ScenarioOptions options = base_options();
+        options.users = 0;
+        ScenarioEngine engine(options, fs, "scn", clock);
+        ASSERT_TRUE(engine.start_fresh().ok());
+        ScenarioReport report = engine.run();
+        EXPECT_EQ(report.io.error().code, "scenario_no_stop_condition");
+    }
+}
+
+// Resume adopts the checkpointed traffic parameters, not the (possibly
+// different) command-line ones: the replayed draws must be original.
+TEST(ScenarioEngine, ResumeOverridesTrafficParameters) {
+    core::MemFs fs;
+    core::ManualClock clock;
+    ScenarioOptions options = base_options(/*users=*/1000);
+    {
+        ScenarioEngine engine(options, fs, "scn", clock);
+        ASSERT_TRUE(engine.start_fresh().ok());
+        ASSERT_TRUE(engine.run().io.ok());
+    }
+    std::string reference = run_to_string(base_options(/*users=*/2000), 1);
+
+    ScenarioOptions drifted = options;
+    drifted.users = 2000;
+    drifted.traffic.seed = 999;   // wrong on purpose
+    drifted.traffic.dose = 0.5;   // wrong on purpose
+    ScenarioEngine engine(drifted, fs, "scn", clock);
+    auto recovered = engine.resume();
+    ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+    ASSERT_TRUE(engine.run().io.ok());
+    EXPECT_EQ(serialize_state(engine.state()), reference);
+}
+
+}  // namespace
+}  // namespace unicert::threat::scenario

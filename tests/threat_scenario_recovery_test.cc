@@ -1,0 +1,186 @@
+// Crash-safety property tests for the scenario engine: a kill-point
+// sweep (crash after every k-th filesystem operation in the checkpoint
+// path, with torn tails from the seeded plan), then recovery and
+// resume.
+//
+// The durability contract under test, for every kill point:
+//   * a committed generation (commit() returned success) is never lost
+//     — recovery finds a generation at least that new;
+//   * recovery never serves a torn or bit-rotted checkpoint — every
+//     recovered state validates against its checksum trailer;
+//   * a resumed scenario is byte-equivalent to an uninterrupted one:
+//     identical serialized final state, at any job count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/resilience.h"
+#include "faultsim/faulty_fs.h"
+#include "threat/scenario/engine.h"
+
+namespace unicert::threat::scenario {
+namespace {
+
+ScenarioOptions sweep_options(uint64_t seed, size_t jobs) {
+    ScenarioOptions o;
+    o.traffic.seed = seed;
+    o.traffic.dose = 0.05;  // a visible adversarial stream at small scale
+    o.users = 640;
+    o.jobs = jobs;
+    o.shard_size = 64;
+    o.round_shards = 4;
+    o.checkpoint_every = 2;
+    // A pinch of harness faults so quarantine/retry state is part of
+    // what must survive the crash.
+    o.flake_rate = 0.05;
+    o.poison_rate = 0.01;
+    return o;
+}
+
+void overwrite(core::Fs& fs, const std::string& path, const Bytes& data) {
+    auto file = fs.create(path);
+    ASSERT_TRUE(file.ok()) << path;
+    auto wrote = (*file)->write(BytesView(data.data(), data.size()));
+    ASSERT_TRUE(wrote.ok() && *wrote == data.size()) << path;
+    ASSERT_TRUE((*file)->sync().ok()) << path;
+}
+
+struct WorkloadResult {
+    std::optional<uint64_t> acked;  // newest generation commit() acknowledged
+    size_t ops = 0;                 // fs ops the full workload consumed
+    bool completed = false;
+};
+
+// Start a fresh scenario over the faulty fs and run to the user bound,
+// stopping at the first injected I/O failure.
+WorkloadResult run_workload(faultsim::FaultyFs& fs, const ScenarioOptions& options) {
+    WorkloadResult result;
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs, "scn", clock);
+    if (engine.start_fresh().ok()) {
+        ScenarioReport report = engine.run();
+        result.completed = report.io.ok();
+    }
+    result.acked = engine.store().last_committed();
+    result.ops = fs.ops();
+    return result;
+}
+
+void check_recovery(core::MemFs& inner, const ScenarioOptions& options,
+                    const WorkloadResult& before, const std::string& reference_state,
+                    const std::string& label) {
+    core::ManualClock clock;
+    ScenarioEngine engine(options, inner, "scn", clock);
+
+    auto recovered = engine.resume();
+    if (!recovered.ok()) {
+        // No checkpoint on disk is only legal when nothing was ever
+        // acknowledged — the crash predates the start_fresh() commit.
+        ASSERT_EQ(recovered.error().code, "scenario_no_checkpoint") << label;
+        ASSERT_FALSE(before.acked.has_value()) << label << ": committed generation lost";
+        ASSERT_TRUE(engine.start_fresh().ok()) << label;
+    } else {
+        // An acknowledged generation must never be lost to the crash.
+        if (before.acked.has_value()) {
+            EXPECT_GE(recovered->generation, *before.acked) << label;
+        }
+    }
+
+    ScenarioReport report = engine.run();
+    ASSERT_TRUE(report.io.ok()) << label << ": " << report.io.error().message;
+    EXPECT_TRUE(report.stopped_by_users) << label;
+
+    EXPECT_EQ(serialize_state(engine.state()), reference_state) << label;
+}
+
+void sweep(uint64_t seed, size_t jobs) {
+    const ScenarioOptions options = sweep_options(seed, jobs);
+
+    // Reference: the same scenario over a healthy filesystem.
+    core::MemFs reference_fs;
+    std::string reference_state;
+    {
+        core::ManualClock clock;
+        ScenarioEngine engine(options, reference_fs, "scn", clock);
+        ASSERT_TRUE(engine.start_fresh().ok());
+        ScenarioReport report = engine.run();
+        ASSERT_TRUE(report.io.ok());
+        reference_state = serialize_state(engine.state());
+    }
+
+    // Probe: count the filesystem ops an uninterrupted run consumes.
+    core::MemFs probe_inner;
+    faultsim::FaultyFsOptions probe;
+    probe.plan.seed = seed;
+    faultsim::FaultyFs probe_fs(probe_inner, probe);
+    const size_t total_ops = run_workload(probe_fs, options).ops;
+    ASSERT_GT(total_ops, 10u);
+
+    for (size_t k = 1; k <= total_ops; ++k) {
+        core::MemFs inner;
+        faultsim::FaultyFsOptions faulty_options;
+        faulty_options.plan.seed = seed + k;  // vary the torn-tail shapes too
+        faulty_options.plan.torn_tail_rate = 0.7;
+        faulty_options.crash_after_ops = k;
+        faultsim::FaultyFs faulty(inner, faulty_options);
+
+        WorkloadResult result = run_workload(faulty, options);
+        faulty.crash();  // power loss: tear the unsynced tails
+
+        check_recovery(inner, options, result, reference_state,
+                       "seed " + std::to_string(seed) + " jobs " + std::to_string(jobs) +
+                           " kill-point " + std::to_string(k));
+    }
+}
+
+TEST(ScenarioKillPointSweep, EveryCrashPointResumesByteEquivalent) {
+    for (uint64_t seed : {1u, 7u}) sweep(seed, /*jobs=*/1);
+}
+
+TEST(ScenarioKillPointSweep, ParityHoldsUnderParallelWorkers) {
+    sweep(/*seed=*/7, /*jobs=*/2);
+    sweep(/*seed=*/7, /*jobs=*/4);
+    sweep(/*seed=*/7, /*jobs=*/8);
+}
+
+// Bit rot in the newest checkpoint: recovery must skip it (checksum
+// trailer) and serve the previous generation, and the re-run still
+// converges to the reference state.
+TEST(ScenarioRecovery, BitFlippedNewestGenerationIsSkipped) {
+    const ScenarioOptions options = sweep_options(/*seed=*/5, /*jobs=*/2);
+
+    core::MemFs fs;
+    std::string reference_state;
+    {
+        core::ManualClock clock;
+        ScenarioEngine engine(options, fs, "scn", clock);
+        ASSERT_TRUE(engine.start_fresh().ok());
+        ASSERT_TRUE(engine.run().io.ok());
+        reference_state = serialize_state(engine.state());
+    }
+
+    // Flip one byte mid-file in the newest generation.
+    auto names = fs.list_dir("scn");
+    ASSERT_TRUE(names.ok());
+    std::string newest;
+    for (const std::string& name : *names) {
+        if (name > newest) newest = name;
+    }
+    ASSERT_FALSE(newest.empty());
+    auto bytes = fs.read_file("scn/" + newest);
+    ASSERT_TRUE(bytes.ok());
+    Bytes rotted = *bytes;
+    rotted[rotted.size() / 2] ^= 0x40;
+    overwrite(fs, "scn/" + newest, rotted);
+
+    core::ManualClock clock;
+    ScenarioEngine engine(options, fs, "scn", clock);
+    auto recovered = engine.resume();
+    ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+    EXPECT_GE(recovered->corrupt_skipped, 1u);
+    ASSERT_TRUE(engine.run().io.ok());
+    EXPECT_EQ(serialize_state(engine.state()), reference_state);
+}
+
+}  // namespace
+}  // namespace unicert::threat::scenario
